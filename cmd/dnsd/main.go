@@ -1,0 +1,62 @@
+// Command dnsd runs the authoritative DNS server (the Bind stand-in) over
+// UDP and TCP, loading one or more zone files.
+//
+//	dnsd -listen 127.0.0.1:5353 -zone global.zone -zone campus.zone
+//
+// Zone files use a simplified master-file format; see
+// internal/dnssrv.ParseZoneFile. The federation root of the paper's §6
+// scenario is a TXT record holding an hdns:// URL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"gondi/internal/dnssrv"
+)
+
+type zoneFlags []string
+
+func (z *zoneFlags) String() string { return fmt.Sprint(*z) }
+func (z *zoneFlags) Set(v string) error {
+	*z = append(*z, v)
+	return nil
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5353", "UDP+TCP listen address")
+	var zones zoneFlags
+	flag.Var(&zones, "zone", "zone file (repeatable)")
+	flag.Parse()
+
+	if len(zones) == 0 {
+		log.Fatal("dnsd: at least one -zone file is required")
+	}
+	srv, err := dnssrv.NewServer(*listen, nil)
+	if err != nil {
+		log.Fatalf("dnsd: %v", err)
+	}
+	for _, path := range zones {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("dnsd: %v", err)
+		}
+		zone, err := dnssrv.ParseZoneFile(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("dnsd: %s: %v", path, err)
+		}
+		srv.AddZone(zone)
+		fmt.Printf("dnsd: authoritative for %s (%s)\n", zone.Origin(), path)
+	}
+	fmt.Printf("dnsd: serving dns://%s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	_ = srv.Close()
+}

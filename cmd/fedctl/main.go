@@ -1,0 +1,172 @@
+// Command fedctl is the federation client: it resolves composite URL
+// names across every registered provider (jini, hdns, dns, ldap, file,
+// mem), following federation continuations transparently — the
+// command-line face of the paper's unified API.
+//
+//	fedctl lookup  dns://127.0.0.1:5353/global/emory/mathcs/dcl/mokey
+//	fedctl bind    hdns://127.0.0.1:7001/services/db "10.0.0.5:5432"
+//	fedctl rebind  ldap://127.0.0.1:3890/dc=x/cn=cfg '{"mode":"prod"}'
+//	fedctl unbind  hdns://127.0.0.1:7001/services/db
+//	fedctl list    jini://127.0.0.1:4160/
+//	fedctl attrs   dns://127.0.0.1:5353/global/emory
+//	fedctl search  hdns://127.0.0.1:7001/ '(type=compute)'
+//	fedctl mkctx   hdns://127.0.0.1:7001/services
+//	fedctl link    hdns://127.0.0.1:7001/dcl ldap://127.0.0.1:3890/dc=x
+//	fedctl watch   hdns://127.0.0.1:7001/services
+//
+// "link" binds a reference to the second URL's context under the first
+// name — the §6 federation-building primitive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+
+	"gondi/internal/core"
+	"gondi/internal/provider/dnssp"
+	"gondi/internal/provider/fssp"
+	"gondi/internal/provider/hdnssp"
+	"gondi/internal/provider/jinisp"
+	"gondi/internal/provider/jxtasp"
+	"gondi/internal/provider/ldapsp"
+	"gondi/internal/provider/memsp"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fedctl <command> <url-name> [args]
+commands:
+  lookup <name>             resolve and print the bound object
+  bind   <name> <value>     bind a string value (fails if bound)
+  rebind <name> <value>     bind, overwriting
+  unbind <name>             remove a binding
+  list   <name>             list a context
+  attrs  <name>             print a name's attributes
+  search <name> <filter>    RFC 4515 filter search
+  mkctx  <name>             create a subcontext
+  rmctx  <name>             destroy an empty subcontext
+  link   <name> <url>       bind a federation reference to <url> at <name>
+  watch  <name>             stream change events until interrupted
+flags:
+  -principal / -credentials authentication (where the provider supports it)
+  -secret                   HDNS write secret`)
+	os.Exit(2)
+}
+
+func main() {
+	principal := flag.String("principal", "", "security principal")
+	credentials := flag.String("credentials", "", "security credentials")
+	secret := flag.String("secret", "", "HDNS write secret")
+	jiniBind := flag.String("jini-bind", "", "Jini bind semantics: strict, relaxed, or proxy")
+	jiniProxy := flag.String("jini-proxy", "", "BindProxy address for -jini-bind proxy")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+	}
+	cmd, name := args[0], args[1]
+
+	jinisp.Register()
+	hdnssp.Register()
+	dnssp.Register()
+	ldapsp.Register()
+	fssp.Register()
+	memsp.Register()
+	jxtasp.Register()
+
+	env := map[string]any{}
+	if *principal != "" {
+		env[core.EnvPrincipal] = *principal
+	}
+	if *credentials != "" {
+		env[core.EnvCredentials] = *credentials
+	}
+	if *secret != "" {
+		env[hdnssp.EnvSecret] = *secret
+	}
+	if *jiniBind != "" {
+		env[jinisp.EnvBind] = *jiniBind
+	}
+	if *jiniProxy != "" {
+		env[jinisp.EnvProxyAddr] = *jiniProxy
+	}
+	ic := core.NewInitialContext(env)
+
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedctl: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	need := func(n int) {
+		if len(args) < n {
+			usage()
+		}
+	}
+
+	switch cmd {
+	case "lookup":
+		obj, err := ic.Lookup(name)
+		die(err)
+		if _, ok := obj.(core.Context); ok {
+			fmt.Println("<naming context>")
+		} else {
+			fmt.Printf("%v\n", obj)
+		}
+	case "bind":
+		need(3)
+		die(ic.Bind(name, args[2]))
+	case "rebind":
+		need(3)
+		die(ic.Rebind(name, args[2]))
+	case "unbind":
+		die(ic.Unbind(name))
+	case "list":
+		pairs, err := ic.List(name)
+		die(err)
+		for _, p := range pairs {
+			fmt.Printf("%-30s %s\n", p.Name, p.Class)
+		}
+	case "attrs":
+		attrs, err := ic.GetAttributes(name)
+		die(err)
+		all := attrs.All()
+		sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+		for _, a := range all {
+			for _, v := range a.Values {
+				fmt.Printf("%-12s %s\n", a.ID, v)
+			}
+		}
+	case "search":
+		need(3)
+		res, err := ic.Search(name, args[2], &core.SearchControls{Scope: core.ScopeSubtree})
+		die(err)
+		for _, r := range res {
+			fmt.Printf("%-30s %s %s\n", r.Name, r.Class, r.Attributes)
+		}
+	case "mkctx":
+		_, err := ic.CreateSubcontext(name)
+		die(err)
+	case "rmctx":
+		die(ic.DestroySubcontext(name))
+	case "link":
+		need(3)
+		die(ic.Bind(name, core.NewContextReference(args[2])))
+	case "watch":
+		cancel, err := ic.Watch(name, core.ScopeSubtree, func(e core.NamingEvent) {
+			fmt.Printf("%s %q new=%v old=%v\n", e.Type, e.Name, e.NewValue, e.OldValue)
+		})
+		die(err)
+		defer cancel()
+		fmt.Fprintf(os.Stderr, "fedctl: watching %s (interrupt to stop)\n", name)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+	default:
+		usage()
+	}
+}

@@ -1,0 +1,76 @@
+// Command hdnsd runs one HDNS replica: it joins (or founds) a replication
+// group over UDP, serves naming clients over TCP, and persists its
+// replica to disk.
+//
+//	hdnsd -listen 127.0.0.1:7001 -group campus \
+//	      -bind 127.0.0.1:9001 -peers 127.0.0.1:9002,127.0.0.1:9003 \
+//	      -snapshot /var/lib/hdns/replica.snap
+//
+// Multiple replicas on different machines list each other in -peers; a
+// restarted replica reloads its snapshot and resynchronizes from the
+// group (§4.1 of the paper). -mode selects the §4.2 protocol suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7001", "client-facing TCP address")
+	group := flag.String("group", "hdns", "replication group name")
+	bind := flag.String("bind", "127.0.0.1:0", "group transport UDP address")
+	peers := flag.String("peers", "", "comma-separated peer transport addresses")
+	snapshot := flag.String("snapshot", "", "replica snapshot file (empty = no persistence)")
+	interval := flag.Duration("snapshot-interval", 5*time.Second, "snapshot sync period")
+	secret := flag.String("secret", "", "write secret required from clients")
+	mode := flag.String("mode", "bimodal", "protocol suite: bimodal or vsync")
+	flag.Parse()
+
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	tr, err := jgroups.NewUDPTransport(*bind, peerList)
+	if err != nil {
+		log.Fatalf("hdnsd: transport: %v", err)
+	}
+	stack := jgroups.DefaultConfig()
+	if *mode == "vsync" {
+		stack = jgroups.VirtualSynchronyConfig()
+	} else if *mode != "bimodal" {
+		log.Fatalf("hdnsd: unknown -mode %q", *mode)
+	}
+	node, err := hdns.NewNode(hdns.NodeConfig{
+		Group:            *group,
+		Transport:        tr,
+		Stack:            stack,
+		ListenAddr:       *listen,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *interval,
+		Secret:           *secret,
+	})
+	if err != nil {
+		log.Fatalf("hdnsd: %v", err)
+	}
+	view := node.Channel().View()
+	fmt.Printf("hdnsd: serving %s group=%s transport=%s members=%v\n",
+		node.Addr(), *group, tr.Addr(), view.Members)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("hdnsd: shutting down (persisting replica)")
+	if err := node.Close(); err != nil {
+		log.Printf("hdnsd: close: %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+// Command jinilusd runs a Jini lookup service (LUS): leased service
+// registrations, template matching, and remote events, served over the
+// registrar protocol at jini://<addr>.
+//
+//	jinilusd -listen 127.0.0.1:4160 -groups public,lab
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gondi/internal/jini"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:4160", "registrar TCP address")
+	groups := flag.String("groups", "", "comma-separated discovery groups (empty = public)")
+	proxyAddr := flag.String("proxy", "", "also serve a colocated BindProxy at this address (atomic binds for \"jini.bind\": \"proxy\" clients)")
+	stats := flag.Duration("stats", 0, "print registration counts at this interval (0 = off)")
+	flag.Parse()
+
+	var groupList []string
+	if *groups != "" {
+		groupList = strings.Split(*groups, ",")
+	}
+	lus, err := jini.NewLUS(jini.LUSConfig{ListenAddr: *listen, Groups: groupList})
+	if err != nil {
+		log.Fatalf("jinilusd: %v", err)
+	}
+	jini.Announce(lus)
+	fmt.Printf("jinilusd: lookup service at jini://%s groups=%v\n", lus.Addr(), groupList)
+
+	if *proxyAddr != "" {
+		proxy, err := jini.NewBindProxy(lus.Addr(), *proxyAddr)
+		if err != nil {
+			log.Fatalf("jinilusd: bind proxy: %v", err)
+		}
+		defer proxy.Close()
+		fmt.Printf("jinilusd: bind proxy at %s\n", proxy.Addr())
+	}
+
+	if *stats > 0 {
+		go func() {
+			t := time.NewTicker(*stats)
+			defer t.Stop()
+			for range t.C {
+				fmt.Printf("jinilusd: %d live registrations\n", lus.ItemCount())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	jini.Withdraw(lus)
+	_ = lus.Close()
+}

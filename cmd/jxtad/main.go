@@ -1,0 +1,55 @@
+// Command jxtad runs a JXTA rendezvous peer: the advertisement index for
+// a deployment's peer groups, served at jxta://<addr>.
+//
+//	jxtad -listen 127.0.0.1:9701 -group campus -group campus/sensors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gondi/internal/jxta"
+)
+
+type groupFlags []string
+
+func (g *groupFlags) String() string { return fmt.Sprint(*g) }
+func (g *groupFlags) Set(v string) error {
+	*g = append(*g, v)
+	return nil
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9701", "TCP listen address")
+	var groups groupFlags
+	flag.Var(&groups, "group", "peer group to pre-create under net (repeatable, parents first)")
+	flag.Parse()
+
+	rdv, err := jxta.NewRendezvous(*listen)
+	if err != nil {
+		log.Fatalf("jxtad: %v", err)
+	}
+	if len(groups) > 0 {
+		peer, err := jxta.DialPeer(rdv.Addr(), 5*time.Second)
+		if err != nil {
+			log.Fatalf("jxtad: %v", err)
+		}
+		for _, g := range groups {
+			if err := peer.CreateGroup(g); err != nil {
+				log.Fatalf("jxtad: create group %q: %v", g, err)
+			}
+		}
+		peer.Close()
+	}
+	fmt.Printf("jxtad: rendezvous at jxta://%s (%d groups)\n", rdv.Addr(), rdv.GroupCount())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	_ = rdv.Close()
+}

@@ -1,0 +1,55 @@
+// Command ldapd runs the LDAP server (the OpenLDAP stand-in): a BER-
+// encoded LDAPv3 subset over TCP with a base DN, optional root identity,
+// and optional anonymous-write lockdown.
+//
+//	ldapd -listen 127.0.0.1:3890 -base dc=mathcs,dc=emory,dc=edu \
+//	      -rootdn cn=admin,dc=mathcs,dc=emory,dc=edu -rootpw secret -authwrites
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gondi/internal/ldapsrv"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:3890", "TCP listen address")
+	base := flag.String("base", "dc=example,dc=com", "base DN")
+	rootDN := flag.String("rootdn", "", "administrative bind DN")
+	rootPW := flag.String("rootpw", "", "administrative password")
+	authWrites := flag.Bool("authwrites", false, "reject writes from anonymous binds")
+	stats := flag.Duration("stats", 0, "print entry counts at this interval (0 = off)")
+	flag.Parse()
+
+	srv, err := ldapsrv.NewServer(*listen, ldapsrv.ServerConfig{
+		BaseDN:              *base,
+		RootDN:              *rootDN,
+		RootPassword:        *rootPW,
+		RequireAuthForWrite: *authWrites,
+	})
+	if err != nil {
+		log.Fatalf("ldapd: %v", err)
+	}
+	fmt.Printf("ldapd: serving ldap://%s/%s\n", srv.Addr(), *base)
+
+	if *stats > 0 {
+		go func() {
+			t := time.NewTicker(*stats)
+			defer t.Stop()
+			for range t.C {
+				fmt.Printf("ldapd: %d entries\n", srv.DIT().Len())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	_ = srv.Close()
+}

@@ -1,0 +1,156 @@
+// Federation: the paper's §6 scenario end to end.
+//
+// A three-tier, DNS-anchored, federated name space:
+//
+//	dns://<server>/global                 — world-scale, read-mostly root
+//	        │  (TXT record: hdns://<node>)
+//	        ▼
+//	hdns://<node>/…                       — replicated intermediate layer
+//	        │  (bound context references)
+//	        ▼
+//	ldap://<server>/dc=…   jini://<lus>   — department-level leaves
+//
+// The client resolves the single composite URL
+//
+//	dns://<server>/global/emory/mathcs/dcl/mokey
+//
+// and the initial context hops DNS → HDNS → LDAP transparently, exactly
+// like the paper's "dns://global/emory/mathcs/dcl/mokey" walk-through.
+//
+//	go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gondi/internal/core"
+	"gondi/internal/dnssrv"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/jini"
+	"gondi/internal/ldapsrv"
+	"gondi/internal/provider/dnssp"
+	"gondi/internal/provider/hdnssp"
+	"gondi/internal/provider/jinisp"
+	"gondi/internal/provider/ldapsp"
+)
+
+func main() {
+	jinisp.Register()
+	hdnssp.Register()
+	dnssp.Register()
+	ldapsp.Register()
+
+	// --- Leaf 1: the department LDAP server, holding the object. ---
+	ldapSrv, err := ldapsrv.NewServer("127.0.0.1:0", ldapsrv.ServerConfig{
+		BaseDN: "dc=dcl,dc=mathcs,dc=emory",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ldapSrv.Close()
+
+	// --- Leaf 2: a departmental Jini lookup service. ---
+	lus, err := jini.NewLUS(jini.LUSConfig{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lus.Close()
+
+	// --- Middle: a two-node replicated HDNS group. ---
+	fabric := jgroups.NewFabric()
+	var nodes []*hdns.Node
+	for _, name := range []string{"hdns-1", "hdns-2"} {
+		n, err := hdns.NewNode(hdns.NodeConfig{
+			Group:      "campus",
+			Transport:  fabric.Endpoint(jgroups.Address(name)),
+			ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+
+	// --- Root: DNS, anchoring the federation. ---
+	dnsSrv, err := dnssrv.NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dnsSrv.Close()
+	zone := dnssrv.NewZone("global")
+	// The paper: "a common, well-known service name is resolved to a
+	// nearest HDNS node". Here the emory/mathcs subtree delegates to the
+	// campus HDNS group via a TXT anchor.
+	zone.Add(dnssrv.RR{Name: "mathcs.emory.global", Type: dnssrv.TypeTXT,
+		Txt: []string{"hdns://" + nodes[0].Addr()}})
+	zone.Add(dnssrv.RR{Name: "emory.global", Type: dnssrv.TypeTXT, Txt: []string{"Emory University"}})
+	dnsSrv.AddZone(zone)
+
+	ic := core.NewInitialContext(nil)
+
+	// --- Wire the federation together through the API (§6): bind the
+	// leaf services into HDNS as context references. ---
+	hdnsURL := "hdns://" + nodes[0].Addr()
+	if err := ic.Bind(hdnsURL+"/dcl", core.NewContextReference(
+		"ldap://"+ldapSrv.Addr()+"/dc=dcl,dc=mathcs,dc=emory")); err != nil {
+		log.Fatal(err)
+	}
+	if err := ic.Bind(hdnsURL+"/devices", core.NewContextReference(
+		"jini://"+lus.Addr())); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Populate the leaves through the federation itself. ---
+	if err := ic.BindAttrs(hdnsURL+"/dcl/mokey", "mokey.mathcs.emory.edu:22",
+		core.NewAttributes("type", "workstation", "arch", "sparc")); err != nil {
+		log.Fatal(err)
+	}
+	if err := ic.Bind(hdnsURL+"/devices/printer", "ipp://10.0.0.12:631"); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- The paper's resolution, from the DNS root. ---
+	composite := "dns://" + dnsSrv.Addr() + "/global/emory/mathcs/dcl/mokey"
+	fmt.Println("resolving:", composite)
+	obj, err := ic.Lookup(composite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  -> %v\n", obj)
+
+	// Attributes resolve across the same three hops.
+	attrs, err := ic.GetAttributes(composite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  attributes: %s\n", attrs)
+
+	// A search pushed through the federation boundary runs on the leaf.
+	res, err := ic.Search("dns://"+dnsSrv.Addr()+"/global/emory/mathcs/dcl",
+		"(type=workstation)", &core.SearchControls{Scope: core.ScopeSubtree})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("search (type=workstation) under the dcl leaf:")
+	for _, r := range res {
+		fmt.Printf("  %-10s %s\n", r.Name, r.Attributes)
+	}
+
+	// The Jini leaf answers through the same root too.
+	obj, err = ic.Lookup(hdnsURL + "/devices/printer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("jini leaf via hdns: %v\n", obj)
+
+	// Reads are served by any replica: ask the second HDNS node.
+	obj, err = ic.Lookup("hdns://" + nodes[1].Addr() + "/dcl/mokey")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read-any via replica 2: %v\n", obj)
+	fmt.Println("done")
+}

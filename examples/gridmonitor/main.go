@@ -1,0 +1,143 @@
+// Grid monitor: a small grid information service built on the federated
+// name space — the application class the paper's introduction motivates
+// (resource registration and discovery for heterogeneous computing).
+//
+// Worker "sites" publish their resources (with attributes) into a
+// replicated HDNS registry; a broker answers placement queries with
+// attribute searches; a monitor watches change events live; and the HDNS
+// replica set tolerates the loss of a node mid-run (reads fail over to
+// the surviving replica).
+//
+//	go run ./examples/gridmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/provider/hdnssp"
+)
+
+func main() {
+	hdnssp.Register()
+
+	// A two-replica HDNS registry on an in-process fabric.
+	fabric := jgroups.NewFabric()
+	n1, err := hdns.NewNode(hdns.NodeConfig{
+		Group: "grid", Transport: fabric.Endpoint("reg-1"), ListenAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer n1.Close()
+	n2, err := hdns.NewNode(hdns.NodeConfig{
+		Group: "grid", Transport: fabric.Endpoint("reg-2"), ListenAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer n2.Close()
+
+	ic := core.NewInitialContext(nil)
+	reg1 := "hdns://" + n1.Addr()
+	reg2 := "hdns://" + n2.Addr()
+
+	if _, err := ic.CreateSubcontext(reg1 + "/resources"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The monitor watches the registry subtree.
+	eventC := make(chan core.NamingEvent, 32)
+	cancel, err := ic.Watch(reg1+"/resources", core.ScopeSubtree, func(e core.NamingEvent) {
+		eventC <- e
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cancel()
+
+	// Sites publish their resources.
+	type resource struct {
+		name  string
+		addr  string
+		attrs *core.Attributes
+	}
+	resources := []resource{
+		{"emory/node01", "10.1.0.1", core.NewAttributes("type", "compute", "cpus", "16", "mem", "64", "state", "free")},
+		{"emory/node02", "10.1.0.2", core.NewAttributes("type", "compute", "cpus", "64", "mem", "512", "state", "free")},
+		{"emory/store1", "10.1.0.9", core.NewAttributes("type", "storage", "capacity", "8000")},
+		{"gatech/node77", "10.2.0.77", core.NewAttributes("type", "compute", "cpus", "128", "mem", "1024", "state", "busy")},
+	}
+	for _, r := range resources {
+		site := r.name[:index(r.name, '/')]
+		_, _ = ic.CreateSubcontext(reg1 + "/resources/" + site)
+		if err := ic.BindAttrs(reg1+"/resources/"+r.name, r.addr, r.attrs); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The broker: "a free compute node with at least 64 CPUs".
+	fmt.Println("placement query: (&(type=compute)(cpus>=64)(state=free))")
+	res, err := ic.Search(reg1+"/resources", "(&(type=compute)(cpus>=64)(state=free))",
+		&core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res {
+		fmt.Printf("  -> %s at %v %s\n", r.Name, r.Object, r.Attributes)
+	}
+
+	// A job claims the node: state flips, the monitor sees it.
+	fmt.Println("claiming emory/node02")
+	if err := ic.ModifyAttributes(reg1+"/resources/emory/node02", []core.AttributeMod{
+		{Op: core.ModReplace, Attr: core.Attribute{ID: "state", Values: []string{"busy"}}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Replica 2 answers the same queries (read-any).
+	res, err = ic.Search(reg2+"/resources", "(state=busy)",
+		&core.SearchControls{Scope: core.ScopeSubtree})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("busy resources, asked of replica 2:")
+	for _, r := range res {
+		fmt.Printf("  -> %s\n", r.Name)
+	}
+
+	// Kill replica 1; the registry survives on replica 2.
+	fmt.Println("crashing replica 1 …")
+	_ = n1.Close()
+	time.Sleep(500 * time.Millisecond)
+	obj, err := ic.Lookup(reg2 + "/resources/emory/node01")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after crash, replica 2 still serves: emory/node01 -> %v\n", obj)
+
+	// Drain monitor events.
+	fmt.Println("monitor saw:")
+	for {
+		select {
+		case e := <-eventC:
+			fmt.Printf("  %s %s\n", e.Type, e.Name)
+		case <-time.After(300 * time.Millisecond):
+			fmt.Println("done")
+			return
+		}
+	}
+}
+
+func index(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return len(s)
+}

@@ -1,0 +1,3 @@
+module gondi
+
+go 1.22

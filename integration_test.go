@@ -1,0 +1,326 @@
+package gondi
+
+// Cross-module integration tests: every naming substrate running live,
+// federated into one composite name space, exercised through the unified
+// client API — the paper's end-to-end claim.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/dnssrv"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/jini"
+	"gondi/internal/ldapsrv"
+	"gondi/internal/provider/dnssp"
+	"gondi/internal/provider/fssp"
+	"gondi/internal/provider/hdnssp"
+	"gondi/internal/provider/jinisp"
+	"gondi/internal/provider/ldapsp"
+	"gondi/internal/provider/memsp"
+)
+
+var registerOnce sync.Once
+
+func registerAll() {
+	registerOnce.Do(func() {
+		jinisp.Register()
+		hdnssp.Register()
+		dnssp.Register()
+		ldapsp.Register()
+		fssp.Register()
+		memsp.Register()
+	})
+}
+
+// world is the paper's §6 deployment: DNS root, replicated HDNS middle,
+// LDAP + Jini leaves.
+type world struct {
+	dns    *dnssrv.Server
+	ldap   *ldapsrv.Server
+	lus    *jini.LUS
+	fabric *jgroups.Fabric
+	nodes  []*hdns.Node
+	ic     *core.InitialContext
+}
+
+func buildWorld(t *testing.T) *world {
+	t.Helper()
+	registerAll()
+	w := &world{fabric: jgroups.NewFabric()}
+
+	var err error
+	w.ldap, err = ldapsrv.NewServer("127.0.0.1:0", ldapsrv.ServerConfig{BaseDN: "dc=dcl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.ldap.Close() })
+
+	w.lus, err = jini.NewLUS(jini.LUSConfig{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.lus.Close() })
+
+	for i := 0; i < 2; i++ {
+		stack := jgroups.DefaultConfig()
+		stack.HeartbeatInterval = 50 * time.Millisecond
+		n, err := hdns.NewNode(hdns.NodeConfig{
+			Group:      "it-campus",
+			Transport:  w.fabric.Endpoint(jgroups.Address(fmt.Sprintf("it-n%d", i))),
+			Stack:      stack,
+			ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		w.nodes = append(w.nodes, n)
+	}
+
+	w.dns, err = dnssrv.NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.dns.Close() })
+	zone := dnssrv.NewZone("global")
+	zone.Add(dnssrv.RR{Name: "mathcs.emory.global", Type: dnssrv.TypeTXT,
+		Txt: []string{"hdns://" + w.nodes[0].Addr()}})
+	w.dns.AddZone(zone)
+
+	w.ic = core.NewInitialContext(nil)
+
+	// Link the leaves into HDNS (the §6 federation-building step).
+	hdnsURL := "hdns://" + w.nodes[0].Addr()
+	if err := w.ic.Bind(hdnsURL+"/dcl", core.NewContextReference("ldap://"+w.ldap.Addr()+"/dc=dcl")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ic.Bind(hdnsURL+"/devices", core.NewContextReference("jini://"+w.lus.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func (w *world) root() string {
+	return "dns://" + w.dns.Addr() + "/global/emory/mathcs"
+}
+
+func TestFederationPaperScenario(t *testing.T) {
+	w := buildWorld(t)
+	ic := w.ic
+
+	// Write through the full DNS -> HDNS -> LDAP chain.
+	if err := ic.BindAttrs(w.root()+"/dcl/mokey", "mokey:22",
+		core.NewAttributes("type", "workstation")); err != nil {
+		t.Fatal(err)
+	}
+	// Read back through the same chain.
+	obj, err := ic.Lookup(w.root() + "/dcl/mokey")
+	if err != nil || obj != "mokey:22" {
+		t.Fatalf("federated lookup = %v, %v", obj, err)
+	}
+	// Attributes across the chain.
+	attrs, err := ic.GetAttributes(w.root() + "/dcl/mokey")
+	if err != nil || attrs.GetFirst("type") != "workstation" {
+		t.Fatalf("federated attrs = %v, %v", attrs, err)
+	}
+	// Search pushed to the LDAP leaf across the chain.
+	res, err := ic.Search(w.root()+"/dcl", "(type=workstation)",
+		&core.SearchControls{Scope: core.ScopeSubtree})
+	if err != nil || len(res) != 1 || res[0].Name != "mokey" {
+		t.Fatalf("federated search = %+v, %v", res, err)
+	}
+	// The Jini leaf through the same root.
+	if err := ic.Bind(w.root()+"/devices/scanner", "scan://10.0.0.9"); err != nil {
+		t.Fatal(err)
+	}
+	obj, err = ic.Lookup(w.root() + "/devices/scanner")
+	if err != nil || obj != "scan://10.0.0.9" {
+		t.Fatalf("jini leaf = %v, %v", obj, err)
+	}
+	// Listing through the chain lands on the LDAP leaf.
+	pairs, err := ic.List(w.root() + "/dcl")
+	if err != nil || len(pairs) != 1 || pairs[0].Name != "mokey" {
+		t.Fatalf("federated list = %+v, %v", pairs, err)
+	}
+	// Unbind across the chain.
+	if err := ic.Unbind(w.root() + "/dcl/mokey"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ic.Lookup(w.root() + "/dcl/mokey"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("after unbind: %v", err)
+	}
+}
+
+func TestFederationReadAnyReplica(t *testing.T) {
+	w := buildWorld(t)
+	ic := w.ic
+	if err := ic.Bind("hdns://"+w.nodes[0].Addr()+"/shared", "value"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		obj, err := ic.Lookup("hdns://" + w.nodes[1].Addr() + "/shared")
+		if err == nil && obj == "value" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica 2 never converged: %v, %v", obj, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Objects of registered Go types survive the trip through any provider.
+type deployment struct {
+	Host  string
+	Port  int
+	Tags  []string
+	Extra map[string]string
+}
+
+func TestTypedObjectsThroughEveryProvider(t *testing.T) {
+	w := buildWorld(t)
+	core.RegisterType(deployment{})
+	want := deployment{Host: "h1", Port: 8443, Tags: []string{"prod", "edge"},
+		Extra: map[string]string{"zone": "b"}}
+
+	memsp.ResetSpaces()
+	dir := t.TempDir()
+	targets := []string{
+		"hdns://" + w.nodes[0].Addr() + "/typed",
+		"jini://" + w.lus.Addr() + "/typed",
+		"ldap://" + w.ldap.Addr() + "/dc=dcl/typed",
+		"mem://it/typed",
+		"file://" + dir + "/typed",
+	}
+	for _, url := range targets {
+		if err := w.ic.Bind(url, want); err != nil {
+			t.Fatalf("%s: bind: %v", url, err)
+		}
+		obj, err := w.ic.Lookup(url)
+		if err != nil {
+			t.Fatalf("%s: lookup: %v", url, err)
+		}
+		got, ok := obj.(deployment)
+		if !ok || got.Host != want.Host || got.Port != want.Port ||
+			len(got.Tags) != 2 || got.Extra["zone"] != "b" {
+			t.Fatalf("%s: got %#v", url, obj)
+		}
+	}
+}
+
+// A chain of links: mem -> file -> hdns resolves transitively.
+func TestMultiHopHeterogeneousChain(t *testing.T) {
+	w := buildWorld(t)
+	memsp.ResetSpaces()
+	dir := t.TempDir()
+	ic := w.ic
+
+	if err := ic.Bind("hdns://"+w.nodes[0].Addr()+"/leafval", "gold"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ic.Bind("file://"+dir+"/tohdns",
+		core.NewContextReference("hdns://"+w.nodes[0].Addr())); err != nil {
+		t.Fatal(err)
+	}
+	if err := ic.Bind("mem://chain/tofile",
+		core.NewContextReference("file://"+dir)); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := ic.Lookup("mem://chain/tofile/tohdns/leafval")
+	if err != nil || obj != "gold" {
+		t.Fatalf("3-hop chain = %v, %v", obj, err)
+	}
+}
+
+// Events flow out of the federated space.
+func TestFederatedWatch(t *testing.T) {
+	w := buildWorld(t)
+	ic := w.ic
+	got := make(chan core.NamingEvent, 8)
+	cancel, err := ic.Watch("hdns://"+w.nodes[0].Addr()+"/", core.ScopeSubtree,
+		func(e core.NamingEvent) { got <- e })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if err := ic.Bind("hdns://"+w.nodes[0].Addr()+"/announced", 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-got:
+		if e.Type != core.EventObjectAdded || e.Name != "announced" {
+			t.Fatalf("event = %+v", e)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no event")
+	}
+}
+
+// The federation survives an HDNS replica crash: the DNS anchor can point
+// clients at the surviving node.
+func TestFederationSurvivesReplicaCrash(t *testing.T) {
+	w := buildWorld(t)
+	ic := w.ic
+	if err := ic.BindAttrs(w.root()+"/dcl/box", "up", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the anchored node; repoint the anchor at the survivor (the
+	// administrative action DNS anchoring is designed for).
+	w.nodes[0].Close()
+	zone, _ := w.dns.Zone("global")
+	zone.Replace("mathcs.emory.global", dnssrv.TypeTXT,
+		dnssrv.RR{Txt: []string{"hdns://" + w.nodes[1].Addr()}})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		obj, err := ic.Lookup(w.root() + "/dcl/box")
+		if err == nil && obj == "up" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lookup after crash: %v, %v", obj, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Concurrent mixed traffic over the whole federation.
+func TestFederationConcurrentClients(t *testing.T) {
+	w := buildWorld(t)
+	hdnsURL := "hdns://" + w.nodes[0].Addr()
+	if _, err := w.ic.CreateSubcontext(hdnsURL + "/load"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ic := core.NewInitialContext(map[string]any{core.EnvPoolID: g})
+			for i := 0; i < 15; i++ {
+				name := fmt.Sprintf("%s/load/g%d-%d", hdnsURL, g, i)
+				if err := ic.Bind(name, g*100+i); err != nil {
+					t.Errorf("bind %s: %v", name, err)
+					return
+				}
+				obj, err := ic.Lookup(name)
+				if err != nil || obj != g*100+i {
+					t.Errorf("lookup %s = %v, %v", name, obj, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	pairs, err := w.ic.List(hdnsURL + "/load")
+	if err != nil || len(pairs) != 90 {
+		t.Fatalf("final list = %d, %v", len(pairs), err)
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gondi/internal/filter"
+)
+
+// Attribute is a named, multi-valued directory attribute. Values are
+// strings; providers that store typed data (e.g. Jini entries) translate
+// via their state/object factories. IDs are matched case-insensitively, as
+// in LDAP and the JNDI BasicAttributes(ignoreCase=true) convention.
+type Attribute struct {
+	ID     string
+	Values []string
+}
+
+// Clone returns a deep copy.
+func (a Attribute) Clone() Attribute {
+	v := make([]string, len(a.Values))
+	copy(v, a.Values)
+	return Attribute{ID: a.ID, Values: v}
+}
+
+// Contains reports whether the attribute holds val (case-insensitive).
+func (a Attribute) Contains(val string) bool {
+	for _, v := range a.Values {
+		if strings.EqualFold(v, val) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a Attribute) String() string {
+	return fmt.Sprintf("%s=%s", a.ID, strings.Join(a.Values, ","))
+}
+
+// Attributes is a case-insensitive set of attributes. The zero value is
+// empty and ready to use.
+type Attributes struct {
+	m map[string]Attribute // key: lowercase ID
+}
+
+// NewAttributes builds an attribute set from id/value pairs:
+// NewAttributes("cn", "alice", "objectClass", "person").
+func NewAttributes(pairs ...string) *Attributes {
+	if len(pairs)%2 != 0 {
+		panic("core.NewAttributes: odd number of arguments")
+	}
+	a := &Attributes{}
+	for i := 0; i < len(pairs); i += 2 {
+		a.Add(pairs[i], pairs[i+1])
+	}
+	return a
+}
+
+func (a *Attributes) init() {
+	if a.m == nil {
+		a.m = make(map[string]Attribute)
+	}
+}
+
+// Size returns the number of distinct attribute IDs.
+func (a *Attributes) Size() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.m)
+}
+
+// Put replaces the attribute's values.
+func (a *Attributes) Put(id string, values ...string) {
+	a.init()
+	v := make([]string, len(values))
+	copy(v, values)
+	a.m[strings.ToLower(id)] = Attribute{ID: id, Values: v}
+}
+
+// Add appends values to the attribute, creating it if absent. Duplicate
+// values (case-insensitive) are not added twice.
+func (a *Attributes) Add(id string, values ...string) {
+	a.init()
+	key := strings.ToLower(id)
+	attr, ok := a.m[key]
+	if !ok {
+		attr = Attribute{ID: id}
+	}
+	for _, v := range values {
+		if !attr.Contains(v) {
+			attr.Values = append(attr.Values, v)
+		}
+	}
+	a.m[key] = attr
+}
+
+// Get returns the attribute with the given ID, or ok=false.
+func (a *Attributes) Get(id string) (Attribute, bool) {
+	if a == nil || a.m == nil {
+		return Attribute{}, false
+	}
+	attr, ok := a.m[strings.ToLower(id)]
+	return attr, ok
+}
+
+// GetFirst returns the first value of the attribute, or "".
+func (a *Attributes) GetFirst(id string) string {
+	attr, ok := a.Get(id)
+	if !ok || len(attr.Values) == 0 {
+		return ""
+	}
+	return attr.Values[0]
+}
+
+// Remove deletes the attribute entirely; it reports whether it existed.
+func (a *Attributes) Remove(id string) bool {
+	if a == nil || a.m == nil {
+		return false
+	}
+	key := strings.ToLower(id)
+	_, ok := a.m[key]
+	delete(a.m, key)
+	return ok
+}
+
+// RemoveValues deletes specific values; the attribute disappears when its
+// last value is removed. With no values given, the whole attribute is
+// removed (LDAP modify/delete semantics).
+func (a *Attributes) RemoveValues(id string, values ...string) {
+	if len(values) == 0 {
+		a.Remove(id)
+		return
+	}
+	attr, ok := a.Get(id)
+	if !ok {
+		return
+	}
+	var keep []string
+	for _, v := range attr.Values {
+		drop := false
+		for _, rm := range values {
+			if strings.EqualFold(v, rm) {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			keep = append(keep, v)
+		}
+	}
+	if len(keep) == 0 {
+		a.Remove(id)
+		return
+	}
+	attr.Values = keep
+	a.m[strings.ToLower(id)] = attr
+}
+
+// All returns all attributes sorted by lowercase ID.
+func (a *Attributes) All() []Attribute {
+	if a == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(a.m))
+	for k := range a.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Attribute, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, a.m[k].Clone())
+	}
+	return out
+}
+
+// IDs returns all attribute IDs (original case), sorted.
+func (a *Attributes) IDs() []string {
+	all := a.All()
+	ids := make([]string, len(all))
+	for i, attr := range all {
+		ids[i] = attr.ID
+	}
+	return ids
+}
+
+// Clone deep-copies the set. Clone of nil returns an empty set.
+func (a *Attributes) Clone() *Attributes {
+	out := &Attributes{}
+	if a == nil {
+		return out
+	}
+	for _, attr := range a.m {
+		out.Put(attr.ID, attr.Values...)
+	}
+	return out
+}
+
+// Select returns a copy holding only the listed IDs; with no IDs it is
+// equivalent to Clone (JNDI getAttributes(name, null) semantics).
+func (a *Attributes) Select(ids ...string) *Attributes {
+	if len(ids) == 0 {
+		return a.Clone()
+	}
+	out := &Attributes{}
+	for _, id := range ids {
+		if attr, ok := a.Get(id); ok {
+			out.Put(attr.ID, attr.Values...)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sets hold the same IDs and value sequences.
+func (a *Attributes) Equal(b *Attributes) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	for _, attr := range a.All() {
+		other, ok := b.Get(attr.ID)
+		if !ok || len(other.Values) != len(attr.Values) {
+			return false
+		}
+		for i := range attr.Values {
+			if attr.Values[i] != other.Values[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (a *Attributes) String() string {
+	parts := make([]string, 0, a.Size())
+	for _, attr := range a.All() {
+		parts = append(parts, attr.String())
+	}
+	return "{" + strings.Join(parts, "; ") + "}"
+}
+
+// Get implements filter.Values so filters can be evaluated directly against
+// an attribute set.
+func (a *Attributes) GetValues(attr string) []string {
+	at, ok := a.Get(attr)
+	if !ok {
+		return nil
+	}
+	return at.Values
+}
+
+// filterValues adapts Attributes to filter.Values.
+type filterValues struct{ a *Attributes }
+
+func (f filterValues) Get(attr string) []string { return f.a.GetValues(attr) }
+
+// MatchesFilter evaluates a parsed filter against the attribute set.
+func (a *Attributes) MatchesFilter(n *filter.Node) bool {
+	return n.Matches(filterValues{a})
+}
+
+// ModOp is an attribute modification operation type.
+type ModOp int
+
+// Modification operations, mirroring DirContext.ADD_ATTRIBUTE etc.
+const (
+	ModAdd ModOp = iota
+	ModReplace
+	ModRemove
+)
+
+func (m ModOp) String() string {
+	switch m {
+	case ModAdd:
+		return "add"
+	case ModReplace:
+		return "replace"
+	case ModRemove:
+		return "remove"
+	default:
+		return "?"
+	}
+}
+
+// AttributeMod is a single modification in a ModifyAttributes batch.
+type AttributeMod struct {
+	Op   ModOp
+	Attr Attribute
+}
+
+// Apply applies a batch of modifications to the set, in order.
+func (a *Attributes) Apply(mods []AttributeMod) error {
+	for _, m := range mods {
+		if m.Attr.ID == "" {
+			return fmt.Errorf("%w: empty attribute ID", ErrInvalidAttributes)
+		}
+		switch m.Op {
+		case ModAdd:
+			a.Add(m.Attr.ID, m.Attr.Values...)
+		case ModReplace:
+			if len(m.Attr.Values) == 0 {
+				a.Remove(m.Attr.ID)
+			} else {
+				a.Put(m.Attr.ID, m.Attr.Values...)
+			}
+		case ModRemove:
+			a.RemoveValues(m.Attr.ID, m.Attr.Values...)
+		default:
+			return fmt.Errorf("%w: unknown op %d", ErrInvalidAttributes, m.Op)
+		}
+	}
+	return nil
+}
+
+// ToMap returns a plain map copy, convenient for wire encoding.
+func (a *Attributes) ToMap() map[string][]string {
+	if a == nil {
+		return nil
+	}
+	out := make(map[string][]string, len(a.m))
+	for _, attr := range a.m {
+		v := make([]string, len(attr.Values))
+		copy(v, attr.Values)
+		out[attr.ID] = v
+	}
+	return out
+}
+
+// AttributesFromMap builds an attribute set from a plain map.
+func AttributesFromMap(m map[string][]string) *Attributes {
+	a := &Attributes{}
+	for id, vals := range m {
+		a.Put(id, vals...)
+	}
+	return a
+}

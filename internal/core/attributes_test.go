@@ -1,0 +1,146 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"gondi/internal/filter"
+)
+
+func TestAttributesBasic(t *testing.T) {
+	a := NewAttributes("cn", "alice", "objectClass", "person")
+	if a.Size() != 2 {
+		t.Fatalf("Size = %d", a.Size())
+	}
+	if got := a.GetFirst("CN"); got != "alice" {
+		t.Errorf("GetFirst(CN) = %q", got)
+	}
+	a.Add("objectClass", "top")
+	attr, ok := a.Get("objectclass")
+	if !ok || !reflect.DeepEqual(attr.Values, []string{"person", "top"}) {
+		t.Errorf("Get = %+v, %v", attr, ok)
+	}
+	// Duplicate adds are ignored.
+	a.Add("objectClass", "TOP")
+	attr, _ = a.Get("objectClass")
+	if len(attr.Values) != 2 {
+		t.Errorf("dup add changed values: %v", attr.Values)
+	}
+	a.Put("cn", "bob")
+	if got := a.GetFirst("cn"); got != "bob" {
+		t.Errorf("after Put, GetFirst = %q", got)
+	}
+	if !a.Remove("cn") || a.Remove("cn") {
+		t.Error("Remove semantics wrong")
+	}
+}
+
+func TestAttributesRemoveValues(t *testing.T) {
+	a := NewAttributes()
+	a.Add("x", "1", "2", "3")
+	a.RemoveValues("x", "2")
+	attr, _ := a.Get("x")
+	if !reflect.DeepEqual(attr.Values, []string{"1", "3"}) {
+		t.Errorf("values = %v", attr.Values)
+	}
+	a.RemoveValues("x", "1", "3")
+	if _, ok := a.Get("x"); ok {
+		t.Error("attribute should disappear when last value removed")
+	}
+	// Removing from a missing attribute is a no-op.
+	a.RemoveValues("missing", "v")
+}
+
+func TestAttributesSelectClone(t *testing.T) {
+	a := NewAttributes("a", "1", "b", "2", "c", "3")
+	s := a.Select("a", "C")
+	if s.Size() != 2 || s.GetFirst("c") != "3" {
+		t.Errorf("Select = %v", s)
+	}
+	cl := a.Clone()
+	cl.Put("a", "changed")
+	if a.GetFirst("a") != "1" {
+		t.Error("Clone not deep")
+	}
+	var nilAttrs *Attributes
+	if nilAttrs.Clone().Size() != 0 || nilAttrs.Size() != 0 {
+		t.Error("nil Attributes should behave as empty")
+	}
+}
+
+func TestAttributesApply(t *testing.T) {
+	a := NewAttributes("cn", "alice", "dept", "eng")
+	mods := []AttributeMod{
+		{Op: ModAdd, Attr: Attribute{ID: "mail", Values: []string{"a@x"}}},
+		{Op: ModReplace, Attr: Attribute{ID: "dept", Values: []string{"hr"}}},
+		{Op: ModRemove, Attr: Attribute{ID: "cn"}},
+	}
+	if err := a.Apply(mods); err != nil {
+		t.Fatal(err)
+	}
+	if a.GetFirst("mail") != "a@x" || a.GetFirst("dept") != "hr" {
+		t.Errorf("after apply: %v", a)
+	}
+	if _, ok := a.Get("cn"); ok {
+		t.Error("cn should be removed")
+	}
+	// Replace with no values removes.
+	if err := a.Apply([]AttributeMod{{Op: ModReplace, Attr: Attribute{ID: "dept"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Get("dept"); ok {
+		t.Error("replace-with-empty should remove")
+	}
+	// Invalid mods.
+	if err := a.Apply([]AttributeMod{{Op: ModAdd, Attr: Attribute{}}}); err == nil {
+		t.Error("empty ID should fail")
+	}
+	if err := a.Apply([]AttributeMod{{Op: ModOp(99), Attr: Attribute{ID: "x"}}}); err == nil {
+		t.Error("unknown op should fail")
+	}
+}
+
+func TestAttributesEqual(t *testing.T) {
+	a := NewAttributes("x", "1", "y", "2")
+	b := NewAttributes("Y", "2", "X", "1")
+	if !a.Equal(b) {
+		t.Error("case-insensitive IDs should compare equal")
+	}
+	b.Add("y", "3")
+	if a.Equal(b) {
+		t.Error("different values compare equal")
+	}
+}
+
+func TestAttributesMapRoundTrip(t *testing.T) {
+	f := func(m map[string][]string) bool {
+		// Drop empty IDs and normalize duplicate values, which the
+		// set semantics collapse.
+		in := map[string][]string{}
+		for k, vs := range m {
+			if k == "" {
+				continue
+			}
+			in[k] = vs
+		}
+		a := AttributesFromMap(in)
+		back := AttributesFromMap(a.ToMap())
+		return a.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttributesMatchesFilter(t *testing.T) {
+	a := NewAttributes("cn", "alice", "age", "34")
+	n := filter.MustParse("(&(cn=ali*)(age>=30))")
+	if !a.MatchesFilter(n) {
+		t.Error("filter should match")
+	}
+	n2 := filter.MustParse("(cn=bob)")
+	if a.MatchesFilter(n2) {
+		t.Error("filter should not match")
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// The codec provides the "any serializable object" minimum conformance
+// level the JNDI specification recommends: any gob-encodable value whose
+// concrete type has been registered can be bound into any provider and
+// retrieved in its original form. Providers marshal values with Marshal
+// before putting them on the wire or on disk.
+
+func init() {
+	// Types the library itself binds and retrieves.
+	gob.Register(&Reference{})
+	gob.Register(RefAddr{})
+	gob.Register(LinkRef{})
+	gob.Register(map[string]string{})
+	gob.Register([]string{})
+	gob.Register(map[string]any{})
+	gob.Register([]any{})
+}
+
+// RegisterType registers a concrete type for transport through the codec,
+// like gob.Register. Applications call this for their own bound types.
+func RegisterType(v any) {
+	gob.Register(v)
+}
+
+// envelope wraps an arbitrary value so gob records its concrete type.
+type envelope struct {
+	V any
+}
+
+// Marshal encodes any registered value to bytes.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(envelope{V: v}); err != nil {
+		return nil, fmt.Errorf("core: marshal %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes bytes produced by Marshal.
+func Unmarshal(b []byte) (any, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: unmarshal: %w", err)
+	}
+	return env.V, nil
+}
+
+// ClassOf returns the class string recorded in NameClassPair/Binding
+// results for an object.
+func ClassOf(obj any) string {
+	if obj == nil {
+		return "<nil>"
+	}
+	if _, ok := obj.(Context); ok {
+		return ContextReferenceClass
+	}
+	return fmt.Sprintf("%T", obj)
+}

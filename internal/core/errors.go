@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned (usually wrapped in a *NamingError) by contexts.
+var (
+	// ErrNotFound indicates the name is not bound (NameNotFoundException).
+	ErrNotFound = errors.New("name not found")
+	// ErrAlreadyBound indicates Bind found an existing binding
+	// (NameAlreadyBoundException). JNDI bind has atomic test-and-set
+	// semantics; see §5.1 of the paper for the cost of providing this on
+	// top of Jini's overwrite-only registration.
+	ErrAlreadyBound = errors.New("name already bound")
+	// ErrNotContext indicates an intermediate name component resolved to
+	// a non-context object (NotContextException).
+	ErrNotContext = errors.New("not a context")
+	// ErrContextNotEmpty indicates DestroySubcontext on a non-empty context.
+	ErrContextNotEmpty = errors.New("context not empty")
+	// ErrNotSupported indicates the provider does not implement the
+	// operation (OperationNotSupportedException) — e.g. writes on the
+	// read-only DNS provider.
+	ErrNotSupported = errors.New("operation not supported")
+	// ErrInvalidAttributes indicates malformed attribute modifications.
+	ErrInvalidAttributes = errors.New("invalid attributes")
+	// ErrNoPermission indicates the security layer rejected the operation.
+	ErrNoPermission = errors.New("no permission")
+	// ErrClosed indicates the context (or underlying connection) is closed.
+	ErrClosed = errors.New("context closed")
+	// ErrNoInitialContext indicates no initial context factory is
+	// configured and a non-URL name was used.
+	ErrNoInitialContext = errors.New("no initial context factory configured")
+	// ErrNoProvider indicates no provider is registered for a URL scheme.
+	ErrNoProvider = errors.New("no provider for scheme")
+	// ErrInvalidNameEmpty indicates an operation that requires a
+	// non-empty name was given the empty name.
+	ErrInvalidNameEmpty = errors.New("empty name")
+)
+
+// NamingError decorates a sentinel error with the operation and name, the
+// analog of JNDI NamingException subclasses. Use errors.Is against the
+// sentinels above.
+type NamingError struct {
+	Op   string // "lookup", "bind", ...
+	Name string // name as given by the caller
+	Err  error
+}
+
+func (e *NamingError) Error() string {
+	return fmt.Sprintf("naming: %s %q: %v", e.Op, e.Name, e.Err)
+}
+
+func (e *NamingError) Unwrap() error { return e.Err }
+
+// Errf wraps err in a NamingError for op/name. It returns nil if err is nil
+// and leaves CannotProceedError undecorated (federation machinery needs it
+// at the top level).
+func Errf(op, name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var cpe *CannotProceedError
+	if errors.As(err, &cpe) {
+		return err
+	}
+	return &NamingError{Op: op, Name: name, Err: err}
+}
+
+// InvalidNameError reports a malformed name.
+type InvalidNameError struct {
+	Name   string
+	Reason string
+}
+
+func (e *InvalidNameError) Error() string {
+	return fmt.Sprintf("naming: invalid name %q: %s", e.Name, e.Reason)
+}
+
+// CannotProceedError is the federation continuation signal
+// (CannotProceedException). A provider raises it when resolution reaches an
+// object that belongs to a foreign naming system while name components
+// remain. The initial context resolves Resolved into a context (via the
+// object factories and provider registry) and re-dispatches RemainingName
+// to it — the mechanism behind §6 of the paper.
+type CannotProceedError struct {
+	// Resolved is the object at the federation boundary: a *Reference, a
+	// URL string naming a foreign context, or a Context.
+	Resolved any
+	// RemainingName is the unresolved tail of the composite name.
+	RemainingName Name
+	// AltName names the boundary object, for diagnostics.
+	AltName string
+}
+
+func (e *CannotProceedError) Error() string {
+	return fmt.Sprintf("naming: cannot proceed at %q, remaining %q", e.AltName, e.RemainingName.String())
+}
+
+// LimitExceededError reports a search that hit its count or time limit;
+// partial results are still returned alongside it.
+type LimitExceededError struct {
+	Limit int
+}
+
+func (e *LimitExceededError) Error() string {
+	return fmt.Sprintf("naming: search limit of %d entries exceeded", e.Limit)
+}
+
+// AuthenticationError reports failed authentication with a provider.
+type AuthenticationError struct {
+	Principal string
+	Reason    string
+}
+
+func (e *AuthenticationError) Error() string {
+	return fmt.Sprintf("naming: authentication of %q failed: %s", e.Principal, e.Reason)
+}
+
+// CommunicationError wraps transport-level failures so callers can
+// distinguish them from semantic naming errors.
+type CommunicationError struct {
+	Endpoint string
+	Err      error
+}
+
+func (e *CommunicationError) Error() string {
+	return fmt.Sprintf("naming: communication with %s failed: %v", e.Endpoint, e.Err)
+}
+
+func (e *CommunicationError) Unwrap() error { return e.Err }

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ObjectFactory reconstructs an application object from the data a provider
+// retrieved (typically a *Reference, or a provider-specific stub). It
+// returns (nil, nil) to decline, letting other factories run — the JNDI
+// NamingManager.getObjectInstance contract.
+type ObjectFactory func(obj any, name Name, env map[string]any) (any, error)
+
+// StateFactory translates an application object into the form a provider
+// can store (the dual of ObjectFactory). It returns (nil, nil, nil) to
+// decline. The Jini provider uses a state factory to wrap arbitrary
+// name/value pairs into fake service items (§5.1 "State and Object
+// Factories"); the HDNS provider uses the same pair of abstractions.
+type StateFactory func(obj any, name Name, env map[string]any) (any, *Attributes, error)
+
+var factoryMu sync.RWMutex
+var objectFactories []namedObjectFactory
+var stateFactories []StateFactory
+
+type namedObjectFactory struct {
+	name string
+	f    ObjectFactory
+}
+
+// RegisterObjectFactory registers a named object factory. References whose
+// Factory field matches the name are dispatched directly to it; references
+// with an empty Factory field, and non-reference provider data, are offered
+// to every registered factory in registration order.
+func RegisterObjectFactory(name string, f ObjectFactory) {
+	factoryMu.Lock()
+	defer factoryMu.Unlock()
+	for i, nf := range objectFactories {
+		if nf.name == name {
+			objectFactories[i].f = f
+			return
+		}
+	}
+	objectFactories = append(objectFactories, namedObjectFactory{name, f})
+}
+
+// RegisterStateFactory registers a state factory, consulted in order by
+// GetStateToBind.
+func RegisterStateFactory(f StateFactory) {
+	factoryMu.Lock()
+	defer factoryMu.Unlock()
+	stateFactories = append(stateFactories, f)
+}
+
+// GetObjectInstance converts provider data into an application object:
+//
+//  1. A *Reference with a named factory goes to that factory.
+//  2. A *Reference carrying a URL address to a context is resolved through
+//     the provider registry (federation).
+//  3. A *Reference carrying a link address yields a LinkRef.
+//  4. Otherwise every registered factory is offered the object.
+//  5. If nothing claims it, the object is returned unchanged.
+func GetObjectInstance(obj any, name Name, env map[string]any) (any, error) {
+	ref, isRef := obj.(*Reference)
+	if isRef && ref.Factory != "" {
+		factoryMu.RLock()
+		var f ObjectFactory
+		for _, nf := range objectFactories {
+			if nf.name == ref.Factory {
+				f = nf.f
+				break
+			}
+		}
+		factoryMu.RUnlock()
+		if f == nil {
+			return nil, fmt.Errorf("naming: object factory %q not registered", ref.Factory)
+		}
+		out, err := f(obj, name, env)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil {
+			return out, nil
+		}
+		// Named factory declined; fall through to generic handling.
+	}
+	if isRef {
+		if url, ok := ref.Get(AddrURL); ok {
+			ctx, remaining, err := OpenURL(url, env)
+			if err != nil {
+				return nil, err
+			}
+			if remaining.IsEmpty() {
+				return ctx, nil
+			}
+			return ctx.Lookup(remaining.String())
+		}
+		if target, ok := ref.Get(AddrLink); ok {
+			return LinkRef{Target: target}, nil
+		}
+	}
+	factoryMu.RLock()
+	fs := make([]ObjectFactory, len(objectFactories))
+	for i, nf := range objectFactories {
+		fs[i] = nf.f
+	}
+	factoryMu.RUnlock()
+	for _, f := range fs {
+		out, err := f(obj, name, env)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil {
+			return out, nil
+		}
+	}
+	return obj, nil
+}
+
+// GetStateToBind converts an application object into storable form:
+// Referenceable objects become their Reference; otherwise registered state
+// factories are consulted; otherwise the object passes through unchanged.
+// The returned attributes, if non-nil, are merged over the caller's.
+func GetStateToBind(obj any, name Name, env map[string]any) (any, *Attributes, error) {
+	if r, ok := obj.(Referenceable); ok {
+		ref, err := r.Reference()
+		if err != nil {
+			return nil, nil, err
+		}
+		return ref, nil, nil
+	}
+	if _, ok := obj.(*Reference); ok {
+		return obj, nil, nil
+	}
+	factoryMu.RLock()
+	fs := make([]StateFactory, len(stateFactories))
+	copy(fs, stateFactories)
+	factoryMu.RUnlock()
+	for _, f := range fs {
+		out, attrs, err := f(obj, name, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		if out != nil {
+			return out, attrs, nil
+		}
+	}
+	return obj, nil, nil
+}
+
+// resetFactoriesForTest clears factory registrations (tests only).
+func resetFactoriesForTest() {
+	factoryMu.Lock()
+	defer factoryMu.Unlock()
+	objectFactories = nil
+	stateFactories = nil
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNameBasic(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a/b/c", []string{"a", "b", "c"}},
+		{"a//b", []string{"a", "b"}},
+		{"/a", []string{"a"}},
+		{"a/", []string{"a"}},
+		{`a\/b/c`, []string{"a/b", "c"}},
+		{`a\\b`, []string{`a\b`}},
+	}
+	for _, tc := range tests {
+		n, err := ParseName(tc.in)
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", tc.in, err)
+		}
+		got := n.Components()
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseName(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseName(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestParseNameTrailingEscape(t *testing.T) {
+	if _, err := ParseName(`a\`); err == nil {
+		t.Error("trailing escape should fail")
+	}
+}
+
+func TestNameOps(t *testing.T) {
+	n := MustParseName("a/b/c/d")
+	if n.Size() != 4 || n.First() != "a" || n.Last() != "d" {
+		t.Fatalf("basic accessors wrong: %v", n)
+	}
+	if got := n.Prefix(2).String(); got != "a/b" {
+		t.Errorf("Prefix(2) = %q", got)
+	}
+	if got := n.Suffix(2).String(); got != "c/d" {
+		t.Errorf("Suffix(2) = %q", got)
+	}
+	if !n.StartsWith(MustParseName("a/b")) {
+		t.Error("StartsWith(a/b) = false")
+	}
+	if n.StartsWith(MustParseName("a/x")) {
+		t.Error("StartsWith(a/x) = true")
+	}
+	if got := n.Append("e").String(); got != "a/b/c/d/e" {
+		t.Errorf("Append = %q", got)
+	}
+	if got := n.Concat(MustParseName("x/y")).String(); got != "a/b/c/d/x/y" {
+		t.Errorf("Concat = %q", got)
+	}
+	// Append must not alias the receiver's backing array.
+	p := n.Prefix(2)
+	a1 := p.Append("z1")
+	a2 := p.Append("z2")
+	if a1.Get(2) == "z2" || a2.Get(2) == "z1" {
+		t.Error("Append aliased backing array")
+	}
+	var empty Name
+	if !empty.IsEmpty() || empty.First() != "" || empty.Last() != "" {
+		t.Error("empty name accessors wrong")
+	}
+}
+
+// Property: components -> String -> ParseName round trips for arbitrary
+// component content (including slashes and backslashes).
+func TestNameRoundTripProperty(t *testing.T) {
+	f := func(comps []string) bool {
+		var in []string
+		for _, c := range comps {
+			if c == "" {
+				continue // empty components are dropped by design
+			}
+			in = append(in, c)
+		}
+		n := NewName(in...)
+		back, err := ParseName(n.String())
+		if err != nil {
+			return false
+		}
+		return back.Equal(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsURLName(t *testing.T) {
+	yes := []string{"ldap://host/a", "dns://x", "jini://h:4160", "mem://s", "a+b://x"}
+	no := []string{"", "a/b", "/a", "plain", "1ab://x", ":foo", "a b://x"}
+	for _, s := range yes {
+		if !IsURLName(s) {
+			t.Errorf("IsURLName(%q) = false", s)
+		}
+	}
+	for _, s := range no {
+		if IsURLName(s) {
+			t.Errorf("IsURLName(%q) = true", s)
+		}
+	}
+}
+
+func TestParseURLName(t *testing.T) {
+	u, err := ParseURLName("ldap://host.domain:389/n=jiniServer/jxtaGroup/myObject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Scheme != "ldap" || u.Authority != "host.domain:389" {
+		t.Fatalf("got %+v", u)
+	}
+	if u.Path.String() != "n=jiniServer/jxtaGroup/myObject" {
+		t.Errorf("path = %q", u.Path.String())
+	}
+	if u.String() != "ldap://host.domain:389/n=jiniServer/jxtaGroup/myObject" {
+		t.Errorf("String = %q", u.String())
+	}
+
+	u2, err := ParseURLName("hdns://host2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.Authority != "host2" || !u2.Path.IsEmpty() {
+		t.Errorf("got %+v", u2)
+	}
+	if u2.String() != "hdns://host2" {
+		t.Errorf("String = %q", u2.String())
+	}
+
+	if _, err := ParseURLName("noscheme"); err == nil {
+		t.Error("expected error for missing scheme")
+	}
+	if _, err := ParseURLName("mailto:foo"); err == nil {
+		t.Error("expected error for non-// URL")
+	}
+}
+
+func TestSplitName(t *testing.T) {
+	u, _, isURL, err := SplitName("dns://global/emory/mathcs")
+	if err != nil || !isURL || u.Scheme != "dns" {
+		t.Fatalf("got %+v %v %v", u, isURL, err)
+	}
+	_, n, isURL, err := SplitName("a/b")
+	if err != nil || isURL || n.String() != "a/b" {
+		t.Fatalf("got %v %v %v", n, isURL, err)
+	}
+}
+
+func TestEscapeRoundTripHard(t *testing.T) {
+	cases := [][]string{
+		{`a/b`, `c\d`},
+		{`//`, `\\`},
+		{`plain`},
+		{`tricky\/mix/`, `x`},
+	}
+	for _, comps := range cases {
+		n := NewName(comps...)
+		back := MustParseName(n.String())
+		if !back.Equal(n) {
+			t.Errorf("round trip %q -> %q -> %v", comps, n.String(), back.Components())
+		}
+	}
+	if !strings.Contains(NewName("a/b").String(), `\/`) {
+		t.Error("slash not escaped")
+	}
+}
+
+func TestComposeName(t *testing.T) {
+	got := ComposeName(MustParseName("c/d"), MustParseName("a/b"))
+	if got.String() != "a/b/c/d" {
+		t.Errorf("ComposeName = %q", got.String())
+	}
+	if got := ComposeName(Name{}, MustParseName("a")); got.String() != "a" {
+		t.Errorf("empty name compose = %q", got.String())
+	}
+}
+
+func TestURLNameString(t *testing.T) {
+	u := URLName{Scheme: "hdns", Authority: "h:1", Path: MustParseName("x/y")}
+	if u.String() != "hdns://h:1/x/y" {
+		t.Errorf("String = %q", u.String())
+	}
+}

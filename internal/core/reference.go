@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RefAddr is one address of a Reference: a typed string datum, e.g.
+// {Type: "URL", Content: "ldap://host:389/dc=emory"}.
+type RefAddr struct {
+	Type    string
+	Content string
+}
+
+// Reference is a serializable pointer to an object that lives outside the
+// naming system holding it — the mechanism by which one naming service is
+// bound inside another to form a federation (§6). A Reference records the
+// class of the referenced object, the object factory able to reconstruct
+// it, and a list of addresses.
+type Reference struct {
+	// Class is the type name of the object the reference points to.
+	Class string
+	// Factory names the registered ObjectFactory that reconstructs the
+	// object; empty means "try all registered factories".
+	Factory string
+	// Addrs are the reference addresses, in order.
+	Addrs []RefAddr
+}
+
+// NewReference builds a reference with a single address.
+func NewReference(class, factory, addrType, content string) *Reference {
+	return &Reference{
+		Class:   class,
+		Factory: factory,
+		Addrs:   []RefAddr{{Type: addrType, Content: content}},
+	}
+}
+
+// Get returns the content of the first address of the given type, or
+// ok=false.
+func (r *Reference) Get(addrType string) (string, bool) {
+	for _, a := range r.Addrs {
+		if strings.EqualFold(a.Type, addrType) {
+			return a.Content, true
+		}
+	}
+	return "", false
+}
+
+// Add appends an address.
+func (r *Reference) Add(addrType, content string) {
+	r.Addrs = append(r.Addrs, RefAddr{Type: addrType, Content: content})
+}
+
+func (r *Reference) String() string {
+	parts := make([]string, len(r.Addrs))
+	for i, a := range r.Addrs {
+		parts[i] = a.Type + "=" + a.Content
+	}
+	return fmt.Sprintf("Reference{%s; %s}", r.Class, strings.Join(parts, ", "))
+}
+
+// Referenceable is implemented by objects that can produce a Reference to
+// themselves for binding into foreign naming systems. Provider contexts
+// implement this so that `hdnsCtx.Bind("jiniCtx", jiniCtx)` — the paper's
+// federation linking example — stores a reconstructible pointer.
+type Referenceable interface {
+	Reference() (*Reference, error)
+}
+
+// Address types with well-known meaning to the federation machinery.
+const (
+	// AddrURL holds a URL-form name identifying a foreign context root
+	// (e.g. "jini://host1" or "hdns://host2/a/b").
+	AddrURL = "URL"
+	// AddrLink holds a composite name to be re-resolved from the initial
+	// context (symbolic link).
+	AddrLink = "LinkAddress"
+)
+
+// ContextReferenceClass is the Reference.Class used for references that
+// point at naming contexts of another provider.
+const ContextReferenceClass = "core.Context"
+
+// NewContextReference builds the standard reference for federating a
+// context reachable at the given URL into another naming system.
+func NewContextReference(url string) *Reference {
+	return NewReference(ContextReferenceClass, "", AddrURL, url)
+}
+
+// LinkRef is a symbolic link: a name (optionally a URL name) that is
+// re-resolved relative to the initial context on Lookup. LookupLink
+// retrieves the LinkRef itself.
+type LinkRef struct {
+	// Target is the link target name.
+	Target string
+}
+
+func (l LinkRef) String() string { return "LinkRef{" + l.Target + "}" }
+
+// Reference implements Referenceable for links.
+func (l LinkRef) Reference() (*Reference, error) {
+	return NewReference("core.LinkRef", "", AddrLink, l.Target), nil
+}

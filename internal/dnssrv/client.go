@@ -1,0 +1,257 @@
+package dnssrv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Resolver queries one DNS server over UDP, falling back to TCP on
+// truncation, with retries.
+type Resolver struct {
+	// Server is the host:port of the name server.
+	Server string
+	// Timeout bounds each network attempt (default 2s).
+	Timeout time.Duration
+	// Retries is the number of UDP attempts before failing (default 2).
+	Retries int
+
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+// NewResolver builds a resolver for the given server address.
+func NewResolver(server string) *Resolver {
+	return &Resolver{
+		Server:  server,
+		Timeout: 2 * time.Second,
+		Retries: 2,
+		rnd:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// RcodeError reports a non-zero response code.
+type RcodeError struct {
+	Name  string
+	Rcode uint8
+}
+
+func (e *RcodeError) Error() string {
+	names := map[uint8]string{
+		RcodeFormErr: "FORMERR", RcodeServFail: "SERVFAIL", RcodeNXDomain: "NXDOMAIN",
+		RcodeNotImpl: "NOTIMPL", RcodeRefused: "REFUSED",
+	}
+	n, ok := names[e.Rcode]
+	if !ok {
+		n = fmt.Sprintf("RCODE%d", e.Rcode)
+	}
+	return fmt.Sprintf("dnssrv: query %q: %s", e.Name, n)
+}
+
+// IsNXDomain reports whether err is an NXDOMAIN response.
+func IsNXDomain(err error) bool {
+	var re *RcodeError
+	return errors.As(err, &re) && re.Rcode == RcodeNXDomain
+}
+
+func (r *Resolver) id() uint16 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rnd == nil {
+		r.rnd = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return uint16(r.rnd.Intn(1 << 16))
+}
+
+// Exchange sends a query message and returns the validated response.
+func (r *Resolver) Exchange(req *Message) (*Message, error) {
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	retries := r.Retries
+	if retries <= 0 {
+		retries = 2
+	}
+	pkt, err := req.Encode()
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		resp, err := r.exchangeUDP(pkt, req.Header.ID, timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Header.TC {
+			return r.exchangeTCP(pkt, req.Header.ID, timeout)
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("dnssrv: no response from %s: %w", r.Server, lastErr)
+}
+
+func (r *Resolver) exchangeUDP(pkt []byte, id uint16, timeout time.Duration) (*Message, error) {
+	conn, err := net.DialTimeout("udp", r.Server, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(pkt); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := DecodeMessage(buf[:n])
+		if err != nil {
+			continue // garbled datagram; keep waiting until deadline
+		}
+		if resp.Header.ID != id || !resp.Header.QR {
+			continue // not ours
+		}
+		return resp, nil
+	}
+}
+
+func (r *Resolver) exchangeTCP(pkt []byte, id uint16, timeout time.Duration) (*Message, error) {
+	conn, err := net.DialTimeout("tcp", r.Server, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	out := make([]byte, 2+len(pkt))
+	binary.BigEndian.PutUint16(out, uint16(len(pkt)))
+	copy(out[2:], pkt)
+	if _, err := conn.Write(out); err != nil {
+		return nil, err
+	}
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	respBuf := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(conn, respBuf); err != nil {
+		return nil, err
+	}
+	resp, err := DecodeMessage(respBuf)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.ID != id {
+		return nil, fmt.Errorf("dnssrv: TCP response ID mismatch")
+	}
+	return resp, nil
+}
+
+// Query performs a standard query for (name, type) and returns the answer
+// records. NXDOMAIN and other failure rcodes are returned as *RcodeError.
+func (r *Resolver) Query(name string, qtype uint16) ([]RR, error) {
+	req := &Message{
+		Header:    Header{ID: r.id(), RD: true},
+		Questions: []Question{{Name: CanonicalName(name), Type: qtype, Class: ClassIN}},
+	}
+	resp, err := r.Exchange(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.Rcode != RcodeNoError {
+		return nil, &RcodeError{Name: name, Rcode: resp.Header.Rcode}
+	}
+	return resp.Answers, nil
+}
+
+// LookupTXT returns the TXT strings at name (flattened in record order).
+func (r *Resolver) LookupTXT(name string) ([]string, error) {
+	answers, err := r.Query(name, TypeTXT)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rr := range answers {
+		if rr.Type == TypeTXT {
+			out = append(out, rr.Txt...)
+		}
+	}
+	return out, nil
+}
+
+// LookupA returns the IPv4/IPv6 addresses at name.
+func (r *Resolver) LookupA(name string) ([]string, error) {
+	answers, err := r.Query(name, TypeA)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rr := range answers {
+		if rr.Type == TypeA || rr.Type == TypeAAAA {
+			out = append(out, rr.A.String())
+		}
+	}
+	return out, nil
+}
+
+// TransferZone performs an AXFR-style zone transfer over TCP and returns
+// every record in the zone enclosing name.
+func (r *Resolver) TransferZone(name string) ([]RR, error) {
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	req := &Message{
+		Header:    Header{ID: r.id()},
+		Questions: []Question{{Name: CanonicalName(name), Type: TypeAXFR, Class: ClassIN}},
+	}
+	pkt, err := req.Encode()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.exchangeTCP(pkt, req.Header.ID, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.Rcode != RcodeNoError {
+		return nil, &RcodeError{Name: name, Rcode: resp.Header.Rcode}
+	}
+	return resp.Answers, nil
+}
+
+// SRVTarget is a resolved SRV endpoint.
+type SRVTarget struct {
+	Host     string
+	Port     uint16
+	Priority uint16
+	Weight   uint16
+}
+
+// LookupSRV returns SRV endpoints at name sorted by priority (the paper's
+// "nearest HDNS node" selection reads the lowest-priority target first).
+func (r *Resolver) LookupSRV(name string) ([]SRVTarget, error) {
+	answers, err := r.Query(name, TypeSRV)
+	if err != nil {
+		return nil, err
+	}
+	var out []SRVTarget
+	for _, rr := range answers {
+		if rr.Type == TypeSRV {
+			out = append(out, SRVTarget{Host: rr.Target, Port: rr.Port, Priority: rr.Pref, Weight: rr.Weight})
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Priority < out[j-1].Priority; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}

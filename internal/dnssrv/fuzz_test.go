@@ -1,0 +1,63 @@
+package dnssrv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Random bytes must never panic the wire decoder — a DNS server reads
+// packets straight off a UDP socket.
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(128)
+		buf := make([]byte, n)
+		r.Read(buf)
+		_, _ = DecodeMessage(buf) // errors fine, panics not
+	}
+}
+
+// Mutations of a valid message must never panic the decoder.
+func TestDecodeMutatedMessageNeverPanics(t *testing.T) {
+	m := &Message{
+		Header:    Header{ID: 7, QR: true},
+		Questions: []Question{{Name: "a.example.com.", Type: TypeA, Class: ClassIN}},
+		Answers: []RR{
+			{Name: "a.example.com.", Type: TypeTXT, Class: ClassIN, TTL: 5, Txt: []string{"hello"}},
+			{Name: "b.example.com.", Type: TypeSRV, Class: ClassIN, TTL: 5, Pref: 1, Weight: 2, Port: 3, Target: "c.example.com."},
+		},
+	}
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		mut := append([]byte(nil), wire...)
+		for k := 0; k < 1+r.Intn(4); k++ {
+			mut[r.Intn(len(mut))] = byte(r.Intn(256))
+		}
+		// Random truncation too.
+		if r.Intn(3) == 0 {
+			mut = mut[:r.Intn(len(mut)+1)]
+		}
+		_, _ = DecodeMessage(mut)
+	}
+}
+
+// The server handler must survive arbitrary packets (it is exposed to the
+// network).
+func TestServerHandleRandomPackets(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.AddZone(NewZone("x"))
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, r.Intn(64))
+		r.Read(buf)
+		_ = s.handle(buf)
+	}
+}

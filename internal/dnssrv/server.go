@@ -1,0 +1,254 @@
+package dnssrv
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"gondi/internal/costmodel"
+)
+
+// maxUDPResponse is the classic RFC 1035 UDP payload limit; larger
+// responses are truncated and the client retries over TCP.
+const maxUDPResponse = 512
+
+// Server is an authoritative DNS server over UDP and TCP (the Bind
+// stand-in of §7). It serves one or more zones and answers queries for
+// the closest enclosing zone; names outside every zone are REFUSED.
+type Server struct {
+	mu    sync.RWMutex
+	zones map[string]*Zone // canonical origin -> zone
+	costs *costmodel.Costs
+
+	udp *net.UDPConn
+	tcp net.Listener
+	wg  sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// NewServer starts a server on addr (e.g. "127.0.0.1:0"); UDP and TCP
+// listeners share the chosen port. costs may be nil for full speed.
+func NewServer(addr string, costs *costmodel.Costs) (*Server, error) {
+	tcp, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	udpAddr := tcp.Addr().String()
+	uaddr, err := net.ResolveUDPAddr("udp", udpAddr)
+	if err != nil {
+		tcp.Close()
+		return nil, err
+	}
+	udp, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		tcp.Close()
+		return nil, err
+	}
+	s := &Server{zones: map[string]*Zone{}, costs: costs, udp: udp, tcp: tcp}
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	return s, nil
+}
+
+// Addr returns the server address (host:port), identical for UDP and TCP.
+func (s *Server) Addr() string { return s.tcp.Addr().String() }
+
+// AddZone makes the server authoritative for z.
+func (s *Server) AddZone(z *Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Origin()] = z
+}
+
+// Zone returns the zone with the given origin.
+func (s *Server) Zone(origin string) (*Zone, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	z, ok := s.zones[CanonicalName(origin)]
+	return z, ok
+}
+
+// findZone locates the longest-suffix zone enclosing name.
+func (s *Server) findZone(name string) *Zone {
+	name = CanonicalName(name)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *Zone
+	bestLen := -1
+	for origin, z := range s.zones {
+		if z.Contains(name) && len(origin) > bestLen {
+			best, bestLen = z, len(origin)
+		}
+	}
+	return best
+}
+
+// Close stops the listeners and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.udp.Close()
+		s.tcp.Close()
+	})
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, peer, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.wg.Add(1)
+		go func(pkt []byte, peer *net.UDPAddr) {
+			defer s.wg.Done()
+			resp := s.handle(pkt)
+			if resp == nil {
+				return
+			}
+			if len(resp) > maxUDPResponse {
+				resp = s.truncate(pkt)
+			}
+			_, _ = s.udp.WriteToUDP(resp, peer)
+		}(pkt, peer)
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func(conn net.Conn) {
+			defer s.wg.Done()
+			defer conn.Close()
+			for {
+				var lenBuf [2]byte
+				if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+					return
+				}
+				n := binary.BigEndian.Uint16(lenBuf[:])
+				pkt := make([]byte, n)
+				if _, err := io.ReadFull(conn, pkt); err != nil {
+					return
+				}
+				resp := s.handle(pkt)
+				if resp == nil {
+					return
+				}
+				out := make([]byte, 2+len(resp))
+				binary.BigEndian.PutUint16(out, uint16(len(resp)))
+				copy(out[2:], resp)
+				if _, err := conn.Write(out); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+// truncate produces a TC=1 header-only response for an oversized UDP
+// answer.
+func (s *Server) truncate(reqPkt []byte) []byte {
+	req, err := DecodeMessage(reqPkt)
+	if err != nil {
+		return nil
+	}
+	resp := &Message{Header: Header{
+		ID: req.Header.ID, QR: true, AA: true, TC: true, RD: req.Header.RD,
+	}}
+	resp.Questions = req.Questions
+	out, err := resp.Encode()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// handle processes one wire-format query and returns the wire-format
+// response (nil to drop).
+func (s *Server) handle(pkt []byte) []byte {
+	s.costs.ReadCost(len(pkt))
+	req, err := DecodeMessage(pkt)
+	if err != nil || req.Header.QR || len(req.Questions) == 0 {
+		return nil
+	}
+	resp := &Message{Header: Header{
+		ID: req.Header.ID, QR: true, RD: req.Header.RD,
+	}}
+	resp.Questions = req.Questions
+	if req.Header.Opcode != 0 {
+		resp.Header.Rcode = RcodeNotImpl
+		out, _ := resp.Encode()
+		return out
+	}
+	q := req.Questions[0]
+	z := s.findZone(q.Name)
+	if z == nil {
+		resp.Header.Rcode = RcodeRefused
+		out, _ := resp.Encode()
+		return out
+	}
+	resp.Header.AA = true
+	if q.Type == TypeAXFR {
+		// Zone transfer (used by the JNDI DNS provider's List); the
+		// resolver issues it over TCP where size is unbounded.
+		resp.Answers = z.AllRecords()
+		out, err := resp.Encode()
+		if err != nil {
+			return nil
+		}
+		return out
+	}
+	answers, result := z.Lookup(q.Name, q.Type)
+	resp.Answers = answers
+	switch result {
+	case lookupNXDomain:
+		resp.Header.Rcode = RcodeNXDomain
+		if soa, ok := z.SOA(); ok {
+			resp.Authority = append(resp.Authority, soa)
+		}
+	case lookupNoData:
+		if soa, ok := z.SOA(); ok {
+			resp.Authority = append(resp.Authority, soa)
+		}
+	case lookupHit:
+		// Glue: resolve SRV/MX/NS targets to addresses when known.
+		for _, rr := range answers {
+			if rr.Type == TypeSRV || rr.Type == TypeMX || rr.Type == TypeNS {
+				glue, res := z.Lookup(rr.Target, TypeA)
+				if res == lookupHit {
+					resp.Additional = append(resp.Additional, glue...)
+				}
+			}
+		}
+	}
+	out, err := resp.Encode()
+	if err != nil {
+		resp2 := &Message{Header: Header{ID: req.Header.ID, QR: true, Rcode: RcodeServFail}}
+		out, _ = resp2.Encode()
+	}
+	return out
+}
+
+// HostFromAuthority splits "host:port" tolerantly, defaulting the port.
+func HostFromAuthority(authority, defaultPort string) string {
+	if authority == "" {
+		return "127.0.0.1:" + defaultPort
+	}
+	if strings.Contains(authority, ":") {
+		return authority
+	}
+	return authority + ":" + defaultPort
+}

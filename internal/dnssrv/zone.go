@@ -1,0 +1,287 @@
+package dnssrv
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Zone is an authoritative zone: a set of RRs under one origin. It is safe
+// for concurrent use.
+type Zone struct {
+	origin string // canonical
+	mu     sync.RWMutex
+	// records[name][type] -> RRs
+	records map[string]map[uint16][]RR
+	serial  uint32
+}
+
+// NewZone creates a zone rooted at origin and installs a default SOA.
+func NewZone(origin string) *Zone {
+	z := &Zone{
+		origin:  CanonicalName(origin),
+		records: map[string]map[uint16][]RR{},
+		serial:  1,
+	}
+	z.Add(RR{
+		Name: z.origin, Type: TypeSOA, Class: ClassIN, TTL: 3600,
+		SOA: &SOAData{
+			MName: "ns1." + strings.TrimPrefix(z.origin, "."), RName: "admin." + strings.TrimPrefix(z.origin, "."),
+			Serial: 1, Refresh: 3600, Retry: 600, Expire: 86400, Minimum: 60,
+		},
+	})
+	return z
+}
+
+// Origin returns the canonical zone origin.
+func (z *Zone) Origin() string { return z.origin }
+
+// Contains reports whether a canonical name falls inside the zone.
+func (z *Zone) Contains(name string) bool {
+	name = CanonicalName(name)
+	if z.origin == "." {
+		return true
+	}
+	return name == z.origin || strings.HasSuffix(name, "."+z.origin)
+}
+
+// Add inserts a record (name is canonicalized).
+func (z *Zone) Add(rr RR) {
+	rr.Name = CanonicalName(rr.Name)
+	if rr.Class == 0 {
+		rr.Class = ClassIN
+	}
+	if rr.TTL == 0 {
+		rr.TTL = 60
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	byType, ok := z.records[rr.Name]
+	if !ok {
+		byType = map[uint16][]RR{}
+		z.records[rr.Name] = byType
+	}
+	byType[rr.Type] = append(byType[rr.Type], rr)
+	z.serial++
+}
+
+// Remove deletes all records of the given type at name; TypeANY removes
+// the whole node.
+func (z *Zone) Remove(name string, typ uint16) {
+	name = CanonicalName(name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if typ == TypeANY {
+		delete(z.records, name)
+	} else if byType, ok := z.records[name]; ok {
+		delete(byType, typ)
+		if len(byType) == 0 {
+			delete(z.records, name)
+		}
+	}
+	z.serial++
+}
+
+// Replace atomically swaps the records of one type at a name.
+func (z *Zone) Replace(name string, typ uint16, rrs ...RR) {
+	name = CanonicalName(name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	byType, ok := z.records[name]
+	if !ok {
+		byType = map[uint16][]RR{}
+		z.records[name] = byType
+	}
+	out := make([]RR, 0, len(rrs))
+	for _, rr := range rrs {
+		rr.Name = name
+		rr.Type = typ
+		if rr.Class == 0 {
+			rr.Class = ClassIN
+		}
+		if rr.TTL == 0 {
+			rr.TTL = 60
+		}
+		out = append(out, rr)
+	}
+	if len(out) == 0 {
+		delete(byType, typ)
+		if len(byType) == 0 {
+			delete(z.records, name)
+		}
+	} else {
+		byType[typ] = out
+	}
+	z.serial++
+}
+
+// Serial returns the zone change counter.
+func (z *Zone) Serial() uint32 {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.serial
+}
+
+// lookupResult classifies an authoritative lookup.
+type lookupResult int
+
+const (
+	lookupHit lookupResult = iota
+	lookupNoData
+	lookupNXDomain
+)
+
+// Lookup answers a question authoritatively, chasing CNAME chains inside
+// the zone. It distinguishes NXDOMAIN (no records at or below the name)
+// from NODATA (name exists, type absent).
+func (z *Zone) Lookup(qname string, qtype uint16) ([]RR, lookupResult) {
+	qname = CanonicalName(qname)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+
+	var answers []RR
+	seen := map[string]bool{}
+	name := qname
+	for hop := 0; hop < 16; hop++ {
+		if seen[name] {
+			break
+		}
+		seen[name] = true
+		byType, exists := z.records[name]
+		if exists {
+			if qtype == TypeANY {
+				for _, rrs := range byType {
+					answers = append(answers, rrs...)
+				}
+				return answers, lookupHit
+			}
+			if rrs, ok := byType[qtype]; ok {
+				answers = append(answers, rrs...)
+				return answers, lookupHit
+			}
+			if cn, ok := byType[TypeCNAME]; ok && len(cn) > 0 {
+				answers = append(answers, cn...)
+				name = CanonicalName(cn[0].Target)
+				if !z.Contains(name) {
+					return answers, lookupHit
+				}
+				continue
+			}
+			return answers, lookupNoData
+		}
+		// Name itself absent: empty non-terminal check.
+		if z.hasDescendantLocked(name) {
+			return answers, lookupNoData
+		}
+		return answers, lookupNXDomain
+	}
+	return answers, lookupHit
+}
+
+func (z *Zone) hasDescendantLocked(name string) bool {
+	suffix := "." + name
+	for n := range z.records {
+		if strings.HasSuffix(n, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Exists reports whether a name exists in the zone (has records or
+// descendants).
+func (z *Zone) Exists(name string) bool {
+	name = CanonicalName(name)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	if _, ok := z.records[name]; ok {
+		return true
+	}
+	return z.hasDescendantLocked(name)
+}
+
+// Children returns the distinct next labels below name, sorted — the basis
+// for the DNS provider's List operation.
+func (z *Zone) Children(name string) []string {
+	name = CanonicalName(name)
+	suffix := "." + name
+	if name == "." {
+		suffix = "."
+	}
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	set := map[string]bool{}
+	for n := range z.records {
+		if n == name || !strings.HasSuffix(n, suffix) {
+			continue
+		}
+		rest := strings.TrimSuffix(n, suffix)
+		// The immediate child label is the last dot-separated piece.
+		if i := strings.LastIndexByte(rest, '.'); i >= 0 {
+			rest = rest[i+1:]
+		}
+		if rest != "" {
+			set[rest] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RecordsAt returns copies of all records at a name, sorted by type — the
+// basis for the DNS provider's GetAttributes.
+func (z *Zone) RecordsAt(name string) []RR {
+	name = CanonicalName(name)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	byType, ok := z.records[name]
+	if !ok {
+		return nil
+	}
+	var out []RR
+	for _, rrs := range byType {
+		out = append(out, rrs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
+	return out
+}
+
+// AllRecords returns every record in the zone, SOA first (AXFR order).
+func (z *Zone) AllRecords() []RR {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	var out []RR
+	if byType, ok := z.records[z.origin]; ok {
+		out = append(out, byType[TypeSOA]...)
+	}
+	names := make([]string, 0, len(z.records))
+	for n := range z.records {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for typ, rrs := range z.records[n] {
+			if n == z.origin && typ == TypeSOA {
+				continue
+			}
+			out = append(out, rrs...)
+		}
+	}
+	return out
+}
+
+// SOA returns the zone's SOA record, if present.
+func (z *Zone) SOA() (RR, bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	if byType, ok := z.records[z.origin]; ok {
+		if rrs, ok := byType[TypeSOA]; ok && len(rrs) > 0 {
+			return rrs[0], true
+		}
+	}
+	return RR{}, false
+}

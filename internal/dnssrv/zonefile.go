@@ -1,0 +1,173 @@
+package dnssrv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// ParseZoneFile reads a simplified RFC 1035 master-file format:
+//
+//	$ORIGIN global.
+//	; comments start with ';'
+//	emory           A     170.140.0.1
+//	emory           TXT   "Emory University"
+//	mathcs.emory    300 TXT "Math & CS"     ; optional TTL before type
+//	www.emory       CNAME mathcs.emory
+//	_hdns._tcp      SRV   10 5 7001 node1
+//	@               NS    ns1
+//	mail            MX    10 smtp.emory
+//
+// Names without a trailing dot are relative to the origin; "@" denotes
+// the origin itself. Quoted TXT strings may contain spaces.
+func ParseZoneFile(r io.Reader) (*Zone, error) {
+	scanner := bufio.NewScanner(r)
+	var zone *Zone
+	origin := ""
+	lineNo := 0
+	abs := func(name string) string {
+		if name == "@" || name == "" {
+			return origin
+		}
+		if strings.HasSuffix(name, ".") {
+			return name
+		}
+		return name + "." + origin
+	}
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 && !insideQuotes(line, i) {
+			line = line[:i]
+		}
+		fields := tokenize(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if strings.EqualFold(fields[0], "$ORIGIN") {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("zonefile:%d: $ORIGIN needs one argument", lineNo)
+			}
+			origin = CanonicalName(fields[1])
+			zone = NewZone(origin)
+			continue
+		}
+		if zone == nil {
+			return nil, fmt.Errorf("zonefile:%d: record before $ORIGIN", lineNo)
+		}
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("zonefile:%d: too few fields", lineNo)
+		}
+		name := abs(fields[0])
+		rest := fields[1:]
+		ttl := uint32(0)
+		if n, err := strconv.ParseUint(rest[0], 10, 32); err == nil {
+			ttl = uint32(n)
+			rest = rest[1:]
+			if len(rest) < 2 {
+				return nil, fmt.Errorf("zonefile:%d: too few fields after TTL", lineNo)
+			}
+		}
+		typ := strings.ToUpper(rest[0])
+		args := rest[1:]
+		rr := RR{Name: name, TTL: ttl, Class: ClassIN}
+		switch typ {
+		case "A", "AAAA":
+			addr, err := netip.ParseAddr(args[0])
+			if err != nil {
+				return nil, fmt.Errorf("zonefile:%d: bad address %q", lineNo, args[0])
+			}
+			rr.Type = TypeA
+			if addr.Is6() {
+				rr.Type = TypeAAAA
+			}
+			rr.A = addr
+		case "TXT":
+			rr.Type = TypeTXT
+			rr.Txt = args
+		case "CNAME", "NS", "PTR":
+			types := map[string]uint16{"CNAME": TypeCNAME, "NS": TypeNS, "PTR": TypePTR}
+			rr.Type = types[typ]
+			rr.Target = abs(args[0])
+		case "MX":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("zonefile:%d: MX needs pref and target", lineNo)
+			}
+			pref, err := strconv.ParseUint(args[0], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("zonefile:%d: bad MX pref %q", lineNo, args[0])
+			}
+			rr.Type = TypeMX
+			rr.Pref = uint16(pref)
+			rr.Target = abs(args[1])
+		case "SRV":
+			if len(args) != 4 {
+				return nil, fmt.Errorf("zonefile:%d: SRV needs prio weight port target", lineNo)
+			}
+			var nums [3]uint16
+			for i := 0; i < 3; i++ {
+				v, err := strconv.ParseUint(args[i], 10, 16)
+				if err != nil {
+					return nil, fmt.Errorf("zonefile:%d: bad SRV field %q", lineNo, args[i])
+				}
+				nums[i] = uint16(v)
+			}
+			rr.Type = TypeSRV
+			rr.Pref, rr.Weight, rr.Port = nums[0], nums[1], nums[2]
+			rr.Target = abs(args[3])
+		default:
+			return nil, fmt.Errorf("zonefile:%d: unsupported type %q", lineNo, typ)
+		}
+		zone.Add(rr)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if zone == nil {
+		return nil, fmt.Errorf("zonefile: no $ORIGIN directive")
+	}
+	return zone, nil
+}
+
+// tokenize splits on whitespace but keeps double-quoted strings together.
+func tokenize(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			if inQuote {
+				out = append(out, cur.String()) // may be empty string
+				cur.Reset()
+			}
+			inQuote = !inQuote
+		case !inQuote && (c == ' ' || c == '\t'):
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+func insideQuotes(line string, pos int) bool {
+	quotes := 0
+	for i := 0; i < pos; i++ {
+		if line[i] == '"' {
+			quotes++
+		}
+	}
+	return quotes%2 == 1
+}

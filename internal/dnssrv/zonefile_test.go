@@ -1,0 +1,89 @@
+package dnssrv
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleZone = `
+; the paper's running example
+$ORIGIN global.
+@               NS    ns1
+ns1             A     10.0.0.53
+emory           A     170.140.0.1
+emory           TXT   "Emory University"
+mathcs.emory    300 TXT "Math & CS"
+dcl.mathcs.emory TXT  "hdns://127.0.0.1:7001"
+www.emory       CNAME mathcs.emory
+_hdns._tcp      SRV   10 5 7001 ns1
+mail            MX    10 smtp.emory
+six             AAAA  fd00::1
+`
+
+func TestParseZoneFile(t *testing.T) {
+	z, err := ParseZoneFile(strings.NewReader(sampleZone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Origin() != "global." {
+		t.Errorf("origin = %q", z.Origin())
+	}
+	rrs, res := z.Lookup("emory.global", TypeA)
+	if res != lookupHit || rrs[0].A.String() != "170.140.0.1" {
+		t.Errorf("A = %+v %v", rrs, res)
+	}
+	rrs, _ = z.Lookup("mathcs.emory.global", TypeTXT)
+	if len(rrs) != 1 || rrs[0].Txt[0] != "Math & CS" || rrs[0].TTL != 300 {
+		t.Errorf("TXT = %+v", rrs)
+	}
+	rrs, _ = z.Lookup("www.emory.global", TypeTXT)
+	if len(rrs) != 2 || rrs[0].Type != TypeCNAME {
+		t.Errorf("CNAME chase = %+v", rrs)
+	}
+	rrs, _ = z.Lookup("_hdns._tcp.global", TypeSRV)
+	if len(rrs) != 1 || rrs[0].Port != 7001 || rrs[0].Target != "ns1.global." {
+		t.Errorf("SRV = %+v", rrs)
+	}
+	rrs, _ = z.Lookup("mail.global", TypeMX)
+	if len(rrs) != 1 || rrs[0].Pref != 10 || rrs[0].Target != "smtp.emory.global." {
+		t.Errorf("MX = %+v", rrs)
+	}
+	rrs, _ = z.Lookup("six.global", TypeAAAA)
+	if len(rrs) != 1 || rrs[0].A.String() != "fd00::1" {
+		t.Errorf("AAAA = %+v", rrs)
+	}
+	rrs, _ = z.Lookup("global", TypeNS)
+	if len(rrs) != 1 || rrs[0].Target != "ns1.global." {
+		t.Errorf("NS at origin = %+v", rrs)
+	}
+}
+
+func TestParseZoneFileQuotedSemicolon(t *testing.T) {
+	z, err := ParseZoneFile(strings.NewReader("$ORIGIN x.\na TXT \"semi ; colon\" ; trailing comment\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrs, _ := z.Lookup("a.x", TypeTXT)
+	if len(rrs) != 1 || rrs[0].Txt[0] != "semi ; colon" {
+		t.Errorf("TXT = %+v", rrs)
+	}
+}
+
+func TestParseZoneFileErrors(t *testing.T) {
+	cases := []string{
+		"a TXT x\n",                     // record before $ORIGIN
+		"$ORIGIN\n",                     // missing argument
+		"$ORIGIN x.\na BOGUS y\n",       // unknown type
+		"$ORIGIN x.\na A not-an-ip\n",   // bad address
+		"$ORIGIN x.\na SRV 1 2 3\n",     // short SRV
+		"$ORIGIN x.\na MX ten target\n", // bad MX pref
+		"$ORIGIN x.\na\n",               // too few fields
+		"",                              // empty file
+		"$ORIGIN x.\na 300\n",           // TTL but no type
+	}
+	for i, c := range cases {
+		if _, err := ParseZoneFile(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d parsed", i)
+		}
+	}
+}

@@ -1,0 +1,534 @@
+// Package filter implements RFC 4515 (LDAP string) search filters: parsing,
+// string rendering, and evaluation against attribute sets.
+//
+// The filter grammar supported is the common subset used by JNDI directory
+// searches and LDAP:
+//
+//	filter     = "(" filtercomp ")"
+//	filtercomp = and / or / not / item
+//	and        = "&" filterlist
+//	or         = "|" filterlist
+//	not        = "!" filter
+//	item       = simple / present / substring
+//	simple     = attr ("=" / "~=" / ">=" / "<=") value
+//	present    = attr "=*"
+//	substring  = attr "=" [initial] "*" *(any "*") [final]
+//
+// Values may escape special characters with a backslash followed by two hex
+// digits (RFC 4515 §3), e.g. `\2a` for '*'.
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op identifies a filter node kind.
+type Op int
+
+// Filter node kinds.
+const (
+	OpAnd Op = iota
+	OpOr
+	OpNot
+	OpEqual
+	OpApprox
+	OpGreaterEq
+	OpLessEq
+	OpPresent
+	OpSubstring
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAnd:
+		return "&"
+	case OpOr:
+		return "|"
+	case OpNot:
+		return "!"
+	case OpEqual:
+		return "="
+	case OpApprox:
+		return "~="
+	case OpGreaterEq:
+		return ">="
+	case OpLessEq:
+		return "<="
+	case OpPresent:
+		return "=*"
+	case OpSubstring:
+		return "=(substr)"
+	default:
+		return "?"
+	}
+}
+
+// Node is a parsed filter expression tree node.
+type Node struct {
+	Op       Op
+	Children []*Node // for OpAnd, OpOr, OpNot
+	Attr     string  // for leaf ops
+	Value    string  // for simple ops
+	// Substring pieces: Initial and Final may be empty; Any holds the
+	// middle fragments, in order.
+	Initial string
+	Any     []string
+	Final   string
+}
+
+// SyntaxError describes a filter parse failure and where it occurred.
+type SyntaxError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("filter: syntax error at %d in %q: %s", e.Pos, e.Input, e.Msg)
+}
+
+// Parse parses an RFC 4515 filter string into a Node tree.
+func Parse(s string) (*Node, error) {
+	p := &parser{in: s}
+	p.skipSpace()
+	n, err := p.parseFilter()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, p.errf("trailing input")
+	}
+	return n, nil
+}
+
+// MustParse is Parse but panics on error; intended for constant filters.
+func MustParse(s string) *Node {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Input: p.in, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) parseFilter() (*Node, error) {
+	if p.pos >= len(p.in) || p.in[p.pos] != '(' {
+		return nil, p.errf("expected '('")
+	}
+	p.pos++
+	n, err := p.parseComp()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos >= len(p.in) || p.in[p.pos] != ')' {
+		return nil, p.errf("expected ')'")
+	}
+	p.pos++
+	return n, nil
+}
+
+func (p *parser) parseComp() (*Node, error) {
+	if p.pos >= len(p.in) {
+		return nil, p.errf("unexpected end of filter")
+	}
+	switch p.in[p.pos] {
+	case '&', '|':
+		op := OpAnd
+		if p.in[p.pos] == '|' {
+			op = OpOr
+		}
+		p.pos++
+		var kids []*Node
+		for p.pos < len(p.in) && p.in[p.pos] == '(' {
+			k, err := p.parseFilter()
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, k)
+		}
+		if len(kids) == 0 {
+			return nil, p.errf("empty %s list", op)
+		}
+		return &Node{Op: op, Children: kids}, nil
+	case '!':
+		p.pos++
+		k, err := p.parseFilter()
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Op: OpNot, Children: []*Node{k}}, nil
+	default:
+		return p.parseItem()
+	}
+}
+
+func isAttrChar(c byte) bool {
+	return c == '-' || c == '.' || c == ';' ||
+		(c >= '0' && c <= '9') || (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')
+}
+
+func (p *parser) parseItem() (*Node, error) {
+	start := p.pos
+	for p.pos < len(p.in) && isAttrChar(p.in[p.pos]) {
+		p.pos++
+	}
+	attr := p.in[start:p.pos]
+	if attr == "" {
+		return nil, p.errf("expected attribute name")
+	}
+	if p.pos >= len(p.in) {
+		return nil, p.errf("expected operator")
+	}
+	var op Op
+	switch p.in[p.pos] {
+	case '=':
+		op = OpEqual
+		p.pos++
+	case '~':
+		op = OpApprox
+		p.pos++
+		if p.pos >= len(p.in) || p.in[p.pos] != '=' {
+			return nil, p.errf("expected '=' after '~'")
+		}
+		p.pos++
+	case '>':
+		op = OpGreaterEq
+		p.pos++
+		if p.pos >= len(p.in) || p.in[p.pos] != '=' {
+			return nil, p.errf("expected '=' after '>'")
+		}
+		p.pos++
+	case '<':
+		op = OpLessEq
+		p.pos++
+		if p.pos >= len(p.in) || p.in[p.pos] != '=' {
+			return nil, p.errf("expected '=' after '<'")
+		}
+		p.pos++
+	default:
+		return nil, p.errf("expected operator, got %q", p.in[p.pos])
+	}
+
+	// Scan the value up to the closing ')', honouring escapes and
+	// collecting '*' positions (only meaningful for OpEqual).
+	var frag strings.Builder
+	var frags []string
+	stars := 0
+	for p.pos < len(p.in) && p.in[p.pos] != ')' {
+		c := p.in[p.pos]
+		switch c {
+		case '(':
+			return nil, p.errf("unescaped '(' in value")
+		case '\\':
+			if p.pos+2 >= len(p.in) {
+				return nil, p.errf("truncated escape")
+			}
+			v, err := strconv.ParseUint(p.in[p.pos+1:p.pos+3], 16, 8)
+			if err != nil {
+				return nil, p.errf("bad escape %q", p.in[p.pos:p.pos+3])
+			}
+			frag.WriteByte(byte(v))
+			p.pos += 3
+		case '*':
+			if op != OpEqual {
+				return nil, p.errf("'*' only valid with '='")
+			}
+			frags = append(frags, frag.String())
+			frag.Reset()
+			stars++
+			p.pos++
+		default:
+			frag.WriteByte(c)
+			p.pos++
+		}
+	}
+	frags = append(frags, frag.String())
+
+	if stars == 0 {
+		if op == OpEqual && frags[0] == "" {
+			return nil, p.errf("empty value")
+		}
+		return &Node{Op: op, Attr: attr, Value: frags[0]}, nil
+	}
+	// Presence: attr=*
+	if stars == 1 && frags[0] == "" && frags[1] == "" {
+		return &Node{Op: OpPresent, Attr: attr}, nil
+	}
+	n := &Node{Op: OpSubstring, Attr: attr, Initial: frags[0], Final: frags[len(frags)-1]}
+	for _, f := range frags[1 : len(frags)-1] {
+		if f == "" {
+			continue // consecutive '*' collapse
+		}
+		n.Any = append(n.Any, f)
+	}
+	return n, nil
+}
+
+// escapeValue escapes RFC 4515 special characters in a literal value.
+func escapeValue(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '*', '(', ')', '\\', 0:
+			fmt.Fprintf(&b, `\%02x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// String renders the node back to RFC 4515 filter syntax. Parse(n.String())
+// yields a tree equivalent to n.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	b.WriteByte('(')
+	switch n.Op {
+	case OpAnd, OpOr:
+		if n.Op == OpAnd {
+			b.WriteByte('&')
+		} else {
+			b.WriteByte('|')
+		}
+		for _, k := range n.Children {
+			k.render(b)
+		}
+	case OpNot:
+		b.WriteByte('!')
+		n.Children[0].render(b)
+	case OpEqual:
+		b.WriteString(n.Attr)
+		b.WriteByte('=')
+		b.WriteString(escapeValue(n.Value))
+	case OpApprox:
+		b.WriteString(n.Attr)
+		b.WriteString("~=")
+		b.WriteString(escapeValue(n.Value))
+	case OpGreaterEq:
+		b.WriteString(n.Attr)
+		b.WriteString(">=")
+		b.WriteString(escapeValue(n.Value))
+	case OpLessEq:
+		b.WriteString(n.Attr)
+		b.WriteString("<=")
+		b.WriteString(escapeValue(n.Value))
+	case OpPresent:
+		b.WriteString(n.Attr)
+		b.WriteString("=*")
+	case OpSubstring:
+		b.WriteString(n.Attr)
+		b.WriteByte('=')
+		b.WriteString(escapeValue(n.Initial))
+		b.WriteByte('*')
+		for _, a := range n.Any {
+			b.WriteString(escapeValue(a))
+			b.WriteByte('*')
+		}
+		b.WriteString(escapeValue(n.Final))
+	}
+	b.WriteByte(')')
+}
+
+// Values supplies attribute values for evaluation. Attribute name matching is
+// the caller's concern; implementations should treat names case-insensitively
+// to match LDAP semantics.
+type Values interface {
+	// Get returns the values of the named attribute, or nil if absent.
+	Get(attr string) []string
+}
+
+// MapValues adapts a map[string][]string to the Values interface with
+// case-insensitive attribute names.
+type MapValues map[string][]string
+
+// Get implements Values.
+func (m MapValues) Get(attr string) []string {
+	if v, ok := m[attr]; ok {
+		return v
+	}
+	lower := strings.ToLower(attr)
+	for k, v := range m {
+		if strings.ToLower(k) == lower {
+			return v
+		}
+	}
+	return nil
+}
+
+// Matches evaluates the filter against the given attribute values.
+// Comparison for >= and <= is numeric when both sides parse as integers,
+// otherwise lexicographic (case-insensitive). Approximate match (~=) is a
+// case-insensitive, space-insensitive equality.
+func (n *Node) Matches(vals Values) bool {
+	switch n.Op {
+	case OpAnd:
+		for _, k := range n.Children {
+			if !k.Matches(vals) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, k := range n.Children {
+			if k.Matches(vals) {
+				return true
+			}
+		}
+		return false
+	case OpNot:
+		return !n.Children[0].Matches(vals)
+	case OpPresent:
+		return len(vals.Get(n.Attr)) > 0
+	case OpEqual:
+		for _, v := range vals.Get(n.Attr) {
+			if strings.EqualFold(v, n.Value) {
+				return true
+			}
+		}
+		return false
+	case OpApprox:
+		want := normalizeApprox(n.Value)
+		for _, v := range vals.Get(n.Attr) {
+			if normalizeApprox(v) == want {
+				return true
+			}
+		}
+		return false
+	case OpGreaterEq:
+		for _, v := range vals.Get(n.Attr) {
+			if compareOrdered(v, n.Value) >= 0 {
+				return true
+			}
+		}
+		return false
+	case OpLessEq:
+		for _, v := range vals.Get(n.Attr) {
+			if compareOrdered(v, n.Value) <= 0 {
+				return true
+			}
+		}
+		return false
+	case OpSubstring:
+		for _, v := range vals.Get(n.Attr) {
+			if matchSubstring(v, n.Initial, n.Any, n.Final) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func normalizeApprox(s string) string {
+	return strings.ToLower(strings.Join(strings.Fields(s), " "))
+}
+
+func compareOrdered(a, b string) int {
+	ai, aerr := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+	bi, berr := strconv.ParseInt(strings.TrimSpace(b), 10, 64)
+	if aerr == nil && berr == nil {
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(strings.ToLower(a), strings.ToLower(b))
+}
+
+func matchSubstring(v, initial string, any []string, final string) bool {
+	lv := strings.ToLower(v)
+	if initial != "" {
+		li := strings.ToLower(initial)
+		if !strings.HasPrefix(lv, li) {
+			return false
+		}
+		lv = lv[len(li):]
+	}
+	for _, a := range any {
+		la := strings.ToLower(a)
+		i := strings.Index(lv, la)
+		if i < 0 {
+			return false
+		}
+		lv = lv[i+len(la):]
+	}
+	if final != "" {
+		return strings.HasSuffix(lv, strings.ToLower(final))
+	}
+	return true
+}
+
+// Attributes returns the sorted set of attribute names referenced by the
+// filter. Useful for providers that pre-fetch attributes.
+func (n *Node) Attributes() []string {
+	set := map[string]bool{}
+	n.walk(func(m *Node) {
+		if m.Attr != "" {
+			set[strings.ToLower(m.Attr)] = true
+		}
+	})
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (n *Node) walk(f func(*Node)) {
+	f(n)
+	for _, k := range n.Children {
+		k.walk(f)
+	}
+}
+
+// Equal reports whether two filter trees are structurally identical.
+func (n *Node) Equal(o *Node) bool {
+	if n == nil || o == nil {
+		return n == o
+	}
+	if n.Op != o.Op || n.Attr != o.Attr || n.Value != o.Value ||
+		n.Initial != o.Initial || n.Final != o.Final ||
+		len(n.Any) != len(o.Any) || len(n.Children) != len(o.Children) {
+		return false
+	}
+	for i := range n.Any {
+		if n.Any[i] != o.Any[i] {
+			return false
+		}
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,311 @@
+package filter
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimple(t *testing.T) {
+	tests := []struct {
+		in   string
+		op   Op
+		attr string
+		val  string
+	}{
+		{"(cn=alice)", OpEqual, "cn", "alice"},
+		{"(cn~=al ice)", OpApprox, "cn", "al ice"},
+		{"(age>=30)", OpGreaterEq, "age", "30"},
+		{"(age<=5)", OpLessEq, "age", "5"},
+		{"(objectClass=*)", OpPresent, "objectClass", ""},
+	}
+	for _, tc := range tests {
+		n, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if n.Op != tc.op || n.Attr != tc.attr || n.Value != tc.val {
+			t.Errorf("Parse(%q) = %+v, want op=%v attr=%q val=%q", tc.in, n, tc.op, tc.attr, tc.val)
+		}
+	}
+}
+
+func TestParseComposite(t *testing.T) {
+	n, err := Parse("(&(objectClass=person)(|(cn=a)(cn=b))(!(dept=hr)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpAnd || len(n.Children) != 3 {
+		t.Fatalf("got %+v", n)
+	}
+	if n.Children[1].Op != OpOr || len(n.Children[1].Children) != 2 {
+		t.Errorf("or branch wrong: %+v", n.Children[1])
+	}
+	if n.Children[2].Op != OpNot {
+		t.Errorf("not branch wrong: %+v", n.Children[2])
+	}
+}
+
+func TestParseSubstring(t *testing.T) {
+	n, err := Parse("(cn=ali*ce*bob)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpSubstring || n.Initial != "ali" || n.Final != "bob" || !reflect.DeepEqual(n.Any, []string{"ce"}) {
+		t.Fatalf("got %+v", n)
+	}
+	// Leading and trailing stars.
+	n, err = Parse("(cn=*mid*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpSubstring || n.Initial != "" || n.Final != "" || !reflect.DeepEqual(n.Any, []string{"mid"}) {
+		t.Fatalf("got %+v", n)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	n, err := Parse(`(cn=a\2ab)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Op != OpEqual || n.Value != "a*b" {
+		t.Fatalf("got %+v", n)
+	}
+	n, err = Parse(`(cn=\28paren\29)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Value != "(paren)" {
+		t.Fatalf("got %q", n.Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "cn=a", "(cn=a", "(cn=a))", "(=a)", "(cn)", "(&)", "(|)",
+		"(cn=a)(cn=b)", "(!(cn=a)(cn=b))", `(cn=\2)`, `(cn=\zz)`,
+		"(age>=x*)", "(cn=(a))", "(cn=)",
+	}
+	for _, s := range bad {
+		if n, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded: %+v", s, n)
+		}
+	}
+}
+
+func TestMatches(t *testing.T) {
+	vals := MapValues{
+		"cn":          {"Alice Smith"},
+		"age":         {"34"},
+		"objectClass": {"person", "top"},
+		"dept":        {"engineering"},
+	}
+	tests := []struct {
+		f    string
+		want bool
+	}{
+		{"(cn=alice smith)", true}, // case-insensitive
+		{"(cn=bob)", false},
+		{"(cn=Ali*)", true},
+		{"(cn=*Smith)", true},
+		{"(cn=*ice*Smi*)", true},
+		{"(cn=*zzz*)", false},
+		{"(age>=30)", true},
+		{"(age>=35)", false},
+		{"(age<=34)", true},
+		{"(age>=9)", true}, // numeric, not lexicographic
+		{"(objectClass=*)", true},
+		{"(missing=*)", false},
+		{"(cn~=ALICE   SMITH)", true},
+		{"(&(objectClass=person)(age>=30))", true},
+		{"(&(objectClass=person)(age>=99))", false},
+		{"(|(cn=bob)(dept=engineering))", true},
+		{"(!(dept=hr))", true},
+		{"(!(dept=engineering))", false},
+	}
+	for _, tc := range tests {
+		n, err := Parse(tc.f)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.f, err)
+		}
+		if got := n.Matches(vals); got != tc.want {
+			t.Errorf("%q matches = %v, want %v", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	n := MustParse("(&(A=1)(|(b=2)(a=3))(!(C=*)))")
+	got := n.Attributes()
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Attributes() = %v, want %v", got, want)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"(cn=alice)",
+		"(&(a=1)(b=2))",
+		"(|(a=1)(!(b=2)))",
+		"(cn=ab*cd*ef)",
+		"(cn=*x*)",
+		"(objectClass=*)",
+		"(age>=10)",
+		`(cn=we\28ird\29\2a)`,
+	}
+	for _, s := range cases {
+		n := MustParse(s)
+		n2, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", s, n.String(), err)
+		}
+		if !n.Equal(n2) {
+			t.Errorf("round trip of %q: %q != %q", s, n.String(), n2.String())
+		}
+	}
+}
+
+// randomNode builds a random filter tree for property testing.
+func randomNode(r *rand.Rand, depth int) *Node {
+	attrs := []string{"cn", "sn", "age", "dept", "objectClass"}
+	randVal := func() string {
+		n := r.Intn(6) + 1
+		b := make([]byte, n)
+		const alphabet = "abcXYZ019 *()\\-"
+		for i := range b {
+			b[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(5) {
+		case 0:
+			return &Node{Op: OpEqual, Attr: attrs[r.Intn(len(attrs))], Value: randVal()}
+		case 1:
+			return &Node{Op: OpPresent, Attr: attrs[r.Intn(len(attrs))]}
+		case 2:
+			return &Node{Op: OpGreaterEq, Attr: attrs[r.Intn(len(attrs))], Value: randVal()}
+		case 3:
+			n := &Node{Op: OpSubstring, Attr: attrs[r.Intn(len(attrs))], Initial: randVal()}
+			for i := 0; i < r.Intn(3); i++ {
+				n.Any = append(n.Any, randVal())
+			}
+			if r.Intn(2) == 0 {
+				n.Final = randVal()
+			}
+			return n
+		default:
+			return &Node{Op: OpApprox, Attr: attrs[r.Intn(len(attrs))], Value: randVal()}
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		n := &Node{Op: OpAnd}
+		for i := 0; i < r.Intn(3)+1; i++ {
+			n.Children = append(n.Children, randomNode(r, depth-1))
+		}
+		return n
+	case 1:
+		n := &Node{Op: OpOr}
+		for i := 0; i < r.Intn(3)+1; i++ {
+			n.Children = append(n.Children, randomNode(r, depth-1))
+		}
+		return n
+	default:
+		return &Node{Op: OpNot, Children: []*Node{randomNode(r, depth-1)}}
+	}
+}
+
+// Property: for any tree, String() parses back to an equal tree.
+func TestPropertyRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		n := randomNode(r, 4)
+		s := n.String()
+		n2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("iter %d: Parse(%q): %v", i, s, err)
+		}
+		if !n.Equal(n2) {
+			t.Fatalf("iter %d: round trip mismatch: %q vs %q", i, s, n2.String())
+		}
+	}
+}
+
+// Property: escaping is invertible for arbitrary byte strings used as equality values.
+func TestPropertyEscapeInvertible(t *testing.T) {
+	f := func(val []byte) bool {
+		if len(val) == 0 {
+			return true
+		}
+		n := &Node{Op: OpEqual, Attr: "a", Value: string(val)}
+		n2, err := Parse(n.String())
+		if err != nil {
+			return false
+		}
+		return n2.Op == OpEqual && n2.Value == string(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan — !(a&b) matches iff (!a)|(!b) matches.
+func TestPropertyDeMorgan(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vals := MapValues{"cn": {"abc"}, "age": {"10"}, "dept": {"x y"}}
+	for i := 0; i < 300; i++ {
+		a, b := randomNode(r, 2), randomNode(r, 2)
+		notAnd := &Node{Op: OpNot, Children: []*Node{{Op: OpAnd, Children: []*Node{a, b}}}}
+		orNot := &Node{Op: OpOr, Children: []*Node{
+			{Op: OpNot, Children: []*Node{a}},
+			{Op: OpNot, Children: []*Node{b}},
+		}}
+		if notAnd.Matches(vals) != orNot.Matches(vals) {
+			t.Fatalf("iter %d: De Morgan violated for %s", i, notAnd)
+		}
+	}
+}
+
+func TestMapValuesCaseInsensitive(t *testing.T) {
+	m := MapValues{"ObjectClass": {"person"}}
+	if got := m.Get("objectclass"); len(got) != 1 || got[0] != "person" {
+		t.Errorf("Get(objectclass) = %v", got)
+	}
+	if got := m.Get("missing"); got != nil {
+		t.Errorf("Get(missing) = %v", got)
+	}
+}
+
+func TestSubstringEdge(t *testing.T) {
+	// Overlapping fragments must match in order without reuse.
+	n := MustParse("(cn=a*aa*a)")
+	if n.Matches(MapValues{"cn": {"aaaa"}}) != true {
+		t.Error("aaaa should match a*aa*a")
+	}
+	if n.Matches(MapValues{"cn": {"aaa"}}) {
+		t.Error("aaa should not match a*aa*a")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("(&(objectClass=person)(|(cn=alice*)(cn=*bob))(age>=30))"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatches(b *testing.B) {
+	n := MustParse("(&(objectClass=person)(|(cn=alice*)(cn=*bob))(age>=30))")
+	vals := MapValues{"cn": {"alice smith"}, "age": {"34"}, "objectClass": {"person"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !n.Matches(vals) {
+			b.Fatal("no match")
+		}
+	}
+}

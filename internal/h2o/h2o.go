@@ -1,0 +1,387 @@
+// Package h2o is the hosting environment HDNS runs in (§4.3 of the
+// paper): a lightweight kernel that hosts named pluglets (deployable
+// components), authenticates principals, enforces user-defined security
+// policies on kernel actions, and distributes events — the capabilities
+// the paper says HDNS inherits from H2O (dynamic deployment, security
+// infrastructure, and distributed event notification).
+package h2o
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by the kernel.
+var (
+	ErrNotDeployed    = errors.New("h2o: pluglet not deployed")
+	ErrAlreadyExists  = errors.New("h2o: pluglet already deployed")
+	ErrNotRunning     = errors.New("h2o: pluglet not running")
+	ErrAlreadyRunning = errors.New("h2o: pluglet already running")
+	ErrUnknownType    = errors.New("h2o: pluglet type not in repository")
+	ErrBadCredentials = errors.New("h2o: authentication failed")
+	ErrDenied         = errors.New("h2o: permission denied")
+	ErrBadSession     = errors.New("h2o: invalid session")
+)
+
+// Pluglet is a deployable kernel component.
+type Pluglet interface {
+	// Start activates the pluglet with access to its kernel context.
+	Start(ctx *PlugletContext) error
+	// Stop deactivates the pluglet and releases its resources.
+	Stop() error
+}
+
+// PlugletFactory creates pluglet instances; config is deployment-specific.
+type PlugletFactory func(config map[string]string) (Pluglet, error)
+
+// PlugletContext gives a running pluglet access to kernel services.
+type PlugletContext struct {
+	// Name is the deployment name.
+	Name string
+	// Config is the deployment configuration.
+	Config map[string]string
+	kernel *Kernel
+}
+
+// Publish emits an event on the kernel bus on behalf of the pluglet.
+func (pc *PlugletContext) Publish(topic string, payload any) {
+	pc.kernel.Publish(pc.Name+"/"+topic, payload)
+}
+
+// Subscribe registers for events on the kernel bus.
+func (pc *PlugletContext) Subscribe(topic string, fn func(Event)) (cancel func()) {
+	return pc.kernel.Subscribe(topic, fn)
+}
+
+// PlugletState is a deployment's lifecycle state.
+type PlugletState int
+
+// Lifecycle states.
+const (
+	StateDeployed PlugletState = iota
+	StateRunning
+	StateStopped
+)
+
+func (s PlugletState) String() string {
+	switch s {
+	case StateDeployed:
+		return "deployed"
+	case StateRunning:
+		return "running"
+	case StateStopped:
+		return "stopped"
+	default:
+		return "?"
+	}
+}
+
+// PlugletInfo describes a deployment.
+type PlugletInfo struct {
+	Name  string
+	Type  string
+	State PlugletState
+}
+
+type deployment struct {
+	info    PlugletInfo
+	pluglet Pluglet
+	config  map[string]string
+}
+
+// Event is a kernel bus event.
+type Event struct {
+	Topic   string
+	Payload any
+}
+
+// Permission actions understood by the default policy.
+const (
+	ActionDeploy    = "deploy"
+	ActionStart     = "start"
+	ActionStop      = "stop"
+	ActionUndeploy  = "undeploy"
+	ActionSubscribe = "subscribe"
+	ActionPublish   = "publish"
+)
+
+// Policy decides whether a principal may perform an action. Actions are
+// matched against granted patterns; a grant of "*" allows everything, and
+// a trailing "*" matches prefixes ("start*" allows "start").
+type Policy struct {
+	mu     sync.RWMutex
+	grants map[string][]string // principal -> action patterns
+}
+
+// NewPolicy builds an empty (deny-all) policy.
+func NewPolicy() *Policy {
+	return &Policy{grants: map[string][]string{}}
+}
+
+// Grant allows the principal the given action patterns.
+func (p *Policy) Grant(principal string, actions ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.grants[principal] = append(p.grants[principal], actions...)
+}
+
+// Allows reports whether principal may perform action.
+func (p *Policy) Allows(principal, action string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, pat := range p.grants[principal] {
+		if pat == "*" || pat == action {
+			return true
+		}
+		if strings.HasSuffix(pat, "*") && strings.HasPrefix(action, pat[:len(pat)-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Kernel is the H2O hosting kernel.
+type Kernel struct {
+	mu          sync.Mutex
+	repository  map[string]PlugletFactory
+	deployments map[string]*deployment
+	principals  map[string]string // name -> hex(sha256(secret))
+	sessions    map[string]string // token -> principal
+	policy      *Policy
+
+	subMu  sync.Mutex
+	subs   map[int]*subscription
+	nextID int
+}
+
+type subscription struct {
+	topic string
+	fn    func(Event)
+}
+
+// NewKernel builds a kernel with a deny-all policy and no principals;
+// grant permissions via Policy().Grant. Kernels without registered
+// principals skip authentication (open mode), matching H2O's pluggable
+// authentication configurations.
+func NewKernel() *Kernel {
+	return &Kernel{
+		repository:  map[string]PlugletFactory{},
+		deployments: map[string]*deployment{},
+		principals:  map[string]string{},
+		sessions:    map[string]string{},
+		policy:      NewPolicy(),
+		subs:        map[int]*subscription{},
+	}
+}
+
+// Policy returns the kernel's security policy for configuration.
+func (k *Kernel) Policy() *Policy { return k.policy }
+
+// RegisterType adds a pluglet type to the repository ("remote network
+// repository" in the paper; here an in-process registry).
+func (k *Kernel) RegisterType(typeName string, f PlugletFactory) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.repository[typeName] = f
+}
+
+// AddPrincipal registers a principal with a shared secret. Once any
+// principal exists, sessions are required for kernel actions.
+func (k *Kernel) AddPrincipal(name, secret string) {
+	sum := sha256.Sum256([]byte(secret))
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.principals[name] = hex.EncodeToString(sum[:])
+}
+
+// Authenticate verifies a principal's secret and opens a session.
+func (k *Kernel) Authenticate(name, secret string) (token string, err error) {
+	sum := sha256.Sum256([]byte(secret))
+	digest := hex.EncodeToString(sum[:])
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	want, ok := k.principals[name]
+	if !ok || subtle.ConstantTimeCompare([]byte(want), []byte(digest)) != 1 {
+		return "", ErrBadCredentials
+	}
+	var raw [16]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", err
+	}
+	token = hex.EncodeToString(raw[:])
+	k.sessions[token] = name
+	return token, nil
+}
+
+// Logout closes a session.
+func (k *Kernel) Logout(token string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.sessions, token)
+}
+
+// authorize maps a session token to a principal and checks the policy.
+// Open-mode kernels (no principals) allow everything.
+func (k *Kernel) authorizeLocked(token, action string) error {
+	if len(k.principals) == 0 {
+		return nil
+	}
+	principal, ok := k.sessions[token]
+	if !ok {
+		return ErrBadSession
+	}
+	if !k.policy.Allows(principal, action) {
+		return fmt.Errorf("%w: %s may not %s", ErrDenied, principal, action)
+	}
+	return nil
+}
+
+// Deploy instantiates a repository type under a deployment name.
+func (k *Kernel) Deploy(token, name, typeName string, config map[string]string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.authorizeLocked(token, ActionDeploy); err != nil {
+		return err
+	}
+	if _, exists := k.deployments[name]; exists {
+		return ErrAlreadyExists
+	}
+	f, ok := k.repository[typeName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownType, typeName)
+	}
+	p, err := f(config)
+	if err != nil {
+		return err
+	}
+	k.deployments[name] = &deployment{
+		info:    PlugletInfo{Name: name, Type: typeName, State: StateDeployed},
+		pluglet: p,
+		config:  config,
+	}
+	return nil
+}
+
+// Start activates a deployed pluglet.
+func (k *Kernel) Start(token, name string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.authorizeLocked(token, ActionStart); err != nil {
+		return err
+	}
+	d, ok := k.deployments[name]
+	if !ok {
+		return ErrNotDeployed
+	}
+	if d.info.State == StateRunning {
+		return ErrAlreadyRunning
+	}
+	ctx := &PlugletContext{Name: name, Config: d.config, kernel: k}
+	if err := d.pluglet.Start(ctx); err != nil {
+		return err
+	}
+	d.info.State = StateRunning
+	return nil
+}
+
+// Stop deactivates a running pluglet.
+func (k *Kernel) Stop(token, name string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.authorizeLocked(token, ActionStop); err != nil {
+		return err
+	}
+	d, ok := k.deployments[name]
+	if !ok {
+		return ErrNotDeployed
+	}
+	if d.info.State != StateRunning {
+		return ErrNotRunning
+	}
+	if err := d.pluglet.Stop(); err != nil {
+		return err
+	}
+	d.info.State = StateStopped
+	return nil
+}
+
+// Undeploy removes a deployment (stopping it first if needed).
+func (k *Kernel) Undeploy(token, name string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.authorizeLocked(token, ActionUndeploy); err != nil {
+		return err
+	}
+	d, ok := k.deployments[name]
+	if !ok {
+		return ErrNotDeployed
+	}
+	if d.info.State == StateRunning {
+		if err := d.pluglet.Stop(); err != nil {
+			return err
+		}
+	}
+	delete(k.deployments, name)
+	return nil
+}
+
+// List describes all deployments, sorted by name.
+func (k *Kernel) List() []PlugletInfo {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]PlugletInfo, 0, len(k.deployments))
+	for _, d := range k.deployments {
+		out = append(out, d.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Publish emits an event to all subscribers whose topic pattern matches
+// (exact match, or a trailing "*" prefix pattern).
+func (k *Kernel) Publish(topic string, payload any) {
+	k.subMu.Lock()
+	var fire []func(Event)
+	for _, s := range k.subs {
+		if topicMatches(s.topic, topic) {
+			fire = append(fire, s.fn)
+		}
+	}
+	k.subMu.Unlock()
+	e := Event{Topic: topic, Payload: payload}
+	for _, fn := range fire {
+		fn(e)
+	}
+}
+
+// Subscribe registers a handler for a topic pattern; the returned cancel
+// function removes it.
+func (k *Kernel) Subscribe(topicPattern string, fn func(Event)) (cancel func()) {
+	k.subMu.Lock()
+	id := k.nextID
+	k.nextID++
+	k.subs[id] = &subscription{topic: topicPattern, fn: fn}
+	k.subMu.Unlock()
+	return func() {
+		k.subMu.Lock()
+		delete(k.subs, id)
+		k.subMu.Unlock()
+	}
+}
+
+func topicMatches(pattern, topic string) bool {
+	if pattern == topic || pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(topic, pattern[:len(pattern)-1])
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+package h2o
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+type testPluglet struct {
+	mu      sync.Mutex
+	started int
+	stopped int
+	ctx     *PlugletContext
+	failOn  string
+}
+
+func (p *testPluglet) Start(ctx *PlugletContext) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failOn == "start" {
+		return errors.New("boom")
+	}
+	p.started++
+	p.ctx = ctx
+	return nil
+}
+
+func (p *testPluglet) Stop() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failOn == "stop" {
+		return errors.New("boom")
+	}
+	p.stopped++
+	return nil
+}
+
+func newTestKernel(p *testPluglet) *Kernel {
+	k := NewKernel()
+	k.RegisterType("test", func(config map[string]string) (Pluglet, error) {
+		return p, nil
+	})
+	return k
+}
+
+func TestLifecycle(t *testing.T) {
+	p := &testPluglet{}
+	k := newTestKernel(p)
+	if err := k.Deploy("", "svc", "test", map[string]string{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Deploy("", "svc", "test", nil); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("dup deploy: %v", err)
+	}
+	if err := k.Deploy("", "x", "ghost", nil); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("unknown type: %v", err)
+	}
+	if err := k.Start("", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start("", "svc"); !errors.Is(err, ErrAlreadyRunning) {
+		t.Errorf("double start: %v", err)
+	}
+	if p.ctx == nil || p.ctx.Config["k"] != "v" || p.ctx.Name != "svc" {
+		t.Errorf("context = %+v", p.ctx)
+	}
+	infos := k.List()
+	if len(infos) != 1 || infos[0].State != StateRunning || infos[0].Type != "test" {
+		t.Errorf("List = %+v", infos)
+	}
+	if err := k.Stop("", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Stop("", "svc"); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("double stop: %v", err)
+	}
+	if err := k.Undeploy("", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start("", "svc"); !errors.Is(err, ErrNotDeployed) {
+		t.Errorf("start after undeploy: %v", err)
+	}
+	if p.started != 1 || p.stopped != 1 {
+		t.Errorf("start/stop counts = %d/%d", p.started, p.stopped)
+	}
+}
+
+func TestUndeployStopsRunning(t *testing.T) {
+	p := &testPluglet{}
+	k := newTestKernel(p)
+	_ = k.Deploy("", "svc", "test", nil)
+	_ = k.Start("", "svc")
+	if err := k.Undeploy("", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if p.stopped != 1 {
+		t.Error("undeploy did not stop")
+	}
+}
+
+func TestStartFailure(t *testing.T) {
+	p := &testPluglet{failOn: "start"}
+	k := newTestKernel(p)
+	_ = k.Deploy("", "svc", "test", nil)
+	if err := k.Start("", "svc"); err == nil {
+		t.Fatal("expected start failure")
+	}
+	if k.List()[0].State != StateDeployed {
+		t.Error("failed start changed state")
+	}
+}
+
+func TestAuthenticationAndPolicy(t *testing.T) {
+	p := &testPluglet{}
+	k := newTestKernel(p)
+	k.AddPrincipal("admin", "s3cret")
+	k.AddPrincipal("viewer", "view")
+	k.Policy().Grant("admin", "*")
+	k.Policy().Grant("viewer", ActionSubscribe)
+
+	// No session: denied (closed mode).
+	if err := k.Deploy("", "svc", "test", nil); !errors.Is(err, ErrBadSession) {
+		t.Errorf("no session: %v", err)
+	}
+	// Bad credentials.
+	if _, err := k.Authenticate("admin", "wrong"); !errors.Is(err, ErrBadCredentials) {
+		t.Errorf("bad creds: %v", err)
+	}
+	if _, err := k.Authenticate("ghost", "x"); !errors.Is(err, ErrBadCredentials) {
+		t.Errorf("unknown principal: %v", err)
+	}
+	// Viewer cannot deploy.
+	vtok, err := k.Authenticate("viewer", "view")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Deploy(vtok, "svc", "test", nil); !errors.Is(err, ErrDenied) {
+		t.Errorf("viewer deploy: %v", err)
+	}
+	// Admin can.
+	atok, err := k.Authenticate("admin", "s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Deploy(atok, "svc", "test", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(atok, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	// Logout invalidates.
+	k.Logout(atok)
+	if err := k.Stop(atok, "svc"); !errors.Is(err, ErrBadSession) {
+		t.Errorf("after logout: %v", err)
+	}
+}
+
+func TestPolicyPatterns(t *testing.T) {
+	p := NewPolicy()
+	p.Grant("u", "start*", ActionSubscribe)
+	if !p.Allows("u", "start") || !p.Allows("u", "startFoo") {
+		t.Error("prefix grant failed")
+	}
+	if p.Allows("u", ActionDeploy) || p.Allows("other", "start") {
+		t.Error("over-permissive")
+	}
+	p.Grant("root", "*")
+	if !p.Allows("root", "anything") {
+		t.Error("wildcard grant failed")
+	}
+}
+
+func TestEventBus(t *testing.T) {
+	k := NewKernel()
+	var mu sync.Mutex
+	var got []string
+	cancel := k.Subscribe("hdns/*", func(e Event) {
+		mu.Lock()
+		got = append(got, e.Topic)
+		mu.Unlock()
+	})
+	k.Publish("hdns/bind", 1)
+	k.Publish("other/x", 2)
+	k.Publish("hdns/unbind", 3)
+	mu.Lock()
+	if len(got) != 2 || got[0] != "hdns/bind" || got[1] != "hdns/unbind" {
+		t.Errorf("got %v", got)
+	}
+	mu.Unlock()
+	cancel()
+	k.Publish("hdns/more", 4)
+	mu.Lock()
+	if len(got) != 2 {
+		t.Error("event after cancel")
+	}
+	mu.Unlock()
+}
+
+func TestPlugletContextBus(t *testing.T) {
+	p := &testPluglet{}
+	k := newTestKernel(p)
+	_ = k.Deploy("", "svc", "test", nil)
+	_ = k.Start("", "svc")
+	var mu sync.Mutex
+	var got []Event
+	p.ctx.Subscribe("svc/*", func(e Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	})
+	p.ctx.Publish("changed", "payload")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Topic != "svc/changed" || got[0].Payload != "payload" {
+		t.Errorf("got %+v", got)
+	}
+}

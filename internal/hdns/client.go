@@ -1,0 +1,208 @@
+package hdns
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"sync"
+	"time"
+
+	"gondi/internal/rpc"
+)
+
+// Client is a connection to one HDNS node. Reads are served by that node
+// alone (read-any); writes propagate to the whole replication group
+// before the call returns.
+type Client struct {
+	rc *rpc.Client
+
+	mu       sync.Mutex
+	handlers map[uint64]func(EventMsg)
+}
+
+// Dial connects to an HDNS node; secret may be empty for open nodes.
+func Dial(addr, secret string, timeout time.Duration) (*Client, error) {
+	rc, err := rpc.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{rc: rc, handlers: map[uint64]func(EventMsg){}}
+	rc.OnPush(func(method string, body []byte) {
+		if method != mEvent {
+			return
+		}
+		var msg EventMsg
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&msg); err != nil {
+			return
+		}
+		c.mu.Lock()
+		h := c.handlers[msg.WatchID]
+		c.mu.Unlock()
+		if h != nil {
+			h(msg)
+		}
+	})
+	if secret != "" {
+		if _, err := c.call(mAuth, &Req{Secret: secret}); err != nil {
+			rc.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Close releases the connection (server-side watches die with it).
+func (c *Client) Close() error { return c.rc.Close() }
+
+// Closed reports whether the connection has terminated (e.g. node
+// shutdown); pooled providers use it to discard dead connections.
+func (c *Client) Closed() bool { return c.rc.Closed() }
+
+func (c *Client) call(method string, req *Req) (*Rsp, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, err
+	}
+	body, err := c.rc.Call(method, buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var rsp Rsp
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rsp); err != nil {
+		return nil, err
+	}
+	return &rsp, nil
+}
+
+// Lookup reads the entry at name.
+func (c *Client) Lookup(name []string) (NodeView, error) {
+	rsp, err := c.call(mLookup, &Req{Name: name})
+	if err != nil {
+		return NodeView{}, err
+	}
+	return rsp.View, nil
+}
+
+// Bind binds atomically (fails if bound). leaseMillis > 0 grants a lease.
+func (c *Client) Bind(name []string, obj []byte, attrs map[string][]string, leaseMillis int64) error {
+	_, err := c.call(mBind, &Req{Name: name, Obj: obj, Attrs: attrs, LeaseMillis: leaseMillis})
+	return err
+}
+
+// Rebind overwrites; replaceAttrs selects attribute semantics.
+func (c *Client) Rebind(name []string, obj []byte, attrs map[string][]string, replaceAttrs bool, leaseMillis int64) error {
+	_, err := c.call(mRebind, &Req{Name: name, Obj: obj, Attrs: attrs, ReplaceAttrs: replaceAttrs, LeaseMillis: leaseMillis})
+	return err
+}
+
+// Unbind removes a binding (absent names succeed).
+func (c *Client) Unbind(name []string) error {
+	_, err := c.call(mUnbind, &Req{Name: name})
+	return err
+}
+
+// Rename moves a binding.
+func (c *Client) Rename(oldName, newName []string) error {
+	_, err := c.call(mRename, &Req{Name: oldName, Name2: newName})
+	return err
+}
+
+// List enumerates a context.
+func (c *Client) List(name []string) ([]ListEntry, error) {
+	rsp, err := c.call(mList, &Req{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return rsp.List, nil
+}
+
+// CreateCtx creates a subcontext.
+func (c *Client) CreateCtx(name []string, attrs map[string][]string) error {
+	_, err := c.call(mCreateCtx, &Req{Name: name, Attrs: attrs})
+	return err
+}
+
+// DestroyCtx removes an empty subcontext.
+func (c *Client) DestroyCtx(name []string) error {
+	_, err := c.call(mDestroyCtx, &Req{Name: name})
+	return err
+}
+
+// ModAttrs applies attribute modifications.
+func (c *Client) ModAttrs(name []string, mods []ModRec) error {
+	_, err := c.call(mModAttrs, &Req{Name: name, Mods: mods})
+	return err
+}
+
+// Search evaluates an RFC 4515 filter (scope: 0 object, 1 one-level,
+// 2 subtree).
+func (c *Client) Search(name []string, filterStr string, scope, limit int) ([]SearchHit, error) {
+	rsp, err := c.call(mSearch, &Req{Name: name, Filter: filterStr, Scope: scope, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return rsp.Hits, nil
+}
+
+// RenewLease extends (or with leaseMillis == 0 cancels) a lease.
+func (c *Client) RenewLease(name []string, leaseMillis int64) (expiry int64, err error) {
+	rsp, err := c.call(mLease, &Req{Name: name, LeaseMillis: leaseMillis})
+	if err != nil {
+		return 0, err
+	}
+	return rsp.Expiry, nil
+}
+
+// Watch subscribes to changes under target; events arrive on fn until
+// cancel is called or the connection closes.
+func (c *Client) Watch(target []string, scope int, fn func(EventMsg)) (cancel func(), err error) {
+	rsp, err := c.call(mWatch, &Req{Name: target, Scope: scope})
+	if err != nil {
+		return nil, err
+	}
+	id := rsp.WatchID
+	c.mu.Lock()
+	c.handlers[id] = fn
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		delete(c.handlers, id)
+		c.mu.Unlock()
+		_, _ = c.call(mUnwatch, &Req{WatchID: id})
+	}, nil
+}
+
+// Info describes the node and its group.
+func (c *Client) Info() (NodeInfo, error) {
+	rsp, err := c.call(mInfo, &Req{})
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	return rsp.Info, nil
+}
+
+// IsNotFound reports whether an HDNS error is the not-found condition.
+func IsNotFound(err error) bool { return hasMsg(err, errNotFound) }
+
+// IsAlreadyBound reports whether an HDNS error is the already-bound
+// condition (the atomic-bind failure).
+func IsAlreadyBound(err error) bool { return hasMsg(err, errBound) }
+
+// IsNotContext reports whether an HDNS error is the not-a-context
+// condition.
+func IsNotContext(err error) bool { return hasMsg(err, errNotCtx) }
+
+// IsContextNotEmpty reports whether an HDNS error is the non-empty
+// context condition.
+func IsContextNotEmpty(err error) bool { return hasMsg(err, errCtxNotEmpty) }
+
+func hasMsg(err error, msg string) bool {
+	if err == nil {
+		return false
+	}
+	var re *rpc.RemoteError
+	if errors.As(err, &re) {
+		return re.Msg == msg
+	}
+	return err.Error() == msg
+}

@@ -1,0 +1,502 @@
+package hdns
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gondi/internal/costmodel"
+	"gondi/internal/filter"
+	"gondi/internal/h2o"
+	"gondi/internal/jgroups"
+	"gondi/internal/rpc"
+)
+
+// NodeConfig configures an HDNS node.
+type NodeConfig struct {
+	// Group is the replication group name.
+	Group string
+	// Transport is the jgroups transport the node replicates over.
+	Transport jgroups.Transport
+	// Stack tunes the group protocol (DefaultConfig = bimodal, as in
+	// the paper).
+	Stack jgroups.Config
+	// ListenAddr is the client-facing TCP address ("127.0.0.1:0").
+	ListenAddr string
+	// SnapshotPath persists the replica ("" disables persistence).
+	SnapshotPath string
+	// SnapshotInterval is the periodic sync period (§4.1: "synchronized
+	// in fixed time intervals and upon process exit"); 0 means 5s.
+	SnapshotInterval time.Duration
+	// Secret, when non-empty, must be presented by clients before
+	// writes are accepted (the H2O-inherited security hook).
+	Secret string
+	// Costs injects calibrated service times (nil = full speed).
+	Costs *costmodel.Costs
+	// WriteTimeout bounds how long a write waits for its own replicated
+	// delivery; 0 means 10s.
+	WriteTimeout time.Duration
+	// Kernel, when set, receives HDNS change events on its bus under
+	// the "hdns/" topic prefix.
+	Kernel *h2o.Kernel
+}
+
+// Node is one HDNS replica.
+type Node struct {
+	cfg   NodeConfig
+	store *Store
+	ch    *jgroups.Channel
+	srv   *rpc.Server
+
+	mu        sync.Mutex
+	pending   map[string]chan string // opID -> apply error string
+	watches   map[*rpc.ServerConn]map[uint64]watchSpec
+	nextOp    uint64
+	nextWatch uint64
+	closed    bool
+
+	applied atomic.Uint64
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+type watchSpec struct {
+	target []string
+	scope  int // 0 object, 1 one-level, 2 subtree
+}
+
+// NewNode starts an HDNS node: it restores the persisted replica if any,
+// joins the replication group (pulling state from the coordinator when
+// one exists), and serves clients over TCP.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Group == "" {
+		cfg.Group = "hdns"
+	}
+	if cfg.SnapshotInterval <= 0 {
+		cfg.SnapshotInterval = 5 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.Stack.HeartbeatInterval == 0 {
+		cfg.Stack = jgroups.DefaultConfig()
+	}
+	n := &Node{
+		cfg:     cfg,
+		store:   NewStore(),
+		pending: map[string]chan string{},
+		watches: map[*rpc.ServerConn]map[uint64]watchSpec{},
+		done:    make(chan struct{}),
+	}
+	// Crash recovery: load the local snapshot first (§4.1 "the service
+	// can thus recover the state after a complete shutdown/restart").
+	if cfg.SnapshotPath != "" {
+		if b, err := os.ReadFile(cfg.SnapshotPath); err == nil {
+			if err := n.store.Restore(b); err != nil {
+				return nil, fmt.Errorf("hdns: corrupt snapshot %s: %w", cfg.SnapshotPath, err)
+			}
+		}
+	}
+	n.ch = jgroups.NewChannel(cfg.Transport, cfg.Stack)
+	recv := jgroups.Receiver{
+		Deliver:  n.deliver,
+		GetState: n.snapshotState,
+		// Partial-failure recovery: a restarted node joining an
+		// existing group replaces its (possibly stale) local state
+		// with the group's.
+		SetState: n.restoreState,
+		Merge:    n.onMerge,
+	}
+	if err := n.ch.Connect(cfg.Group, recv); err != nil {
+		return nil, err
+	}
+	srv, err := rpc.NewServer(cfg.ListenAddr)
+	if err != nil {
+		n.ch.Close()
+		return nil, err
+	}
+	n.srv = srv
+	n.registerHandlers()
+	srv.OnConnClose(func(sc *rpc.ServerConn) {
+		n.mu.Lock()
+		delete(n.watches, sc)
+		n.mu.Unlock()
+	})
+	n.wg.Add(1)
+	go n.housekeeping()
+	return n, nil
+}
+
+// Addr returns the client-facing TCP address.
+func (n *Node) Addr() string { return n.srv.Addr() }
+
+// Store exposes the local replica (tests and diagnostics).
+func (n *Node) Store() *Store { return n.store }
+
+// Channel exposes the group channel (tests and diagnostics).
+func (n *Node) Channel() *jgroups.Channel { return n.ch }
+
+// snapshotState serves jgroups state transfer.
+func (n *Node) snapshotState() []byte {
+	b, err := n.store.Snapshot()
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+func (n *Node) restoreState(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	_ = n.store.Restore(b)
+}
+
+func (n *Node) onMerge(e jgroups.MergeEvent) {
+	// Non-primary members were already resynchronized via SetState by
+	// the channel (PRIMARY PARTITION, §4.3). Publish for observability.
+	if n.cfg.Kernel != nil {
+		n.cfg.Kernel.Publish("hdns/merge", e)
+	}
+}
+
+// deliver applies a replicated op on this replica.
+func (n *Node) deliver(src jgroups.Address, payload []byte) {
+	var op Op
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&op); err != nil {
+		return
+	}
+	changes, errStr := n.store.Apply(&op)
+	n.applied.Add(1)
+	n.mu.Lock()
+	if ch, ok := n.pending[op.ID]; ok {
+		delete(n.pending, op.ID)
+		ch <- errStr
+	}
+	n.mu.Unlock()
+	for _, c := range changes {
+		n.fanOut(c)
+	}
+}
+
+// fanOut pushes a change to matching client watches and the kernel bus.
+func (n *Node) fanOut(c Change) {
+	if n.cfg.Kernel != nil {
+		n.cfg.Kernel.Publish("hdns/"+c.Kind.String(), c)
+	}
+	type target struct {
+		conn *rpc.ServerConn
+		id   uint64
+	}
+	var targets []target
+	n.mu.Lock()
+	for conn, ws := range n.watches {
+		for id, w := range ws {
+			if watchMatches(w, c.Name) {
+				targets = append(targets, target{conn, id})
+			}
+		}
+	}
+	n.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	for _, t := range targets {
+		msg := EventMsg{WatchID: t.id, Kind: c.Kind, Name: c.Name, Obj: c.Obj, Old: c.Old}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&msg); err != nil {
+			continue
+		}
+		_ = t.conn.Push(mEvent, buf.Bytes())
+	}
+}
+
+func watchMatches(w watchSpec, name []string) bool {
+	if len(name) < len(w.target) {
+		return false
+	}
+	for i, c := range w.target {
+		if name[i] != c {
+			return false
+		}
+	}
+	extra := len(name) - len(w.target)
+	switch w.scope {
+	case 0:
+		return extra == 0
+	case 1:
+		return extra == 1
+	default:
+		return true
+	}
+}
+
+// submit replicates a write and waits for its local delivery.
+func (n *Node) submit(op *Op) string {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return "node closed"
+	}
+	n.nextOp++
+	op.ID = fmt.Sprintf("%s-%d", n.ch.Addr(), n.nextOp)
+	op.Now = time.Now().UnixMilli()
+	ack := make(chan string, 1)
+	n.pending[op.ID] = ack
+	n.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(op); err != nil {
+		return err.Error()
+	}
+	if err := n.ch.Send(buf.Bytes()); err != nil {
+		n.mu.Lock()
+		delete(n.pending, op.ID)
+		n.mu.Unlock()
+		return err.Error()
+	}
+	select {
+	case errStr := <-ack:
+		return errStr
+	case <-time.After(n.cfg.WriteTimeout):
+		n.mu.Lock()
+		delete(n.pending, op.ID)
+		n.mu.Unlock()
+		return "write timed out"
+	case <-n.done:
+		return "node closed"
+	}
+}
+
+// housekeeping runs snapshots and the lease reaper.
+func (n *Node) housekeeping() {
+	defer n.wg.Done()
+	snap := time.NewTicker(n.cfg.SnapshotInterval)
+	defer snap.Stop()
+	leases := time.NewTicker(500 * time.Millisecond)
+	defer leases.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-snap.C:
+			_ = n.persist()
+		case <-leases.C:
+			// The coordinator reaps expired leases for the whole
+			// group so that exactly one replica issues the unbind.
+			if !n.ch.IsCoordinator() {
+				continue
+			}
+			for _, name := range n.store.ExpiredLeases(time.Now().UnixMilli()) {
+				op := &Op{Kind: OpUnbind, Name: name}
+				go n.submit(op)
+			}
+		}
+	}
+}
+
+// persist writes the snapshot atomically.
+func (n *Node) persist() error {
+	if n.cfg.SnapshotPath == "" {
+		return nil
+	}
+	b, err := n.store.Snapshot()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(n.cfg.SnapshotPath)
+	tmp, err := os.CreateTemp(dir, ".hdns-snap-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), n.cfg.SnapshotPath)
+}
+
+// Close persists the replica (§4.1: "upon process exit"), leaves the
+// group, and stops serving.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.done)
+	n.wg.Wait()
+	err := n.persist()
+	n.srv.Close()
+	if cerr := n.ch.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- RPC handlers ---
+
+func decodeReq(body []byte) (*Req, error) {
+	var r Req
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func encodeRsp(r *Rsp) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (n *Node) authed(sc *rpc.ServerConn) bool {
+	if n.cfg.Secret == "" {
+		return true
+	}
+	v, _ := sc.Get("authed")
+	ok, _ := v.(bool)
+	return ok
+}
+
+var errDenied = errors.New("hdns: authentication required")
+
+func (n *Node) registerHandlers() {
+	h := func(name string, fn func(sc *rpc.ServerConn, req *Req) (*Rsp, error)) {
+		n.srv.Handle(name, func(sc *rpc.ServerConn, body []byte) ([]byte, error) {
+			req, err := decodeReq(body)
+			if err != nil {
+				return nil, err
+			}
+			rsp, err := fn(sc, req)
+			if err != nil {
+				return nil, err
+			}
+			return encodeRsp(rsp)
+		})
+	}
+
+	h(mAuth, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		if n.cfg.Secret != "" && req.Secret != n.cfg.Secret {
+			return nil, errors.New("hdns: bad secret")
+		}
+		sc.Set("authed", true)
+		return &Rsp{}, nil
+	})
+
+	h(mLookup, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		n.cfg.Costs.ReadCost(0)
+		return &Rsp{View: n.store.Lookup(req.Name)}, nil
+	})
+
+	write := func(kind OpKind) func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		return func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+			if !n.authed(sc) {
+				return nil, errDenied
+			}
+			if !n.cfg.Costs.WriteCost(len(req.Obj)) {
+				return nil, errors.New("hdns: server overloaded")
+			}
+			op := &Op{
+				Kind: kind, Name: req.Name, Name2: req.Name2, Obj: req.Obj,
+				Attrs: req.Attrs, ReplaceAttrs: req.ReplaceAttrs,
+				Mods: req.Mods, LeaseMillis: req.LeaseMillis,
+			}
+			if errStr := n.submit(op); errStr != "" {
+				return nil, errors.New(errStr)
+			}
+			rsp := &Rsp{}
+			if req.LeaseMillis > 0 {
+				rsp.Expiry = time.Now().UnixMilli() + req.LeaseMillis
+			}
+			return rsp, nil
+		}
+	}
+	h(mBind, write(OpBind))
+	h(mRebind, write(OpRebind))
+	h(mUnbind, write(OpUnbind))
+	h(mRename, write(OpRename))
+	h(mCreateCtx, write(OpCreateCtx))
+	h(mDestroyCtx, write(OpDestroyCtx))
+	h(mModAttrs, write(OpModAttrs))
+	h(mLease, write(OpLeaseRenew))
+
+	h(mList, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		n.cfg.Costs.ReadCost(0)
+		list, errStr := n.store.List(req.Name)
+		if errStr != "" {
+			return nil, errors.New(errStr)
+		}
+		return &Rsp{List: list}, nil
+	})
+
+	h(mSearch, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		n.cfg.Costs.ReadCost(0)
+		f, err := filter.Parse(req.Filter)
+		if err != nil {
+			return nil, err
+		}
+		hits, errStr := n.store.Search(req.Name, f, req.Scope, req.Limit)
+		if errStr != "" {
+			return nil, errors.New(errStr)
+		}
+		return &Rsp{Hits: hits}, nil
+	})
+
+	h(mWatch, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.nextWatch++
+		id := n.nextWatch
+		ws := n.watches[sc]
+		if ws == nil {
+			ws = map[uint64]watchSpec{}
+			n.watches[sc] = ws
+		}
+		ws[id] = watchSpec{target: req.Name, scope: req.Scope}
+		return &Rsp{WatchID: id}, nil
+	})
+
+	h(mUnwatch, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if ws := n.watches[sc]; ws != nil {
+			delete(ws, req.WatchID)
+		}
+		return &Rsp{}, nil
+	})
+
+	h(mInfo, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		view := n.ch.View()
+		info := NodeInfo{
+			Addr:        n.Addr(),
+			Group:       n.cfg.Group,
+			Coordinator: n.ch.IsCoordinator(),
+			Entries:     n.store.Len(),
+			Version:     n.store.Version(),
+			Mode:        n.cfg.Stack.Mode.String(),
+		}
+		if view != nil {
+			for _, m := range view.Members {
+				info.Members = append(info.Members, string(m))
+			}
+		}
+		return &Rsp{Info: info}, nil
+	})
+}

@@ -1,0 +1,528 @@
+// Package hdns implements the Harness Distributed Naming Service (§4 of
+// the paper): a fault-tolerant, persistent, replicated naming service. A
+// group of nodes maintains consistent replicas of the registration data
+// over the jgroups substrate: reads are served entirely locally by any
+// node, writes are multicast to every member. Each node persists its
+// replica to disk periodically and on exit, crashed nodes rejoin and pull
+// state, and the PRIMARY PARTITION protocol resynchronizes after network
+// partitions.
+package hdns
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gondi/internal/filter"
+)
+
+// OpKind identifies a replicated write operation.
+type OpKind uint8
+
+// Replicated operations.
+const (
+	OpBind OpKind = iota + 1
+	OpRebind
+	OpUnbind
+	OpRename
+	OpCreateCtx
+	OpDestroyCtx
+	OpModAttrs
+	OpLeaseRenew
+)
+
+func (k OpKind) String() string {
+	names := [...]string{"?", "bind", "rebind", "unbind", "rename",
+		"createCtx", "destroyCtx", "modAttrs", "leaseRenew"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// ModRec is one attribute modification (mirrors core.AttributeMod without
+// importing core, keeping the substrate dependency-free).
+type ModRec struct {
+	Op   int // 0 add, 1 replace, 2 remove
+	ID   string
+	Vals []string
+}
+
+// Op is a replicated write, applied deterministically on every replica in
+// delivery order.
+type Op struct {
+	ID    string // issuing node + sequence, for client ack matching
+	Kind  OpKind
+	Name  []string
+	Name2 []string // rename destination
+	Obj   []byte   // marshalled bound object
+	Attrs map[string][]string
+	// ReplaceAttrs selects rebind attribute semantics: true replaces the
+	// attribute set, false preserves the existing one.
+	ReplaceAttrs bool
+	Mods         []ModRec
+	// LeaseMillis > 0 grants/renews a lease of that duration.
+	LeaseMillis int64
+	// Now is the issuer's clock (unix millis); lease expiries derive
+	// from it deterministically on every replica.
+	Now int64
+}
+
+// Change describes an applied mutation for event distribution.
+type Change struct {
+	Kind OpKind
+	Name []string
+	Obj  []byte
+	Old  []byte
+}
+
+// Store errors mirror the core sentinel names; the provider maps the
+// strings back onto core errors.
+const (
+	errNotFound     = "not found"
+	errBound        = "already bound"
+	errNotCtx       = "not a context"
+	errCtxNotEmpty  = "context not empty"
+	errEmptyName    = "empty name"
+	errUnsupportedK = "unsupported op"
+)
+
+type entry struct {
+	Obj      []byte
+	Attrs    map[string][]string
+	Children map[string]*entry // non-nil => context
+	// LeaseExpiry is unix millis; 0 = no lease.
+	LeaseExpiry int64
+}
+
+func newCtxEntry() *entry {
+	return &entry{Children: map[string]*entry{}, Attrs: map[string][]string{}}
+}
+
+func (e *entry) isCtx() bool { return e.Children != nil }
+
+// Store is the replicated name tree. All writes go through Apply so every
+// replica transitions identically; reads are local.
+type Store struct {
+	mu   sync.RWMutex
+	root *entry
+	// version counts applied ops (diagnostics, snapshot naming).
+	version uint64
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{root: newCtxEntry()}
+}
+
+// Version returns the number of applied operations.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+func (s *Store) resolveParent(name []string) (*entry, string, string) {
+	if len(name) == 0 {
+		return nil, "", errEmptyName
+	}
+	cur := s.root
+	for i := 0; i < len(name)-1; i++ {
+		next, ok := cur.Children[name[i]]
+		if !ok {
+			return nil, "", errNotFound
+		}
+		if !next.isCtx() {
+			return nil, "", errNotCtx
+		}
+		cur = next
+	}
+	return cur, name[len(name)-1], ""
+}
+
+func (s *Store) find(name []string) (*entry, string) {
+	cur := s.root
+	for i := 0; i < len(name); i++ {
+		next, ok := cur.Children[name[i]]
+		if !ok {
+			return nil, errNotFound
+		}
+		if i < len(name)-1 && !next.isCtx() {
+			return nil, errNotCtx
+		}
+		cur = next
+	}
+	return cur, ""
+}
+
+// Apply executes a replicated op. The returned error string is "" on
+// success; changes describe mutations for event fan-out.
+func (s *Store) Apply(op *Op) (changes []Change, errStr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	switch op.Kind {
+	case OpBind, OpRebind:
+		parent, last, e := s.resolveParent(op.Name)
+		if e != "" {
+			return nil, e
+		}
+		old, exists := parent.Children[last]
+		if exists && op.Kind == OpBind {
+			return nil, errBound
+		}
+		if exists && old.isCtx() {
+			return nil, errNotCtx
+		}
+		ne := &entry{Obj: op.Obj}
+		switch {
+		case op.Kind == OpBind || op.ReplaceAttrs || !exists:
+			ne.Attrs = copyAttrs(op.Attrs)
+		default:
+			ne.Attrs = old.Attrs
+		}
+		if op.LeaseMillis > 0 {
+			ne.LeaseExpiry = op.Now + op.LeaseMillis
+		}
+		parent.Children[last] = ne
+		ch := Change{Kind: OpBind, Name: op.Name, Obj: op.Obj}
+		if exists {
+			ch.Kind = OpRebind
+			ch.Old = old.Obj
+		}
+		return []Change{ch}, ""
+	case OpUnbind:
+		parent, last, e := s.resolveParent(op.Name)
+		if e != "" {
+			return nil, e
+		}
+		old, exists := parent.Children[last]
+		if !exists {
+			return nil, "" // JNDI: unbind of absent name succeeds
+		}
+		delete(parent.Children, last)
+		return []Change{{Kind: OpUnbind, Name: op.Name, Old: old.Obj}}, ""
+	case OpRename:
+		oldParent, oldLast, e := s.resolveParent(op.Name)
+		if e != "" {
+			return nil, e
+		}
+		newParent, newLast, e := s.resolveParent(op.Name2)
+		if e != "" {
+			return nil, e
+		}
+		ent, ok := oldParent.Children[oldLast]
+		if !ok {
+			return nil, errNotFound
+		}
+		if _, exists := newParent.Children[newLast]; exists {
+			return nil, errBound
+		}
+		delete(oldParent.Children, oldLast)
+		newParent.Children[newLast] = ent
+		return []Change{{Kind: OpRename, Name: op.Name, Obj: ent.Obj}}, ""
+	case OpCreateCtx:
+		parent, last, e := s.resolveParent(op.Name)
+		if e != "" {
+			return nil, e
+		}
+		if _, exists := parent.Children[last]; exists {
+			return nil, errBound
+		}
+		ne := newCtxEntry()
+		ne.Attrs = copyAttrs(op.Attrs)
+		parent.Children[last] = ne
+		return []Change{{Kind: OpCreateCtx, Name: op.Name}}, ""
+	case OpDestroyCtx:
+		parent, last, e := s.resolveParent(op.Name)
+		if e != "" {
+			return nil, e
+		}
+		ent, ok := parent.Children[last]
+		if !ok {
+			return nil, "" // destroying a missing subcontext succeeds
+		}
+		if !ent.isCtx() {
+			return nil, errNotCtx
+		}
+		if len(ent.Children) > 0 {
+			return nil, errCtxNotEmpty
+		}
+		delete(parent.Children, last)
+		return []Change{{Kind: OpDestroyCtx, Name: op.Name}}, ""
+	case OpModAttrs:
+		ent, e := s.find(op.Name)
+		if e != "" {
+			return nil, e
+		}
+		attrs := copyAttrs(ent.Attrs)
+		for _, m := range op.Mods {
+			key := strings.ToLower(m.ID)
+			switch m.Op {
+			case 0: // add
+				attrs[key] = appendUnique(attrs[key], m.Vals)
+			case 1: // replace
+				if len(m.Vals) == 0 {
+					delete(attrs, key)
+				} else {
+					attrs[key] = append([]string(nil), m.Vals...)
+				}
+			case 2: // remove
+				if len(m.Vals) == 0 {
+					delete(attrs, key)
+					break
+				}
+				var keep []string
+				for _, v := range attrs[key] {
+					drop := false
+					for _, rm := range m.Vals {
+						if strings.EqualFold(v, rm) {
+							drop = true
+						}
+					}
+					if !drop {
+						keep = append(keep, v)
+					}
+				}
+				if len(keep) == 0 {
+					delete(attrs, key)
+				} else {
+					attrs[key] = keep
+				}
+			default:
+				return nil, "bad attribute mod"
+			}
+		}
+		ent.Attrs = attrs
+		return []Change{{Kind: OpModAttrs, Name: op.Name, Obj: ent.Obj}}, ""
+	case OpLeaseRenew:
+		ent, e := s.find(op.Name)
+		if e != "" {
+			return nil, e
+		}
+		if op.LeaseMillis > 0 {
+			ent.LeaseExpiry = op.Now + op.LeaseMillis
+		} else {
+			ent.LeaseExpiry = 0
+		}
+		return nil, ""
+	default:
+		return nil, errUnsupportedK
+	}
+}
+
+func copyAttrs(in map[string][]string) map[string][]string {
+	out := make(map[string][]string, len(in))
+	for k, v := range in {
+		out[strings.ToLower(k)] = append([]string(nil), v...)
+	}
+	return out
+}
+
+func appendUnique(have, add []string) []string {
+	for _, v := range add {
+		dup := false
+		for _, h := range have {
+			if strings.EqualFold(h, v) {
+				dup = true
+			}
+		}
+		if !dup {
+			have = append(have, v)
+		}
+	}
+	return have
+}
+
+// NodeView is a read result.
+type NodeView struct {
+	Exists bool
+	IsCtx  bool
+	Obj    []byte
+	Attrs  map[string][]string
+}
+
+// Lookup reads the entry at name; reads are purely local (the load-
+// balancing property of §4.1).
+func (s *Store) Lookup(name []string) NodeView {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(name) == 0 {
+		return NodeView{Exists: true, IsCtx: true}
+	}
+	ent, e := s.find(name)
+	if e != "" {
+		return NodeView{}
+	}
+	return NodeView{Exists: true, IsCtx: ent.isCtx(), Obj: ent.Obj, Attrs: copyAttrs(ent.Attrs)}
+}
+
+// ListEntry is one List result.
+type ListEntry struct {
+	Name  string
+	IsCtx bool
+	Obj   []byte
+}
+
+// List enumerates the children of a context, sorted by name.
+func (s *Store) List(name []string) ([]ListEntry, string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ent := s.root
+	if len(name) > 0 {
+		var e string
+		ent, e = s.find(name)
+		if e != "" {
+			return nil, e
+		}
+	}
+	if !ent.isCtx() {
+		return nil, errNotCtx
+	}
+	out := make([]ListEntry, 0, len(ent.Children))
+	for n, c := range ent.Children {
+		out = append(out, ListEntry{Name: n, IsCtx: c.isCtx(), Obj: c.Obj})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, ""
+}
+
+// SearchHit is one Search result.
+type SearchHit struct {
+	Name  []string
+	IsCtx bool
+	Obj   []byte
+	Attrs map[string][]string
+}
+
+// Search evaluates a filter under name. scope: 0 object, 1 one-level,
+// 2 subtree.
+func (s *Store) Search(name []string, f *filter.Node, scope int, limit int) ([]SearchHit, string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	base := s.root
+	if len(name) > 0 {
+		var e string
+		base, e = s.find(name)
+		if e != "" {
+			return nil, e
+		}
+	}
+	var hits []SearchHit
+	var walk func(ent *entry, rel []string, depth int)
+	walk = func(ent *entry, rel []string, depth int) {
+		if limit > 0 && len(hits) >= limit {
+			return
+		}
+		inScope := scope == 2 || (scope == 0 && depth == 0) || (scope == 1 && depth == 1)
+		if inScope && f.Matches(filter.MapValues(ent.Attrs)) {
+			hits = append(hits, SearchHit{
+				Name:  append([]string(nil), rel...),
+				IsCtx: ent.isCtx(),
+				Obj:   ent.Obj,
+				Attrs: copyAttrs(ent.Attrs),
+			})
+		}
+		if (scope == 0 && depth == 0) || (scope == 1 && depth >= 1) {
+			return
+		}
+		if ent.isCtx() {
+			names := make([]string, 0, len(ent.Children))
+			for n := range ent.Children {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				walk(ent.Children[n], append(rel, n), depth+1)
+			}
+		}
+	}
+	walk(base, nil, 0)
+	return hits, ""
+}
+
+// ExpiredLeases returns names whose lease expiry precedes nowMillis.
+func (s *Store) ExpiredLeases(nowMillis int64) [][]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out [][]string
+	var walk func(ent *entry, path []string)
+	walk = func(ent *entry, path []string) {
+		for n, c := range ent.Children {
+			p := append(append([]string(nil), path...), n)
+			if c.LeaseExpiry > 0 && c.LeaseExpiry < nowMillis {
+				out = append(out, p)
+			}
+			if c.isCtx() {
+				walk(c, p)
+			}
+		}
+	}
+	walk(s.root, nil)
+	return out
+}
+
+// LeaseExpiry returns the expiry of name's lease (0 = none) and whether
+// the entry exists.
+func (s *Store) LeaseExpiry(name []string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ent, e := s.find(name)
+	if e != "" {
+		return 0, false
+	}
+	return ent.LeaseExpiry, true
+}
+
+// Snapshot serializes the full tree (persistence and state transfer).
+func (s *Store) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snapshotV1{Version: s.version, Root: s.root}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces the tree from a snapshot.
+func (s *Store) Restore(b []byte) error {
+	var snap snapshotV1
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&snap); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap.Root == nil {
+		snap.Root = newCtxEntry()
+	}
+	s.root = snap.Root
+	s.version = snap.Version
+	return nil
+}
+
+type snapshotV1 struct {
+	Version uint64
+	Root    *entry
+}
+
+// Len returns the total number of entries (excluding the root).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	var walk func(e *entry)
+	walk = func(e *entry) {
+		n += len(e.Children)
+		for _, c := range e.Children {
+			if c.isCtx() {
+				walk(c)
+			}
+		}
+	}
+	walk(s.root)
+	return n
+}

@@ -1,0 +1,70 @@
+package hdns
+
+// Wire types exchanged between HDNS clients and nodes over the rpc
+// substrate (gob-encoded).
+
+// Req is the universal request body.
+type Req struct {
+	Name         []string
+	Name2        []string
+	Obj          []byte
+	Attrs        map[string][]string
+	ReplaceAttrs bool
+	Mods         []ModRec
+	Filter       string
+	Scope        int
+	Limit        int
+	LeaseMillis  int64
+	WatchID      uint64
+	Secret       string
+}
+
+// Rsp is the universal response body.
+type Rsp struct {
+	View    NodeView
+	List    []ListEntry
+	Hits    []SearchHit
+	WatchID uint64
+	Expiry  int64
+	Info    NodeInfo
+}
+
+// EventMsg is pushed to watching clients.
+type EventMsg struct {
+	WatchID uint64
+	Kind    OpKind
+	Name    []string
+	Obj     []byte
+	Old     []byte
+}
+
+// NodeInfo describes a node and its replication group.
+type NodeInfo struct {
+	Addr        string
+	Group       string
+	Members     []string
+	Coordinator bool
+	Entries     int
+	Version     uint64
+	Mode        string
+}
+
+// RPC method names.
+const (
+	mAuth       = "hdns.auth"
+	mLookup     = "hdns.lookup"
+	mBind       = "hdns.bind"
+	mRebind     = "hdns.rebind"
+	mUnbind     = "hdns.unbind"
+	mRename     = "hdns.rename"
+	mList       = "hdns.list"
+	mCreateCtx  = "hdns.createCtx"
+	mDestroyCtx = "hdns.destroyCtx"
+	mModAttrs   = "hdns.modAttrs"
+	mSearch     = "hdns.search"
+	mWatch      = "hdns.watch"
+	mUnwatch    = "hdns.unwatch"
+	mLease      = "hdns.lease"
+	mInfo       = "hdns.info"
+	mEvent      = "hdns.event" // push
+)

@@ -1,0 +1,993 @@
+package jgroups
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Channel errors.
+var (
+	ErrNotConnected = errors.New("jgroups: channel not connected")
+	ErrChanClosed   = errors.New("jgroups: channel closed")
+	ErrJoinTimeout  = errors.New("jgroups: join timed out")
+)
+
+// bimodalStoreMax bounds the per-sender gossip repair store.
+const bimodalStoreMax = 4096
+
+type chanState int
+
+const (
+	stateIdle chanState = iota
+	stateConnected
+	stateClosed
+)
+
+// senderState tracks per-sender FIFO delivery (bimodal mode).
+type senderState struct {
+	delivered uint64
+	pending   map[uint64]*Packet
+	store     map[uint64]*Packet // delivered messages kept for gossip repair
+	storeMin  uint64
+}
+
+func newSenderState() *senderState {
+	return &senderState{pending: map[uint64]*Packet{}, store: map[uint64]*Packet{}}
+}
+
+// pendingFlush is the coordinator's in-progress view change.
+type pendingFlush struct {
+	newView  *View
+	waiting  map[Address]bool // members whose ack is pending
+	digests  map[Address]uint64
+	deadline time.Time
+}
+
+// Channel is a group communication endpoint, the JChannel analog.
+type Channel struct {
+	cfg Config
+	tr  Transport
+
+	mu       sync.Mutex
+	state    chanState
+	group    string
+	recv     Receiver
+	view     *View
+	flushing bool
+	flushC   *sync.Cond
+
+	// Virtual-synchrony data path.
+	nextSeq   uint64             // coordinator: next global seq to assign
+	delivered uint64             // highest contiguously delivered global seq
+	pending   map[uint64]*Packet // out-of-order buffer
+	msgStore  map[uint64]*Packet // coordinator: for retransmission
+	storeLow  uint64             // below this the store is pruned
+	ackSeq    map[Address]uint64 // coordinator: member delivery acks
+	coordSeq  uint64             // member: coordinator's delivered seq (from heartbeats)
+	gapSince  time.Time
+
+	// Bimodal data path.
+	sendSeqB uint64
+	senders  map[Address]*senderState
+
+	// Membership machinery.
+	lastSeen map[Address]time.Time
+	flush    *pendingFlush
+	joiners  []Address // queued while a flush is in progress
+
+	// Connect/state-transfer rendezvous.
+	discoverC chan Address
+	viewC     chan *View
+	stateC    chan []byte
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	rng  *rand.Rand
+}
+
+// NewChannel builds a channel over the given transport.
+func NewChannel(tr Transport, cfg Config) *Channel {
+	c := &Channel{
+		cfg:      cfg,
+		tr:       tr,
+		pending:  map[uint64]*Packet{},
+		msgStore: map[uint64]*Packet{},
+		ackSeq:   map[Address]uint64{},
+		senders:  map[Address]*senderState{},
+		lastSeen: map[Address]time.Time{},
+		done:     make(chan struct{}),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(len(tr.Addr())))),
+	}
+	c.flushC = sync.NewCond(&c.mu)
+	return c
+}
+
+// Addr returns this member's address.
+func (c *Channel) Addr() Address { return c.tr.Addr() }
+
+// View returns the current view (a copy).
+func (c *Channel) View() *View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view.Clone()
+}
+
+// IsCoordinator reports whether this member coordinates the group.
+func (c *Channel) IsCoordinator() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view.Coord() == c.Addr()
+}
+
+// Connect discovers the group coordinator (or founds the group), joins,
+// and — when r.SetState is set and another member already coordinates —
+// pulls the application state.
+func (c *Channel) Connect(group string, r Receiver) error {
+	c.mu.Lock()
+	if c.state != stateIdle {
+		c.mu.Unlock()
+		return fmt.Errorf("jgroups: Connect on %v channel", c.state)
+	}
+	c.group = group
+	c.recv = r
+	c.discoverC = make(chan Address, 8)
+	c.viewC = make(chan *View, 1)
+	c.stateC = make(chan []byte, 1)
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go c.run()
+
+	deadline := time.Now().Add(c.cfg.JoinTimeout)
+	coord := c.discover(deadline)
+	if coord == "" {
+		// Found the group.
+		c.mu.Lock()
+		c.view = &View{ID: 1, Members: []Address{c.Addr()}}
+		c.state = stateConnected
+		view := c.view.Clone()
+		cb := c.recv.ViewChange
+		c.mu.Unlock()
+		if cb != nil {
+			cb(view)
+		}
+		return nil
+	}
+	// Join via the coordinator.
+	if err := c.tr.Send(coord, &Packet{Kind: kJoinReq, Group: group}); err != nil {
+		return err
+	}
+	select {
+	case v := <-c.viewC:
+		c.mu.Lock()
+		c.state = stateConnected
+		cb := c.recv.ViewChange
+		view := v.Clone()
+		c.mu.Unlock()
+		if cb != nil {
+			cb(view)
+		}
+	case <-time.After(time.Until(deadline)):
+		return ErrJoinTimeout
+	case <-c.done:
+		return ErrChanClosed
+	}
+	// State transfer.
+	if r.SetState != nil {
+		if err := c.pullState(deadline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// discover broadcasts discovery probes until a coordinator answers or the
+// probe budget expires; it returns "" when the group seems empty.
+func (c *Channel) discover(deadline time.Time) Address {
+	probes := 3
+	for i := 0; i < probes; i++ {
+		_ = c.tr.Broadcast(&Packet{Kind: kDiscover, Group: c.group})
+		wait := 150 * time.Millisecond
+		if rem := time.Until(deadline); rem < wait {
+			wait = rem
+		}
+		select {
+		case coord := <-c.discoverC:
+			return coord
+		case <-time.After(wait):
+		case <-c.done:
+			return ""
+		}
+	}
+	return ""
+}
+
+func (c *Channel) pullState(deadline time.Time) error {
+	c.mu.Lock()
+	coord := c.view.Coord()
+	c.mu.Unlock()
+	if coord == c.Addr() {
+		return nil
+	}
+	if err := c.tr.Send(coord, &Packet{Kind: kStateReq, Group: c.group}); err != nil {
+		return err
+	}
+	select {
+	case st := <-c.stateC:
+		c.recv.SetState(st)
+		return nil
+	case <-time.After(time.Until(deadline)):
+		return fmt.Errorf("jgroups: state transfer timed out")
+	case <-c.done:
+		return ErrChanClosed
+	}
+}
+
+// Send multicasts payload to the group; the sender receives its own
+// message through Deliver as well. In virtual-synchrony mode messages are
+// totally ordered; in bimodal mode they are FIFO per sender.
+func (c *Channel) Send(payload []byte) error {
+	c.mu.Lock()
+	if c.state != stateConnected {
+		c.mu.Unlock()
+		return ErrNotConnected
+	}
+	// Block while a flush quiesces the group (VS semantics).
+	waited := time.Now()
+	for c.flushing && c.state == stateConnected {
+		c.flushC.Wait()
+		if time.Since(waited) > c.cfg.JoinTimeout {
+			c.mu.Unlock()
+			return fmt.Errorf("jgroups: send blocked by flush for too long")
+		}
+	}
+	if c.state != stateConnected {
+		c.mu.Unlock()
+		return ErrChanClosed
+	}
+
+	if c.cfg.Mode == ModeBimodal {
+		c.sendSeqB++
+		p := &Packet{Kind: kDataBimodal, Group: c.group, From: c.Addr(), Seq: c.sendSeqB, Payload: payload}
+		members := c.view.Members
+		var deliver []delivery
+		c.handleBimodalDataLocked(p, &deliver)
+		for _, m := range members {
+			if m != c.Addr() {
+				_ = c.tr.Send(m, p)
+			}
+		}
+		c.mu.Unlock()
+		c.fire(deliver)
+		return nil
+	}
+
+	// Virtual synchrony: the coordinator sequences.
+	if c.view.Coord() == c.Addr() {
+		var deliver []delivery
+		c.sequenceLocked(&Packet{Kind: kData, Group: c.group, From: c.Addr(), Payload: payload}, &deliver)
+		c.mu.Unlock()
+		c.fire(deliver)
+		return nil
+	}
+	coord := c.view.Coord()
+	c.mu.Unlock()
+	return c.tr.Send(coord, &Packet{Kind: kDataFwd, Group: c.group, From: c.Addr(), Payload: payload})
+}
+
+// delivery is a deferred application callback.
+type delivery struct {
+	src     Address
+	payload []byte
+}
+
+func (c *Channel) fire(ds []delivery) {
+	for _, d := range ds {
+		if c.recv.Deliver != nil {
+			c.recv.Deliver(d.src, d.payload)
+		}
+	}
+}
+
+// sequenceLocked (coordinator) assigns the next global seq and multicasts.
+func (c *Channel) sequenceLocked(p *Packet, deliver *[]delivery) {
+	c.nextSeq++
+	p.Seq = c.nextSeq
+	p.Kind = kData
+	stored := *p
+	c.msgStore[p.Seq] = &stored
+	for _, m := range c.view.Members {
+		if m != c.Addr() {
+			_ = c.tr.Send(m, p)
+		}
+	}
+	c.handleDataLocked(p, deliver)
+}
+
+// handleDataLocked performs in-order global-seq delivery (VS mode).
+func (c *Channel) handleDataLocked(p *Packet, deliver *[]delivery) {
+	if p.Seq <= c.delivered {
+		return // duplicate
+	}
+	cp := *p
+	c.pending[p.Seq] = &cp
+	for {
+		next, ok := c.pending[c.delivered+1]
+		if !ok {
+			break
+		}
+		delete(c.pending, c.delivered+1)
+		c.delivered++
+		*deliver = append(*deliver, delivery{src: next.From, payload: next.Payload})
+	}
+	if len(c.pending) > 0 {
+		if c.gapSince.IsZero() {
+			c.gapSince = time.Now()
+		}
+	} else {
+		c.gapSince = time.Time{}
+	}
+}
+
+// handleBimodalDataLocked performs per-sender FIFO delivery and stores
+// messages for gossip repair.
+func (c *Channel) handleBimodalDataLocked(p *Packet, deliver *[]delivery) {
+	ss := c.senders[p.From]
+	if ss == nil {
+		ss = newSenderState()
+		c.senders[p.From] = ss
+	}
+	if p.Seq <= ss.delivered {
+		return
+	}
+	if _, dup := ss.pending[p.Seq]; dup {
+		return
+	}
+	cp := *p
+	ss.pending[p.Seq] = &cp
+	for {
+		next, ok := ss.pending[ss.delivered+1]
+		if !ok {
+			break
+		}
+		delete(ss.pending, ss.delivered+1)
+		ss.delivered++
+		ss.store[next.Seq] = next
+		*deliver = append(*deliver, delivery{src: next.From, payload: next.Payload})
+	}
+	// Prune the repair store.
+	for len(ss.store) > bimodalStoreMax {
+		ss.storeMin++
+		delete(ss.store, ss.storeMin)
+	}
+}
+
+// run is the protocol main loop.
+func (c *Channel) run() {
+	defer c.wg.Done()
+	heartbeat := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer heartbeat.Stop()
+	gossip := time.NewTicker(c.cfg.GossipInterval)
+	defer gossip.Stop()
+	merge := time.NewTicker(c.cfg.MergeInterval)
+	defer merge.Stop()
+	retrans := time.NewTicker(c.cfg.RetransmitTimeout)
+	defer retrans.Stop()
+
+	for {
+		select {
+		case <-c.done:
+			return
+		case p, ok := <-c.tr.Recv():
+			if !ok {
+				return
+			}
+			c.handlePacket(p)
+		case <-heartbeat.C:
+			c.tickHeartbeat()
+		case <-gossip.C:
+			c.tickGossip()
+		case <-merge.C:
+			c.tickMerge()
+		case <-retrans.C:
+			c.tickRetransmit()
+		}
+	}
+}
+
+func (c *Channel) handlePacket(p *Packet) {
+	if p.Group != c.group {
+		return
+	}
+	var deliver []delivery
+	var viewCB *View
+	var mergeCB *MergeEvent
+
+	c.mu.Lock()
+	if c.state == stateClosed {
+		c.mu.Unlock()
+		return
+	}
+	c.lastSeen[p.Src] = time.Now()
+	switch p.Kind {
+	case kDiscover:
+		if c.state == stateConnected && c.view.Coord() == c.Addr() && p.Src != c.Addr() {
+			_ = c.tr.Send(p.Src, &Packet{Kind: kDiscoverRsp, Group: c.group})
+		}
+	case kDiscoverRsp:
+		select {
+		case c.discoverC <- p.Src:
+		default:
+		}
+	case kJoinReq:
+		c.handleJoinLocked(p.Src)
+	case kLeave:
+		if c.state == stateConnected && c.view.Coord() == c.Addr() && c.view.Contains(p.Src) {
+			c.startFlushLocked(c.removeMemberView(p.Src))
+		}
+	case kData:
+		if c.state == stateConnected {
+			c.handleDataLocked(p, &deliver)
+		}
+	case kDataFwd:
+		if c.state == stateConnected && c.view.Coord() == c.Addr() && !c.flushing {
+			c.sequenceLocked(p, &deliver)
+		}
+	case kDataBimodal:
+		if c.state == stateConnected {
+			c.handleBimodalDataLocked(p, &deliver)
+		}
+	case kNakReq:
+		for _, seq := range p.Seqs {
+			if m, ok := c.msgStore[seq]; ok {
+				_ = c.tr.Send(p.Src, m)
+			}
+		}
+	case kFlushStart:
+		c.flushing = true
+		_ = c.tr.Send(p.Src, &Packet{Kind: kFlushAck, Group: c.group, Seq: c.delivered, Digest: c.bimodalDigestLocked()})
+	case kFlushAck:
+		c.handleFlushAckLocked(p)
+	case kView:
+		viewCB = c.installViewLocked(p)
+	case kHeartbeat:
+		c.handleHeartbeatLocked(p)
+	case kGossip:
+		c.handleGossipLocked(p)
+	case kGossipRsp:
+		for _, m := range p.Packets {
+			c.handleBimodalDataLocked(m, &deliver)
+		}
+	case kStateReq:
+		if c.recv.GetState != nil {
+			st := c.recv.GetState()
+			_ = c.tr.Send(p.Src, &Packet{Kind: kStateRsp, Group: c.group, Payload: st})
+		}
+	case kStateRsp:
+		select {
+		case c.stateC <- p.Payload:
+		default:
+		}
+	case kMergeAnnounce:
+		c.handleMergeAnnounceLocked(p)
+	case kMergeView:
+		viewCB, mergeCB = c.handleMergeViewLocked(p)
+	}
+	c.mu.Unlock()
+
+	c.fire(deliver)
+	if viewCB != nil && c.recv.ViewChange != nil {
+		c.recv.ViewChange(viewCB)
+	}
+	if mergeCB != nil {
+		// Resynchronize off the protocol loop: resyncState waits for a
+		// kStateRsp that this loop must keep running to receive.
+		go c.completeMerge(*mergeCB)
+	}
+}
+
+// completeMerge pulls authoritative state on non-primary members, then
+// fires the application Merge callback.
+func (c *Channel) completeMerge(e MergeEvent) {
+	if !e.Primary && c.recv.SetState != nil {
+		c.resyncState()
+	}
+	if c.recv.Merge != nil {
+		c.recv.Merge(e)
+	}
+}
+
+func (c *Channel) resyncState() {
+	c.mu.Lock()
+	coord := c.view.Coord()
+	c.mu.Unlock()
+	if coord == c.Addr() {
+		return
+	}
+	// Drop any stale buffered state from an earlier transfer.
+	select {
+	case <-c.stateC:
+	default:
+	}
+	_ = c.tr.Send(coord, &Packet{Kind: kStateReq, Group: c.group})
+	select {
+	case st := <-c.stateC:
+		c.recv.SetState(st)
+	case <-time.After(c.cfg.JoinTimeout):
+	case <-c.done:
+	}
+}
+
+// handleJoinLocked (coordinator) starts a flush to admit a joiner.
+func (c *Channel) handleJoinLocked(joiner Address) {
+	if c.state != stateConnected || c.view.Coord() != c.Addr() {
+		return
+	}
+	if c.view.Contains(joiner) {
+		// Re-join after restart: just resend the current view.
+		_ = c.tr.Send(joiner, &Packet{Kind: kView, Group: c.group, View: c.view, Seq: c.nextSeq})
+		return
+	}
+	if c.flush != nil {
+		c.joiners = append(c.joiners, joiner)
+		return
+	}
+	nv := c.view.Clone()
+	nv.ID++
+	nv.Members = append(nv.Members, joiner)
+	c.startFlushLocked(nv)
+}
+
+func (c *Channel) removeMemberView(gone ...Address) *View {
+	nv := &View{ID: c.view.ID + 1}
+	for _, m := range c.view.Members {
+		dead := false
+		for _, g := range gone {
+			if m == g {
+				dead = true
+			}
+		}
+		if !dead {
+			nv.Members = append(nv.Members, m)
+		}
+	}
+	return nv
+}
+
+// startFlushLocked (coordinator) quiesces the group before installing nv.
+func (c *Channel) startFlushLocked(nv *View) {
+	c.flushing = true
+	waiting := map[Address]bool{}
+	for _, m := range c.view.Members {
+		if m != c.Addr() && nv.Contains(m) {
+			waiting[m] = true
+			_ = c.tr.Send(m, &Packet{Kind: kFlushStart, Group: c.group, ViewID: nv.ID})
+		}
+	}
+	c.flush = &pendingFlush{
+		newView:  nv,
+		waiting:  waiting,
+		digests:  map[Address]uint64{},
+		deadline: time.Now().Add(c.cfg.SuspectAfter),
+	}
+	if len(waiting) == 0 {
+		c.finishFlushLocked()
+	}
+}
+
+func (c *Channel) handleFlushAckLocked(p *Packet) {
+	if c.flush == nil || !c.flush.waiting[p.Src] {
+		return
+	}
+	delete(c.flush.waiting, p.Src)
+	c.flush.digests[p.Src] = p.Seq
+	if len(c.flush.waiting) == 0 {
+		c.finishFlushLocked()
+	}
+}
+
+// finishFlushLocked (coordinator) retransmits what stragglers miss, then
+// installs the new view everywhere.
+func (c *Channel) finishFlushLocked() {
+	f := c.flush
+	c.flush = nil
+	if c.cfg.Mode == ModeVirtualSynchrony {
+		for m, got := range f.digests {
+			for seq := got + 1; seq <= c.nextSeq; seq++ {
+				if msg, ok := c.msgStore[seq]; ok {
+					_ = c.tr.Send(m, msg)
+				}
+			}
+		}
+	}
+	for _, m := range f.newView.Members {
+		if m != c.Addr() {
+			_ = c.tr.Send(m, &Packet{Kind: kView, Group: c.group, View: f.newView, Seq: c.nextSeq})
+		}
+	}
+	c.view = f.newView.Clone()
+	c.flushing = false
+	c.flushC.Broadcast()
+	for _, m := range c.view.Members {
+		c.lastSeen[m] = time.Now()
+	}
+	view := c.view.Clone()
+	cb := c.recv.ViewChange
+	// Queued joiners start the next flush.
+	if len(c.joiners) > 0 {
+		next := c.joiners[0]
+		c.joiners = c.joiners[1:]
+		c.handleJoinLocked(next)
+	}
+	if cb != nil {
+		go cb(view)
+	}
+}
+
+// installViewLocked (member) applies a kView from the coordinator.
+func (c *Channel) installViewLocked(p *Packet) *View {
+	if p.View == nil {
+		return nil
+	}
+	if c.view != nil && p.View.ID <= c.view.ID && c.state == stateConnected {
+		return nil // stale
+	}
+	if !p.View.Contains(c.Addr()) {
+		return nil // excluded (false suspicion); we'll re-merge later
+	}
+	c.view = p.View.Clone()
+	c.flushing = false
+	c.flushC.Broadcast()
+	for _, m := range c.view.Members {
+		c.lastSeen[m] = time.Now()
+	}
+	if c.state != stateConnected {
+		// Joining: adopt the coordinator's sequence position.
+		c.delivered = p.Seq
+		c.nextSeq = p.Seq
+		select {
+		case c.viewC <- c.view.Clone():
+		default:
+		}
+		return nil
+	}
+	return c.view.Clone()
+}
+
+func (c *Channel) bimodalDigestLocked() map[Address]uint64 {
+	d := map[Address]uint64{}
+	for a, ss := range c.senders {
+		d[a] = ss.delivered
+	}
+	if c.cfg.Mode == ModeBimodal {
+		d[c.Addr()] = c.sendSeqB
+	}
+	return d
+}
+
+func (c *Channel) tickHeartbeat() {
+	var deliver []delivery
+	c.mu.Lock()
+	if c.state != stateConnected {
+		c.mu.Unlock()
+		return
+	}
+	me := c.Addr()
+	isCoord := c.view.Coord() == me
+	hb := &Packet{Kind: kHeartbeat, Group: c.group, Seq: c.delivered}
+	if isCoord {
+		for _, m := range c.view.Members {
+			if m != me {
+				_ = c.tr.Send(m, hb)
+			}
+		}
+		// Prune the retransmission store below the group-wide ack floor.
+		if len(c.view.Members) > 1 {
+			low := c.delivered
+			for _, m := range c.view.Members {
+				if m == me {
+					continue
+				}
+				if a, ok := c.ackSeq[m]; !ok {
+					low = 0
+					break
+				} else if a < low {
+					low = a
+				}
+			}
+			for seq := c.storeLow + 1; seq <= low; seq++ {
+				delete(c.msgStore, seq)
+			}
+			if low > c.storeLow {
+				c.storeLow = low
+			}
+		} else {
+			c.msgStore = map[uint64]*Packet{}
+			c.storeLow = c.nextSeq
+		}
+		// Failure detection of members.
+		var gone []Address
+		for _, m := range c.view.Members {
+			if m == me {
+				continue
+			}
+			if seen, ok := c.lastSeen[m]; ok && time.Since(seen) > c.cfg.SuspectAfter {
+				gone = append(gone, m)
+			}
+		}
+		if len(gone) > 0 && c.flush == nil {
+			c.startFlushLocked(c.removeMemberView(gone...))
+		}
+	} else {
+		_ = c.tr.Send(c.view.Coord(), hb)
+		// Coordinator failure: the senior surviving member takes over.
+		coord := c.view.Coord()
+		if seen, ok := c.lastSeen[coord]; ok && time.Since(seen) > c.cfg.SuspectAfter {
+			if c.flush == nil && c.seniorSurvivorLocked() == me {
+				nv := c.removeMemberView(coord)
+				c.startFlushLocked(nv)
+			}
+		}
+	}
+	// Flush deadline: drop unresponsive members from the pending view.
+	// This must run on whichever member initiated the flush — a deposed
+	// coordinator's successor is not the coordinator of the current view.
+	if c.flush != nil && time.Now().After(c.flush.deadline) {
+		for m := range c.flush.waiting {
+			c.flush.newView.Members = removeAddr(c.flush.newView.Members, m)
+			delete(c.flush.waiting, m)
+		}
+		if len(c.flush.waiting) == 0 {
+			c.finishFlushLocked()
+		}
+	}
+	c.mu.Unlock()
+	c.fire(deliver)
+}
+
+// seniorSurvivorLocked returns the first view member not currently
+// suspected.
+func (c *Channel) seniorSurvivorLocked() Address {
+	for _, m := range c.view.Members {
+		if m == c.Addr() {
+			return m
+		}
+		if seen, ok := c.lastSeen[m]; !ok || time.Since(seen) <= c.cfg.SuspectAfter {
+			return m
+		}
+	}
+	return ""
+}
+
+func removeAddr(in []Address, rm Address) []Address {
+	out := in[:0]
+	for _, a := range in {
+		if a != rm {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (c *Channel) handleHeartbeatLocked(p *Packet) {
+	if c.state != stateConnected {
+		return
+	}
+	if c.view.Coord() == c.Addr() {
+		c.ackSeq[p.Src] = p.Seq
+		return
+	}
+	if p.Src == c.view.Coord() {
+		// The coordinator has sequenced messages we may have lost
+		// entirely (tail loss leaves no gap to observe); remember its
+		// position so tickRetransmit can NAK up to it.
+		if p.Seq > c.coordSeq {
+			c.coordSeq = p.Seq
+		}
+		if c.coordSeq > c.delivered && c.gapSince.IsZero() {
+			c.gapSince = time.Now()
+		}
+	}
+}
+
+func (c *Channel) tickGossip() {
+	c.mu.Lock()
+	if c.state != stateConnected || c.cfg.Mode != ModeBimodal || len(c.view.Members) < 2 {
+		c.mu.Unlock()
+		return
+	}
+	// Pick a random peer.
+	peers := make([]Address, 0, len(c.view.Members)-1)
+	for _, m := range c.view.Members {
+		if m != c.Addr() {
+			peers = append(peers, m)
+		}
+	}
+	peer := peers[c.rng.Intn(len(peers))]
+	digest := c.bimodalDigestLocked()
+	c.mu.Unlock()
+	_ = c.tr.Send(peer, &Packet{Kind: kGossip, Group: c.group, Digest: digest})
+}
+
+// handleGossipLocked replies with the messages the peer's digest misses.
+func (c *Channel) handleGossipLocked(p *Packet) {
+	if c.cfg.Mode != ModeBimodal {
+		return
+	}
+	var repair []*Packet
+	for sender, ss := range c.senders {
+		have := ss.delivered
+		theirs := p.Digest[sender]
+		for seq := theirs + 1; seq <= have && len(repair) < 256; seq++ {
+			if m, ok := ss.store[seq]; ok {
+				repair = append(repair, m)
+			}
+		}
+	}
+	if len(repair) > 0 {
+		_ = c.tr.Send(p.Src, &Packet{Kind: kGossipRsp, Group: c.group, Packets: repair})
+	}
+}
+
+func (c *Channel) tickRetransmit() {
+	c.mu.Lock()
+	if c.state != stateConnected || c.cfg.Mode != ModeVirtualSynchrony ||
+		c.gapSince.IsZero() || time.Since(c.gapSince) < c.cfg.RetransmitTimeout {
+		c.mu.Unlock()
+		return
+	}
+	// Request every missing seq up to the highest sequence we know of:
+	// the highest buffered message, or the coordinator's heartbeat
+	// position (which catches tail loss).
+	maxSeq := c.coordSeq
+	for s := range c.pending {
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
+	var missing []uint64
+	for s := c.delivered + 1; s <= maxSeq && len(missing) < 512; s++ {
+		if _, ok := c.pending[s]; !ok {
+			missing = append(missing, s)
+		}
+	}
+	coord := c.view.Coord()
+	c.mu.Unlock()
+	if len(missing) > 0 && coord != c.Addr() {
+		_ = c.tr.Send(coord, &Packet{Kind: kNakReq, Group: c.group, Seqs: missing})
+	}
+}
+
+func (c *Channel) tickMerge() {
+	c.mu.Lock()
+	if c.state != stateConnected || c.view.Coord() != c.Addr() {
+		c.mu.Unlock()
+		return
+	}
+	view := c.view.Clone()
+	c.mu.Unlock()
+	_ = c.tr.Broadcast(&Packet{Kind: kMergeAnnounce, Group: c.group, View: view})
+}
+
+// handleMergeAnnounceLocked runs on a coordinator that sees a foreign
+// coordinator's announcement. The PRIMARY PARTITION rule picks the
+// authoritative side; its coordinator leads the merge.
+func (c *Channel) handleMergeAnnounceLocked(p *Packet) {
+	if c.state != stateConnected || c.view.Coord() != c.Addr() || p.View == nil {
+		return
+	}
+	if p.Src == c.Addr() || c.view.Contains(p.Src) {
+		return // our own announcement or a member we already have
+	}
+	mine, theirs := c.view, p.View
+	if !primaryOf(mine, theirs, c.Addr(), p.Src) {
+		return // the other coordinator leads
+	}
+	// Build the merged view: primary members keep seniority.
+	nv := &View{ID: maxU64(mine.ID, theirs.ID) + 1}
+	nv.Members = append(nv.Members, mine.Members...)
+	for _, m := range theirs.Members {
+		if !nv.Contains(m) {
+			nv.Members = append(nv.Members, m)
+		}
+	}
+	primary := append([]Address(nil), mine.Members...)
+	for _, m := range nv.Members {
+		pkt := &Packet{Kind: kMergeView, Group: c.group, View: nv, Addrs: primary, Seq: c.nextSeq}
+		if m == c.Addr() {
+			// Handle our own merge view inline (can't loop back).
+			viewCB, mergeCB := c.handleMergeViewLocked(pkt)
+			if viewCB != nil || mergeCB != nil {
+				go func() {
+					if viewCB != nil && c.recv.ViewChange != nil {
+						c.recv.ViewChange(viewCB)
+					}
+					if mergeCB != nil {
+						c.completeMerge(*mergeCB)
+					}
+				}()
+			}
+			continue
+		}
+		_ = c.tr.Send(m, pkt)
+	}
+}
+
+// primaryOf decides whether (mine, me) is the primary partition against
+// (theirs, other): larger membership wins; ties go to the smaller
+// coordinator address.
+func primaryOf(mine, theirs *View, me, other Address) bool {
+	if len(mine.Members) != len(theirs.Members) {
+		return len(mine.Members) > len(theirs.Members)
+	}
+	return me < other
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// handleMergeViewLocked installs a merged view and resets the data path.
+func (c *Channel) handleMergeViewLocked(p *Packet) (*View, *MergeEvent) {
+	if c.state != stateConnected || p.View == nil || !p.View.Contains(c.Addr()) {
+		return nil, nil
+	}
+	if c.view != nil && p.View.ID <= c.view.ID {
+		return nil, nil
+	}
+	wasPrimary := false
+	for _, a := range p.Addrs {
+		if a == c.Addr() {
+			wasPrimary = true
+		}
+	}
+	c.view = p.View.Clone()
+	c.flushing = false
+	c.flushC.Broadcast()
+	for _, m := range c.view.Members {
+		c.lastSeen[m] = time.Now()
+	}
+	// Reset both data paths: in-flight pre-merge traffic is abandoned;
+	// non-primary members resynchronize state out of band.
+	c.pending = map[uint64]*Packet{}
+	c.msgStore = map[uint64]*Packet{}
+	c.storeLow = 0
+	c.delivered = p.Seq
+	c.nextSeq = p.Seq
+	c.coordSeq = p.Seq
+	c.gapSince = time.Time{}
+	c.senders = map[Address]*senderState{}
+	c.sendSeqB = 0
+	return c.view.Clone(), &MergeEvent{Primary: wasPrimary, View: c.view.Clone()}
+}
+
+// Close leaves the group and releases the transport.
+func (c *Channel) Close() error {
+	c.mu.Lock()
+	if c.state == stateClosed {
+		c.mu.Unlock()
+		return nil
+	}
+	wasConnected := c.state == stateConnected
+	var coord Address
+	if wasConnected && c.view != nil {
+		coord = c.view.Coord()
+	}
+	c.state = stateClosed
+	c.flushC.Broadcast()
+	c.mu.Unlock()
+
+	if wasConnected && coord != "" && coord != c.Addr() {
+		_ = c.tr.Send(coord, &Packet{Kind: kLeave, Group: c.group})
+	}
+	close(c.done)
+	err := c.tr.Close()
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,251 @@
+package jgroups
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Transport moves packets between members. Implementations: the in-process
+// Fabric (with partition/loss/delay fault injection, used by tests and the
+// benchmark harness) and the UDP transport (for multi-process daemons).
+type Transport interface {
+	// Addr returns this endpoint's address.
+	Addr() Address
+	// Send unicasts a packet. Delivery is best-effort; reliability is
+	// the protocol stack's job.
+	Send(dest Address, p *Packet) error
+	// Broadcast delivers best-effort to every reachable endpoint in the
+	// transport domain (the emulation of IP multicast used by
+	// discovery, merge announcements, and bimodal data).
+	Broadcast(p *Packet) error
+	// Recv returns the inbound packet channel; it is closed when the
+	// endpoint closes.
+	Recv() <-chan *Packet
+	// Close tears the endpoint down.
+	Close() error
+}
+
+// ErrEndpointClosed is returned when sending through a closed endpoint.
+var ErrEndpointClosed = errors.New("jgroups: endpoint closed")
+
+// Fabric is an in-process transport domain. It supports fault injection:
+// network partitions (endpoints in different cells cannot exchange
+// packets), probabilistic message loss, and fixed delivery delay.
+//
+// Endpoint inboxes are unbounded, faithfully reproducing the JGroups
+// buffer-management behaviour the paper diagnoses in §7: flooding a
+// member grows its queues without bound.
+type Fabric struct {
+	mu        sync.Mutex
+	endpoints map[Address]*fabricEP
+	cells     map[Address]int // partition cell; default 0
+	loss      float64
+	delay     time.Duration
+	rng       *rand.Rand
+}
+
+// NewFabric creates an empty transport domain.
+func NewFabric() *Fabric {
+	return &Fabric{
+		endpoints: map[Address]*fabricEP{},
+		cells:     map[Address]int{},
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// SetLoss drops each packet with probability p (0 ≤ p < 1).
+func (f *Fabric) SetLoss(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loss = p
+}
+
+// SetDelay delays each delivery by d.
+func (f *Fabric) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay = d
+}
+
+// Partition splits the fabric into cells: groups[i] go to cell i+1,
+// unlisted endpoints stay in cell 0. Packets cross cells never.
+func (f *Fabric) Partition(groups ...[]Address) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cells = map[Address]int{}
+	for i, g := range groups {
+		for _, a := range g {
+			f.cells[a] = i + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (f *Fabric) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cells = map[Address]int{}
+}
+
+// Endpoint creates (or replaces) the endpoint for addr.
+func (f *Fabric) Endpoint(addr Address) Transport {
+	ep := &fabricEP{fabric: f, addr: addr, ch: make(chan *Packet, 64), quit: make(chan struct{})}
+	ep.cond = sync.NewCond(&ep.mu)
+	go ep.pump()
+	f.mu.Lock()
+	if old := f.endpoints[addr]; old != nil {
+		old.closeLocked()
+	}
+	f.endpoints[addr] = ep
+	f.mu.Unlock()
+	return ep
+}
+
+// QueueLen reports the endpoint's pending inbound queue length (for tests
+// observing the unbounded-buffer pathology).
+func (f *Fabric) QueueLen(addr Address) int {
+	f.mu.Lock()
+	ep := f.endpoints[addr]
+	f.mu.Unlock()
+	if ep == nil {
+		return 0
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.queue)
+}
+
+// deliver enqueues p at the destination if reachable.
+func (f *Fabric) deliver(src Address, dest *fabricEP, p *Packet) {
+	f.mu.Lock()
+	if f.cells[src] != f.cells[dest.addr] {
+		f.mu.Unlock()
+		return
+	}
+	if f.loss > 0 && f.rng.Float64() < f.loss {
+		f.mu.Unlock()
+		return
+	}
+	delay := f.delay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.AfterFunc(delay, func() { dest.enqueue(p) })
+		return
+	}
+	dest.enqueue(p)
+}
+
+type fabricEP struct {
+	fabric *Fabric
+	addr   Address
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Packet // unbounded inbox
+	closed bool
+	quit   chan struct{}
+
+	ch chan *Packet
+}
+
+// pump moves packets from the unbounded queue to the receive channel.
+func (ep *fabricEP) pump() {
+	for {
+		ep.mu.Lock()
+		for len(ep.queue) == 0 && !ep.closed {
+			ep.cond.Wait()
+		}
+		if ep.closed {
+			ep.mu.Unlock()
+			close(ep.ch)
+			return
+		}
+		p := ep.queue[0]
+		ep.queue = ep.queue[1:]
+		ep.mu.Unlock()
+		select {
+		case ep.ch <- p:
+		case <-ep.quit:
+			close(ep.ch)
+			return
+		}
+	}
+}
+
+func (ep *fabricEP) enqueue(p *Packet) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	ep.queue = append(ep.queue, p)
+	ep.cond.Signal()
+}
+
+func (ep *fabricEP) Addr() Address { return ep.addr }
+
+func (ep *fabricEP) Send(dest Address, p *Packet) error {
+	ep.mu.Lock()
+	closed := ep.closed
+	ep.mu.Unlock()
+	if closed {
+		return ErrEndpointClosed
+	}
+	cp := *p
+	cp.Src = ep.addr
+	cp.Dest = dest
+	ep.fabric.mu.Lock()
+	target := ep.fabric.endpoints[dest]
+	ep.fabric.mu.Unlock()
+	if target == nil {
+		return nil // unknown peers are dropped, like UDP
+	}
+	ep.fabric.deliver(ep.addr, target, &cp)
+	return nil
+}
+
+func (ep *fabricEP) Broadcast(p *Packet) error {
+	ep.mu.Lock()
+	closed := ep.closed
+	ep.mu.Unlock()
+	if closed {
+		return ErrEndpointClosed
+	}
+	ep.fabric.mu.Lock()
+	targets := make([]*fabricEP, 0, len(ep.fabric.endpoints))
+	for _, t := range ep.fabric.endpoints {
+		targets = append(targets, t)
+	}
+	ep.fabric.mu.Unlock()
+	for _, t := range targets {
+		cp := *p
+		cp.Src = ep.addr
+		cp.Dest = t.addr
+		ep.fabric.deliver(ep.addr, t, &cp)
+	}
+	return nil
+}
+
+func (ep *fabricEP) Recv() <-chan *Packet { return ep.ch }
+
+func (ep *fabricEP) Close() error {
+	ep.fabric.mu.Lock()
+	if ep.fabric.endpoints[ep.addr] == ep {
+		delete(ep.fabric.endpoints, ep.addr)
+	}
+	ep.fabric.mu.Unlock()
+	ep.closeLocked()
+	return nil
+}
+
+func (ep *fabricEP) closeLocked() {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if !ep.closed {
+		ep.closed = true
+		close(ep.quit)
+		ep.cond.Signal()
+	}
+}

@@ -1,0 +1,153 @@
+package jgroups
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"sync"
+)
+
+// UDPTransport carries packets over real UDP sockets for multi-process
+// deployments (cmd/hdnsd). IP multicast is emulated TCPPING-style: a
+// static peer list receives every Broadcast. A member's Address is its
+// UDP host:port.
+type UDPTransport struct {
+	conn  *net.UDPConn
+	addr  Address
+	recv  chan *Packet
+	mu    sync.Mutex
+	peers map[Address]bool
+	wg    sync.WaitGroup
+	done  chan struct{}
+}
+
+// maxUDPPacket bounds one datagram (gossip bundles are capped well below).
+const maxUDPPacket = 60 << 10
+
+// NewUDPTransport listens on listenAddr (e.g. "127.0.0.1:0") and
+// broadcasts to the given initial peers (host:port each).
+func NewUDPTransport(listenAddr string, peers []string) (*UDPTransport, error) {
+	uaddr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, err
+	}
+	t := &UDPTransport{
+		conn:  conn,
+		addr:  Address(conn.LocalAddr().String()),
+		recv:  make(chan *Packet, 1024),
+		peers: map[Address]bool{},
+		done:  make(chan struct{}),
+	}
+	for _, p := range peers {
+		t.peers[Address(p)] = true
+	}
+	t.wg.Add(1)
+	go t.readLoop()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *UDPTransport) Addr() Address { return t.addr }
+
+// AddPeer extends the broadcast set (new peers are also learned
+// automatically from inbound packets).
+func (t *UDPTransport) AddPeer(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[Address(addr)] = true
+}
+
+func (t *UDPTransport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, maxUDPPacket)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			// Leave t.recv open: Channel.run exits via its own done
+			// signal, and closing here would race the Broadcast
+			// loopback path.
+			return
+		}
+		var p Packet
+		if err := gob.NewDecoder(bytes.NewReader(buf[:n])).Decode(&p); err != nil {
+			continue
+		}
+		// Learn peers from traffic.
+		t.mu.Lock()
+		t.peers[p.Src] = true
+		t.mu.Unlock()
+		select {
+		case t.recv <- &p:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+func (t *UDPTransport) send(dest Address, p *Packet) error {
+	cp := *p
+	cp.Src = t.addr
+	cp.Dest = dest
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&cp); err != nil {
+		return err
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", string(dest))
+	if err != nil {
+		return err
+	}
+	_, err = t.conn.WriteToUDP(buf.Bytes(), uaddr)
+	return err
+}
+
+// Send implements Transport.
+func (t *UDPTransport) Send(dest Address, p *Packet) error {
+	return t.send(dest, p)
+}
+
+// Broadcast implements Transport.
+func (t *UDPTransport) Broadcast(p *Packet) error {
+	t.mu.Lock()
+	peers := make([]Address, 0, len(t.peers))
+	for a := range t.peers {
+		peers = append(peers, a)
+	}
+	t.mu.Unlock()
+	for _, a := range peers {
+		if a == t.addr {
+			// Loop back through the receive path so discovery finds
+			// singletons on the same transport semantics as fabric.
+			cp := *p
+			cp.Src = t.addr
+			cp.Dest = t.addr
+			select {
+			case <-t.done:
+			case t.recv <- &cp:
+			default:
+			}
+			continue
+		}
+		_ = t.send(a, p)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *UDPTransport) Recv() <-chan *Packet { return t.recv }
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	select {
+	case <-t.done:
+		return nil
+	default:
+	}
+	close(t.done)
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,222 @@
+package jini
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+	"time"
+
+	"gondi/internal/rpc"
+)
+
+// Registrar is a client connection to a lookup service (the
+// ServiceRegistrar proxy analog).
+type Registrar struct {
+	rc *rpc.Client
+
+	mu       sync.Mutex
+	handlers map[uint64]func(ServiceEvent)
+}
+
+// DialRegistrar connects to the LUS at addr.
+func DialRegistrar(addr string, timeout time.Duration) (*Registrar, error) {
+	rc, err := rpc.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	r := &Registrar{rc: rc, handlers: map[uint64]func(ServiceEvent){}}
+	rc.OnPush(func(method string, body []byte) {
+		if method != mJiniEvent {
+			return
+		}
+		var ev ServiceEvent
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&ev); err != nil {
+			return
+		}
+		r.mu.Lock()
+		h := r.handlers[ev.RegistrationID]
+		r.mu.Unlock()
+		if h != nil {
+			h(ev)
+		}
+	})
+	return r, nil
+}
+
+// Close drops the connection (event registrations die with it).
+func (r *Registrar) Close() error { return r.rc.Close() }
+
+// Closed reports whether the connection has terminated (e.g. LUS
+// shutdown); pooled providers use it to discard dead connections.
+func (r *Registrar) Closed() bool { return r.rc.Closed() }
+
+func (r *Registrar) call(method string, req *wireReq) (*wireRsp, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, err
+	}
+	body, err := r.rc.Call(method, buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var rsp wireRsp
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rsp); err != nil {
+		return nil, err
+	}
+	return &rsp, nil
+}
+
+// Register registers (or overwrites — Jini has no test-and-set) a service
+// item with the requested lease duration.
+func (r *Registrar) Register(item ServiceItem, lease time.Duration) (Registration, error) {
+	rsp, err := r.call(mRegister, &wireReq{Item: item, LeaseMs: lease.Milliseconds()})
+	if err != nil {
+		return Registration{}, err
+	}
+	return rsp.Reg, nil
+}
+
+// Lookup returns up to max items matching the template (0 = all).
+func (r *Registrar) Lookup(t ServiceTemplate, max int) ([]ServiceItem, error) {
+	rsp, err := r.call(mLookup, &wireReq{Template: t, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return rsp.Items, nil
+}
+
+// LookupOne returns the first matching item, or ok=false.
+func (r *Registrar) LookupOne(t ServiceTemplate) (ServiceItem, bool, error) {
+	items, err := r.Lookup(t, 1)
+	if err != nil || len(items) == 0 {
+		return ServiceItem{}, false, err
+	}
+	return items[0], true, nil
+}
+
+// Renew extends a registration's lease and returns the new expiry.
+func (r *Registrar) Renew(id ServiceID, lease time.Duration) (time.Time, error) {
+	rsp, err := r.call(mRenew, &wireReq{ID: id, LeaseMs: lease.Milliseconds()})
+	if err != nil {
+		return time.Time{}, err
+	}
+	return rsp.Expiry, nil
+}
+
+// Cancel terminates a registration immediately.
+func (r *Registrar) Cancel(id ServiceID) error {
+	_, err := r.call(mCancel, &wireReq{ID: id})
+	return err
+}
+
+// Notify registers an event listener for template transitions; the
+// returned cancel also deregisters the handler.
+func (r *Registrar) Notify(t ServiceTemplate, mask int, lease time.Duration, fn func(ServiceEvent)) (cancel func(), err error) {
+	rsp, err := r.call(mNotify, &wireReq{Template: t, Mask: mask, LeaseMs: lease.Milliseconds()})
+	if err != nil {
+		return nil, err
+	}
+	id := rsp.RegID
+	r.mu.Lock()
+	r.handlers[id] = fn
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		delete(r.handlers, id)
+		r.mu.Unlock()
+		_, _ = r.call(mUnnotify, &wireReq{RegID: id})
+	}, nil
+}
+
+// ServiceGroups returns the LUS's discovery groups.
+func (r *Registrar) ServiceGroups() ([]string, error) {
+	rsp, err := r.call(mGroups, &wireReq{})
+	if err != nil {
+		return nil, err
+	}
+	return rsp.Groups, nil
+}
+
+// LeaseRenewalManager renews registrations automatically until cancelled
+// — how the JNDI Jini provider keeps bound entries alive (§5.1 "the
+// provider automatically renews leases of all entries that it has
+// previously bound, until they are explicitly removed, or until the Java
+// VM exits").
+type LeaseRenewalManager struct {
+	mu      sync.Mutex
+	tracked map[ServiceID]*trackedLease
+	stopped bool
+}
+
+type trackedLease struct {
+	reg    *Registrar
+	lease  time.Duration
+	cancel chan struct{}
+}
+
+// NewLeaseRenewalManager builds an empty manager.
+func NewLeaseRenewalManager() *LeaseRenewalManager {
+	return &LeaseRenewalManager{tracked: map[ServiceID]*trackedLease{}}
+}
+
+// Manage renews id's lease through reg every lease/2 until Forget or Stop.
+func (m *LeaseRenewalManager) Manage(reg *Registrar, id ServiceID, lease time.Duration) {
+	if lease <= 0 {
+		lease = DefaultLease
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return
+	}
+	if old, ok := m.tracked[id]; ok {
+		close(old.cancel)
+	}
+	tl := &trackedLease{reg: reg, lease: lease, cancel: make(chan struct{})}
+	m.tracked[id] = tl
+	go func() {
+		t := time.NewTicker(lease / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-tl.cancel:
+				return
+			case <-t.C:
+				if _, err := reg.Renew(id, lease); err != nil {
+					// The registration is gone (cancelled or LUS
+					// restarted); stop renewing.
+					m.Forget(id)
+					return
+				}
+			}
+		}
+	}()
+}
+
+// Forget stops renewing id (without cancelling the registration).
+func (m *LeaseRenewalManager) Forget(id ServiceID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if tl, ok := m.tracked[id]; ok {
+		close(tl.cancel)
+		delete(m.tracked, id)
+	}
+}
+
+// Stop ends all renewals (provider close / "VM exit").
+func (m *LeaseRenewalManager) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stopped = true
+	for id, tl := range m.tracked {
+		close(tl.cancel)
+		delete(m.tracked, id)
+	}
+}
+
+// Count reports managed leases (diagnostics).
+func (m *LeaseRenewalManager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.tracked)
+}

@@ -1,0 +1,106 @@
+package jini
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LookupLocator is a unicast LUS address, the jini://host:port form of
+// the paper's federation URLs.
+type LookupLocator struct {
+	Host string
+	Port string
+}
+
+// ParseLocator parses "jini://host:port", "host:port" or "host" (default
+// port 4160, Jini's registered port).
+func ParseLocator(s string) (LookupLocator, error) {
+	s = strings.TrimPrefix(s, "jini://")
+	if s == "" {
+		return LookupLocator{}, fmt.Errorf("jini: empty locator")
+	}
+	host, port := s, "4160"
+	if i := strings.LastIndexByte(s, ':'); i >= 0 {
+		host, port = s[:i], s[i+1:]
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	return LookupLocator{Host: host, Port: port}, nil
+}
+
+// Addr returns host:port.
+func (l LookupLocator) Addr() string { return l.Host + ":" + l.Port }
+
+// String returns the jini:// URL form.
+func (l LookupLocator) String() string { return "jini://" + l.Addr() }
+
+// Discover connects via the unicast discovery protocol.
+func (l LookupLocator) Discover(timeout time.Duration) (*Registrar, error) {
+	return DialRegistrar(l.Addr(), timeout)
+}
+
+// The multicast announcement channel: in the original Jini, lookup
+// services announce themselves on a well-known multicast group. Within a
+// process (tests, benchmarks, examples) announcements go through this
+// registry; across machines, unicast locators are used, exactly like
+// Jini deployments behind multicast-blocking routers.
+var announceMu sync.Mutex
+var announced = map[string][]string{} // group -> LUS addresses
+
+// Announce publishes a LUS's presence in its discovery groups.
+func Announce(l *LUS) {
+	announceMu.Lock()
+	defer announceMu.Unlock()
+	groups := l.Groups()
+	if len(groups) == 0 {
+		groups = []string{""} // public group
+	}
+	for _, g := range groups {
+		announced[g] = append(announced[g], l.Addr())
+	}
+}
+
+// Withdraw removes a LUS's announcements (on shutdown).
+func Withdraw(l *LUS) {
+	announceMu.Lock()
+	defer announceMu.Unlock()
+	for g, addrs := range announced {
+		var keep []string
+		for _, a := range addrs {
+			if a != l.Addr() {
+				keep = append(keep, a)
+			}
+		}
+		announced[g] = keep
+	}
+}
+
+// DiscoverGroup returns registrars for every announced LUS in the group
+// ("" = public). Callers own the returned connections.
+func DiscoverGroup(group string, timeout time.Duration) ([]*Registrar, error) {
+	announceMu.Lock()
+	addrs := append([]string(nil), announced[group]...)
+	announceMu.Unlock()
+	var out []*Registrar
+	for _, a := range addrs {
+		r, err := DialRegistrar(a, timeout)
+		if err != nil {
+			continue // stale announcement
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("jini: no lookup service in group %q", group)
+	}
+	return out, nil
+}
+
+// ResetAnnouncements clears the announcement registry (tests only).
+func ResetAnnouncements() {
+	announceMu.Lock()
+	defer announceMu.Unlock()
+	announced = map[string][]string{}
+}

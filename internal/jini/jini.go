@@ -1,0 +1,184 @@
+// Package jini implements the Jini substrate of §5.1: a lookup service
+// (LUS) holding service items with typed attribute entries, leased
+// registrations with automatic expiry, template matching, remote event
+// notification, discovery, and a registrar wire protocol.
+//
+// Faithfully to the paper's analysis, registration is idempotent and
+// overwrite-only — `Register` with an existing service ID replaces the
+// item unconditionally, and there is no test-and-set primitive. The
+// strict JNDI provider must therefore build its atomic bind from
+// Eisenberg–McGuire locking over plain read/write operations.
+package jini
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ServiceID uniquely identifies a registered service.
+type ServiceID string
+
+// NewServiceID generates a random service ID (the LUS does this for
+// first-time registrations, as in Jini).
+func NewServiceID() ServiceID {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return ServiceID(hex.EncodeToString(b[:]))
+}
+
+// Entry is a Jini attribute entry: a named type with string fields.
+// Matching follows Jini semantics: a template entry matches a candidate
+// entry if the types are equal and every non-empty template field equals
+// the candidate's field exactly.
+type Entry struct {
+	Type   string
+	Fields map[string]string
+}
+
+// NewEntry builds an entry from field pairs.
+func NewEntry(entryType string, pairs ...string) Entry {
+	if len(pairs)%2 != 0 {
+		panic("jini.NewEntry: odd field pairs")
+	}
+	e := Entry{Type: entryType, Fields: map[string]string{}}
+	for i := 0; i < len(pairs); i += 2 {
+		e.Fields[pairs[i]] = pairs[i+1]
+	}
+	return e
+}
+
+// MatchesTemplate reports whether e satisfies the template entry.
+func (e Entry) MatchesTemplate(tmpl Entry) bool {
+	if tmpl.Type != "" && tmpl.Type != e.Type {
+		return false
+	}
+	for k, v := range tmpl.Fields {
+		if v == "" {
+			continue // wildcard field
+		}
+		if e.Fields[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the entry.
+func (e Entry) Clone() Entry {
+	f := make(map[string]string, len(e.Fields))
+	for k, v := range e.Fields {
+		f[k] = v
+	}
+	return Entry{Type: e.Type, Fields: f}
+}
+
+func (e Entry) String() string {
+	parts := make([]string, 0, len(e.Fields))
+	for k, v := range e.Fields {
+		parts = append(parts, k+"="+v)
+	}
+	return fmt.Sprintf("%s{%s}", e.Type, strings.Join(parts, ","))
+}
+
+// ServiceItem is one registered service: its ID, the marshalled service
+// proxy ("stub"), the Java-interface-like type names it implements, and
+// its attribute entries.
+type ServiceItem struct {
+	ID      ServiceID
+	Types   []string // service interface names, most specific first
+	Service []byte   // marshalled proxy object
+	Entries []Entry
+}
+
+// Clone deep-copies the item.
+func (si ServiceItem) Clone() ServiceItem {
+	out := ServiceItem{ID: si.ID}
+	out.Types = append(out.Types, si.Types...)
+	out.Service = append([]byte(nil), si.Service...)
+	for _, e := range si.Entries {
+		out.Entries = append(out.Entries, e.Clone())
+	}
+	return out
+}
+
+// ServiceTemplate selects services: by ID, by required types, and by
+// entry templates (all must match, Jini ServiceTemplate semantics).
+type ServiceTemplate struct {
+	ID      ServiceID // "" matches any
+	Types   []string  // all must be implemented
+	Entries []Entry   // each template must match some item entry
+}
+
+// Matches reports whether the item satisfies the template.
+func (t ServiceTemplate) Matches(si *ServiceItem) bool {
+	if t.ID != "" && t.ID != si.ID {
+		return false
+	}
+	for _, want := range t.Types {
+		found := false
+		for _, have := range si.Types {
+			if have == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for _, tmpl := range t.Entries {
+		found := false
+		for _, e := range si.Entries {
+			if e.MatchesTemplate(tmpl) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Event transition masks (ServiceRegistrar.TRANSITION_*).
+const (
+	// TransitionMatchNoMatch fires when an item stops matching
+	// (deleted or modified away).
+	TransitionMatchNoMatch = 1 << iota
+	// TransitionNoMatchMatch fires when an item starts matching
+	// (registered or modified into matching).
+	TransitionNoMatchMatch
+	// TransitionMatchMatch fires when a matching item changes but
+	// still matches.
+	TransitionMatchMatch
+)
+
+// ServiceEvent notifies a listener of a registry transition.
+type ServiceEvent struct {
+	RegistrationID uint64
+	Transition     int
+	ID             ServiceID
+	Item           *ServiceItem // nil on MatchNoMatch
+}
+
+// Registration is the result of registering a service: the (possibly
+// newly assigned) ID and the granted lease.
+type Registration struct {
+	ID     ServiceID
+	Expiry time.Time
+}
+
+// Durations and limits.
+const (
+	// MaxLease caps granted lease durations (like Jini's 5-minute
+	// default maximum for reggie).
+	MaxLease = 5 * time.Minute
+	// DefaultLease is granted when the requested duration is zero.
+	DefaultLease = 30 * time.Second
+)

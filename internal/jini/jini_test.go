@@ -1,0 +1,386 @@
+package jini
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEntryMatching(t *testing.T) {
+	e := NewEntry("Name", "name", "printer-3", "floor", "2")
+	tests := []struct {
+		tmpl Entry
+		want bool
+	}{
+		{NewEntry("Name", "name", "printer-3"), true},
+		{NewEntry("Name", "name", "printer-4"), false},
+		{NewEntry("Name"), true},                  // type only
+		{NewEntry(""), true},                      // full wildcard
+		{NewEntry("Location"), false},             // wrong type
+		{NewEntry("Name", "floor", ""), true},     // empty field = wildcard
+		{NewEntry("Name", "missing", "x"), false}, // absent field
+		{NewEntry("Name", "name", "printer-3", "floor", "2"), true},
+	}
+	for i, tc := range tests {
+		if got := e.MatchesTemplate(tc.tmpl); got != tc.want {
+			t.Errorf("case %d: %v matches %v = %v, want %v", i, e, tc.tmpl, got, tc.want)
+		}
+	}
+}
+
+func TestTemplateMatching(t *testing.T) {
+	si := &ServiceItem{
+		ID:      "svc-1",
+		Types:   []string{"compute.Scheduler", "core.Service"},
+		Entries: []Entry{NewEntry("Name", "name", "sched"), NewEntry("Location", "site", "emory")},
+	}
+	tests := []struct {
+		tmpl ServiceTemplate
+		want bool
+	}{
+		{ServiceTemplate{}, true},
+		{ServiceTemplate{ID: "svc-1"}, true},
+		{ServiceTemplate{ID: "other"}, false},
+		{ServiceTemplate{Types: []string{"core.Service"}}, true},
+		{ServiceTemplate{Types: []string{"core.Service", "compute.Scheduler"}}, true},
+		{ServiceTemplate{Types: []string{"storage.Block"}}, false},
+		{ServiceTemplate{Entries: []Entry{NewEntry("Name", "name", "sched")}}, true},
+		{ServiceTemplate{Entries: []Entry{NewEntry("Name", "name", "x")}}, false},
+		{ServiceTemplate{
+			Types:   []string{"core.Service"},
+			Entries: []Entry{NewEntry("Location", "site", "emory")},
+		}, true},
+	}
+	for i, tc := range tests {
+		if got := tc.tmpl.Matches(si); got != tc.want {
+			t.Errorf("case %d: %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func newTestLUS(t *testing.T) (*LUS, *Registrar) {
+	t.Helper()
+	l, err := NewLUS(LUSConfig{ListenAddr: "127.0.0.1:0", ReapInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	r, err := DialRegistrar(l.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return l, r
+}
+
+func TestRegisterLookup(t *testing.T) {
+	_, r := newTestLUS(t)
+	reg, err := r.Register(ServiceItem{
+		Types:   []string{"printer.Service"},
+		Service: []byte("stub"),
+		Entries: []Entry{NewEntry("Name", "name", "p1")},
+	}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.ID == "" || time.Until(reg.Expiry) <= 0 {
+		t.Fatalf("registration = %+v", reg)
+	}
+	items, err := r.Lookup(ServiceTemplate{Types: []string{"printer.Service"}}, 0)
+	if err != nil || len(items) != 1 || string(items[0].Service) != "stub" {
+		t.Fatalf("lookup = %+v, %v", items, err)
+	}
+	// ID lookup.
+	item, ok, err := r.LookupOne(ServiceTemplate{ID: reg.ID})
+	if err != nil || !ok || item.ID != reg.ID {
+		t.Fatalf("id lookup = %+v %v %v", item, ok, err)
+	}
+}
+
+// Register is overwrite-only: same ID replaces unconditionally. This is
+// the §5.1 property that forces distributed locking for atomic bind.
+func TestRegisterOverwrites(t *testing.T) {
+	_, r := newTestLUS(t)
+	reg, err := r.Register(ServiceItem{ID: "fixed", Service: []byte("v1")}, time.Minute)
+	if err != nil || reg.ID != "fixed" {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(ServiceItem{ID: "fixed", Service: []byte("v2")}, time.Minute); err != nil {
+		t.Fatalf("overwrite register must succeed (idempotency): %v", err)
+	}
+	item, ok, _ := r.LookupOne(ServiceTemplate{ID: "fixed"})
+	if !ok || string(item.Service) != "v2" {
+		t.Fatalf("item = %+v %v", item, ok)
+	}
+}
+
+func TestLeaseExpiryAndRenewal(t *testing.T) {
+	_, r := newTestLUS(t)
+	reg, err := r.Register(ServiceItem{ID: "leased"}, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Renew before expiry.
+	time.Sleep(120 * time.Millisecond)
+	if _, err := r.Renew(reg.ID, 200*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	if _, ok, _ := r.LookupOne(ServiceTemplate{ID: "leased"}); !ok {
+		t.Fatal("renewed lease expired")
+	}
+	// Let it lapse.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		_, ok, err := r.LookupOne(ServiceTemplate{ID: "leased"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// Renew after expiry fails.
+	if _, err := r.Renew(reg.ID, time.Minute); err == nil {
+		t.Fatal("renew of expired lease succeeded")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	_, r := newTestLUS(t)
+	reg, _ := r.Register(ServiceItem{ID: "c"}, time.Minute)
+	if err := r.Cancel(reg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := r.LookupOne(ServiceTemplate{ID: "c"}); ok {
+		t.Fatal("cancelled item still present")
+	}
+	if err := r.Cancel(reg.ID); err == nil {
+		t.Fatal("double cancel succeeded")
+	}
+}
+
+func TestNotifyTransitions(t *testing.T) {
+	_, r := newTestLUS(t)
+	var mu sync.Mutex
+	var got []ServiceEvent
+	tmpl := ServiceTemplate{Types: []string{"watched.Type"}}
+	_, err := r.Notify(tmpl,
+		TransitionNoMatchMatch|TransitionMatchNoMatch|TransitionMatchMatch,
+		time.Minute, func(ev ServiceEvent) {
+			mu.Lock()
+			got = append(got, ev)
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := ServiceItem{ID: "w", Types: []string{"watched.Type"}, Service: []byte("1")}
+	if _, err := r.Register(item, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	item.Service = []byte("2")
+	if _, err := r.Register(item, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Cancel("w"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d events, want 3", n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Transition != TransitionNoMatchMatch || got[0].Item == nil {
+		t.Errorf("event 0 = %+v", got[0])
+	}
+	if got[1].Transition != TransitionMatchMatch || string(got[1].Item.Service) != "2" {
+		t.Errorf("event 1 = %+v", got[1])
+	}
+	if got[2].Transition != TransitionMatchNoMatch || got[2].Item != nil {
+		t.Errorf("event 2 = %+v", got[2])
+	}
+}
+
+func TestNotifyMaskFiltering(t *testing.T) {
+	_, r := newTestLUS(t)
+	var mu sync.Mutex
+	count := 0
+	_, err := r.Notify(ServiceTemplate{}, TransitionMatchNoMatch, time.Minute, func(ServiceEvent) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(ServiceItem{ID: "x"}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	if count != 0 {
+		t.Errorf("masked transition delivered (%d)", count)
+	}
+	mu.Unlock()
+	if err := r.Cancel("x"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := count
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("count = %d, want 1", n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestLeaseExpiryFiresMatchNoMatch(t *testing.T) {
+	_, r := newTestLUS(t)
+	fired := make(chan ServiceEvent, 1)
+	if _, err := r.Notify(ServiceTemplate{}, TransitionMatchNoMatch, time.Minute, func(ev ServiceEvent) {
+		select {
+		case fired <- ev:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(ServiceItem{ID: "fleeting"}, 150*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-fired:
+		if ev.ID != "fleeting" {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("expiry event not delivered")
+	}
+}
+
+func TestLeaseRenewalManager(t *testing.T) {
+	_, r := newTestLUS(t)
+	reg, err := r.Register(ServiceItem{ID: "managed"}, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewLeaseRenewalManager()
+	defer m.Stop()
+	m.Manage(r, reg.ID, 200*time.Millisecond)
+	// Far beyond the original lease, the item must still exist.
+	time.Sleep(700 * time.Millisecond)
+	if _, ok, _ := r.LookupOne(ServiceTemplate{ID: "managed"}); !ok {
+		t.Fatal("managed lease expired")
+	}
+	if m.Count() != 1 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	// Forget, then the lease lapses.
+	m.Forget(reg.ID)
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, ok, _ := r.LookupOne(ServiceTemplate{ID: "managed"}); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("forgotten lease never expired")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func TestLocatorParsing(t *testing.T) {
+	cases := map[string]string{
+		"jini://host:1234": "host:1234",
+		"jini://host":      "host:4160",
+		"host:99":          "host:99",
+		"host":             "host:4160",
+		"jini://:7000":     "127.0.0.1:7000",
+	}
+	for in, want := range cases {
+		l, err := ParseLocator(in)
+		if err != nil || l.Addr() != want {
+			t.Errorf("ParseLocator(%q) = %q, %v; want %q", in, l.Addr(), err, want)
+		}
+	}
+	if _, err := ParseLocator("jini://"); err == nil {
+		t.Error("empty locator parsed")
+	}
+}
+
+func TestDiscovery(t *testing.T) {
+	ResetAnnouncements()
+	defer ResetAnnouncements()
+	l, err := NewLUS(LUSConfig{ListenAddr: "127.0.0.1:0", Groups: []string{"lab"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	Announce(l)
+	regs, err := DiscoverGroup("lab", time.Second)
+	if err != nil || len(regs) != 1 {
+		t.Fatalf("discover = %d, %v", len(regs), err)
+	}
+	defer regs[0].Close()
+	groups, err := regs[0].ServiceGroups()
+	if err != nil || len(groups) != 1 || groups[0] != "lab" {
+		t.Errorf("groups = %v, %v", groups, err)
+	}
+	if _, err := DiscoverGroup("nope", time.Second); err == nil {
+		t.Error("empty group discovered")
+	}
+	Withdraw(l)
+	if _, err := DiscoverGroup("lab", time.Second); err == nil {
+		t.Error("withdrawn LUS still discoverable")
+	}
+}
+
+func TestConcurrentRegistrations(t *testing.T) {
+	l, _ := newTestLUS(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r, err := DialRegistrar(l.Addr(), 2*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer r.Close()
+			for i := 0; i < 20; i++ {
+				if _, err := r.Register(ServiceItem{
+					Types: []string{"load.Test"},
+				}, time.Minute); err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := l.ItemCount(); n != 120 {
+		t.Errorf("ItemCount = %d, want 120", n)
+	}
+}

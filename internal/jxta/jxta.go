@@ -1,0 +1,552 @@
+// Package jxta implements a JXTA-style peer-to-peer naming substrate —
+// the third technology in the paper's federation example URL
+// "ldap://host.domain/n=jiniServer/jxtaGroup/myObject" (§6).
+//
+// The model follows JXTA's essentials: peers organize into a hierarchy of
+// peer groups rooted at the net peer group; within a group, peers publish
+// *advertisements* (named, attributed, expiring documents) to a
+// rendezvous peer and discover them by name or attribute query. This
+// implementation centralizes the rendezvous (one server per deployment),
+// which matches how JXTA behaves behind multicast-blocking routers.
+//
+// Simplification vs. real JXTA: PublishNew offers atomic first-publish
+// semantics server-side (real JXTA discovery has no such primitive); the
+// JNDI provider uses it for the atomic bind contract.
+package jxta
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gondi/internal/rpc"
+)
+
+// NetGroup is the root peer group every rendezvous starts with.
+const NetGroup = "net"
+
+// DefaultLifetime is granted when a publish requests none.
+const DefaultLifetime = 2 * time.Minute
+
+// Advertisement is a published document within a peer group.
+type Advertisement struct {
+	// ID is assigned by the rendezvous on first publish.
+	ID string
+	// Group is the full group path, e.g. "net/campus/sensors".
+	Group string
+	// Name identifies the advertisement within its group.
+	Name string
+	// Attrs are queryable attributes.
+	Attrs map[string][]string
+	// Payload is the opaque document body.
+	Payload []byte
+	// Expiry is the advertisement's lifetime end (unix millis).
+	Expiry int64
+}
+
+// Errors.
+var (
+	ErrNoSuchGroup   = errors.New("jxta: no such peer group")
+	ErrGroupExists   = errors.New("jxta: peer group already exists")
+	ErrAdvExists     = errors.New("jxta: advertisement already published")
+	ErrNoSuchAdv     = errors.New("jxta: no such advertisement")
+	ErrGroupNotEmpty = errors.New("jxta: peer group not empty")
+	ErrBadGroupPath  = errors.New("jxta: malformed group path")
+)
+
+func newID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err)
+	}
+	return "urn:jxta:" + hex.EncodeToString(b[:])
+}
+
+// normGroup validates and normalizes a group path under the net group.
+func normGroup(g string) (string, error) {
+	g = strings.Trim(g, "/")
+	if g == "" {
+		return NetGroup, nil
+	}
+	parts := strings.Split(g, "/")
+	if parts[0] != NetGroup {
+		parts = append([]string{NetGroup}, parts...)
+	}
+	for _, p := range parts {
+		if p == "" {
+			return "", ErrBadGroupPath
+		}
+	}
+	return strings.Join(parts, "/"), nil
+}
+
+type group struct {
+	name    string                    // full path
+	adverts map[string]*Advertisement // key: Name
+}
+
+// Rendezvous is the rendezvous peer: the advertisement index for a
+// deployment's peer groups.
+type Rendezvous struct {
+	srv *rpc.Server
+
+	mu     sync.Mutex
+	groups map[string]*group // key: full path
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewRendezvous starts a rendezvous peer on addr.
+func NewRendezvous(addr string) (*Rendezvous, error) {
+	srv, err := rpc.NewServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rendezvous{
+		srv:    srv,
+		groups: map[string]*group{NetGroup: {name: NetGroup, adverts: map[string]*Advertisement{}}},
+		done:   make(chan struct{}),
+	}
+	r.handlers()
+	r.wg.Add(1)
+	go r.reaper()
+	return r, nil
+}
+
+// Addr returns the rendezvous address.
+func (r *Rendezvous) Addr() string { return r.srv.Addr() }
+
+// Close stops the rendezvous.
+func (r *Rendezvous) Close() error {
+	select {
+	case <-r.done:
+		return nil
+	default:
+	}
+	close(r.done)
+	r.wg.Wait()
+	return r.srv.Close()
+}
+
+func (r *Rendezvous) reaper() {
+	defer r.wg.Done()
+	t := time.NewTicker(250 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case now := <-t.C:
+			ms := now.UnixMilli()
+			r.mu.Lock()
+			for _, g := range r.groups {
+				for name, adv := range g.adverts {
+					if adv.Expiry > 0 && adv.Expiry < ms {
+						delete(g.adverts, name)
+					}
+				}
+			}
+			r.mu.Unlock()
+		}
+	}
+}
+
+// --- server-side operations ---
+
+func (r *Rendezvous) createGroup(path string) error {
+	path, err := normGroup(path)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.groups[path]; exists {
+		return ErrGroupExists
+	}
+	parent := path[:strings.LastIndexByte(path, '/')]
+	if _, ok := r.groups[parent]; !ok {
+		return ErrNoSuchGroup
+	}
+	r.groups[path] = &group{name: path, adverts: map[string]*Advertisement{}}
+	return nil
+}
+
+func (r *Rendezvous) destroyGroup(path string) error {
+	path, err := normGroup(path)
+	if err != nil {
+		return err
+	}
+	if path == NetGroup {
+		return ErrGroupNotEmpty
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[path]
+	if !ok {
+		return nil // destroying a missing group succeeds
+	}
+	if len(g.adverts) > 0 {
+		return ErrGroupNotEmpty
+	}
+	prefix := path + "/"
+	for other := range r.groups {
+		if strings.HasPrefix(other, prefix) {
+			return ErrGroupNotEmpty
+		}
+	}
+	delete(r.groups, path)
+	return nil
+}
+
+// publish stores an advertisement; withNew demands first-publish.
+func (r *Rendezvous) publish(adv *Advertisement, lifetime time.Duration, onlyNew bool) (*Advertisement, error) {
+	path, err := normGroup(adv.Group)
+	if err != nil {
+		return nil, err
+	}
+	if adv.Name == "" {
+		return nil, errors.New("jxta: advertisement without a name")
+	}
+	if lifetime <= 0 {
+		lifetime = DefaultLifetime
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[path]
+	if !ok {
+		return nil, ErrNoSuchGroup
+	}
+	old, exists := g.adverts[adv.Name]
+	if exists && onlyNew {
+		return nil, ErrAdvExists
+	}
+	stored := *adv
+	stored.Group = path
+	if exists {
+		stored.ID = old.ID
+	} else if stored.ID == "" {
+		stored.ID = newID()
+	}
+	stored.Expiry = time.Now().Add(lifetime).UnixMilli()
+	stored.Attrs = copyAttrs(adv.Attrs)
+	stored.Payload = append([]byte(nil), adv.Payload...)
+	g.adverts[stored.Name] = &stored
+	out := stored
+	return &out, nil
+}
+
+func copyAttrs(in map[string][]string) map[string][]string {
+	out := make(map[string][]string, len(in))
+	for k, v := range in {
+		out[strings.ToLower(k)] = append([]string(nil), v...)
+	}
+	return out
+}
+
+func (r *Rendezvous) flush(groupPath, name string) error {
+	path, err := normGroup(groupPath)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[path]
+	if !ok {
+		return ErrNoSuchGroup
+	}
+	delete(g.adverts, name)
+	return nil
+}
+
+// discover returns adverts in a group matching the (optional) exact name
+// and (optional) attribute pattern (attr -> value; "*" value = presence).
+func (r *Rendezvous) discover(groupPath, name string, attrs map[string]string, limit int) ([]Advertisement, error) {
+	path, err := normGroup(groupPath)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[path]
+	if !ok {
+		return nil, ErrNoSuchGroup
+	}
+	now := time.Now().UnixMilli()
+	var out []Advertisement
+	names := make([]string, 0, len(g.adverts))
+	for n := range g.adverts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		adv := g.adverts[n]
+		if adv.Expiry > 0 && adv.Expiry < now {
+			continue
+		}
+		if name != "" && adv.Name != name {
+			continue
+		}
+		if !attrsMatch(adv.Attrs, attrs) {
+			continue
+		}
+		cp := *adv
+		cp.Attrs = copyAttrs(adv.Attrs)
+		cp.Payload = append([]byte(nil), adv.Payload...)
+		out = append(out, cp)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+func attrsMatch(have map[string][]string, want map[string]string) bool {
+	for k, v := range want {
+		vals := have[strings.ToLower(k)]
+		if v == "*" {
+			if len(vals) == 0 {
+				return false
+			}
+			continue
+		}
+		found := false
+		for _, hv := range vals {
+			if strings.EqualFold(hv, v) {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// subGroups lists the direct child groups of a group, sorted.
+func (r *Rendezvous) subGroups(groupPath string) ([]string, error) {
+	path, err := normGroup(groupPath)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.groups[path]; !ok {
+		return nil, ErrNoSuchGroup
+	}
+	prefix := path + "/"
+	set := map[string]bool{}
+	for other := range r.groups {
+		if !strings.HasPrefix(other, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(other, prefix)
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		set[rest] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// GroupCount reports the number of peer groups (diagnostics).
+func (r *Rendezvous) GroupCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.groups)
+}
+
+// --- wire protocol ---
+
+const (
+	mPublish      = "jxta.publish"
+	mFlush        = "jxta.flush"
+	mDiscover     = "jxta.discover"
+	mCreateGroup  = "jxta.createGroup"
+	mDestroyGroup = "jxta.destroyGroup"
+	mSubGroups    = "jxta.subGroups"
+	mRenew        = "jxta.renew"
+)
+
+type wireReq struct {
+	Adv        Advertisement
+	LifetimeMs int64
+	OnlyNew    bool
+	Group      string
+	Name       string
+	Query      map[string]string
+	Limit      int
+}
+
+type wireRsp struct {
+	Adv    Advertisement
+	Advs   []Advertisement
+	Groups []string
+}
+
+func (r *Rendezvous) handlers() {
+	h := func(name string, fn func(req *wireReq) (*wireRsp, error)) {
+		r.srv.Handle(name, func(_ *rpc.ServerConn, body []byte) ([]byte, error) {
+			var req wireReq
+			if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
+				return nil, err
+			}
+			rsp, err := fn(&req)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(rsp); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		})
+	}
+	h(mPublish, func(req *wireReq) (*wireRsp, error) {
+		adv, err := r.publish(&req.Adv, time.Duration(req.LifetimeMs)*time.Millisecond, req.OnlyNew)
+		if err != nil {
+			return nil, err
+		}
+		return &wireRsp{Adv: *adv}, nil
+	})
+	h(mRenew, func(req *wireReq) (*wireRsp, error) {
+		advs, err := r.discover(req.Group, req.Name, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(advs) == 0 {
+			return nil, ErrNoSuchAdv
+		}
+		adv, err := r.publish(&advs[0], time.Duration(req.LifetimeMs)*time.Millisecond, false)
+		if err != nil {
+			return nil, err
+		}
+		return &wireRsp{Adv: *adv}, nil
+	})
+	h(mFlush, func(req *wireReq) (*wireRsp, error) {
+		return &wireRsp{}, r.flush(req.Group, req.Name)
+	})
+	h(mDiscover, func(req *wireReq) (*wireRsp, error) {
+		advs, err := r.discover(req.Group, req.Name, req.Query, req.Limit)
+		if err != nil {
+			return nil, err
+		}
+		return &wireRsp{Advs: advs}, nil
+	})
+	h(mCreateGroup, func(req *wireReq) (*wireRsp, error) {
+		return &wireRsp{}, r.createGroup(req.Group)
+	})
+	h(mDestroyGroup, func(req *wireReq) (*wireRsp, error) {
+		return &wireRsp{}, r.destroyGroup(req.Group)
+	})
+	h(mSubGroups, func(req *wireReq) (*wireRsp, error) {
+		gs, err := r.subGroups(req.Group)
+		if err != nil {
+			return nil, err
+		}
+		return &wireRsp{Groups: gs}, nil
+	})
+}
+
+// Peer is a client of one rendezvous.
+type Peer struct {
+	rc *rpc.Client
+}
+
+// DialPeer connects a peer to a rendezvous.
+func DialPeer(addr string, timeout time.Duration) (*Peer, error) {
+	rc, err := rpc.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Peer{rc: rc}, nil
+}
+
+// Close drops the connection.
+func (p *Peer) Close() error { return p.rc.Close() }
+
+// Closed reports whether the connection has terminated.
+func (p *Peer) Closed() bool { return p.rc.Closed() }
+
+func (p *Peer) call(method string, req *wireReq) (*wireRsp, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, err
+	}
+	body, err := p.rc.Call(method, buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var rsp wireRsp
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rsp); err != nil {
+		return nil, err
+	}
+	return &rsp, nil
+}
+
+// Publish stores an advertisement (overwriting an existing one of the
+// same name); onlyNew demands atomic first-publish.
+func (p *Peer) Publish(adv Advertisement, lifetime time.Duration, onlyNew bool) (Advertisement, error) {
+	rsp, err := p.call(mPublish, &wireReq{Adv: adv, LifetimeMs: lifetime.Milliseconds(), OnlyNew: onlyNew})
+	if err != nil {
+		return Advertisement{}, err
+	}
+	return rsp.Adv, nil
+}
+
+// Renew extends an advertisement's lifetime.
+func (p *Peer) Renew(group, name string, lifetime time.Duration) (Advertisement, error) {
+	rsp, err := p.call(mRenew, &wireReq{Group: group, Name: name, LifetimeMs: lifetime.Milliseconds()})
+	if err != nil {
+		return Advertisement{}, err
+	}
+	return rsp.Adv, nil
+}
+
+// Flush removes an advertisement.
+func (p *Peer) Flush(group, name string) error {
+	_, err := p.call(mFlush, &wireReq{Group: group, Name: name})
+	return err
+}
+
+// Discover queries a group's advertisements by optional exact name and
+// attribute pattern ("*" values test presence).
+func (p *Peer) Discover(group, name string, query map[string]string, limit int) ([]Advertisement, error) {
+	rsp, err := p.call(mDiscover, &wireReq{Group: group, Name: name, Query: query, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return rsp.Advs, nil
+}
+
+// CreateGroup creates a child peer group.
+func (p *Peer) CreateGroup(path string) error {
+	_, err := p.call(mCreateGroup, &wireReq{Group: path})
+	return err
+}
+
+// DestroyGroup removes an empty peer group.
+func (p *Peer) DestroyGroup(path string) error {
+	_, err := p.call(mDestroyGroup, &wireReq{Group: path})
+	return err
+}
+
+// SubGroups lists a group's direct child groups.
+func (p *Peer) SubGroups(path string) ([]string, error) {
+	rsp, err := p.call(mSubGroups, &wireReq{Group: path})
+	if err != nil {
+		return nil, err
+	}
+	return rsp.Groups, nil
+}

@@ -1,0 +1,261 @@
+// Package ber implements the subset of ASN.1 BER (Basic Encoding Rules)
+// needed for LDAPv3: definite-length TLV encoding of integers, octet
+// strings, booleans, enumerateds, sequences, sets, and context-specific
+// tagged values.
+package ber
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tag classes.
+const (
+	ClassUniversal   = 0x00
+	ClassApplication = 0x40
+	ClassContext     = 0x80
+	ClassPrivate     = 0xC0
+)
+
+// Universal tags used by LDAP.
+const (
+	TagBoolean     = 0x01
+	TagInteger     = 0x02
+	TagOctetString = 0x04
+	TagNull        = 0x05
+	TagEnumerated  = 0x0A
+	TagSequence    = 0x10
+	TagSet         = 0x11
+)
+
+// Constructed flag.
+const Constructed = 0x20
+
+// Packet is a decoded BER TLV. Children is populated for constructed
+// encodings, Data for primitive ones.
+type Packet struct {
+	// Tag is the full identifier octet (class | constructed | number).
+	// Tag numbers above 30 are not needed by LDAP and unsupported.
+	Tag      byte
+	Data     []byte
+	Children []*Packet
+}
+
+// Errors.
+var (
+	ErrTruncated  = errors.New("ber: truncated element")
+	ErrIndefinite = errors.New("ber: indefinite lengths unsupported")
+	ErrTagNumber  = errors.New("ber: multi-byte tag numbers unsupported")
+)
+
+// Class returns the tag class bits.
+func (p *Packet) Class() byte { return p.Tag & 0xC0 }
+
+// IsConstructed reports whether the element is constructed.
+func (p *Packet) IsConstructed() bool { return p.Tag&Constructed != 0 }
+
+// TagNumber returns the low 5 tag bits.
+func (p *Packet) TagNumber() byte { return p.Tag & 0x1F }
+
+// NewSequence builds a universal SEQUENCE.
+func NewSequence(children ...*Packet) *Packet {
+	return &Packet{Tag: ClassUniversal | Constructed | TagSequence, Children: children}
+}
+
+// NewSet builds a universal SET.
+func NewSet(children ...*Packet) *Packet {
+	return &Packet{Tag: ClassUniversal | Constructed | TagSet, Children: children}
+}
+
+// NewInteger builds a universal INTEGER.
+func NewInteger(v int64) *Packet {
+	return &Packet{Tag: ClassUniversal | TagInteger, Data: encodeInt(v)}
+}
+
+// NewEnumerated builds a universal ENUMERATED.
+func NewEnumerated(v int64) *Packet {
+	return &Packet{Tag: ClassUniversal | TagEnumerated, Data: encodeInt(v)}
+}
+
+// NewBoolean builds a universal BOOLEAN.
+func NewBoolean(v bool) *Packet {
+	b := byte(0)
+	if v {
+		b = 0xFF
+	}
+	return &Packet{Tag: ClassUniversal | TagBoolean, Data: []byte{b}}
+}
+
+// NewOctetString builds a universal OCTET STRING.
+func NewOctetString(s string) *Packet {
+	return &Packet{Tag: ClassUniversal | TagOctetString, Data: []byte(s)}
+}
+
+// NewContext builds a context-specific element. constructed selects
+// whether children or data carry the content.
+func NewContext(num byte, constructed bool, children ...*Packet) *Packet {
+	tag := ClassContext | num
+	if constructed {
+		tag |= Constructed
+	}
+	return &Packet{Tag: byte(tag), Children: children}
+}
+
+// NewContextString builds a primitive context-specific string [n].
+func NewContextString(num byte, s string) *Packet {
+	return &Packet{Tag: byte(ClassContext | num), Data: []byte(s)}
+}
+
+// NewApplication builds an application-class element (LDAP protocol ops).
+func NewApplication(num byte, constructed bool, children ...*Packet) *Packet {
+	tag := ClassApplication | num
+	if constructed {
+		tag |= Constructed
+	}
+	return &Packet{Tag: byte(tag), Children: children}
+}
+
+// AddChild appends a child element.
+func (p *Packet) AddChild(c *Packet) { p.Children = append(p.Children, c) }
+
+func encodeInt(v int64) []byte {
+	// Two's-complement minimal encoding.
+	b := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	// Trim redundant leading bytes.
+	i := 0
+	for i < 7 {
+		if b[i] == 0x00 && b[i+1]&0x80 == 0 {
+			i++
+			continue
+		}
+		if b[i] == 0xFF && b[i+1]&0x80 != 0 {
+			i++
+			continue
+		}
+		break
+	}
+	return b[i:]
+}
+
+func decodeInt(b []byte) (int64, error) {
+	if len(b) == 0 || len(b) > 8 {
+		return 0, fmt.Errorf("ber: integer of %d bytes", len(b))
+	}
+	v := int64(0)
+	if b[0]&0x80 != 0 {
+		v = -1
+	}
+	for _, c := range b {
+		v = v<<8 | int64(c)
+	}
+	return v, nil
+}
+
+func encodeLength(buf []byte, n int) []byte {
+	if n < 0x80 {
+		return append(buf, byte(n))
+	}
+	var tmp [8]byte
+	i := 8
+	for n > 0 {
+		i--
+		tmp[i] = byte(n)
+		n >>= 8
+	}
+	buf = append(buf, byte(0x80|(8-i)))
+	return append(buf, tmp[i:]...)
+}
+
+// Encode serializes the packet to BER bytes.
+func (p *Packet) Encode() []byte {
+	var content []byte
+	if p.IsConstructed() {
+		for _, c := range p.Children {
+			content = append(content, c.Encode()...)
+		}
+	} else {
+		content = p.Data
+	}
+	out := []byte{p.Tag}
+	out = encodeLength(out, len(content))
+	return append(out, content...)
+}
+
+// Decode parses exactly one BER element from b and returns it with the
+// number of bytes consumed.
+func Decode(b []byte) (*Packet, int, error) {
+	if len(b) < 2 {
+		return nil, 0, ErrTruncated
+	}
+	tag := b[0]
+	if tag&0x1F == 0x1F {
+		return nil, 0, ErrTagNumber
+	}
+	pos := 1
+	l := int(b[pos])
+	pos++
+	if l == 0x80 {
+		return nil, 0, ErrIndefinite
+	}
+	if l&0x80 != 0 {
+		n := l & 0x7F
+		if n > 8 || pos+n > len(b) {
+			return nil, 0, ErrTruncated
+		}
+		l = 0
+		for i := 0; i < n; i++ {
+			if l > (1<<31)/256 {
+				return nil, 0, fmt.Errorf("ber: length overflow")
+			}
+			l = l<<8 | int(b[pos])
+			pos++
+		}
+	}
+	if pos+l > len(b) {
+		return nil, 0, ErrTruncated
+	}
+	content := b[pos : pos+l]
+	pkt := &Packet{Tag: tag}
+	if tag&Constructed != 0 {
+		rest := content
+		for len(rest) > 0 {
+			child, n, err := Decode(rest)
+			if err != nil {
+				return nil, 0, err
+			}
+			pkt.Children = append(pkt.Children, child)
+			rest = rest[n:]
+		}
+	} else {
+		pkt.Data = append([]byte(nil), content...)
+	}
+	return pkt, pos + l, nil
+}
+
+// Int interprets a primitive element as an integer/enumerated value.
+func (p *Packet) Int() (int64, error) {
+	if p.IsConstructed() {
+		return 0, fmt.Errorf("ber: Int on constructed element")
+	}
+	return decodeInt(p.Data)
+}
+
+// Str interprets a primitive element as a string.
+func (p *Packet) Str() string { return string(p.Data) }
+
+// Bool interprets a primitive element as a boolean.
+func (p *Packet) Bool() bool {
+	return len(p.Data) > 0 && p.Data[0] != 0
+}
+
+// Child returns the i-th child or an error.
+func (p *Packet) Child(i int) (*Packet, error) {
+	if i < 0 || i >= len(p.Children) {
+		return nil, fmt.Errorf("ber: missing child %d (have %d)", i, len(p.Children))
+	}
+	return p.Children[i], nil
+}

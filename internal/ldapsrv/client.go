@@ -1,0 +1,264 @@
+package ldapsrv
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gondi/internal/filter"
+	"gondi/internal/ldapsrv/ber"
+)
+
+// Conn is a synchronous LDAP client connection.
+type Conn struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID int64
+	bound  string
+	dead   bool
+}
+
+// Dead reports whether the connection has failed at the transport level;
+// pooled providers use it to discard dead connections.
+func (c *Conn) Dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// Dial connects to an LDAP server.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{conn: c}, nil
+}
+
+// Close sends an unbind request and closes the connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	unbind := &ber.Packet{Tag: ber.ClassApplication | AppUnbindRequest}
+	_, _ = c.conn.Write(WrapMessage(c.nextID, unbind).Encode())
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads responses until the terminating
+// tag; the caller receives all response ops in order.
+func (c *Conn) roundTrip(op *ber.Packet, terminator byte) ([]*ber.Packet, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	if _, err := c.conn.Write(WrapMessage(id, op).Encode()); err != nil {
+		c.dead = true
+		return nil, err
+	}
+	var out []*ber.Packet
+	for {
+		msg, err := readBER(c.conn)
+		if err != nil {
+			c.dead = true
+			return nil, err
+		}
+		gotID, respOp, err := UnwrapMessage(msg)
+		if err != nil {
+			return nil, err
+		}
+		if gotID != id {
+			continue // stale response from an abandoned op
+		}
+		out = append(out, respOp)
+		if respOp.TagNumber() == terminator {
+			return out, nil
+		}
+	}
+}
+
+func resultFrom(op string, p *ber.Packet) error {
+	r, err := DecodeResult(p)
+	if err != nil {
+		return err
+	}
+	if r.Code != ResultSuccess {
+		return &ResultError{Op: op, Result: r}
+	}
+	return nil
+}
+
+// Bind performs a simple bind; empty dn and password is an anonymous bind.
+func (c *Conn) Bind(dn, password string) error {
+	op := ber.NewApplication(AppBindRequest, true,
+		ber.NewInteger(3), // LDAPv3
+		ber.NewOctetString(dn),
+		ber.NewContextString(0, password),
+	)
+	resps, err := c.roundTrip(op, AppBindResponse)
+	if err != nil {
+		return err
+	}
+	if err := resultFrom("bind", resps[len(resps)-1]); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.bound = dn
+	c.mu.Unlock()
+	return nil
+}
+
+// SearchOptions tunes a search.
+type SearchOptions struct {
+	Scope     int // ScopeBaseObject, ScopeSingleLevel, ScopeWholeSubtree
+	SizeLimit int
+	TypesOnly bool
+	Attrs     []string
+}
+
+// Search runs a filter search and returns matching entries. A
+// sizeLimitExceeded result returns the partial entries plus a
+// *ResultError.
+func (c *Conn) Search(baseDN, filterStr string, opts *SearchOptions) ([]Entry, error) {
+	if opts == nil {
+		opts = &SearchOptions{Scope: ScopeWholeSubtree}
+	}
+	f, err := filter.Parse(filterStr)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := EncodeFilter(f)
+	if err != nil {
+		return nil, err
+	}
+	attrList := ber.NewSequence()
+	for _, a := range opts.Attrs {
+		attrList.AddChild(ber.NewOctetString(a))
+	}
+	op := ber.NewApplication(AppSearchRequest, true,
+		ber.NewOctetString(baseDN),
+		ber.NewEnumerated(int64(opts.Scope)),
+		ber.NewEnumerated(0), // neverDerefAliases
+		ber.NewInteger(int64(opts.SizeLimit)),
+		ber.NewInteger(0), // no time limit
+		ber.NewBoolean(opts.TypesOnly),
+		fp,
+		attrList,
+	)
+	resps, err := c.roundTrip(op, AppSearchDone)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	for _, r := range resps[:len(resps)-1] {
+		if r.TagNumber() != AppSearchEntry || len(r.Children) < 2 {
+			continue
+		}
+		attrs, err := DecodeAttrs(r.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, Entry{DN: r.Children[0].Str(), Attrs: attrs})
+	}
+	if err := resultFrom("search", resps[len(resps)-1]); err != nil {
+		return entries, err
+	}
+	return entries, nil
+}
+
+// Add inserts an entry.
+func (c *Conn) Add(dn string, attrs []EntryAttr) error {
+	op := ber.NewApplication(AppAddRequest, true,
+		ber.NewOctetString(dn), EncodeAttrs(attrs))
+	resps, err := c.roundTrip(op, AppAddResponse)
+	if err != nil {
+		return err
+	}
+	return resultFrom("add", resps[len(resps)-1])
+}
+
+// Delete removes a leaf entry.
+func (c *Conn) Delete(dn string) error {
+	op := &ber.Packet{Tag: ber.ClassApplication | AppDelRequest, Data: []byte(dn)}
+	resps, err := c.roundTrip(op, AppDelResponse)
+	if err != nil {
+		return err
+	}
+	return resultFrom("delete", resps[len(resps)-1])
+}
+
+// Modify applies attribute changes.
+func (c *Conn) Modify(dn string, changes []ModifyChange) error {
+	list := ber.NewSequence()
+	for _, ch := range changes {
+		vals := ber.NewSet()
+		for _, v := range ch.Attr.Vals {
+			vals.AddChild(ber.NewOctetString(v))
+		}
+		list.AddChild(ber.NewSequence(
+			ber.NewEnumerated(int64(ch.Op)),
+			ber.NewSequence(ber.NewOctetString(ch.Attr.Type), vals),
+		))
+	}
+	op := ber.NewApplication(AppModifyRequest, true,
+		ber.NewOctetString(dn), list)
+	resps, err := c.roundTrip(op, AppModifyResponse)
+	if err != nil {
+		return err
+	}
+	return resultFrom("modify", resps[len(resps)-1])
+}
+
+// ModifyDN renames an entry in place.
+func (c *Conn) ModifyDN(dn, newRDN string, deleteOldRDN bool) error {
+	op := ber.NewApplication(AppModifyDNRequest, true,
+		ber.NewOctetString(dn),
+		ber.NewOctetString(newRDN),
+		ber.NewBoolean(deleteOldRDN),
+	)
+	resps, err := c.roundTrip(op, AppModifyDNResponse)
+	if err != nil {
+		return err
+	}
+	return resultFrom("modifyDN", resps[len(resps)-1])
+}
+
+// Compare tests an attribute assertion; it returns true on compareTrue.
+func (c *Conn) Compare(dn, attrType, value string) (bool, error) {
+	op := ber.NewApplication(AppCompareRequest, true,
+		ber.NewOctetString(dn),
+		ber.NewSequence(ber.NewOctetString(attrType), ber.NewOctetString(value)),
+	)
+	resps, err := c.roundTrip(op, AppCompareResponse)
+	if err != nil {
+		return false, err
+	}
+	r, err := DecodeResult(resps[len(resps)-1])
+	if err != nil {
+		return false, err
+	}
+	switch r.Code {
+	case ResultCompareTrue:
+		return true, nil
+	case ResultCompareFalse:
+		return false, nil
+	default:
+		return false, &ResultError{Op: "compare", Result: r}
+	}
+}
+
+// WhoAmI returns the DN this connection last bound as ("" = anonymous).
+func (c *Conn) WhoAmI() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bound
+}
+
+// String diagnostics.
+func (e Entry) String() string {
+	return fmt.Sprintf("Entry{%s, %d attrs}", e.DN, len(e.Attrs))
+}

@@ -1,0 +1,425 @@
+package ldapsrv
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"gondi/internal/filter"
+)
+
+// ditEntry is one stored entry.
+type ditEntry struct {
+	dn    DN
+	attrs map[string]EntryAttr // key: lowercase type
+}
+
+func (e *ditEntry) values() filter.Values {
+	m := filter.MapValues{}
+	for k, a := range e.attrs {
+		m[k] = a.Vals
+	}
+	return m
+}
+
+func (e *ditEntry) toEntry(selectAttrs []string, typesOnly bool) Entry {
+	out := Entry{DN: e.dn.String()}
+	keys := make([]string, 0, len(e.attrs))
+	for k := range e.attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	want := map[string]bool{}
+	for _, a := range selectAttrs {
+		want[strings.ToLower(a)] = true
+	}
+	for _, k := range keys {
+		if len(want) > 0 && !want[k] && !want["*"] {
+			continue
+		}
+		a := e.attrs[k]
+		ea := EntryAttr{Type: a.Type}
+		if !typesOnly {
+			ea.Vals = append([]string(nil), a.Vals...)
+		}
+		out.Attrs = append(out.Attrs, ea)
+	}
+	return out
+}
+
+// DIT is the directory information tree: a flat index of entries keyed by
+// normalized DN, with structural parent checks. Safe for concurrent use.
+type DIT struct {
+	mu      sync.RWMutex
+	base    DN
+	entries map[string]*ditEntry
+}
+
+// NewDIT creates a tree with a base entry at baseDN (e.g.
+// "dc=mathcs,dc=emory,dc=edu").
+func NewDIT(baseDN string) (*DIT, error) {
+	base, err := ParseDN(baseDN)
+	if err != nil {
+		return nil, err
+	}
+	d := &DIT{base: base, entries: map[string]*ditEntry{}}
+	rootAttrs := map[string]EntryAttr{
+		"objectclass": {Type: "objectClass", Vals: []string{"top", "dcObject"}},
+	}
+	if leaf, ok := base.Leaf(); ok {
+		rootAttrs[strings.ToLower(leaf.Type)] = EntryAttr{Type: leaf.Type, Vals: []string{leaf.Value}}
+	}
+	d.entries[base.Normalize()] = &ditEntry{dn: base, attrs: rootAttrs}
+	return d, nil
+}
+
+// Base returns the tree's base DN.
+func (d *DIT) Base() DN { return d.base }
+
+// Len returns the number of entries.
+func (d *DIT) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}
+
+func attrMap(attrs []EntryAttr) map[string]EntryAttr {
+	m := make(map[string]EntryAttr, len(attrs))
+	for _, a := range attrs {
+		key := strings.ToLower(a.Type)
+		if ex, ok := m[key]; ok {
+			ex.Vals = append(ex.Vals, a.Vals...)
+			m[key] = ex
+		} else {
+			m[key] = EntryAttr{Type: a.Type, Vals: append([]string(nil), a.Vals...)}
+		}
+	}
+	return m
+}
+
+// Add inserts an entry; its parent must exist and the DN must be free.
+// The RDN attribute is added implicitly if missing.
+func (d *DIT) Add(dnStr string, attrs []EntryAttr) Result {
+	dn, err := ParseDN(dnStr)
+	if err != nil {
+		return Result{Code: ResultInvalidDNSyntax, Message: err.Error()}
+	}
+	if !dn.IsUnder(d.base) {
+		return Result{Code: ResultNoSuchObject, Message: "DN outside base"}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := dn.Normalize()
+	if _, exists := d.entries[key]; exists {
+		return Result{Code: ResultEntryAlreadyExists}
+	}
+	if !dn.Equal(d.base) {
+		if _, ok := d.entries[dn.Parent().Normalize()]; !ok {
+			return Result{Code: ResultNoSuchObject, MatchedDN: d.deepestExistingLocked(dn).String(), Message: "parent missing"}
+		}
+	}
+	m := attrMap(attrs)
+	if leaf, ok := dn.Leaf(); ok {
+		lk := strings.ToLower(leaf.Type)
+		ex, present := m[lk]
+		hasVal := false
+		for _, v := range ex.Vals {
+			if strings.EqualFold(v, leaf.Value) {
+				hasVal = true
+			}
+		}
+		if !present {
+			m[lk] = EntryAttr{Type: leaf.Type, Vals: []string{leaf.Value}}
+		} else if !hasVal {
+			ex.Vals = append(ex.Vals, leaf.Value)
+			m[lk] = ex
+		}
+	}
+	d.entries[key] = &ditEntry{dn: dn, attrs: m}
+	return Result{Code: ResultSuccess}
+}
+
+func (d *DIT) deepestExistingLocked(dn DN) DN {
+	for p := dn.Parent(); len(p) > 0; p = p.Parent() {
+		if _, ok := d.entries[p.Normalize()]; ok {
+			return p
+		}
+	}
+	return d.base
+}
+
+// Delete removes a leaf entry.
+func (d *DIT) Delete(dnStr string) Result {
+	dn, err := ParseDN(dnStr)
+	if err != nil {
+		return Result{Code: ResultInvalidDNSyntax, Message: err.Error()}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := dn.Normalize()
+	if _, ok := d.entries[key]; !ok {
+		return Result{Code: ResultNoSuchObject}
+	}
+	if d.hasChildrenLocked(dn) {
+		return Result{Code: ResultNotAllowedOnNonLea}
+	}
+	delete(d.entries, key)
+	return Result{Code: ResultSuccess}
+}
+
+func (d *DIT) hasChildrenLocked(dn DN) bool {
+	for _, e := range d.entries {
+		if len(e.dn) == len(dn)+1 && e.dn.IsUnder(dn) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasChildren reports whether the entry has children.
+func (d *DIT) HasChildren(dnStr string) bool {
+	dn, err := ParseDN(dnStr)
+	if err != nil {
+		return false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.hasChildrenLocked(dn)
+}
+
+// ModifyChange is one change of a Modify operation.
+type ModifyChange struct {
+	Op   int // ModifyAdd, ModifyDelete, ModifyReplace
+	Attr EntryAttr
+}
+
+// Modify applies a change batch atomically (all or nothing).
+func (d *DIT) Modify(dnStr string, changes []ModifyChange) Result {
+	dn, err := ParseDN(dnStr)
+	if err != nil {
+		return Result{Code: ResultInvalidDNSyntax, Message: err.Error()}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[dn.Normalize()]
+	if !ok {
+		return Result{Code: ResultNoSuchObject}
+	}
+	// Work on a copy for atomicity.
+	work := make(map[string]EntryAttr, len(e.attrs))
+	for k, a := range e.attrs {
+		work[k] = EntryAttr{Type: a.Type, Vals: append([]string(nil), a.Vals...)}
+	}
+	for _, ch := range changes {
+		key := strings.ToLower(ch.Attr.Type)
+		if key == "" {
+			return Result{Code: ResultProtocolError, Message: "empty attribute type"}
+		}
+		switch ch.Op {
+		case ModifyAdd:
+			ex := work[key]
+			if ex.Type == "" {
+				ex.Type = ch.Attr.Type
+			}
+			ex.Vals = append(ex.Vals, ch.Attr.Vals...)
+			work[key] = ex
+		case ModifyReplace:
+			if len(ch.Attr.Vals) == 0 {
+				delete(work, key)
+			} else {
+				work[key] = EntryAttr{Type: ch.Attr.Type, Vals: append([]string(nil), ch.Attr.Vals...)}
+			}
+		case ModifyDelete:
+			ex, present := work[key]
+			if !present {
+				return Result{Code: ResultNoSuchObject, Message: "no such attribute " + ch.Attr.Type}
+			}
+			if len(ch.Attr.Vals) == 0 {
+				delete(work, key)
+				break
+			}
+			var keep []string
+			for _, v := range ex.Vals {
+				drop := false
+				for _, rm := range ch.Attr.Vals {
+					if strings.EqualFold(v, rm) {
+						drop = true
+					}
+				}
+				if !drop {
+					keep = append(keep, v)
+				}
+			}
+			if len(keep) == 0 {
+				delete(work, key)
+			} else {
+				ex.Vals = keep
+				work[key] = ex
+			}
+		default:
+			return Result{Code: ResultProtocolError, Message: "bad modify op"}
+		}
+	}
+	e.attrs = work
+	return Result{Code: ResultSuccess}
+}
+
+// ModifyDN renames a leaf entry in place (newSuperior unsupported).
+func (d *DIT) ModifyDN(dnStr, newRDN string, deleteOldRDN bool) Result {
+	dn, err := ParseDN(dnStr)
+	if err != nil {
+		return Result{Code: ResultInvalidDNSyntax, Message: err.Error()}
+	}
+	rdnDN, err := ParseDN(newRDN)
+	if err != nil || len(rdnDN) != 1 {
+		return Result{Code: ResultInvalidDNSyntax, Message: "bad newRDN"}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[dn.Normalize()]
+	if !ok {
+		return Result{Code: ResultNoSuchObject}
+	}
+	if d.hasChildrenLocked(dn) {
+		return Result{Code: ResultNotAllowedOnNonLea}
+	}
+	newDN := dn.Parent().Child(rdnDN[0].Type, rdnDN[0].Value)
+	if _, exists := d.entries[newDN.Normalize()]; exists {
+		return Result{Code: ResultEntryAlreadyExists}
+	}
+	if oldLeaf, ok := dn.Leaf(); ok && deleteOldRDN {
+		key := strings.ToLower(oldLeaf.Type)
+		if ex, present := e.attrs[key]; present {
+			var keep []string
+			for _, v := range ex.Vals {
+				if !strings.EqualFold(v, oldLeaf.Value) {
+					keep = append(keep, v)
+				}
+			}
+			if len(keep) == 0 {
+				delete(e.attrs, key)
+			} else {
+				ex.Vals = keep
+				e.attrs[key] = ex
+			}
+		}
+	}
+	// Add the new RDN attribute.
+	nk := strings.ToLower(rdnDN[0].Type)
+	ex := e.attrs[nk]
+	if ex.Type == "" {
+		ex.Type = rdnDN[0].Type
+	}
+	has := false
+	for _, v := range ex.Vals {
+		if strings.EqualFold(v, rdnDN[0].Value) {
+			has = true
+		}
+	}
+	if !has {
+		ex.Vals = append(ex.Vals, rdnDN[0].Value)
+	}
+	e.attrs[nk] = ex
+	delete(d.entries, dn.Normalize())
+	e.dn = newDN
+	d.entries[newDN.Normalize()] = e
+	return Result{Code: ResultSuccess}
+}
+
+// Get returns a copy of the entry at dn.
+func (d *DIT) Get(dnStr string) (Entry, bool) {
+	dn, err := ParseDN(dnStr)
+	if err != nil {
+		return Entry{}, false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.entries[dn.Normalize()]
+	if !ok {
+		return Entry{}, false
+	}
+	return e.toEntry(nil, false), true
+}
+
+// Search evaluates a filter under baseDN with the given scope; it returns
+// matching entries (sorted shallow-first then lexicographically) and the
+// result. sizeLimit 0 means unlimited.
+func (d *DIT) Search(baseDN string, scope int, f *filter.Node, sizeLimit int, attrs []string, typesOnly bool) ([]Entry, Result) {
+	base, err := ParseDN(baseDN)
+	if err != nil {
+		return nil, Result{Code: ResultInvalidDNSyntax, Message: err.Error()}
+	}
+	d.mu.RLock()
+	if _, ok := d.entries[base.Normalize()]; !ok {
+		matched := d.deepestExistingLocked(base).String()
+		d.mu.RUnlock()
+		return nil, Result{Code: ResultNoSuchObject, MatchedDN: matched}
+	}
+	type hit struct {
+		depth int
+		key   string
+		e     *ditEntry
+	}
+	var hits []hit
+	for key, e := range d.entries {
+		if !e.dn.IsUnder(base) {
+			continue
+		}
+		depth := e.dn.Depth(base)
+		switch scope {
+		case ScopeBaseObject:
+			if depth != 0 {
+				continue
+			}
+		case ScopeSingleLevel:
+			if depth != 1 {
+				continue
+			}
+		case ScopeWholeSubtree:
+			// all depths
+		default:
+			d.mu.RUnlock()
+			return nil, Result{Code: ResultProtocolError, Message: "bad scope"}
+		}
+		if f == nil || f.Matches(e.values()) {
+			hits = append(hits, hit{depth: depth, key: key, e: e})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].depth != hits[j].depth {
+			return hits[i].depth < hits[j].depth
+		}
+		return hits[i].key < hits[j].key
+	})
+	res := Result{Code: ResultSuccess}
+	if sizeLimit > 0 && len(hits) > sizeLimit {
+		hits = hits[:sizeLimit]
+		res.Code = ResultSizeLimitExceeded
+	}
+	out := make([]Entry, len(hits))
+	for i, h := range hits {
+		out[i] = h.e.toEntry(attrs, typesOnly)
+	}
+	d.mu.RUnlock()
+	return out, res
+}
+
+// CheckPassword verifies a simple bind against an entry's userPassword.
+func (d *DIT) CheckPassword(dnStr, password string) bool {
+	dn, err := ParseDN(dnStr)
+	if err != nil {
+		return false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.entries[dn.Normalize()]
+	if !ok {
+		return false
+	}
+	for _, v := range e.attrs["userpassword"].Vals {
+		if v == password {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package ldapsrv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDN(t *testing.T) {
+	dn, err := ParseDN("cn=alice,ou=people,dc=emory,dc=edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dn) != 4 || dn[0].Type != "cn" || dn[0].Value != "alice" || dn[3].Value != "edu" {
+		t.Fatalf("dn = %+v", dn)
+	}
+	// Whitespace tolerance.
+	dn, err = ParseDN(" cn = alice , dc = edu ")
+	if err != nil || dn[0].Value != "alice" || dn[1].Type != "dc" {
+		t.Fatalf("dn = %+v, %v", dn, err)
+	}
+	// Empty DN.
+	dn, err = ParseDN("")
+	if err != nil || len(dn) != 0 {
+		t.Fatalf("empty = %+v, %v", dn, err)
+	}
+}
+
+func TestParseDNEscapes(t *testing.T) {
+	dn, err := ParseDN(`cn=Smith\, John,dc=x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn[0].Value != "Smith, John" {
+		t.Errorf("value = %q", dn[0].Value)
+	}
+	dn, err = ParseDN(`cn=a\3db,dc=x`) // \3d = '='
+	if err != nil || dn[0].Value != "a=b" {
+		t.Fatalf("hex escape: %+v, %v", dn, err)
+	}
+}
+
+func TestParseDNErrors(t *testing.T) {
+	for _, bad := range []string{"cn", "=v", "cn=", ",", "cn=a,", `cn=a\`} {
+		if dn, err := ParseDN(bad); err == nil {
+			t.Errorf("ParseDN(%q) = %+v, want error", bad, dn)
+		}
+	}
+}
+
+func TestDNStringRoundTrip(t *testing.T) {
+	cases := []DN{
+		{{Type: "cn", Value: "alice"}},
+		{{Type: "cn", Value: "Smith, John"}, {Type: "dc", Value: "edu"}},
+		{{Type: "cn", Value: `back\slash`}, {Type: "o", Value: "a=b+c"}},
+		{{Type: "cn", Value: " leading and trailing "}},
+		{{Type: "cn", Value: "#hash"}},
+	}
+	for _, dn := range cases {
+		back, err := ParseDN(dn.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", dn.String(), err)
+		}
+		if !dn.Equal(back) {
+			t.Errorf("round trip %q -> %q", dn.String(), back.String())
+		}
+	}
+}
+
+// Property: arbitrary values survive DN string round trips.
+func TestDNValuePropertyRoundTrip(t *testing.T) {
+	f := func(val string, typNum uint8) bool {
+		if val == "" {
+			return true
+		}
+		typ := []string{"cn", "ou", "dc", "o"}[typNum%4]
+		dn := DN{{Type: typ, Value: val}, {Type: "dc", Value: "base"}}
+		back, err := ParseDN(dn.String())
+		if err != nil {
+			return false
+		}
+		return len(back) == 2 && back[0].Value == val && back[0].Type == typ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDNHierarchy(t *testing.T) {
+	base := MustParseDN("dc=emory,dc=edu")
+	child := MustParseDN("ou=people,dc=emory,dc=edu")
+	leaf := MustParseDN("cn=alice,ou=people,dc=emory,dc=edu")
+	if !leaf.IsUnder(base) || !leaf.IsUnder(child) || !child.IsUnder(base) {
+		t.Error("IsUnder failed")
+	}
+	if base.IsUnder(child) {
+		t.Error("inverse IsUnder")
+	}
+	other := MustParseDN("cn=x,dc=gatech,dc=edu")
+	if other.IsUnder(base) {
+		t.Error("foreign IsUnder")
+	}
+	if leaf.Depth(base) != 2 || child.Depth(base) != 1 {
+		t.Error("Depth wrong")
+	}
+	if !leaf.Parent().Equal(child) {
+		t.Errorf("Parent = %v", leaf.Parent())
+	}
+	r, ok := leaf.Leaf()
+	if !ok || r.Type != "cn" || r.Value != "alice" {
+		t.Errorf("Leaf = %+v", r)
+	}
+	if got := base.Child("ou", "labs"); !got.Equal(MustParseDN("ou=labs,dc=emory,dc=edu")) {
+		t.Errorf("Child = %v", got)
+	}
+	// Case-insensitive equality.
+	if !MustParseDN("CN=Alice,DC=Edu").Equal(MustParseDN("cn=alice,dc=edu")) {
+		t.Error("case-insensitive Equal failed")
+	}
+}

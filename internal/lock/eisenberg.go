@@ -1,0 +1,250 @@
+// Package lock implements Eisenberg & McGuire's N-process mutual
+// exclusion algorithm (CACM 15(11), 1972) over remote read/write
+// registers.
+//
+// The paper's strict Jini provider needs an atomic JNDI bind on top of a
+// registry that only offers idempotent read and write (overwrite)
+// primitives. Eisenberg–McGuire requires exactly that — plain shared
+// registers — at the cost of 3 reads and 5 writes per uncontended
+// critical section (§5.1), which is what makes strict bind ≈7× slower in
+// Figure 3.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RegisterStore is the shared-register abstraction: named string cells
+// with atomic read and overwrite-write. The Jini provider backs it with
+// lookup-service entries; tests use an in-memory map.
+type RegisterStore interface {
+	// Read returns the register's value; absent registers read as "".
+	Read(name string) (string, error)
+	// Write overwrites the register.
+	Write(name string, value string) error
+}
+
+// Process states stored in the flag registers.
+const (
+	stateIdle    = "idle"
+	stateWaiting = "waiting"
+	stateActive  = "active"
+)
+
+// ErrTimeout is returned when the lock cannot be acquired in time.
+var ErrTimeout = errors.New("lock: acquisition timed out")
+
+// Mutex is one process's handle on an Eisenberg–McGuire mutex. All
+// handles sharing a store and name, with distinct Me in [0, N), exclude
+// each other.
+type Mutex struct {
+	store RegisterStore
+	name  string // lock instance name (register prefix)
+	n     int    // number of processes
+	me    int    // this process's index
+	// Backoff is the poll interval while spinning on remote registers
+	// (remote registers make busy-spinning expensive; default 2ms).
+	Backoff time.Duration
+}
+
+// New creates a handle for process me of n on the named lock.
+func New(store RegisterStore, name string, n, me int) (*Mutex, error) {
+	if n < 1 || me < 0 || me >= n {
+		return nil, fmt.Errorf("lock: invalid process %d of %d", me, n)
+	}
+	return &Mutex{store: store, name: name, n: n, me: me, Backoff: 2 * time.Millisecond}, nil
+}
+
+func (m *Mutex) flagReg(i int) string { return fmt.Sprintf("%s/flag/%d", m.name, i) }
+func (m *Mutex) turnReg() string      { return m.name + "/turn" }
+
+func (m *Mutex) readFlag(i int) (string, error) {
+	v, err := m.store.Read(m.flagReg(i))
+	if err != nil {
+		return "", err
+	}
+	if v == "" {
+		v = stateIdle
+	}
+	return v, nil
+}
+
+func (m *Mutex) readTurn() (int, error) {
+	v, err := m.store.Read(m.turnReg())
+	if err != nil {
+		return 0, err
+	}
+	if v == "" {
+		return 0, nil
+	}
+	t, err := strconv.Atoi(v)
+	if err != nil || t < 0 || t >= m.n {
+		return 0, nil // corrupt register degrades to turn 0
+	}
+	return t, nil
+}
+
+func (m *Mutex) pause() { time.Sleep(m.Backoff) }
+
+// Lock acquires the critical section, waiting at most timeout (≤ 0 means
+// a generous 30s). On ErrTimeout the flag register is restored to idle.
+func (m *Mutex) Lock(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	bail := func() error {
+		_ = m.store.Write(m.flagReg(m.me), stateIdle)
+		return ErrTimeout
+	}
+	for {
+		// flags[me] = waiting; scan from turn to me: wait until all
+		// processes between turn and me are idle.
+		if err := m.store.Write(m.flagReg(m.me), stateWaiting); err != nil {
+			return err
+		}
+		j, err := m.readTurn()
+		if err != nil {
+			return err
+		}
+		for j != m.me {
+			if time.Now().After(deadline) {
+				return bail()
+			}
+			fj, err := m.readFlag(j)
+			if err != nil {
+				return err
+			}
+			if fj != stateIdle {
+				m.pause()
+				j, err = m.readTurn()
+				if err != nil {
+					return err
+				}
+			} else {
+				j = (j + 1) % m.n
+			}
+		}
+		// Tentatively claim.
+		if err := m.store.Write(m.flagReg(m.me), stateActive); err != nil {
+			return err
+		}
+		// Verify no other process claimed simultaneously.
+		conflict := false
+		for k := 0; k < m.n; k++ {
+			if k == m.me {
+				continue
+			}
+			fk, err := m.readFlag(k)
+			if err != nil {
+				return err
+			}
+			if fk == stateActive {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			t, err := m.readTurn()
+			if err != nil {
+				return err
+			}
+			var ft string
+			if t == m.me {
+				ft = stateActive
+			} else {
+				ft, err = m.readFlag(t)
+				if err != nil {
+					return err
+				}
+			}
+			if t == m.me || ft == stateIdle {
+				// Acquired: fix the turn on ourselves.
+				if err := m.store.Write(m.turnReg(), strconv.Itoa(m.me)); err != nil {
+					return err
+				}
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return bail()
+		}
+		m.pause()
+	}
+}
+
+// Unlock releases the critical section: the turn passes to the next
+// non-idle process (or stays) and our flag returns to idle.
+func (m *Mutex) Unlock() error {
+	t, err := m.readTurn()
+	if err != nil {
+		return err
+	}
+	// Canonical exit: pass the turn to the next non-idle process. Our
+	// own flag is still active, so the scan terminates at us at worst.
+	next := m.me
+	for k := 1; k <= m.n; k++ {
+		j := (t + k) % m.n
+		if j == m.me {
+			next = j
+			break
+		}
+		fj, err := m.readFlag(j)
+		if err != nil {
+			return err
+		}
+		if fj != stateIdle {
+			next = j
+			break
+		}
+	}
+	if err := m.store.Write(m.turnReg(), strconv.Itoa(next)); err != nil {
+		return err
+	}
+	return m.store.Write(m.flagReg(m.me), stateIdle)
+}
+
+// WithLock runs fn inside the critical section.
+func (m *Mutex) WithLock(timeout time.Duration, fn func() error) error {
+	if err := m.Lock(timeout); err != nil {
+		return err
+	}
+	defer func() { _ = m.Unlock() }()
+	return fn()
+}
+
+// MapStore is an in-memory RegisterStore for tests and single-process use.
+type MapStore struct {
+	mu sync.Mutex
+	m  map[string]string
+	// Delay simulates remote register latency.
+	Delay time.Duration
+}
+
+// NewMapStore builds an empty in-memory store.
+func NewMapStore() *MapStore { return &MapStore{m: map[string]string{}} }
+
+// Read implements RegisterStore.
+func (s *MapStore) Read(name string) (string, error) {
+	if s.Delay > 0 {
+		time.Sleep(s.Delay)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[name], nil
+}
+
+// Write implements RegisterStore.
+func (s *MapStore) Write(name, value string) error {
+	if s.Delay > 0 {
+		time.Sleep(s.Delay)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[name] = value
+	return nil
+}

@@ -1,0 +1,203 @@
+package dnssp
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"gondi/internal/core"
+	"gondi/internal/dnssrv"
+)
+
+// newWorld builds a DNS server with the paper's example hierarchy:
+// global -> emory -> mathcs, with a federation TXT anchor at dcl.
+func newWorld(t *testing.T) *dnssrv.Server {
+	t.Helper()
+	s, err := dnssrv.NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	z := dnssrv.NewZone("global")
+	z.Add(dnssrv.RR{Name: "emory.global", Type: dnssrv.TypeA, A: netip.MustParseAddr("170.140.0.1")})
+	z.Add(dnssrv.RR{Name: "emory.global", Type: dnssrv.TypeTXT, Txt: []string{"Emory University"}})
+	z.Add(dnssrv.RR{Name: "mathcs.emory.global", Type: dnssrv.TypeTXT, Txt: []string{"Math & CS"}})
+	z.Add(dnssrv.RR{Name: "gatech.global", Type: dnssrv.TypeTXT, Txt: []string{"Georgia Tech"}})
+	// Federation anchor: the dcl department delegates to an HDNS node.
+	z.Add(dnssrv.RR{Name: "dcl.mathcs.emory.global", Type: dnssrv.TypeTXT, Txt: []string{"hdns://127.0.0.1:7001"}})
+	s.AddZone(z)
+	return s
+}
+
+func open(t *testing.T, s *dnssrv.Server, path string) (core.Context, core.Name) {
+	t.Helper()
+	Register()
+	ctx, rest, err := core.OpenURL("dns://"+s.Addr()+"/"+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctx.Close() })
+	return ctx, rest
+}
+
+func TestLookupContexts(t *testing.T) {
+	s := newWorld(t)
+	ctx, rest := open(t, s, "global")
+	obj, err := ctx.Lookup(rest.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, ok := obj.(core.Context)
+	if !ok {
+		t.Fatalf("root = %T", obj)
+	}
+	// Subdomain resolves to a context.
+	obj, err = root.Lookup("emory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emory, ok := obj.(core.Context)
+	if !ok {
+		t.Fatalf("emory = %T", obj)
+	}
+	if _, err := emory.Lookup("mathcs"); err != nil {
+		t.Fatal(err)
+	}
+	// Missing name.
+	if _, err := root.Lookup("ghost"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("ghost: %v", err)
+	}
+}
+
+func TestGetAttributes(t *testing.T) {
+	s := newWorld(t)
+	ctx, _ := open(t, s, "global")
+	attrs, err := ctx.(*Context).GetAttributes("global/emory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs.GetFirst("A") != "170.140.0.1" {
+		t.Errorf("A = %q", attrs.GetFirst("A"))
+	}
+	if attrs.GetFirst("TXT") != "Emory University" {
+		t.Errorf("TXT = %q", attrs.GetFirst("TXT"))
+	}
+	// Restricted.
+	attrs, _ = ctx.(*Context).GetAttributes("global/emory", "TXT")
+	if attrs.Size() != 1 {
+		t.Errorf("restricted = %v", attrs)
+	}
+}
+
+func TestListViaZoneTransfer(t *testing.T) {
+	s := newWorld(t)
+	ctx, _ := open(t, s, "global")
+	pairs, err := ctx.List("global")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, p := range pairs {
+		names[p.Name] = true
+		if p.Class != core.ContextReferenceClass {
+			t.Errorf("class = %q", p.Class)
+		}
+	}
+	if !names["emory"] || !names["gatech"] {
+		t.Errorf("children = %v", names)
+	}
+	pairs, err = ctx.List("global/emory")
+	if err != nil || len(pairs) != 1 || pairs[0].Name != "mathcs" {
+		t.Fatalf("emory children = %+v, %v", pairs, err)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	s := newWorld(t)
+	ctx, _ := open(t, s, "global")
+	res, err := ctx.(*Context).Search("global", "(TXT=*university*)", &core.SearchControls{Scope: core.ScopeSubtree})
+	if err != nil || len(res) != 1 || res[0].Name != "emory" {
+		t.Fatalf("search = %+v, %v", res, err)
+	}
+	// One-level scope.
+	res, err = ctx.(*Context).Search("global", "(TXT=*)", &core.SearchControls{Scope: core.ScopeOneLevel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Name != "emory" && r.Name != "gatech" {
+			t.Errorf("unexpected one-level hit %q", r.Name)
+		}
+	}
+}
+
+// The paper's anchoring scenario: resolving through a TXT record that
+// holds a provider URL raises a federation continuation.
+func TestFederationAnchor(t *testing.T) {
+	s := newWorld(t)
+	ctx, _ := open(t, s, "global")
+	// Core must know the hdns scheme for the TXT to count as a boundary.
+	core.RegisterProvider("hdns", core.ProviderFunc(func(string, map[string]any) (core.Context, core.Name, error) {
+		return nil, core.Name{}, errors.New("unreachable in this test")
+	}))
+	// Looking up the anchor itself yields a context reference.
+	obj, err := ctx.Lookup("global/emory/mathcs/dcl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, ok := obj.(*core.Reference)
+	if !ok {
+		t.Fatalf("anchor = %T", obj)
+	}
+	if url, _ := ref.Get(core.AddrURL); url != "hdns://127.0.0.1:7001" {
+		t.Errorf("url = %q", url)
+	}
+	// Resolving THROUGH the anchor raises a continuation.
+	_, err = ctx.Lookup("global/emory/mathcs/dcl/mokey")
+	var cpe *core.CannotProceedError
+	if !errors.As(err, &cpe) {
+		t.Fatalf("want continuation, got %v", err)
+	}
+	if cpe.RemainingName.String() != "mokey" {
+		t.Errorf("remaining = %q", cpe.RemainingName.String())
+	}
+	if cpe.Resolved != "hdns://127.0.0.1:7001" {
+		t.Errorf("resolved = %v", cpe.Resolved)
+	}
+}
+
+func TestWritesUnsupported(t *testing.T) {
+	s := newWorld(t)
+	ctx, _ := open(t, s, "global")
+	c := ctx.(*Context)
+	if err := c.Bind("x", 1); !errors.Is(err, core.ErrNotSupported) {
+		t.Errorf("bind: %v", err)
+	}
+	if err := c.Rebind("x", 1); !errors.Is(err, core.ErrNotSupported) {
+		t.Errorf("rebind: %v", err)
+	}
+	if err := c.Unbind("x"); !errors.Is(err, core.ErrNotSupported) {
+		t.Errorf("unbind: %v", err)
+	}
+	if _, err := c.CreateSubcontext("x"); !errors.Is(err, core.ErrNotSupported) {
+		t.Errorf("createSubcontext: %v", err)
+	}
+	if err := c.ModifyAttributes("x", nil); !errors.Is(err, core.ErrNotSupported) {
+		t.Errorf("modifyAttributes: %v", err)
+	}
+}
+
+func TestDomainMapping(t *testing.T) {
+	if got := domainFor(core.MustParseName("global/emory/mathcs")); got != "mathcs.emory.global." {
+		t.Errorf("domainFor = %q", got)
+	}
+	if got := domainFor(core.Name{}); got != "." {
+		t.Errorf("empty = %q", got)
+	}
+	if got := relPath("mathcs.emory.global.", "global."); got != "emory/mathcs" {
+		t.Errorf("relPath = %q", got)
+	}
+	if got := relPath("global.", "global."); got != "" {
+		t.Errorf("relPath self = %q", got)
+	}
+}

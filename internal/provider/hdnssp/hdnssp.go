@@ -1,0 +1,633 @@
+// Package hdnssp is the JNDI service provider for HDNS — the second of
+// the paper's two new providers (§5.2). HDNS was designed with the JNDI
+// mapping in mind, so unlike the Jini provider no distributed locking is
+// needed: every DirContext method maps onto a native, atomic HDNS
+// operation. The provider shares the Jini provider's object/state factory
+// mechanism (values are marshalled through the core codec) and the same
+// lease-renewal approach.
+package hdnssp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/hdns"
+)
+
+// Environment property keys.
+const (
+	// EnvSecret carries the node's write secret, if it requires one.
+	EnvSecret = "hdns.secret"
+	// EnvLeaseMs grants bindings a lease of this many milliseconds and
+	// renews it automatically; 0 (default) binds without leases.
+	EnvLeaseMs = "hdns.lease.ms"
+)
+
+// Register installs the "hdns" URL scheme provider.
+func Register() {
+	core.RegisterProvider("hdns", core.ProviderFunc(func(rawURL string, env map[string]any) (core.Context, core.Name, error) {
+		u, err := core.ParseURLName(rawURL)
+		if err != nil {
+			return nil, core.Name{}, err
+		}
+		ctx, err := Open(u.Authority, env)
+		if err != nil {
+			return nil, core.Name{}, &core.CommunicationError{Endpoint: u.Authority, Err: err}
+		}
+		return ctx, u.Path, nil
+	}))
+}
+
+// shared is pooled per (authority, environment) so that federation hops
+// reuse one node connection instead of leaking one per resolution.
+type shared struct {
+	client *hdns.Client
+	url    string
+	lease  time.Duration
+
+	poolKey string
+	refs    int
+
+	mu       sync.Mutex
+	closed   bool
+	renewals map[string]chan struct{} // name -> stop
+}
+
+var poolMu sync.Mutex
+var pool = map[string]*shared{}
+
+// Context implements core.DirContext, core.EventContext and
+// core.Referenceable over one HDNS node.
+type Context struct {
+	sh    *shared
+	base  core.Name
+	env   map[string]any
+	owner bool
+}
+
+var _ core.DirContext = (*Context)(nil)
+var _ core.EventContext = (*Context)(nil)
+var _ core.Referenceable = (*Context)(nil)
+
+// Open connects to (or reuses a pooled connection for) the HDNS node at
+// authority (host:port).
+func Open(authority string, env map[string]any) (*Context, error) {
+	secret, _ := env[EnvSecret].(string)
+	leaseMs := int64(0)
+	switch v := env[EnvLeaseMs].(type) {
+	case int:
+		leaseMs = int64(v)
+	case int64:
+		leaseMs = v
+	}
+	key := fmt.Sprintf("%s|%s|%d|%v", authority, secret, leaseMs, env[core.EnvPoolID])
+	poolMu.Lock()
+	if sh, ok := pool[key]; ok {
+		sh.mu.Lock()
+		alive := !sh.closed && !sh.client.Closed()
+		sh.mu.Unlock()
+		if alive {
+			sh.refs++
+			poolMu.Unlock()
+			return &Context{sh: sh, env: env, owner: true}, nil
+		}
+		delete(pool, key)
+	}
+	poolMu.Unlock()
+
+	client, err := hdns.Dial(authority, secret, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	sh := &shared{
+		client:   client,
+		url:      "hdns://" + authority,
+		lease:    time.Duration(leaseMs) * time.Millisecond,
+		renewals: map[string]chan struct{}{},
+		poolKey:  key,
+		refs:     1,
+	}
+	poolMu.Lock()
+	pool[key] = sh
+	poolMu.Unlock()
+	return &Context{sh: sh, env: env, owner: true}, nil
+}
+
+func (c *Context) child(base core.Name) *Context {
+	return &Context{sh: c.sh, base: base, env: c.env}
+}
+
+func (c *Context) parse(name string) (core.Name, error) {
+	if core.IsURLName(name) {
+		u, err := core.ParseURLName(name)
+		if err != nil {
+			return core.Name{}, err
+		}
+		return core.Name{}, &core.CannotProceedError{
+			Resolved:      u.Scheme + "://" + u.Authority,
+			RemainingName: u.Path,
+			AltName:       name,
+		}
+	}
+	return core.ParseName(name)
+}
+
+func (c *Context) full(name string) ([]string, core.Name, error) {
+	n, err := c.parse(name)
+	if err != nil {
+		return nil, core.Name{}, err
+	}
+	f := c.base.Concat(n)
+	return f.Components(), f, nil
+}
+
+func (c *Context) closed() bool {
+	c.sh.mu.Lock()
+	defer c.sh.mu.Unlock()
+	return c.sh.closed
+}
+
+// mapErr converts HDNS wire errors to core sentinels and handles the
+// federation boundary for NotContext failures.
+func (c *Context) mapErr(err error, full core.Name) error {
+	switch {
+	case err == nil:
+		return nil
+	case hdns.IsNotFound(err):
+		return core.ErrNotFound
+	case hdns.IsAlreadyBound(err):
+		return core.ErrAlreadyBound
+	case hdns.IsContextNotEmpty(err):
+		return core.ErrContextNotEmpty
+	case hdns.IsNotContext(err):
+		// A mid-name component is a value; if it is a Reference or a
+		// context, this is a federation boundary.
+		if cpe := c.boundary(full); cpe != nil {
+			return cpe
+		}
+		return core.ErrNotContext
+	default:
+		return &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+	}
+}
+
+// boundary scans the prefixes of full for a bound Reference, producing a
+// federation continuation.
+func (c *Context) boundary(full core.Name) *core.CannotProceedError {
+	return c.boundaryUpTo(full, full.Size())
+}
+
+// boundarySelf additionally treats full itself as a potential boundary —
+// used by context-level operations (List, Search) that must continue in
+// the referenced naming system.
+func (c *Context) boundarySelf(full core.Name) *core.CannotProceedError {
+	return c.boundaryUpTo(full, full.Size()+1)
+}
+
+func (c *Context) boundaryUpTo(full core.Name, limit int) *core.CannotProceedError {
+	for i := 1; i < limit && i <= full.Size(); i++ {
+		v, err := c.sh.client.Lookup(full.Prefix(i).Components())
+		if err != nil || !v.Exists {
+			return nil
+		}
+		if v.IsCtx {
+			continue
+		}
+		obj, err := core.Unmarshal(v.Obj)
+		if err != nil {
+			return nil
+		}
+		switch obj.(type) {
+		case *core.Reference, core.Context:
+			return &core.CannotProceedError{
+				Resolved:      obj,
+				RemainingName: full.Suffix(i),
+				AltName:       full.Prefix(i).String(),
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Lookup implements core.Context.
+func (c *Context) Lookup(name string) (any, error) {
+	if c.closed() {
+		return nil, core.Errf("lookup", name, core.ErrClosed)
+	}
+	comps, full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("lookup", name, err)
+	}
+	v, err := c.sh.client.Lookup(comps)
+	if err != nil {
+		return nil, core.Errf("lookup", name, c.mapErr(err, full))
+	}
+	if !v.Exists {
+		if cpe := c.boundary(full); cpe != nil {
+			return nil, cpe
+		}
+		return nil, core.Errf("lookup", name, core.ErrNotFound)
+	}
+	if v.IsCtx {
+		return c.child(full), nil
+	}
+	obj, err := core.Unmarshal(v.Obj)
+	if err != nil {
+		return nil, core.Errf("lookup", name, err)
+	}
+	return obj, nil
+}
+
+// LookupLink implements core.Context.
+func (c *Context) LookupLink(name string) (any, error) { return c.Lookup(name) }
+
+// startRenewal keeps the binding's lease alive until unbind or Close.
+func (c *Context) startRenewal(comps []string, key string) {
+	if c.sh.lease <= 0 {
+		return
+	}
+	stop := make(chan struct{})
+	c.sh.mu.Lock()
+	if old, ok := c.sh.renewals[key]; ok {
+		close(old)
+	}
+	c.sh.renewals[key] = stop
+	c.sh.mu.Unlock()
+	go func() {
+		t := time.NewTicker(c.sh.lease / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if _, err := c.sh.client.RenewLease(comps, c.sh.lease.Milliseconds()); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+func (c *Context) stopRenewal(key string) {
+	c.sh.mu.Lock()
+	if stop, ok := c.sh.renewals[key]; ok {
+		close(stop)
+		delete(c.sh.renewals, key)
+	}
+	c.sh.mu.Unlock()
+}
+
+// Bind implements core.Context — natively atomic in HDNS (§5.2).
+func (c *Context) Bind(name string, obj any) error {
+	return c.BindAttrs(name, obj, nil)
+}
+
+// BindAttrs implements core.DirContext.
+func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error {
+	if c.closed() {
+		return core.Errf("bind", name, core.ErrClosed)
+	}
+	comps, full, err := c.full(name)
+	if err != nil {
+		return core.Errf("bind", name, err)
+	}
+	data, err := core.Marshal(obj)
+	if err != nil {
+		return core.Errf("bind", name, err)
+	}
+	err = c.sh.client.Bind(comps, data, attrs.ToMap(), c.sh.lease.Milliseconds())
+	if err != nil {
+		return core.Errf("bind", name, c.mapErr(err, full))
+	}
+	c.startRenewal(comps, full.String())
+	return nil
+}
+
+// Rebind implements core.Context.
+func (c *Context) Rebind(name string, obj any) error {
+	return c.rebind(name, obj, nil, false)
+}
+
+// RebindAttrs implements core.DirContext.
+func (c *Context) RebindAttrs(name string, obj any, attrs *core.Attributes) error {
+	return c.rebind(name, obj, attrs, attrs != nil)
+}
+
+func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replace bool) error {
+	if c.closed() {
+		return core.Errf("rebind", name, core.ErrClosed)
+	}
+	comps, full, err := c.full(name)
+	if err != nil {
+		return core.Errf("rebind", name, err)
+	}
+	data, err := core.Marshal(obj)
+	if err != nil {
+		return core.Errf("rebind", name, err)
+	}
+	err = c.sh.client.Rebind(comps, data, attrs.ToMap(), replace, c.sh.lease.Milliseconds())
+	if err != nil {
+		return core.Errf("rebind", name, c.mapErr(err, full))
+	}
+	c.startRenewal(comps, full.String())
+	return nil
+}
+
+// Unbind implements core.Context.
+func (c *Context) Unbind(name string) error {
+	if c.closed() {
+		return core.Errf("unbind", name, core.ErrClosed)
+	}
+	comps, full, err := c.full(name)
+	if err != nil {
+		return core.Errf("unbind", name, err)
+	}
+	c.stopRenewal(full.String())
+	return core.Errf("unbind", name, c.mapErr(c.sh.client.Unbind(comps), full))
+}
+
+// Rename implements core.Context — atomic server-side.
+func (c *Context) Rename(oldName, newName string) error {
+	if c.closed() {
+		return core.Errf("rename", oldName, core.ErrClosed)
+	}
+	oldC, oldF, err := c.full(oldName)
+	if err != nil {
+		return core.Errf("rename", oldName, err)
+	}
+	newC, _, err := c.full(newName)
+	if err != nil {
+		return core.Errf("rename", newName, err)
+	}
+	return core.Errf("rename", oldName, c.mapErr(c.sh.client.Rename(oldC, newC), oldF))
+}
+
+// List implements core.Context.
+func (c *Context) List(name string) ([]core.NameClassPair, error) {
+	bindings, err := c.ListBindings(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.NameClassPair, len(bindings))
+	for i, b := range bindings {
+		out[i] = core.NameClassPair{Name: b.Name, Class: b.Class}
+	}
+	return out, nil
+}
+
+// ListBindings implements core.Context.
+func (c *Context) ListBindings(name string) ([]core.Binding, error) {
+	if c.closed() {
+		return nil, core.Errf("list", name, core.ErrClosed)
+	}
+	comps, full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("list", name, err)
+	}
+	if cpe := c.boundarySelf(full); cpe != nil {
+		return nil, cpe
+	}
+	entries, err := c.sh.client.List(comps)
+	if err != nil {
+		return nil, core.Errf("list", name, c.mapErr(err, full))
+	}
+	out := make([]core.Binding, 0, len(entries))
+	for _, e := range entries {
+		b := core.Binding{Name: e.Name}
+		if e.IsCtx {
+			b.Class = core.ContextReferenceClass
+			b.Object = c.child(full.Append(e.Name))
+		} else {
+			obj, err := core.Unmarshal(e.Obj)
+			if err != nil {
+				continue
+			}
+			b.Class = core.ClassOf(obj)
+			b.Object = obj
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// CreateSubcontext implements core.Context.
+func (c *Context) CreateSubcontext(name string) (core.Context, error) {
+	dc, err := c.CreateSubcontextAttrs(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return dc, nil
+}
+
+// CreateSubcontextAttrs implements core.DirContext.
+func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (core.DirContext, error) {
+	if c.closed() {
+		return nil, core.Errf("createSubcontext", name, core.ErrClosed)
+	}
+	comps, full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("createSubcontext", name, err)
+	}
+	if err := c.sh.client.CreateCtx(comps, attrs.ToMap()); err != nil {
+		return nil, core.Errf("createSubcontext", name, c.mapErr(err, full))
+	}
+	return c.child(full), nil
+}
+
+// DestroySubcontext implements core.Context.
+func (c *Context) DestroySubcontext(name string) error {
+	if c.closed() {
+		return core.Errf("destroySubcontext", name, core.ErrClosed)
+	}
+	comps, full, err := c.full(name)
+	if err != nil {
+		return core.Errf("destroySubcontext", name, err)
+	}
+	return core.Errf("destroySubcontext", name, c.mapErr(c.sh.client.DestroyCtx(comps), full))
+}
+
+// GetAttributes implements core.DirContext.
+func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attributes, error) {
+	if c.closed() {
+		return nil, core.Errf("getAttributes", name, core.ErrClosed)
+	}
+	comps, full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("getAttributes", name, err)
+	}
+	v, err := c.sh.client.Lookup(comps)
+	if err != nil {
+		return nil, core.Errf("getAttributes", name, c.mapErr(err, full))
+	}
+	if !v.Exists {
+		if cpe := c.boundary(full); cpe != nil {
+			return nil, cpe
+		}
+		return nil, core.Errf("getAttributes", name, core.ErrNotFound)
+	}
+	return core.AttributesFromMap(v.Attrs).Select(attrIDs...), nil
+}
+
+// ModifyAttributes implements core.DirContext — atomic server-side.
+func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error {
+	if c.closed() {
+		return core.Errf("modifyAttributes", name, core.ErrClosed)
+	}
+	comps, full, err := c.full(name)
+	if err != nil {
+		return core.Errf("modifyAttributes", name, err)
+	}
+	recs := make([]hdns.ModRec, len(mods))
+	for i, m := range mods {
+		recs[i] = hdns.ModRec{Op: int(m.Op), ID: m.Attr.ID, Vals: m.Attr.Values}
+	}
+	return core.Errf("modifyAttributes", name, c.mapErr(c.sh.client.ModAttrs(comps, recs), full))
+}
+
+// Search implements core.DirContext server-side.
+func (c *Context) Search(name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+	if c.closed() {
+		return nil, core.Errf("search", name, core.ErrClosed)
+	}
+	comps, full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("search", name, err)
+	}
+	if cpe := c.boundarySelf(full); cpe != nil {
+		return nil, cpe
+	}
+	if controls == nil {
+		controls = &core.SearchControls{Scope: core.ScopeSubtree}
+	}
+	hits, err := c.sh.client.Search(comps, filterStr, int(controls.Scope), controls.CountLimit)
+	if err != nil {
+		return nil, core.Errf("search", name, c.mapErr(err, full))
+	}
+	out := make([]core.SearchResult, 0, len(hits))
+	for _, h := range hits {
+		r := core.SearchResult{
+			Name:       core.NewName(h.Name...).String(),
+			Attributes: core.AttributesFromMap(h.Attrs).Select(controls.ReturnAttrs...),
+		}
+		if h.IsCtx {
+			r.Class = core.ContextReferenceClass
+		} else {
+			obj, err := core.Unmarshal(h.Obj)
+			if err != nil {
+				continue
+			}
+			r.Class = core.ClassOf(obj)
+			if controls.ReturnObject {
+				r.Object = obj
+			}
+		}
+		out = append(out, r)
+	}
+	var lerr error
+	if controls.CountLimit > 0 && len(out) >= controls.CountLimit {
+		lerr = &core.LimitExceededError{Limit: controls.CountLimit}
+	}
+	return out, lerr
+}
+
+// Watch implements core.EventContext through HDNS's distributed event
+// notification (inherited from the H2O event mechanism in the paper).
+func (c *Context) Watch(target string, scope core.SearchScope, l core.Listener) (func(), error) {
+	if c.closed() {
+		return nil, core.Errf("watch", target, core.ErrClosed)
+	}
+	comps, fullName, err := c.full(target)
+	if err != nil {
+		return nil, core.Errf("watch", target, err)
+	}
+	if cpe := c.boundarySelf(fullName); cpe != nil {
+		return nil, cpe
+	}
+	baseSize := len(comps)
+	cancel, err := c.sh.client.Watch(comps, int(scope), func(e hdns.EventMsg) {
+		rel := core.NewName(e.Name[baseSize:]...).String()
+		var typ core.EventType
+		switch e.Kind {
+		case hdns.OpBind, hdns.OpCreateCtx:
+			typ = core.EventObjectAdded
+		case hdns.OpRebind, hdns.OpModAttrs:
+			typ = core.EventObjectChanged
+		case hdns.OpUnbind, hdns.OpDestroyCtx:
+			typ = core.EventObjectRemoved
+		case hdns.OpRename:
+			typ = core.EventObjectRenamed
+		default:
+			return
+		}
+		var newV, oldV any
+		if len(e.Obj) > 0 {
+			newV, _ = core.Unmarshal(e.Obj)
+		}
+		if len(e.Old) > 0 {
+			oldV, _ = core.Unmarshal(e.Old)
+		}
+		l(core.NamingEvent{Type: typ, Name: rel, NewValue: newV, OldValue: oldV})
+	})
+	if err != nil {
+		return nil, core.Errf("watch", target, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
+	}
+	return cancel, nil
+}
+
+// NameInNamespace implements core.Context.
+func (c *Context) NameInNamespace() (string, error) { return c.base.String(), nil }
+
+// Environment implements core.Context.
+func (c *Context) Environment() map[string]any { return c.env }
+
+// Close implements core.Context: the last root context for a pooled
+// connection stops lease renewals and drops the connection.
+func (c *Context) Close() error {
+	if !c.owner {
+		return nil
+	}
+	poolMu.Lock()
+	c.sh.mu.Lock()
+	if c.sh.closed {
+		c.sh.mu.Unlock()
+		poolMu.Unlock()
+		return nil
+	}
+	c.sh.refs--
+	last := c.sh.refs <= 0
+	if last {
+		c.sh.closed = true
+		for k, stop := range c.sh.renewals {
+			close(stop)
+			delete(c.sh.renewals, k)
+		}
+		delete(pool, c.sh.poolKey)
+	}
+	c.sh.mu.Unlock()
+	poolMu.Unlock()
+	if !last {
+		return nil
+	}
+	return c.sh.client.Close()
+}
+
+// Reference implements core.Referenceable for federation.
+func (c *Context) Reference() (*core.Reference, error) {
+	url := c.sh.url
+	if !c.base.IsEmpty() {
+		url += "/" + c.base.String()
+	}
+	return core.NewContextReference(url), nil
+}
+
+// Client exposes the underlying HDNS client (diagnostics, fedctl).
+func (c *Context) Client() *hdns.Client { return c.sh.client }
+
+func (c *Context) String() string {
+	return fmt.Sprintf("hdnssp.Context{%s base=%q}", c.sh.url, c.base.String())
+}

@@ -1,0 +1,240 @@
+package hdnssp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+)
+
+func newNode(t *testing.T, group string) *hdns.Node {
+	t.Helper()
+	f := jgroups.NewFabric()
+	stack := jgroups.DefaultConfig()
+	stack.HeartbeatInterval = 40 * time.Millisecond
+	n, err := hdns.NewNode(hdns.NodeConfig{
+		Group:      group,
+		Transport:  f.Endpoint("n1"),
+		Stack:      stack,
+		ListenAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func openCtx(t *testing.T, n *hdns.Node, env map[string]any) *Context {
+	t.Helper()
+	if env == nil {
+		env = map[string]any{}
+	}
+	c, err := Open(n.Addr(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestBasicOps(t *testing.T) {
+	n := newNode(t, "p1")
+	c := openCtx(t, n, nil)
+	if err := c.Bind("svc", "value"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup("svc")
+	if err != nil || got != "value" {
+		t.Fatalf("lookup = %v, %v", got, err)
+	}
+	// Atomic bind — native in HDNS (§5.2), no locking required.
+	if err := c.Bind("svc", "x"); !errors.Is(err, core.ErrAlreadyBound) {
+		t.Errorf("dup bind: %v", err)
+	}
+	if err := c.Rebind("svc", 42); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Lookup("svc"); got != 42 {
+		t.Errorf("rebind = %v", got)
+	}
+	if err := c.Unbind("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("svc"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("after unbind: %v", err)
+	}
+}
+
+func TestSubcontextsAndComposite(t *testing.T) {
+	n := newNode(t, "p2")
+	c := openCtx(t, n, nil)
+	sub, err := c.CreateSubcontext("emory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deeper, err := sub.(*Context).CreateSubcontext("mathcs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, deeper.Bind("mokey", "the-object"))
+	got, err := c.Lookup("emory/mathcs/mokey")
+	if err != nil || got != "the-object" {
+		t.Fatalf("composite = %v, %v", got, err)
+	}
+	pairs, err := c.List("emory")
+	if err != nil || len(pairs) != 1 || pairs[0].Name != "mathcs" || pairs[0].Class != core.ContextReferenceClass {
+		t.Fatalf("list = %+v, %v", pairs, err)
+	}
+	bindings, err := c.ListBindings("emory/mathcs")
+	if err != nil || len(bindings) != 1 || bindings[0].Object != "the-object" {
+		t.Fatalf("bindings = %+v, %v", bindings, err)
+	}
+	if err := c.DestroySubcontext("emory"); !errors.Is(err, core.ErrContextNotEmpty) {
+		t.Errorf("destroy non-empty: %v", err)
+	}
+	// Rename within the tree.
+	must(t, c.Rename("emory/mathcs/mokey", "emory/mokey2"))
+	if got, _ := c.Lookup("emory/mokey2"); got != "the-object" {
+		t.Errorf("renamed = %v", got)
+	}
+}
+
+func TestAttributesAndSearch(t *testing.T) {
+	n := newNode(t, "p3")
+	c := openCtx(t, n, nil)
+	must(t, c.BindAttrs("r1", "o1", core.NewAttributes("type", "storage", "size", "100")))
+	must(t, c.BindAttrs("r2", "o2", core.NewAttributes("type", "storage", "size", "500")))
+	must(t, c.BindAttrs("r3", "o3", core.NewAttributes("type", "compute")))
+
+	attrs, err := c.GetAttributes("r1")
+	if err != nil || attrs.GetFirst("size") != "100" {
+		t.Fatalf("attrs = %v, %v", attrs, err)
+	}
+	res, err := c.Search("", "(&(type=storage)(size>=200))", &core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
+	if err != nil || len(res) != 1 || res[0].Name != "r2" || res[0].Object != "o2" {
+		t.Fatalf("search = %+v, %v", res, err)
+	}
+	must(t, c.ModifyAttributes("r3", []core.AttributeMod{
+		{Op: core.ModAdd, Attr: core.Attribute{ID: "gpu", Values: []string{"a100"}}},
+	}))
+	attrs, _ = c.GetAttributes("r3", "gpu")
+	if attrs.GetFirst("gpu") != "a100" {
+		t.Errorf("modify: %v", attrs)
+	}
+	// Rebind preserves attrs when nil.
+	must(t, c.Rebind("r1", "o1b"))
+	attrs, _ = c.GetAttributes("r1")
+	if attrs.GetFirst("size") != "100" {
+		t.Errorf("rebind dropped attrs: %v", attrs)
+	}
+	// RebindAttrs with empty set clears.
+	must(t, c.RebindAttrs("r1", "o1c", &core.Attributes{}))
+	attrs, _ = c.GetAttributes("r1")
+	if attrs.Size() != 0 {
+		t.Errorf("attrs not cleared: %v", attrs)
+	}
+}
+
+func TestWatch(t *testing.T) {
+	n := newNode(t, "p4")
+	c := openCtx(t, n, nil)
+	var mu sync.Mutex
+	var got []core.NamingEvent
+	cancel, err := c.Watch("", core.ScopeSubtree, func(e core.NamingEvent) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	must(t, c.Bind("a", 1))
+	must(t, c.Rebind("a", 2))
+	must(t, c.Unbind("a"))
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		done := len(got) >= 3
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("events missing")
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Type != core.EventObjectAdded || got[1].Type != core.EventObjectChanged || got[2].Type != core.EventObjectRemoved {
+		t.Errorf("events = %+v", got)
+	}
+	if got[1].NewValue != 2 || got[1].OldValue != 1 {
+		t.Errorf("changed = %+v", got[1])
+	}
+}
+
+func TestLeases(t *testing.T) {
+	n := newNode(t, "p5")
+	c := openCtx(t, n, map[string]any{EnvLeaseMs: 400})
+	must(t, c.Bind("leased", "v"))
+	// Renewal keeps it alive.
+	time.Sleep(900 * time.Millisecond)
+	if _, err := c.Lookup("leased"); err != nil {
+		t.Fatalf("lease lapsed despite renewal: %v", err)
+	}
+	// Close stops renewals; reaper collects.
+	observer := openCtx(t, n, nil)
+	must(t, c.Close())
+	deadline := time.Now().Add(6 * time.Second)
+	for {
+		_, err := observer.Lookup("leased")
+		if errors.Is(err, core.ErrNotFound) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never reaped")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestFederationBoundary(t *testing.T) {
+	n := newNode(t, "p6")
+	c := openCtx(t, n, nil)
+	must(t, c.Bind("gateway", core.NewContextReference("jini://somewhere:4160")))
+	_, err := c.Lookup("gateway/deep/name")
+	var cpe *core.CannotProceedError
+	if !errors.As(err, &cpe) {
+		t.Fatalf("want continuation, got %v", err)
+	}
+	if cpe.RemainingName.String() != "deep/name" {
+		t.Errorf("remaining = %q", cpe.RemainingName.String())
+	}
+}
+
+func TestProviderRegistration(t *testing.T) {
+	Register()
+	n := newNode(t, "p7")
+	ctx, rest, err := core.OpenURL("hdns://"+n.Addr()+"/x/y", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	if rest.String() != "x/y" {
+		t.Errorf("rest = %q", rest.String())
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

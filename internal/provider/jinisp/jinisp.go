@@ -1,0 +1,1165 @@
+// Package jinisp is the JNDI service provider for Jini lookup services —
+// the first of the paper's two new providers (§5.1).
+//
+// The three mapping problems the paper identifies are solved as follows:
+//
+//   - State and object factories: arbitrary <name, object, attributes>
+//     tuples are wrapped into "fake" service items — the object is
+//     marshalled into the item's Service field and the name/attributes
+//     become typed attribute entries — and unwrapped on retrieval.
+//   - Leases: the JNDI API has no expiration concept, so the provider
+//     grants every binding a lease and renews it automatically through a
+//     LeaseRenewalManager until the entry is unbound or the provider is
+//     closed.
+//   - Atomicity: Jini registration is overwrite-only, so the strict
+//     JNDI bind (fail-if-bound) takes an Eisenberg–McGuire critical
+//     section whose shared registers are themselves lookup-service
+//     items accessed with plain read/write operations. The environment
+//     property "jini.bind" = "relaxed" disables the locking (single-
+//     writer deployments), trading atomicity for the ≈7× write
+//     throughput of Figure 3.
+package jinisp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/filter"
+	"gondi/internal/jini"
+	"gondi/internal/lock"
+)
+
+// Environment property keys.
+const (
+	// EnvBind selects the write semantics: "strict" (default; atomic via
+	// Eisenberg–McGuire locking over the LUS), "relaxed" (check-then-set,
+	// no atomicity), or "proxy" (atomic via a BindProxy colocated with
+	// the LUS — the optimization §7 of the paper proposes; requires
+	// EnvProxyAddr).
+	EnvBind = "jini.bind"
+	// EnvProxyAddr is the BindProxy address for "proxy" bind semantics.
+	EnvProxyAddr = "jini.proxy.addr"
+	// EnvLockSlots is the Eisenberg–McGuire process-table size.
+	EnvLockSlots = "jini.lock.slots"
+	// EnvLockSlot is this client's process index in [0, slots).
+	EnvLockSlot = "jini.lock.slot"
+	// EnvLeaseMs is the binding lease duration in milliseconds.
+	EnvLeaseMs = "jini.lease.ms"
+)
+
+// Entry and item type names used by the fake-stub encoding.
+const (
+	bindingType   = "jndi.Binding"
+	contextType   = "jndi.Context"
+	nameEntryType = "jndi.Name"
+	attrEntryType = "jndi.Attr"
+	registerType  = "jndi.Register"
+	valueSep      = "\x1f"
+)
+
+// Register installs the "jini" URL scheme provider.
+func Register() {
+	core.RegisterProvider("jini", core.ProviderFunc(func(rawURL string, env map[string]any) (core.Context, core.Name, error) {
+		u, err := core.ParseURLName(rawURL)
+		if err != nil {
+			return nil, core.Name{}, err
+		}
+		loc, err := jini.ParseLocator("jini://" + u.Authority)
+		if err != nil {
+			return nil, core.Name{}, err
+		}
+		ctx, err := Open(loc.Addr(), env)
+		if err != nil {
+			return nil, core.Name{}, &core.CommunicationError{Endpoint: loc.Addr(), Err: err}
+		}
+		return ctx, u.Path, nil
+	}))
+}
+
+// shared is the per-connection state shared by a context tree. Shared
+// states are pooled per (address, environment) so that federation hops —
+// which open contexts the initial context never explicitly closes — reuse
+// one registrar connection per lookup service instead of leaking one per
+// resolution.
+type shared struct {
+	reg    *jini.Registrar
+	proxy  *jini.ProxyClient // non-nil under "proxy" bind semantics
+	lrm    *jini.LeaseRenewalManager
+	url    string
+	strict bool
+	slots  int
+	slot   int
+	lease  time.Duration
+
+	poolKey string
+	refs    int
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var poolMu sync.Mutex
+var pool = map[string]*shared{}
+
+// Context implements core.DirContext, core.EventContext and
+// core.Referenceable over one lookup service.
+type Context struct {
+	sh    *shared
+	base  core.Name
+	env   map[string]any
+	owner bool // only the root context closes the connection
+}
+
+var _ core.DirContext = (*Context)(nil)
+var _ core.EventContext = (*Context)(nil)
+var _ core.Referenceable = (*Context)(nil)
+
+func envString(env map[string]any, key, def string) string {
+	if v, ok := env[key].(string); ok && v != "" {
+		return v
+	}
+	return def
+}
+
+func envInt(env map[string]any, key string, def int) int {
+	switch v := env[key].(type) {
+	case int:
+		return v
+	case int64:
+		return int(v)
+	case string:
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// Open connects to (or reuses a pooled connection for) the LUS at addr
+// and returns the provider root context.
+func Open(addr string, env map[string]any) (*Context, error) {
+	key := fmt.Sprintf("%s|%s|%s|%d|%d|%d|%v", addr,
+		envString(env, EnvBind, "strict"), envString(env, EnvProxyAddr, ""),
+		envInt(env, EnvLockSlots, 16), envInt(env, EnvLockSlot, 0),
+		envInt(env, EnvLeaseMs, 30000), env[core.EnvPoolID])
+	poolMu.Lock()
+	if sh, ok := pool[key]; ok {
+		sh.mu.Lock()
+		alive := !sh.closed && !sh.reg.Closed() &&
+			(sh.proxy == nil || !sh.proxy.Closed())
+		sh.mu.Unlock()
+		if alive {
+			sh.refs++
+			poolMu.Unlock()
+			return &Context{sh: sh, env: env, owner: true}, nil
+		}
+		delete(pool, key)
+	}
+	poolMu.Unlock()
+
+	reg, err := jini.DialRegistrar(addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	mode := envString(env, EnvBind, "strict")
+	var proxy *jini.ProxyClient
+	if mode == "proxy" {
+		proxyAddr := envString(env, EnvProxyAddr, "")
+		if proxyAddr == "" {
+			reg.Close()
+			return nil, fmt.Errorf("jinisp: %q bind semantics require %s", mode, EnvProxyAddr)
+		}
+		proxy, err = jini.DialProxy(proxyAddr, 10*time.Second)
+		if err != nil {
+			reg.Close()
+			return nil, err
+		}
+	}
+	sh := &shared{
+		reg:     reg,
+		proxy:   proxy,
+		lrm:     jini.NewLeaseRenewalManager(),
+		url:     "jini://" + addr,
+		strict:  mode == "strict",
+		slots:   envInt(env, EnvLockSlots, 16),
+		slot:    envInt(env, EnvLockSlot, 0),
+		lease:   time.Duration(envInt(env, EnvLeaseMs, 30000)) * time.Millisecond,
+		poolKey: key,
+		refs:    1,
+	}
+	if sh.slots < 1 {
+		sh.slots = 1
+	}
+	if sh.slot < 0 || sh.slot >= sh.slots {
+		sh.slot = 0
+	}
+	poolMu.Lock()
+	pool[key] = sh
+	poolMu.Unlock()
+	return &Context{sh: sh, env: env, owner: true}, nil
+}
+
+// idFor derives the deterministic service ID for a bound name, making
+// Register a per-name overwrite.
+func idFor(path string) jini.ServiceID {
+	sum := sha256.Sum256([]byte("jndi:" + path))
+	return jini.ServiceID(hex.EncodeToString(sum[:16]))
+}
+
+func regIDFor(register string) jini.ServiceID {
+	sum := sha256.Sum256([]byte("jndi-reg:" + register))
+	return jini.ServiceID(hex.EncodeToString(sum[:16]))
+}
+
+// itemFor wraps a binding into a fake service item (the state-factory
+// translation of §5.1).
+func itemFor(path core.Name, obj any, attrs *core.Attributes, isCtx bool) (jini.ServiceItem, error) {
+	p := path.String()
+	parent := path.Prefix(path.Size() - 1).String()
+	item := jini.ServiceItem{
+		ID:    idFor(p),
+		Types: []string{bindingType},
+		Entries: []jini.Entry{
+			jini.NewEntry(nameEntryType, "name", p, "parent", parent),
+		},
+	}
+	if isCtx {
+		item.Types = append(item.Types, contextType)
+	} else {
+		data, err := core.Marshal(obj)
+		if err != nil {
+			return jini.ServiceItem{}, err
+		}
+		item.Service = data
+	}
+	for _, a := range attrs.All() {
+		item.Entries = append(item.Entries, jini.NewEntry(attrEntryType,
+			"id", strings.ToLower(a.ID), "values", strings.Join(a.Values, valueSep)))
+	}
+	return item, nil
+}
+
+func itemIsContext(item *jini.ServiceItem) bool {
+	for _, t := range item.Types {
+		if t == contextType {
+			return true
+		}
+	}
+	return false
+}
+
+func itemAttrs(item *jini.ServiceItem) *core.Attributes {
+	attrs := &core.Attributes{}
+	for _, e := range item.Entries {
+		if e.Type != attrEntryType {
+			continue
+		}
+		id := e.Fields["id"]
+		if id == "" {
+			continue
+		}
+		var vals []string
+		if v := e.Fields["values"]; v != "" {
+			vals = strings.Split(v, valueSep)
+		}
+		attrs.Put(id, vals...)
+	}
+	return attrs
+}
+
+func itemObject(item *jini.ServiceItem) (any, error) {
+	if itemIsContext(item) {
+		return nil, nil
+	}
+	return core.Unmarshal(item.Service)
+}
+
+func itemName(item *jini.ServiceItem) string {
+	for _, e := range item.Entries {
+		if e.Type == nameEntryType {
+			return e.Fields["name"]
+		}
+	}
+	return ""
+}
+
+// fetch retrieves the item bound at path, if any.
+func (c *Context) fetch(path core.Name) (*jini.ServiceItem, bool, error) {
+	item, ok, err := c.sh.reg.LookupOne(jini.ServiceTemplate{ID: idFor(path.String())})
+	if err != nil {
+		return nil, false, &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return &item, true, nil
+}
+
+// allBindings retrieves every binding item (used for prefix scans: List,
+// Search, virtual intermediate contexts).
+func (c *Context) allBindings() ([]jini.ServiceItem, error) {
+	items, err := c.sh.reg.Lookup(jini.ServiceTemplate{Types: []string{bindingType}}, 0)
+	if err != nil {
+		return nil, &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+	}
+	return items, nil
+}
+
+// isBoundaryObj reports whether a bound object is a federation boundary.
+func isBoundaryObj(obj any) bool {
+	switch obj.(type) {
+	case *core.Reference, core.Context:
+		return true
+	default:
+		return false
+	}
+}
+
+// checkPrefixes raises a federation continuation or ErrNotContext when an
+// intermediate component of full is bound to a non-context value.
+func (c *Context) checkPrefixes(full core.Name) error {
+	for i := 1; i < full.Size(); i++ {
+		prefix := full.Prefix(i)
+		item, ok, err := c.fetch(prefix)
+		if err != nil {
+			return err
+		}
+		if !ok || itemIsContext(item) {
+			continue
+		}
+		obj, err := itemObject(item)
+		if err != nil {
+			return err
+		}
+		switch obj.(type) {
+		case *core.Reference, core.Context:
+			return &core.CannotProceedError{
+				Resolved:      obj,
+				RemainingName: full.Suffix(i),
+				AltName:       prefix.String(),
+			}
+		default:
+			return core.ErrNotContext
+		}
+	}
+	return nil
+}
+
+func (c *Context) parse(name string) (core.Name, error) {
+	if core.IsURLName(name) {
+		u, err := core.ParseURLName(name)
+		if err != nil {
+			return core.Name{}, err
+		}
+		return core.Name{}, &core.CannotProceedError{
+			Resolved:      u.Scheme + "://" + u.Authority,
+			RemainingName: u.Path,
+			AltName:       name,
+		}
+	}
+	return core.ParseName(name)
+}
+
+func (c *Context) full(name string) (core.Name, error) {
+	n, err := c.parse(name)
+	if err != nil {
+		return core.Name{}, err
+	}
+	return c.base.Concat(n), nil
+}
+
+func (c *Context) closed() bool {
+	c.sh.mu.Lock()
+	defer c.sh.mu.Unlock()
+	return c.sh.closed
+}
+
+func (c *Context) child(base core.Name) *Context {
+	return &Context{sh: c.sh, base: base, env: c.env}
+}
+
+// hasChildren reports whether any binding lives under path.
+func (c *Context) hasChildren(path core.Name) (bool, error) {
+	items, err := c.allBindings()
+	if err != nil {
+		return false, err
+	}
+	prefix := path.String() + "/"
+	if path.IsEmpty() {
+		return len(items) > 0, nil
+	}
+	for i := range items {
+		if strings.HasPrefix(itemName(&items[i]), prefix) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Lookup implements core.Context.
+func (c *Context) Lookup(name string) (any, error) {
+	if c.closed() {
+		return nil, core.Errf("lookup", name, core.ErrClosed)
+	}
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("lookup", name, err)
+	}
+	if full.Equal(c.base) {
+		return c.child(c.base), nil
+	}
+	item, ok, err := c.fetch(full)
+	if err != nil {
+		return nil, core.Errf("lookup", name, err)
+	}
+	if ok {
+		if itemIsContext(item) {
+			return c.child(full), nil
+		}
+		obj, err := itemObject(item)
+		if err != nil {
+			return nil, core.Errf("lookup", name, err)
+		}
+		return obj, nil
+	}
+	if err := c.checkPrefixes(full); err != nil {
+		return nil, core.Errf("lookup", name, err)
+	}
+	// Virtual intermediate context?
+	has, err := c.hasChildren(full)
+	if err != nil {
+		return nil, core.Errf("lookup", name, err)
+	}
+	if has {
+		return c.child(full), nil
+	}
+	return nil, core.Errf("lookup", name, core.ErrNotFound)
+}
+
+// LookupLink implements core.Context.
+func (c *Context) LookupLink(name string) (any, error) { return c.Lookup(name) }
+
+// mutex builds the Eisenberg–McGuire lock guarding the named context's
+// bindings. Registers are LUS items, so only read/write primitives are
+// used — exactly the constraint the paper works under.
+func (c *Context) mutex(parent core.Name) (*lock.Mutex, error) {
+	store := &lusRegisters{c: c, prefix: "lock:" + parent.String()}
+	return lock.New(store, "em", c.sh.slots, c.sh.slot)
+}
+
+// lusRegisters adapts lookup-service items to lock.RegisterStore.
+type lusRegisters struct {
+	c      *Context
+	prefix string
+}
+
+// Read implements lock.RegisterStore via a Jini lookup.
+func (s *lusRegisters) Read(name string) (string, error) {
+	full := s.prefix + "/" + name
+	item, ok, err := s.c.sh.reg.LookupOne(jini.ServiceTemplate{ID: regIDFor(full)})
+	if err != nil || !ok {
+		return "", err
+	}
+	for _, e := range item.Entries {
+		if e.Type == registerType {
+			return e.Fields["value"], nil
+		}
+	}
+	return "", nil
+}
+
+// Write implements lock.RegisterStore via an (overwriting) registration.
+func (s *lusRegisters) Write(name, value string) error {
+	full := s.prefix + "/" + name
+	_, err := s.c.sh.reg.Register(jini.ServiceItem{
+		ID:      regIDFor(full),
+		Types:   []string{registerType},
+		Entries: []jini.Entry{jini.NewEntry(registerType, "name", full, "value", value)},
+	}, jini.MaxLease)
+	return err
+}
+
+// register writes a binding item and starts renewing its lease.
+func (c *Context) register(item jini.ServiceItem) error {
+	reg, err := c.sh.reg.Register(item, c.sh.lease)
+	if err != nil {
+		return &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+	}
+	c.sh.lrm.Manage(c.sh.reg, reg.ID, c.sh.lease)
+	return nil
+}
+
+// proxyRegister writes through the colocated BindProxy (the §7
+// optimization): the proxy serializes test-and-set registrations locally,
+// giving atomic semantics for one extra round trip.
+func (c *Context) proxyRegister(item jini.ServiceItem, onlyNew bool) error {
+	_, err := c.sh.proxy.Register(item, c.sh.lease, onlyNew)
+	if err != nil {
+		if jini.IsAlreadyBound(err) {
+			return core.ErrAlreadyBound
+		}
+		return &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+	}
+	c.sh.lrm.Manage(c.sh.reg, item.ID, c.sh.lease)
+	return nil
+}
+
+// Bind implements core.Context: strictly atomic by default (distributed
+// lock), or check-then-register in relaxed mode.
+func (c *Context) Bind(name string, obj any) error {
+	return c.BindAttrs(name, obj, nil)
+}
+
+// BindAttrs implements core.DirContext.
+func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error {
+	if c.closed() {
+		return core.Errf("bind", name, core.ErrClosed)
+	}
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("bind", name, err)
+	}
+	if full.IsEmpty() {
+		return core.Errf("bind", name, core.ErrInvalidNameEmpty)
+	}
+	if err := c.checkPrefixes(full); err != nil {
+		return core.Errf("bind", name, err)
+	}
+	item, err := itemFor(full, obj, attrs, false)
+	if err != nil {
+		return core.Errf("bind", name, err)
+	}
+	if c.sh.proxy != nil {
+		return core.Errf("bind", name, c.proxyRegister(item, true))
+	}
+	do := func() error {
+		_, exists, err := c.fetch(full)
+		if err != nil {
+			return err
+		}
+		if exists {
+			return core.ErrAlreadyBound
+		}
+		return c.register(item)
+	}
+	if c.sh.strict {
+		m, err := c.mutex(full.Prefix(full.Size() - 1))
+		if err != nil {
+			return core.Errf("bind", name, err)
+		}
+		err = m.WithLock(30*time.Second, do)
+		return core.Errf("bind", name, err)
+	}
+	return core.Errf("bind", name, do())
+}
+
+// Rebind implements core.Context: a single overwrite-register, Jini's
+// natural primitive.
+func (c *Context) Rebind(name string, obj any) error {
+	return c.rebind(name, obj, nil, false)
+}
+
+// RebindAttrs implements core.DirContext.
+func (c *Context) RebindAttrs(name string, obj any, attrs *core.Attributes) error {
+	return c.rebind(name, obj, attrs, attrs != nil)
+}
+
+func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replaceAttrs bool) error {
+	if c.closed() {
+		return core.Errf("rebind", name, core.ErrClosed)
+	}
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("rebind", name, err)
+	}
+	if full.IsEmpty() {
+		return core.Errf("rebind", name, core.ErrInvalidNameEmpty)
+	}
+	if err := c.checkPrefixes(full); err != nil {
+		return core.Errf("rebind", name, err)
+	}
+	do := func() error {
+		a := attrs
+		if !replaceAttrs {
+			// JNDI rebind preserves existing attributes unless new
+			// ones are supplied (a read-modify-write).
+			if old, ok, err := c.fetch(full); err != nil {
+				return err
+			} else if ok {
+				if itemIsContext(old) {
+					return core.ErrNotContext
+				}
+				a = itemAttrs(old)
+			}
+		}
+		item, err := itemFor(full, obj, a, false)
+		if err != nil {
+			return err
+		}
+		return c.register(item)
+	}
+	if c.sh.proxy != nil {
+		// Proxy mode: the overwrite itself is serialized at the proxy;
+		// the attribute-preservation fetch above remains a separate
+		// read (one extra round trip vs the relaxed path).
+		a := attrs
+		if !replaceAttrs {
+			if old, ok, err := c.fetch(full); err != nil {
+				return core.Errf("rebind", name, err)
+			} else if ok {
+				if itemIsContext(old) {
+					return core.Errf("rebind", name, core.ErrNotContext)
+				}
+				a = itemAttrs(old)
+			}
+		}
+		item, err := itemFor(full, obj, a, false)
+		if err != nil {
+			return core.Errf("rebind", name, err)
+		}
+		return core.Errf("rebind", name, c.proxyRegister(item, false))
+	}
+	// Under strict semantics even rebind runs in the critical section:
+	// its read-modify-write (attribute preservation) is otherwise racy.
+	// This is the write-path cost Figure 3 quantifies; relaxed mode
+	// sacrifices the consistency for throughput.
+	if c.sh.strict {
+		m, merr := c.mutex(full.Prefix(full.Size() - 1))
+		if merr != nil {
+			return core.Errf("rebind", name, merr)
+		}
+		return core.Errf("rebind", name, m.WithLock(30*time.Second, do))
+	}
+	return core.Errf("rebind", name, do())
+}
+
+// Unbind implements core.Context.
+func (c *Context) Unbind(name string) error {
+	if c.closed() {
+		return core.Errf("unbind", name, core.ErrClosed)
+	}
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("unbind", name, err)
+	}
+	if err := c.checkPrefixes(full); err != nil {
+		return core.Errf("unbind", name, err)
+	}
+	id := idFor(full.String())
+	c.sh.lrm.Forget(id)
+	if err := c.sh.reg.Cancel(id); err != nil {
+		// Unbinding an unbound name succeeds (JNDI semantics); only
+		// transport failures surface.
+		if c.sh.reg == nil {
+			return core.Errf("unbind", name, err)
+		}
+	}
+	return nil
+}
+
+// Rename implements core.Context (lookup + bind + unbind; atomic only
+// under strict semantics and only per-step, as the paper's provider).
+func (c *Context) Rename(oldName, newName string) error {
+	obj, err := c.Lookup(oldName)
+	if err != nil {
+		return err
+	}
+	fullOld, err := c.full(oldName)
+	if err != nil {
+		return core.Errf("rename", oldName, err)
+	}
+	item, ok, err := c.fetch(fullOld)
+	if err != nil || !ok {
+		return core.Errf("rename", oldName, core.ErrNotFound)
+	}
+	attrs := itemAttrs(item)
+	if err := c.BindAttrs(newName, obj, attrs); err != nil {
+		return err
+	}
+	return c.Unbind(oldName)
+}
+
+// List implements core.Context.
+func (c *Context) List(name string) ([]core.NameClassPair, error) {
+	bindings, err := c.ListBindings(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.NameClassPair, len(bindings))
+	for i, b := range bindings {
+		out[i] = core.NameClassPair{Name: b.Name, Class: b.Class}
+	}
+	return out, nil
+}
+
+// ListBindings implements core.Context via a registry scan.
+func (c *Context) ListBindings(name string) ([]core.Binding, error) {
+	if c.closed() {
+		return nil, core.Errf("list", name, core.ErrClosed)
+	}
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("list", name, err)
+	}
+	if !full.IsEmpty() {
+		item, ok, ferr := c.fetch(full)
+		if ferr != nil {
+			return nil, core.Errf("list", name, ferr)
+		}
+		if ok && !itemIsContext(item) {
+			// A bound reference to a foreign context: continue there.
+			if obj, oerr := itemObject(item); oerr == nil && isBoundaryObj(obj) {
+				return nil, &core.CannotProceedError{
+					Resolved: obj, RemainingName: core.Name{}, AltName: full.String(),
+				}
+			}
+			return nil, core.Errf("list", name, core.ErrNotContext)
+		}
+	}
+	items, err := c.allBindings()
+	if err != nil {
+		return nil, core.Errf("list", name, err)
+	}
+	prefix := ""
+	if !full.IsEmpty() {
+		prefix = full.String() + "/"
+	}
+	seen := map[string]*core.Binding{}
+	existed := full.IsEmpty()
+	for i := range items {
+		n := itemName(&items[i])
+		if prefix != "" && !strings.HasPrefix(n, prefix) {
+			if n == full.String() {
+				existed = true
+			}
+			continue
+		}
+		existed = true
+		rest := strings.TrimPrefix(n, prefix)
+		restName, err := core.ParseName(rest)
+		if err != nil || restName.IsEmpty() {
+			continue
+		}
+		child := restName.First()
+		if restName.Size() > 1 || itemIsContext(&items[i]) {
+			if _, ok := seen[child]; !ok || seen[child].Class != core.ContextReferenceClass {
+				seen[child] = &core.Binding{
+					Name:   child,
+					Class:  core.ContextReferenceClass,
+					Object: c.child(full.Append(child)),
+				}
+			}
+			continue
+		}
+		obj, err := itemObject(&items[i])
+		if err != nil {
+			continue
+		}
+		seen[child] = &core.Binding{Name: child, Class: core.ClassOf(obj), Object: obj}
+	}
+	if !existed {
+		return nil, core.Errf("list", name, core.ErrNotFound)
+	}
+	out := make([]core.Binding, 0, len(seen))
+	for _, b := range seen {
+		out = append(out, *b)
+	}
+	sortBindings(out)
+	return out, nil
+}
+
+func sortBindings(bs []core.Binding) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Name < bs[j-1].Name; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+// CreateSubcontext implements core.Context by registering an explicit
+// context-marker item.
+func (c *Context) CreateSubcontext(name string) (core.Context, error) {
+	dc, err := c.CreateSubcontextAttrs(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return dc, nil
+}
+
+// CreateSubcontextAttrs implements core.DirContext.
+func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (core.DirContext, error) {
+	if c.closed() {
+		return nil, core.Errf("createSubcontext", name, core.ErrClosed)
+	}
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("createSubcontext", name, err)
+	}
+	if err := c.checkPrefixes(full); err != nil {
+		return nil, core.Errf("createSubcontext", name, err)
+	}
+	item, err := itemFor(full, nil, attrs, true)
+	if err != nil {
+		return nil, core.Errf("createSubcontext", name, err)
+	}
+	do := func() error {
+		_, exists, err := c.fetch(full)
+		if err != nil {
+			return err
+		}
+		if exists {
+			return core.ErrAlreadyBound
+		}
+		return c.register(item)
+	}
+	switch {
+	case c.sh.proxy != nil:
+		err = c.proxyRegister(item, true)
+	case c.sh.strict:
+		m, merr := c.mutex(full.Prefix(full.Size() - 1))
+		if merr != nil {
+			return nil, core.Errf("createSubcontext", name, merr)
+		}
+		err = m.WithLock(30*time.Second, do)
+	default:
+		err = do()
+	}
+	if err != nil {
+		return nil, core.Errf("createSubcontext", name, err)
+	}
+	return c.child(full), nil
+}
+
+// DestroySubcontext implements core.Context.
+func (c *Context) DestroySubcontext(name string) error {
+	if c.closed() {
+		return core.Errf("destroySubcontext", name, core.ErrClosed)
+	}
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("destroySubcontext", name, err)
+	}
+	item, ok, err := c.fetch(full)
+	if err != nil {
+		return core.Errf("destroySubcontext", name, err)
+	}
+	if !ok {
+		return nil
+	}
+	if !itemIsContext(item) {
+		return core.Errf("destroySubcontext", name, core.ErrNotContext)
+	}
+	has, err := c.hasChildren(full)
+	if err != nil {
+		return core.Errf("destroySubcontext", name, err)
+	}
+	if has {
+		return core.Errf("destroySubcontext", name, core.ErrContextNotEmpty)
+	}
+	id := idFor(full.String())
+	c.sh.lrm.Forget(id)
+	_ = c.sh.reg.Cancel(id)
+	return nil
+}
+
+// GetAttributes implements core.DirContext.
+func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attributes, error) {
+	if c.closed() {
+		return nil, core.Errf("getAttributes", name, core.ErrClosed)
+	}
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("getAttributes", name, err)
+	}
+	item, ok, err := c.fetch(full)
+	if err != nil {
+		return nil, core.Errf("getAttributes", name, err)
+	}
+	if !ok {
+		if err := c.checkPrefixes(full); err != nil {
+			return nil, core.Errf("getAttributes", name, err)
+		}
+		has, herr := c.hasChildren(full)
+		if herr == nil && has {
+			return &core.Attributes{}, nil // virtual context: no attrs
+		}
+		return nil, core.Errf("getAttributes", name, core.ErrNotFound)
+	}
+	return itemAttrs(item).Select(attrIDs...), nil
+}
+
+// ModifyAttributes implements core.DirContext (read-modify-register;
+// atomic only under strict semantics).
+func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error {
+	if c.closed() {
+		return core.Errf("modifyAttributes", name, core.ErrClosed)
+	}
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("modifyAttributes", name, err)
+	}
+	do := func() error {
+		item, ok, err := c.fetch(full)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return core.ErrNotFound
+		}
+		attrs := itemAttrs(item)
+		if err := attrs.Apply(mods); err != nil {
+			return err
+		}
+		var obj any
+		if !itemIsContext(item) {
+			obj, err = itemObject(item)
+			if err != nil {
+				return err
+			}
+		}
+		ni, err := itemFor(full, obj, attrs, itemIsContext(item))
+		if err != nil {
+			return err
+		}
+		return c.register(ni)
+	}
+	if c.sh.strict {
+		m, merr := c.mutex(full.Prefix(full.Size() - 1))
+		if merr != nil {
+			return core.Errf("modifyAttributes", name, merr)
+		}
+		return core.Errf("modifyAttributes", name, m.WithLock(30*time.Second, do))
+	}
+	return core.Errf("modifyAttributes", name, do())
+}
+
+// Search implements core.DirContext by scanning bindings under the base.
+func (c *Context) Search(name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+	if c.closed() {
+		return nil, core.Errf("search", name, core.ErrClosed)
+	}
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("search", name, err)
+	}
+	f, err := filter.Parse(filterStr)
+	if err != nil {
+		return nil, core.Errf("search", name, err)
+	}
+	if controls == nil {
+		controls = &core.SearchControls{Scope: core.ScopeSubtree}
+	}
+	if !full.IsEmpty() {
+		if item, ok, ferr := c.fetch(full); ferr == nil && ok && !itemIsContext(item) {
+			if obj, oerr := itemObject(item); oerr == nil && isBoundaryObj(obj) {
+				return nil, &core.CannotProceedError{
+					Resolved: obj, RemainingName: core.Name{}, AltName: full.String(),
+				}
+			}
+		}
+	}
+	items, err := c.allBindings()
+	if err != nil {
+		return nil, core.Errf("search", name, err)
+	}
+	baseStr := full.String()
+	var out []core.SearchResult
+	var limitHit bool
+	for i := range items {
+		n := itemName(&items[i])
+		var rel string
+		switch {
+		case baseStr == "":
+			rel = n
+		case n == baseStr:
+			rel = ""
+		case strings.HasPrefix(n, baseStr+"/"):
+			rel = strings.TrimPrefix(n, baseStr+"/")
+		default:
+			continue
+		}
+		relName, perr := core.ParseName(rel)
+		if perr != nil {
+			continue
+		}
+		depth := relName.Size()
+		switch controls.Scope {
+		case core.ScopeObject:
+			if depth != 0 {
+				continue
+			}
+		case core.ScopeOneLevel:
+			if depth != 1 {
+				continue
+			}
+		}
+		attrs := itemAttrs(&items[i])
+		if !attrs.MatchesFilter(f) {
+			continue
+		}
+		r := core.SearchResult{Name: rel, Attributes: attrs.Select(controls.ReturnAttrs...)}
+		if itemIsContext(&items[i]) {
+			r.Class = core.ContextReferenceClass
+		} else {
+			obj, oerr := itemObject(&items[i])
+			if oerr != nil {
+				continue
+			}
+			r.Class = core.ClassOf(obj)
+			if controls.ReturnObject {
+				r.Object = obj
+			}
+		}
+		out = append(out, r)
+		if controls.CountLimit > 0 && len(out) >= controls.CountLimit {
+			limitHit = true
+			break
+		}
+	}
+	sortResults(out)
+	if limitHit {
+		return out, &core.LimitExceededError{Limit: controls.CountLimit}
+	}
+	return out, nil
+}
+
+func sortResults(rs []core.SearchResult) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Name < rs[j-1].Name; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// Watch implements core.EventContext over the LUS remote-event machinery.
+func (c *Context) Watch(target string, scope core.SearchScope, l core.Listener) (func(), error) {
+	if c.closed() {
+		return nil, core.Errf("watch", target, core.ErrClosed)
+	}
+	full, err := c.full(target)
+	if err != nil {
+		return nil, core.Errf("watch", target, err)
+	}
+	if !full.IsEmpty() {
+		if item, ok, ferr := c.fetch(full); ferr == nil && ok && !itemIsContext(item) {
+			if obj, oerr := itemObject(item); oerr == nil && isBoundaryObj(obj) {
+				return nil, &core.CannotProceedError{
+					Resolved: obj, RemainingName: core.Name{}, AltName: full.String(),
+				}
+			}
+		}
+	}
+	var tmpl jini.ServiceTemplate
+	switch scope {
+	case core.ScopeObject:
+		tmpl.Entries = []jini.Entry{jini.NewEntry(nameEntryType, "name", full.String())}
+	case core.ScopeOneLevel:
+		tmpl.Entries = []jini.Entry{jini.NewEntry(nameEntryType, "parent", full.String())}
+	default:
+		// Subtree cannot be expressed as an exact-match template; watch
+		// all bindings and filter client-side.
+		tmpl.Types = []string{bindingType}
+	}
+	prefix := ""
+	if !full.IsEmpty() {
+		prefix = full.String() + "/"
+	}
+	baseSize := full.Size()
+	mask := jini.TransitionNoMatchMatch | jini.TransitionMatchMatch | jini.TransitionMatchNoMatch
+	cancel, err := c.sh.reg.Notify(tmpl, mask, c.sh.lease, func(ev jini.ServiceEvent) {
+		var name string
+		var newVal any
+		if ev.Item != nil {
+			name = itemName(ev.Item)
+			if !itemIsContext(ev.Item) {
+				newVal, _ = itemObject(ev.Item)
+			}
+		}
+		if scope == core.ScopeSubtree && name != "" {
+			if prefix != "" && !strings.HasPrefix(name, prefix) && name != full.String() {
+				return
+			}
+		}
+		relName, err := core.ParseName(name)
+		if err != nil {
+			return
+		}
+		rel := name
+		if relName.Size() >= baseSize && relName.Prefix(baseSize).Equal(full) {
+			rel = relName.Suffix(baseSize).String()
+		}
+		var typ core.EventType
+		switch ev.Transition {
+		case jini.TransitionNoMatchMatch:
+			typ = core.EventObjectAdded
+		case jini.TransitionMatchMatch:
+			typ = core.EventObjectChanged
+		case jini.TransitionMatchNoMatch:
+			typ = core.EventObjectRemoved
+		default:
+			return
+		}
+		l(core.NamingEvent{Type: typ, Name: rel, NewValue: newVal})
+	})
+	if err != nil {
+		return nil, core.Errf("watch", target, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
+	}
+	return cancel, nil
+}
+
+// NameInNamespace implements core.Context.
+func (c *Context) NameInNamespace() (string, error) { return c.base.String(), nil }
+
+// Environment implements core.Context.
+func (c *Context) Environment() map[string]any { return c.env }
+
+// Close implements core.Context: the last root context for a pooled
+// connection stops lease renewals ("until the Java VM exits") and drops
+// the registrar; derived contexts share the connection and are no-ops.
+func (c *Context) Close() error {
+	if !c.owner {
+		return nil
+	}
+	poolMu.Lock()
+	c.sh.mu.Lock()
+	if c.sh.closed {
+		c.sh.mu.Unlock()
+		poolMu.Unlock()
+		return nil
+	}
+	c.sh.refs--
+	last := c.sh.refs <= 0
+	if last {
+		c.sh.closed = true
+		delete(pool, c.sh.poolKey)
+	}
+	c.sh.mu.Unlock()
+	poolMu.Unlock()
+	if !last {
+		return nil
+	}
+	c.sh.lrm.Stop()
+	if c.sh.proxy != nil {
+		_ = c.sh.proxy.Close()
+	}
+	return c.sh.reg.Close()
+}
+
+// Reference implements core.Referenceable for federation.
+func (c *Context) Reference() (*core.Reference, error) {
+	url := c.sh.url
+	if !c.base.IsEmpty() {
+		url += "/" + c.base.String()
+	}
+	return core.NewContextReference(url), nil
+}
+
+func (c *Context) String() string {
+	return fmt.Sprintf("jinisp.Context{%s base=%q strict=%v}", c.sh.url, c.base.String(), c.sh.strict)
+}

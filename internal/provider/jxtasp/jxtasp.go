@@ -1,0 +1,708 @@
+// Package jxtasp is the JNDI service provider for the JXTA substrate —
+// completing the paper's three-system federation example
+// "ldap://host.domain/n=jiniServer/jxtaGroup/myObject" (§6).
+//
+// Mapping: peer groups are contexts; advertisements are bindings (the
+// object travels as the advertisement payload through the core codec,
+// attributes as advertisement attributes). Bind uses the rendezvous's
+// atomic first-publish; advertisements are leased and renewed by the
+// provider until unbound or closed, exactly like the Jini and HDNS
+// providers.
+package jxtasp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/filter"
+	"gondi/internal/jxta"
+	"gondi/internal/rpc"
+)
+
+// EnvLeaseMs sets the advertisement lifetime in milliseconds (default
+// 120000, renewed at half-life until unbind or Close).
+const EnvLeaseMs = "jxta.lease.ms"
+
+// Register installs the "jxta" URL scheme provider.
+func Register() {
+	core.RegisterProvider("jxta", core.ProviderFunc(func(rawURL string, env map[string]any) (core.Context, core.Name, error) {
+		u, err := core.ParseURLName(rawURL)
+		if err != nil {
+			return nil, core.Name{}, err
+		}
+		ctx, err := Open(u.Authority, env)
+		if err != nil {
+			return nil, core.Name{}, &core.CommunicationError{Endpoint: u.Authority, Err: err}
+		}
+		return ctx, u.Path, nil
+	}))
+}
+
+type shared struct {
+	peer  *jxta.Peer
+	url   string
+	lease time.Duration
+
+	poolKey string
+	refs    int
+
+	mu       sync.Mutex
+	closed   bool
+	renewals map[string]chan struct{}
+}
+
+var poolMu sync.Mutex
+var pool = map[string]*shared{}
+
+// Context implements core.DirContext over one rendezvous.
+type Context struct {
+	sh    *shared
+	base  core.Name // group path under net
+	env   map[string]any
+	owner bool
+}
+
+var _ core.DirContext = (*Context)(nil)
+var _ core.Referenceable = (*Context)(nil)
+
+// Open connects (or reuses a pooled connection) to the rendezvous at
+// authority.
+func Open(authority string, env map[string]any) (*Context, error) {
+	leaseMs := int64(120000)
+	switch v := env[EnvLeaseMs].(type) {
+	case int:
+		leaseMs = int64(v)
+	case int64:
+		leaseMs = v
+	}
+	key := fmt.Sprintf("%s|%d|%v", authority, leaseMs, env[core.EnvPoolID])
+	poolMu.Lock()
+	if sh, ok := pool[key]; ok {
+		sh.mu.Lock()
+		alive := !sh.closed && !sh.peer.Closed()
+		sh.mu.Unlock()
+		if alive {
+			sh.refs++
+			poolMu.Unlock()
+			return &Context{sh: sh, env: env, owner: true}, nil
+		}
+		delete(pool, key)
+	}
+	poolMu.Unlock()
+
+	peer, err := jxta.DialPeer(authority, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	sh := &shared{
+		peer:     peer,
+		url:      "jxta://" + authority,
+		lease:    time.Duration(leaseMs) * time.Millisecond,
+		renewals: map[string]chan struct{}{},
+		poolKey:  key,
+		refs:     1,
+	}
+	poolMu.Lock()
+	pool[key] = sh
+	poolMu.Unlock()
+	return &Context{sh: sh, env: env, owner: true}, nil
+}
+
+func (c *Context) child(base core.Name) *Context {
+	return &Context{sh: c.sh, base: base, env: c.env}
+}
+
+func (c *Context) parse(name string) (core.Name, error) {
+	if core.IsURLName(name) {
+		u, err := core.ParseURLName(name)
+		if err != nil {
+			return core.Name{}, err
+		}
+		return core.Name{}, &core.CannotProceedError{
+			Resolved:      u.Scheme + "://" + u.Authority,
+			RemainingName: u.Path,
+			AltName:       name,
+		}
+	}
+	return core.ParseName(name)
+}
+
+func (c *Context) full(name string) (core.Name, error) {
+	n, err := c.parse(name)
+	if err != nil {
+		return core.Name{}, err
+	}
+	return c.base.Concat(n), nil
+}
+
+// groupOf converts a path to the rendezvous group string.
+func groupOf(n core.Name) string {
+	if n.IsEmpty() {
+		return jxta.NetGroup
+	}
+	return jxta.NetGroup + "/" + strings.Join(n.Components(), "/")
+}
+
+func isRemote(err error, sentinel error) bool {
+	if err == nil {
+		return false
+	}
+	if re, ok := err.(*rpc.RemoteError); ok {
+		return re.Msg == sentinel.Error()
+	}
+	return err.Error() == sentinel.Error()
+}
+
+// fetchAdv retrieves the advertisement bound at path, if any.
+func (c *Context) fetchAdv(path core.Name) (*jxta.Advertisement, bool, error) {
+	if path.IsEmpty() {
+		return nil, false, nil
+	}
+	advs, err := c.sh.peer.Discover(groupOf(path.Prefix(path.Size()-1)), path.Last(), nil, 1)
+	if err != nil {
+		if isRemote(err, jxta.ErrNoSuchGroup) {
+			return nil, false, nil
+		}
+		return nil, false, &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+	}
+	if len(advs) == 0 {
+		return nil, false, nil
+	}
+	return &advs[0], true, nil
+}
+
+func (c *Context) groupExists(path core.Name) (bool, error) {
+	_, err := c.sh.peer.SubGroups(groupOf(path))
+	if err != nil {
+		if isRemote(err, jxta.ErrNoSuchGroup) {
+			return false, nil
+		}
+		return false, &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+	}
+	return true, nil
+}
+
+func advObject(adv *jxta.Advertisement) (any, error) {
+	return core.Unmarshal(adv.Payload)
+}
+
+// boundary raises a federation continuation when a prefix (or, with
+// includeSelf, the name itself) is an advertisement holding a Reference.
+func (c *Context) boundary(full core.Name, includeSelf bool) *core.CannotProceedError {
+	limit := full.Size()
+	if includeSelf {
+		limit++
+	}
+	for i := 1; i < limit && i <= full.Size(); i++ {
+		adv, ok, err := c.fetchAdv(full.Prefix(i))
+		if err != nil || !ok {
+			continue
+		}
+		obj, err := advObject(adv)
+		if err != nil {
+			continue
+		}
+		switch obj.(type) {
+		case *core.Reference, core.Context:
+			return &core.CannotProceedError{
+				Resolved:      obj,
+				RemainingName: full.Suffix(i),
+				AltName:       full.Prefix(i).String(),
+			}
+		}
+	}
+	return nil
+}
+
+// Lookup implements core.Context.
+func (c *Context) Lookup(name string) (any, error) {
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("lookup", name, err)
+	}
+	if full.Equal(c.base) {
+		return c.child(c.base), nil
+	}
+	adv, ok, err := c.fetchAdv(full)
+	if err != nil {
+		return nil, core.Errf("lookup", name, err)
+	}
+	if ok {
+		obj, err := advObject(adv)
+		if err != nil {
+			return nil, core.Errf("lookup", name, err)
+		}
+		return obj, nil
+	}
+	exists, err := c.groupExists(full)
+	if err != nil {
+		return nil, core.Errf("lookup", name, err)
+	}
+	if exists {
+		return c.child(full), nil
+	}
+	if cpe := c.boundary(full, false); cpe != nil {
+		return nil, cpe
+	}
+	return nil, core.Errf("lookup", name, core.ErrNotFound)
+}
+
+// LookupLink implements core.Context.
+func (c *Context) LookupLink(name string) (any, error) { return c.Lookup(name) }
+
+func (c *Context) startRenewal(group, advName, key string) {
+	stop := make(chan struct{})
+	c.sh.mu.Lock()
+	if old, ok := c.sh.renewals[key]; ok {
+		close(old)
+	}
+	c.sh.renewals[key] = stop
+	c.sh.mu.Unlock()
+	go func() {
+		t := time.NewTicker(c.sh.lease / 2)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if _, err := c.sh.peer.Renew(group, advName, c.sh.lease); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+func (c *Context) stopRenewal(key string) {
+	c.sh.mu.Lock()
+	if stop, ok := c.sh.renewals[key]; ok {
+		close(stop)
+		delete(c.sh.renewals, key)
+	}
+	c.sh.mu.Unlock()
+}
+
+func (c *Context) publish(full core.Name, obj any, attrs *core.Attributes, onlyNew bool) error {
+	if full.IsEmpty() {
+		return core.ErrInvalidNameEmpty
+	}
+	data, err := core.Marshal(obj)
+	if err != nil {
+		return err
+	}
+	adv := jxta.Advertisement{
+		Group:   groupOf(full.Prefix(full.Size() - 1)),
+		Name:    full.Last(),
+		Attrs:   attrs.ToMap(),
+		Payload: data,
+	}
+	if _, err := c.sh.peer.Publish(adv, c.sh.lease, onlyNew); err != nil {
+		switch {
+		case isRemote(err, jxta.ErrAdvExists):
+			return core.ErrAlreadyBound
+		case isRemote(err, jxta.ErrNoSuchGroup):
+			if cpe := c.boundary(full, false); cpe != nil {
+				return cpe
+			}
+			return core.ErrNotFound
+		default:
+			return &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+		}
+	}
+	c.startRenewal(adv.Group, adv.Name, full.String())
+	return nil
+}
+
+// Bind implements core.Context via atomic first-publish.
+func (c *Context) Bind(name string, obj any) error {
+	return c.BindAttrs(name, obj, nil)
+}
+
+// BindAttrs implements core.DirContext.
+func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error {
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("bind", name, err)
+	}
+	// A group of the same name counts as bound.
+	if exists, gerr := c.groupExists(full); gerr == nil && exists {
+		return core.Errf("bind", name, core.ErrAlreadyBound)
+	}
+	return core.Errf("bind", name, c.publish(full, obj, attrs, true))
+}
+
+// Rebind implements core.Context (republish, preserving attributes when
+// none are supplied).
+func (c *Context) Rebind(name string, obj any) error {
+	return c.rebind(name, obj, nil, false)
+}
+
+// RebindAttrs implements core.DirContext.
+func (c *Context) RebindAttrs(name string, obj any, attrs *core.Attributes) error {
+	return c.rebind(name, obj, attrs, attrs != nil)
+}
+
+func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replace bool) error {
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("rebind", name, err)
+	}
+	if exists, gerr := c.groupExists(full); gerr == nil && exists {
+		return core.Errf("rebind", name, core.ErrNotContext)
+	}
+	if !replace {
+		if adv, ok, ferr := c.fetchAdv(full); ferr == nil && ok {
+			attrs = core.AttributesFromMap(adv.Attrs)
+		}
+	}
+	return core.Errf("rebind", name, c.publish(full, obj, attrs, false))
+}
+
+// Unbind implements core.Context.
+func (c *Context) Unbind(name string) error {
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("unbind", name, err)
+	}
+	if full.IsEmpty() {
+		return core.Errf("unbind", name, core.ErrInvalidNameEmpty)
+	}
+	c.stopRenewal(full.String())
+	err = c.sh.peer.Flush(groupOf(full.Prefix(full.Size()-1)), full.Last())
+	if err != nil && !isRemote(err, jxta.ErrNoSuchGroup) {
+		return core.Errf("unbind", name, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
+	}
+	if isRemote(err, jxta.ErrNoSuchGroup) {
+		if cpe := c.boundary(full, false); cpe != nil {
+			return cpe
+		}
+		return core.Errf("unbind", name, core.ErrNotFound)
+	}
+	return nil
+}
+
+// Rename implements core.Context (fetch + bind + unbind).
+func (c *Context) Rename(oldName, newName string) error {
+	oldFull, err := c.full(oldName)
+	if err != nil {
+		return core.Errf("rename", oldName, err)
+	}
+	adv, ok, err := c.fetchAdv(oldFull)
+	if err != nil {
+		return core.Errf("rename", oldName, err)
+	}
+	if !ok {
+		return core.Errf("rename", oldName, core.ErrNotFound)
+	}
+	obj, err := advObject(adv)
+	if err != nil {
+		return core.Errf("rename", oldName, err)
+	}
+	if err := c.BindAttrs(newName, obj, core.AttributesFromMap(adv.Attrs)); err != nil {
+		return err
+	}
+	return c.Unbind(oldName)
+}
+
+// List implements core.Context.
+func (c *Context) List(name string) ([]core.NameClassPair, error) {
+	bindings, err := c.ListBindings(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.NameClassPair, len(bindings))
+	for i, b := range bindings {
+		out[i] = core.NameClassPair{Name: b.Name, Class: b.Class}
+	}
+	return out, nil
+}
+
+// ListBindings implements core.Context: subgroups plus advertisements.
+func (c *Context) ListBindings(name string) ([]core.Binding, error) {
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("list", name, err)
+	}
+	if cpe := c.boundary(full, true); cpe != nil {
+		return nil, cpe
+	}
+	subs, err := c.sh.peer.SubGroups(groupOf(full))
+	if err != nil {
+		if isRemote(err, jxta.ErrNoSuchGroup) {
+			if _, ok, _ := c.fetchAdv(full); ok {
+				return nil, core.Errf("list", name, core.ErrNotContext)
+			}
+			return nil, core.Errf("list", name, core.ErrNotFound)
+		}
+		return nil, core.Errf("list", name, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
+	}
+	advs, err := c.sh.peer.Discover(groupOf(full), "", nil, 0)
+	if err != nil {
+		return nil, core.Errf("list", name, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
+	}
+	var out []core.Binding
+	for _, g := range subs {
+		out = append(out, core.Binding{
+			Name:   g,
+			Class:  core.ContextReferenceClass,
+			Object: c.child(full.Append(g)),
+		})
+	}
+	for i := range advs {
+		obj, oerr := advObject(&advs[i])
+		if oerr != nil {
+			continue
+		}
+		out = append(out, core.Binding{Name: advs[i].Name, Class: core.ClassOf(obj), Object: obj})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// CreateSubcontext implements core.Context as peer-group creation.
+func (c *Context) CreateSubcontext(name string) (core.Context, error) {
+	dc, err := c.CreateSubcontextAttrs(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return dc, nil
+}
+
+// CreateSubcontextAttrs implements core.DirContext. Peer groups carry no
+// attributes; non-empty attrs are rejected rather than silently dropped.
+func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (core.DirContext, error) {
+	if attrs.Size() > 0 {
+		return nil, core.Errf("createSubcontext", name, core.ErrNotSupported)
+	}
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("createSubcontext", name, err)
+	}
+	if _, ok, _ := c.fetchAdv(full); ok {
+		return nil, core.Errf("createSubcontext", name, core.ErrAlreadyBound)
+	}
+	if err := c.sh.peer.CreateGroup(groupOf(full)); err != nil {
+		switch {
+		case isRemote(err, jxta.ErrGroupExists):
+			return nil, core.Errf("createSubcontext", name, core.ErrAlreadyBound)
+		case isRemote(err, jxta.ErrNoSuchGroup):
+			return nil, core.Errf("createSubcontext", name, core.ErrNotFound)
+		default:
+			return nil, core.Errf("createSubcontext", name, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
+		}
+	}
+	return c.child(full), nil
+}
+
+// DestroySubcontext implements core.Context.
+func (c *Context) DestroySubcontext(name string) error {
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("destroySubcontext", name, err)
+	}
+	if err := c.sh.peer.DestroyGroup(groupOf(full)); err != nil {
+		if isRemote(err, jxta.ErrGroupNotEmpty) {
+			return core.Errf("destroySubcontext", name, core.ErrContextNotEmpty)
+		}
+		return core.Errf("destroySubcontext", name, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
+	}
+	return nil
+}
+
+// GetAttributes implements core.DirContext.
+func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attributes, error) {
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("getAttributes", name, err)
+	}
+	adv, ok, err := c.fetchAdv(full)
+	if err != nil {
+		return nil, core.Errf("getAttributes", name, err)
+	}
+	if ok {
+		return core.AttributesFromMap(adv.Attrs).Select(attrIDs...), nil
+	}
+	if exists, _ := c.groupExists(full); exists {
+		return &core.Attributes{}, nil
+	}
+	if cpe := c.boundary(full, false); cpe != nil {
+		return nil, cpe
+	}
+	return nil, core.Errf("getAttributes", name, core.ErrNotFound)
+}
+
+// ModifyAttributes implements core.DirContext (read-modify-republish).
+func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error {
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("modifyAttributes", name, err)
+	}
+	adv, ok, err := c.fetchAdv(full)
+	if err != nil {
+		return core.Errf("modifyAttributes", name, err)
+	}
+	if !ok {
+		return core.Errf("modifyAttributes", name, core.ErrNotFound)
+	}
+	attrs := core.AttributesFromMap(adv.Attrs)
+	if err := attrs.Apply(mods); err != nil {
+		return core.Errf("modifyAttributes", name, err)
+	}
+	obj, err := advObject(adv)
+	if err != nil {
+		return core.Errf("modifyAttributes", name, err)
+	}
+	return core.Errf("modifyAttributes", name, c.publish(full, obj, attrs, false))
+}
+
+// Search implements core.DirContext by walking groups client-side.
+func (c *Context) Search(name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("search", name, err)
+	}
+	f, err := filter.Parse(filterStr)
+	if err != nil {
+		return nil, core.Errf("search", name, err)
+	}
+	if cpe := c.boundary(full, true); cpe != nil {
+		return nil, cpe
+	}
+	if controls == nil {
+		controls = &core.SearchControls{Scope: core.ScopeSubtree}
+	}
+	var out []core.SearchResult
+	var limitHit bool
+	var walk func(path core.Name, depth int) error
+	walk = func(path core.Name, depth int) error {
+		if limitHit {
+			return nil
+		}
+		advs, err := c.sh.peer.Discover(groupOf(path), "", nil, 0)
+		if err != nil {
+			return &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+		}
+		for i := range advs {
+			d := depth + 1
+			inScope := controls.Scope == core.ScopeSubtree ||
+				(controls.Scope == core.ScopeOneLevel && d == 1)
+			if !inScope {
+				continue
+			}
+			attrs := core.AttributesFromMap(advs[i].Attrs)
+			if !attrs.MatchesFilter(f) {
+				continue
+			}
+			rel := path.Suffix(full.Size()).Append(advs[i].Name)
+			r := core.SearchResult{Name: rel.String(), Attributes: attrs.Select(controls.ReturnAttrs...)}
+			obj, oerr := advObject(&advs[i])
+			if oerr != nil {
+				continue
+			}
+			r.Class = core.ClassOf(obj)
+			if controls.ReturnObject {
+				r.Object = obj
+			}
+			out = append(out, r)
+			if controls.CountLimit > 0 && len(out) >= controls.CountLimit {
+				limitHit = true
+				return nil
+			}
+		}
+		if controls.Scope == core.ScopeSubtree || depth == 0 {
+			subs, err := c.sh.peer.SubGroups(groupOf(path))
+			if err != nil {
+				return nil
+			}
+			if controls.Scope != core.ScopeOneLevel || depth == 0 {
+				for _, g := range subs {
+					if controls.Scope == core.ScopeSubtree {
+						if err := walk(path.Append(g), depth+1); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if controls.Scope == core.ScopeObject {
+		// Object scope tests the named advertisement only.
+		adv, ok, err := c.fetchAdv(full)
+		if err == nil && ok {
+			attrs := core.AttributesFromMap(adv.Attrs)
+			if attrs.MatchesFilter(f) {
+				obj, oerr := advObject(adv)
+				if oerr == nil {
+					r := core.SearchResult{Name: "", Class: core.ClassOf(obj),
+						Attributes: attrs.Select(controls.ReturnAttrs...)}
+					if controls.ReturnObject {
+						r.Object = obj
+					}
+					out = append(out, r)
+				}
+			}
+		}
+	} else if err := walk(full, 0); err != nil {
+		return nil, core.Errf("search", name, err)
+	}
+	if limitHit {
+		return out, &core.LimitExceededError{Limit: controls.CountLimit}
+	}
+	return out, nil
+}
+
+// NameInNamespace implements core.Context.
+func (c *Context) NameInNamespace() (string, error) { return groupOf(c.base), nil }
+
+// Environment implements core.Context.
+func (c *Context) Environment() map[string]any { return c.env }
+
+// Close implements core.Context: the last root context stops renewals and
+// drops the connection.
+func (c *Context) Close() error {
+	if !c.owner {
+		return nil
+	}
+	poolMu.Lock()
+	c.sh.mu.Lock()
+	if c.sh.closed {
+		c.sh.mu.Unlock()
+		poolMu.Unlock()
+		return nil
+	}
+	c.sh.refs--
+	last := c.sh.refs <= 0
+	if last {
+		c.sh.closed = true
+		for k, stop := range c.sh.renewals {
+			close(stop)
+			delete(c.sh.renewals, k)
+		}
+		delete(pool, c.sh.poolKey)
+	}
+	c.sh.mu.Unlock()
+	poolMu.Unlock()
+	if !last {
+		return nil
+	}
+	return c.sh.peer.Close()
+}
+
+// Reference implements core.Referenceable for federation.
+func (c *Context) Reference() (*core.Reference, error) {
+	url := c.sh.url
+	if !c.base.IsEmpty() {
+		url += "/" + c.base.String()
+	}
+	return core.NewContextReference(url), nil
+}
+
+func (c *Context) String() string {
+	return fmt.Sprintf("jxtasp.Context{%s group=%q}", c.sh.url, groupOf(c.base))
+}

@@ -1,0 +1,738 @@
+// Package ldapsp is the JNDI service provider for LDAP — the workhorse
+// "leaf" provider of the paper's federation scenario (§6, Figure 7),
+// where department-level OpenLDAP servers hold the dynamic data sets.
+//
+// Name mapping: composite name components become RDNs, leftmost =
+// shallowest. A component containing '=' is used verbatim as an RDN;
+// otherwise it becomes "cn=<component>". The provider URL's path is the
+// base DN: "ldap://host:389/dc=mathcs,dc=emory,dc=edu".
+//
+// Bound objects are carried in the javaSerializedData attribute
+// (base64 of the core codec form), the same convention Sun's JNDI LDAP
+// provider uses for serialized Java objects.
+package ldapsp
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/ldapsrv"
+)
+
+// Environment property keys.
+const (
+	// EnvPrincipal and EnvCredentials select the simple-bind identity;
+	// the core EnvPrincipal/EnvCredentials keys are honoured too.
+	EnvPrincipal   = "ldap.principal"
+	EnvCredentials = "ldap.credentials"
+)
+
+// Attribute names used by the object encoding.
+const (
+	objDataAttr   = "javaSerializedData"
+	objClassAttr  = "objectClass"
+	objClassValue = "javaObject"
+	ctxClassValue = "javaContainer"
+)
+
+// Register installs the "ldap" URL scheme provider.
+func Register() {
+	core.RegisterProvider("ldap", core.ProviderFunc(func(rawURL string, env map[string]any) (core.Context, core.Name, error) {
+		u, err := core.ParseURLName(rawURL)
+		if err != nil {
+			return nil, core.Name{}, err
+		}
+		// The first path component is the base DN; the rest federate
+		// onward as composite name components.
+		baseDN := ""
+		rest := u.Path
+		if !u.Path.IsEmpty() {
+			baseDN = u.Path.First()
+			rest = u.Path.Suffix(1)
+		}
+		ctx, err := Open(u.Authority, baseDN, env)
+		if err != nil {
+			return nil, core.Name{}, &core.CommunicationError{Endpoint: u.Authority, Err: err}
+		}
+		return ctx, rest, nil
+	}))
+}
+
+// shared is pooled per (authority, base DN, identity) so that federation
+// hops reuse one server connection instead of leaking one per resolution.
+// Note the LDAP wire connection is synchronous, so contexts sharing a
+// pooled connection serialize their requests; pass a distinct
+// core.EnvPoolID to force separate connections.
+type shared struct {
+	conn   *ldapsrv.Conn
+	url    string
+	baseDN ldapsrv.DN
+
+	poolKey string
+	refs    int
+	mu      sync.Mutex
+	closed  bool
+}
+
+var poolMu sync.Mutex
+var pool = map[string]*shared{}
+
+// Context implements core.DirContext over one LDAP server.
+type Context struct {
+	sh    *shared
+	base  core.Name
+	env   map[string]any
+	owner bool
+}
+
+var _ core.DirContext = (*Context)(nil)
+var _ core.Referenceable = (*Context)(nil)
+
+// Open connects (or reuses a pooled connection) and optionally binds to
+// the LDAP server.
+func Open(authority, baseDN string, env map[string]any) (*Context, error) {
+	if !strings.Contains(authority, ":") {
+		authority += ":389"
+	}
+	principal := envStr(env, EnvPrincipal, envStr(env, core.EnvPrincipal, ""))
+	credentials := envStr(env, EnvCredentials, envStr(env, core.EnvCredentials, ""))
+	key := fmt.Sprintf("%s|%s|%s|%s|%v", authority, baseDN, principal, credentials, env[core.EnvPoolID])
+	poolMu.Lock()
+	if sh, ok := pool[key]; ok {
+		sh.mu.Lock()
+		alive := !sh.closed && !sh.conn.Dead()
+		sh.mu.Unlock()
+		if alive {
+			sh.refs++
+			poolMu.Unlock()
+			return &Context{sh: sh, env: env, owner: true}, nil
+		}
+		delete(pool, key)
+	}
+	poolMu.Unlock()
+
+	conn, err := ldapsrv.Dial(authority, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Bind(principal, credentials); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	dn, err := ldapsrv.ParseDN(baseDN)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	sh := &shared{
+		conn: conn, url: "ldap://" + authority + "/" + baseDN, baseDN: dn,
+		poolKey: key, refs: 1,
+	}
+	poolMu.Lock()
+	pool[key] = sh
+	poolMu.Unlock()
+	return &Context{sh: sh, env: env, owner: true}, nil
+}
+
+func envStr(env map[string]any, key, def string) string {
+	if v, ok := env[key].(string); ok && v != "" {
+		return v
+	}
+	return def
+}
+
+func (c *Context) child(base core.Name) *Context {
+	return &Context{sh: c.sh, base: base, env: c.env}
+}
+
+func (c *Context) parse(name string) (core.Name, error) {
+	if core.IsURLName(name) {
+		u, err := core.ParseURLName(name)
+		if err != nil {
+			return core.Name{}, err
+		}
+		return core.Name{}, &core.CannotProceedError{
+			Resolved:      u.Scheme + "://" + u.Authority,
+			RemainingName: u.Path,
+			AltName:       name,
+		}
+	}
+	return core.ParseName(name)
+}
+
+func (c *Context) full(name string) (core.Name, error) {
+	n, err := c.parse(name)
+	if err != nil {
+		return core.Name{}, err
+	}
+	return c.base.Concat(n), nil
+}
+
+// rdnFor maps one composite component to an RDN string.
+func rdnFor(component string) string {
+	if strings.Contains(component, "=") {
+		return component
+	}
+	return "cn=" + ldapsrv.EscapeDNValue(component)
+}
+
+// dnFor maps a path (shallowest first) to a DN under the base.
+func (c *Context) dnFor(n core.Name) string {
+	comps := n.Components()
+	parts := make([]string, 0, len(comps)+1)
+	for i := len(comps) - 1; i >= 0; i-- {
+		parts = append(parts, rdnFor(comps[i]))
+	}
+	if len(c.sh.baseDN) > 0 {
+		parts = append(parts, c.sh.baseDN.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// mapResultErr converts LDAP result codes to core sentinels.
+func mapResultErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *ldapsrv.ResultError
+	if !asResultError(err, &re) {
+		return err
+	}
+	switch re.Result.Code {
+	case ldapsrv.ResultNoSuchObject:
+		return core.ErrNotFound
+	case ldapsrv.ResultEntryAlreadyExists:
+		return core.ErrAlreadyBound
+	case ldapsrv.ResultNotAllowedOnNonLea:
+		return core.ErrContextNotEmpty
+	case ldapsrv.ResultInsufficientAccess, ldapsrv.ResultInvalidCredentials:
+		return core.ErrNoPermission
+	default:
+		return re
+	}
+}
+
+func asResultError(err error, out **ldapsrv.ResultError) bool {
+	for err != nil {
+		if re, ok := err.(*ldapsrv.ResultError); ok {
+			*out = re
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// fetch reads the entry at the path, if present.
+func (c *Context) fetch(n core.Name) (*ldapsrv.Entry, bool, error) {
+	entries, err := c.sh.conn.Search(c.dnFor(n), "(objectClass=*)", &ldapsrv.SearchOptions{Scope: ldapsrv.ScopeBaseObject})
+	if err != nil {
+		if merr := mapResultErr(err); merr == core.ErrNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	if len(entries) == 0 {
+		return nil, false, nil
+	}
+	return &entries[0], true, nil
+}
+
+// entryObject extracts the bound object from an entry; ok=false means the
+// entry is a plain subcontext.
+func entryObject(e *ldapsrv.Entry) (any, bool, error) {
+	data := e.GetFirst(objDataAttr)
+	if data == "" {
+		return nil, false, nil
+	}
+	raw, err := base64.StdEncoding.DecodeString(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("ldapsp: corrupt %s: %w", objDataAttr, err)
+	}
+	obj, err := core.Unmarshal(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return obj, true, nil
+}
+
+// boundary raises a federation continuation when a path prefix holds a
+// bound Reference.
+func (c *Context) boundary(full core.Name) *core.CannotProceedError {
+	return c.boundaryUpTo(full, full.Size())
+}
+
+// boundarySelf additionally treats full itself as a potential boundary —
+// for context-level operations (List, Search).
+func (c *Context) boundarySelf(full core.Name) *core.CannotProceedError {
+	return c.boundaryUpTo(full, full.Size()+1)
+}
+
+func (c *Context) boundaryUpTo(full core.Name, limit int) *core.CannotProceedError {
+	for i := 1; i < limit && i <= full.Size(); i++ {
+		e, ok, err := c.fetch(full.Prefix(i))
+		if err != nil || !ok {
+			return nil
+		}
+		obj, has, err := entryObject(e)
+		if err != nil || !has {
+			continue
+		}
+		switch obj.(type) {
+		case *core.Reference, core.Context:
+			return &core.CannotProceedError{
+				Resolved:      obj,
+				RemainingName: full.Suffix(i),
+				AltName:       full.Prefix(i).String(),
+			}
+		}
+	}
+	return nil
+}
+
+// Lookup implements core.Context.
+func (c *Context) Lookup(name string) (any, error) {
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("lookup", name, err)
+	}
+	if full.Equal(c.base) {
+		return c.child(c.base), nil
+	}
+	e, ok, err := c.fetch(full)
+	if err != nil {
+		return nil, core.Errf("lookup", name, err)
+	}
+	if !ok {
+		if cpe := c.boundary(full); cpe != nil {
+			return nil, cpe
+		}
+		return nil, core.Errf("lookup", name, core.ErrNotFound)
+	}
+	obj, has, err := entryObject(e)
+	if err != nil {
+		return nil, core.Errf("lookup", name, err)
+	}
+	if has {
+		return obj, nil
+	}
+	return c.child(full), nil
+}
+
+// LookupLink implements core.Context.
+func (c *Context) LookupLink(name string) (any, error) { return c.Lookup(name) }
+
+// entryAttrs converts a directory entry's attributes (minus the object
+// payload) into core attributes.
+func entryAttrs(e *ldapsrv.Entry) *core.Attributes {
+	attrs := &core.Attributes{}
+	for _, a := range e.Attrs {
+		if strings.EqualFold(a.Type, objDataAttr) {
+			continue
+		}
+		attrs.Put(a.Type, a.Vals...)
+	}
+	return attrs
+}
+
+func ldapAttrs(attrs *core.Attributes, obj any, isCtx bool) ([]ldapsrv.EntryAttr, error) {
+	var out []ldapsrv.EntryAttr
+	hasClass := false
+	for _, a := range attrs.All() {
+		if strings.EqualFold(a.ID, objClassAttr) {
+			hasClass = true
+		}
+		out = append(out, ldapsrv.EntryAttr{Type: a.ID, Vals: a.Values})
+	}
+	if !hasClass {
+		class := objClassValue
+		if isCtx {
+			class = ctxClassValue
+		}
+		out = append(out, ldapsrv.EntryAttr{Type: objClassAttr, Vals: []string{"top", class}})
+	}
+	if !isCtx {
+		data, err := core.Marshal(obj)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ldapsrv.EntryAttr{
+			Type: objDataAttr,
+			Vals: []string{base64.StdEncoding.EncodeToString(data)},
+		})
+	}
+	return out, nil
+}
+
+// Bind implements core.Context — LDAP Add is natively atomic.
+func (c *Context) Bind(name string, obj any) error {
+	return c.BindAttrs(name, obj, nil)
+}
+
+// BindAttrs implements core.DirContext.
+func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error {
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("bind", name, err)
+	}
+	la, err := ldapAttrs(attrs, obj, false)
+	if err != nil {
+		return core.Errf("bind", name, err)
+	}
+	err = mapResultErr(c.sh.conn.Add(c.dnFor(full), la))
+	if err == core.ErrNotFound {
+		// Parent missing — or a federation boundary mid-name.
+		if cpe := c.boundary(full); cpe != nil {
+			return cpe
+		}
+	}
+	return core.Errf("bind", name, err)
+}
+
+// Rebind implements core.Context (delete-then-add; LDAP has no overwrite).
+func (c *Context) Rebind(name string, obj any) error {
+	return c.rebindAttrs(name, obj, nil)
+}
+
+// RebindAttrs implements core.DirContext.
+func (c *Context) RebindAttrs(name string, obj any, attrs *core.Attributes) error {
+	return c.rebindAttrs(name, obj, attrs)
+}
+
+func (c *Context) rebindAttrs(name string, obj any, attrs *core.Attributes) error {
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("rebind", name, err)
+	}
+	if attrs == nil {
+		// Preserve existing attributes (JNDI semantics).
+		if e, ok, ferr := c.fetch(full); ferr == nil && ok {
+			attrs = entryAttrs(e)
+		}
+	}
+	dn := c.dnFor(full)
+	if derr := mapResultErr(c.sh.conn.Delete(dn)); derr != nil && derr != core.ErrNotFound {
+		return core.Errf("rebind", name, derr)
+	}
+	la, err := ldapAttrs(attrs, obj, false)
+	if err != nil {
+		return core.Errf("rebind", name, err)
+	}
+	err = mapResultErr(c.sh.conn.Add(dn, la))
+	if err == core.ErrNotFound {
+		if cpe := c.boundary(full); cpe != nil {
+			return cpe
+		}
+	}
+	return core.Errf("rebind", name, err)
+}
+
+// Unbind implements core.Context.
+func (c *Context) Unbind(name string) error {
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("unbind", name, err)
+	}
+	err = mapResultErr(c.sh.conn.Delete(c.dnFor(full)))
+	if err == core.ErrNotFound {
+		return nil // JNDI: unbinding an unbound name succeeds
+	}
+	return core.Errf("unbind", name, err)
+}
+
+// Rename implements core.Context via ModifyDN for sibling renames, and
+// lookup/bind/unbind otherwise.
+func (c *Context) Rename(oldName, newName string) error {
+	oldFull, err := c.full(oldName)
+	if err != nil {
+		return core.Errf("rename", oldName, err)
+	}
+	newFull, err := c.full(newName)
+	if err != nil {
+		return core.Errf("rename", newName, err)
+	}
+	if oldFull.Size() == newFull.Size() &&
+		oldFull.Prefix(oldFull.Size()-1).Equal(newFull.Prefix(newFull.Size()-1)) {
+		err := mapResultErr(c.sh.conn.ModifyDN(c.dnFor(oldFull), rdnFor(newFull.Last()), true))
+		return core.Errf("rename", oldName, err)
+	}
+	obj, err := c.Lookup(oldName)
+	if err != nil {
+		return err
+	}
+	e, ok, err := c.fetch(oldFull)
+	if err != nil || !ok {
+		return core.Errf("rename", oldName, core.ErrNotFound)
+	}
+	if err := c.BindAttrs(newName, obj, entryAttrs(e)); err != nil {
+		return err
+	}
+	return c.Unbind(oldName)
+}
+
+// List implements core.Context.
+func (c *Context) List(name string) ([]core.NameClassPair, error) {
+	bindings, err := c.ListBindings(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.NameClassPair, len(bindings))
+	for i, b := range bindings {
+		out[i] = core.NameClassPair{Name: b.Name, Class: b.Class}
+	}
+	return out, nil
+}
+
+// ListBindings implements core.Context via a one-level search.
+func (c *Context) ListBindings(name string) ([]core.Binding, error) {
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("list", name, err)
+	}
+	if cpe := c.boundarySelf(full); cpe != nil {
+		return nil, cpe
+	}
+	entries, err := c.sh.conn.Search(c.dnFor(full), "(objectClass=*)",
+		&ldapsrv.SearchOptions{Scope: ldapsrv.ScopeSingleLevel})
+	if err != nil {
+		return nil, core.Errf("list", name, mapResultErr(err))
+	}
+	out := make([]core.Binding, 0, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		dn, perr := ldapsrv.ParseDN(e.DN)
+		if perr != nil || len(dn) == 0 {
+			continue
+		}
+		leaf, _ := dn.Leaf()
+		b := core.Binding{Name: leaf.Value}
+		obj, has, oerr := entryObject(e)
+		if oerr != nil {
+			continue
+		}
+		if has {
+			b.Class = core.ClassOf(obj)
+			b.Object = obj
+		} else {
+			b.Class = core.ContextReferenceClass
+			b.Object = c.child(full.Append(leaf.Value))
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// CreateSubcontext implements core.Context.
+func (c *Context) CreateSubcontext(name string) (core.Context, error) {
+	dc, err := c.CreateSubcontextAttrs(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return dc, nil
+}
+
+// CreateSubcontextAttrs implements core.DirContext.
+func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (core.DirContext, error) {
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("createSubcontext", name, err)
+	}
+	la, err := ldapAttrs(attrs, nil, true)
+	if err != nil {
+		return nil, core.Errf("createSubcontext", name, err)
+	}
+	if err := mapResultErr(c.sh.conn.Add(c.dnFor(full), la)); err != nil {
+		return nil, core.Errf("createSubcontext", name, err)
+	}
+	return c.child(full), nil
+}
+
+// DestroySubcontext implements core.Context.
+func (c *Context) DestroySubcontext(name string) error {
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("destroySubcontext", name, err)
+	}
+	err = mapResultErr(c.sh.conn.Delete(c.dnFor(full)))
+	if err == core.ErrNotFound {
+		return nil
+	}
+	return core.Errf("destroySubcontext", name, err)
+}
+
+// GetAttributes implements core.DirContext.
+func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attributes, error) {
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("getAttributes", name, err)
+	}
+	e, ok, err := c.fetch(full)
+	if err != nil {
+		return nil, core.Errf("getAttributes", name, err)
+	}
+	if !ok {
+		if cpe := c.boundary(full); cpe != nil {
+			return nil, cpe
+		}
+		return nil, core.Errf("getAttributes", name, core.ErrNotFound)
+	}
+	return entryAttrs(e).Select(attrIDs...), nil
+}
+
+// ModifyAttributes implements core.DirContext — atomic server-side.
+func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error {
+	full, err := c.full(name)
+	if err != nil {
+		return core.Errf("modifyAttributes", name, err)
+	}
+	changes := make([]ldapsrv.ModifyChange, len(mods))
+	for i, m := range mods {
+		var op int
+		switch m.Op {
+		case core.ModAdd:
+			op = ldapsrv.ModifyAdd
+		case core.ModReplace:
+			op = ldapsrv.ModifyReplace
+		case core.ModRemove:
+			op = ldapsrv.ModifyDelete
+		default:
+			return core.Errf("modifyAttributes", name, core.ErrInvalidAttributes)
+		}
+		changes[i] = ldapsrv.ModifyChange{Op: op, Attr: ldapsrv.EntryAttr{Type: m.Attr.ID, Vals: m.Attr.Values}}
+	}
+	return core.Errf("modifyAttributes", name, mapResultErr(c.sh.conn.Modify(c.dnFor(full), changes)))
+}
+
+// Search implements core.DirContext, pushing the filter to the server.
+func (c *Context) Search(name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+	full, err := c.full(name)
+	if err != nil {
+		return nil, core.Errf("search", name, err)
+	}
+	if cpe := c.boundarySelf(full); cpe != nil {
+		return nil, cpe
+	}
+	if controls == nil {
+		controls = &core.SearchControls{Scope: core.ScopeSubtree}
+	}
+	var scope int
+	switch controls.Scope {
+	case core.ScopeObject:
+		scope = ldapsrv.ScopeBaseObject
+	case core.ScopeOneLevel:
+		scope = ldapsrv.ScopeSingleLevel
+	default:
+		scope = ldapsrv.ScopeWholeSubtree
+	}
+	baseDN := c.dnFor(full)
+	entries, err := c.sh.conn.Search(baseDN, filterStr, &ldapsrv.SearchOptions{
+		Scope: scope, SizeLimit: controls.CountLimit,
+	})
+	var limitErr error
+	if err != nil {
+		var re *ldapsrv.ResultError
+		if asResultError(err, &re) && re.Result.Code == ldapsrv.ResultSizeLimitExceeded {
+			limitErr = &core.LimitExceededError{Limit: controls.CountLimit}
+		} else {
+			return nil, core.Errf("search", name, mapResultErr(err))
+		}
+	}
+	base := ldapsrv.MustParseDN(baseDN)
+	out := make([]core.SearchResult, 0, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		dn, perr := ldapsrv.ParseDN(e.DN)
+		if perr != nil {
+			continue
+		}
+		rel := relName(dn, base)
+		r := core.SearchResult{
+			Name:       rel.String(),
+			Attributes: entryAttrs(e).Select(controls.ReturnAttrs...),
+		}
+		obj, has, oerr := entryObject(e)
+		if oerr != nil {
+			continue
+		}
+		if has {
+			r.Class = core.ClassOf(obj)
+			if controls.ReturnObject {
+				r.Object = obj
+			}
+		} else {
+			r.Class = core.ContextReferenceClass
+		}
+		out = append(out, r)
+	}
+	return out, limitErr
+}
+
+// relName converts a DN under base into a composite path, shallowest
+// component first.
+func relName(dn, base ldapsrv.DN) core.Name {
+	depth := dn.Depth(base)
+	if depth <= 0 {
+		return core.Name{}
+	}
+	comps := make([]string, depth)
+	for i := 0; i < depth; i++ {
+		comps[depth-1-i] = dn[i].Value
+	}
+	return core.NewName(comps...)
+}
+
+// NameInNamespace implements core.Context (the DN of this context).
+func (c *Context) NameInNamespace() (string, error) {
+	return c.dnFor(c.base), nil
+}
+
+// Environment implements core.Context.
+func (c *Context) Environment() map[string]any { return c.env }
+
+// Close implements core.Context: the last root context for a pooled
+// connection closes it.
+func (c *Context) Close() error {
+	if !c.owner {
+		return nil
+	}
+	poolMu.Lock()
+	c.sh.mu.Lock()
+	if c.sh.closed {
+		c.sh.mu.Unlock()
+		poolMu.Unlock()
+		return nil
+	}
+	c.sh.refs--
+	last := c.sh.refs <= 0
+	if last {
+		c.sh.closed = true
+		delete(pool, c.sh.poolKey)
+	}
+	c.sh.mu.Unlock()
+	poolMu.Unlock()
+	if !last {
+		return nil
+	}
+	return c.sh.conn.Close()
+}
+
+// Reference implements core.Referenceable for federation.
+func (c *Context) Reference() (*core.Reference, error) {
+	url := c.sh.url
+	if !c.base.IsEmpty() {
+		url += "/" + c.base.String()
+	}
+	return core.NewContextReference(url), nil
+}
+
+func (c *Context) String() string {
+	return fmt.Sprintf("ldapsp.Context{%s base=%q}", c.sh.url, c.base.String())
+}

@@ -1,0 +1,260 @@
+package ldapsp
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gondi/internal/core"
+	"gondi/internal/ldapsrv"
+)
+
+func newServer(t *testing.T) *ldapsrv.Server {
+	t.Helper()
+	s, err := ldapsrv.NewServer("127.0.0.1:0", ldapsrv.ServerConfig{BaseDN: "dc=mathcs,dc=emory,dc=edu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func openCtx(t *testing.T, s *ldapsrv.Server) *Context {
+	t.Helper()
+	c, err := Open(s.Addr(), "dc=mathcs,dc=emory,dc=edu", map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestBindLookupUnbind(t *testing.T) {
+	s := newServer(t)
+	c := openCtx(t, s)
+	if err := c.Bind("mokey", "object-data"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup("mokey")
+	if err != nil || got != "object-data" {
+		t.Fatalf("lookup = %v, %v", got, err)
+	}
+	// Atomic bind: LDAP Add fails on existing entries.
+	if err := c.Bind("mokey", "x"); !errors.Is(err, core.ErrAlreadyBound) {
+		t.Errorf("dup bind: %v", err)
+	}
+	if err := c.Rebind("mokey", 123); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Lookup("mokey"); got != 123 {
+		t.Errorf("rebind = %v", got)
+	}
+	if err := c.Unbind("mokey"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("mokey"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("after unbind: %v", err)
+	}
+	if err := c.Unbind("mokey"); err != nil {
+		t.Errorf("unbind absent: %v", err)
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	s := newServer(t)
+	c := openCtx(t, s)
+	sub, err := c.CreateSubcontext("ou=people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, sub.Bind("alice", "alice-rec"))
+	// Composite traversal through the parent.
+	got, err := c.Lookup("ou=people/alice")
+	if err != nil || got != "alice-rec" {
+		t.Fatalf("composite = %v, %v", got, err)
+	}
+	// List.
+	pairs, err := c.List("")
+	if err != nil || len(pairs) != 1 || pairs[0].Name != "people" {
+		t.Fatalf("list root = %+v, %v", pairs, err)
+	}
+	bindings, err := c.ListBindings("ou=people")
+	if err != nil || len(bindings) != 1 || bindings[0].Object != "alice-rec" {
+		t.Fatalf("people = %+v, %v", bindings, err)
+	}
+	// Orphan binds fail.
+	if err := c.Bind("ou=ghost/bob", 1); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("orphan bind: %v", err)
+	}
+}
+
+func TestAttributesAndSearch(t *testing.T) {
+	s := newServer(t)
+	c := openCtx(t, s)
+	must(t, c.BindAttrs("host1", "10.0.0.1",
+		core.NewAttributes("type", "compute", "ram", "64")))
+	must(t, c.BindAttrs("host2", "10.0.0.2",
+		core.NewAttributes("type", "compute", "ram", "128")))
+
+	attrs, err := c.GetAttributes("host1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs.GetFirst("ram") != "64" || attrs.GetFirst("cn") != "host1" {
+		t.Errorf("attrs = %v", attrs)
+	}
+	// The serialized payload must not leak into attributes.
+	if _, ok := attrs.Get(objDataAttr); ok {
+		t.Error("javaSerializedData leaked")
+	}
+	res, err := c.Search("", "(&(type=compute)(ram>=100))", &core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
+	if err != nil || len(res) != 1 || res[0].Name != "host2" || res[0].Object != "10.0.0.2" {
+		t.Fatalf("search = %+v, %v", res, err)
+	}
+	must(t, c.ModifyAttributes("host1", []core.AttributeMod{
+		{Op: core.ModReplace, Attr: core.Attribute{ID: "ram", Values: []string{"256"}}},
+	}))
+	attrs, _ = c.GetAttributes("host1", "ram")
+	if attrs.GetFirst("ram") != "256" {
+		t.Errorf("after modify: %v", attrs)
+	}
+	// Substring search maps to LDAP substring filters server-side.
+	res, err = c.Search("", "(cn=host*)", &core.SearchControls{Scope: core.ScopeSubtree})
+	if err != nil || len(res) != 2 {
+		t.Fatalf("substring = %+v, %v", res, err)
+	}
+	// Count limit surfaces as LimitExceededError with partial results.
+	res, err = c.Search("", "(cn=host*)", &core.SearchControls{Scope: core.ScopeSubtree, CountLimit: 1})
+	var lim *core.LimitExceededError
+	if !errors.As(err, &lim) || len(res) != 1 {
+		t.Fatalf("limit = %+v, %v", res, err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := newServer(t)
+	c := openCtx(t, s)
+	must(t, c.BindAttrs("old", "v", core.NewAttributes("k", "1")))
+	// Sibling rename uses ModifyDN.
+	must(t, c.Rename("old", "new"))
+	if _, err := c.Lookup("old"); !errors.Is(err, core.ErrNotFound) {
+		t.Error("old survives")
+	}
+	got, err := c.Lookup("new")
+	if err != nil || got != "v" {
+		t.Fatalf("new = %v, %v", got, err)
+	}
+	// Cross-context rename falls back to bind+unbind.
+	if _, err := c.CreateSubcontext("ou=arch"); err != nil {
+		t.Fatal(err)
+	}
+	must(t, c.Rename("new", "ou=arch/moved"))
+	if got, _ := c.Lookup("ou=arch/moved"); got != "v" {
+		t.Errorf("moved = %v", got)
+	}
+}
+
+func TestRebindPreservesAttrs(t *testing.T) {
+	s := newServer(t)
+	c := openCtx(t, s)
+	must(t, c.BindAttrs("e", "v1", core.NewAttributes("color", "red")))
+	must(t, c.Rebind("e", "v2"))
+	attrs, err := c.GetAttributes("e", "color")
+	if err != nil || attrs.GetFirst("color") != "red" {
+		t.Fatalf("attrs = %v, %v", attrs, err)
+	}
+	if got, _ := c.Lookup("e"); got != "v2" {
+		t.Errorf("value = %v", got)
+	}
+}
+
+func TestFederationBoundary(t *testing.T) {
+	s := newServer(t)
+	c := openCtx(t, s)
+	must(t, c.Bind("n=jiniServer", core.NewContextReference("jini://host1:4160")))
+	_, err := c.Lookup("n=jiniServer/jxtaGroup/myObject")
+	var cpe *core.CannotProceedError
+	if !errors.As(err, &cpe) {
+		t.Fatalf("want continuation, got %v", err)
+	}
+	if cpe.RemainingName.String() != "jxtaGroup/myObject" {
+		t.Errorf("remaining = %q", cpe.RemainingName.String())
+	}
+}
+
+func TestProviderRegistration(t *testing.T) {
+	Register()
+	s := newServer(t)
+	ctx, rest, err := core.OpenURL(
+		fmt.Sprintf("ldap://%s/dc=mathcs,dc=emory,dc=edu/ou=people/alice", s.Addr()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	if rest.String() != "ou=people/alice" {
+		t.Errorf("rest = %q", rest.String())
+	}
+	lc := ctx.(*Context)
+	if got, _ := lc.NameInNamespace(); got != "dc=mathcs,dc=emory,dc=edu" {
+		t.Errorf("NameInNamespace = %q", got)
+	}
+}
+
+func TestAuthEnv(t *testing.T) {
+	srv, err := ldapsrv.NewServer("127.0.0.1:0", ldapsrv.ServerConfig{
+		BaseDN: "dc=x", RootDN: "cn=admin,dc=x", RootPassword: "pw",
+		RequireAuthForWrite: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Anonymous: writes denied.
+	anon, err := Open(srv.Addr(), "dc=x", map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anon.Close()
+	if err := anon.Bind("a", 1); !errors.Is(err, core.ErrNoPermission) {
+		t.Errorf("anon bind: %v", err)
+	}
+	// Authenticated via environment.
+	adm, err := Open(srv.Addr(), "dc=x", map[string]any{
+		EnvPrincipal: "cn=admin,dc=x", EnvCredentials: "pw",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	if err := adm.Bind("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Bad credentials fail at Open.
+	if _, err := Open(srv.Addr(), "dc=x", map[string]any{
+		EnvPrincipal: "cn=admin,dc=x", EnvCredentials: "wrong",
+	}); err == nil {
+		t.Error("bad credentials accepted")
+	}
+}
+
+func TestDNMapping(t *testing.T) {
+	sh := &shared{baseDN: ldapsrv.MustParseDN("dc=emory,dc=edu")}
+	c := &Context{sh: sh}
+	if got := c.dnFor(core.MustParseName("ou=people/alice")); got != "cn=alice,ou=people,dc=emory,dc=edu" {
+		t.Errorf("dnFor = %q", got)
+	}
+	if got := c.dnFor(core.Name{}); got != "dc=emory,dc=edu" {
+		t.Errorf("dnFor empty = %q", got)
+	}
+	rel := relName(ldapsrv.MustParseDN("cn=alice,ou=people,dc=emory,dc=edu"), sh.baseDN)
+	if rel.String() != "people/alice" {
+		t.Errorf("relName = %q", rel.String())
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

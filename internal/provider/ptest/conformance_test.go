@@ -1,0 +1,148 @@
+package ptest_test
+
+// The conformance suite run against every provider in the repository —
+// five different substrates, one behavioural contract.
+
+import (
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/jini"
+	"gondi/internal/jxta"
+	"gondi/internal/ldapsrv"
+	"gondi/internal/provider/fssp"
+	"gondi/internal/provider/hdnssp"
+	"gondi/internal/provider/jinisp"
+	"gondi/internal/provider/jxtasp"
+	"gondi/internal/provider/ldapsp"
+	"gondi/internal/provider/memsp"
+	"gondi/internal/provider/ptest"
+)
+
+func TestMemProviderConformance(t *testing.T) {
+	ptest.Run(t, ptest.Caps{
+		Rename:                       true,
+		Subcontexts:                  true,
+		PreservesAttrsOnRebind:       true,
+		IntermediateContextsRequired: true,
+	}, func(t *testing.T) core.DirContext {
+		return memsp.NewContext(memsp.NewTree(), map[string]any{}, "mem://conf")
+	})
+}
+
+func TestFSProviderConformance(t *testing.T) {
+	ptest.Run(t, ptest.Caps{
+		Rename:                       true,
+		Subcontexts:                  true,
+		PreservesAttrsOnRebind:       true,
+		IntermediateContextsRequired: true,
+	}, func(t *testing.T) core.DirContext {
+		return fssp.NewContext(t.TempDir(), map[string]any{})
+	})
+}
+
+func TestHDNSProviderConformance(t *testing.T) {
+	ptest.Run(t, ptest.Caps{
+		Rename:                       true,
+		Subcontexts:                  true,
+		PreservesAttrsOnRebind:       true,
+		IntermediateContextsRequired: true,
+	}, func(t *testing.T) core.DirContext {
+		stack := jgroups.DefaultConfig()
+		stack.HeartbeatInterval = 50 * time.Millisecond
+		n, err := hdns.NewNode(hdns.NodeConfig{
+			Group:      "conf-" + t.Name(),
+			Transport:  jgroups.NewFabric().Endpoint("conf-node"),
+			Stack:      stack,
+			ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		ctx, err := hdnssp.Open(n.Addr(), map[string]any{core.EnvPoolID: t.Name()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ctx.Close() })
+		return ctx
+	})
+}
+
+func TestJiniProviderConformance(t *testing.T) {
+	for _, mode := range []string{"strict", "relaxed"} {
+		t.Run(mode, func(t *testing.T) {
+			ptest.Run(t, ptest.Caps{
+				Rename:                 true,
+				Subcontexts:            true,
+				PreservesAttrsOnRebind: true,
+				// Jini bindings are flat items with virtual
+				// intermediate contexts, so deep binds succeed.
+				IntermediateContextsRequired: false,
+			}, func(t *testing.T) core.DirContext {
+				lus, err := jini.NewLUS(jini.LUSConfig{ListenAddr: "127.0.0.1:0"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { lus.Close() })
+				ctx, err := jinisp.Open(lus.Addr(), map[string]any{
+					jinisp.EnvBind: mode,
+					core.EnvPoolID: t.Name(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { ctx.Close() })
+				return ctx
+			})
+		})
+	}
+}
+
+func TestJXTAProviderConformance(t *testing.T) {
+	ptest.Run(t, ptest.Caps{
+		Rename:                 true,
+		Subcontexts:            true,
+		PreservesAttrsOnRebind: true,
+		// Advertisements live in existing peer groups; deep binds
+		// under missing groups fail.
+		IntermediateContextsRequired: true,
+	}, func(t *testing.T) core.DirContext {
+		rdv, err := jxta.NewRendezvous("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rdv.Close() })
+		ctx, err := jxtasp.Open(rdv.Addr(), map[string]any{core.EnvPoolID: t.Name()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ctx.Close() })
+		return ctx
+	})
+}
+
+func TestLDAPProviderConformance(t *testing.T) {
+	ptest.Run(t, ptest.Caps{
+		Rename:                       true,
+		Subcontexts:                  true,
+		PreservesAttrsOnRebind:       true,
+		IntermediateContextsRequired: true,
+		LeavesAreContexts:            true, // any LDAP entry is a container
+	}, func(t *testing.T) core.DirContext {
+		srv, err := ldapsrv.NewServer("127.0.0.1:0", ldapsrv.ServerConfig{BaseDN: "dc=conf"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		ctx, err := ldapsp.Open(srv.Addr(), "dc=conf", map[string]any{core.EnvPoolID: t.Name()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ctx.Close() })
+		return ctx
+	})
+}

@@ -1,0 +1,368 @@
+// Package ptest is a reusable conformance suite for core.DirContext
+// implementations. Every provider in this repository runs it, so the
+// JNDI-analog semantics — atomic Bind, Rebind overwrite, idempotent
+// Unbind, attribute modification batches, filter search scopes — are
+// enforced uniformly across radically different substrates, which is the
+// paper's access-homogeneity claim turned into an executable contract.
+package ptest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gondi/internal/core"
+)
+
+// Caps declares which optional capabilities a provider supports, so the
+// suite can skip what a substrate legitimately cannot do.
+type Caps struct {
+	// Rename indicates Rename support.
+	Rename bool
+	// Subcontexts indicates CreateSubcontext/DestroySubcontext support.
+	Subcontexts bool
+	// PreservesAttrsOnRebind indicates Rebind keeps existing attributes
+	// when none are supplied (JNDI semantics).
+	PreservesAttrsOnRebind bool
+	// IntermediateContextsRequired indicates binds under missing
+	// intermediate contexts fail (rather than creating virtual ones).
+	IntermediateContextsRequired bool
+	// LeavesAreContexts indicates every bound entry can also hold
+	// children (LDAP's model, where any entry is a container).
+	LeavesAreContexts bool
+}
+
+// Factory builds a fresh, empty DirContext for each subtest.
+type Factory func(t *testing.T) core.DirContext
+
+// Run executes the conformance suite.
+func Run(t *testing.T, caps Caps, factory Factory) {
+	t.Run("BindLookupRoundTrip", func(t *testing.T) {
+		c := factory(t)
+		if err := c.Bind("a", "v1"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Lookup("a")
+		if err != nil || got != "v1" {
+			t.Fatalf("Lookup = %v, %v", got, err)
+		}
+	})
+
+	t.Run("BindIsAtomic", func(t *testing.T) {
+		c := factory(t)
+		if err := c.Bind("a", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Bind("a", 2); !errors.Is(err, core.ErrAlreadyBound) {
+			t.Fatalf("second bind: %v", err)
+		}
+		// The original value survives the failed bind.
+		if got, _ := c.Lookup("a"); got != 1 {
+			t.Fatalf("value after failed bind = %v", got)
+		}
+	})
+
+	t.Run("RebindOverwrites", func(t *testing.T) {
+		c := factory(t)
+		if err := c.Rebind("a", "old"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Rebind("a", "new"); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := c.Lookup("a"); got != "new" {
+			t.Fatalf("got %v", got)
+		}
+	})
+
+	t.Run("LookupMissingIsNotFound", func(t *testing.T) {
+		c := factory(t)
+		if _, err := c.Lookup("ghost"); !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("got %v", err)
+		}
+	})
+
+	t.Run("UnbindIsIdempotent", func(t *testing.T) {
+		c := factory(t)
+		if err := c.Bind("a", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Unbind("a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Unbind("a"); err != nil {
+			t.Fatalf("second unbind: %v", err)
+		}
+		if _, err := c.Lookup("a"); !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("after unbind: %v", err)
+		}
+	})
+
+	t.Run("EmptyNameLookupYieldsContext", func(t *testing.T) {
+		c := factory(t)
+		obj, err := c.Lookup("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := obj.(core.Context); !ok {
+			t.Fatalf("Lookup(\"\") = %T", obj)
+		}
+	})
+
+	t.Run("ListEnumeratesBindings", func(t *testing.T) {
+		c := factory(t)
+		for i := 0; i < 3; i++ {
+			if err := c.Bind(fmt.Sprintf("e%d", i), i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pairs, err := c.List("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != 3 {
+			t.Fatalf("List = %+v", pairs)
+		}
+		bindings, err := c.ListBindings("")
+		if err != nil || len(bindings) != 3 {
+			t.Fatalf("ListBindings = %+v, %v", bindings, err)
+		}
+		seen := map[string]bool{}
+		for _, b := range bindings {
+			seen[b.Name] = true
+		}
+		for i := 0; i < 3; i++ {
+			if !seen[fmt.Sprintf("e%d", i)] {
+				t.Fatalf("missing e%d in %v", i, seen)
+			}
+		}
+	})
+
+	t.Run("AttributesRoundTrip", func(t *testing.T) {
+		c := factory(t)
+		if err := c.BindAttrs("a", "v", core.NewAttributes("color", "red", "size", "9")); err != nil {
+			t.Fatal(err)
+		}
+		attrs, err := c.GetAttributes("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attrs.GetFirst("color") != "red" || attrs.GetFirst("size") != "9" {
+			t.Fatalf("attrs = %v", attrs)
+		}
+		sel, err := c.GetAttributes("a", "color")
+		if err != nil || sel.Size() != 1 || sel.GetFirst("color") != "red" {
+			t.Fatalf("selected = %v, %v", sel, err)
+		}
+	})
+
+	t.Run("ModifyAttributes", func(t *testing.T) {
+		c := factory(t)
+		if err := c.BindAttrs("a", "v", core.NewAttributes("k", "1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ModifyAttributes("a", []core.AttributeMod{
+			{Op: core.ModReplace, Attr: core.Attribute{ID: "k", Values: []string{"2"}}},
+			{Op: core.ModAdd, Attr: core.Attribute{ID: "extra", Values: []string{"x"}}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		attrs, _ := c.GetAttributes("a")
+		if attrs.GetFirst("k") != "2" || attrs.GetFirst("extra") != "x" {
+			t.Fatalf("after modify: %v", attrs)
+		}
+		if err := c.ModifyAttributes("a", []core.AttributeMod{
+			{Op: core.ModRemove, Attr: core.Attribute{ID: "extra"}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		attrs, _ = c.GetAttributes("a")
+		if _, ok := attrs.Get("extra"); ok {
+			t.Fatalf("remove failed: %v", attrs)
+		}
+		// The bound object is untouched by attribute modification.
+		if got, _ := c.Lookup("a"); got != "v" {
+			t.Fatalf("object after modify = %v", got)
+		}
+	})
+
+	t.Run("SearchFiltersAndScopes", func(t *testing.T) {
+		c := factory(t)
+		if err := c.BindAttrs("n1", "o1", core.NewAttributes("type", "compute", "rank", "1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.BindAttrs("n2", "o2", core.NewAttributes("type", "compute", "rank", "5")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.BindAttrs("gw", "o3", core.NewAttributes("type", "gateway")); err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Search("", "(type=compute)", &core.SearchControls{Scope: core.ScopeSubtree})
+		if err != nil || len(res) != 2 {
+			t.Fatalf("compute search = %+v, %v", res, err)
+		}
+		res, err = c.Search("", "(&(type=compute)(rank>=5))",
+			&core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
+		if err != nil || len(res) != 1 || res[0].Name != "n2" {
+			t.Fatalf("combined search = %+v, %v", res, err)
+		}
+		if res[0].Object != "o2" {
+			t.Fatalf("ReturnObject = %v", res[0].Object)
+		}
+		res, err = c.Search("", "(type=*)", &core.SearchControls{Scope: core.ScopeObject})
+		if err != nil || len(res) != 0 {
+			t.Fatalf("object-scope from root = %+v, %v", res, err)
+		}
+		if _, err := c.Search("", "not a filter", nil); err == nil {
+			t.Fatal("bad filter accepted")
+		}
+	})
+
+	t.Run("RebindAttrSemantics", func(t *testing.T) {
+		if !caps.PreservesAttrsOnRebind {
+			t.Skip("provider does not preserve attributes on rebind")
+		}
+		c := factory(t)
+		if err := c.BindAttrs("a", "v1", core.NewAttributes("keep", "me")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Rebind("a", "v2"); err != nil {
+			t.Fatal(err)
+		}
+		attrs, _ := c.GetAttributes("a")
+		if attrs.GetFirst("keep") != "me" {
+			t.Fatalf("attrs dropped: %v", attrs)
+		}
+		dc, ok := interface{}(c).(core.DirContext)
+		if !ok {
+			t.Fatal("not a DirContext")
+		}
+		if err := dc.RebindAttrs("a", "v3", &core.Attributes{}); err != nil {
+			t.Fatal(err)
+		}
+		attrs, _ = c.GetAttributes("a")
+		if _, present := attrs.Get("keep"); present {
+			t.Fatalf("explicit empty attrs did not clear: %v", attrs)
+		}
+	})
+
+	t.Run("Subcontexts", func(t *testing.T) {
+		if !caps.Subcontexts {
+			t.Skip("provider does not support subcontexts")
+		}
+		c := factory(t)
+		sub, err := c.CreateSubcontext("dir")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sub.Bind("x", 7); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Lookup("dir/x")
+		if err != nil || got != 7 {
+			t.Fatalf("composite lookup = %v, %v", got, err)
+		}
+		if _, err := c.CreateSubcontext("dir"); !errors.Is(err, core.ErrAlreadyBound) {
+			t.Fatalf("dup subcontext: %v", err)
+		}
+		if err := c.DestroySubcontext("dir"); !errors.Is(err, core.ErrContextNotEmpty) {
+			t.Fatalf("destroy non-empty: %v", err)
+		}
+		if err := sub.Unbind("x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.DestroySubcontext("dir"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Lookup("dir"); !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("destroyed dir still resolves: %v", err)
+		}
+	})
+
+	t.Run("IntermediateContexts", func(t *testing.T) {
+		if !caps.Subcontexts {
+			t.Skip("provider does not support subcontexts")
+		}
+		c := factory(t)
+		if caps.IntermediateContextsRequired {
+			if err := c.Bind("no/such/path", 1); err == nil {
+				t.Fatal("bind under missing context succeeded")
+			}
+		}
+		if _, err := c.CreateSubcontext("a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Bind("a/leaf", 1); err != nil {
+			t.Fatal(err)
+		}
+		// Binding under a value (not a context) must not succeed —
+		// except in models where every entry is a container.
+		if !caps.LeavesAreContexts {
+			if err := c.Bind("a/leaf/deep", 2); err == nil {
+				t.Fatal("bind under leaf succeeded")
+			}
+		}
+	})
+
+	t.Run("Rename", func(t *testing.T) {
+		if !caps.Rename {
+			t.Skip("provider does not support rename")
+		}
+		c := factory(t)
+		if err := c.Bind("old", "v"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Rename("old", "new"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Lookup("old"); !errors.Is(err, core.ErrNotFound) {
+			t.Fatalf("old name survives: %v", err)
+		}
+		if got, _ := c.Lookup("new"); got != "v" {
+			t.Fatalf("renamed = %v", got)
+		}
+		if err := c.Bind("taken", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Rename("new", "taken"); !errors.Is(err, core.ErrAlreadyBound) {
+			t.Fatalf("rename onto taken: %v", err)
+		}
+	})
+
+	t.Run("FederationBoundary", func(t *testing.T) {
+		c := factory(t)
+		if err := c.Bind("gw", core.NewContextReference("mem://elsewhere")); err != nil {
+			t.Fatal(err)
+		}
+		_, err := c.Lookup("gw/deep/name")
+		var cpe *core.CannotProceedError
+		if !errors.As(err, &cpe) {
+			t.Fatalf("want CannotProceedError, got %v", err)
+		}
+		if cpe.RemainingName.String() != "deep/name" {
+			t.Fatalf("remaining = %q", cpe.RemainingName.String())
+		}
+	})
+
+	t.Run("ReferenceableForFederation", func(t *testing.T) {
+		c := factory(t)
+		r, ok := interface{}(c).(core.Referenceable)
+		if !ok {
+			t.Skip("provider context is not Referenceable")
+		}
+		ref, err := r.Reference()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := ref.Get(core.AddrURL); !ok {
+			t.Fatalf("reference without URL: %v", ref)
+		}
+	})
+
+	t.Run("NameInNamespace", func(t *testing.T) {
+		c := factory(t)
+		if _, err := c.NameInNamespace(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,403 @@
+// Package rpc is the wire substrate shared by the Jini registrar and HDNS
+// protocols: length-delimited gob frames over TCP, with request/response
+// multiplexing, per-connection state, and server-initiated push frames
+// (used for remote event delivery).
+package rpc
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Frame kinds.
+const (
+	kindRequest  = 1
+	kindResponse = 2
+	kindPush     = 3
+)
+
+// maxFrame bounds a single frame to guard against corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// frame is the unit of transmission.
+type frame struct {
+	Kind   uint8
+	ID     uint64
+	Method string
+	Err    string
+	Body   []byte
+}
+
+// ErrConnClosed is returned by calls on a closed connection.
+var ErrConnClosed = errors.New("rpc: connection closed")
+
+// RemoteError carries an error string produced by a server handler.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote %s: %s", e.Method, e.Msg)
+}
+
+func writeFrame(w io.Writer, mu *sync.Mutex, f *frame) error {
+	mu.Lock()
+	defer mu.Unlock()
+	var hdr [4]byte
+	payload, err := encodeFrame(f)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+func encodeFrame(f *frame) ([]byte, error) {
+	var buf frameBuffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+type frameBuffer struct{ b []byte }
+
+func (fb *frameBuffer) Write(p []byte) (int, error) {
+	fb.b = append(fb.b, p...)
+	return len(p), nil
+}
+
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := gob.NewDecoder(byteReader{payload, new(int)}).Decode(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+type byteReader struct {
+	b   []byte
+	pos *int
+}
+
+func (br byteReader) Read(p []byte) (int, error) {
+	if *br.pos >= len(br.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, br.b[*br.pos:])
+	*br.pos += n
+	return n, nil
+}
+
+// Handler processes one request on a server. conn identifies the calling
+// connection and supports Push for event delivery; body is the request
+// payload, and the returned bytes are the response payload.
+type Handler func(conn *ServerConn, body []byte) ([]byte, error)
+
+// Server accepts connections and dispatches method handlers.
+type Server struct {
+	lis      net.Listener
+	mu       sync.Mutex
+	handlers map[string]Handler
+	conns    map[*ServerConn]struct{}
+	onClose  []func(*ServerConn)
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server listening on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func NewServer(addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		lis:      lis,
+		handlers: map[string]Handler{},
+		conns:    map[*ServerConn]struct{}{},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Handle registers a method handler. Must be called before clients invoke
+// the method; registration is safe at any time.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// OnConnClose registers a callback invoked when a client connection ends
+// (used to drop event subscriptions and expire session state).
+func (s *Server) OnConnClose(f func(*ServerConn)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onClose = append(s.onClose, f)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		sc := &ServerConn{srv: s, conn: conn, vals: map[string]any{}}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(sc)
+	}
+}
+
+func (s *Server) serveConn(sc *ServerConn) {
+	defer s.wg.Done()
+	defer func() {
+		sc.conn.Close()
+		s.mu.Lock()
+		delete(s.conns, sc)
+		hooks := make([]func(*ServerConn), len(s.onClose))
+		copy(hooks, s.onClose)
+		s.mu.Unlock()
+		for _, h := range hooks {
+			h(sc)
+		}
+	}()
+	for {
+		f, err := readFrame(sc.conn)
+		if err != nil {
+			return
+		}
+		if f.Kind != kindRequest {
+			continue
+		}
+		s.mu.Lock()
+		h := s.handlers[f.Method]
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func(f *frame) {
+			defer s.wg.Done()
+			resp := &frame{Kind: kindResponse, ID: f.ID, Method: f.Method}
+			if h == nil {
+				resp.Err = "unknown method " + f.Method
+			} else {
+				body, err := h(sc, f.Body)
+				if err != nil {
+					resp.Err = err.Error()
+				} else {
+					resp.Body = body
+				}
+			}
+			_ = writeFrame(sc.conn, &sc.writeMu, resp)
+		}(f)
+	}
+}
+
+// Close stops the listener and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*ServerConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ServerConn is the server's view of one client connection.
+type ServerConn struct {
+	srv     *Server
+	conn    net.Conn
+	writeMu sync.Mutex
+	valsMu  sync.Mutex
+	vals    map[string]any
+}
+
+// Push sends an unsolicited frame to the client (event delivery).
+func (sc *ServerConn) Push(method string, body []byte) error {
+	return writeFrame(sc.conn, &sc.writeMu, &frame{Kind: kindPush, Method: method, Body: body})
+}
+
+// RemoteAddr returns the peer address.
+func (sc *ServerConn) RemoteAddr() string { return sc.conn.RemoteAddr().String() }
+
+// Set stores connection-scoped state (e.g. authentication principal,
+// subscription registry).
+func (sc *ServerConn) Set(key string, v any) {
+	sc.valsMu.Lock()
+	defer sc.valsMu.Unlock()
+	sc.vals[key] = v
+}
+
+// Get retrieves connection-scoped state.
+func (sc *ServerConn) Get(key string) (any, bool) {
+	sc.valsMu.Lock()
+	defer sc.valsMu.Unlock()
+	v, ok := sc.vals[key]
+	return v, ok
+}
+
+// Client is a multiplexing RPC client.
+type Client struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	pending map[uint64]chan *frame
+	nextID  uint64
+	onPush  func(method string, body []byte)
+	closed  bool
+	timeout time.Duration
+}
+
+// Dial connects to a server. timeout applies to connect and, by default,
+// to each call (0 means 10s).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, pending: map[uint64]chan *frame{}, timeout: timeout}
+	go c.readLoop()
+	return c, nil
+}
+
+// OnPush installs the handler for server push frames. Install before
+// issuing calls that create subscriptions.
+func (c *Client) OnPush(f func(method string, body []byte)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onPush = f
+}
+
+func (c *Client) readLoop() {
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch f.Kind {
+		case kindResponse:
+			c.mu.Lock()
+			ch := c.pending[f.ID]
+			delete(c.pending, f.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- f
+			}
+		case kindPush:
+			c.mu.Lock()
+			h := c.onPush
+			c.mu.Unlock()
+			if h != nil {
+				h(f.Method, f.Body)
+			}
+		}
+	}
+}
+
+// Call sends a request and waits for the response or the client timeout.
+func (c *Client) Call(method string, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrConnClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	err := writeFrame(c.conn, &c.writeMu, &frame{Kind: kindRequest, ID: id, Method: method, Body: body})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return nil, ErrConnClosed
+		}
+		if f.Err != "" {
+			return nil, &RemoteError{Method: method, Msg: f.Err}
+		}
+		return f.Body, nil
+	case <-time.After(c.timeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: %s timed out after %v", method, c.timeout)
+	}
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Closed reports whether the connection has terminated.
+func (c *Client) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}

@@ -1,0 +1,195 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(s.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	s, c := newPair(t)
+	s.Handle("echo", func(_ *ServerConn, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	out, err := c.Call("echo", []byte("hello"))
+	if err != nil || !bytes.Equal(out, []byte("hello")) {
+		t.Fatalf("Call = %q, %v", out, err)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	s, c := newPair(t)
+	s.Handle("fail", func(_ *ServerConn, _ []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	})
+	_, err := c.Call("fail", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	_, c := newPair(t)
+	if _, err := c.Call("nope", nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	s, c := newPair(t)
+	s.Handle("id", func(_ *ServerConn, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("msg-%d", i))
+			out, err := c.Call("id", msg)
+			if err != nil || !bytes.Equal(out, msg) {
+				t.Errorf("call %d: %q, %v", i, out, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestPush(t *testing.T) {
+	s, c := newPair(t)
+	got := make(chan string, 1)
+	c.OnPush(func(method string, body []byte) {
+		got <- method + ":" + string(body)
+	})
+	s.Handle("subscribe", func(sc *ServerConn, _ []byte) ([]byte, error) {
+		go sc.Push("event", []byte("data"))
+		return nil, nil
+	})
+	if _, err := c.Call("subscribe", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != "event:data" {
+			t.Errorf("push = %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no push received")
+	}
+}
+
+func TestConnState(t *testing.T) {
+	s, c := newPair(t)
+	s.Handle("set", func(sc *ServerConn, body []byte) ([]byte, error) {
+		sc.Set("k", string(body))
+		return nil, nil
+	})
+	s.Handle("get", func(sc *ServerConn, _ []byte) ([]byte, error) {
+		v, _ := sc.Get("k")
+		str, _ := v.(string)
+		return []byte(str), nil
+	})
+	if _, err := c.Call("set", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Call("get", nil)
+	if err != nil || string(out) != "v1" {
+		t.Fatalf("get = %q, %v", out, err)
+	}
+}
+
+func TestOnConnClose(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	closed := make(chan struct{})
+	s.OnConnClose(func(*ServerConn) { close(closed) })
+	c, err := Dial(s.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ensure the connection is established server-side first.
+	s.Handle("ping", func(*ServerConn, []byte) ([]byte, error) { return nil, nil })
+	if _, err := c.Call("ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnConnClose not fired")
+	}
+}
+
+func TestCallAfterServerClose(t *testing.T) {
+	s, c := newPair(t)
+	s.Handle("ping", func(*ServerConn, []byte) ([]byte, error) { return nil, nil })
+	if _, err := c.Call("ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Wait for the client to observe the close.
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.Closed() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Call("ping", nil); err == nil {
+		t.Fatal("call after close should fail")
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	s, c := newPair(t)
+	s.Handle("echo", func(_ *ServerConn, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	out, err := c.Call("echo", big)
+	if err != nil || !bytes.Equal(out, big) {
+		t.Fatalf("1MB echo failed: len=%d err=%v", len(out), err)
+	}
+}
+
+func TestSlowHandlerTimeout(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Handle("slow", func(*ServerConn, []byte) ([]byte, error) {
+		time.Sleep(500 * time.Millisecond)
+		return nil, nil
+	})
+	c, err := Dial(s.Addr(), 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("slow", nil); err == nil {
+		t.Fatal("expected timeout")
+	}
+}
