@@ -7,6 +7,7 @@ package gondi
 // by `go run ./cmd/ippsbench` (or the shape tests in internal/benchmark).
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sync/atomic"
@@ -57,21 +58,22 @@ func benchHDNS(b *testing.B, group string, stack jgroups.Config) *hdns.Node {
 // lookups versus lookups through the JNDI provider (which adds the
 // state/object factory translation).
 func BenchmarkFig2JiniLookup(b *testing.B) {
+	ctx := context.Background()
 	lus := benchLUS(b)
 	reg, err := jini.DialRegistrar(lus.Addr(), 5*time.Second)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer reg.Close()
-	if _, err := reg.Register(jini.ServiceItem{ID: "raw", Service: []byte("stub")}, jini.MaxLease); err != nil {
+	if _, err := reg.Register(ctx, jini.ServiceItem{ID: "raw", Service: []byte("stub")}, jini.MaxLease); err != nil {
 		b.Fatal(err)
 	}
-	ctx, err := jinisp.Open(lus.Addr(), map[string]any{core.EnvPoolID: "bench-fig2"})
+	pc, err := jinisp.Open(ctx, lus.Addr(), map[string]any{core.EnvPoolID: "bench-fig2"})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer ctx.Close()
-	if err := ctx.Rebind("target", "provider-payload"); err != nil {
+	defer pc.Close()
+	if err := pc.Rebind(ctx, "target", "provider-payload"); err != nil {
 		b.Fatal(err)
 	}
 
@@ -79,7 +81,7 @@ func BenchmarkFig2JiniLookup(b *testing.B) {
 		tmpl := jini.ServiceTemplate{ID: "raw"}
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := reg.LookupOne(tmpl); err != nil {
+			if _, _, err := reg.LookupOne(ctx, tmpl); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -87,7 +89,7 @@ func BenchmarkFig2JiniLookup(b *testing.B) {
 	b.Run("spi", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := ctx.Lookup("target"); err != nil {
+			if _, err := pc.Lookup(ctx, "target"); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -98,6 +100,7 @@ func BenchmarkFig2JiniLookup(b *testing.B) {
 // relaxed provider rebind, and strict provider rebind paying the
 // Eisenberg–McGuire critical section.
 func BenchmarkFig3JiniRebind(b *testing.B) {
+	ctx := context.Background()
 	lus := benchLUS(b)
 	reg, err := jini.DialRegistrar(lus.Addr(), 5*time.Second)
 	if err != nil {
@@ -109,25 +112,25 @@ func BenchmarkFig3JiniRebind(b *testing.B) {
 		item := jini.ServiceItem{ID: "w", Service: []byte("stub")}
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := reg.Register(item, jini.DefaultLease); err != nil {
+			if _, err := reg.Register(ctx, item, jini.DefaultLease); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	for _, mode := range []string{"relaxed", "strict"} {
 		b.Run("spi-"+mode, func(b *testing.B) {
-			ctx, err := jinisp.Open(lus.Addr(), map[string]any{
+			pc, err := jinisp.Open(ctx, lus.Addr(), map[string]any{
 				jinisp.EnvBind: mode, jinisp.EnvLockSlots: 4, jinisp.EnvLockSlot: 0,
 				core.EnvPoolID: "bench-fig3-" + mode,
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
-			defer ctx.Close()
+			defer pc.Close()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := ctx.Rebind("w-"+mode, i); err != nil {
+				if err := pc.Rebind(ctx, "w-"+mode, i); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -138,6 +141,7 @@ func BenchmarkFig3JiniRebind(b *testing.B) {
 // BenchmarkFig4HDNSLookup: the read path of Figure 4 — raw HDNS client
 // versus the JNDI provider.
 func BenchmarkFig4HDNSLookup(b *testing.B) {
+	ctx := context.Background()
 	node := benchHDNS(b, "bench-fig4", jgroups.DefaultConfig())
 	raw, err := hdns.Dial(node.Addr(), "", 5*time.Second)
 	if err != nil {
@@ -145,19 +149,19 @@ func BenchmarkFig4HDNSLookup(b *testing.B) {
 	}
 	defer raw.Close()
 	data, _ := core.Marshal("payload")
-	if err := raw.Bind([]string{"target"}, data, nil, 0); err != nil {
+	if err := raw.Bind(ctx, []string{"target"}, data, nil, 0); err != nil {
 		b.Fatal(err)
 	}
-	ctx, err := hdnssp.Open(node.Addr(), map[string]any{core.EnvPoolID: "bench-fig4"})
+	pc, err := hdnssp.Open(ctx, node.Addr(), map[string]any{core.EnvPoolID: "bench-fig4"})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer ctx.Close()
+	defer pc.Close()
 
 	b.Run("raw", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := raw.Lookup([]string{"target"}); err != nil {
+			if _, err := raw.Lookup(ctx, []string{"target"}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -165,7 +169,7 @@ func BenchmarkFig4HDNSLookup(b *testing.B) {
 	b.Run("spi", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := ctx.Lookup("target"); err != nil {
+			if _, err := pc.Lookup(ctx, "target"); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -175,23 +179,24 @@ func BenchmarkFig4HDNSLookup(b *testing.B) {
 // BenchmarkFig5HDNSRebind: the write path of Figure 5 — every write is
 // replicated through the group channel before acknowledgement.
 func BenchmarkFig5HDNSRebind(b *testing.B) {
+	ctx := context.Background()
 	node := benchHDNS(b, "bench-fig5", jgroups.DefaultConfig())
 	raw, err := hdns.Dial(node.Addr(), "", 5*time.Second)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer raw.Close()
-	ctx, err := hdnssp.Open(node.Addr(), map[string]any{core.EnvPoolID: "bench-fig5"})
+	pc, err := hdnssp.Open(ctx, node.Addr(), map[string]any{core.EnvPoolID: "bench-fig5"})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer ctx.Close()
+	defer pc.Close()
 	data, _ := core.Marshal("payload")
 
 	b.Run("raw", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if err := raw.Rebind([]string{"w"}, data, nil, false, 0); err != nil {
+			if err := raw.Rebind(ctx, []string{"w"}, data, nil, false, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -199,7 +204,7 @@ func BenchmarkFig5HDNSRebind(b *testing.B) {
 	b.Run("spi", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if err := ctx.Rebind("w2", i); err != nil {
+			if err := pc.Rebind(ctx, "w2", i); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -209,6 +214,7 @@ func BenchmarkFig5HDNSRebind(b *testing.B) {
 // BenchmarkFig6DNSLookup: the JNDI-DNS read path of Figure 6 (a full UDP
 // DNS exchange per operation).
 func BenchmarkFig6DNSLookup(b *testing.B) {
+	ctx := context.Background()
 	registerAll()
 	srv, err := dnssrv.NewServer("127.0.0.1:0", nil)
 	if err != nil {
@@ -219,17 +225,17 @@ func BenchmarkFig6DNSLookup(b *testing.B) {
 	z.Add(dnssrv.RR{Name: "target.global", Type: dnssrv.TypeTXT, Txt: []string{"record"}})
 	z.Add(dnssrv.RR{Name: "target.global", Type: dnssrv.TypeA, A: netip.MustParseAddr("10.0.0.1")})
 	srv.AddZone(z)
-	ctx, rest, err := core.OpenURL("dns://"+srv.Addr()+"/global", nil)
+	nc, rest, err := core.OpenURL(ctx, "dns://"+srv.Addr()+"/global", nil)
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer ctx.Close()
-	dc := ctx.(*dnssp.Context)
+	defer nc.Close()
+	dc := nc.(*dnssp.Context)
 	name := rest.String() + "/target"
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := dc.GetAttributes(name); err != nil {
+		if _, err := dc.GetAttributes(ctx, name); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -238,18 +244,19 @@ func BenchmarkFig6DNSLookup(b *testing.B) {
 // BenchmarkFig7LDAP: the JNDI-LDAP read and write paths of Figure 7
 // (BER-encoded searches and delete+add rebinds).
 func BenchmarkFig7LDAP(b *testing.B) {
+	ctx := context.Background()
 	registerAll()
 	srv, err := ldapsrv.NewServer("127.0.0.1:0", ldapsrv.ServerConfig{BaseDN: "dc=bench"})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	ctx, err := ldapsp.Open(srv.Addr(), "dc=bench", map[string]any{core.EnvPoolID: "bench-fig7"})
+	pc, err := ldapsp.Open(ctx, srv.Addr(), "dc=bench", map[string]any{core.EnvPoolID: "bench-fig7"})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer ctx.Close()
-	if err := ctx.Bind("target", "payload"); err != nil {
+	defer pc.Close()
+	if err := pc.Bind(ctx, "target", "payload"); err != nil {
 		b.Fatal(err)
 	}
 	attrs := core.NewAttributes("type", "bench")
@@ -257,7 +264,7 @@ func BenchmarkFig7LDAP(b *testing.B) {
 	b.Run("lookup", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := ctx.Lookup("target"); err != nil {
+			if _, err := pc.Lookup(ctx, "target"); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -265,7 +272,7 @@ func BenchmarkFig7LDAP(b *testing.B) {
 	b.Run("rebind", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if err := ctx.RebindAttrs("w", i, attrs); err != nil {
+			if err := pc.RebindAttrs(ctx, "w", i, attrs); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -279,6 +286,7 @@ var bindNonce atomic.Int64
 // §7 optimization) pays one extra round trip to a lock colocated with the
 // LUS; relaxed pays nothing and gives up atomicity.
 func BenchmarkAblationBindSemantics(b *testing.B) {
+	ctx := context.Background()
 	lus := benchLUS(b)
 	proxy, err := jini.NewBindProxy(lus.Addr(), "127.0.0.1:0")
 	if err != nil {
@@ -287,7 +295,7 @@ func BenchmarkAblationBindSemantics(b *testing.B) {
 	defer proxy.Close()
 	for _, mode := range []string{"relaxed", "proxy", "strict"} {
 		b.Run(mode, func(b *testing.B) {
-			ctx, err := jinisp.Open(lus.Addr(), map[string]any{
+			pc, err := jinisp.Open(ctx, lus.Addr(), map[string]any{
 				jinisp.EnvBind: mode, jinisp.EnvLockSlots: 4, jinisp.EnvLockSlot: 0,
 				jinisp.EnvProxyAddr: proxy.Addr(),
 				core.EnvPoolID:      "bench-ablation-" + mode,
@@ -295,14 +303,14 @@ func BenchmarkAblationBindSemantics(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			defer ctx.Close()
+			defer pc.Close()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				// The framework re-runs with growing b.N; a nonce
 				// keeps bind targets fresh across runs.
 				name := fmt.Sprintf("b-%s-%d", mode, bindNonce.Add(1))
-				if err := ctx.Bind(name, i); err != nil {
+				if err := pc.Bind(ctx, name, i); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -313,6 +321,7 @@ func BenchmarkAblationBindSemantics(b *testing.B) {
 // BenchmarkAblationHDNSStack compares the §4.2 protocol suites on the
 // replicated write path.
 func BenchmarkAblationHDNSStack(b *testing.B) {
+	ctx := context.Background()
 	for _, spec := range []struct {
 		name string
 		cfg  jgroups.Config
@@ -331,7 +340,7 @@ func BenchmarkAblationHDNSStack(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := raw.Rebind([]string{"w"}, data, nil, false, 0); err != nil {
+				if err := raw.Rebind(ctx, []string{"w"}, data, nil, false, 0); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -373,6 +382,7 @@ func BenchmarkAblationQueueBound(b *testing.B) {
 // the same object read directly and through one and two federation
 // boundaries (with pooled provider connections).
 func BenchmarkAblationFederationDepth(b *testing.B) {
+	ctx := context.Background()
 	registerAll()
 	ldapSrv, err := ldapsrv.NewServer("127.0.0.1:0", ldapsrv.ServerConfig{BaseDN: "dc=leaf"})
 	if err != nil {
@@ -390,10 +400,10 @@ func BenchmarkAblationFederationDepth(b *testing.B) {
 	dnsSrv.AddZone(z)
 
 	ic := core.NewInitialContext(nil)
-	if err := ic.Bind("ldap://"+ldapSrv.Addr()+"/dc=leaf/obj", "data"); err != nil {
+	if err := ic.Bind(ctx, "ldap://"+ldapSrv.Addr()+"/dc=leaf/obj", "data"); err != nil {
 		b.Fatal(err)
 	}
-	if err := ic.Bind("hdns://"+node.Addr()+"/leafref",
+	if err := ic.Bind(ctx, "hdns://"+node.Addr()+"/leafref",
 		core.NewContextReference("ldap://"+ldapSrv.Addr()+"/dc=leaf")); err != nil {
 		b.Fatal(err)
 	}
@@ -409,7 +419,7 @@ func BenchmarkAblationFederationDepth(b *testing.B) {
 		b.Run(spec.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				obj, err := ic.Lookup(spec.url)
+				obj, err := ic.Lookup(ctx, spec.url)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -19,12 +19,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"sort"
 	"syscall"
+	"time"
 
 	"gondi/internal/core"
 	"gondi/internal/provider/dnssp"
@@ -51,6 +53,7 @@ commands:
   link   <name> <url>       bind a federation reference to <url> at <name>
   watch  <name>             stream change events until interrupted
 flags:
+  -timeout                  per-operation deadline (default 10s, 0 = none)
   -principal / -credentials authentication (where the provider supports it)
   -secret                   HDNS write secret`)
 	os.Exit(2)
@@ -60,6 +63,7 @@ func main() {
 	principal := flag.String("principal", "", "security principal")
 	credentials := flag.String("credentials", "", "security credentials")
 	secret := flag.String("secret", "", "HDNS write secret")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-operation deadline (0 disables)")
 	jiniBind := flag.String("jini-bind", "", "Jini bind semantics: strict, relaxed, or proxy")
 	jiniProxy := flag.String("jini-proxy", "", "BindProxy address for -jini-bind proxy")
 	flag.Usage = usage
@@ -96,6 +100,18 @@ func main() {
 	}
 	ic := core.NewInitialContext(env)
 
+	// Every command below runs under this deadline: it propagates through
+	// the initial context into the provider and onto the wire, and across
+	// federation hops, so a wedged backend ends with DeadlineExceeded
+	// instead of a hang. Ctrl-C cancels in-flight operations the same way.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 && cmd != "watch" {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	die := func(err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fedctl: %v\n", err)
@@ -110,7 +126,7 @@ func main() {
 
 	switch cmd {
 	case "lookup":
-		obj, err := ic.Lookup(name)
+		obj, err := ic.Lookup(ctx, name)
 		die(err)
 		if _, ok := obj.(core.Context); ok {
 			fmt.Println("<naming context>")
@@ -119,20 +135,20 @@ func main() {
 		}
 	case "bind":
 		need(3)
-		die(ic.Bind(name, args[2]))
+		die(ic.Bind(ctx, name, args[2]))
 	case "rebind":
 		need(3)
-		die(ic.Rebind(name, args[2]))
+		die(ic.Rebind(ctx, name, args[2]))
 	case "unbind":
-		die(ic.Unbind(name))
+		die(ic.Unbind(ctx, name))
 	case "list":
-		pairs, err := ic.List(name)
+		pairs, err := ic.List(ctx, name)
 		die(err)
 		for _, p := range pairs {
 			fmt.Printf("%-30s %s\n", p.Name, p.Class)
 		}
 	case "attrs":
-		attrs, err := ic.GetAttributes(name)
+		attrs, err := ic.GetAttributes(ctx, name)
 		die(err)
 		all := attrs.All()
 		sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
@@ -143,29 +159,27 @@ func main() {
 		}
 	case "search":
 		need(3)
-		res, err := ic.Search(name, args[2], &core.SearchControls{Scope: core.ScopeSubtree})
+		res, err := ic.Search(ctx, name, args[2], &core.SearchControls{Scope: core.ScopeSubtree})
 		die(err)
 		for _, r := range res {
 			fmt.Printf("%-30s %s %s\n", r.Name, r.Class, r.Attributes)
 		}
 	case "mkctx":
-		_, err := ic.CreateSubcontext(name)
+		_, err := ic.CreateSubcontext(ctx, name)
 		die(err)
 	case "rmctx":
-		die(ic.DestroySubcontext(name))
+		die(ic.DestroySubcontext(ctx, name))
 	case "link":
 		need(3)
-		die(ic.Bind(name, core.NewContextReference(args[2])))
+		die(ic.Bind(ctx, name, core.NewContextReference(args[2])))
 	case "watch":
-		cancel, err := ic.Watch(name, core.ScopeSubtree, func(e core.NamingEvent) {
+		cancel, err := ic.Watch(ctx, name, core.ScopeSubtree, func(e core.NamingEvent) {
 			fmt.Printf("%s %q new=%v old=%v\n", e.Type, e.Name, e.NewValue, e.OldValue)
 		})
 		die(err)
 		defer cancel()
 		fmt.Fprintf(os.Stderr, "fedctl: watching %s (interrupt to stop)\n", name)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-		<-sig
+		<-ctx.Done()
 	default:
 		usage()
 	}

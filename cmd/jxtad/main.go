@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ func (g *groupFlags) Set(v string) error {
 }
 
 func main() {
+	ctx := context.Background()
 	listen := flag.String("listen", "127.0.0.1:9701", "TCP listen address")
 	var groups groupFlags
 	flag.Var(&groups, "group", "peer group to pre-create under net (repeatable, parents first)")
@@ -40,7 +42,7 @@ func main() {
 			log.Fatalf("jxtad: %v", err)
 		}
 		for _, g := range groups {
-			if err := peer.CreateGroup(g); err != nil {
+			if err := peer.CreateGroup(ctx, g); err != nil {
 				log.Fatalf("jxtad: create group %q: %v", g, err)
 			}
 		}

@@ -21,8 +21,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"gondi/internal/core"
 	"gondi/internal/dnssrv"
@@ -91,45 +93,51 @@ func main() {
 
 	ic := core.NewInitialContext(nil)
 
+	// One deadline governs the whole demo. It travels with each request
+	// across every federation hop (DNS -> HDNS -> LDAP/Jini), becoming a
+	// real I/O deadline on each wire connection along the way.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// --- Wire the federation together through the API (§6): bind the
 	// leaf services into HDNS as context references. ---
 	hdnsURL := "hdns://" + nodes[0].Addr()
-	if err := ic.Bind(hdnsURL+"/dcl", core.NewContextReference(
+	if err := ic.Bind(ctx, hdnsURL+"/dcl", core.NewContextReference(
 		"ldap://"+ldapSrv.Addr()+"/dc=dcl,dc=mathcs,dc=emory")); err != nil {
 		log.Fatal(err)
 	}
-	if err := ic.Bind(hdnsURL+"/devices", core.NewContextReference(
+	if err := ic.Bind(ctx, hdnsURL+"/devices", core.NewContextReference(
 		"jini://"+lus.Addr())); err != nil {
 		log.Fatal(err)
 	}
 
 	// --- Populate the leaves through the federation itself. ---
-	if err := ic.BindAttrs(hdnsURL+"/dcl/mokey", "mokey.mathcs.emory.edu:22",
+	if err := ic.BindAttrs(ctx, hdnsURL+"/dcl/mokey", "mokey.mathcs.emory.edu:22",
 		core.NewAttributes("type", "workstation", "arch", "sparc")); err != nil {
 		log.Fatal(err)
 	}
-	if err := ic.Bind(hdnsURL+"/devices/printer", "ipp://10.0.0.12:631"); err != nil {
+	if err := ic.Bind(ctx, hdnsURL+"/devices/printer", "ipp://10.0.0.12:631"); err != nil {
 		log.Fatal(err)
 	}
 
 	// --- The paper's resolution, from the DNS root. ---
 	composite := "dns://" + dnsSrv.Addr() + "/global/emory/mathcs/dcl/mokey"
 	fmt.Println("resolving:", composite)
-	obj, err := ic.Lookup(composite)
+	obj, err := ic.Lookup(ctx, composite)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  -> %v\n", obj)
 
 	// Attributes resolve across the same three hops.
-	attrs, err := ic.GetAttributes(composite)
+	attrs, err := ic.GetAttributes(ctx, composite)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  attributes: %s\n", attrs)
 
 	// A search pushed through the federation boundary runs on the leaf.
-	res, err := ic.Search("dns://"+dnsSrv.Addr()+"/global/emory/mathcs/dcl",
+	res, err := ic.Search(ctx, "dns://"+dnsSrv.Addr()+"/global/emory/mathcs/dcl",
 		"(type=workstation)", &core.SearchControls{Scope: core.ScopeSubtree})
 	if err != nil {
 		log.Fatal(err)
@@ -140,14 +148,14 @@ func main() {
 	}
 
 	// The Jini leaf answers through the same root too.
-	obj, err = ic.Lookup(hdnsURL + "/devices/printer")
+	obj, err = ic.Lookup(ctx, hdnsURL+"/devices/printer")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("jini leaf via hdns: %v\n", obj)
 
 	// Reads are served by any replica: ask the second HDNS node.
-	obj, err = ic.Lookup("hdns://" + nodes[1].Addr() + "/dcl/mokey")
+	obj, err = ic.Lookup(ctx, "hdns://"+nodes[1].Addr()+"/dcl/mokey")
 	if err != nil {
 		log.Fatal(err)
 	}

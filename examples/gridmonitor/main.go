@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -46,13 +47,19 @@ func main() {
 	reg1 := "hdns://" + n1.Addr()
 	reg2 := "hdns://" + n2.Addr()
 
-	if _, err := ic.CreateSubcontext(reg1 + "/resources"); err != nil {
+	// A grid broker cannot afford to hang on a dead registry: every
+	// operation below carries a deadline that the provider turns into a
+	// wire-level I/O deadline.
+	ctx, stop := context.WithTimeout(context.Background(), 30*time.Second)
+	defer stop()
+
+	if _, err := ic.CreateSubcontext(ctx, reg1+"/resources"); err != nil {
 		log.Fatal(err)
 	}
 
 	// The monitor watches the registry subtree.
 	eventC := make(chan core.NamingEvent, 32)
-	cancel, err := ic.Watch(reg1+"/resources", core.ScopeSubtree, func(e core.NamingEvent) {
+	cancel, err := ic.Watch(ctx, reg1+"/resources", core.ScopeSubtree, func(e core.NamingEvent) {
 		eventC <- e
 	})
 	if err != nil {
@@ -74,15 +81,15 @@ func main() {
 	}
 	for _, r := range resources {
 		site := r.name[:index(r.name, '/')]
-		_, _ = ic.CreateSubcontext(reg1 + "/resources/" + site)
-		if err := ic.BindAttrs(reg1+"/resources/"+r.name, r.addr, r.attrs); err != nil {
+		_, _ = ic.CreateSubcontext(ctx, reg1+"/resources/"+site)
+		if err := ic.BindAttrs(ctx, reg1+"/resources/"+r.name, r.addr, r.attrs); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	// The broker: "a free compute node with at least 64 CPUs".
 	fmt.Println("placement query: (&(type=compute)(cpus>=64)(state=free))")
-	res, err := ic.Search(reg1+"/resources", "(&(type=compute)(cpus>=64)(state=free))",
+	res, err := ic.Search(ctx, reg1+"/resources", "(&(type=compute)(cpus>=64)(state=free))",
 		&core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
 	if err != nil {
 		log.Fatal(err)
@@ -93,14 +100,14 @@ func main() {
 
 	// A job claims the node: state flips, the monitor sees it.
 	fmt.Println("claiming emory/node02")
-	if err := ic.ModifyAttributes(reg1+"/resources/emory/node02", []core.AttributeMod{
+	if err := ic.ModifyAttributes(ctx, reg1+"/resources/emory/node02", []core.AttributeMod{
 		{Op: core.ModReplace, Attr: core.Attribute{ID: "state", Values: []string{"busy"}}},
 	}); err != nil {
 		log.Fatal(err)
 	}
 
 	// Replica 2 answers the same queries (read-any).
-	res, err = ic.Search(reg2+"/resources", "(state=busy)",
+	res, err = ic.Search(ctx, reg2+"/resources", "(state=busy)",
 		&core.SearchControls{Scope: core.ScopeSubtree})
 	if err != nil {
 		log.Fatal(err)
@@ -114,7 +121,7 @@ func main() {
 	fmt.Println("crashing replica 1 …")
 	_ = n1.Close()
 	time.Sleep(500 * time.Millisecond)
-	obj, err := ic.Lookup(reg2 + "/resources/emory/node01")
+	obj, err := ic.Lookup(ctx, reg2+"/resources/emory/node01")
 	if err != nil {
 		log.Fatal(err)
 	}

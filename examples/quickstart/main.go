@@ -10,8 +10,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"gondi/internal/core"
 	"gondi/internal/hdns"
@@ -45,19 +47,24 @@ func main() {
 	hdnssp.Register()
 	ic := core.NewInitialContext(nil)
 
+	// Every operation takes a context first; its deadline rides the wire
+	// to the backing service, whichever technology that turns out to be.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
 	jiniURL := "jini://" + lus.Addr()
 	hdnsURL := "hdns://" + node.Addr()
 
 	// The same operations work against both services.
 	for _, base := range []string{jiniURL, hdnsURL} {
-		if _, err := ic.CreateSubcontext(base + "/printers"); err != nil {
+		if _, err := ic.CreateSubcontext(ctx, base+"/printers"); err != nil {
 			log.Fatal(err)
 		}
-		if err := ic.BindAttrs(base+"/printers/laser-1", "ipp://10.0.0.12:631",
+		if err := ic.BindAttrs(ctx, base+"/printers/laser-1", "ipp://10.0.0.12:631",
 			core.NewAttributes("location", "room-215", "color", "no")); err != nil {
 			log.Fatal(err)
 		}
-		if err := ic.BindAttrs(base+"/printers/ink-1", "ipp://10.0.0.13:631",
+		if err := ic.BindAttrs(ctx, base+"/printers/ink-1", "ipp://10.0.0.13:631",
 			core.NewAttributes("location", "room-110", "color", "yes")); err != nil {
 			log.Fatal(err)
 		}
@@ -65,7 +72,7 @@ func main() {
 
 	fmt.Println("== lookup through both providers ==")
 	for _, base := range []string{jiniURL, hdnsURL} {
-		obj, err := ic.Lookup(base + "/printers/laser-1")
+		obj, err := ic.Lookup(ctx, base+"/printers/laser-1")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +81,7 @@ func main() {
 
 	fmt.Println("== attribute search: color printers, either service ==")
 	for _, base := range []string{jiniURL, hdnsURL} {
-		res, err := ic.Search(base+"/printers", "(color=yes)",
+		res, err := ic.Search(ctx, base+"/printers", "(color=yes)",
 			&core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
 		if err != nil {
 			log.Fatal(err)
@@ -85,13 +92,13 @@ func main() {
 	}
 
 	fmt.Println("== atomic bind: second bind of a taken name fails ==")
-	err = ic.Bind(hdnsURL+"/printers/laser-1", "conflict")
+	err = ic.Bind(ctx, hdnsURL+"/printers/laser-1", "conflict")
 	fmt.Printf("  hdns: %v\n", err)
-	err = ic.Bind(jiniURL+"/printers/laser-1", "conflict")
+	err = ic.Bind(ctx, jiniURL+"/printers/laser-1", "conflict")
 	fmt.Printf("  jini: %v\n", err)
 
 	fmt.Println("== listing is uniform too ==")
-	pairs, err := ic.List(hdnsURL + "/printers")
+	pairs, err := ic.List(ctx, hdnsURL+"/printers")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,6 +20,11 @@ import (
 )
 
 func main() {
+	// One deadline for the demo's control operations; event delivery and
+	// lease renewal run on their own clocks in the background.
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancelCtx()
+
 	lus, err := jini.NewLUS(jini.LUSConfig{
 		ListenAddr:   "127.0.0.1:0",
 		Groups:       []string{"building-3"},
@@ -38,7 +44,7 @@ func main() {
 	}
 	defer watcher.Close()
 	events := make(chan jini.ServiceEvent, 16)
-	cancel, err := watcher.Notify(
+	cancel, err := watcher.Notify(ctx,
 		jini.ServiceTemplate{Types: []string{"print.Service"}},
 		jini.TransitionNoMatchMatch|jini.TransitionMatchMatch|jini.TransitionMatchNoMatch,
 		time.Minute,
@@ -58,7 +64,7 @@ func main() {
 	printerSide := regs[0]
 	defer printerSide.Close()
 
-	reg, err := printerSide.Register(jini.ServiceItem{
+	reg, err := printerSide.Register(ctx, jini.ServiceItem{
 		Types:   []string{"print.Service", "device.Service"},
 		Service: []byte("ipp://10.0.0.12:631"),
 		Entries: []jini.Entry{
@@ -82,7 +88,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
-	items, err := client.Lookup(jini.ServiceTemplate{
+	items, err := client.Lookup(ctx, jini.ServiceTemplate{
 		Types:   []string{"print.Service"},
 		Entries: []jini.Entry{jini.NewEntry("Location", "floor", "2")},
 	}, 0)
@@ -94,7 +100,7 @@ func main() {
 	}
 
 	// Attribute change fires a MATCH_MATCH event.
-	if _, err := printerSide.Register(jini.ServiceItem{
+	if _, err := printerSide.Register(ctx, jini.ServiceItem{
 		ID:      reg.ID,
 		Types:   []string{"print.Service", "device.Service"},
 		Service: []byte("ipp://10.0.0.12:631"),

@@ -5,6 +5,7 @@ package gondi
 // client API — the paper's end-to-end claim.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"gondi/internal/core"
+	"gondi/internal/costmodel"
 	"gondi/internal/dnssrv"
 	"gondi/internal/hdns"
 	"gondi/internal/jgroups"
@@ -50,6 +52,7 @@ type world struct {
 }
 
 func buildWorld(t *testing.T) *world {
+	ctx := context.Background()
 	t.Helper()
 	registerAll()
 	w := &world{fabric: jgroups.NewFabric()}
@@ -97,10 +100,10 @@ func buildWorld(t *testing.T) *world {
 
 	// Link the leaves into HDNS (the §6 federation-building step).
 	hdnsURL := "hdns://" + w.nodes[0].Addr()
-	if err := w.ic.Bind(hdnsURL+"/dcl", core.NewContextReference("ldap://"+w.ldap.Addr()+"/dc=dcl")); err != nil {
+	if err := w.ic.Bind(ctx, hdnsURL+"/dcl", core.NewContextReference("ldap://"+w.ldap.Addr()+"/dc=dcl")); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.ic.Bind(hdnsURL+"/devices", core.NewContextReference("jini://"+w.lus.Addr())); err != nil {
+	if err := w.ic.Bind(ctx, hdnsURL+"/devices", core.NewContextReference("jini://"+w.lus.Addr())); err != nil {
 		t.Fatal(err)
 	}
 	return w
@@ -111,61 +114,63 @@ func (w *world) root() string {
 }
 
 func TestFederationPaperScenario(t *testing.T) {
+	ctx := context.Background()
 	w := buildWorld(t)
 	ic := w.ic
 
 	// Write through the full DNS -> HDNS -> LDAP chain.
-	if err := ic.BindAttrs(w.root()+"/dcl/mokey", "mokey:22",
+	if err := ic.BindAttrs(ctx, w.root()+"/dcl/mokey", "mokey:22",
 		core.NewAttributes("type", "workstation")); err != nil {
 		t.Fatal(err)
 	}
 	// Read back through the same chain.
-	obj, err := ic.Lookup(w.root() + "/dcl/mokey")
+	obj, err := ic.Lookup(ctx, w.root()+"/dcl/mokey")
 	if err != nil || obj != "mokey:22" {
 		t.Fatalf("federated lookup = %v, %v", obj, err)
 	}
 	// Attributes across the chain.
-	attrs, err := ic.GetAttributes(w.root() + "/dcl/mokey")
+	attrs, err := ic.GetAttributes(ctx, w.root()+"/dcl/mokey")
 	if err != nil || attrs.GetFirst("type") != "workstation" {
 		t.Fatalf("federated attrs = %v, %v", attrs, err)
 	}
 	// Search pushed to the LDAP leaf across the chain.
-	res, err := ic.Search(w.root()+"/dcl", "(type=workstation)",
+	res, err := ic.Search(ctx, w.root()+"/dcl", "(type=workstation)",
 		&core.SearchControls{Scope: core.ScopeSubtree})
 	if err != nil || len(res) != 1 || res[0].Name != "mokey" {
 		t.Fatalf("federated search = %+v, %v", res, err)
 	}
 	// The Jini leaf through the same root.
-	if err := ic.Bind(w.root()+"/devices/scanner", "scan://10.0.0.9"); err != nil {
+	if err := ic.Bind(ctx, w.root()+"/devices/scanner", "scan://10.0.0.9"); err != nil {
 		t.Fatal(err)
 	}
-	obj, err = ic.Lookup(w.root() + "/devices/scanner")
+	obj, err = ic.Lookup(ctx, w.root()+"/devices/scanner")
 	if err != nil || obj != "scan://10.0.0.9" {
 		t.Fatalf("jini leaf = %v, %v", obj, err)
 	}
 	// Listing through the chain lands on the LDAP leaf.
-	pairs, err := ic.List(w.root() + "/dcl")
+	pairs, err := ic.List(ctx, w.root()+"/dcl")
 	if err != nil || len(pairs) != 1 || pairs[0].Name != "mokey" {
 		t.Fatalf("federated list = %+v, %v", pairs, err)
 	}
 	// Unbind across the chain.
-	if err := ic.Unbind(w.root() + "/dcl/mokey"); err != nil {
+	if err := ic.Unbind(ctx, w.root()+"/dcl/mokey"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ic.Lookup(w.root() + "/dcl/mokey"); !errors.Is(err, core.ErrNotFound) {
+	if _, err := ic.Lookup(ctx, w.root()+"/dcl/mokey"); !errors.Is(err, core.ErrNotFound) {
 		t.Fatalf("after unbind: %v", err)
 	}
 }
 
 func TestFederationReadAnyReplica(t *testing.T) {
+	ctx := context.Background()
 	w := buildWorld(t)
 	ic := w.ic
-	if err := ic.Bind("hdns://"+w.nodes[0].Addr()+"/shared", "value"); err != nil {
+	if err := ic.Bind(ctx, "hdns://"+w.nodes[0].Addr()+"/shared", "value"); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(3 * time.Second)
 	for {
-		obj, err := ic.Lookup("hdns://" + w.nodes[1].Addr() + "/shared")
+		obj, err := ic.Lookup(ctx, "hdns://"+w.nodes[1].Addr()+"/shared")
 		if err == nil && obj == "value" {
 			break
 		}
@@ -185,6 +190,7 @@ type deployment struct {
 }
 
 func TestTypedObjectsThroughEveryProvider(t *testing.T) {
+	ctx := context.Background()
 	w := buildWorld(t)
 	core.RegisterType(deployment{})
 	want := deployment{Host: "h1", Port: 8443, Tags: []string{"prod", "edge"},
@@ -200,10 +206,10 @@ func TestTypedObjectsThroughEveryProvider(t *testing.T) {
 		"file://" + dir + "/typed",
 	}
 	for _, url := range targets {
-		if err := w.ic.Bind(url, want); err != nil {
+		if err := w.ic.Bind(ctx, url, want); err != nil {
 			t.Fatalf("%s: bind: %v", url, err)
 		}
-		obj, err := w.ic.Lookup(url)
+		obj, err := w.ic.Lookup(ctx, url)
 		if err != nil {
 			t.Fatalf("%s: lookup: %v", url, err)
 		}
@@ -217,23 +223,24 @@ func TestTypedObjectsThroughEveryProvider(t *testing.T) {
 
 // A chain of links: mem -> file -> hdns resolves transitively.
 func TestMultiHopHeterogeneousChain(t *testing.T) {
+	ctx := context.Background()
 	w := buildWorld(t)
 	memsp.ResetSpaces()
 	dir := t.TempDir()
 	ic := w.ic
 
-	if err := ic.Bind("hdns://"+w.nodes[0].Addr()+"/leafval", "gold"); err != nil {
+	if err := ic.Bind(ctx, "hdns://"+w.nodes[0].Addr()+"/leafval", "gold"); err != nil {
 		t.Fatal(err)
 	}
-	if err := ic.Bind("file://"+dir+"/tohdns",
+	if err := ic.Bind(ctx, "file://"+dir+"/tohdns",
 		core.NewContextReference("hdns://"+w.nodes[0].Addr())); err != nil {
 		t.Fatal(err)
 	}
-	if err := ic.Bind("mem://chain/tofile",
+	if err := ic.Bind(ctx, "mem://chain/tofile",
 		core.NewContextReference("file://"+dir)); err != nil {
 		t.Fatal(err)
 	}
-	obj, err := ic.Lookup("mem://chain/tofile/tohdns/leafval")
+	obj, err := ic.Lookup(ctx, "mem://chain/tofile/tohdns/leafval")
 	if err != nil || obj != "gold" {
 		t.Fatalf("3-hop chain = %v, %v", obj, err)
 	}
@@ -241,16 +248,17 @@ func TestMultiHopHeterogeneousChain(t *testing.T) {
 
 // Events flow out of the federated space.
 func TestFederatedWatch(t *testing.T) {
+	ctx := context.Background()
 	w := buildWorld(t)
 	ic := w.ic
 	got := make(chan core.NamingEvent, 8)
-	cancel, err := ic.Watch("hdns://"+w.nodes[0].Addr()+"/", core.ScopeSubtree,
+	cancel, err := ic.Watch(ctx, "hdns://"+w.nodes[0].Addr()+"/", core.ScopeSubtree,
 		func(e core.NamingEvent) { got <- e })
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cancel()
-	if err := ic.Bind("hdns://"+w.nodes[0].Addr()+"/announced", 1); err != nil {
+	if err := ic.Bind(ctx, "hdns://"+w.nodes[0].Addr()+"/announced", 1); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -266,9 +274,10 @@ func TestFederatedWatch(t *testing.T) {
 // The federation survives an HDNS replica crash: the DNS anchor can point
 // clients at the surviving node.
 func TestFederationSurvivesReplicaCrash(t *testing.T) {
+	ctx := context.Background()
 	w := buildWorld(t)
 	ic := w.ic
-	if err := ic.BindAttrs(w.root()+"/dcl/box", "up", nil); err != nil {
+	if err := ic.BindAttrs(ctx, w.root()+"/dcl/box", "up", nil); err != nil {
 		t.Fatal(err)
 	}
 	// Crash the anchored node; repoint the anchor at the survivor (the
@@ -280,7 +289,7 @@ func TestFederationSurvivesReplicaCrash(t *testing.T) {
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		obj, err := ic.Lookup(w.root() + "/dcl/box")
+		obj, err := ic.Lookup(ctx, w.root()+"/dcl/box")
 		if err == nil && obj == "up" {
 			return
 		}
@@ -293,9 +302,10 @@ func TestFederationSurvivesReplicaCrash(t *testing.T) {
 
 // Concurrent mixed traffic over the whole federation.
 func TestFederationConcurrentClients(t *testing.T) {
+	ctx := context.Background()
 	w := buildWorld(t)
 	hdnsURL := "hdns://" + w.nodes[0].Addr()
-	if _, err := w.ic.CreateSubcontext(hdnsURL + "/load"); err != nil {
+	if _, err := w.ic.CreateSubcontext(ctx, hdnsURL+"/load"); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -306,11 +316,11 @@ func TestFederationConcurrentClients(t *testing.T) {
 			ic := core.NewInitialContext(map[string]any{core.EnvPoolID: g})
 			for i := 0; i < 15; i++ {
 				name := fmt.Sprintf("%s/load/g%d-%d", hdnsURL, g, i)
-				if err := ic.Bind(name, g*100+i); err != nil {
+				if err := ic.Bind(ctx, name, g*100+i); err != nil {
 					t.Errorf("bind %s: %v", name, err)
 					return
 				}
-				obj, err := ic.Lookup(name)
+				obj, err := ic.Lookup(ctx, name)
 				if err != nil || obj != g*100+i {
 					t.Errorf("lookup %s = %v, %v", name, obj, err)
 					return
@@ -319,8 +329,118 @@ func TestFederationConcurrentClients(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	pairs, err := w.ic.List(hdnsURL + "/load")
+	pairs, err := w.ic.List(ctx, hdnsURL+"/load")
 	if err != nil || len(pairs) != 90 {
 		t.Fatalf("final list = %d, %v", len(pairs), err)
+	}
+}
+
+// The caller's deadline travels across federation hops. The DNS and HDNS
+// hops resolve quickly; the LDAP leaf's read station is deliberately
+// slower than the deadline, so the final hop exceeds it — and the error
+// that comes back up through two continuations still unwraps to
+// context.DeadlineExceeded inside the core typed error.
+func TestFederatedDeadlinePropagation(t *testing.T) {
+	registerAll()
+	bg := context.Background()
+	slow := &costmodel.Costs{
+		Read:  costmodel.NewStation(1, 2*time.Second),
+		Write: costmodel.NewStation(1, time.Millisecond),
+	}
+	ldap, err := ldapsrv.NewServer("127.0.0.1:0", ldapsrv.ServerConfig{BaseDN: "dc=slow", Costs: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ldap.Close()
+
+	fabric := jgroups.NewFabric()
+	node, err := hdns.NewNode(hdns.NodeConfig{
+		Group: "ddl-campus", Transport: fabric.Endpoint("ddl-n0"), ListenAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	dns, err := dnssrv.NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dns.Close()
+	zone := dnssrv.NewZone("global")
+	zone.Add(dnssrv.RR{Name: "mathcs.emory.global", Type: dnssrv.TypeTXT,
+		Txt: []string{"hdns://" + node.Addr()}})
+	dns.AddZone(zone)
+
+	ic := core.NewInitialContext(nil)
+	// Setup writes avoid the slow read station; no deadline needed.
+	if err := ic.Bind(bg, "hdns://"+node.Addr()+"/dcl",
+		core.NewContextReference("ldap://"+ldap.Addr()+"/dc=slow")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ic.Bind(bg, "ldap://"+ldap.Addr()+"/dc=slow/mokey", "v"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(bg, 500*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = ic.Lookup(ctx, "dns://"+dns.Addr()+"/global/emory/mathcs/dcl/mokey")
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded through 2 federation hops, got %v", err)
+	}
+	var ne *core.NamingError
+	if !errors.As(err, &ne) {
+		t.Fatalf("deadline error not wrapped in core.NamingError: %T %v", err, err)
+	}
+	if elapsed > 1500*time.Millisecond {
+		t.Fatalf("caller waited %v past a 500ms deadline", elapsed)
+	}
+}
+
+// A fabric partition must not wedge callers. In virtual-synchrony mode a
+// non-coordinator's write is forwarded to the sequencer; partitioned away
+// from it, the HDNS node's write blocks server-side — but the caller's
+// deadline rides the RPC and cuts the client loose long before the
+// server's own write timeout.
+func TestPartitionedWriteHonorsDeadline(t *testing.T) {
+	registerAll()
+	bg := context.Background()
+	fabric := jgroups.NewFabric()
+	var nodes []*hdns.Node
+	for i := 0; i < 2; i++ {
+		n, err := hdns.NewNode(hdns.NodeConfig{
+			Group:      "part-campus",
+			Transport:  fabric.Endpoint(jgroups.Address(fmt.Sprintf("part-n%d", i))),
+			Stack:      jgroups.VirtualSynchronyConfig(),
+			ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+	ic := core.NewInitialContext(nil)
+	// Sanity: the replicated write path works before the partition.
+	if err := ic.Bind(bg, "hdns://"+nodes[1].Addr()+"/pre", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the follower off from the sequencer.
+	fabric.Partition([]jgroups.Address{"part-n0"}, []jgroups.Address{"part-n1"})
+
+	ctx, cancel := context.WithTimeout(bg, 400*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := ic.Bind(ctx, "hdns://"+nodes[1].Addr()+"/during", 2)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("partitioned write: want DeadlineExceeded, got %v", err)
+	}
+	// The server-side write timeout is 10s; the caller must be released
+	// by its own deadline, not the server's.
+	if elapsed > 2*time.Second {
+		t.Fatalf("caller waited %v past a 400ms deadline", elapsed)
 	}
 }

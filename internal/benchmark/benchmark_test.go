@@ -1,6 +1,7 @@
 package benchmark
 
 import (
+	"context"
 	"errors"
 	"os"
 	"testing"
@@ -28,9 +29,9 @@ func find(e *Experiment, label string) Series {
 
 func TestHarnessClosedLoop(t *testing.T) {
 	// A no-op workload must track the ideal 20 Hz per-thread line.
-	p, err := RunClosedLoop(5, 100*time.Millisecond, 500*time.Millisecond,
-		func(int) (func() error, func(), error) {
-			return func() error { return nil }, nil, nil
+	p, err := RunClosedLoop(5, 100*time.Millisecond, 500*time.Millisecond, 0,
+		func(int) (func(ctx context.Context) error, func(), error) {
+			return func(context.Context) error { return nil }, nil, nil
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -45,9 +46,9 @@ func TestHarnessClosedLoop(t *testing.T) {
 
 func TestHarnessErrorsCounted(t *testing.T) {
 	boom := errors.New("boom")
-	p, err := RunClosedLoop(2, 50*time.Millisecond, 300*time.Millisecond,
-		func(int) (func() error, func(), error) {
-			return func() error { return boom }, nil, nil
+	p, err := RunClosedLoop(2, 50*time.Millisecond, 300*time.Millisecond, 0,
+		func(int) (func(ctx context.Context) error, func(), error) {
+			return func(context.Context) error { return boom }, nil, nil
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -58,8 +59,8 @@ func TestHarnessErrorsCounted(t *testing.T) {
 }
 
 func TestHarnessFactoryFailure(t *testing.T) {
-	_, err := RunClosedLoop(1, 10*time.Millisecond, 10*time.Millisecond,
-		func(int) (func() error, func(), error) {
+	_, err := RunClosedLoop(1, 10*time.Millisecond, 10*time.Millisecond, 0,
+		func(int) (func(ctx context.Context) error, func(), error) {
 			return nil, nil, errors.New("cannot connect")
 		})
 	if err == nil {
@@ -73,6 +74,9 @@ func TestHarnessFactoryFailure(t *testing.T) {
 func TestFig2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throughput sweep")
+	}
+	if raceEnabled {
+		t.Skip("throughput shapes are calibrated for non-instrumented builds")
 	}
 	e, err := RunFig2(shapeOptions())
 	if err != nil {
@@ -104,6 +108,9 @@ func TestFig3Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throughput sweep")
 	}
+	if raceEnabled {
+		t.Skip("throughput shapes are calibrated for non-instrumented builds")
+	}
 	e, err := RunFig3(shapeOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -129,6 +136,9 @@ func TestFig3Shape(t *testing.T) {
 func TestFig4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throughput sweep")
+	}
+	if raceEnabled {
+		t.Skip("throughput shapes are calibrated for non-instrumented builds")
 	}
 	e, err := RunFig4(shapeOptions())
 	if err != nil {
@@ -156,6 +166,9 @@ func TestFig5Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throughput sweep")
 	}
+	if raceEnabled {
+		t.Skip("throughput shapes are calibrated for non-instrumented builds")
+	}
 	e, err := RunFig5(shapeOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -177,6 +190,9 @@ func TestFig6Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throughput sweep")
 	}
+	if raceEnabled {
+		t.Skip("throughput shapes are calibrated for non-instrumented builds")
+	}
 	e, err := RunFig6(shapeOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -196,6 +212,9 @@ func TestFig6Shape(t *testing.T) {
 func TestFig7Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throughput sweep")
+	}
+	if raceEnabled {
+		t.Skip("throughput shapes are calibrated for non-instrumented builds")
 	}
 	e, err := RunFig7(shapeOptions())
 	if err != nil {
@@ -224,6 +243,9 @@ func TestAblationQueueBound(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throughput sweep")
 	}
+	if raceEnabled {
+		t.Skip("throughput shapes are calibrated for non-instrumented builds")
+	}
 	e, err := RunAblationQueueBound(shapeOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -246,6 +268,9 @@ func TestFederationDepthAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throughput sweep")
 	}
+	if raceEnabled {
+		t.Skip("throughput shapes are calibrated for non-instrumented builds")
+	}
 	opts := Options{Clients: []int{4}, Warmup: 150 * time.Millisecond, Measure: 700 * time.Millisecond}
 	e, err := RunAblationFederationDepth(opts)
 	if err != nil {
@@ -259,5 +284,23 @@ func TestFederationDepthAblation(t *testing.T) {
 		if s.Points[0].Errors > 0 {
 			t.Errorf("series %s had %d errors", s.Label, s.Points[0].Errors)
 		}
+	}
+}
+
+func TestHarnessOpTimeout(t *testing.T) {
+	// An op that never returns on its own must be cut loose by the
+	// per-operation deadline instead of wedging its client thread.
+	p, err := RunClosedLoop(2, 20*time.Millisecond, 200*time.Millisecond, 10*time.Millisecond,
+		func(int) (func(ctx context.Context) error, func(), error) {
+			return func(ctx context.Context) error {
+				<-ctx.Done()
+				return ctx.Err()
+			}, nil, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Errors == 0 {
+		t.Errorf("blocking ops never timed out: %+v", p)
 	}
 }

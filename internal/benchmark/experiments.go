@@ -1,6 +1,7 @@
 package benchmark
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"strings"
@@ -52,6 +53,7 @@ func newJiniWorld() (*jini.LUS, func(), error) {
 	}
 	cleanup := func() { lus.Close() }
 
+	bg := context.Background()
 	// Raw lookup target.
 	seedReg, err := jini.DialRegistrar(lus.Addr(), 5*time.Second)
 	if err != nil {
@@ -59,7 +61,7 @@ func newJiniWorld() (*jini.LUS, func(), error) {
 		return nil, nil, err
 	}
 	defer seedReg.Close()
-	if _, err := seedReg.Register(jini.ServiceItem{
+	if _, err := seedReg.Register(bg, jini.ServiceItem{
 		ID: "raw-target", Types: []string{"bench.Service"}, Service: rawStub,
 	}, jini.MaxLease); err != nil {
 		cleanup()
@@ -68,12 +70,12 @@ func newJiniWorld() (*jini.LUS, func(), error) {
 
 	// SPI lookup target, bound through the provider so its item carries
 	// the wrapped (marshalled) form.
-	seedCtx, err := jinisp.Open(lus.Addr(), map[string]any{jinisp.EnvLeaseMs: int(jini.MaxLease.Milliseconds())})
+	seedCtx, err := jinisp.Open(bg, lus.Addr(), map[string]any{jinisp.EnvLeaseMs: int(jini.MaxLease.Milliseconds())})
 	if err != nil {
 		cleanup()
 		return nil, nil, err
 	}
-	if err := seedCtx.Bind("target", spiPayload); err != nil {
+	if err := seedCtx.Bind(bg, "target", spiPayload); err != nil {
 		seedCtx.Close()
 		cleanup()
 		return nil, nil, err
@@ -84,15 +86,15 @@ func newJiniWorld() (*jini.LUS, func(), error) {
 }
 
 func jiniRawFactory(addr string, write bool) ClientFactory {
-	return func(client int) (func() error, func(), error) {
+	return func(client int) (func(ctx context.Context) error, func(), error) {
 		reg, err := jini.DialRegistrar(addr, 5*time.Second)
 		if err != nil {
 			return nil, nil, err
 		}
 		if !write {
 			tmpl := jini.ServiceTemplate{ID: "raw-target"}
-			return func() error {
-				items, err := reg.Lookup(tmpl, 1)
+			return func(ctx context.Context) error {
+				items, err := reg.Lookup(ctx, tmpl, 1)
 				if err != nil {
 					return err
 				}
@@ -105,15 +107,15 @@ func jiniRawFactory(addr string, write bool) ClientFactory {
 		item := jini.ServiceItem{
 			ID: jini.ServiceID(fmt.Sprintf("raw-write-%d", client)), Service: rawStub,
 		}
-		return func() error {
-			_, err := reg.Register(item, jini.DefaultLease)
+		return func(ctx context.Context) error {
+			_, err := reg.Register(ctx, item, jini.DefaultLease)
 			return err
 		}, func() { reg.Close() }, nil
 	}
 }
 
 func jiniSPIFactory(addr, mode string, write bool) ClientFactory {
-	return func(client int) (func() error, func(), error) {
+	return func(client int) (func(ctx context.Context) error, func(), error) {
 		env := map[string]any{
 			jinisp.EnvBind: mode,
 			// Writes target per-client names, so each name has a
@@ -123,20 +125,20 @@ func jiniSPIFactory(addr, mode string, write bool) ClientFactory {
 			jinisp.EnvLockSlot:  0,
 			core.EnvPoolID:      client,
 		}
-		ctx, err := jinisp.Open(addr, env)
+		pc, err := jinisp.Open(context.Background(), addr, env)
 		if err != nil {
 			return nil, nil, err
 		}
 		if !write {
-			return func() error {
-				_, err := ctx.Lookup("target")
+			return func(ctx context.Context) error {
+				_, err := pc.Lookup(ctx, "target")
 				return err
-			}, func() { ctx.Close() }, nil
+			}, func() { pc.Close() }, nil
 		}
 		name := fmt.Sprintf("w%d", client)
-		return func() error {
-			return ctx.Rebind(name, spiPayload)
-		}, func() { ctx.Close() }, nil
+		return func(ctx context.Context) error {
+			return pc.Rebind(ctx, name, spiPayload)
+		}, func() { pc.Close() }, nil
 	}
 }
 
@@ -227,7 +229,7 @@ func newHDNSWorld(group string, costs func() *costmodel.Costs, stack jgroups.Con
 		return nil, nil, err
 	}
 	data, _ := core.Marshal(spiPayload)
-	if err := seed.Bind([]string{"target"}, data, map[string][]string{"type": {"bench"}}, 0); err != nil {
+	if err := seed.Bind(context.Background(), []string{"target"}, data, map[string][]string{"type": {"bench"}}, 0); err != nil {
 		seed.Close()
 		n2.Close()
 		n1.Close()
@@ -238,14 +240,14 @@ func newHDNSWorld(group string, costs func() *costmodel.Costs, stack jgroups.Con
 }
 
 func hdnsRawFactory(addr string, write bool) ClientFactory {
-	return func(client int) (func() error, func(), error) {
+	return func(client int) (func(ctx context.Context) error, func(), error) {
 		c, err := hdns.Dial(addr, "", 5*time.Second)
 		if err != nil {
 			return nil, nil, err
 		}
 		if !write {
-			return func() error {
-				v, err := c.Lookup([]string{"target"})
+			return func(ctx context.Context) error {
+				v, err := c.Lookup(ctx, []string{"target"})
 				if err != nil {
 					return err
 				}
@@ -257,28 +259,28 @@ func hdnsRawFactory(addr string, write bool) ClientFactory {
 		}
 		name := []string{fmt.Sprintf("w%d", client)}
 		data, _ := core.Marshal(spiPayload)
-		return func() error {
-			return c.Rebind(name, data, nil, false, 0)
+		return func(ctx context.Context) error {
+			return c.Rebind(ctx, name, data, nil, false, 0)
 		}, func() { c.Close() }, nil
 	}
 }
 
 func hdnsSPIFactory(addr string, write bool) ClientFactory {
-	return func(client int) (func() error, func(), error) {
-		ctx, err := hdnssp.Open(addr, map[string]any{core.EnvPoolID: client})
+	return func(client int) (func(ctx context.Context) error, func(), error) {
+		pc, err := hdnssp.Open(context.Background(), addr, map[string]any{core.EnvPoolID: client})
 		if err != nil {
 			return nil, nil, err
 		}
 		if !write {
-			return func() error {
-				_, err := ctx.Lookup("target")
+			return func(ctx context.Context) error {
+				_, err := pc.Lookup(ctx, "target")
 				return err
-			}, func() { ctx.Close() }, nil
+			}, func() { pc.Close() }, nil
 		}
 		name := fmt.Sprintf("w%d", client)
-		return func() error {
-			return ctx.Rebind(name, spiPayload)
-		}, func() { ctx.Close() }, nil
+		return func(ctx context.Context) error {
+			return pc.Rebind(ctx, name, spiPayload)
+		}, func() { pc.Close() }, nil
 	}
 }
 
@@ -354,15 +356,15 @@ func RunFig6(opts Options) (*Experiment, error) {
 	}
 	defer cleanup()
 	e := &Experiment{ID: "fig6", Title: "JNDI-DNS provider, lookup (read) ops/s"}
-	factory := func(client int) (func() error, func(), error) {
-		ctx, rest, err := core.OpenURL("dns://"+srv.Addr()+"/global", nil)
+	factory := func(client int) (func(ctx context.Context) error, func(), error) {
+		nc, rest, err := core.OpenURL(context.Background(), "dns://"+srv.Addr()+"/global", nil)
 		if err != nil {
 			return nil, nil, err
 		}
-		dc := ctx.(*dnssp.Context)
+		dc := nc.(*dnssp.Context)
 		base := rest.String()
-		return func() error {
-			attrs, err := dc.GetAttributes(base + "/target")
+		return func(ctx context.Context) error {
+			attrs, err := dc.GetAttributes(ctx, base+"/target")
 			if err != nil {
 				return err
 			}
@@ -370,7 +372,7 @@ func RunFig6(opts Options) (*Experiment, error) {
 				return fmt.Errorf("no TXT")
 			}
 			return nil
-		}, func() { ctx.Close() }, nil
+		}, func() { nc.Close() }, nil
 	}
 	s, err := Sweep("dns", opts, factory)
 	if err != nil {
@@ -393,12 +395,13 @@ func newLDAPWorld() (*ldapsrv.Server, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	seed, err := ldapsp.Open(srv.Addr(), "dc=bench", map[string]any{})
+	bg := context.Background()
+	seed, err := ldapsp.Open(bg, srv.Addr(), "dc=bench", map[string]any{})
 	if err != nil {
 		srv.Close()
 		return nil, nil, err
 	}
-	if err := seed.BindAttrs("target", spiPayload, core.NewAttributes("type", "bench")); err != nil {
+	if err := seed.BindAttrs(bg, "target", spiPayload, core.NewAttributes("type", "bench")); err != nil {
 		seed.Close()
 		srv.Close()
 		return nil, nil, err
@@ -417,29 +420,29 @@ func RunFig7(opts Options) (*Experiment, error) {
 	defer cleanup()
 	e := &Experiment{ID: "fig7", Title: "JNDI-LDAP provider, lookup and rebind ops/s"}
 
-	readFactory := func(client int) (func() error, func(), error) {
+	readFactory := func(client int) (func(ctx context.Context) error, func(), error) {
 		// Distinct pool IDs give each client thread its own LDAP
 		// connection (the wire protocol is synchronous per
 		// connection).
-		ctx, err := ldapsp.Open(srv.Addr(), "dc=bench", map[string]any{core.EnvPoolID: client})
+		pc, err := ldapsp.Open(context.Background(), srv.Addr(), "dc=bench", map[string]any{core.EnvPoolID: client})
 		if err != nil {
 			return nil, nil, err
 		}
-		return func() error {
-			_, err := ctx.Lookup("target")
+		return func(ctx context.Context) error {
+			_, err := pc.Lookup(ctx, "target")
 			return err
-		}, func() { ctx.Close() }, nil
+		}, func() { pc.Close() }, nil
 	}
-	writeFactory := func(client int) (func() error, func(), error) {
-		ctx, err := ldapsp.Open(srv.Addr(), "dc=bench", map[string]any{core.EnvPoolID: client})
+	writeFactory := func(client int) (func(ctx context.Context) error, func(), error) {
+		pc, err := ldapsp.Open(context.Background(), srv.Addr(), "dc=bench", map[string]any{core.EnvPoolID: client})
 		if err != nil {
 			return nil, nil, err
 		}
 		name := fmt.Sprintf("w%d", client)
 		attrs := core.NewAttributes("type", "bench-write")
-		return func() error {
-			return ctx.RebindAttrs(name, spiPayload, attrs)
-		}, func() { ctx.Close() }, nil
+		return func(ctx context.Context) error {
+			return pc.RebindAttrs(ctx, name, spiPayload, attrs)
+		}, func() { pc.Close() }, nil
 	}
 	s, err := Sweep("lookup", opts, readFactory)
 	if err != nil {
@@ -482,8 +485,8 @@ func RunAblationBindSemantics(opts Options) (*Experiment, error) {
 
 // jiniSPIProxyFactory is jiniSPIFactory plus the proxy address (writes).
 func jiniSPIProxyFactory(addr, proxyAddr, mode string) ClientFactory {
-	return func(client int) (func() error, func(), error) {
-		ctx, err := jinisp.Open(addr, map[string]any{
+	return func(client int) (func(ctx context.Context) error, func(), error) {
+		pc, err := jinisp.Open(context.Background(), addr, map[string]any{
 			jinisp.EnvBind:      mode,
 			jinisp.EnvProxyAddr: proxyAddr,
 			jinisp.EnvLockSlots: 4,
@@ -494,9 +497,9 @@ func jiniSPIProxyFactory(addr, proxyAddr, mode string) ClientFactory {
 			return nil, nil, err
 		}
 		name := fmt.Sprintf("w%d", client)
-		return func() error {
-			return ctx.Rebind(name, spiPayload)
-		}, func() { ctx.Close() }, nil
+		return func(ctx context.Context) error {
+			return pc.Rebind(ctx, name, spiPayload)
+		}, func() { pc.Close() }, nil
 	}
 }
 
@@ -561,11 +564,12 @@ func RunAblationFederationDepth(opts Options) (*Experiment, error) {
 		return nil, err
 	}
 	defer ldapSrv.Close()
-	seed, err := ldapsp.Open(ldapSrv.Addr(), "dc=leaf", map[string]any{})
+	bg := context.Background()
+	seed, err := ldapsp.Open(bg, ldapSrv.Addr(), "dc=leaf", map[string]any{})
 	if err != nil {
 		return nil, err
 	}
-	if err := seed.Bind("mokey", "the-object"); err != nil {
+	if err := seed.Bind(bg, "mokey", "the-object"); err != nil {
 		seed.Close()
 		return nil, err
 	}
@@ -581,11 +585,11 @@ func RunAblationFederationDepth(opts Options) (*Experiment, error) {
 		return nil, err
 	}
 	defer node.Close()
-	hctx, err := hdnssp.Open(node.Addr(), map[string]any{})
+	hctx, err := hdnssp.Open(bg, node.Addr(), map[string]any{})
 	if err != nil {
 		return nil, err
 	}
-	if err := hctx.Bind("dcl", core.NewContextReference("ldap://"+ldapSrv.Addr()+"/dc=leaf")); err != nil {
+	if err := hctx.Bind(bg, "dcl", core.NewContextReference("ldap://"+ldapSrv.Addr()+"/dc=leaf")); err != nil {
 		hctx.Close()
 		return nil, err
 	}
@@ -612,10 +616,10 @@ func RunAblationFederationDepth(opts Options) (*Experiment, error) {
 	e := &Experiment{ID: "ablation-federation", Title: "Lookup through increasing federation depth"}
 	for _, u := range urls {
 		url := u.url
-		factory := func(client int) (func() error, func(), error) {
+		factory := func(client int) (func(ctx context.Context) error, func(), error) {
 			ic := core.NewInitialContext(nil)
-			return func() error {
-				obj, err := ic.Lookup(url)
+			return func(ctx context.Context) error {
+				obj, err := ic.Lookup(ctx, url)
 				if err != nil {
 					return err
 				}

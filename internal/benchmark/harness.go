@@ -7,6 +7,7 @@
 package benchmark
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -26,11 +27,19 @@ var DefaultClients = []int{1, 2, 5, 10, 20, 40, 60, 80, 100}
 // QuickClients is a shorter sweep for smoke runs and testing.B.
 var QuickClients = []int{1, 5, 20, 60}
 
+// DefaultOpTimeout bounds a single client operation when Options.OpTimeout
+// is zero. A closed-loop client that hangs forever would otherwise wedge
+// its thread for the rest of the sweep and silently flatten the curve.
+const DefaultOpTimeout = 2 * time.Second
+
 // Options tunes a run.
 type Options struct {
 	Clients []int
 	Warmup  time.Duration
 	Measure time.Duration
+	// OpTimeout is the per-operation deadline handed to each client op
+	// as a context; zero means DefaultOpTimeout.
+	OpTimeout time.Duration
 }
 
 // DefaultOptions mirror the paper's sweep with short windows suitable for
@@ -59,14 +68,21 @@ type Series struct {
 
 // ClientFactory builds the per-thread operation for one sweep point. It
 // returns the operation closure and a cleanup. Each client thread gets
-// its own op (own connection, own lock slot, ...).
-type ClientFactory func(client int) (op func() error, cleanup func(), err error)
+// its own op (own connection, own lock slot, ...). The op receives a
+// fresh per-call context carrying the sweep's operation deadline.
+type ClientFactory func(client int) (op func(ctx context.Context) error, cleanup func(), err error)
 
 // RunClosedLoop measures one sweep point: n client threads issuing op,
 // think-time ThinkTime, counting completions inside the measure window.
-func RunClosedLoop(n int, warmup, measure time.Duration, factory ClientFactory) (Point, error) {
+// Each op call runs under its own opTimeout deadline (DefaultOpTimeout
+// when zero), so one wedged backend cannot stall a client thread past
+// the window.
+func RunClosedLoop(n int, warmup, measure, opTimeout time.Duration, factory ClientFactory) (Point, error) {
+	if opTimeout <= 0 {
+		opTimeout = DefaultOpTimeout
+	}
 	type client struct {
-		op      func() error
+		op      func(ctx context.Context) error
 		cleanup func()
 	}
 	clients := make([]client, 0, n)
@@ -107,7 +123,9 @@ func RunClosedLoop(n int, warmup, measure time.Duration, factory ClientFactory) 
 					return
 				default:
 				}
-				err := c.op()
+				octx, cancel := context.WithTimeout(context.Background(), opTimeout)
+				err := c.op(octx)
+				cancel()
 				if measuring.Load() {
 					if err == nil {
 						completed.Add(1)
@@ -144,7 +162,7 @@ func RunClosedLoop(n int, warmup, measure time.Duration, factory ClientFactory) 
 func Sweep(label string, opts Options, factory ClientFactory) (Series, error) {
 	s := Series{Label: label}
 	for _, n := range opts.Clients {
-		p, err := RunClosedLoop(n, opts.Warmup, opts.Measure, factory)
+		p, err := RunClosedLoop(n, opts.Warmup, opts.Measure, opts.OpTimeout, factory)
 		if err != nil {
 			return s, err
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package benchmark
+
+const raceEnabled = false

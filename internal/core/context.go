@@ -1,6 +1,9 @@
 package core
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // NameClassPair is a List result: the bound name (single component,
 // relative to the listed context) and the class (Go type string) of the
@@ -58,6 +61,12 @@ type SearchResult struct {
 // Names are composite name strings (see ParseName); providers receive names
 // relative to themselves.
 //
+// Every operation takes a context.Context first. Its deadline becomes a
+// real I/O deadline on wire-backed providers, and cancellation aborts
+// in-flight calls with an error wrapping ctx.Err(). Federation
+// continuations propagate the caller's ctx across naming-system hops, so
+// one deadline bounds a whole multi-hop resolution.
+//
 // Bind has atomic test-and-set semantics: it fails with ErrAlreadyBound if
 // the name is taken. Rebind overwrites unconditionally. This distinction is
 // central to §5.1 of the paper: Jini offers only idempotent overwrite, so
@@ -65,27 +74,27 @@ type SearchResult struct {
 type Context interface {
 	// Lookup retrieves the object bound to name. Looking up the empty
 	// name returns a new context instance sharing this context's state.
-	Lookup(name string) (any, error)
+	Lookup(ctx context.Context, name string) (any, error)
 	// Bind binds name to obj; it fails if name is already bound.
-	Bind(name string, obj any) error
+	Bind(ctx context.Context, name string, obj any) error
 	// Rebind binds name to obj, replacing any existing binding.
-	Rebind(name string, obj any) error
+	Rebind(ctx context.Context, name string, obj any) error
 	// Unbind removes the binding; unbinding an unbound name succeeds
 	// (JNDI semantics), but intermediate contexts must exist.
-	Unbind(name string) error
+	Unbind(ctx context.Context, name string) error
 	// Rename moves the binding at oldName to newName; newName must not
 	// be bound.
-	Rename(oldName, newName string) error
+	Rename(ctx context.Context, oldName, newName string) error
 	// List enumerates the names and classes bound in the named context.
-	List(name string) ([]NameClassPair, error)
+	List(ctx context.Context, name string) ([]NameClassPair, error)
 	// ListBindings enumerates names, classes and objects.
-	ListBindings(name string) ([]Binding, error)
+	ListBindings(ctx context.Context, name string) ([]Binding, error)
 	// CreateSubcontext creates and binds a new context.
-	CreateSubcontext(name string) (Context, error)
+	CreateSubcontext(ctx context.Context, name string) (Context, error)
 	// DestroySubcontext removes an empty subcontext.
-	DestroySubcontext(name string) error
+	DestroySubcontext(ctx context.Context, name string) error
 	// LookupLink is Lookup but does not follow a terminal link reference.
-	LookupLink(name string) (any, error)
+	LookupLink(ctx context.Context, name string) (any, error)
 	// NameInNamespace returns this context's full name within its own
 	// naming system (not across federation boundaries).
 	NameInNamespace() (string, error)
@@ -100,19 +109,21 @@ type Context interface {
 type DirContext interface {
 	Context
 	// BindAttrs is Bind plus initial attributes.
-	BindAttrs(name string, obj any, attrs *Attributes) error
+	BindAttrs(ctx context.Context, name string, obj any, attrs *Attributes) error
 	// RebindAttrs is Rebind plus attributes; nil attrs keeps existing
 	// attributes (JNDI semantics), an empty set clears them.
-	RebindAttrs(name string, obj any, attrs *Attributes) error
+	RebindAttrs(ctx context.Context, name string, obj any, attrs *Attributes) error
 	// GetAttributes returns the named object's attributes, optionally
 	// restricted to the listed IDs.
-	GetAttributes(name string, attrIDs ...string) (*Attributes, error)
+	GetAttributes(ctx context.Context, name string, attrIDs ...string) (*Attributes, error)
 	// ModifyAttributes applies a batch of modifications atomically.
-	ModifyAttributes(name string, mods []AttributeMod) error
+	ModifyAttributes(ctx context.Context, name string, mods []AttributeMod) error
 	// Search evaluates an RFC 4515 filter under the named context.
-	Search(name string, filterStr string, controls *SearchControls) ([]SearchResult, error)
+	// Providers enforce SearchControls.TimeLimit and return partial
+	// results alongside a *TimeLimitExceededError when it fires.
+	Search(ctx context.Context, name string, filterStr string, controls *SearchControls) ([]SearchResult, error)
 	// CreateSubcontextAttrs creates a subcontext with attributes.
-	CreateSubcontextAttrs(name string, attrs *Attributes) (DirContext, error)
+	CreateSubcontextAttrs(ctx context.Context, name string, attrs *Attributes) (DirContext, error)
 }
 
 // EventType classifies naming events.
@@ -163,7 +174,9 @@ type EventContext interface {
 	// Watch registers a listener for events on target (ScopeObject
 	// watches one name, ScopeOneLevel a context's children, ScopeSubtree
 	// a whole subtree). The returned cancel function deregisters it.
-	Watch(target string, scope SearchScope, l Listener) (cancel func(), err error)
+	// ctx bounds the registration call itself, not the listener's
+	// lifetime (deregister via the returned cancel).
+	Watch(ctx context.Context, target string, scope SearchScope, l Listener) (cancel func(), err error)
 }
 
 // Lease is a time-bound grant of registration validity, the Jini leasing

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -125,7 +126,7 @@ func TestObjectFactories(t *testing.T) {
 	resetFactoriesForTest()
 	defer resetFactoriesForTest()
 
-	RegisterObjectFactory("tagger", func(obj any, name Name, env map[string]any) (any, error) {
+	RegisterObjectFactory("tagger", func(_ context.Context, obj any, name Name, env map[string]any) (any, error) {
 		if r, ok := obj.(*Reference); ok && r.Class == "fake" {
 			content, _ := r.Get("tag")
 			return fakeObj{tag: content}, nil
@@ -135,7 +136,7 @@ func TestObjectFactories(t *testing.T) {
 
 	// Named factory dispatch.
 	ref := NewReference("fake", "tagger", "tag", "hello")
-	out, err := GetObjectInstance(ref, Name{}, nil)
+	out, err := GetObjectInstance(context.Background(), ref, Name{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestObjectFactories(t *testing.T) {
 
 	// Unnamed reference offered to all factories.
 	ref2 := NewReference("fake", "", "tag", "anon")
-	out, err = GetObjectInstance(ref2, Name{}, nil)
+	out, err = GetObjectInstance(context.Background(), ref2, Name{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,19 +156,19 @@ func TestObjectFactories(t *testing.T) {
 
 	// Unknown named factory fails.
 	ref3 := NewReference("fake", "missing", "tag", "x")
-	if _, err := GetObjectInstance(ref3, Name{}, nil); err == nil {
+	if _, err := GetObjectInstance(context.Background(), ref3, Name{}, nil); err == nil {
 		t.Error("expected missing-factory error")
 	}
 
 	// Non-reference passes through.
-	out, err = GetObjectInstance("plain", Name{}, nil)
+	out, err = GetObjectInstance(context.Background(), "plain", Name{}, nil)
 	if err != nil || out != "plain" {
 		t.Errorf("got %v, %v", out, err)
 	}
 
 	// Link reference resolves to a LinkRef.
 	lref := NewReference("core.LinkRef", "", AddrLink, "target/name")
-	out, err = GetObjectInstance(lref, Name{}, nil)
+	out, err = GetObjectInstance(context.Background(), lref, Name{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestProviderRegistry(t *testing.T) {
 	defer resetSPIForTest()
 
 	called := false
-	RegisterProvider("test", ProviderFunc(func(rawURL string, env map[string]any) (Context, Name, error) {
+	RegisterProvider("test", ProviderFunc(func(_ context.Context, rawURL string, env map[string]any) (Context, Name, error) {
 		called = true
 		u, err := ParseURLName(rawURL)
 		if err != nil {
@@ -240,11 +241,11 @@ func TestProviderRegistry(t *testing.T) {
 	if _, ok := LookupProvider("TEST"); !ok {
 		t.Error("case-insensitive scheme lookup failed")
 	}
-	_, rest, err := OpenURL("test://auth/a/b", nil)
+	_, rest, err := OpenURL(context.Background(), "test://auth/a/b", nil)
 	if err != nil || !called || rest.String() != "a/b" {
 		t.Errorf("OpenURL: %v %v %v", rest, called, err)
 	}
-	if _, _, err := OpenURL("zzz://x", nil); !errors.Is(err, ErrNoProvider) {
+	if _, _, err := OpenURL(context.Background(), "zzz://x", nil); !errors.Is(err, ErrNoProvider) {
 		t.Errorf("want ErrNoProvider, got %v", err)
 	}
 	if got := Schemes(); len(got) != 1 || got[0] != "test" {
@@ -256,11 +257,11 @@ func TestInitialContextNoFactory(t *testing.T) {
 	resetSPIForTest()
 	defer resetSPIForTest()
 	ic := NewInitialContext(nil)
-	if _, err := ic.Lookup("plain/name"); !errors.Is(err, ErrNoInitialContext) {
+	if _, err := ic.Lookup(context.Background(), "plain/name"); !errors.Is(err, ErrNoInitialContext) {
 		t.Errorf("want ErrNoInitialContext, got %v", err)
 	}
 	ic2 := NewInitialContext(map[string]any{EnvInitialFactory: "ghost"})
-	if _, err := ic2.Lookup("x"); err == nil {
+	if _, err := ic2.Lookup(context.Background(), "x"); err == nil {
 		t.Error("unregistered initial factory should fail")
 	}
 }

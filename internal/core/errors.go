@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Sentinel errors returned (usually wrapped in a *NamingError) by contexts.
@@ -98,14 +100,40 @@ func (e *CannotProceedError) Error() string {
 	return fmt.Sprintf("naming: cannot proceed at %q, remaining %q", e.AltName, e.RemainingName.String())
 }
 
-// LimitExceededError reports a search that hit its count or time limit;
-// partial results are still returned alongside it.
+// LimitExceededError reports a search that hit its count limit; partial
+// results are still returned alongside it.
 type LimitExceededError struct {
 	Limit int
 }
 
 func (e *LimitExceededError) Error() string {
 	return fmt.Sprintf("naming: search limit of %d entries exceeded", e.Limit)
+}
+
+// TimeLimitExceededError reports a search that hit its
+// SearchControls.TimeLimit (the analog of LDAP's timeLimitExceeded result,
+// javax.naming.TimeLimitExceededException). Partial results gathered
+// before the limit fired are returned alongside it.
+type TimeLimitExceededError struct {
+	Limit time.Duration
+}
+
+func (e *TimeLimitExceededError) Error() string {
+	return fmt.Sprintf("naming: search time limit of %v exceeded", e.Limit)
+}
+
+// CtxErr returns ctx.Err() if ctx is already cancelled or past its
+// deadline, else nil. Providers call it at operation entry and inside
+// long-running loops; the result is wrapped by Errf so callers see
+// context.Canceled / context.DeadlineExceeded through errors.Is while
+// still getting the operation and name from the NamingError.
+func CtxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // AuthenticationError reports failed authentication with a provider.

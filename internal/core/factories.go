@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -9,7 +10,7 @@ import (
 // retrieved (typically a *Reference, or a provider-specific stub). It
 // returns (nil, nil) to decline, letting other factories run — the JNDI
 // NamingManager.getObjectInstance contract.
-type ObjectFactory func(obj any, name Name, env map[string]any) (any, error)
+type ObjectFactory func(ctx context.Context, obj any, name Name, env map[string]any) (any, error)
 
 // StateFactory translates an application object into the form a provider
 // can store (the dual of ObjectFactory). It returns (nil, nil, nil) to
@@ -59,7 +60,7 @@ func RegisterStateFactory(f StateFactory) {
 //  3. A *Reference carrying a link address yields a LinkRef.
 //  4. Otherwise every registered factory is offered the object.
 //  5. If nothing claims it, the object is returned unchanged.
-func GetObjectInstance(obj any, name Name, env map[string]any) (any, error) {
+func GetObjectInstance(ctx context.Context, obj any, name Name, env map[string]any) (any, error) {
 	ref, isRef := obj.(*Reference)
 	if isRef && ref.Factory != "" {
 		factoryMu.RLock()
@@ -74,7 +75,7 @@ func GetObjectInstance(obj any, name Name, env map[string]any) (any, error) {
 		if f == nil {
 			return nil, fmt.Errorf("naming: object factory %q not registered", ref.Factory)
 		}
-		out, err := f(obj, name, env)
+		out, err := f(ctx, obj, name, env)
 		if err != nil {
 			return nil, err
 		}
@@ -85,14 +86,14 @@ func GetObjectInstance(obj any, name Name, env map[string]any) (any, error) {
 	}
 	if isRef {
 		if url, ok := ref.Get(AddrURL); ok {
-			ctx, remaining, err := OpenURL(url, env)
+			c, remaining, err := OpenURL(ctx, url, env)
 			if err != nil {
 				return nil, err
 			}
 			if remaining.IsEmpty() {
-				return ctx, nil
+				return c, nil
 			}
-			return ctx.Lookup(remaining.String())
+			return c.Lookup(ctx, remaining.String())
 		}
 		if target, ok := ref.Get(AddrLink); ok {
 			return LinkRef{Target: target}, nil
@@ -105,7 +106,7 @@ func GetObjectInstance(obj any, name Name, env map[string]any) (any, error) {
 	}
 	factoryMu.RUnlock()
 	for _, f := range fs {
-		out, err := f(obj, name, env)
+		out, err := f(ctx, obj, name, env)
 		if err != nil {
 			return nil, err
 		}

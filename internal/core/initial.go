@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -12,7 +13,9 @@ const maxFederationHops = 16
 // (the analog of javax.naming.InitialDirContext). URL-form names are
 // dispatched to the provider registered for their scheme; plain names go to
 // the default context configured via EnvInitialFactory. Resolution follows
-// federation continuations across naming-system boundaries transparently.
+// federation continuations across naming-system boundaries transparently,
+// propagating the caller's context.Context across every hop so a single
+// deadline bounds the whole chain.
 type InitialContext struct {
 	env      map[string]any
 	defCtx   Context // lazily created
@@ -34,7 +37,7 @@ func NewInitialContext(env map[string]any) *InitialContext {
 // Environment returns the environment map (shared, not a copy).
 func (ic *InitialContext) Environment() map[string]any { return ic.env }
 
-func (ic *InitialContext) defaultContext() (Context, error) {
+func (ic *InitialContext) defaultContext(ctx context.Context) (Context, error) {
 	if ic.resolved {
 		return ic.defCtx, ic.defErr
 	}
@@ -49,16 +52,19 @@ func (ic *InitialContext) defaultContext() (Context, error) {
 		ic.defErr = fmt.Errorf("naming: initial context factory %q not registered", name)
 		return nil, ic.defErr
 	}
-	ic.defCtx, ic.defErr = f(ic.env)
+	ic.defCtx, ic.defErr = f(ctx, ic.env)
 	return ic.defCtx, ic.defErr
 }
 
 // resolve maps a caller name to (context, name-within-context).
-func (ic *InitialContext) resolve(name string) (Context, Name, error) {
-	if IsURLName(name) {
-		return OpenURL(name, ic.env)
+func (ic *InitialContext) resolve(ctx context.Context, name string) (Context, Name, error) {
+	if err := CtxErr(ctx); err != nil {
+		return nil, Name{}, err
 	}
-	ctx, err := ic.defaultContext()
+	if IsURLName(name) {
+		return OpenURL(ctx, name, ic.env)
+	}
+	c, err := ic.defaultContext(ctx)
 	if err != nil {
 		return nil, Name{}, err
 	}
@@ -66,130 +72,135 @@ func (ic *InitialContext) resolve(name string) (Context, Name, error) {
 	if err != nil {
 		return nil, Name{}, err
 	}
-	return ctx, n, nil
+	return c, n, nil
 }
 
 // continueCtx turns a CannotProceedError's resolved object into the next
 // context to dispatch to.
-func (ic *InitialContext) continueCtx(cpe *CannotProceedError) (Context, error) {
+func (ic *InitialContext) continueCtx(ctx context.Context, cpe *CannotProceedError) (Context, error) {
 	switch r := cpe.Resolved.(type) {
 	case Context:
 		return r, nil
 	case *Reference:
-		obj, err := GetObjectInstance(r, Name{}, ic.env)
+		obj, err := GetObjectInstance(ctx, r, Name{}, ic.env)
 		if err != nil {
 			return nil, err
 		}
-		if ctx, ok := obj.(Context); ok {
-			return ctx, nil
+		if c, ok := obj.(Context); ok {
+			return c, nil
 		}
 		if link, ok := obj.(LinkRef); ok {
-			target, err := ic.Lookup(link.Target)
+			target, err := ic.Lookup(ctx, link.Target)
 			if err != nil {
 				return nil, err
 			}
-			if ctx, ok := target.(Context); ok {
-				return ctx, nil
+			if c, ok := target.(Context); ok {
+				return c, nil
 			}
 		}
 		return nil, fmt.Errorf("naming: federation boundary at %q did not resolve to a context (%T)", cpe.AltName, obj)
 	case string:
-		ctx, rest, err := OpenURL(r, ic.env)
+		c, rest, err := OpenURL(ctx, r, ic.env)
 		if err != nil {
 			return nil, err
 		}
 		if !rest.IsEmpty() {
-			obj, err := ctx.Lookup(rest.String())
+			obj, err := c.Lookup(ctx, rest.String())
 			if err != nil {
 				return nil, err
 			}
-			if c, ok := obj.(Context); ok {
-				return c, nil
+			if cc, ok := obj.(Context); ok {
+				return cc, nil
 			}
 			return nil, fmt.Errorf("naming: URL %q did not resolve to a context", r)
 		}
-		return ctx, nil
+		return c, nil
 	default:
 		return nil, fmt.Errorf("naming: cannot continue past %q: unsupported boundary object %T", cpe.AltName, cpe.Resolved)
 	}
 }
 
-// withContinuations runs op against (ctx, rest), following federation
+// withContinuations runs op against (c, rest), following federation
 // continuations until op succeeds or fails with a non-continuation error.
-func (ic *InitialContext) withContinuations(ctx Context, rest Name, op func(Context, Name) error) error {
+// The caller's ctx is checked before every hop, so a deadline or cancel
+// fires between hops even when each individual hop is fast.
+func (ic *InitialContext) withContinuations(ctx context.Context, c Context, rest Name, op func(Context, Name) error) error {
 	for hop := 0; ; hop++ {
 		if hop > maxFederationHops {
 			return fmt.Errorf("naming: too many federation hops (cycle?)")
 		}
-		err := op(ctx, rest)
+		if err := CtxErr(ctx); err != nil {
+			return err
+		}
+		err := op(c, rest)
 		var cpe *CannotProceedError
 		if !errors.As(err, &cpe) {
 			return err
 		}
-		next, cerr := ic.continueCtx(cpe)
+		next, cerr := ic.continueCtx(ctx, cpe)
 		if cerr != nil {
 			return cerr
 		}
-		ctx, rest = next, cpe.RemainingName
+		c, rest = next, cpe.RemainingName
 	}
 }
 
 // postProcess converts raw provider results (references, links) into
 // application objects. depth counts link-follow steps across nested
 // lookups to terminate link cycles.
-func (ic *InitialContext) postProcess(obj any, name string, depth int) (any, error) {
+func (ic *InitialContext) postProcess(ctx context.Context, obj any, name string, depth int) (any, error) {
 	if depth > maxFederationHops {
 		return nil, fmt.Errorf("naming: reference/link chain too deep (cycle?) at %q after %d hops", name, depth)
 	}
 	if ref, ok := obj.(*Reference); ok {
-		out, err := GetObjectInstance(ref, Name{}, ic.env)
+		out, err := GetObjectInstance(ctx, ref, Name{}, ic.env)
 		if err != nil {
 			return nil, err
 		}
 		obj = out
 	}
 	if link, ok := obj.(LinkRef); ok {
-		return ic.lookupDepth(link.Target, depth+1)
+		return ic.lookupDepth(ctx, link.Target, depth+1)
 	}
 	return obj, nil
 }
 
 // Lookup resolves name across the federated name space and returns the
 // bound object, running object factories and following links.
-func (ic *InitialContext) Lookup(name string) (any, error) {
-	return ic.lookupDepth(name, 0)
+func (ic *InitialContext) Lookup(ctx context.Context, name string) (any, error) {
+	return ic.lookupDepth(ctx, name, 0)
 }
 
-func (ic *InitialContext) lookupDepth(name string, depth int) (any, error) {
+func (ic *InitialContext) lookupDepth(ctx context.Context, name string, depth int) (any, error) {
 	if depth > maxFederationHops {
 		return nil, fmt.Errorf("naming: reference/link chain too deep (cycle?) at %q after %d hops", name, depth)
 	}
-	ctx, rest, err := ic.resolve(name)
+	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("lookup", name, err)
 	}
 	var out any
-	err = ic.withContinuations(ctx, rest, func(c Context, n Name) error {
+	err = ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
 		var e error
-		out, e = c.Lookup(n.String())
+		out, e = c.Lookup(ctx, n.String())
 		return e
 	})
 	if err != nil {
 		return nil, err
 	}
-	return ic.postProcess(out, name, depth)
+	return ic.postProcess(ctx, out, name, depth)
 }
 
 // LookupLink is Lookup without following a terminal link.
-func (ic *InitialContext) LookupLink(name string) (any, error) {
-	ctx, rest, err := ic.resolve(name)
+func (ic *InitialContext) LookupLink(ctx context.Context, name string) (any, error) {
+	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("lookupLink", name, err)
 	}
 	var out any
-	err = ic.withContinuations(ctx, rest, func(c Context, n Name) error {
+	err = ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
 		var e error
-		out, e = c.LookupLink(n.String())
+		out, e = c.LookupLink(ctx, n.String())
 		return e
 	})
 	if err != nil {
@@ -198,34 +209,34 @@ func (ic *InitialContext) LookupLink(name string) (any, error) {
 	// Run object factories (a stored link Reference becomes a LinkRef)
 	// but do not follow the link itself.
 	if ref, ok := out.(*Reference); ok {
-		return GetObjectInstance(ref, Name{}, ic.env)
+		return GetObjectInstance(ctx, ref, Name{}, ic.env)
 	}
 	return out, nil
 }
 
 // Bind binds name to obj (atomic: fails if bound), applying state
 // factories first.
-func (ic *InitialContext) Bind(name string, obj any) error {
-	return ic.bindOp("bind", name, obj, nil, false)
+func (ic *InitialContext) Bind(ctx context.Context, name string, obj any) error {
+	return ic.bindOp(ctx, "bind", name, obj, nil, false)
 }
 
 // Rebind binds name to obj, replacing any existing binding.
-func (ic *InitialContext) Rebind(name string, obj any) error {
-	return ic.bindOp("rebind", name, obj, nil, true)
+func (ic *InitialContext) Rebind(ctx context.Context, name string, obj any) error {
+	return ic.bindOp(ctx, "rebind", name, obj, nil, true)
 }
 
 // BindAttrs binds with initial attributes (directory providers only).
-func (ic *InitialContext) BindAttrs(name string, obj any, attrs *Attributes) error {
-	return ic.bindOp("bind", name, obj, attrs, false)
+func (ic *InitialContext) BindAttrs(ctx context.Context, name string, obj any, attrs *Attributes) error {
+	return ic.bindOp(ctx, "bind", name, obj, attrs, false)
 }
 
 // RebindAttrs rebinds with attributes.
-func (ic *InitialContext) RebindAttrs(name string, obj any, attrs *Attributes) error {
-	return ic.bindOp("rebind", name, obj, attrs, true)
+func (ic *InitialContext) RebindAttrs(ctx context.Context, name string, obj any, attrs *Attributes) error {
+	return ic.bindOp(ctx, "rebind", name, obj, attrs, true)
 }
 
-func (ic *InitialContext) bindOp(op, name string, obj any, attrs *Attributes, overwrite bool) error {
-	ctx, rest, err := ic.resolve(name)
+func (ic *InitialContext) bindOp(ctx context.Context, op, name string, obj any, attrs *Attributes, overwrite bool) error {
+	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return Errf(op, name, err)
 	}
@@ -240,38 +251,38 @@ func (ic *InitialContext) bindOp(op, name string, obj any, attrs *Attributes, ov
 		}
 		attrs = merged
 	}
-	return ic.withContinuations(ctx, rest, func(c Context, n Name) error {
+	return ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
 		if attrs != nil {
 			dc, ok := c.(DirContext)
 			if !ok {
 				return Errf(op, name, ErrNotSupported)
 			}
 			if overwrite {
-				return dc.RebindAttrs(n.String(), state, attrs)
+				return dc.RebindAttrs(ctx, n.String(), state, attrs)
 			}
-			return dc.BindAttrs(n.String(), state, attrs)
+			return dc.BindAttrs(ctx, n.String(), state, attrs)
 		}
 		if overwrite {
-			return c.Rebind(n.String(), state)
+			return c.Rebind(ctx, n.String(), state)
 		}
-		return c.Bind(n.String(), state)
+		return c.Bind(ctx, n.String(), state)
 	})
 }
 
 // Unbind removes a binding.
-func (ic *InitialContext) Unbind(name string) error {
-	ctx, rest, err := ic.resolve(name)
+func (ic *InitialContext) Unbind(ctx context.Context, name string) error {
+	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return Errf("unbind", name, err)
 	}
-	return ic.withContinuations(ctx, rest, func(c Context, n Name) error {
-		return c.Unbind(n.String())
+	return ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
+		return c.Unbind(ctx, n.String())
 	})
 }
 
 // Rename moves a binding; both names must resolve within one naming system.
-func (ic *InitialContext) Rename(oldName, newName string) error {
-	ctx, rest, err := ic.resolve(oldName)
+func (ic *InitialContext) Rename(ctx context.Context, oldName, newName string) error {
+	c, rest, err := ic.resolve(ctx, oldName)
 	if err != nil {
 		return Errf("rename", oldName, err)
 	}
@@ -297,133 +308,133 @@ func (ic *InitialContext) Rename(oldName, newName string) error {
 			return Errf("rename", newName, err)
 		}
 	}
-	return ic.withContinuations(ctx, rest, func(c Context, n Name) error {
-		return c.Rename(n.String(), newRest.String())
+	return ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
+		return c.Rename(ctx, n.String(), newRest.String())
 	})
 }
 
 // List enumerates names and classes in the named context.
-func (ic *InitialContext) List(name string) ([]NameClassPair, error) {
-	ctx, rest, err := ic.resolve(name)
+func (ic *InitialContext) List(ctx context.Context, name string) ([]NameClassPair, error) {
+	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("list", name, err)
 	}
 	var out []NameClassPair
-	err = ic.withContinuations(ctx, rest, func(c Context, n Name) error {
+	err = ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
 		var e error
-		out, e = c.List(n.String())
+		out, e = c.List(ctx, n.String())
 		return e
 	})
 	return out, err
 }
 
 // ListBindings enumerates names, classes and objects.
-func (ic *InitialContext) ListBindings(name string) ([]Binding, error) {
-	ctx, rest, err := ic.resolve(name)
+func (ic *InitialContext) ListBindings(ctx context.Context, name string) ([]Binding, error) {
+	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("listBindings", name, err)
 	}
 	var out []Binding
-	err = ic.withContinuations(ctx, rest, func(c Context, n Name) error {
+	err = ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
 		var e error
-		out, e = c.ListBindings(n.String())
+		out, e = c.ListBindings(ctx, n.String())
 		return e
 	})
 	return out, err
 }
 
 // CreateSubcontext creates a subcontext.
-func (ic *InitialContext) CreateSubcontext(name string) (Context, error) {
-	ctx, rest, err := ic.resolve(name)
+func (ic *InitialContext) CreateSubcontext(ctx context.Context, name string) (Context, error) {
+	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("createSubcontext", name, err)
 	}
 	var out Context
-	err = ic.withContinuations(ctx, rest, func(c Context, n Name) error {
+	err = ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
 		var e error
-		out, e = c.CreateSubcontext(n.String())
+		out, e = c.CreateSubcontext(ctx, n.String())
 		return e
 	})
 	return out, err
 }
 
 // DestroySubcontext removes an empty subcontext.
-func (ic *InitialContext) DestroySubcontext(name string) error {
-	ctx, rest, err := ic.resolve(name)
+func (ic *InitialContext) DestroySubcontext(ctx context.Context, name string) error {
+	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return Errf("destroySubcontext", name, err)
 	}
-	return ic.withContinuations(ctx, rest, func(c Context, n Name) error {
-		return c.DestroySubcontext(n.String())
+	return ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
+		return c.DestroySubcontext(ctx, n.String())
 	})
 }
 
 // GetAttributes returns a name's attributes (directory providers only).
-func (ic *InitialContext) GetAttributes(name string, attrIDs ...string) (*Attributes, error) {
-	ctx, rest, err := ic.resolve(name)
+func (ic *InitialContext) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*Attributes, error) {
+	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("getAttributes", name, err)
 	}
 	var out *Attributes
-	err = ic.withContinuations(ctx, rest, func(c Context, n Name) error {
+	err = ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
 		dc, ok := c.(DirContext)
 		if !ok {
 			return Errf("getAttributes", name, ErrNotSupported)
 		}
 		var e error
-		out, e = dc.GetAttributes(n.String(), attrIDs...)
+		out, e = dc.GetAttributes(ctx, n.String(), attrIDs...)
 		return e
 	})
 	return out, err
 }
 
 // ModifyAttributes applies attribute modifications.
-func (ic *InitialContext) ModifyAttributes(name string, mods []AttributeMod) error {
-	ctx, rest, err := ic.resolve(name)
+func (ic *InitialContext) ModifyAttributes(ctx context.Context, name string, mods []AttributeMod) error {
+	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return Errf("modifyAttributes", name, err)
 	}
-	return ic.withContinuations(ctx, rest, func(c Context, n Name) error {
+	return ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
 		dc, ok := c.(DirContext)
 		if !ok {
 			return Errf("modifyAttributes", name, ErrNotSupported)
 		}
-		return dc.ModifyAttributes(n.String(), mods)
+		return dc.ModifyAttributes(ctx, n.String(), mods)
 	})
 }
 
 // Search runs a filter search under the named context.
-func (ic *InitialContext) Search(name, filterStr string, controls *SearchControls) ([]SearchResult, error) {
-	ctx, rest, err := ic.resolve(name)
+func (ic *InitialContext) Search(ctx context.Context, name, filterStr string, controls *SearchControls) ([]SearchResult, error) {
+	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("search", name, err)
 	}
 	var out []SearchResult
-	err = ic.withContinuations(ctx, rest, func(c Context, n Name) error {
+	err = ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
 		dc, ok := c.(DirContext)
 		if !ok {
 			return Errf("search", name, ErrNotSupported)
 		}
 		var e error
-		out, e = dc.Search(n.String(), filterStr, controls)
+		out, e = dc.Search(ctx, n.String(), filterStr, controls)
 		return e
 	})
 	return out, err
 }
 
 // Watch registers a listener on a watchable provider.
-func (ic *InitialContext) Watch(name string, scope SearchScope, l Listener) (cancel func(), err error) {
-	ctx, rest, err := ic.resolve(name)
+func (ic *InitialContext) Watch(ctx context.Context, name string, scope SearchScope, l Listener) (cancel func(), err error) {
+	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("watch", name, err)
 	}
-	err = ic.withContinuations(ctx, rest, func(c Context, n Name) error {
+	err = ic.withContinuations(ctx, c, rest, func(c Context, n Name) error {
 		ec, ok := c.(EventContext)
 		if !ok {
 			return Errf("watch", name, ErrNotSupported)
 		}
 		var e error
-		cancel, e = ec.Watch(n.String(), scope, l)
+		cancel, e = ec.Watch(ctx, n.String(), scope, l)
 		return e
 	})
 	return cancel, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -33,21 +34,23 @@ const (
 // here, keyed by URL scheme.
 type Provider interface {
 	// OpenURL connects to the service identified by rawURL's authority
-	// and returns a context plus the URL's path as remaining name.
-	OpenURL(rawURL string, env map[string]any) (Context, Name, error)
+	// and returns a context plus the URL's path as remaining name. ctx
+	// bounds the dial/handshake; wire providers turn its deadline into a
+	// connection deadline.
+	OpenURL(ctx context.Context, rawURL string, env map[string]any) (Context, Name, error)
 }
 
 // ProviderFunc adapts a function to the Provider interface.
-type ProviderFunc func(rawURL string, env map[string]any) (Context, Name, error)
+type ProviderFunc func(ctx context.Context, rawURL string, env map[string]any) (Context, Name, error)
 
 // OpenURL implements Provider.
-func (f ProviderFunc) OpenURL(rawURL string, env map[string]any) (Context, Name, error) {
-	return f(rawURL, env)
+func (f ProviderFunc) OpenURL(ctx context.Context, rawURL string, env map[string]any) (Context, Name, error) {
+	return f(ctx, rawURL, env)
 }
 
 // InitialFactory creates the default context used to resolve non-URL
 // names.
-type InitialFactory func(env map[string]any) (Context, error)
+type InitialFactory func(ctx context.Context, env map[string]any) (Context, error)
 
 var spiMu sync.RWMutex
 var providers = map[string]Provider{}
@@ -93,7 +96,10 @@ func RegisterInitialFactory(name string, f InitialFactory) {
 // OpenURL resolves a URL-form name to a provider context and remaining
 // name. It is the entry point the federation machinery uses whenever it
 // crosses into another naming system.
-func OpenURL(rawURL string, env map[string]any) (Context, Name, error) {
+func OpenURL(ctx context.Context, rawURL string, env map[string]any) (Context, Name, error) {
+	if err := CtxErr(ctx); err != nil {
+		return nil, Name{}, err
+	}
 	u, err := ParseURLName(rawURL)
 	if err != nil {
 		return nil, Name{}, err
@@ -102,7 +108,7 @@ func OpenURL(rawURL string, env map[string]any) (Context, Name, error) {
 	if !ok {
 		return nil, Name{}, fmt.Errorf("%w: %q", ErrNoProvider, u.Scheme)
 	}
-	return p.OpenURL(rawURL, env)
+	return p.OpenURL(ctx, rawURL, env)
 }
 
 func initialFactory(name string) (InitialFactory, bool) {

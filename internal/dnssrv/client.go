@@ -1,6 +1,7 @@
 package dnssrv
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -68,12 +69,25 @@ func (r *Resolver) id() uint16 {
 	return uint16(r.rnd.Intn(1 << 16))
 }
 
-// Exchange sends a query message and returns the validated response.
-func (r *Resolver) Exchange(req *Message) (*Message, error) {
+// attemptTimeout clamps the per-attempt timeout to ctx's remaining
+// budget, so the ctx deadline is a real socket deadline.
+func (r *Resolver) attemptTimeout(ctx context.Context) time.Duration {
 	timeout := r.Timeout
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < timeout {
+			timeout = rem
+		}
+	}
+	return timeout
+}
+
+// Exchange sends a query message and returns the validated response. ctx
+// bounds the whole exchange including retries; its deadline is applied to
+// each socket.
+func (r *Resolver) Exchange(ctx context.Context, req *Message) (*Message, error) {
 	retries := r.Retries
 	if retries <= 0 {
 		retries = 2
@@ -84,21 +98,32 @@ func (r *Resolver) Exchange(req *Message) (*Message, error) {
 	}
 	var lastErr error
 	for attempt := 0; attempt < retries; attempt++ {
-		resp, err := r.exchangeUDP(pkt, req.Header.ID, timeout)
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("dnssrv: no response from %s: %w", r.Server, lastErr)
+			}
+			return nil, err
+		}
+		resp, err := r.exchangeUDP(ctx, pkt, req.Header.ID)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		if resp.Header.TC {
-			return r.exchangeTCP(pkt, req.Header.ID, timeout)
+			return r.exchangeTCP(ctx, pkt, req.Header.ID)
 		}
 		return resp, nil
 	}
 	return nil, fmt.Errorf("dnssrv: no response from %s: %w", r.Server, lastErr)
 }
 
-func (r *Resolver) exchangeUDP(pkt []byte, id uint16, timeout time.Duration) (*Message, error) {
-	conn, err := net.DialTimeout("udp", r.Server, timeout)
+func (r *Resolver) exchangeUDP(ctx context.Context, pkt []byte, id uint16) (*Message, error) {
+	timeout := r.attemptTimeout(ctx)
+	if timeout <= 0 {
+		return nil, ctx.Err()
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", r.Server)
 	if err != nil {
 		return nil, err
 	}
@@ -124,8 +149,13 @@ func (r *Resolver) exchangeUDP(pkt []byte, id uint16, timeout time.Duration) (*M
 	}
 }
 
-func (r *Resolver) exchangeTCP(pkt []byte, id uint16, timeout time.Duration) (*Message, error) {
-	conn, err := net.DialTimeout("tcp", r.Server, timeout)
+func (r *Resolver) exchangeTCP(ctx context.Context, pkt []byte, id uint16) (*Message, error) {
+	timeout := r.attemptTimeout(ctx)
+	if timeout <= 0 {
+		return nil, ctx.Err()
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", r.Server)
 	if err != nil {
 		return nil, err
 	}
@@ -157,12 +187,12 @@ func (r *Resolver) exchangeTCP(pkt []byte, id uint16, timeout time.Duration) (*M
 
 // Query performs a standard query for (name, type) and returns the answer
 // records. NXDOMAIN and other failure rcodes are returned as *RcodeError.
-func (r *Resolver) Query(name string, qtype uint16) ([]RR, error) {
+func (r *Resolver) Query(ctx context.Context, name string, qtype uint16) ([]RR, error) {
 	req := &Message{
 		Header:    Header{ID: r.id(), RD: true},
 		Questions: []Question{{Name: CanonicalName(name), Type: qtype, Class: ClassIN}},
 	}
-	resp, err := r.Exchange(req)
+	resp, err := r.Exchange(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -173,8 +203,8 @@ func (r *Resolver) Query(name string, qtype uint16) ([]RR, error) {
 }
 
 // LookupTXT returns the TXT strings at name (flattened in record order).
-func (r *Resolver) LookupTXT(name string) ([]string, error) {
-	answers, err := r.Query(name, TypeTXT)
+func (r *Resolver) LookupTXT(ctx context.Context, name string) ([]string, error) {
+	answers, err := r.Query(ctx, name, TypeTXT)
 	if err != nil {
 		return nil, err
 	}
@@ -188,8 +218,8 @@ func (r *Resolver) LookupTXT(name string) ([]string, error) {
 }
 
 // LookupA returns the IPv4/IPv6 addresses at name.
-func (r *Resolver) LookupA(name string) ([]string, error) {
-	answers, err := r.Query(name, TypeA)
+func (r *Resolver) LookupA(ctx context.Context, name string) ([]string, error) {
+	answers, err := r.Query(ctx, name, TypeA)
 	if err != nil {
 		return nil, err
 	}
@@ -204,11 +234,7 @@ func (r *Resolver) LookupA(name string) ([]string, error) {
 
 // TransferZone performs an AXFR-style zone transfer over TCP and returns
 // every record in the zone enclosing name.
-func (r *Resolver) TransferZone(name string) ([]RR, error) {
-	timeout := r.Timeout
-	if timeout <= 0 {
-		timeout = 2 * time.Second
-	}
+func (r *Resolver) TransferZone(ctx context.Context, name string) ([]RR, error) {
 	req := &Message{
 		Header:    Header{ID: r.id()},
 		Questions: []Question{{Name: CanonicalName(name), Type: TypeAXFR, Class: ClassIN}},
@@ -217,7 +243,7 @@ func (r *Resolver) TransferZone(name string) ([]RR, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := r.exchangeTCP(pkt, req.Header.ID, timeout)
+	resp, err := r.exchangeTCP(ctx, pkt, req.Header.ID)
 	if err != nil {
 		return nil, err
 	}
@@ -237,8 +263,8 @@ type SRVTarget struct {
 
 // LookupSRV returns SRV endpoints at name sorted by priority (the paper's
 // "nearest HDNS node" selection reads the lowest-priority target first).
-func (r *Resolver) LookupSRV(name string) ([]SRVTarget, error) {
-	answers, err := r.Query(name, TypeSRV)
+func (r *Resolver) LookupSRV(ctx context.Context, name string) ([]SRVTarget, error) {
+	answers, err := r.Query(ctx, name, TypeSRV)
 	if err != nil {
 		return nil, err
 	}

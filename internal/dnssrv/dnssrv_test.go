@@ -1,6 +1,7 @@
 package dnssrv
 
 import (
+	"context"
 	"math/rand"
 	"net/netip"
 	"reflect"
@@ -290,28 +291,30 @@ func newTestServer(t *testing.T) (*Server, *Resolver) {
 }
 
 func TestServerQuery(t *testing.T) {
+	ctx := context.Background()
 	_, r := newTestServer(t)
-	addrs, err := r.LookupA("emory.global")
+	addrs, err := r.LookupA(ctx, "emory.global")
 	if err != nil || len(addrs) != 1 || addrs[0] != "10.10.0.1" {
 		t.Fatalf("LookupA = %v, %v", addrs, err)
 	}
-	txt, err := r.LookupTXT("emory.global")
+	txt, err := r.LookupTXT(ctx, "emory.global")
 	if err != nil || len(txt) != 1 || txt[0] != "Emory University" {
 		t.Fatalf("LookupTXT = %v, %v", txt, err)
 	}
-	srvs, err := r.LookupSRV("_hdns._tcp.global")
+	srvs, err := r.LookupSRV(ctx, "_hdns._tcp.global")
 	if err != nil || len(srvs) != 1 || srvs[0].Port != 9999 || srvs[0].Host != "node1.global." {
 		t.Fatalf("LookupSRV = %+v, %v", srvs, err)
 	}
 }
 
 func TestServerNXDomainAndRefused(t *testing.T) {
+	ctx := context.Background()
 	_, r := newTestServer(t)
-	_, err := r.LookupA("ghost.global")
+	_, err := r.LookupA(ctx, "ghost.global")
 	if !IsNXDomain(err) {
 		t.Errorf("want NXDOMAIN, got %v", err)
 	}
-	_, err = r.LookupA("elsewhere.org")
+	_, err = r.LookupA(ctx, "elsewhere.org")
 	var re *RcodeError
 	if err == nil || !strings.Contains(err.Error(), "REFUSED") {
 		t.Errorf("want REFUSED, got %v", err)
@@ -320,6 +323,7 @@ func TestServerNXDomainAndRefused(t *testing.T) {
 }
 
 func TestTCPFallbackOnTruncation(t *testing.T) {
+	ctx := context.Background()
 	s, err := NewServer("127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -332,7 +336,7 @@ func TestTCPFallbackOnTruncation(t *testing.T) {
 	}
 	s.AddZone(z)
 	r := NewResolver(s.Addr())
-	txt, err := r.LookupTXT("fat.big")
+	txt, err := r.LookupTXT(ctx, "fat.big")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,8 +346,9 @@ func TestTCPFallbackOnTruncation(t *testing.T) {
 }
 
 func TestZoneTransfer(t *testing.T) {
+	ctx := context.Background()
 	_, r := newTestServer(t)
-	rrs, err := r.TransferZone("global")
+	rrs, err := r.TransferZone(ctx, "global")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,11 +367,12 @@ func TestZoneTransfer(t *testing.T) {
 }
 
 func TestResolverTimeout(t *testing.T) {
+	ctx := context.Background()
 	r := NewResolver("127.0.0.1:1") // nothing listening
 	r.Timeout = 100 * time.Millisecond
 	r.Retries = 1
 	start := time.Now()
-	_, err := r.LookupA("x.y")
+	_, err := r.LookupA(ctx, "x.y")
 	if err == nil {
 		t.Fatal("expected error")
 	}

@@ -2,13 +2,19 @@ package hdns
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"sync"
 	"time"
 
+	"gondi/internal/retry"
 	"gondi/internal/rpc"
 )
+
+// dialPolicy bounds reconnection attempts against a node that is
+// restarting behind a stable address.
+var dialPolicy = retry.Policy{MaxAttempts: 3, BaseDelay: 25 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
 
 // Client is a connection to one HDNS node. Reads are served by that node
 // alone (read-any); writes propagate to the whole replication group
@@ -22,7 +28,18 @@ type Client struct {
 
 // Dial connects to an HDNS node; secret may be empty for open nodes.
 func Dial(addr, secret string, timeout time.Duration) (*Client, error) {
-	rc, err := rpc.Dial(addr, timeout)
+	return DialContext(context.Background(), addr, secret, timeout)
+}
+
+// DialContext is Dial bounded by ctx; the handshake (auth) inherits the
+// caller's deadline and transient dial failures are retried with backoff.
+func DialContext(ctx context.Context, addr, secret string, timeout time.Duration) (*Client, error) {
+	var rc *rpc.Client
+	err := retry.Do(ctx, dialPolicy, func() error {
+		var derr error
+		rc, derr = rpc.DialContext(ctx, addr, timeout)
+		return derr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +60,7 @@ func Dial(addr, secret string, timeout time.Duration) (*Client, error) {
 		}
 	})
 	if secret != "" {
-		if _, err := c.call(mAuth, &Req{Secret: secret}); err != nil {
+		if _, err := c.call(ctx, mAuth, &Req{Secret: secret}); err != nil {
 			rc.Close()
 			return nil, err
 		}
@@ -58,12 +75,12 @@ func (c *Client) Close() error { return c.rc.Close() }
 // shutdown); pooled providers use it to discard dead connections.
 func (c *Client) Closed() bool { return c.rc.Closed() }
 
-func (c *Client) call(method string, req *Req) (*Rsp, error) {
+func (c *Client) call(ctx context.Context, method string, req *Req) (*Rsp, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
 		return nil, err
 	}
-	body, err := c.rc.Call(method, buf.Bytes())
+	body, err := c.rc.Call(ctx, method, buf.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -75,8 +92,8 @@ func (c *Client) call(method string, req *Req) (*Rsp, error) {
 }
 
 // Lookup reads the entry at name.
-func (c *Client) Lookup(name []string) (NodeView, error) {
-	rsp, err := c.call(mLookup, &Req{Name: name})
+func (c *Client) Lookup(ctx context.Context, name []string) (NodeView, error) {
+	rsp, err := c.call(ctx, mLookup, &Req{Name: name})
 	if err != nil {
 		return NodeView{}, err
 	}
@@ -84,32 +101,32 @@ func (c *Client) Lookup(name []string) (NodeView, error) {
 }
 
 // Bind binds atomically (fails if bound). leaseMillis > 0 grants a lease.
-func (c *Client) Bind(name []string, obj []byte, attrs map[string][]string, leaseMillis int64) error {
-	_, err := c.call(mBind, &Req{Name: name, Obj: obj, Attrs: attrs, LeaseMillis: leaseMillis})
+func (c *Client) Bind(ctx context.Context, name []string, obj []byte, attrs map[string][]string, leaseMillis int64) error {
+	_, err := c.call(ctx, mBind, &Req{Name: name, Obj: obj, Attrs: attrs, LeaseMillis: leaseMillis})
 	return err
 }
 
 // Rebind overwrites; replaceAttrs selects attribute semantics.
-func (c *Client) Rebind(name []string, obj []byte, attrs map[string][]string, replaceAttrs bool, leaseMillis int64) error {
-	_, err := c.call(mRebind, &Req{Name: name, Obj: obj, Attrs: attrs, ReplaceAttrs: replaceAttrs, LeaseMillis: leaseMillis})
+func (c *Client) Rebind(ctx context.Context, name []string, obj []byte, attrs map[string][]string, replaceAttrs bool, leaseMillis int64) error {
+	_, err := c.call(ctx, mRebind, &Req{Name: name, Obj: obj, Attrs: attrs, ReplaceAttrs: replaceAttrs, LeaseMillis: leaseMillis})
 	return err
 }
 
 // Unbind removes a binding (absent names succeed).
-func (c *Client) Unbind(name []string) error {
-	_, err := c.call(mUnbind, &Req{Name: name})
+func (c *Client) Unbind(ctx context.Context, name []string) error {
+	_, err := c.call(ctx, mUnbind, &Req{Name: name})
 	return err
 }
 
 // Rename moves a binding.
-func (c *Client) Rename(oldName, newName []string) error {
-	_, err := c.call(mRename, &Req{Name: oldName, Name2: newName})
+func (c *Client) Rename(ctx context.Context, oldName, newName []string) error {
+	_, err := c.call(ctx, mRename, &Req{Name: oldName, Name2: newName})
 	return err
 }
 
 // List enumerates a context.
-func (c *Client) List(name []string) ([]ListEntry, error) {
-	rsp, err := c.call(mList, &Req{Name: name})
+func (c *Client) List(ctx context.Context, name []string) ([]ListEntry, error) {
+	rsp, err := c.call(ctx, mList, &Req{Name: name})
 	if err != nil {
 		return nil, err
 	}
@@ -117,27 +134,27 @@ func (c *Client) List(name []string) ([]ListEntry, error) {
 }
 
 // CreateCtx creates a subcontext.
-func (c *Client) CreateCtx(name []string, attrs map[string][]string) error {
-	_, err := c.call(mCreateCtx, &Req{Name: name, Attrs: attrs})
+func (c *Client) CreateCtx(ctx context.Context, name []string, attrs map[string][]string) error {
+	_, err := c.call(ctx, mCreateCtx, &Req{Name: name, Attrs: attrs})
 	return err
 }
 
 // DestroyCtx removes an empty subcontext.
-func (c *Client) DestroyCtx(name []string) error {
-	_, err := c.call(mDestroyCtx, &Req{Name: name})
+func (c *Client) DestroyCtx(ctx context.Context, name []string) error {
+	_, err := c.call(ctx, mDestroyCtx, &Req{Name: name})
 	return err
 }
 
 // ModAttrs applies attribute modifications.
-func (c *Client) ModAttrs(name []string, mods []ModRec) error {
-	_, err := c.call(mModAttrs, &Req{Name: name, Mods: mods})
+func (c *Client) ModAttrs(ctx context.Context, name []string, mods []ModRec) error {
+	_, err := c.call(ctx, mModAttrs, &Req{Name: name, Mods: mods})
 	return err
 }
 
 // Search evaluates an RFC 4515 filter (scope: 0 object, 1 one-level,
 // 2 subtree).
-func (c *Client) Search(name []string, filterStr string, scope, limit int) ([]SearchHit, error) {
-	rsp, err := c.call(mSearch, &Req{Name: name, Filter: filterStr, Scope: scope, Limit: limit})
+func (c *Client) Search(ctx context.Context, name []string, filterStr string, scope, limit int) ([]SearchHit, error) {
+	rsp, err := c.call(ctx, mSearch, &Req{Name: name, Filter: filterStr, Scope: scope, Limit: limit})
 	if err != nil {
 		return nil, err
 	}
@@ -145,8 +162,8 @@ func (c *Client) Search(name []string, filterStr string, scope, limit int) ([]Se
 }
 
 // RenewLease extends (or with leaseMillis == 0 cancels) a lease.
-func (c *Client) RenewLease(name []string, leaseMillis int64) (expiry int64, err error) {
-	rsp, err := c.call(mLease, &Req{Name: name, LeaseMillis: leaseMillis})
+func (c *Client) RenewLease(ctx context.Context, name []string, leaseMillis int64) (expiry int64, err error) {
+	rsp, err := c.call(ctx, mLease, &Req{Name: name, LeaseMillis: leaseMillis})
 	if err != nil {
 		return 0, err
 	}
@@ -155,8 +172,8 @@ func (c *Client) RenewLease(name []string, leaseMillis int64) (expiry int64, err
 
 // Watch subscribes to changes under target; events arrive on fn until
 // cancel is called or the connection closes.
-func (c *Client) Watch(target []string, scope int, fn func(EventMsg)) (cancel func(), err error) {
-	rsp, err := c.call(mWatch, &Req{Name: target, Scope: scope})
+func (c *Client) Watch(ctx context.Context, target []string, scope int, fn func(EventMsg)) (cancel func(), err error) {
+	rsp, err := c.call(ctx, mWatch, &Req{Name: target, Scope: scope})
 	if err != nil {
 		return nil, err
 	}
@@ -168,13 +185,13 @@ func (c *Client) Watch(target []string, scope int, fn func(EventMsg)) (cancel fu
 		c.mu.Lock()
 		delete(c.handlers, id)
 		c.mu.Unlock()
-		_, _ = c.call(mUnwatch, &Req{WatchID: id})
+		_, _ = c.call(context.Background(), mUnwatch, &Req{WatchID: id})
 	}, nil
 }
 
 // Info describes the node and its group.
-func (c *Client) Info() (NodeInfo, error) {
-	rsp, err := c.call(mInfo, &Req{})
+func (c *Client) Info(ctx context.Context) (NodeInfo, error) {
+	rsp, err := c.call(ctx, mInfo, &Req{})
 	if err != nil {
 		return NodeInfo{}, err
 	}

@@ -1,6 +1,7 @@
 package hdns
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"sync"
@@ -13,6 +14,7 @@ import (
 // The §4.3 hosting story: HDNS deployed into an H2O kernel, secured by
 // kernel policy, publishing change events on the kernel bus.
 func TestPlugletLifecycle(t *testing.T) {
+	ctx := context.Background()
 	k := h2o.NewKernel()
 	RegisterPluglet(k)
 
@@ -73,7 +75,7 @@ func TestPlugletLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Bind([]string{"hosted"}, []byte("v"), nil, 0); err != nil {
+	if err := c.Bind(ctx, []string{"hosted"}, []byte("v"), nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)

@@ -1,6 +1,7 @@
 package hdns
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -13,6 +14,7 @@ import (
 // both sides converge to semantically identical stores once traffic
 // quiesces — the §4.1 consistency claim under a realistic mixed workload.
 func TestRandomOpsReplicaConvergence(t *testing.T) {
+	ctx := context.Background()
 	f := jgroups.NewFabric()
 	n1 := startTestNode(t, f, "rc-n1", "rc", "")
 	n2 := startTestNode(t, f, "rc-n2", "rc", "")
@@ -31,7 +33,7 @@ func TestRandomOpsReplicaConvergence(t *testing.T) {
 	}
 	ctxNames := [][]string{{"d0"}, {"d1"}}
 	for _, cn := range ctxNames {
-		_ = c1.CreateCtx(cn, nil)
+		_ = c1.CreateCtx(ctx, cn, nil)
 	}
 	for i := 0; i < 12; i++ {
 		names = append(names, []string{ctxNames[i%2][0], fmt.Sprintf("n%d", i)})
@@ -43,15 +45,15 @@ func TestRandomOpsReplicaConvergence(t *testing.T) {
 		name := names[r.Intn(len(names))]
 		switch r.Intn(5) {
 		case 0:
-			_ = c.Bind(name, []byte(fmt.Sprintf("v%d", i)), map[string][]string{"seq": {fmt.Sprint(i)}}, 0)
+			_ = c.Bind(ctx, name, []byte(fmt.Sprintf("v%d", i)), map[string][]string{"seq": {fmt.Sprint(i)}}, 0)
 		case 1:
-			_ = c.Rebind(name, []byte(fmt.Sprintf("r%d", i)), nil, false, 0)
+			_ = c.Rebind(ctx, name, []byte(fmt.Sprintf("r%d", i)), nil, false, 0)
 		case 2:
-			_ = c.Unbind(name)
+			_ = c.Unbind(ctx, name)
 		case 3:
-			_ = c.ModAttrs(name, []ModRec{{Op: 0, ID: "touched", Vals: []string{fmt.Sprint(i)}}})
+			_ = c.ModAttrs(ctx, name, []ModRec{{Op: 0, ID: "touched", Vals: []string{fmt.Sprint(i)}}})
 		case 4:
-			_, _ = c.Search(nil, "(seq=*)", 2, 0)
+			_, _ = c.Search(ctx, nil, "(seq=*)", 2, 0)
 		}
 	}
 
@@ -68,18 +70,19 @@ func TestRandomOpsReplicaConvergence(t *testing.T) {
 // Property: a replica that joins mid-workload ends up identical to the
 // replicas that saw all traffic (state transfer + tail replication).
 func TestLateJoinerConvergence(t *testing.T) {
+	ctx := context.Background()
 	f := jgroups.NewFabric()
 	n1 := startTestNode(t, f, "lj-n1", "lj", "")
 	c1 := dialNode(t, n1)
 	for i := 0; i < 40; i++ {
-		if err := c1.Bind([]string{fmt.Sprintf("pre%d", i)}, []byte("x"), nil, 0); err != nil {
+		if err := c1.Bind(ctx, []string{fmt.Sprintf("pre%d", i)}, []byte("x"), nil, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	n2 := startTestNode(t, f, "lj-n2", "lj", "")
 	// Keep writing while the joiner synchronizes.
 	for i := 0; i < 40; i++ {
-		if err := c1.Bind([]string{fmt.Sprintf("post%d", i)}, []byte("y"), nil, 0); err != nil {
+		if err := c1.Bind(ctx, []string{fmt.Sprintf("post%d", i)}, []byte("y"), nil, 0); err != nil {
 			t.Fatal(err)
 		}
 	}

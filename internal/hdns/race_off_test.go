@@ -1,0 +1,5 @@
+//go:build !race
+
+package hdns
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package hdns
+
+// raceEnabled reports that the race detector is active; timing-calibrated
+// assertions are skipped under its several-fold slowdown.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package jini
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"sync"
@@ -85,8 +86,9 @@ func (p *BindProxy) handlers() {
 		}
 		p.mu.Lock()
 		defer p.mu.Unlock()
+		ctx := context.Background()
 		if req.Item.ID != "" && (req.OnlyNew || req.RequireExists) {
-			_, exists, err := p.reg.LookupOne(ServiceTemplate{ID: req.Item.ID})
+			_, exists, err := p.reg.LookupOne(ctx, ServiceTemplate{ID: req.Item.ID})
 			if err != nil {
 				return nil, err
 			}
@@ -97,7 +99,7 @@ func (p *BindProxy) handlers() {
 				return nil, errNoSuchLease
 			}
 		}
-		reg, err := p.reg.Register(req.Item, time.Duration(req.LeaseMs)*time.Millisecond)
+		reg, err := p.reg.Register(ctx, req.Item, time.Duration(req.LeaseMs)*time.Millisecond)
 		if err != nil {
 			return nil, err
 		}
@@ -131,14 +133,14 @@ func (c *ProxyClient) Closed() bool { return c.rc.Closed() }
 
 // Register performs an atomic registration through the proxy. With
 // onlyNew, it fails (IsAlreadyBound) when the item ID is taken.
-func (c *ProxyClient) Register(item ServiceItem, lease time.Duration, onlyNew bool) (Registration, error) {
+func (c *ProxyClient) Register(ctx context.Context, item ServiceItem, lease time.Duration, onlyNew bool) (Registration, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(proxyReq{
 		Item: item, LeaseMs: lease.Milliseconds(), OnlyNew: onlyNew,
 	}); err != nil {
 		return Registration{}, err
 	}
-	body, err := c.rc.Call(mProxyRegister, buf.Bytes())
+	body, err := c.rc.Call(ctx, mProxyRegister, buf.Bytes())
 	if err != nil {
 		return Registration{}, err
 	}

@@ -1,6 +1,7 @@
 package jini
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -28,14 +29,15 @@ func newProxyWorld(t *testing.T) (*LUS, *BindProxy, *ProxyClient) {
 }
 
 func TestProxyAtomicRegister(t *testing.T) {
+	ctx := context.Background()
 	lus, _, pc := newProxyWorld(t)
 	item := ServiceItem{ID: "contested", Service: []byte("first")}
-	if _, err := pc.Register(item, time.Minute, true); err != nil {
+	if _, err := pc.Register(ctx, item, time.Minute, true); err != nil {
 		t.Fatal(err)
 	}
 	// Second only-new registration fails atomically.
 	item.Service = []byte("second")
-	_, err := pc.Register(item, time.Minute, true)
+	_, err := pc.Register(ctx, item, time.Minute, true)
 	if !IsAlreadyBound(err) {
 		t.Fatalf("want already-bound, got %v", err)
 	}
@@ -45,15 +47,15 @@ func TestProxyAtomicRegister(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	got, ok, _ := r.LookupOne(ServiceTemplate{ID: "contested"})
+	got, ok, _ := r.LookupOne(ctx, ServiceTemplate{ID: "contested"})
 	if !ok || string(got.Service) != "first" {
 		t.Fatalf("item = %+v %v", got, ok)
 	}
 	// Overwrite mode succeeds.
-	if _, err := pc.Register(item, time.Minute, false); err != nil {
+	if _, err := pc.Register(ctx, item, time.Minute, false); err != nil {
 		t.Fatal(err)
 	}
-	got, _, _ = r.LookupOne(ServiceTemplate{ID: "contested"})
+	got, _, _ = r.LookupOne(ctx, ServiceTemplate{ID: "contested"})
 	if string(got.Service) != "second" {
 		t.Fatalf("overwrite failed: %+v", got)
 	}
@@ -62,6 +64,7 @@ func TestProxyAtomicRegister(t *testing.T) {
 // The whole point: concurrent only-new registrations of the same ID have
 // exactly one winner, with no distributed locking at the clients.
 func TestProxyConcurrentAtomicity(t *testing.T) {
+	ctx := context.Background()
 	_, proxy, _ := newProxyWorld(t)
 	const racers = 8
 	var wg sync.WaitGroup
@@ -77,7 +80,7 @@ func TestProxyConcurrentAtomicity(t *testing.T) {
 			}
 			defer pc.Close()
 			item := ServiceItem{ID: "race", Service: []byte(fmt.Sprintf("racer-%d", i))}
-			if _, err := pc.Register(item, time.Minute, true); err == nil {
+			if _, err := pc.Register(ctx, item, time.Minute, true); err == nil {
 				wins <- i
 			} else if !IsAlreadyBound(err) {
 				t.Errorf("racer %d: %v", i, err)

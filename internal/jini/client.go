@@ -2,10 +2,12 @@ package jini
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"sync"
 	"time"
 
+	"gondi/internal/retry"
 	"gondi/internal/rpc"
 )
 
@@ -20,7 +22,18 @@ type Registrar struct {
 
 // DialRegistrar connects to the LUS at addr.
 func DialRegistrar(addr string, timeout time.Duration) (*Registrar, error) {
-	rc, err := rpc.Dial(addr, timeout)
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return DialRegistrarContext(ctx, addr, timeout)
+}
+
+// DialRegistrarContext connects to the LUS at addr, bounded by ctx.
+// defaultTimeout applies to calls made with deadline-free contexts.
+func DialRegistrarContext(ctx context.Context, addr string, defaultTimeout time.Duration) (*Registrar, error) {
+	rc, err := rpc.DialContext(ctx, addr, defaultTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -50,12 +63,12 @@ func (r *Registrar) Close() error { return r.rc.Close() }
 // shutdown); pooled providers use it to discard dead connections.
 func (r *Registrar) Closed() bool { return r.rc.Closed() }
 
-func (r *Registrar) call(method string, req *wireReq) (*wireRsp, error) {
+func (r *Registrar) call(ctx context.Context, method string, req *wireReq) (*wireRsp, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
 		return nil, err
 	}
-	body, err := r.rc.Call(method, buf.Bytes())
+	body, err := r.rc.Call(ctx, method, buf.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -68,8 +81,8 @@ func (r *Registrar) call(method string, req *wireReq) (*wireRsp, error) {
 
 // Register registers (or overwrites — Jini has no test-and-set) a service
 // item with the requested lease duration.
-func (r *Registrar) Register(item ServiceItem, lease time.Duration) (Registration, error) {
-	rsp, err := r.call(mRegister, &wireReq{Item: item, LeaseMs: lease.Milliseconds()})
+func (r *Registrar) Register(ctx context.Context, item ServiceItem, lease time.Duration) (Registration, error) {
+	rsp, err := r.call(ctx, mRegister, &wireReq{Item: item, LeaseMs: lease.Milliseconds()})
 	if err != nil {
 		return Registration{}, err
 	}
@@ -77,8 +90,8 @@ func (r *Registrar) Register(item ServiceItem, lease time.Duration) (Registratio
 }
 
 // Lookup returns up to max items matching the template (0 = all).
-func (r *Registrar) Lookup(t ServiceTemplate, max int) ([]ServiceItem, error) {
-	rsp, err := r.call(mLookup, &wireReq{Template: t, Max: max})
+func (r *Registrar) Lookup(ctx context.Context, t ServiceTemplate, max int) ([]ServiceItem, error) {
+	rsp, err := r.call(ctx, mLookup, &wireReq{Template: t, Max: max})
 	if err != nil {
 		return nil, err
 	}
@@ -86,8 +99,8 @@ func (r *Registrar) Lookup(t ServiceTemplate, max int) ([]ServiceItem, error) {
 }
 
 // LookupOne returns the first matching item, or ok=false.
-func (r *Registrar) LookupOne(t ServiceTemplate) (ServiceItem, bool, error) {
-	items, err := r.Lookup(t, 1)
+func (r *Registrar) LookupOne(ctx context.Context, t ServiceTemplate) (ServiceItem, bool, error) {
+	items, err := r.Lookup(ctx, t, 1)
 	if err != nil || len(items) == 0 {
 		return ServiceItem{}, false, err
 	}
@@ -95,8 +108,8 @@ func (r *Registrar) LookupOne(t ServiceTemplate) (ServiceItem, bool, error) {
 }
 
 // Renew extends a registration's lease and returns the new expiry.
-func (r *Registrar) Renew(id ServiceID, lease time.Duration) (time.Time, error) {
-	rsp, err := r.call(mRenew, &wireReq{ID: id, LeaseMs: lease.Milliseconds()})
+func (r *Registrar) Renew(ctx context.Context, id ServiceID, lease time.Duration) (time.Time, error) {
+	rsp, err := r.call(ctx, mRenew, &wireReq{ID: id, LeaseMs: lease.Milliseconds()})
 	if err != nil {
 		return time.Time{}, err
 	}
@@ -104,15 +117,15 @@ func (r *Registrar) Renew(id ServiceID, lease time.Duration) (time.Time, error) 
 }
 
 // Cancel terminates a registration immediately.
-func (r *Registrar) Cancel(id ServiceID) error {
-	_, err := r.call(mCancel, &wireReq{ID: id})
+func (r *Registrar) Cancel(ctx context.Context, id ServiceID) error {
+	_, err := r.call(ctx, mCancel, &wireReq{ID: id})
 	return err
 }
 
 // Notify registers an event listener for template transitions; the
 // returned cancel also deregisters the handler.
-func (r *Registrar) Notify(t ServiceTemplate, mask int, lease time.Duration, fn func(ServiceEvent)) (cancel func(), err error) {
-	rsp, err := r.call(mNotify, &wireReq{Template: t, Mask: mask, LeaseMs: lease.Milliseconds()})
+func (r *Registrar) Notify(ctx context.Context, t ServiceTemplate, mask int, lease time.Duration, fn func(ServiceEvent)) (cancel func(), err error) {
+	rsp, err := r.call(ctx, mNotify, &wireReq{Template: t, Mask: mask, LeaseMs: lease.Milliseconds()})
 	if err != nil {
 		return nil, err
 	}
@@ -124,13 +137,13 @@ func (r *Registrar) Notify(t ServiceTemplate, mask int, lease time.Duration, fn 
 		r.mu.Lock()
 		delete(r.handlers, id)
 		r.mu.Unlock()
-		_, _ = r.call(mUnnotify, &wireReq{RegID: id})
+		_, _ = r.call(context.Background(), mUnnotify, &wireReq{RegID: id})
 	}, nil
 }
 
 // ServiceGroups returns the LUS's discovery groups.
-func (r *Registrar) ServiceGroups() ([]string, error) {
-	rsp, err := r.call(mGroups, &wireReq{})
+func (r *Registrar) ServiceGroups(ctx context.Context) ([]string, error) {
+	rsp, err := r.call(ctx, mGroups, &wireReq{})
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +160,10 @@ type LeaseRenewalManager struct {
 	tracked map[ServiceID]*trackedLease
 	stopped bool
 }
+
+// renewPolicy retries a transiently failing renewal a few times inside
+// the lease/2 window before giving the registration up for dead.
+var renewPolicy = retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 500 * time.Millisecond}
 
 type trackedLease struct {
 	reg    *Registrar
@@ -175,6 +192,15 @@ func (m *LeaseRenewalManager) Manage(reg *Registrar, id ServiceID, lease time.Du
 	tl := &trackedLease{reg: reg, lease: lease, cancel: make(chan struct{})}
 	m.tracked[id] = tl
 	go func() {
+		// The renewal loop's context dies with the tracked lease, so
+		// Stop/Forget abort an in-flight renewal instead of waiting it
+		// out.
+		ctx, cancelCtx := context.WithCancel(context.Background())
+		defer cancelCtx()
+		go func() {
+			<-tl.cancel
+			cancelCtx()
+		}()
 		t := time.NewTicker(lease / 2)
 		defer t.Stop()
 		for {
@@ -182,9 +208,17 @@ func (m *LeaseRenewalManager) Manage(reg *Registrar, id ServiceID, lease time.Du
 			case <-tl.cancel:
 				return
 			case <-t.C:
-				if _, err := reg.Renew(id, lease); err != nil {
+				// Bound each renewal round (including retries) to the
+				// half-lease window it must fit inside.
+				rctx, cancel := context.WithTimeout(ctx, lease/2)
+				err := retry.Do(rctx, renewPolicy, func() error {
+					_, rerr := reg.Renew(rctx, id, lease)
+					return rerr
+				})
+				cancel()
+				if err != nil {
 					// The registration is gone (cancelled or LUS
-					// restarted); stop renewing.
+					// restarted) or the manager stopped; stop renewing.
 					m.Forget(id)
 					return
 				}

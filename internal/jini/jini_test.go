@@ -1,6 +1,7 @@
 package jini
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -74,8 +75,9 @@ func newTestLUS(t *testing.T) (*LUS, *Registrar) {
 }
 
 func TestRegisterLookup(t *testing.T) {
+	ctx := context.Background()
 	_, r := newTestLUS(t)
-	reg, err := r.Register(ServiceItem{
+	reg, err := r.Register(ctx, ServiceItem{
 		Types:   []string{"printer.Service"},
 		Service: []byte("stub"),
 		Entries: []Entry{NewEntry("Name", "name", "p1")},
@@ -86,12 +88,12 @@ func TestRegisterLookup(t *testing.T) {
 	if reg.ID == "" || time.Until(reg.Expiry) <= 0 {
 		t.Fatalf("registration = %+v", reg)
 	}
-	items, err := r.Lookup(ServiceTemplate{Types: []string{"printer.Service"}}, 0)
+	items, err := r.Lookup(ctx, ServiceTemplate{Types: []string{"printer.Service"}}, 0)
 	if err != nil || len(items) != 1 || string(items[0].Service) != "stub" {
 		t.Fatalf("lookup = %+v, %v", items, err)
 	}
 	// ID lookup.
-	item, ok, err := r.LookupOne(ServiceTemplate{ID: reg.ID})
+	item, ok, err := r.LookupOne(ctx, ServiceTemplate{ID: reg.ID})
 	if err != nil || !ok || item.ID != reg.ID {
 		t.Fatalf("id lookup = %+v %v %v", item, ok, err)
 	}
@@ -100,39 +102,41 @@ func TestRegisterLookup(t *testing.T) {
 // Register is overwrite-only: same ID replaces unconditionally. This is
 // the §5.1 property that forces distributed locking for atomic bind.
 func TestRegisterOverwrites(t *testing.T) {
+	ctx := context.Background()
 	_, r := newTestLUS(t)
-	reg, err := r.Register(ServiceItem{ID: "fixed", Service: []byte("v1")}, time.Minute)
+	reg, err := r.Register(ctx, ServiceItem{ID: "fixed", Service: []byte("v1")}, time.Minute)
 	if err != nil || reg.ID != "fixed" {
 		t.Fatal(err)
 	}
-	if _, err := r.Register(ServiceItem{ID: "fixed", Service: []byte("v2")}, time.Minute); err != nil {
+	if _, err := r.Register(ctx, ServiceItem{ID: "fixed", Service: []byte("v2")}, time.Minute); err != nil {
 		t.Fatalf("overwrite register must succeed (idempotency): %v", err)
 	}
-	item, ok, _ := r.LookupOne(ServiceTemplate{ID: "fixed"})
+	item, ok, _ := r.LookupOne(ctx, ServiceTemplate{ID: "fixed"})
 	if !ok || string(item.Service) != "v2" {
 		t.Fatalf("item = %+v %v", item, ok)
 	}
 }
 
 func TestLeaseExpiryAndRenewal(t *testing.T) {
+	ctx := context.Background()
 	_, r := newTestLUS(t)
-	reg, err := r.Register(ServiceItem{ID: "leased"}, 200*time.Millisecond)
+	reg, err := r.Register(ctx, ServiceItem{ID: "leased"}, 200*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Renew before expiry.
 	time.Sleep(120 * time.Millisecond)
-	if _, err := r.Renew(reg.ID, 200*time.Millisecond); err != nil {
+	if _, err := r.Renew(ctx, reg.ID, 200*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(120 * time.Millisecond)
-	if _, ok, _ := r.LookupOne(ServiceTemplate{ID: "leased"}); !ok {
+	if _, ok, _ := r.LookupOne(ctx, ServiceTemplate{ID: "leased"}); !ok {
 		t.Fatal("renewed lease expired")
 	}
 	// Let it lapse.
 	deadline := time.Now().Add(3 * time.Second)
 	for {
-		_, ok, err := r.LookupOne(ServiceTemplate{ID: "leased"})
+		_, ok, err := r.LookupOne(ctx, ServiceTemplate{ID: "leased"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,31 +149,33 @@ func TestLeaseExpiryAndRenewal(t *testing.T) {
 		time.Sleep(25 * time.Millisecond)
 	}
 	// Renew after expiry fails.
-	if _, err := r.Renew(reg.ID, time.Minute); err == nil {
+	if _, err := r.Renew(ctx, reg.ID, time.Minute); err == nil {
 		t.Fatal("renew of expired lease succeeded")
 	}
 }
 
 func TestCancel(t *testing.T) {
+	ctx := context.Background()
 	_, r := newTestLUS(t)
-	reg, _ := r.Register(ServiceItem{ID: "c"}, time.Minute)
-	if err := r.Cancel(reg.ID); err != nil {
+	reg, _ := r.Register(ctx, ServiceItem{ID: "c"}, time.Minute)
+	if err := r.Cancel(ctx, reg.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := r.LookupOne(ServiceTemplate{ID: "c"}); ok {
+	if _, ok, _ := r.LookupOne(ctx, ServiceTemplate{ID: "c"}); ok {
 		t.Fatal("cancelled item still present")
 	}
-	if err := r.Cancel(reg.ID); err == nil {
+	if err := r.Cancel(ctx, reg.ID); err == nil {
 		t.Fatal("double cancel succeeded")
 	}
 }
 
 func TestNotifyTransitions(t *testing.T) {
+	ctx := context.Background()
 	_, r := newTestLUS(t)
 	var mu sync.Mutex
 	var got []ServiceEvent
 	tmpl := ServiceTemplate{Types: []string{"watched.Type"}}
-	_, err := r.Notify(tmpl,
+	_, err := r.Notify(ctx, tmpl,
 		TransitionNoMatchMatch|TransitionMatchNoMatch|TransitionMatchMatch,
 		time.Minute, func(ev ServiceEvent) {
 			mu.Lock()
@@ -180,14 +186,14 @@ func TestNotifyTransitions(t *testing.T) {
 		t.Fatal(err)
 	}
 	item := ServiceItem{ID: "w", Types: []string{"watched.Type"}, Service: []byte("1")}
-	if _, err := r.Register(item, time.Minute); err != nil {
+	if _, err := r.Register(ctx, item, time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	item.Service = []byte("2")
-	if _, err := r.Register(item, time.Minute); err != nil {
+	if _, err := r.Register(ctx, item, time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Cancel("w"); err != nil {
+	if err := r.Cancel(ctx, "w"); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(3 * time.Second)
@@ -217,10 +223,11 @@ func TestNotifyTransitions(t *testing.T) {
 }
 
 func TestNotifyMaskFiltering(t *testing.T) {
+	ctx := context.Background()
 	_, r := newTestLUS(t)
 	var mu sync.Mutex
 	count := 0
-	_, err := r.Notify(ServiceTemplate{}, TransitionMatchNoMatch, time.Minute, func(ServiceEvent) {
+	_, err := r.Notify(ctx, ServiceTemplate{}, TransitionMatchNoMatch, time.Minute, func(ServiceEvent) {
 		mu.Lock()
 		count++
 		mu.Unlock()
@@ -228,7 +235,7 @@ func TestNotifyMaskFiltering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Register(ServiceItem{ID: "x"}, time.Minute); err != nil {
+	if _, err := r.Register(ctx, ServiceItem{ID: "x"}, time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(100 * time.Millisecond)
@@ -237,7 +244,7 @@ func TestNotifyMaskFiltering(t *testing.T) {
 		t.Errorf("masked transition delivered (%d)", count)
 	}
 	mu.Unlock()
-	if err := r.Cancel("x"); err != nil {
+	if err := r.Cancel(ctx, "x"); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
@@ -256,9 +263,10 @@ func TestNotifyMaskFiltering(t *testing.T) {
 }
 
 func TestLeaseExpiryFiresMatchNoMatch(t *testing.T) {
+	ctx := context.Background()
 	_, r := newTestLUS(t)
 	fired := make(chan ServiceEvent, 1)
-	if _, err := r.Notify(ServiceTemplate{}, TransitionMatchNoMatch, time.Minute, func(ev ServiceEvent) {
+	if _, err := r.Notify(ctx, ServiceTemplate{}, TransitionMatchNoMatch, time.Minute, func(ev ServiceEvent) {
 		select {
 		case fired <- ev:
 		default:
@@ -266,7 +274,7 @@ func TestLeaseExpiryFiresMatchNoMatch(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Register(ServiceItem{ID: "fleeting"}, 150*time.Millisecond); err != nil {
+	if _, err := r.Register(ctx, ServiceItem{ID: "fleeting"}, 150*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -280,8 +288,9 @@ func TestLeaseExpiryFiresMatchNoMatch(t *testing.T) {
 }
 
 func TestLeaseRenewalManager(t *testing.T) {
+	ctx := context.Background()
 	_, r := newTestLUS(t)
-	reg, err := r.Register(ServiceItem{ID: "managed"}, 200*time.Millisecond)
+	reg, err := r.Register(ctx, ServiceItem{ID: "managed"}, 200*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +299,7 @@ func TestLeaseRenewalManager(t *testing.T) {
 	m.Manage(r, reg.ID, 200*time.Millisecond)
 	// Far beyond the original lease, the item must still exist.
 	time.Sleep(700 * time.Millisecond)
-	if _, ok, _ := r.LookupOne(ServiceTemplate{ID: "managed"}); !ok {
+	if _, ok, _ := r.LookupOne(ctx, ServiceTemplate{ID: "managed"}); !ok {
 		t.Fatal("managed lease expired")
 	}
 	if m.Count() != 1 {
@@ -300,7 +309,7 @@ func TestLeaseRenewalManager(t *testing.T) {
 	m.Forget(reg.ID)
 	deadline := time.Now().Add(3 * time.Second)
 	for {
-		if _, ok, _ := r.LookupOne(ServiceTemplate{ID: "managed"}); !ok {
+		if _, ok, _ := r.LookupOne(ctx, ServiceTemplate{ID: "managed"}); !ok {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -343,7 +352,7 @@ func TestDiscovery(t *testing.T) {
 		t.Fatalf("discover = %d, %v", len(regs), err)
 	}
 	defer regs[0].Close()
-	groups, err := regs[0].ServiceGroups()
+	groups, err := regs[0].ServiceGroups(context.Background())
 	if err != nil || len(groups) != 1 || groups[0] != "lab" {
 		t.Errorf("groups = %v, %v", groups, err)
 	}
@@ -357,6 +366,7 @@ func TestDiscovery(t *testing.T) {
 }
 
 func TestConcurrentRegistrations(t *testing.T) {
+	ctx := context.Background()
 	l, _ := newTestLUS(t)
 	var wg sync.WaitGroup
 	for g := 0; g < 6; g++ {
@@ -370,7 +380,7 @@ func TestConcurrentRegistrations(t *testing.T) {
 			}
 			defer r.Close()
 			for i := 0; i < 20; i++ {
-				if _, err := r.Register(ServiceItem{
+				if _, err := r.Register(ctx, ServiceItem{
 					Types: []string{"load.Test"},
 				}, time.Minute); err != nil {
 					t.Errorf("register: %v", err)

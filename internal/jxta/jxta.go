@@ -16,6 +16,7 @@ package jxta
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/gob"
 	"encoding/hex"
@@ -25,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"gondi/internal/retry"
 	"gondi/internal/rpc"
 )
 
@@ -464,9 +466,25 @@ type Peer struct {
 	rc *rpc.Client
 }
 
+// dialPolicy retries rendezvous dials briefly: peers race their
+// rendezvous at startup, so a refused connection is usually transient.
+var dialPolicy = retry.Policy{MaxAttempts: 3, BaseDelay: 25 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
+
 // DialPeer connects a peer to a rendezvous.
 func DialPeer(addr string, timeout time.Duration) (*Peer, error) {
-	rc, err := rpc.Dial(addr, timeout)
+	return DialPeerContext(context.Background(), addr, timeout)
+}
+
+// DialPeerContext connects a peer to a rendezvous, honoring ctx for the
+// dial (with brief retries on transient failures) and using timeout as
+// the per-call default for later Peer calls that carry no deadline.
+func DialPeerContext(ctx context.Context, addr string, timeout time.Duration) (*Peer, error) {
+	var rc *rpc.Client
+	err := retry.Do(ctx, dialPolicy, func() error {
+		var derr error
+		rc, derr = rpc.DialContext(ctx, addr, timeout)
+		return derr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -479,12 +497,12 @@ func (p *Peer) Close() error { return p.rc.Close() }
 // Closed reports whether the connection has terminated.
 func (p *Peer) Closed() bool { return p.rc.Closed() }
 
-func (p *Peer) call(method string, req *wireReq) (*wireRsp, error) {
+func (p *Peer) call(ctx context.Context, method string, req *wireReq) (*wireRsp, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
 		return nil, err
 	}
-	body, err := p.rc.Call(method, buf.Bytes())
+	body, err := p.rc.Call(ctx, method, buf.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -497,8 +515,8 @@ func (p *Peer) call(method string, req *wireReq) (*wireRsp, error) {
 
 // Publish stores an advertisement (overwriting an existing one of the
 // same name); onlyNew demands atomic first-publish.
-func (p *Peer) Publish(adv Advertisement, lifetime time.Duration, onlyNew bool) (Advertisement, error) {
-	rsp, err := p.call(mPublish, &wireReq{Adv: adv, LifetimeMs: lifetime.Milliseconds(), OnlyNew: onlyNew})
+func (p *Peer) Publish(ctx context.Context, adv Advertisement, lifetime time.Duration, onlyNew bool) (Advertisement, error) {
+	rsp, err := p.call(ctx, mPublish, &wireReq{Adv: adv, LifetimeMs: lifetime.Milliseconds(), OnlyNew: onlyNew})
 	if err != nil {
 		return Advertisement{}, err
 	}
@@ -506,8 +524,8 @@ func (p *Peer) Publish(adv Advertisement, lifetime time.Duration, onlyNew bool) 
 }
 
 // Renew extends an advertisement's lifetime.
-func (p *Peer) Renew(group, name string, lifetime time.Duration) (Advertisement, error) {
-	rsp, err := p.call(mRenew, &wireReq{Group: group, Name: name, LifetimeMs: lifetime.Milliseconds()})
+func (p *Peer) Renew(ctx context.Context, group, name string, lifetime time.Duration) (Advertisement, error) {
+	rsp, err := p.call(ctx, mRenew, &wireReq{Group: group, Name: name, LifetimeMs: lifetime.Milliseconds()})
 	if err != nil {
 		return Advertisement{}, err
 	}
@@ -515,15 +533,15 @@ func (p *Peer) Renew(group, name string, lifetime time.Duration) (Advertisement,
 }
 
 // Flush removes an advertisement.
-func (p *Peer) Flush(group, name string) error {
-	_, err := p.call(mFlush, &wireReq{Group: group, Name: name})
+func (p *Peer) Flush(ctx context.Context, group, name string) error {
+	_, err := p.call(ctx, mFlush, &wireReq{Group: group, Name: name})
 	return err
 }
 
 // Discover queries a group's advertisements by optional exact name and
 // attribute pattern ("*" values test presence).
-func (p *Peer) Discover(group, name string, query map[string]string, limit int) ([]Advertisement, error) {
-	rsp, err := p.call(mDiscover, &wireReq{Group: group, Name: name, Query: query, Limit: limit})
+func (p *Peer) Discover(ctx context.Context, group, name string, query map[string]string, limit int) ([]Advertisement, error) {
+	rsp, err := p.call(ctx, mDiscover, &wireReq{Group: group, Name: name, Query: query, Limit: limit})
 	if err != nil {
 		return nil, err
 	}
@@ -531,20 +549,20 @@ func (p *Peer) Discover(group, name string, query map[string]string, limit int) 
 }
 
 // CreateGroup creates a child peer group.
-func (p *Peer) CreateGroup(path string) error {
-	_, err := p.call(mCreateGroup, &wireReq{Group: path})
+func (p *Peer) CreateGroup(ctx context.Context, path string) error {
+	_, err := p.call(ctx, mCreateGroup, &wireReq{Group: path})
 	return err
 }
 
 // DestroyGroup removes an empty peer group.
-func (p *Peer) DestroyGroup(path string) error {
-	_, err := p.call(mDestroyGroup, &wireReq{Group: path})
+func (p *Peer) DestroyGroup(ctx context.Context, path string) error {
+	_, err := p.call(ctx, mDestroyGroup, &wireReq{Group: path})
 	return err
 }
 
 // SubGroups lists a group's direct child groups.
-func (p *Peer) SubGroups(path string) ([]string, error) {
-	rsp, err := p.call(mSubGroups, &wireReq{Group: path})
+func (p *Peer) SubGroups(ctx context.Context, path string) ([]string, error) {
+	rsp, err := p.call(ctx, mSubGroups, &wireReq{Group: path})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package ldapsrv
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"gondi/internal/filter"
 	"gondi/internal/ldapsrv/ber"
+	"gondi/internal/retry"
 )
 
 // Conn is a synchronous LDAP client connection.
@@ -32,7 +34,21 @@ func Dial(addr string, timeout time.Duration) (*Conn, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	c, err := net.DialTimeout("tcp", addr, timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return DialContext(ctx, addr)
+}
+
+// DialContext connects to an LDAP server, bounded by ctx; transient
+// connect failures are retried with backoff within ctx's budget.
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	var c net.Conn
+	err := retry.Do(ctx, retry.Policy{MaxAttempts: 3, BaseDelay: 25 * time.Millisecond, MaxDelay: 250 * time.Millisecond}, func() error {
+		var d net.Dialer
+		var derr error
+		c, derr = d.DialContext(ctx, "tcp", addr)
+		return derr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -50,22 +66,31 @@ func (c *Conn) Close() error {
 }
 
 // roundTrip sends one request and reads responses until the terminating
-// tag; the caller receives all response ops in order.
-func (c *Conn) roundTrip(op *ber.Packet, terminator byte) ([]*ber.Packet, error) {
+// tag; the caller receives all response ops in order. ctx's deadline is
+// applied to the socket for the whole exchange, so a stalled server
+// cannot wedge the caller past its budget.
+func (c *Conn) roundTrip(ctx context.Context, op *ber.Packet, terminator byte) ([]*ber.Packet, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(dl)
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	c.nextID++
 	id := c.nextID
 	if _, err := c.conn.Write(WrapMessage(id, op).Encode()); err != nil {
 		c.dead = true
-		return nil, err
+		return nil, wrapCtx(ctx, err)
 	}
 	var out []*ber.Packet
 	for {
 		msg, err := readBER(c.conn)
 		if err != nil {
 			c.dead = true
-			return nil, err
+			return nil, wrapCtx(ctx, err)
 		}
 		gotID, respOp, err := UnwrapMessage(msg)
 		if err != nil {
@@ -81,6 +106,16 @@ func (c *Conn) roundTrip(op *ber.Packet, terminator byte) ([]*ber.Packet, error)
 	}
 }
 
+// wrapCtx substitutes ctx.Err() for an I/O error caused by the ctx
+// deadline expiring (the socket reports a timeout, the caller wants the
+// context error).
+func wrapCtx(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
 func resultFrom(op string, p *ber.Packet) error {
 	r, err := DecodeResult(p)
 	if err != nil {
@@ -93,13 +128,13 @@ func resultFrom(op string, p *ber.Packet) error {
 }
 
 // Bind performs a simple bind; empty dn and password is an anonymous bind.
-func (c *Conn) Bind(dn, password string) error {
+func (c *Conn) Bind(ctx context.Context, dn, password string) error {
 	op := ber.NewApplication(AppBindRequest, true,
 		ber.NewInteger(3), // LDAPv3
 		ber.NewOctetString(dn),
 		ber.NewContextString(0, password),
 	)
-	resps, err := c.roundTrip(op, AppBindResponse)
+	resps, err := c.roundTrip(ctx, op, AppBindResponse)
 	if err != nil {
 		return err
 	}
@@ -116,6 +151,10 @@ func (c *Conn) Bind(dn, password string) error {
 type SearchOptions struct {
 	Scope     int // ScopeBaseObject, ScopeSingleLevel, ScopeWholeSubtree
 	SizeLimit int
+	// TimeLimit bounds the server-side search (rounded up to whole
+	// seconds on the wire, RFC 4511); 0 means unlimited. The server
+	// answers timeLimitExceeded with partial results when it fires.
+	TimeLimit time.Duration
 	TypesOnly bool
 	Attrs     []string
 }
@@ -123,7 +162,7 @@ type SearchOptions struct {
 // Search runs a filter search and returns matching entries. A
 // sizeLimitExceeded result returns the partial entries plus a
 // *ResultError.
-func (c *Conn) Search(baseDN, filterStr string, opts *SearchOptions) ([]Entry, error) {
+func (c *Conn) Search(ctx context.Context, baseDN, filterStr string, opts *SearchOptions) ([]Entry, error) {
 	if opts == nil {
 		opts = &SearchOptions{Scope: ScopeWholeSubtree}
 	}
@@ -144,12 +183,12 @@ func (c *Conn) Search(baseDN, filterStr string, opts *SearchOptions) ([]Entry, e
 		ber.NewEnumerated(int64(opts.Scope)),
 		ber.NewEnumerated(0), // neverDerefAliases
 		ber.NewInteger(int64(opts.SizeLimit)),
-		ber.NewInteger(0), // no time limit
+		ber.NewInteger(timeLimitSeconds(opts.TimeLimit)),
 		ber.NewBoolean(opts.TypesOnly),
 		fp,
 		attrList,
 	)
-	resps, err := c.roundTrip(op, AppSearchDone)
+	resps, err := c.roundTrip(ctx, op, AppSearchDone)
 	if err != nil {
 		return nil, err
 	}
@@ -170,11 +209,23 @@ func (c *Conn) Search(baseDN, filterStr string, opts *SearchOptions) ([]Entry, e
 	return entries, nil
 }
 
+// timeLimitSeconds rounds a duration up to whole seconds for the wire.
+func timeLimitSeconds(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // Add inserts an entry.
-func (c *Conn) Add(dn string, attrs []EntryAttr) error {
+func (c *Conn) Add(ctx context.Context, dn string, attrs []EntryAttr) error {
 	op := ber.NewApplication(AppAddRequest, true,
 		ber.NewOctetString(dn), EncodeAttrs(attrs))
-	resps, err := c.roundTrip(op, AppAddResponse)
+	resps, err := c.roundTrip(ctx, op, AppAddResponse)
 	if err != nil {
 		return err
 	}
@@ -182,9 +233,9 @@ func (c *Conn) Add(dn string, attrs []EntryAttr) error {
 }
 
 // Delete removes a leaf entry.
-func (c *Conn) Delete(dn string) error {
+func (c *Conn) Delete(ctx context.Context, dn string) error {
 	op := &ber.Packet{Tag: ber.ClassApplication | AppDelRequest, Data: []byte(dn)}
-	resps, err := c.roundTrip(op, AppDelResponse)
+	resps, err := c.roundTrip(ctx, op, AppDelResponse)
 	if err != nil {
 		return err
 	}
@@ -192,7 +243,7 @@ func (c *Conn) Delete(dn string) error {
 }
 
 // Modify applies attribute changes.
-func (c *Conn) Modify(dn string, changes []ModifyChange) error {
+func (c *Conn) Modify(ctx context.Context, dn string, changes []ModifyChange) error {
 	list := ber.NewSequence()
 	for _, ch := range changes {
 		vals := ber.NewSet()
@@ -206,7 +257,7 @@ func (c *Conn) Modify(dn string, changes []ModifyChange) error {
 	}
 	op := ber.NewApplication(AppModifyRequest, true,
 		ber.NewOctetString(dn), list)
-	resps, err := c.roundTrip(op, AppModifyResponse)
+	resps, err := c.roundTrip(ctx, op, AppModifyResponse)
 	if err != nil {
 		return err
 	}
@@ -214,13 +265,13 @@ func (c *Conn) Modify(dn string, changes []ModifyChange) error {
 }
 
 // ModifyDN renames an entry in place.
-func (c *Conn) ModifyDN(dn, newRDN string, deleteOldRDN bool) error {
+func (c *Conn) ModifyDN(ctx context.Context, dn, newRDN string, deleteOldRDN bool) error {
 	op := ber.NewApplication(AppModifyDNRequest, true,
 		ber.NewOctetString(dn),
 		ber.NewOctetString(newRDN),
 		ber.NewBoolean(deleteOldRDN),
 	)
-	resps, err := c.roundTrip(op, AppModifyDNResponse)
+	resps, err := c.roundTrip(ctx, op, AppModifyDNResponse)
 	if err != nil {
 		return err
 	}
@@ -228,12 +279,12 @@ func (c *Conn) ModifyDN(dn, newRDN string, deleteOldRDN bool) error {
 }
 
 // Compare tests an attribute assertion; it returns true on compareTrue.
-func (c *Conn) Compare(dn, attrType, value string) (bool, error) {
+func (c *Conn) Compare(ctx context.Context, dn, attrType, value string) (bool, error) {
 	op := ber.NewApplication(AppCompareRequest, true,
 		ber.NewOctetString(dn),
 		ber.NewSequence(ber.NewOctetString(attrType), ber.NewOctetString(value)),
 	)
-	resps, err := c.roundTrip(op, AppCompareResponse)
+	resps, err := c.roundTrip(ctx, op, AppCompareResponse)
 	if err != nil {
 		return false, err
 	}

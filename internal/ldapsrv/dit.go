@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"gondi/internal/filter"
 )
@@ -344,7 +345,11 @@ func (d *DIT) Get(dnStr string) (Entry, bool) {
 // Search evaluates a filter under baseDN with the given scope; it returns
 // matching entries (sorted shallow-first then lexicographically) and the
 // result. sizeLimit 0 means unlimited.
-func (d *DIT) Search(baseDN string, scope int, f *filter.Node, sizeLimit int, attrs []string, typesOnly bool) ([]Entry, Result) {
+func (d *DIT) Search(baseDN string, scope int, f *filter.Node, sizeLimit int, timeLimit time.Duration, attrs []string, typesOnly bool) ([]Entry, Result) {
+	var deadline time.Time
+	if timeLimit > 0 {
+		deadline = time.Now().Add(timeLimit)
+	}
 	base, err := ParseDN(baseDN)
 	if err != nil {
 		return nil, Result{Code: ResultInvalidDNSyntax, Message: err.Error()}
@@ -361,7 +366,17 @@ func (d *DIT) Search(baseDN string, scope int, f *filter.Node, sizeLimit int, at
 		e     *ditEntry
 	}
 	var hits []hit
+	timedOut := false
+	checked := 0
 	for key, e := range d.entries {
+		// Check the clock periodically, not per entry, to keep the scan
+		// cheap on big DITs.
+		if !deadline.IsZero() {
+			if checked++; checked%64 == 0 && time.Now().After(deadline) {
+				timedOut = true
+				break
+			}
+		}
 		if !e.dn.IsUnder(base) {
 			continue
 		}
@@ -392,6 +407,9 @@ func (d *DIT) Search(baseDN string, scope int, f *filter.Node, sizeLimit int, at
 		return hits[i].key < hits[j].key
 	})
 	res := Result{Code: ResultSuccess}
+	if !deadline.IsZero() && (timedOut || time.Now().After(deadline)) {
+		res.Code = ResultTimeLimitExceeded
+	}
 	if sizeLimit > 0 && len(hits) > sizeLimit {
 		hits = hits[:sizeLimit]
 		res.Code = ResultSizeLimitExceeded

@@ -2,6 +2,7 @@ package ldapsrv
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"net"
 	"testing"
@@ -37,6 +38,7 @@ func TestParseDNRandomNeverPanics(t *testing.T) {
 // A raw TCP client throwing garbage at the server must not wedge or crash
 // it; a well-formed client must still be served afterwards.
 func TestServerSurvivesGarbageConnections(t *testing.T) {
+	ctx := context.Background()
 	s, err := NewServer("127.0.0.1:0", ServerConfig{BaseDN: "dc=x"})
 	if err != nil {
 		t.Fatal(err)
@@ -72,10 +74,10 @@ func TestServerSurvivesGarbageConnections(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Bind("", ""); err != nil {
+	if err := c.Bind(ctx, "", ""); err != nil {
 		t.Fatalf("server wedged after garbage: %v", err)
 	}
-	if err := c.Add("cn=alive,dc=x", nil); err != nil {
+	if err := c.Add(ctx, "cn=alive,dc=x", nil); err != nil {
 		t.Fatal(err)
 	}
 }

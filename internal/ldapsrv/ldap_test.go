@@ -1,6 +1,7 @@
 package ldapsrv
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -188,35 +189,35 @@ func TestDITSearchScopes(t *testing.T) {
 	d.Add("cn=2,ou=a,dc=x", []EntryAttr{{Type: "kind", Vals: []string{"leaf"}}})
 
 	f := filter.MustParse("(kind=*)")
-	es, r := d.Search("dc=x", ScopeWholeSubtree, f, 0, nil, false)
+	es, r := d.Search("dc=x", ScopeWholeSubtree, f, 0, 0, nil, false)
 	if r.Code != ResultSuccess || len(es) != 3 {
 		t.Fatalf("subtree: %d, %+v", len(es), r)
 	}
-	es, _ = d.Search("dc=x", ScopeSingleLevel, f, 0, nil, false)
+	es, _ = d.Search("dc=x", ScopeSingleLevel, f, 0, 0, nil, false)
 	if len(es) != 1 || es[0].DN != "ou=a,dc=x" {
 		t.Errorf("one-level: %+v", es)
 	}
-	es, _ = d.Search("ou=a,dc=x", ScopeBaseObject, f, 0, nil, false)
+	es, _ = d.Search("ou=a,dc=x", ScopeBaseObject, f, 0, 0, nil, false)
 	if len(es) != 1 || es[0].GetFirst("kind") != "ou" {
 		t.Errorf("base: %+v", es)
 	}
 	// Size limit.
-	es, r = d.Search("dc=x", ScopeWholeSubtree, f, 2, nil, false)
+	es, r = d.Search("dc=x", ScopeWholeSubtree, f, 2, 0, nil, false)
 	if r.Code != ResultSizeLimitExceeded || len(es) != 2 {
 		t.Errorf("size limit: %d, %+v", len(es), r)
 	}
 	// Missing base.
-	_, r = d.Search("ou=ghost,dc=x", ScopeBaseObject, f, 0, nil, false)
+	_, r = d.Search("ou=ghost,dc=x", ScopeBaseObject, f, 0, 0, nil, false)
 	if r.Code != ResultNoSuchObject {
 		t.Errorf("missing base: %+v", r)
 	}
 	// Attribute selection and typesOnly.
 	d.Modify("cn=1,ou=a,dc=x", []ModifyChange{{Op: ModifyAdd, Attr: EntryAttr{Type: "mail", Vals: []string{"m"}}}})
-	es, _ = d.Search("cn=1,ou=a,dc=x", ScopeBaseObject, nil, 0, []string{"mail"}, false)
+	es, _ = d.Search("cn=1,ou=a,dc=x", ScopeBaseObject, nil, 0, 0, []string{"mail"}, false)
 	if len(es) != 1 || len(es[0].Attrs) != 1 || es[0].GetFirst("mail") != "m" {
 		t.Errorf("attr select: %+v", es)
 	}
-	es, _ = d.Search("cn=1,ou=a,dc=x", ScopeBaseObject, nil, 0, nil, true)
+	es, _ = d.Search("cn=1,ou=a,dc=x", ScopeBaseObject, nil, 0, 0, nil, true)
 	if len(es[0].Get("mail")) != 0 {
 		t.Errorf("typesOnly returned values: %+v", es[0])
 	}
@@ -238,85 +239,87 @@ func newLDAPPair(t *testing.T, cfg ServerConfig) (*Server, *Conn) {
 }
 
 func TestServerEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	_, c := newLDAPPair(t, ServerConfig{BaseDN: "dc=emory,dc=edu"})
-	if err := c.Bind("", ""); err != nil {
+	if err := c.Bind(ctx, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Add("ou=people,dc=emory,dc=edu", []EntryAttr{
+	if err := c.Add(ctx, "ou=people,dc=emory,dc=edu", []EntryAttr{
 		{Type: "objectClass", Vals: []string{"organizationalUnit"}},
 	}); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"alice", "bob", "carol"} {
-		if err := c.Add("cn="+name+",ou=people,dc=emory,dc=edu", []EntryAttr{
+		if err := c.Add(ctx, "cn="+name+",ou=people,dc=emory,dc=edu", []EntryAttr{
 			{Type: "objectClass", Vals: []string{"person"}},
 			{Type: "mail", Vals: []string{name + "@emory.edu"}},
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	es, err := c.Search("dc=emory,dc=edu", "(objectClass=person)", nil)
+	es, err := c.Search(ctx, "dc=emory,dc=edu", "(objectClass=person)", nil)
 	if err != nil || len(es) != 3 {
 		t.Fatalf("search: %d, %v", len(es), err)
 	}
-	es, err = c.Search("dc=emory,dc=edu", "(cn=ali*)", nil)
+	es, err = c.Search(ctx, "dc=emory,dc=edu", "(cn=ali*)", nil)
 	if err != nil || len(es) != 1 || es[0].GetFirst("mail") != "alice@emory.edu" {
 		t.Fatalf("substring search: %+v, %v", es, err)
 	}
 	// Modify and verify.
-	if err := c.Modify("cn=alice,ou=people,dc=emory,dc=edu", []ModifyChange{
+	if err := c.Modify(ctx, "cn=alice,ou=people,dc=emory,dc=edu", []ModifyChange{
 		{Op: ModifyReplace, Attr: EntryAttr{Type: "mail", Vals: []string{"new@emory.edu"}}},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	ok, err := c.Compare("cn=alice,ou=people,dc=emory,dc=edu", "mail", "new@emory.edu")
+	ok, err := c.Compare(ctx, "cn=alice,ou=people,dc=emory,dc=edu", "mail", "new@emory.edu")
 	if err != nil || !ok {
 		t.Fatalf("compare: %v %v", ok, err)
 	}
-	ok, _ = c.Compare("cn=alice,ou=people,dc=emory,dc=edu", "mail", "old@emory.edu")
+	ok, _ = c.Compare(ctx, "cn=alice,ou=people,dc=emory,dc=edu", "mail", "old@emory.edu")
 	if ok {
 		t.Error("compare false positive")
 	}
 	// ModifyDN.
-	if err := c.ModifyDN("cn=carol,ou=people,dc=emory,dc=edu", "cn=caroline", true); err != nil {
+	if err := c.ModifyDN(ctx, "cn=carol,ou=people,dc=emory,dc=edu", "cn=caroline", true); err != nil {
 		t.Fatal(err)
 	}
-	es, err = c.Search("dc=emory,dc=edu", "(cn=caroline)", nil)
+	es, err = c.Search(ctx, "dc=emory,dc=edu", "(cn=caroline)", nil)
 	if err != nil || len(es) != 1 {
 		t.Fatalf("after rename: %+v, %v", es, err)
 	}
 	// Delete.
-	if err := c.Delete("cn=bob,ou=people,dc=emory,dc=edu"); err != nil {
+	if err := c.Delete(ctx, "cn=bob,ou=people,dc=emory,dc=edu"); err != nil {
 		t.Fatal(err)
 	}
 	var re *ResultError
-	err = c.Delete("cn=bob,ou=people,dc=emory,dc=edu")
+	err = c.Delete(ctx, "cn=bob,ou=people,dc=emory,dc=edu")
 	if !errors.As(err, &re) || re.Result.Code != ResultNoSuchObject {
 		t.Errorf("re-delete: %v", err)
 	}
 }
 
 func TestServerAuth(t *testing.T) {
+	ctx := context.Background()
 	s, c := newLDAPPair(t, ServerConfig{
 		BaseDN: "dc=x", RootDN: "cn=admin,dc=x", RootPassword: "secret",
 		RequireAuthForWrite: true,
 	})
 	_ = s
 	// Anonymous write rejected.
-	err := c.Add("cn=a,dc=x", nil)
+	err := c.Add(ctx, "cn=a,dc=x", nil)
 	var re *ResultError
 	if !errors.As(err, &re) || re.Result.Code != ResultInsufficientAccess {
 		t.Fatalf("anon write: %v", err)
 	}
 	// Bad credentials.
-	if err := c.Bind("cn=admin,dc=x", "wrong"); err == nil {
+	if err := c.Bind(ctx, "cn=admin,dc=x", "wrong"); err == nil {
 		t.Fatal("bad bind accepted")
 	}
 	// Root bind then write.
-	if err := c.Bind("cn=admin,dc=x", "secret"); err != nil {
+	if err := c.Bind(ctx, "cn=admin,dc=x", "secret"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Add("cn=a,dc=x", []EntryAttr{{Type: "userPassword", Vals: []string{"pw"}}}); err != nil {
+	if err := c.Add(ctx, "cn=a,dc=x", []EntryAttr{{Type: "userPassword", Vals: []string{"pw"}}}); err != nil {
 		t.Fatal(err)
 	}
 	// Bind as the new entry via its userPassword.
@@ -325,22 +328,23 @@ func TestServerAuth(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	if err := c2.Bind("cn=a,dc=x", "pw"); err != nil {
+	if err := c2.Bind(ctx, "cn=a,dc=x", "pw"); err != nil {
 		t.Fatalf("entry bind: %v", err)
 	}
-	if err := c2.Bind("cn=a,dc=x", "nope"); err == nil {
+	if err := c2.Bind(ctx, "cn=a,dc=x", "nope"); err == nil {
 		t.Fatal("wrong entry password accepted")
 	}
 }
 
 func TestServerSizeLimit(t *testing.T) {
+	ctx := context.Background()
 	_, c := newLDAPPair(t, ServerConfig{BaseDN: "dc=x"})
 	for i := 0; i < 10; i++ {
-		if err := c.Add(fmt.Sprintf("cn=e%d,dc=x", i), nil); err != nil {
+		if err := c.Add(ctx, fmt.Sprintf("cn=e%d,dc=x", i), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
-	es, err := c.Search("dc=x", "(cn=e*)", &SearchOptions{Scope: ScopeWholeSubtree, SizeLimit: 4})
+	es, err := c.Search(ctx, "dc=x", "(cn=e*)", &SearchOptions{Scope: ScopeWholeSubtree, SizeLimit: 4})
 	var re *ResultError
 	if !errors.As(err, &re) || re.Result.Code != ResultSizeLimitExceeded {
 		t.Fatalf("err = %v", err)
@@ -351,8 +355,9 @@ func TestServerSizeLimit(t *testing.T) {
 }
 
 func TestServerConcurrentClients(t *testing.T) {
+	ctx := context.Background()
 	s, seed := newLDAPPair(t, ServerConfig{BaseDN: "dc=x"})
-	if err := seed.Add("ou=load,dc=x", nil); err != nil {
+	if err := seed.Add(ctx, "ou=load,dc=x", nil); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -368,11 +373,11 @@ func TestServerConcurrentClients(t *testing.T) {
 			defer c.Close()
 			for i := 0; i < 30; i++ {
 				dn := fmt.Sprintf("cn=g%d-%d,ou=load,dc=x", g, i)
-				if err := c.Add(dn, []EntryAttr{{Type: "seq", Vals: []string{fmt.Sprint(i)}}}); err != nil {
+				if err := c.Add(ctx, dn, []EntryAttr{{Type: "seq", Vals: []string{fmt.Sprint(i)}}}); err != nil {
 					t.Errorf("add %s: %v", dn, err)
 					return
 				}
-				if _, err := c.Search(dn, "(seq=*)", &SearchOptions{Scope: ScopeBaseObject}); err != nil {
+				if _, err := c.Search(ctx, dn, "(seq=*)", &SearchOptions{Scope: ScopeBaseObject}); err != nil {
 					t.Errorf("search %s: %v", dn, err)
 					return
 				}
@@ -380,13 +385,14 @@ func TestServerConcurrentClients(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	es, err := seed.Search("ou=load,dc=x", "(seq=*)", nil)
+	es, err := seed.Search(ctx, "ou=load,dc=x", "(seq=*)", nil)
 	if err != nil || len(es) != 180 {
 		t.Errorf("total = %d, %v", len(es), err)
 	}
 }
 
 func TestServerReadThrottle(t *testing.T) {
+	ctx := context.Background()
 	if testing.Short() {
 		t.Skip("timing test")
 	}
@@ -394,12 +400,12 @@ func TestServerReadThrottle(t *testing.T) {
 		BaseDN:      "dc=x",
 		ReadLimiter: costmodel.NewRateLimiter(50, 1), // 50 reads/s
 	})
-	if err := c.Add("cn=a,dc=x", nil); err != nil {
+	if err := c.Add(ctx, "cn=a,dc=x", nil); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
 	for i := 0; i < 15; i++ {
-		if _, err := c.Search("cn=a,dc=x", "(cn=*)", &SearchOptions{Scope: ScopeBaseObject}); err != nil {
+		if _, err := c.Search(ctx, "cn=a,dc=x", "(cn=*)", &SearchOptions{Scope: ScopeBaseObject}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -418,5 +424,36 @@ func TestEntryHelpers(t *testing.T) {
 	}
 	if !strings.Contains(e.String(), "cn=a") {
 		t.Error("String")
+	}
+}
+
+func TestDITSearchTimeLimit(t *testing.T) {
+	d, err := NewDIT("dc=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if r := d.Add(fmt.Sprintf("cn=e%d,dc=x", i),
+			[]EntryAttr{{Type: "objectClass", Vals: []string{"top"}}}); r.Code != ResultSuccess {
+			t.Fatal(r)
+		}
+	}
+	f, err := filter.Parse("(cn=e*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A limit that is already past when the walk finishes: the result
+	// code flips to timeLimitExceeded and the entries gathered so far
+	// come back as partial results.
+	entries, res := d.Search("dc=x", ScopeWholeSubtree, f, 0, time.Nanosecond, nil, false)
+	if res.Code != ResultTimeLimitExceeded {
+		t.Fatalf("code = %d, want timeLimitExceeded", res.Code)
+	}
+	if len(entries) == 0 {
+		t.Error("partial results dropped")
+	}
+	// No limit: clean success.
+	if _, res := d.Search("dc=x", ScopeWholeSubtree, f, 0, 0, nil, false); res.Code != ResultSuccess {
+		t.Fatalf("unlimited search code = %d", res.Code)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"gondi/internal/costmodel"
 	"gondi/internal/ldapsrv/ber"
@@ -263,6 +264,10 @@ func (s *Server) handleSearch(op *ber.Packet) []*ber.Packet {
 	if err != nil {
 		return done(Result{Code: ResultProtocolError})
 	}
+	timeLimit64, err := op.Children[4].Int()
+	if err != nil {
+		return done(Result{Code: ResultProtocolError})
+	}
 	typesOnly := op.Children[5].Bool()
 	f, err := DecodeFilter(op.Children[6])
 	if err != nil {
@@ -273,7 +278,7 @@ func (s *Server) handleSearch(op *ber.Packet) []*ber.Packet {
 		attrs = append(attrs, a.Str())
 	}
 	s.cfg.Costs.ReadCost(0)
-	entries, res := s.dit.Search(baseDN, int(scope64), f, int(sizeLimit64), attrs, typesOnly)
+	entries, res := s.dit.Search(baseDN, int(scope64), f, int(sizeLimit64), time.Duration(timeLimit64)*time.Second, attrs, typesOnly)
 	out := make([]*ber.Packet, 0, len(entries)+1)
 	for _, e := range entries {
 		out = append(out, ber.NewApplication(AppSearchEntry, true,

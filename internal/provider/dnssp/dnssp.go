@@ -14,6 +14,7 @@
 package dnssp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -25,18 +26,21 @@ import (
 
 // Register installs the "dns" URL scheme provider.
 func Register() {
-	core.RegisterProvider("dns", core.ProviderFunc(func(rawURL string, env map[string]any) (core.Context, core.Name, error) {
+	core.RegisterProvider("dns", core.ProviderFunc(func(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
+		if err := core.CtxErr(ctx); err != nil {
+			return nil, core.Name{}, err
+		}
 		u, err := core.ParseURLName(rawURL)
 		if err != nil {
 			return nil, core.Name{}, err
 		}
 		server := dnssrv.HostFromAuthority(u.Authority, "53")
-		ctx := &Context{
+		dc := &Context{
 			resolver: dnssrv.NewResolver(server),
 			url:      "dns://" + u.Authority,
 			env:      env,
 		}
-		return ctx, u.Path, nil
+		return dc, u.Path, nil
 	}))
 }
 
@@ -80,7 +84,12 @@ func (c *Context) parse(name string) (core.Name, error) {
 	return core.ParseName(name)
 }
 
-func (c *Context) full(name string) (core.Name, error) {
+// full parses name under the context base, front-checking ctx so every
+// operation fails fast once the caller's budget is gone.
+func (c *Context) full(ctx context.Context, name string) (core.Name, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return core.Name{}, err
+	}
 	n, err := c.parse(name)
 	if err != nil {
 		return core.Name{}, err
@@ -90,8 +99,8 @@ func (c *Context) full(name string) (core.Name, error) {
 
 // records fetches all records at the named domain. It returns
 // (nil, false, nil) on NXDOMAIN.
-func (c *Context) records(n core.Name) ([]dnssrv.RR, bool, error) {
-	rrs, err := c.resolver.Query(domainFor(n), dnssrv.TypeANY)
+func (c *Context) records(ctx context.Context, n core.Name) ([]dnssrv.RR, bool, error) {
+	rrs, err := c.resolver.Query(ctx, domainFor(n), dnssrv.TypeANY)
 	if dnssrv.IsNXDomain(err) {
 		return nil, false, nil
 	}
@@ -123,8 +132,8 @@ func boundaryURL(rrs []dnssrv.RR) (string, bool) {
 }
 
 // exists reports whether a domain exists (has records or descendants).
-func (c *Context) exists(n core.Name) (bool, []dnssrv.RR, error) {
-	rrs, found, err := c.records(n)
+func (c *Context) exists(ctx context.Context, n core.Name) (bool, []dnssrv.RR, error) {
+	rrs, found, err := c.records(ctx, n)
 	if err != nil {
 		return false, nil, err
 	}
@@ -140,15 +149,15 @@ func (c *Context) exists(n core.Name) (bool, []dnssrv.RR, error) {
 // Lookup implements core.Context. Domains resolve to subcontexts; a TXT
 // record holding a provider URL resolves to a context Reference
 // (federation); other leaf data resolves to the TXT strings themselves.
-func (c *Context) Lookup(name string) (any, error) {
-	full, err := c.full(name)
+func (c *Context) Lookup(ctx context.Context, name string) (any, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
 	if full.Equal(c.base) {
 		return c.child(c.base), nil
 	}
-	ok, rrs, err := c.exists(full)
+	ok, rrs, err := c.exists(ctx, full)
 	if err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
@@ -159,7 +168,7 @@ func (c *Context) Lookup(name string) (any, error) {
 		return c.child(full), nil
 	}
 	// NXDOMAIN: a prefix may be a federation boundary.
-	if cpe, cerr := c.prefixBoundary(full); cerr != nil {
+	if cpe, cerr := c.prefixBoundary(ctx, full); cerr != nil {
 		return nil, core.Errf("lookup", name, cerr)
 	} else if cpe != nil {
 		return nil, cpe
@@ -170,8 +179,8 @@ func (c *Context) Lookup(name string) (any, error) {
 // contextBoundary raises a continuation when full itself (or a prefix) is
 // a federation anchor — used by context-level operations (List, Search)
 // that must continue in the foreign naming system.
-func (c *Context) contextBoundary(full core.Name) (*core.CannotProceedError, error) {
-	ok, rrs, err := c.exists(full)
+func (c *Context) contextBoundary(ctx context.Context, full core.Name) (*core.CannotProceedError, error) {
+	ok, rrs, err := c.exists(ctx, full)
 	if err != nil {
 		return nil, err
 	}
@@ -185,25 +194,27 @@ func (c *Context) contextBoundary(full core.Name) (*core.CannotProceedError, err
 		}
 		return nil, nil
 	}
-	return c.prefixBoundary(full)
+	return c.prefixBoundary(ctx, full)
 }
 
 // LookupLink implements core.Context.
-func (c *Context) LookupLink(name string) (any, error) { return c.Lookup(name) }
+func (c *Context) LookupLink(ctx context.Context, name string) (any, error) {
+	return c.Lookup(ctx, name)
+}
 
 // GetAttributes implements core.DirContext: the domain's resource records
 // become attributes keyed by record type.
-func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attributes, error) {
-	full, err := c.full(name)
+func (c *Context) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*core.Attributes, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("getAttributes", name, err)
 	}
-	ok, rrs, err := c.exists(full)
+	ok, rrs, err := c.exists(ctx, full)
 	if err != nil {
 		return nil, core.Errf("getAttributes", name, err)
 	}
 	if !ok {
-		if cpe, cerr := c.prefixBoundary(full); cerr != nil {
+		if cpe, cerr := c.prefixBoundary(ctx, full); cerr != nil {
 			return nil, core.Errf("getAttributes", name, cerr)
 		} else if cpe != nil {
 			return nil, cpe
@@ -215,9 +226,9 @@ func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attribute
 
 // prefixBoundary scans a name's prefixes for a federation anchor (TXT
 // record holding a provider URL) and returns the continuation to raise.
-func (c *Context) prefixBoundary(full core.Name) (*core.CannotProceedError, error) {
+func (c *Context) prefixBoundary(ctx context.Context, full core.Name) (*core.CannotProceedError, error) {
 	for i := c.base.Size() + 1; i < full.Size(); i++ {
-		pok, prrs, perr := c.exists(full.Prefix(i))
+		pok, prrs, perr := c.exists(ctx, full.Prefix(i))
 		if perr != nil {
 			return nil, perr
 		}
@@ -259,9 +270,9 @@ func recordAttrs(rrs []dnssrv.RR) *core.Attributes {
 }
 
 // transferredChildren lists direct child labels of a domain via AXFR.
-func (c *Context) transferredChildren(full core.Name) (map[string][]dnssrv.RR, error) {
+func (c *Context) transferredChildren(ctx context.Context, full core.Name) (map[string][]dnssrv.RR, error) {
 	domain := domainFor(full)
-	rrs, err := c.resolver.TransferZone(domain)
+	rrs, err := c.resolver.TransferZone(ctx, domain)
 	if err != nil {
 		return nil, &core.CommunicationError{Endpoint: c.url, Err: err}
 	}
@@ -292,8 +303,8 @@ func (c *Context) transferredChildren(full core.Name) (map[string][]dnssrv.RR, e
 }
 
 // List implements core.Context via zone transfer.
-func (c *Context) List(name string) ([]core.NameClassPair, error) {
-	bindings, err := c.ListBindings(name)
+func (c *Context) List(ctx context.Context, name string) ([]core.NameClassPair, error) {
+	bindings, err := c.ListBindings(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -305,17 +316,17 @@ func (c *Context) List(name string) ([]core.NameClassPair, error) {
 }
 
 // ListBindings implements core.Context.
-func (c *Context) ListBindings(name string) ([]core.Binding, error) {
-	full, err := c.full(name)
+func (c *Context) ListBindings(ctx context.Context, name string) ([]core.Binding, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("list", name, err)
 	}
-	if cpe, cerr := c.contextBoundary(full); cerr != nil {
+	if cpe, cerr := c.contextBoundary(ctx, full); cerr != nil {
 		return nil, core.Errf("list", name, cerr)
 	} else if cpe != nil {
 		return nil, cpe
 	}
-	kids, err := c.transferredChildren(full)
+	kids, err := c.transferredChildren(ctx, full)
 	if err != nil {
 		return nil, core.Errf("list", name, err)
 	}
@@ -340,8 +351,8 @@ func sortBindings(bs []core.Binding) {
 }
 
 // Search implements core.DirContext over the transferred zone subtree.
-func (c *Context) Search(name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
-	full, err := c.full(name)
+func (c *Context) Search(ctx context.Context, name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("search", name, err)
 	}
@@ -349,7 +360,7 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 	if err != nil {
 		return nil, core.Errf("search", name, err)
 	}
-	if cpe, cerr := c.contextBoundary(full); cerr != nil {
+	if cpe, cerr := c.contextBoundary(ctx, full); cerr != nil {
 		return nil, core.Errf("search", name, cerr)
 	} else if cpe != nil {
 		return nil, cpe
@@ -358,7 +369,7 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 		controls = &core.SearchControls{Scope: core.ScopeSubtree}
 	}
 	domain := domainFor(full)
-	rrs, err := c.resolver.TransferZone(domain)
+	rrs, err := c.resolver.TransferZone(ctx, domain)
 	if err != nil {
 		return nil, core.Errf("search", name, &core.CommunicationError{Endpoint: c.url, Err: err})
 	}
@@ -423,12 +434,12 @@ func relPath(domain, base string) string {
 // anchored naming system — writes through the DNS *root* of the paper's
 // hierarchy land on HDNS or the leaf services.
 
-func (c *Context) writeBoundary(op, name string) error {
-	full, err := c.full(name)
+func (c *Context) writeBoundary(ctx context.Context, op, name string) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf(op, name, err)
 	}
-	if cpe, cerr := c.prefixBoundary(full); cerr != nil {
+	if cpe, cerr := c.prefixBoundary(ctx, full); cerr != nil {
 		return core.Errf(op, name, cerr)
 	} else if cpe != nil {
 		return cpe
@@ -437,57 +448,57 @@ func (c *Context) writeBoundary(op, name string) error {
 }
 
 // Bind implements core.Context (unsupported locally; federates).
-func (c *Context) Bind(name string, obj any) error {
-	return c.writeBoundary("bind", name)
+func (c *Context) Bind(ctx context.Context, name string, obj any) error {
+	return c.writeBoundary(ctx, "bind", name)
 }
 
 // BindAttrs implements core.DirContext (unsupported locally; federates).
-func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error {
-	return c.writeBoundary("bind", name)
+func (c *Context) BindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	return c.writeBoundary(ctx, "bind", name)
 }
 
 // Rebind implements core.Context (unsupported locally; federates).
-func (c *Context) Rebind(name string, obj any) error {
-	return c.writeBoundary("rebind", name)
+func (c *Context) Rebind(ctx context.Context, name string, obj any) error {
+	return c.writeBoundary(ctx, "rebind", name)
 }
 
 // RebindAttrs implements core.DirContext (unsupported locally; federates).
-func (c *Context) RebindAttrs(name string, obj any, attrs *core.Attributes) error {
-	return c.writeBoundary("rebind", name)
+func (c *Context) RebindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	return c.writeBoundary(ctx, "rebind", name)
 }
 
 // Unbind implements core.Context (unsupported locally; federates).
-func (c *Context) Unbind(name string) error {
-	return c.writeBoundary("unbind", name)
+func (c *Context) Unbind(ctx context.Context, name string) error {
+	return c.writeBoundary(ctx, "unbind", name)
 }
 
 // Rename implements core.Context (unsupported locally; federates).
-func (c *Context) Rename(oldName, newName string) error {
-	return c.writeBoundary("rename", oldName)
+func (c *Context) Rename(ctx context.Context, oldName, newName string) error {
+	return c.writeBoundary(ctx, "rename", oldName)
 }
 
 // CreateSubcontext implements core.Context (unsupported locally;
 // federates).
-func (c *Context) CreateSubcontext(name string) (core.Context, error) {
-	return nil, c.writeBoundary("createSubcontext", name)
+func (c *Context) CreateSubcontext(ctx context.Context, name string) (core.Context, error) {
+	return nil, c.writeBoundary(ctx, "createSubcontext", name)
 }
 
 // CreateSubcontextAttrs implements core.DirContext (unsupported locally;
 // federates).
-func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (core.DirContext, error) {
-	return nil, c.writeBoundary("createSubcontext", name)
+func (c *Context) CreateSubcontextAttrs(ctx context.Context, name string, attrs *core.Attributes) (core.DirContext, error) {
+	return nil, c.writeBoundary(ctx, "createSubcontext", name)
 }
 
 // DestroySubcontext implements core.Context (unsupported locally;
 // federates).
-func (c *Context) DestroySubcontext(name string) error {
-	return c.writeBoundary("destroySubcontext", name)
+func (c *Context) DestroySubcontext(ctx context.Context, name string) error {
+	return c.writeBoundary(ctx, "destroySubcontext", name)
 }
 
 // ModifyAttributes implements core.DirContext (unsupported locally;
 // federates).
-func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error {
-	return c.writeBoundary("modifyAttributes", name)
+func (c *Context) ModifyAttributes(ctx context.Context, name string, mods []core.AttributeMod) error {
+	return c.writeBoundary(ctx, "modifyAttributes", name)
 }
 
 // NameInNamespace implements core.Context.

@@ -1,6 +1,7 @@
 package dnssp
 
 import (
+	"context"
 	"errors"
 	"net/netip"
 	"testing"
@@ -30,20 +31,22 @@ func newWorld(t *testing.T) *dnssrv.Server {
 }
 
 func open(t *testing.T, s *dnssrv.Server, path string) (core.Context, core.Name) {
+	ctx := context.Background()
 	t.Helper()
 	Register()
-	ctx, rest, err := core.OpenURL("dns://"+s.Addr()+"/"+path, nil)
+	nc, rest, err := core.OpenURL(ctx, "dns://"+s.Addr()+"/"+path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { ctx.Close() })
-	return ctx, rest
+	t.Cleanup(func() { nc.Close() })
+	return nc, rest
 }
 
 func TestLookupContexts(t *testing.T) {
 	s := newWorld(t)
-	ctx, rest := open(t, s, "global")
-	obj, err := ctx.Lookup(rest.String())
+	ctx := context.Background()
+	nc, rest := open(t, s, "global")
+	obj, err := nc.Lookup(ctx, rest.String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +55,7 @@ func TestLookupContexts(t *testing.T) {
 		t.Fatalf("root = %T", obj)
 	}
 	// Subdomain resolves to a context.
-	obj, err = root.Lookup("emory")
+	obj, err = root.Lookup(ctx, "emory")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,19 +63,20 @@ func TestLookupContexts(t *testing.T) {
 	if !ok {
 		t.Fatalf("emory = %T", obj)
 	}
-	if _, err := emory.Lookup("mathcs"); err != nil {
+	if _, err := emory.Lookup(ctx, "mathcs"); err != nil {
 		t.Fatal(err)
 	}
 	// Missing name.
-	if _, err := root.Lookup("ghost"); !errors.Is(err, core.ErrNotFound) {
+	if _, err := root.Lookup(ctx, "ghost"); !errors.Is(err, core.ErrNotFound) {
 		t.Errorf("ghost: %v", err)
 	}
 }
 
 func TestGetAttributes(t *testing.T) {
 	s := newWorld(t)
-	ctx, _ := open(t, s, "global")
-	attrs, err := ctx.(*Context).GetAttributes("global/emory")
+	ctx := context.Background()
+	nc, _ := open(t, s, "global")
+	attrs, err := nc.(*Context).GetAttributes(ctx, "global/emory")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +87,7 @@ func TestGetAttributes(t *testing.T) {
 		t.Errorf("TXT = %q", attrs.GetFirst("TXT"))
 	}
 	// Restricted.
-	attrs, _ = ctx.(*Context).GetAttributes("global/emory", "TXT")
+	attrs, _ = nc.(*Context).GetAttributes(ctx, "global/emory", "TXT")
 	if attrs.Size() != 1 {
 		t.Errorf("restricted = %v", attrs)
 	}
@@ -91,8 +95,9 @@ func TestGetAttributes(t *testing.T) {
 
 func TestListViaZoneTransfer(t *testing.T) {
 	s := newWorld(t)
-	ctx, _ := open(t, s, "global")
-	pairs, err := ctx.List("global")
+	ctx := context.Background()
+	nc, _ := open(t, s, "global")
+	pairs, err := nc.List(ctx, "global")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +111,7 @@ func TestListViaZoneTransfer(t *testing.T) {
 	if !names["emory"] || !names["gatech"] {
 		t.Errorf("children = %v", names)
 	}
-	pairs, err = ctx.List("global/emory")
+	pairs, err = nc.List(ctx, "global/emory")
 	if err != nil || len(pairs) != 1 || pairs[0].Name != "mathcs" {
 		t.Fatalf("emory children = %+v, %v", pairs, err)
 	}
@@ -114,13 +119,14 @@ func TestListViaZoneTransfer(t *testing.T) {
 
 func TestSearch(t *testing.T) {
 	s := newWorld(t)
-	ctx, _ := open(t, s, "global")
-	res, err := ctx.(*Context).Search("global", "(TXT=*university*)", &core.SearchControls{Scope: core.ScopeSubtree})
+	ctx := context.Background()
+	nc, _ := open(t, s, "global")
+	res, err := nc.(*Context).Search(ctx, "global", "(TXT=*university*)", &core.SearchControls{Scope: core.ScopeSubtree})
 	if err != nil || len(res) != 1 || res[0].Name != "emory" {
 		t.Fatalf("search = %+v, %v", res, err)
 	}
 	// One-level scope.
-	res, err = ctx.(*Context).Search("global", "(TXT=*)", &core.SearchControls{Scope: core.ScopeOneLevel})
+	res, err = nc.(*Context).Search(ctx, "global", "(TXT=*)", &core.SearchControls{Scope: core.ScopeOneLevel})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,13 +141,14 @@ func TestSearch(t *testing.T) {
 // holds a provider URL raises a federation continuation.
 func TestFederationAnchor(t *testing.T) {
 	s := newWorld(t)
-	ctx, _ := open(t, s, "global")
+	ctx := context.Background()
+	nc, _ := open(t, s, "global")
 	// Core must know the hdns scheme for the TXT to count as a boundary.
-	core.RegisterProvider("hdns", core.ProviderFunc(func(string, map[string]any) (core.Context, core.Name, error) {
+	core.RegisterProvider("hdns", core.ProviderFunc(func(context.Context, string, map[string]any) (core.Context, core.Name, error) {
 		return nil, core.Name{}, errors.New("unreachable in this test")
 	}))
 	// Looking up the anchor itself yields a context reference.
-	obj, err := ctx.Lookup("global/emory/mathcs/dcl")
+	obj, err := nc.Lookup(ctx, "global/emory/mathcs/dcl")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +160,7 @@ func TestFederationAnchor(t *testing.T) {
 		t.Errorf("url = %q", url)
 	}
 	// Resolving THROUGH the anchor raises a continuation.
-	_, err = ctx.Lookup("global/emory/mathcs/dcl/mokey")
+	_, err = nc.Lookup(ctx, "global/emory/mathcs/dcl/mokey")
 	var cpe *core.CannotProceedError
 	if !errors.As(err, &cpe) {
 		t.Fatalf("want continuation, got %v", err)
@@ -168,21 +175,22 @@ func TestFederationAnchor(t *testing.T) {
 
 func TestWritesUnsupported(t *testing.T) {
 	s := newWorld(t)
-	ctx, _ := open(t, s, "global")
-	c := ctx.(*Context)
-	if err := c.Bind("x", 1); !errors.Is(err, core.ErrNotSupported) {
+	ctx := context.Background()
+	nc, _ := open(t, s, "global")
+	c := nc.(*Context)
+	if err := c.Bind(ctx, "x", 1); !errors.Is(err, core.ErrNotSupported) {
 		t.Errorf("bind: %v", err)
 	}
-	if err := c.Rebind("x", 1); !errors.Is(err, core.ErrNotSupported) {
+	if err := c.Rebind(ctx, "x", 1); !errors.Is(err, core.ErrNotSupported) {
 		t.Errorf("rebind: %v", err)
 	}
-	if err := c.Unbind("x"); !errors.Is(err, core.ErrNotSupported) {
+	if err := c.Unbind(ctx, "x"); !errors.Is(err, core.ErrNotSupported) {
 		t.Errorf("unbind: %v", err)
 	}
-	if _, err := c.CreateSubcontext("x"); !errors.Is(err, core.ErrNotSupported) {
+	if _, err := c.CreateSubcontext(ctx, "x"); !errors.Is(err, core.ErrNotSupported) {
 		t.Errorf("createSubcontext: %v", err)
 	}
-	if err := c.ModifyAttributes("x", nil); !errors.Is(err, core.ErrNotSupported) {
+	if err := c.ModifyAttributes(ctx, "x", nil); !errors.Is(err, core.ErrNotSupported) {
 		t.Errorf("modifyAttributes: %v", err)
 	}
 }

@@ -7,6 +7,7 @@ package fssp
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"gondi/internal/core"
 	"gondi/internal/filter"
@@ -26,7 +28,10 @@ const bindingExt = ".binding"
 // Register installs the "file" URL scheme provider. URLs take the form
 // file:///abs/path or file://host/path (host ignored, like file URLs).
 func Register() {
-	core.RegisterProvider("file", core.ProviderFunc(func(rawURL string, env map[string]any) (core.Context, core.Name, error) {
+	core.RegisterProvider("file", core.ProviderFunc(func(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
+		if err := core.CtxErr(ctx); err != nil {
+			return nil, core.Name{}, err
+		}
 		u, err := core.ParseURLName(rawURL)
 		if err != nil {
 			return nil, core.Name{}, err
@@ -86,7 +91,12 @@ func (c *Context) parse(name string) (core.Name, error) {
 	return n, nil
 }
 
-func (c *Context) full(name string) (core.Name, error) {
+// full parses name and prepends the context base; it also front-checks
+// ctx so every operation fails fast once the caller's budget is gone.
+func (c *Context) full(ctx context.Context, name string) (core.Name, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return core.Name{}, err
+	}
 	n, err := c.parse(name)
 	if err != nil {
 		return core.Name{}, err
@@ -155,8 +165,8 @@ func (c *Context) boundary(full core.Name) error {
 }
 
 // Lookup implements core.Context.
-func (c *Context) Lookup(name string) (any, error) {
-	full, err := c.full(name)
+func (c *Context) Lookup(ctx context.Context, name string) (any, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
@@ -180,16 +190,18 @@ func (c *Context) Lookup(name string) (any, error) {
 }
 
 // LookupLink implements core.Context.
-func (c *Context) LookupLink(name string) (any, error) { return c.Lookup(name) }
+func (c *Context) LookupLink(ctx context.Context, name string) (any, error) {
+	return c.Lookup(ctx, name)
+}
 
 // Bind implements core.Context atomically via O_EXCL.
-func (c *Context) Bind(name string, obj any) error {
-	return c.BindAttrs(name, obj, nil)
+func (c *Context) Bind(ctx context.Context, name string, obj any) error {
+	return c.BindAttrs(ctx, name, obj, nil)
 }
 
 // BindAttrs implements core.DirContext.
-func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error {
-	full, err := c.full(name)
+func (c *Context) BindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("bind", name, err)
 	}
@@ -224,17 +236,17 @@ func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error 
 }
 
 // Rebind implements core.Context.
-func (c *Context) Rebind(name string, obj any) error {
-	return c.rebind(name, obj, nil, false)
+func (c *Context) Rebind(ctx context.Context, name string, obj any) error {
+	return c.rebind(ctx, name, obj, nil, false)
 }
 
 // RebindAttrs implements core.DirContext.
-func (c *Context) RebindAttrs(name string, obj any, attrs *core.Attributes) error {
-	return c.rebind(name, obj, attrs, attrs != nil)
+func (c *Context) RebindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	return c.rebind(ctx, name, obj, attrs, attrs != nil)
 }
 
-func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replace bool) error {
-	full, err := c.full(name)
+func (c *Context) rebind(ctx context.Context, name string, obj any, attrs *core.Attributes, replace bool) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("rebind", name, err)
 	}
@@ -274,8 +286,8 @@ func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replace b
 }
 
 // Unbind implements core.Context.
-func (c *Context) Unbind(name string) error {
-	full, err := c.full(name)
+func (c *Context) Unbind(ctx context.Context, name string) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("unbind", name, err)
 	}
@@ -294,12 +306,12 @@ func (c *Context) Unbind(name string) error {
 }
 
 // Rename implements core.Context.
-func (c *Context) Rename(oldName, newName string) error {
-	oldFull, err := c.full(oldName)
+func (c *Context) Rename(ctx context.Context, oldName, newName string) error {
+	oldFull, err := c.full(ctx, oldName)
 	if err != nil {
 		return core.Errf("rename", oldName, err)
 	}
-	newFull, err := c.full(newName)
+	newFull, err := c.full(ctx, newName)
 	if err != nil {
 		return core.Errf("rename", newName, err)
 	}
@@ -320,8 +332,8 @@ func (c *Context) Rename(oldName, newName string) error {
 }
 
 // List implements core.Context.
-func (c *Context) List(name string) ([]core.NameClassPair, error) {
-	bindings, err := c.ListBindings(name)
+func (c *Context) List(ctx context.Context, name string) ([]core.NameClassPair, error) {
+	bindings, err := c.ListBindings(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -333,8 +345,8 @@ func (c *Context) List(name string) ([]core.NameClassPair, error) {
 }
 
 // ListBindings implements core.Context.
-func (c *Context) ListBindings(name string) ([]core.Binding, error) {
-	full, err := c.full(name)
+func (c *Context) ListBindings(ctx context.Context, name string) ([]core.Binding, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("list", name, err)
 	}
@@ -382,8 +394,8 @@ func (c *Context) ListBindings(name string) ([]core.Binding, error) {
 }
 
 // CreateSubcontext implements core.Context.
-func (c *Context) CreateSubcontext(name string) (core.Context, error) {
-	dc, err := c.CreateSubcontextAttrs(name, nil)
+func (c *Context) CreateSubcontext(ctx context.Context, name string) (core.Context, error) {
+	dc, err := c.CreateSubcontextAttrs(ctx, name, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -392,8 +404,8 @@ func (c *Context) CreateSubcontext(name string) (core.Context, error) {
 
 // CreateSubcontextAttrs implements core.DirContext. Attributes on
 // filesystem subcontexts are not persisted (directories have no payload).
-func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (core.DirContext, error) {
-	full, err := c.full(name)
+func (c *Context) CreateSubcontextAttrs(ctx context.Context, name string, attrs *core.Attributes) (core.DirContext, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("createSubcontext", name, err)
 	}
@@ -413,8 +425,8 @@ func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (co
 }
 
 // DestroySubcontext implements core.Context.
-func (c *Context) DestroySubcontext(name string) error {
-	full, err := c.full(name)
+func (c *Context) DestroySubcontext(ctx context.Context, name string) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("destroySubcontext", name, err)
 	}
@@ -434,8 +446,8 @@ func (c *Context) DestroySubcontext(name string) error {
 }
 
 // GetAttributes implements core.DirContext.
-func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attributes, error) {
-	full, err := c.full(name)
+func (c *Context) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*core.Attributes, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("getAttributes", name, err)
 	}
@@ -449,8 +461,8 @@ func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attribute
 }
 
 // ModifyAttributes implements core.DirContext.
-func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error {
-	full, err := c.full(name)
+func (c *Context) ModifyAttributes(ctx context.Context, name string, mods []core.AttributeMod) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("modifyAttributes", name, err)
 	}
@@ -466,12 +478,15 @@ func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error 
 	if err != nil {
 		return core.Errf("modifyAttributes", name, err)
 	}
-	return c.rebind(name, obj, attrs, true)
+	return c.rebind(ctx, name, obj, attrs, true)
 }
 
 // Search implements core.DirContext by walking the directory tree.
-func (c *Context) Search(name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
-	full, err := c.full(name)
+// SearchControls.TimeLimit bounds the walk; when it fires, the partial
+// results are returned with a *core.TimeLimitExceededError. A done ctx
+// aborts the walk with ctx.Err() the same way.
+func (c *Context) Search(ctx context.Context, name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("search", name, err)
 	}
@@ -483,10 +498,23 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 		controls = &core.SearchControls{Scope: core.ScopeSubtree}
 	}
 	root := c.dirPath(full)
+	var deadline time.Time
+	if controls.TimeLimit > 0 {
+		deadline = time.Now().Add(controls.TimeLimit)
+	}
 	var out []core.SearchResult
 	var limitHit bool
+	var stopErr error
 	walkErr := filepath.WalkDir(root, func(path string, de fs.DirEntry, err error) error {
 		if err != nil || limitHit {
+			return fs.SkipAll
+		}
+		if cerr := core.CtxErr(ctx); cerr != nil {
+			stopErr = cerr
+			return fs.SkipAll
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			stopErr = &core.TimeLimitExceededError{Limit: controls.TimeLimit}
 			return fs.SkipAll
 		}
 		if de.IsDir() || !strings.HasSuffix(path, bindingExt) {
@@ -535,6 +563,9 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 		return nil, core.Errf("search", name, walkErr)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	if stopErr != nil {
+		return out, stopErr
+	}
 	if limitHit {
 		return out, &core.LimitExceededError{Limit: controls.CountLimit}
 	}

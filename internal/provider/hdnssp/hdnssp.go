@@ -8,6 +8,7 @@
 package hdnssp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -27,16 +28,16 @@ const (
 
 // Register installs the "hdns" URL scheme provider.
 func Register() {
-	core.RegisterProvider("hdns", core.ProviderFunc(func(rawURL string, env map[string]any) (core.Context, core.Name, error) {
+	core.RegisterProvider("hdns", core.ProviderFunc(func(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
 		u, err := core.ParseURLName(rawURL)
 		if err != nil {
 			return nil, core.Name{}, err
 		}
-		ctx, err := Open(u.Authority, env)
+		hc, err := Open(ctx, u.Authority, env)
 		if err != nil {
 			return nil, core.Name{}, &core.CommunicationError{Endpoint: u.Authority, Err: err}
 		}
-		return ctx, u.Path, nil
+		return hc, u.Path, nil
 	}))
 }
 
@@ -72,8 +73,11 @@ var _ core.EventContext = (*Context)(nil)
 var _ core.Referenceable = (*Context)(nil)
 
 // Open connects to (or reuses a pooled connection for) the HDNS node at
-// authority (host:port).
-func Open(authority string, env map[string]any) (*Context, error) {
+// authority (host:port); the dial and auth handshake honour ctx.
+func Open(ctx context.Context, authority string, env map[string]any) (*Context, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	secret, _ := env[EnvSecret].(string)
 	leaseMs := int64(0)
 	switch v := env[EnvLeaseMs].(type) {
@@ -97,7 +101,7 @@ func Open(authority string, env map[string]any) (*Context, error) {
 	}
 	poolMu.Unlock()
 
-	client, err := hdns.Dial(authority, secret, 10*time.Second)
+	client, err := hdns.DialContext(ctx, authority, secret, 10*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +138,12 @@ func (c *Context) parse(name string) (core.Name, error) {
 	return core.ParseName(name)
 }
 
-func (c *Context) full(name string) ([]string, core.Name, error) {
+// full parses name under the context base, front-checking ctx so every
+// operation fails fast once the caller's budget is gone.
+func (c *Context) full(ctx context.Context, name string) ([]string, core.Name, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, core.Name{}, err
+	}
 	n, err := c.parse(name)
 	if err != nil {
 		return nil, core.Name{}, err
@@ -151,7 +160,7 @@ func (c *Context) closed() bool {
 
 // mapErr converts HDNS wire errors to core sentinels and handles the
 // federation boundary for NotContext failures.
-func (c *Context) mapErr(err error, full core.Name) error {
+func (c *Context) mapErr(ctx context.Context, err error, full core.Name) error {
 	switch {
 	case err == nil:
 		return nil
@@ -164,7 +173,7 @@ func (c *Context) mapErr(err error, full core.Name) error {
 	case hdns.IsNotContext(err):
 		// A mid-name component is a value; if it is a Reference or a
 		// context, this is a federation boundary.
-		if cpe := c.boundary(full); cpe != nil {
+		if cpe := c.boundary(ctx, full); cpe != nil {
 			return cpe
 		}
 		return core.ErrNotContext
@@ -175,20 +184,20 @@ func (c *Context) mapErr(err error, full core.Name) error {
 
 // boundary scans the prefixes of full for a bound Reference, producing a
 // federation continuation.
-func (c *Context) boundary(full core.Name) *core.CannotProceedError {
-	return c.boundaryUpTo(full, full.Size())
+func (c *Context) boundary(ctx context.Context, full core.Name) *core.CannotProceedError {
+	return c.boundaryUpTo(ctx, full, full.Size())
 }
 
 // boundarySelf additionally treats full itself as a potential boundary —
 // used by context-level operations (List, Search) that must continue in
 // the referenced naming system.
-func (c *Context) boundarySelf(full core.Name) *core.CannotProceedError {
-	return c.boundaryUpTo(full, full.Size()+1)
+func (c *Context) boundarySelf(ctx context.Context, full core.Name) *core.CannotProceedError {
+	return c.boundaryUpTo(ctx, full, full.Size()+1)
 }
 
-func (c *Context) boundaryUpTo(full core.Name, limit int) *core.CannotProceedError {
+func (c *Context) boundaryUpTo(ctx context.Context, full core.Name, limit int) *core.CannotProceedError {
 	for i := 1; i < limit && i <= full.Size(); i++ {
-		v, err := c.sh.client.Lookup(full.Prefix(i).Components())
+		v, err := c.sh.client.Lookup(ctx, full.Prefix(i).Components())
 		if err != nil || !v.Exists {
 			return nil
 		}
@@ -214,20 +223,20 @@ func (c *Context) boundaryUpTo(full core.Name, limit int) *core.CannotProceedErr
 }
 
 // Lookup implements core.Context.
-func (c *Context) Lookup(name string) (any, error) {
+func (c *Context) Lookup(ctx context.Context, name string) (any, error) {
 	if c.closed() {
 		return nil, core.Errf("lookup", name, core.ErrClosed)
 	}
-	comps, full, err := c.full(name)
+	comps, full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
-	v, err := c.sh.client.Lookup(comps)
+	v, err := c.sh.client.Lookup(ctx, comps)
 	if err != nil {
-		return nil, core.Errf("lookup", name, c.mapErr(err, full))
+		return nil, core.Errf("lookup", name, c.mapErr(ctx, err, full))
 	}
 	if !v.Exists {
-		if cpe := c.boundary(full); cpe != nil {
+		if cpe := c.boundary(ctx, full); cpe != nil {
 			return nil, cpe
 		}
 		return nil, core.Errf("lookup", name, core.ErrNotFound)
@@ -243,7 +252,9 @@ func (c *Context) Lookup(name string) (any, error) {
 }
 
 // LookupLink implements core.Context.
-func (c *Context) LookupLink(name string) (any, error) { return c.Lookup(name) }
+func (c *Context) LookupLink(ctx context.Context, name string) (any, error) {
+	return c.Lookup(ctx, name)
+}
 
 // startRenewal keeps the binding's lease alive until unbind or Close.
 func (c *Context) startRenewal(comps []string, key string) {
@@ -265,7 +276,10 @@ func (c *Context) startRenewal(comps []string, key string) {
 			case <-stop:
 				return
 			case <-t.C:
-				if _, err := c.sh.client.RenewLease(comps, c.sh.lease.Milliseconds()); err != nil {
+				rctx, cancel := context.WithTimeout(context.Background(), c.sh.lease/2)
+				_, err := c.sh.client.RenewLease(rctx, comps, c.sh.lease.Milliseconds())
+				cancel()
+				if err != nil {
 					return
 				}
 			}
@@ -283,16 +297,16 @@ func (c *Context) stopRenewal(key string) {
 }
 
 // Bind implements core.Context — natively atomic in HDNS (§5.2).
-func (c *Context) Bind(name string, obj any) error {
-	return c.BindAttrs(name, obj, nil)
+func (c *Context) Bind(ctx context.Context, name string, obj any) error {
+	return c.BindAttrs(ctx, name, obj, nil)
 }
 
 // BindAttrs implements core.DirContext.
-func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error {
+func (c *Context) BindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
 	if c.closed() {
 		return core.Errf("bind", name, core.ErrClosed)
 	}
-	comps, full, err := c.full(name)
+	comps, full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("bind", name, err)
 	}
@@ -300,29 +314,29 @@ func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error 
 	if err != nil {
 		return core.Errf("bind", name, err)
 	}
-	err = c.sh.client.Bind(comps, data, attrs.ToMap(), c.sh.lease.Milliseconds())
+	err = c.sh.client.Bind(ctx, comps, data, attrs.ToMap(), c.sh.lease.Milliseconds())
 	if err != nil {
-		return core.Errf("bind", name, c.mapErr(err, full))
+		return core.Errf("bind", name, c.mapErr(ctx, err, full))
 	}
 	c.startRenewal(comps, full.String())
 	return nil
 }
 
 // Rebind implements core.Context.
-func (c *Context) Rebind(name string, obj any) error {
-	return c.rebind(name, obj, nil, false)
+func (c *Context) Rebind(ctx context.Context, name string, obj any) error {
+	return c.rebind(ctx, name, obj, nil, false)
 }
 
 // RebindAttrs implements core.DirContext.
-func (c *Context) RebindAttrs(name string, obj any, attrs *core.Attributes) error {
-	return c.rebind(name, obj, attrs, attrs != nil)
+func (c *Context) RebindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	return c.rebind(ctx, name, obj, attrs, attrs != nil)
 }
 
-func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replace bool) error {
+func (c *Context) rebind(ctx context.Context, name string, obj any, attrs *core.Attributes, replace bool) error {
 	if c.closed() {
 		return core.Errf("rebind", name, core.ErrClosed)
 	}
-	comps, full, err := c.full(name)
+	comps, full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("rebind", name, err)
 	}
@@ -330,46 +344,46 @@ func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replace b
 	if err != nil {
 		return core.Errf("rebind", name, err)
 	}
-	err = c.sh.client.Rebind(comps, data, attrs.ToMap(), replace, c.sh.lease.Milliseconds())
+	err = c.sh.client.Rebind(ctx, comps, data, attrs.ToMap(), replace, c.sh.lease.Milliseconds())
 	if err != nil {
-		return core.Errf("rebind", name, c.mapErr(err, full))
+		return core.Errf("rebind", name, c.mapErr(ctx, err, full))
 	}
 	c.startRenewal(comps, full.String())
 	return nil
 }
 
 // Unbind implements core.Context.
-func (c *Context) Unbind(name string) error {
+func (c *Context) Unbind(ctx context.Context, name string) error {
 	if c.closed() {
 		return core.Errf("unbind", name, core.ErrClosed)
 	}
-	comps, full, err := c.full(name)
+	comps, full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("unbind", name, err)
 	}
 	c.stopRenewal(full.String())
-	return core.Errf("unbind", name, c.mapErr(c.sh.client.Unbind(comps), full))
+	return core.Errf("unbind", name, c.mapErr(ctx, c.sh.client.Unbind(ctx, comps), full))
 }
 
 // Rename implements core.Context — atomic server-side.
-func (c *Context) Rename(oldName, newName string) error {
+func (c *Context) Rename(ctx context.Context, oldName, newName string) error {
 	if c.closed() {
 		return core.Errf("rename", oldName, core.ErrClosed)
 	}
-	oldC, oldF, err := c.full(oldName)
+	oldC, oldF, err := c.full(ctx, oldName)
 	if err != nil {
 		return core.Errf("rename", oldName, err)
 	}
-	newC, _, err := c.full(newName)
+	newC, _, err := c.full(ctx, newName)
 	if err != nil {
 		return core.Errf("rename", newName, err)
 	}
-	return core.Errf("rename", oldName, c.mapErr(c.sh.client.Rename(oldC, newC), oldF))
+	return core.Errf("rename", oldName, c.mapErr(ctx, c.sh.client.Rename(ctx, oldC, newC), oldF))
 }
 
 // List implements core.Context.
-func (c *Context) List(name string) ([]core.NameClassPair, error) {
-	bindings, err := c.ListBindings(name)
+func (c *Context) List(ctx context.Context, name string) ([]core.NameClassPair, error) {
+	bindings, err := c.ListBindings(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -381,20 +395,20 @@ func (c *Context) List(name string) ([]core.NameClassPair, error) {
 }
 
 // ListBindings implements core.Context.
-func (c *Context) ListBindings(name string) ([]core.Binding, error) {
+func (c *Context) ListBindings(ctx context.Context, name string) ([]core.Binding, error) {
 	if c.closed() {
 		return nil, core.Errf("list", name, core.ErrClosed)
 	}
-	comps, full, err := c.full(name)
+	comps, full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("list", name, err)
 	}
-	if cpe := c.boundarySelf(full); cpe != nil {
+	if cpe := c.boundarySelf(ctx, full); cpe != nil {
 		return nil, cpe
 	}
-	entries, err := c.sh.client.List(comps)
+	entries, err := c.sh.client.List(ctx, comps)
 	if err != nil {
-		return nil, core.Errf("list", name, c.mapErr(err, full))
+		return nil, core.Errf("list", name, c.mapErr(ctx, err, full))
 	}
 	out := make([]core.Binding, 0, len(entries))
 	for _, e := range entries {
@@ -416,8 +430,8 @@ func (c *Context) ListBindings(name string) ([]core.Binding, error) {
 }
 
 // CreateSubcontext implements core.Context.
-func (c *Context) CreateSubcontext(name string) (core.Context, error) {
-	dc, err := c.CreateSubcontextAttrs(name, nil)
+func (c *Context) CreateSubcontext(ctx context.Context, name string) (core.Context, error) {
+	dc, err := c.CreateSubcontextAttrs(ctx, name, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -425,47 +439,47 @@ func (c *Context) CreateSubcontext(name string) (core.Context, error) {
 }
 
 // CreateSubcontextAttrs implements core.DirContext.
-func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (core.DirContext, error) {
+func (c *Context) CreateSubcontextAttrs(ctx context.Context, name string, attrs *core.Attributes) (core.DirContext, error) {
 	if c.closed() {
 		return nil, core.Errf("createSubcontext", name, core.ErrClosed)
 	}
-	comps, full, err := c.full(name)
+	comps, full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("createSubcontext", name, err)
 	}
-	if err := c.sh.client.CreateCtx(comps, attrs.ToMap()); err != nil {
-		return nil, core.Errf("createSubcontext", name, c.mapErr(err, full))
+	if err := c.sh.client.CreateCtx(ctx, comps, attrs.ToMap()); err != nil {
+		return nil, core.Errf("createSubcontext", name, c.mapErr(ctx, err, full))
 	}
 	return c.child(full), nil
 }
 
 // DestroySubcontext implements core.Context.
-func (c *Context) DestroySubcontext(name string) error {
+func (c *Context) DestroySubcontext(ctx context.Context, name string) error {
 	if c.closed() {
 		return core.Errf("destroySubcontext", name, core.ErrClosed)
 	}
-	comps, full, err := c.full(name)
+	comps, full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("destroySubcontext", name, err)
 	}
-	return core.Errf("destroySubcontext", name, c.mapErr(c.sh.client.DestroyCtx(comps), full))
+	return core.Errf("destroySubcontext", name, c.mapErr(ctx, c.sh.client.DestroyCtx(ctx, comps), full))
 }
 
 // GetAttributes implements core.DirContext.
-func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attributes, error) {
+func (c *Context) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*core.Attributes, error) {
 	if c.closed() {
 		return nil, core.Errf("getAttributes", name, core.ErrClosed)
 	}
-	comps, full, err := c.full(name)
+	comps, full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("getAttributes", name, err)
 	}
-	v, err := c.sh.client.Lookup(comps)
+	v, err := c.sh.client.Lookup(ctx, comps)
 	if err != nil {
-		return nil, core.Errf("getAttributes", name, c.mapErr(err, full))
+		return nil, core.Errf("getAttributes", name, c.mapErr(ctx, err, full))
 	}
 	if !v.Exists {
-		if cpe := c.boundary(full); cpe != nil {
+		if cpe := c.boundary(ctx, full); cpe != nil {
 			return nil, cpe
 		}
 		return nil, core.Errf("getAttributes", name, core.ErrNotFound)
@@ -474,11 +488,11 @@ func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attribute
 }
 
 // ModifyAttributes implements core.DirContext — atomic server-side.
-func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error {
+func (c *Context) ModifyAttributes(ctx context.Context, name string, mods []core.AttributeMod) error {
 	if c.closed() {
 		return core.Errf("modifyAttributes", name, core.ErrClosed)
 	}
-	comps, full, err := c.full(name)
+	comps, full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("modifyAttributes", name, err)
 	}
@@ -486,27 +500,27 @@ func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error 
 	for i, m := range mods {
 		recs[i] = hdns.ModRec{Op: int(m.Op), ID: m.Attr.ID, Vals: m.Attr.Values}
 	}
-	return core.Errf("modifyAttributes", name, c.mapErr(c.sh.client.ModAttrs(comps, recs), full))
+	return core.Errf("modifyAttributes", name, c.mapErr(ctx, c.sh.client.ModAttrs(ctx, comps, recs), full))
 }
 
 // Search implements core.DirContext server-side.
-func (c *Context) Search(name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+func (c *Context) Search(ctx context.Context, name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
 	if c.closed() {
 		return nil, core.Errf("search", name, core.ErrClosed)
 	}
-	comps, full, err := c.full(name)
+	comps, full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("search", name, err)
 	}
-	if cpe := c.boundarySelf(full); cpe != nil {
+	if cpe := c.boundarySelf(ctx, full); cpe != nil {
 		return nil, cpe
 	}
 	if controls == nil {
 		controls = &core.SearchControls{Scope: core.ScopeSubtree}
 	}
-	hits, err := c.sh.client.Search(comps, filterStr, int(controls.Scope), controls.CountLimit)
+	hits, err := c.sh.client.Search(ctx, comps, filterStr, int(controls.Scope), controls.CountLimit)
 	if err != nil {
-		return nil, core.Errf("search", name, c.mapErr(err, full))
+		return nil, core.Errf("search", name, c.mapErr(ctx, err, full))
 	}
 	out := make([]core.SearchResult, 0, len(hits))
 	for _, h := range hits {
@@ -537,19 +551,19 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 
 // Watch implements core.EventContext through HDNS's distributed event
 // notification (inherited from the H2O event mechanism in the paper).
-func (c *Context) Watch(target string, scope core.SearchScope, l core.Listener) (func(), error) {
+func (c *Context) Watch(ctx context.Context, target string, scope core.SearchScope, l core.Listener) (func(), error) {
 	if c.closed() {
 		return nil, core.Errf("watch", target, core.ErrClosed)
 	}
-	comps, fullName, err := c.full(target)
+	comps, fullName, err := c.full(ctx, target)
 	if err != nil {
 		return nil, core.Errf("watch", target, err)
 	}
-	if cpe := c.boundarySelf(fullName); cpe != nil {
+	if cpe := c.boundarySelf(ctx, fullName); cpe != nil {
 		return nil, cpe
 	}
 	baseSize := len(comps)
-	cancel, err := c.sh.client.Watch(comps, int(scope), func(e hdns.EventMsg) {
+	cancel, err := c.sh.client.Watch(ctx, comps, int(scope), func(e hdns.EventMsg) {
 		rel := core.NewName(e.Name[baseSize:]...).String()
 		var typ core.EventType
 		switch e.Kind {

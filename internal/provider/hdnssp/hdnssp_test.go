@@ -1,6 +1,7 @@
 package hdnssp
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -30,11 +31,12 @@ func newNode(t *testing.T, group string) *hdns.Node {
 }
 
 func openCtx(t *testing.T, n *hdns.Node, env map[string]any) *Context {
+	ctx := context.Background()
 	t.Helper()
 	if env == nil {
 		env = map[string]any{}
 	}
-	c, err := Open(n.Addr(), env)
+	c, err := Open(ctx, n.Addr(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,109 +45,113 @@ func openCtx(t *testing.T, n *hdns.Node, env map[string]any) *Context {
 }
 
 func TestBasicOps(t *testing.T) {
+	ctx := context.Background()
 	n := newNode(t, "p1")
 	c := openCtx(t, n, nil)
-	if err := c.Bind("svc", "value"); err != nil {
+	if err := c.Bind(ctx, "svc", "value"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Lookup("svc")
+	got, err := c.Lookup(ctx, "svc")
 	if err != nil || got != "value" {
 		t.Fatalf("lookup = %v, %v", got, err)
 	}
 	// Atomic bind — native in HDNS (§5.2), no locking required.
-	if err := c.Bind("svc", "x"); !errors.Is(err, core.ErrAlreadyBound) {
+	if err := c.Bind(ctx, "svc", "x"); !errors.Is(err, core.ErrAlreadyBound) {
 		t.Errorf("dup bind: %v", err)
 	}
-	if err := c.Rebind("svc", 42); err != nil {
+	if err := c.Rebind(ctx, "svc", 42); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := c.Lookup("svc"); got != 42 {
+	if got, _ := c.Lookup(ctx, "svc"); got != 42 {
 		t.Errorf("rebind = %v", got)
 	}
-	if err := c.Unbind("svc"); err != nil {
+	if err := c.Unbind(ctx, "svc"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Lookup("svc"); !errors.Is(err, core.ErrNotFound) {
+	if _, err := c.Lookup(ctx, "svc"); !errors.Is(err, core.ErrNotFound) {
 		t.Errorf("after unbind: %v", err)
 	}
 }
 
 func TestSubcontextsAndComposite(t *testing.T) {
+	ctx := context.Background()
 	n := newNode(t, "p2")
 	c := openCtx(t, n, nil)
-	sub, err := c.CreateSubcontext("emory")
+	sub, err := c.CreateSubcontext(ctx, "emory")
 	if err != nil {
 		t.Fatal(err)
 	}
-	deeper, err := sub.(*Context).CreateSubcontext("mathcs")
+	deeper, err := sub.(*Context).CreateSubcontext(ctx, "mathcs")
 	if err != nil {
 		t.Fatal(err)
 	}
-	must(t, deeper.Bind("mokey", "the-object"))
-	got, err := c.Lookup("emory/mathcs/mokey")
+	must(t, deeper.Bind(ctx, "mokey", "the-object"))
+	got, err := c.Lookup(ctx, "emory/mathcs/mokey")
 	if err != nil || got != "the-object" {
 		t.Fatalf("composite = %v, %v", got, err)
 	}
-	pairs, err := c.List("emory")
+	pairs, err := c.List(ctx, "emory")
 	if err != nil || len(pairs) != 1 || pairs[0].Name != "mathcs" || pairs[0].Class != core.ContextReferenceClass {
 		t.Fatalf("list = %+v, %v", pairs, err)
 	}
-	bindings, err := c.ListBindings("emory/mathcs")
+	bindings, err := c.ListBindings(ctx, "emory/mathcs")
 	if err != nil || len(bindings) != 1 || bindings[0].Object != "the-object" {
 		t.Fatalf("bindings = %+v, %v", bindings, err)
 	}
-	if err := c.DestroySubcontext("emory"); !errors.Is(err, core.ErrContextNotEmpty) {
+	if err := c.DestroySubcontext(ctx, "emory"); !errors.Is(err, core.ErrContextNotEmpty) {
 		t.Errorf("destroy non-empty: %v", err)
 	}
 	// Rename within the tree.
-	must(t, c.Rename("emory/mathcs/mokey", "emory/mokey2"))
-	if got, _ := c.Lookup("emory/mokey2"); got != "the-object" {
+	must(t, c.Rename(ctx, "emory/mathcs/mokey", "emory/mokey2"))
+	if got, _ := c.Lookup(ctx, "emory/mokey2"); got != "the-object" {
 		t.Errorf("renamed = %v", got)
 	}
 }
 
 func TestAttributesAndSearch(t *testing.T) {
+	ctx := context.Background()
 	n := newNode(t, "p3")
 	c := openCtx(t, n, nil)
-	must(t, c.BindAttrs("r1", "o1", core.NewAttributes("type", "storage", "size", "100")))
-	must(t, c.BindAttrs("r2", "o2", core.NewAttributes("type", "storage", "size", "500")))
-	must(t, c.BindAttrs("r3", "o3", core.NewAttributes("type", "compute")))
+	must(t, c.BindAttrs(ctx, "r1", "o1", core.NewAttributes("type", "storage", "size", "100")))
+	must(t, c.BindAttrs(ctx, "r2", "o2", core.NewAttributes("type", "storage", "size", "500")))
+	must(t, c.BindAttrs(ctx, "r3", "o3", core.NewAttributes("type", "compute")))
 
-	attrs, err := c.GetAttributes("r1")
+	attrs, err := c.GetAttributes(ctx, "r1")
 	if err != nil || attrs.GetFirst("size") != "100" {
 		t.Fatalf("attrs = %v, %v", attrs, err)
 	}
-	res, err := c.Search("", "(&(type=storage)(size>=200))", &core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
+	res, err := c.Search(ctx, "", "(&(type=storage)(size>=200))", &core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
 	if err != nil || len(res) != 1 || res[0].Name != "r2" || res[0].Object != "o2" {
 		t.Fatalf("search = %+v, %v", res, err)
 	}
-	must(t, c.ModifyAttributes("r3", []core.AttributeMod{
+	must(t, c.ModifyAttributes(ctx, "r3", []core.AttributeMod{
 		{Op: core.ModAdd, Attr: core.Attribute{ID: "gpu", Values: []string{"a100"}}},
 	}))
-	attrs, _ = c.GetAttributes("r3", "gpu")
+	attrs, _ = c.GetAttributes(ctx, "r3", "gpu")
 	if attrs.GetFirst("gpu") != "a100" {
 		t.Errorf("modify: %v", attrs)
 	}
 	// Rebind preserves attrs when nil.
-	must(t, c.Rebind("r1", "o1b"))
-	attrs, _ = c.GetAttributes("r1")
+	must(t, c.Rebind(ctx, "r1", "o1b"))
+	attrs, _ = c.GetAttributes(ctx, "r1")
 	if attrs.GetFirst("size") != "100" {
 		t.Errorf("rebind dropped attrs: %v", attrs)
 	}
 	// RebindAttrs with empty set clears.
-	must(t, c.RebindAttrs("r1", "o1c", &core.Attributes{}))
-	attrs, _ = c.GetAttributes("r1")
+	must(t, c.RebindAttrs(ctx, "r1", "o1c", &core.Attributes{}))
+	attrs, _ = c.GetAttributes(ctx, "r1")
 	if attrs.Size() != 0 {
 		t.Errorf("attrs not cleared: %v", attrs)
 	}
 }
 
 func TestWatch(t *testing.T) {
+	ctx := context.Background()
 	n := newNode(t, "p4")
 	c := openCtx(t, n, nil)
 	var mu sync.Mutex
 	var got []core.NamingEvent
-	cancel, err := c.Watch("", core.ScopeSubtree, func(e core.NamingEvent) {
+	cancel, err := c.Watch(ctx, "", core.ScopeSubtree, func(e core.NamingEvent) {
 		mu.Lock()
 		got = append(got, e)
 		mu.Unlock()
@@ -154,9 +160,9 @@ func TestWatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cancel()
-	must(t, c.Bind("a", 1))
-	must(t, c.Rebind("a", 2))
-	must(t, c.Unbind("a"))
+	must(t, c.Bind(ctx, "a", 1))
+	must(t, c.Rebind(ctx, "a", 2))
+	must(t, c.Unbind(ctx, "a"))
 	deadline := time.Now().Add(3 * time.Second)
 	for {
 		mu.Lock()
@@ -181,12 +187,13 @@ func TestWatch(t *testing.T) {
 }
 
 func TestLeases(t *testing.T) {
+	ctx := context.Background()
 	n := newNode(t, "p5")
 	c := openCtx(t, n, map[string]any{EnvLeaseMs: 400})
-	must(t, c.Bind("leased", "v"))
+	must(t, c.Bind(ctx, "leased", "v"))
 	// Renewal keeps it alive.
 	time.Sleep(900 * time.Millisecond)
-	if _, err := c.Lookup("leased"); err != nil {
+	if _, err := c.Lookup(ctx, "leased"); err != nil {
 		t.Fatalf("lease lapsed despite renewal: %v", err)
 	}
 	// Close stops renewals; reaper collects.
@@ -194,7 +201,7 @@ func TestLeases(t *testing.T) {
 	must(t, c.Close())
 	deadline := time.Now().Add(6 * time.Second)
 	for {
-		_, err := observer.Lookup("leased")
+		_, err := observer.Lookup(ctx, "leased")
 		if errors.Is(err, core.ErrNotFound) {
 			break
 		}
@@ -206,10 +213,11 @@ func TestLeases(t *testing.T) {
 }
 
 func TestFederationBoundary(t *testing.T) {
+	ctx := context.Background()
 	n := newNode(t, "p6")
 	c := openCtx(t, n, nil)
-	must(t, c.Bind("gateway", core.NewContextReference("jini://somewhere:4160")))
-	_, err := c.Lookup("gateway/deep/name")
+	must(t, c.Bind(ctx, "gateway", core.NewContextReference("jini://somewhere:4160")))
+	_, err := c.Lookup(ctx, "gateway/deep/name")
 	var cpe *core.CannotProceedError
 	if !errors.As(err, &cpe) {
 		t.Fatalf("want continuation, got %v", err)
@@ -220,13 +228,14 @@ func TestFederationBoundary(t *testing.T) {
 }
 
 func TestProviderRegistration(t *testing.T) {
+	ctx := context.Background()
 	Register()
 	n := newNode(t, "p7")
-	ctx, rest, err := core.OpenURL("hdns://"+n.Addr()+"/x/y", nil)
+	nc, rest, err := core.OpenURL(ctx, "hdns://"+n.Addr()+"/x/y", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ctx.Close()
+	defer nc.Close()
 	if rest.String() != "x/y" {
 		t.Errorf("rest = %q", rest.String())
 	}

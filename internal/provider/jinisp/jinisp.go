@@ -21,6 +21,7 @@
 package jinisp
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -65,7 +66,7 @@ const (
 
 // Register installs the "jini" URL scheme provider.
 func Register() {
-	core.RegisterProvider("jini", core.ProviderFunc(func(rawURL string, env map[string]any) (core.Context, core.Name, error) {
+	core.RegisterProvider("jini", core.ProviderFunc(func(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
 		u, err := core.ParseURLName(rawURL)
 		if err != nil {
 			return nil, core.Name{}, err
@@ -74,11 +75,11 @@ func Register() {
 		if err != nil {
 			return nil, core.Name{}, err
 		}
-		ctx, err := Open(loc.Addr(), env)
+		jc, err := Open(ctx, loc.Addr(), env)
 		if err != nil {
 			return nil, core.Name{}, &core.CommunicationError{Endpoint: loc.Addr(), Err: err}
 		}
-		return ctx, u.Path, nil
+		return jc, u.Path, nil
 	}))
 }
 
@@ -142,8 +143,11 @@ func envInt(env map[string]any, key string, def int) int {
 }
 
 // Open connects to (or reuses a pooled connection for) the LUS at addr
-// and returns the provider root context.
-func Open(addr string, env map[string]any) (*Context, error) {
+// and returns the provider root context; the dial honours ctx.
+func Open(ctx context.Context, addr string, env map[string]any) (*Context, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	key := fmt.Sprintf("%s|%s|%s|%d|%d|%d|%v", addr,
 		envString(env, EnvBind, "strict"), envString(env, EnvProxyAddr, ""),
 		envInt(env, EnvLockSlots, 16), envInt(env, EnvLockSlot, 0),
@@ -163,7 +167,7 @@ func Open(addr string, env map[string]any) (*Context, error) {
 	}
 	poolMu.Unlock()
 
-	reg, err := jini.DialRegistrar(addr, 10*time.Second)
+	reg, err := jini.DialRegistrarContext(ctx, addr, 10*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -290,8 +294,8 @@ func itemName(item *jini.ServiceItem) string {
 }
 
 // fetch retrieves the item bound at path, if any.
-func (c *Context) fetch(path core.Name) (*jini.ServiceItem, bool, error) {
-	item, ok, err := c.sh.reg.LookupOne(jini.ServiceTemplate{ID: idFor(path.String())})
+func (c *Context) fetch(ctx context.Context, path core.Name) (*jini.ServiceItem, bool, error) {
+	item, ok, err := c.sh.reg.LookupOne(ctx, jini.ServiceTemplate{ID: idFor(path.String())})
 	if err != nil {
 		return nil, false, &core.CommunicationError{Endpoint: c.sh.url, Err: err}
 	}
@@ -303,8 +307,8 @@ func (c *Context) fetch(path core.Name) (*jini.ServiceItem, bool, error) {
 
 // allBindings retrieves every binding item (used for prefix scans: List,
 // Search, virtual intermediate contexts).
-func (c *Context) allBindings() ([]jini.ServiceItem, error) {
-	items, err := c.sh.reg.Lookup(jini.ServiceTemplate{Types: []string{bindingType}}, 0)
+func (c *Context) allBindings(ctx context.Context) ([]jini.ServiceItem, error) {
+	items, err := c.sh.reg.Lookup(ctx, jini.ServiceTemplate{Types: []string{bindingType}}, 0)
 	if err != nil {
 		return nil, &core.CommunicationError{Endpoint: c.sh.url, Err: err}
 	}
@@ -323,10 +327,10 @@ func isBoundaryObj(obj any) bool {
 
 // checkPrefixes raises a federation continuation or ErrNotContext when an
 // intermediate component of full is bound to a non-context value.
-func (c *Context) checkPrefixes(full core.Name) error {
+func (c *Context) checkPrefixes(ctx context.Context, full core.Name) error {
 	for i := 1; i < full.Size(); i++ {
 		prefix := full.Prefix(i)
-		item, ok, err := c.fetch(prefix)
+		item, ok, err := c.fetch(ctx, prefix)
 		if err != nil {
 			return err
 		}
@@ -366,7 +370,12 @@ func (c *Context) parse(name string) (core.Name, error) {
 	return core.ParseName(name)
 }
 
-func (c *Context) full(name string) (core.Name, error) {
+// full parses name under the context base, front-checking ctx so every
+// operation fails fast once the caller's budget is gone.
+func (c *Context) full(ctx context.Context, name string) (core.Name, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return core.Name{}, err
+	}
 	n, err := c.parse(name)
 	if err != nil {
 		return core.Name{}, err
@@ -385,8 +394,8 @@ func (c *Context) child(base core.Name) *Context {
 }
 
 // hasChildren reports whether any binding lives under path.
-func (c *Context) hasChildren(path core.Name) (bool, error) {
-	items, err := c.allBindings()
+func (c *Context) hasChildren(ctx context.Context, path core.Name) (bool, error) {
+	items, err := c.allBindings(ctx)
 	if err != nil {
 		return false, err
 	}
@@ -403,18 +412,18 @@ func (c *Context) hasChildren(path core.Name) (bool, error) {
 }
 
 // Lookup implements core.Context.
-func (c *Context) Lookup(name string) (any, error) {
+func (c *Context) Lookup(ctx context.Context, name string) (any, error) {
 	if c.closed() {
 		return nil, core.Errf("lookup", name, core.ErrClosed)
 	}
-	full, err := c.full(name)
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
 	if full.Equal(c.base) {
 		return c.child(c.base), nil
 	}
-	item, ok, err := c.fetch(full)
+	item, ok, err := c.fetch(ctx, full)
 	if err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
@@ -428,11 +437,11 @@ func (c *Context) Lookup(name string) (any, error) {
 		}
 		return obj, nil
 	}
-	if err := c.checkPrefixes(full); err != nil {
+	if err := c.checkPrefixes(ctx, full); err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
 	// Virtual intermediate context?
-	has, err := c.hasChildren(full)
+	has, err := c.hasChildren(ctx, full)
 	if err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
@@ -443,26 +452,31 @@ func (c *Context) Lookup(name string) (any, error) {
 }
 
 // LookupLink implements core.Context.
-func (c *Context) LookupLink(name string) (any, error) { return c.Lookup(name) }
+func (c *Context) LookupLink(ctx context.Context, name string) (any, error) {
+	return c.Lookup(ctx, name)
+}
 
 // mutex builds the Eisenberg–McGuire lock guarding the named context's
 // bindings. Registers are LUS items, so only read/write primitives are
 // used — exactly the constraint the paper works under.
-func (c *Context) mutex(parent core.Name) (*lock.Mutex, error) {
-	store := &lusRegisters{c: c, prefix: "lock:" + parent.String()}
+func (c *Context) mutex(ctx context.Context, parent core.Name) (*lock.Mutex, error) {
+	store := &lusRegisters{c: c, ctx: ctx, prefix: "lock:" + parent.String()}
 	return lock.New(store, "em", c.sh.slots, c.sh.slot)
 }
 
-// lusRegisters adapts lookup-service items to lock.RegisterStore.
+// lusRegisters adapts lookup-service items to lock.RegisterStore. The
+// captured ctx bounds the register I/O issued while spinning on the lock,
+// so the caller's deadline also covers the critical-section entry.
 type lusRegisters struct {
 	c      *Context
+	ctx    context.Context
 	prefix string
 }
 
 // Read implements lock.RegisterStore via a Jini lookup.
 func (s *lusRegisters) Read(name string) (string, error) {
 	full := s.prefix + "/" + name
-	item, ok, err := s.c.sh.reg.LookupOne(jini.ServiceTemplate{ID: regIDFor(full)})
+	item, ok, err := s.c.sh.reg.LookupOne(s.ctx, jini.ServiceTemplate{ID: regIDFor(full)})
 	if err != nil || !ok {
 		return "", err
 	}
@@ -477,7 +491,7 @@ func (s *lusRegisters) Read(name string) (string, error) {
 // Write implements lock.RegisterStore via an (overwriting) registration.
 func (s *lusRegisters) Write(name, value string) error {
 	full := s.prefix + "/" + name
-	_, err := s.c.sh.reg.Register(jini.ServiceItem{
+	_, err := s.c.sh.reg.Register(s.ctx, jini.ServiceItem{
 		ID:      regIDFor(full),
 		Types:   []string{registerType},
 		Entries: []jini.Entry{jini.NewEntry(registerType, "name", full, "value", value)},
@@ -486,8 +500,8 @@ func (s *lusRegisters) Write(name, value string) error {
 }
 
 // register writes a binding item and starts renewing its lease.
-func (c *Context) register(item jini.ServiceItem) error {
-	reg, err := c.sh.reg.Register(item, c.sh.lease)
+func (c *Context) register(ctx context.Context, item jini.ServiceItem) error {
+	reg, err := c.sh.reg.Register(ctx, item, c.sh.lease)
 	if err != nil {
 		return &core.CommunicationError{Endpoint: c.sh.url, Err: err}
 	}
@@ -498,8 +512,8 @@ func (c *Context) register(item jini.ServiceItem) error {
 // proxyRegister writes through the colocated BindProxy (the §7
 // optimization): the proxy serializes test-and-set registrations locally,
 // giving atomic semantics for one extra round trip.
-func (c *Context) proxyRegister(item jini.ServiceItem, onlyNew bool) error {
-	_, err := c.sh.proxy.Register(item, c.sh.lease, onlyNew)
+func (c *Context) proxyRegister(ctx context.Context, item jini.ServiceItem, onlyNew bool) error {
+	_, err := c.sh.proxy.Register(ctx, item, c.sh.lease, onlyNew)
 	if err != nil {
 		if jini.IsAlreadyBound(err) {
 			return core.ErrAlreadyBound
@@ -512,23 +526,23 @@ func (c *Context) proxyRegister(item jini.ServiceItem, onlyNew bool) error {
 
 // Bind implements core.Context: strictly atomic by default (distributed
 // lock), or check-then-register in relaxed mode.
-func (c *Context) Bind(name string, obj any) error {
-	return c.BindAttrs(name, obj, nil)
+func (c *Context) Bind(ctx context.Context, name string, obj any) error {
+	return c.BindAttrs(ctx, name, obj, nil)
 }
 
 // BindAttrs implements core.DirContext.
-func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error {
+func (c *Context) BindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
 	if c.closed() {
 		return core.Errf("bind", name, core.ErrClosed)
 	}
-	full, err := c.full(name)
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("bind", name, err)
 	}
 	if full.IsEmpty() {
 		return core.Errf("bind", name, core.ErrInvalidNameEmpty)
 	}
-	if err := c.checkPrefixes(full); err != nil {
+	if err := c.checkPrefixes(ctx, full); err != nil {
 		return core.Errf("bind", name, err)
 	}
 	item, err := itemFor(full, obj, attrs, false)
@@ -536,20 +550,20 @@ func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error 
 		return core.Errf("bind", name, err)
 	}
 	if c.sh.proxy != nil {
-		return core.Errf("bind", name, c.proxyRegister(item, true))
+		return core.Errf("bind", name, c.proxyRegister(ctx, item, true))
 	}
 	do := func() error {
-		_, exists, err := c.fetch(full)
+		_, exists, err := c.fetch(ctx, full)
 		if err != nil {
 			return err
 		}
 		if exists {
 			return core.ErrAlreadyBound
 		}
-		return c.register(item)
+		return c.register(ctx, item)
 	}
 	if c.sh.strict {
-		m, err := c.mutex(full.Prefix(full.Size() - 1))
+		m, err := c.mutex(ctx, full.Prefix(full.Size()-1))
 		if err != nil {
 			return core.Errf("bind", name, err)
 		}
@@ -561,27 +575,27 @@ func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error 
 
 // Rebind implements core.Context: a single overwrite-register, Jini's
 // natural primitive.
-func (c *Context) Rebind(name string, obj any) error {
-	return c.rebind(name, obj, nil, false)
+func (c *Context) Rebind(ctx context.Context, name string, obj any) error {
+	return c.rebind(ctx, name, obj, nil, false)
 }
 
 // RebindAttrs implements core.DirContext.
-func (c *Context) RebindAttrs(name string, obj any, attrs *core.Attributes) error {
-	return c.rebind(name, obj, attrs, attrs != nil)
+func (c *Context) RebindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	return c.rebind(ctx, name, obj, attrs, attrs != nil)
 }
 
-func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replaceAttrs bool) error {
+func (c *Context) rebind(ctx context.Context, name string, obj any, attrs *core.Attributes, replaceAttrs bool) error {
 	if c.closed() {
 		return core.Errf("rebind", name, core.ErrClosed)
 	}
-	full, err := c.full(name)
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("rebind", name, err)
 	}
 	if full.IsEmpty() {
 		return core.Errf("rebind", name, core.ErrInvalidNameEmpty)
 	}
-	if err := c.checkPrefixes(full); err != nil {
+	if err := c.checkPrefixes(ctx, full); err != nil {
 		return core.Errf("rebind", name, err)
 	}
 	do := func() error {
@@ -589,7 +603,7 @@ func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replaceAt
 		if !replaceAttrs {
 			// JNDI rebind preserves existing attributes unless new
 			// ones are supplied (a read-modify-write).
-			if old, ok, err := c.fetch(full); err != nil {
+			if old, ok, err := c.fetch(ctx, full); err != nil {
 				return err
 			} else if ok {
 				if itemIsContext(old) {
@@ -602,7 +616,7 @@ func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replaceAt
 		if err != nil {
 			return err
 		}
-		return c.register(item)
+		return c.register(ctx, item)
 	}
 	if c.sh.proxy != nil {
 		// Proxy mode: the overwrite itself is serialized at the proxy;
@@ -610,7 +624,7 @@ func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replaceAt
 		// read (one extra round trip vs the relaxed path).
 		a := attrs
 		if !replaceAttrs {
-			if old, ok, err := c.fetch(full); err != nil {
+			if old, ok, err := c.fetch(ctx, full); err != nil {
 				return core.Errf("rebind", name, err)
 			} else if ok {
 				if itemIsContext(old) {
@@ -623,14 +637,14 @@ func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replaceAt
 		if err != nil {
 			return core.Errf("rebind", name, err)
 		}
-		return core.Errf("rebind", name, c.proxyRegister(item, false))
+		return core.Errf("rebind", name, c.proxyRegister(ctx, item, false))
 	}
 	// Under strict semantics even rebind runs in the critical section:
 	// its read-modify-write (attribute preservation) is otherwise racy.
 	// This is the write-path cost Figure 3 quantifies; relaxed mode
 	// sacrifices the consistency for throughput.
 	if c.sh.strict {
-		m, merr := c.mutex(full.Prefix(full.Size() - 1))
+		m, merr := c.mutex(ctx, full.Prefix(full.Size()-1))
 		if merr != nil {
 			return core.Errf("rebind", name, merr)
 		}
@@ -640,20 +654,20 @@ func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replaceAt
 }
 
 // Unbind implements core.Context.
-func (c *Context) Unbind(name string) error {
+func (c *Context) Unbind(ctx context.Context, name string) error {
 	if c.closed() {
 		return core.Errf("unbind", name, core.ErrClosed)
 	}
-	full, err := c.full(name)
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("unbind", name, err)
 	}
-	if err := c.checkPrefixes(full); err != nil {
+	if err := c.checkPrefixes(ctx, full); err != nil {
 		return core.Errf("unbind", name, err)
 	}
 	id := idFor(full.String())
 	c.sh.lrm.Forget(id)
-	if err := c.sh.reg.Cancel(id); err != nil {
+	if err := c.sh.reg.Cancel(ctx, id); err != nil {
 		// Unbinding an unbound name succeeds (JNDI semantics); only
 		// transport failures surface.
 		if c.sh.reg == nil {
@@ -665,29 +679,29 @@ func (c *Context) Unbind(name string) error {
 
 // Rename implements core.Context (lookup + bind + unbind; atomic only
 // under strict semantics and only per-step, as the paper's provider).
-func (c *Context) Rename(oldName, newName string) error {
-	obj, err := c.Lookup(oldName)
+func (c *Context) Rename(ctx context.Context, oldName, newName string) error {
+	obj, err := c.Lookup(ctx, oldName)
 	if err != nil {
 		return err
 	}
-	fullOld, err := c.full(oldName)
+	fullOld, err := c.full(ctx, oldName)
 	if err != nil {
 		return core.Errf("rename", oldName, err)
 	}
-	item, ok, err := c.fetch(fullOld)
+	item, ok, err := c.fetch(ctx, fullOld)
 	if err != nil || !ok {
 		return core.Errf("rename", oldName, core.ErrNotFound)
 	}
 	attrs := itemAttrs(item)
-	if err := c.BindAttrs(newName, obj, attrs); err != nil {
+	if err := c.BindAttrs(ctx, newName, obj, attrs); err != nil {
 		return err
 	}
-	return c.Unbind(oldName)
+	return c.Unbind(ctx, oldName)
 }
 
 // List implements core.Context.
-func (c *Context) List(name string) ([]core.NameClassPair, error) {
-	bindings, err := c.ListBindings(name)
+func (c *Context) List(ctx context.Context, name string) ([]core.NameClassPair, error) {
+	bindings, err := c.ListBindings(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -699,16 +713,16 @@ func (c *Context) List(name string) ([]core.NameClassPair, error) {
 }
 
 // ListBindings implements core.Context via a registry scan.
-func (c *Context) ListBindings(name string) ([]core.Binding, error) {
+func (c *Context) ListBindings(ctx context.Context, name string) ([]core.Binding, error) {
 	if c.closed() {
 		return nil, core.Errf("list", name, core.ErrClosed)
 	}
-	full, err := c.full(name)
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("list", name, err)
 	}
 	if !full.IsEmpty() {
-		item, ok, ferr := c.fetch(full)
+		item, ok, ferr := c.fetch(ctx, full)
 		if ferr != nil {
 			return nil, core.Errf("list", name, ferr)
 		}
@@ -722,7 +736,7 @@ func (c *Context) ListBindings(name string) ([]core.Binding, error) {
 			return nil, core.Errf("list", name, core.ErrNotContext)
 		}
 	}
-	items, err := c.allBindings()
+	items, err := c.allBindings(ctx)
 	if err != nil {
 		return nil, core.Errf("list", name, err)
 	}
@@ -784,8 +798,8 @@ func sortBindings(bs []core.Binding) {
 
 // CreateSubcontext implements core.Context by registering an explicit
 // context-marker item.
-func (c *Context) CreateSubcontext(name string) (core.Context, error) {
-	dc, err := c.CreateSubcontextAttrs(name, nil)
+func (c *Context) CreateSubcontext(ctx context.Context, name string) (core.Context, error) {
+	dc, err := c.CreateSubcontextAttrs(ctx, name, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -793,15 +807,15 @@ func (c *Context) CreateSubcontext(name string) (core.Context, error) {
 }
 
 // CreateSubcontextAttrs implements core.DirContext.
-func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (core.DirContext, error) {
+func (c *Context) CreateSubcontextAttrs(ctx context.Context, name string, attrs *core.Attributes) (core.DirContext, error) {
 	if c.closed() {
 		return nil, core.Errf("createSubcontext", name, core.ErrClosed)
 	}
-	full, err := c.full(name)
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("createSubcontext", name, err)
 	}
-	if err := c.checkPrefixes(full); err != nil {
+	if err := c.checkPrefixes(ctx, full); err != nil {
 		return nil, core.Errf("createSubcontext", name, err)
 	}
 	item, err := itemFor(full, nil, attrs, true)
@@ -809,20 +823,20 @@ func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (co
 		return nil, core.Errf("createSubcontext", name, err)
 	}
 	do := func() error {
-		_, exists, err := c.fetch(full)
+		_, exists, err := c.fetch(ctx, full)
 		if err != nil {
 			return err
 		}
 		if exists {
 			return core.ErrAlreadyBound
 		}
-		return c.register(item)
+		return c.register(ctx, item)
 	}
 	switch {
 	case c.sh.proxy != nil:
-		err = c.proxyRegister(item, true)
+		err = c.proxyRegister(ctx, item, true)
 	case c.sh.strict:
-		m, merr := c.mutex(full.Prefix(full.Size() - 1))
+		m, merr := c.mutex(ctx, full.Prefix(full.Size()-1))
 		if merr != nil {
 			return nil, core.Errf("createSubcontext", name, merr)
 		}
@@ -837,15 +851,15 @@ func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (co
 }
 
 // DestroySubcontext implements core.Context.
-func (c *Context) DestroySubcontext(name string) error {
+func (c *Context) DestroySubcontext(ctx context.Context, name string) error {
 	if c.closed() {
 		return core.Errf("destroySubcontext", name, core.ErrClosed)
 	}
-	full, err := c.full(name)
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("destroySubcontext", name, err)
 	}
-	item, ok, err := c.fetch(full)
+	item, ok, err := c.fetch(ctx, full)
 	if err != nil {
 		return core.Errf("destroySubcontext", name, err)
 	}
@@ -855,7 +869,7 @@ func (c *Context) DestroySubcontext(name string) error {
 	if !itemIsContext(item) {
 		return core.Errf("destroySubcontext", name, core.ErrNotContext)
 	}
-	has, err := c.hasChildren(full)
+	has, err := c.hasChildren(ctx, full)
 	if err != nil {
 		return core.Errf("destroySubcontext", name, err)
 	}
@@ -864,28 +878,28 @@ func (c *Context) DestroySubcontext(name string) error {
 	}
 	id := idFor(full.String())
 	c.sh.lrm.Forget(id)
-	_ = c.sh.reg.Cancel(id)
+	_ = c.sh.reg.Cancel(ctx, id)
 	return nil
 }
 
 // GetAttributes implements core.DirContext.
-func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attributes, error) {
+func (c *Context) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*core.Attributes, error) {
 	if c.closed() {
 		return nil, core.Errf("getAttributes", name, core.ErrClosed)
 	}
-	full, err := c.full(name)
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("getAttributes", name, err)
 	}
-	item, ok, err := c.fetch(full)
+	item, ok, err := c.fetch(ctx, full)
 	if err != nil {
 		return nil, core.Errf("getAttributes", name, err)
 	}
 	if !ok {
-		if err := c.checkPrefixes(full); err != nil {
+		if err := c.checkPrefixes(ctx, full); err != nil {
 			return nil, core.Errf("getAttributes", name, err)
 		}
-		has, herr := c.hasChildren(full)
+		has, herr := c.hasChildren(ctx, full)
 		if herr == nil && has {
 			return &core.Attributes{}, nil // virtual context: no attrs
 		}
@@ -896,16 +910,16 @@ func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attribute
 
 // ModifyAttributes implements core.DirContext (read-modify-register;
 // atomic only under strict semantics).
-func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error {
+func (c *Context) ModifyAttributes(ctx context.Context, name string, mods []core.AttributeMod) error {
 	if c.closed() {
 		return core.Errf("modifyAttributes", name, core.ErrClosed)
 	}
-	full, err := c.full(name)
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("modifyAttributes", name, err)
 	}
 	do := func() error {
-		item, ok, err := c.fetch(full)
+		item, ok, err := c.fetch(ctx, full)
 		if err != nil {
 			return err
 		}
@@ -927,10 +941,10 @@ func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error 
 		if err != nil {
 			return err
 		}
-		return c.register(ni)
+		return c.register(ctx, ni)
 	}
 	if c.sh.strict {
-		m, merr := c.mutex(full.Prefix(full.Size() - 1))
+		m, merr := c.mutex(ctx, full.Prefix(full.Size()-1))
 		if merr != nil {
 			return core.Errf("modifyAttributes", name, merr)
 		}
@@ -940,11 +954,11 @@ func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error 
 }
 
 // Search implements core.DirContext by scanning bindings under the base.
-func (c *Context) Search(name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+func (c *Context) Search(ctx context.Context, name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
 	if c.closed() {
 		return nil, core.Errf("search", name, core.ErrClosed)
 	}
-	full, err := c.full(name)
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("search", name, err)
 	}
@@ -956,7 +970,7 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 		controls = &core.SearchControls{Scope: core.ScopeSubtree}
 	}
 	if !full.IsEmpty() {
-		if item, ok, ferr := c.fetch(full); ferr == nil && ok && !itemIsContext(item) {
+		if item, ok, ferr := c.fetch(ctx, full); ferr == nil && ok && !itemIsContext(item) {
 			if obj, oerr := itemObject(item); oerr == nil && isBoundaryObj(obj) {
 				return nil, &core.CannotProceedError{
 					Resolved: obj, RemainingName: core.Name{}, AltName: full.String(),
@@ -964,7 +978,7 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 			}
 		}
 	}
-	items, err := c.allBindings()
+	items, err := c.allBindings(ctx)
 	if err != nil {
 		return nil, core.Errf("search", name, err)
 	}
@@ -1038,16 +1052,16 @@ func sortResults(rs []core.SearchResult) {
 }
 
 // Watch implements core.EventContext over the LUS remote-event machinery.
-func (c *Context) Watch(target string, scope core.SearchScope, l core.Listener) (func(), error) {
+func (c *Context) Watch(ctx context.Context, target string, scope core.SearchScope, l core.Listener) (func(), error) {
 	if c.closed() {
 		return nil, core.Errf("watch", target, core.ErrClosed)
 	}
-	full, err := c.full(target)
+	full, err := c.full(ctx, target)
 	if err != nil {
 		return nil, core.Errf("watch", target, err)
 	}
 	if !full.IsEmpty() {
-		if item, ok, ferr := c.fetch(full); ferr == nil && ok && !itemIsContext(item) {
+		if item, ok, ferr := c.fetch(ctx, full); ferr == nil && ok && !itemIsContext(item) {
 			if obj, oerr := itemObject(item); oerr == nil && isBoundaryObj(obj) {
 				return nil, &core.CannotProceedError{
 					Resolved: obj, RemainingName: core.Name{}, AltName: full.String(),
@@ -1072,7 +1086,7 @@ func (c *Context) Watch(target string, scope core.SearchScope, l core.Listener) 
 	}
 	baseSize := full.Size()
 	mask := jini.TransitionNoMatchMatch | jini.TransitionMatchMatch | jini.TransitionMatchNoMatch
-	cancel, err := c.sh.reg.Notify(tmpl, mask, c.sh.lease, func(ev jini.ServiceEvent) {
+	cancel, err := c.sh.reg.Notify(ctx, tmpl, mask, c.sh.lease, func(ev jini.ServiceEvent) {
 		var name string
 		var newVal any
 		if ev.Item != nil {

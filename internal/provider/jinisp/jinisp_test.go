@@ -1,6 +1,7 @@
 package jinisp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,11 +23,12 @@ func newLUS(t *testing.T) *jini.LUS {
 }
 
 func openCtx(t *testing.T, l *jini.LUS, env map[string]any) *Context {
+	ctx := context.Background()
 	t.Helper()
 	if env == nil {
 		env = map[string]any{}
 	}
-	c, err := Open(l.Addr(), env)
+	c, err := Open(ctx, l.Addr(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,47 +37,49 @@ func openCtx(t *testing.T, l *jini.LUS, env map[string]any) *Context {
 }
 
 func TestBindLookupUnbind(t *testing.T) {
+	ctx := context.Background()
 	l := newLUS(t)
 	c := openCtx(t, l, nil)
-	if err := c.Bind("printer", "10.0.0.1:631"); err != nil {
+	if err := c.Bind(ctx, "printer", "10.0.0.1:631"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Lookup("printer")
+	got, err := c.Lookup(ctx, "printer")
 	if err != nil || got != "10.0.0.1:631" {
 		t.Fatalf("lookup = %v, %v", got, err)
 	}
 	// Atomic bind fails on duplicate.
-	if err := c.Bind("printer", "other"); !errors.Is(err, core.ErrAlreadyBound) {
+	if err := c.Bind(ctx, "printer", "other"); !errors.Is(err, core.ErrAlreadyBound) {
 		t.Errorf("dup bind: %v", err)
 	}
 	// Rebind overwrites.
-	if err := c.Rebind("printer", "10.0.0.2:631"); err != nil {
+	if err := c.Rebind(ctx, "printer", "10.0.0.2:631"); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := c.Lookup("printer"); got != "10.0.0.2:631" {
+	if got, _ := c.Lookup(ctx, "printer"); got != "10.0.0.2:631" {
 		t.Errorf("after rebind: %v", got)
 	}
-	if err := c.Unbind("printer"); err != nil {
+	if err := c.Unbind(ctx, "printer"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Lookup("printer"); !errors.Is(err, core.ErrNotFound) {
+	if _, err := c.Lookup(ctx, "printer"); !errors.Is(err, core.ErrNotFound) {
 		t.Errorf("after unbind: %v", err)
 	}
 	// Unbind of absent name succeeds.
-	if err := c.Unbind("ghost"); err != nil {
+	if err := c.Unbind(ctx, "ghost"); err != nil {
 		t.Errorf("unbind ghost: %v", err)
 	}
 }
 
 func TestRelaxedSemantics(t *testing.T) {
+	ctx := context.Background()
 	l := newLUS(t)
 	c := openCtx(t, l, map[string]any{EnvBind: "relaxed"})
-	if err := c.Bind("x", 1); err != nil {
+	if err := c.Bind(ctx, "x", 1); err != nil {
 		t.Fatal(err)
 	}
 	// Relaxed bind still detects existing bindings (check-then-set,
 	// just not atomically).
-	if err := c.Bind("x", 2); !errors.Is(err, core.ErrAlreadyBound) {
+	if err := c.Bind(ctx, "x", 2); !errors.Is(err, core.ErrAlreadyBound) {
 		t.Errorf("relaxed dup: %v", err)
 	}
 }
@@ -83,6 +87,7 @@ func TestRelaxedSemantics(t *testing.T) {
 // Strict bind under concurrency: exactly one winner even with racing
 // writers sharing a lock table.
 func TestStrictBindAtomicity(t *testing.T) {
+	ctx := context.Background()
 	l := newLUS(t)
 	const writers = 4
 	var wg sync.WaitGroup
@@ -91,7 +96,7 @@ func TestStrictBindAtomicity(t *testing.T) {
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			c, err := Open(l.Addr(), map[string]any{
+			c, err := Open(ctx, l.Addr(), map[string]any{
 				EnvBind: "strict", EnvLockSlots: writers, EnvLockSlot: slot,
 			})
 			if err != nil {
@@ -99,7 +104,7 @@ func TestStrictBindAtomicity(t *testing.T) {
 				return
 			}
 			defer c.Close()
-			if err := c.Bind("contested", fmt.Sprintf("writer-%d", slot)); err == nil {
+			if err := c.Bind(ctx, "contested", fmt.Sprintf("writer-%d", slot)); err == nil {
 				wins <- slot
 			} else if !errors.Is(err, core.ErrAlreadyBound) {
 				t.Errorf("writer %d: %v", slot, err)
@@ -118,55 +123,57 @@ func TestStrictBindAtomicity(t *testing.T) {
 }
 
 func TestAttributesAndSearch(t *testing.T) {
+	ctx := context.Background()
 	l := newLUS(t)
 	c := openCtx(t, l, nil)
-	must(t, c.BindAttrs("node1", "10.0.0.1", core.NewAttributes("type", "compute", "cpus", "8")))
-	must(t, c.BindAttrs("node2", "10.0.0.2", core.NewAttributes("type", "compute", "cpus", "16")))
-	must(t, c.BindAttrs("gw", "10.0.0.254", core.NewAttributes("type", "gateway")))
+	must(t, c.BindAttrs(ctx, "node1", "10.0.0.1", core.NewAttributes("type", "compute", "cpus", "8")))
+	must(t, c.BindAttrs(ctx, "node2", "10.0.0.2", core.NewAttributes("type", "compute", "cpus", "16")))
+	must(t, c.BindAttrs(ctx, "gw", "10.0.0.254", core.NewAttributes("type", "gateway")))
 
-	attrs, err := c.GetAttributes("node1")
+	attrs, err := c.GetAttributes(ctx, "node1")
 	if err != nil || attrs.GetFirst("cpus") != "8" {
 		t.Fatalf("attrs = %v, %v", attrs, err)
 	}
-	res, err := c.Search("", "(&(type=compute)(cpus>=16))", &core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
+	res, err := c.Search(ctx, "", "(&(type=compute)(cpus>=16))", &core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
 	if err != nil || len(res) != 1 || res[0].Name != "node2" || res[0].Object != "10.0.0.2" {
 		t.Fatalf("search = %+v, %v", res, err)
 	}
 	// ModifyAttributes.
-	must(t, c.ModifyAttributes("node1", []core.AttributeMod{
+	must(t, c.ModifyAttributes(ctx, "node1", []core.AttributeMod{
 		{Op: core.ModReplace, Attr: core.Attribute{ID: "cpus", Values: []string{"32"}}},
 	}))
-	attrs, _ = c.GetAttributes("node1", "cpus")
+	attrs, _ = c.GetAttributes(ctx, "node1", "cpus")
 	if attrs.GetFirst("cpus") != "32" {
 		t.Errorf("after modify: %v", attrs)
 	}
 	// Object survives attribute modification.
-	if got, _ := c.Lookup("node1"); got != "10.0.0.1" {
+	if got, _ := c.Lookup(ctx, "node1"); got != "10.0.0.1" {
 		t.Errorf("object lost: %v", got)
 	}
 	// Rebind preserves attributes when none supplied.
-	must(t, c.Rebind("node1", "10.9.9.9"))
-	attrs, _ = c.GetAttributes("node1")
+	must(t, c.Rebind(ctx, "node1", "10.9.9.9"))
+	attrs, _ = c.GetAttributes(ctx, "node1")
 	if attrs.GetFirst("cpus") != "32" {
 		t.Errorf("rebind dropped attrs: %v", attrs)
 	}
 }
 
 func TestListAndSubcontexts(t *testing.T) {
+	ctx := context.Background()
 	l := newLUS(t)
 	c := openCtx(t, l, nil)
-	must(t, c.Bind("top", 1))
-	sub, err := c.CreateSubcontext("dept")
+	must(t, c.Bind(ctx, "top", 1))
+	sub, err := c.CreateSubcontext(ctx, "dept")
 	if err != nil {
 		t.Fatal(err)
 	}
-	must(t, sub.Bind("inner", 2))
+	must(t, sub.Bind(ctx, "inner", 2))
 	// Composite-name access through the parent.
-	got, err := c.Lookup("dept/inner")
+	got, err := c.Lookup(ctx, "dept/inner")
 	if err != nil || got != 2 {
 		t.Fatalf("composite lookup = %v, %v", got, err)
 	}
-	pairs, err := c.List("")
+	pairs, err := c.List(ctx, "")
 	if err != nil || len(pairs) != 2 {
 		t.Fatalf("list = %+v, %v", pairs, err)
 	}
@@ -178,8 +185,8 @@ func TestListAndSubcontexts(t *testing.T) {
 	}
 	// Virtual intermediate contexts: binding a deep name without
 	// explicit subcontexts still lists.
-	must(t, c.Bind("a/b/c", "deep"))
-	obj, err := c.Lookup("a")
+	must(t, c.Bind(ctx, "a/b/c", "deep"))
+	obj, err := c.Lookup(ctx, "a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,30 +194,31 @@ func TestListAndSubcontexts(t *testing.T) {
 	if !ok {
 		t.Fatalf("a = %T", obj)
 	}
-	if got, _ := actx.Lookup("b/c"); got != "deep" {
+	if got, _ := actx.Lookup(ctx, "b/c"); got != "deep" {
 		t.Errorf("virtual ctx lookup = %v", got)
 	}
 	// Destroy requires empty.
-	if err := c.DestroySubcontext("dept"); !errors.Is(err, core.ErrContextNotEmpty) {
+	if err := c.DestroySubcontext(ctx, "dept"); !errors.Is(err, core.ErrContextNotEmpty) {
 		t.Errorf("destroy non-empty: %v", err)
 	}
-	must(t, sub.Unbind("inner"))
-	must(t, c.DestroySubcontext("dept"))
+	must(t, sub.Unbind(ctx, "inner"))
+	must(t, c.DestroySubcontext(ctx, "dept"))
 }
 
 func TestRename(t *testing.T) {
+	ctx := context.Background()
 	l := newLUS(t)
 	c := openCtx(t, l, nil)
-	must(t, c.BindAttrs("from", "v", core.NewAttributes("k", "1")))
-	must(t, c.Rename("from", "to"))
-	if _, err := c.Lookup("from"); !errors.Is(err, core.ErrNotFound) {
+	must(t, c.BindAttrs(ctx, "from", "v", core.NewAttributes("k", "1")))
+	must(t, c.Rename(ctx, "from", "to"))
+	if _, err := c.Lookup(ctx, "from"); !errors.Is(err, core.ErrNotFound) {
 		t.Error("old name survives")
 	}
-	got, err := c.Lookup("to")
+	got, err := c.Lookup(ctx, "to")
 	if err != nil || got != "v" {
 		t.Fatalf("new name = %v, %v", got, err)
 	}
-	attrs, _ := c.GetAttributes("to")
+	attrs, _ := c.GetAttributes(ctx, "to")
 	if attrs.GetFirst("k") != "1" {
 		t.Error("rename dropped attributes")
 	}
@@ -219,16 +227,17 @@ func TestRename(t *testing.T) {
 // Lease handling (§5.1): the provider renews leases while open; after
 // Close, bindings expire from the LUS.
 func TestLeaseRenewalLifecycle(t *testing.T) {
+	ctx := context.Background()
 	l := newLUS(t)
 	env := map[string]any{EnvLeaseMs: 300}
-	c, err := Open(l.Addr(), env)
+	c, err := Open(ctx, l.Addr(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
-	must(t, c.Bind("leased", "v"))
+	must(t, c.Bind(ctx, "leased", "v"))
 	// Well beyond the lease, the binding survives (renewal).
 	time.Sleep(900 * time.Millisecond)
-	got, err := c.Lookup("leased")
+	got, err := c.Lookup(ctx, "leased")
 	if err != nil || got != "v" {
 		t.Fatalf("binding expired despite renewal: %v, %v", got, err)
 	}
@@ -237,7 +246,7 @@ func TestLeaseRenewalLifecycle(t *testing.T) {
 	must(t, c.Close())
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		_, err := c2.Lookup("leased")
+		_, err := c2.Lookup(ctx, "leased")
 		if errors.Is(err, core.ErrNotFound) {
 			break
 		}
@@ -249,11 +258,12 @@ func TestLeaseRenewalLifecycle(t *testing.T) {
 }
 
 func TestWatchEvents(t *testing.T) {
+	ctx := context.Background()
 	l := newLUS(t)
 	c := openCtx(t, l, nil)
 	var mu sync.Mutex
 	var got []core.NamingEvent
-	cancel, err := c.Watch("", core.ScopeSubtree, func(e core.NamingEvent) {
+	cancel, err := c.Watch(ctx, "", core.ScopeSubtree, func(e core.NamingEvent) {
 		mu.Lock()
 		got = append(got, e)
 		mu.Unlock()
@@ -262,9 +272,9 @@ func TestWatchEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cancel()
-	must(t, c.Bind("w", 1))
-	must(t, c.Rebind("w", 2))
-	must(t, c.Unbind("w"))
+	must(t, c.Bind(ctx, "w", 1))
+	must(t, c.Rebind(ctx, "w", 2))
+	must(t, c.Unbind(ctx, "w"))
 	deadline := time.Now().Add(3 * time.Second)
 	for {
 		mu.Lock()
@@ -292,12 +302,13 @@ func TestWatchEvents(t *testing.T) {
 }
 
 func TestFederationBoundary(t *testing.T) {
+	ctx := context.Background()
 	l := newLUS(t)
 	c := openCtx(t, l, nil)
 	// Bind a reference to a foreign naming system mid-path.
 	ref := core.NewContextReference("mem://other")
-	must(t, c.Bind("gateway", ref))
-	_, err := c.Lookup("gateway/deeper/name")
+	must(t, c.Bind(ctx, "gateway", ref))
+	_, err := c.Lookup(ctx, "gateway/deeper/name")
 	var cpe *core.CannotProceedError
 	if !errors.As(err, &cpe) {
 		t.Fatalf("want CannotProceedError, got %v", err)
@@ -313,29 +324,31 @@ func TestFederationBoundary(t *testing.T) {
 }
 
 func TestProviderRegistration(t *testing.T) {
+	ctx := context.Background()
 	Register()
 	l := newLUS(t)
-	ctx, rest, err := core.OpenURL("jini://"+l.Addr()+"/a/b", nil)
+	nc, rest, err := core.OpenURL(ctx, "jini://"+l.Addr()+"/a/b", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ctx.Close()
+	defer nc.Close()
 	if rest.String() != "a/b" {
 		t.Errorf("rest = %q", rest.String())
 	}
-	if _, ok := ctx.(*Context); !ok {
-		t.Errorf("ctx = %T", ctx)
+	if _, ok := nc.(*Context); !ok {
+		t.Errorf("nc = %T", nc)
 	}
 }
 
 func TestClosedContext(t *testing.T) {
+	ctx := context.Background()
 	l := newLUS(t)
 	c := openCtx(t, l, nil)
 	must(t, c.Close())
-	if _, err := c.Lookup("x"); !errors.Is(err, core.ErrClosed) {
+	if _, err := c.Lookup(ctx, "x"); !errors.Is(err, core.ErrClosed) {
 		t.Errorf("lookup after close: %v", err)
 	}
-	if err := c.Bind("x", 1); !errors.Is(err, core.ErrClosed) {
+	if err := c.Bind(ctx, "x", 1); !errors.Is(err, core.ErrClosed) {
 		t.Errorf("bind after close: %v", err)
 	}
 }
@@ -363,6 +376,7 @@ func must(t *testing.T, err error) {
 // Proxy bind semantics (the §7 optimization): atomic like strict, but the
 // locking happens at a proxy colocated with the LUS.
 func TestProxyBindSemantics(t *testing.T) {
+	ctx := context.Background()
 	l := newLUS(t)
 	proxy, err := jini.NewBindProxy(l.Addr(), "127.0.0.1:0")
 	if err != nil {
@@ -371,7 +385,7 @@ func TestProxyBindSemantics(t *testing.T) {
 	t.Cleanup(func() { proxy.Close() })
 
 	open := func(pool string) *Context {
-		c, err := Open(l.Addr(), map[string]any{
+		c, err := Open(ctx, l.Addr(), map[string]any{
 			EnvBind:        "proxy",
 			EnvProxyAddr:   proxy.Addr(),
 			core.EnvPoolID: pool,
@@ -383,15 +397,15 @@ func TestProxyBindSemantics(t *testing.T) {
 		return c
 	}
 	c := open(t.Name())
-	must(t, c.BindAttrs("svc", "v1", core.NewAttributes("k", "a")))
-	if err := c.Bind("svc", "v2"); !errors.Is(err, core.ErrAlreadyBound) {
+	must(t, c.BindAttrs(ctx, "svc", "v1", core.NewAttributes("k", "a")))
+	if err := c.Bind(ctx, "svc", "v2"); !errors.Is(err, core.ErrAlreadyBound) {
 		t.Fatalf("dup bind: %v", err)
 	}
-	if got, _ := c.Lookup("svc"); got != "v1" {
+	if got, _ := c.Lookup(ctx, "svc"); got != "v1" {
 		t.Fatalf("value after failed bind = %v", got)
 	}
-	must(t, c.Rebind("svc", "v3"))
-	attrs, _ := c.GetAttributes("svc")
+	must(t, c.Rebind(ctx, "svc", "v3"))
+	attrs, _ := c.GetAttributes(ctx, "svc")
 	if attrs.GetFirst("k") != "a" {
 		t.Fatalf("rebind dropped attrs: %v", attrs)
 	}
@@ -404,8 +418,8 @@ func TestProxyBindSemantics(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ctx := open(fmt.Sprintf("%s-r%d", t.Name(), i))
-			if err := ctx.Bind("contested", i); err == nil {
+			pc := open(fmt.Sprintf("%s-r%d", t.Name(), i))
+			if err := pc.Bind(ctx, "contested", i); err == nil {
 				wins <- i
 			} else if !errors.Is(err, core.ErrAlreadyBound) {
 				t.Errorf("racer %d: %v", i, err)
@@ -422,17 +436,18 @@ func TestProxyBindSemantics(t *testing.T) {
 		t.Fatalf("proxy bind produced %d winners", n)
 	}
 	// Subcontext creation goes through the proxy too.
-	if _, err := c.CreateSubcontext("dir"); err != nil {
+	if _, err := c.CreateSubcontext(ctx, "dir"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.CreateSubcontext("dir"); !errors.Is(err, core.ErrAlreadyBound) {
+	if _, err := c.CreateSubcontext(ctx, "dir"); !errors.Is(err, core.ErrAlreadyBound) {
 		t.Fatalf("dup subcontext: %v", err)
 	}
 }
 
 func TestProxyModeRequiresAddr(t *testing.T) {
+	ctx := context.Background()
 	l := newLUS(t)
-	if _, err := Open(l.Addr(), map[string]any{EnvBind: "proxy"}); err == nil {
+	if _, err := Open(ctx, l.Addr(), map[string]any{EnvBind: "proxy"}); err == nil {
 		t.Fatal("proxy mode without address accepted")
 	}
 }

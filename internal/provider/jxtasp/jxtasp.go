@@ -11,6 +11,7 @@
 package jxtasp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,16 +30,16 @@ const EnvLeaseMs = "jxta.lease.ms"
 
 // Register installs the "jxta" URL scheme provider.
 func Register() {
-	core.RegisterProvider("jxta", core.ProviderFunc(func(rawURL string, env map[string]any) (core.Context, core.Name, error) {
+	core.RegisterProvider("jxta", core.ProviderFunc(func(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
 		u, err := core.ParseURLName(rawURL)
 		if err != nil {
 			return nil, core.Name{}, err
 		}
-		ctx, err := Open(u.Authority, env)
+		jc, err := Open(ctx, u.Authority, env)
 		if err != nil {
 			return nil, core.Name{}, &core.CommunicationError{Endpoint: u.Authority, Err: err}
 		}
-		return ctx, u.Path, nil
+		return jc, u.Path, nil
 	}))
 }
 
@@ -71,7 +72,10 @@ var _ core.Referenceable = (*Context)(nil)
 
 // Open connects (or reuses a pooled connection) to the rendezvous at
 // authority.
-func Open(authority string, env map[string]any) (*Context, error) {
+func Open(ctx context.Context, authority string, env map[string]any) (*Context, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	leaseMs := int64(120000)
 	switch v := env[EnvLeaseMs].(type) {
 	case int:
@@ -94,7 +98,7 @@ func Open(authority string, env map[string]any) (*Context, error) {
 	}
 	poolMu.Unlock()
 
-	peer, err := jxta.DialPeer(authority, 10*time.Second)
+	peer, err := jxta.DialPeerContext(ctx, authority, 10*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +135,10 @@ func (c *Context) parse(name string) (core.Name, error) {
 	return core.ParseName(name)
 }
 
-func (c *Context) full(name string) (core.Name, error) {
+func (c *Context) full(ctx context.Context, name string) (core.Name, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return core.Name{}, err
+	}
 	n, err := c.parse(name)
 	if err != nil {
 		return core.Name{}, err
@@ -158,11 +165,11 @@ func isRemote(err error, sentinel error) bool {
 }
 
 // fetchAdv retrieves the advertisement bound at path, if any.
-func (c *Context) fetchAdv(path core.Name) (*jxta.Advertisement, bool, error) {
+func (c *Context) fetchAdv(ctx context.Context, path core.Name) (*jxta.Advertisement, bool, error) {
 	if path.IsEmpty() {
 		return nil, false, nil
 	}
-	advs, err := c.sh.peer.Discover(groupOf(path.Prefix(path.Size()-1)), path.Last(), nil, 1)
+	advs, err := c.sh.peer.Discover(ctx, groupOf(path.Prefix(path.Size()-1)), path.Last(), nil, 1)
 	if err != nil {
 		if isRemote(err, jxta.ErrNoSuchGroup) {
 			return nil, false, nil
@@ -175,8 +182,8 @@ func (c *Context) fetchAdv(path core.Name) (*jxta.Advertisement, bool, error) {
 	return &advs[0], true, nil
 }
 
-func (c *Context) groupExists(path core.Name) (bool, error) {
-	_, err := c.sh.peer.SubGroups(groupOf(path))
+func (c *Context) groupExists(ctx context.Context, path core.Name) (bool, error) {
+	_, err := c.sh.peer.SubGroups(ctx, groupOf(path))
 	if err != nil {
 		if isRemote(err, jxta.ErrNoSuchGroup) {
 			return false, nil
@@ -192,13 +199,13 @@ func advObject(adv *jxta.Advertisement) (any, error) {
 
 // boundary raises a federation continuation when a prefix (or, with
 // includeSelf, the name itself) is an advertisement holding a Reference.
-func (c *Context) boundary(full core.Name, includeSelf bool) *core.CannotProceedError {
+func (c *Context) boundary(ctx context.Context, full core.Name, includeSelf bool) *core.CannotProceedError {
 	limit := full.Size()
 	if includeSelf {
 		limit++
 	}
 	for i := 1; i < limit && i <= full.Size(); i++ {
-		adv, ok, err := c.fetchAdv(full.Prefix(i))
+		adv, ok, err := c.fetchAdv(ctx, full.Prefix(i))
 		if err != nil || !ok {
 			continue
 		}
@@ -219,15 +226,15 @@ func (c *Context) boundary(full core.Name, includeSelf bool) *core.CannotProceed
 }
 
 // Lookup implements core.Context.
-func (c *Context) Lookup(name string) (any, error) {
-	full, err := c.full(name)
+func (c *Context) Lookup(ctx context.Context, name string) (any, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
 	if full.Equal(c.base) {
 		return c.child(c.base), nil
 	}
-	adv, ok, err := c.fetchAdv(full)
+	adv, ok, err := c.fetchAdv(ctx, full)
 	if err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
@@ -238,21 +245,23 @@ func (c *Context) Lookup(name string) (any, error) {
 		}
 		return obj, nil
 	}
-	exists, err := c.groupExists(full)
+	exists, err := c.groupExists(ctx, full)
 	if err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
 	if exists {
 		return c.child(full), nil
 	}
-	if cpe := c.boundary(full, false); cpe != nil {
+	if cpe := c.boundary(ctx, full, false); cpe != nil {
 		return nil, cpe
 	}
 	return nil, core.Errf("lookup", name, core.ErrNotFound)
 }
 
 // LookupLink implements core.Context.
-func (c *Context) LookupLink(name string) (any, error) { return c.Lookup(name) }
+func (c *Context) LookupLink(ctx context.Context, name string) (any, error) {
+	return c.Lookup(ctx, name)
+}
 
 func (c *Context) startRenewal(group, advName, key string) {
 	stop := make(chan struct{})
@@ -270,7 +279,10 @@ func (c *Context) startRenewal(group, advName, key string) {
 			case <-stop:
 				return
 			case <-t.C:
-				if _, err := c.sh.peer.Renew(group, advName, c.sh.lease); err != nil {
+				rctx, cancel := context.WithTimeout(context.Background(), c.sh.lease/2)
+				_, err := c.sh.peer.Renew(rctx, group, advName, c.sh.lease)
+				cancel()
+				if err != nil {
 					return
 				}
 			}
@@ -287,7 +299,7 @@ func (c *Context) stopRenewal(key string) {
 	c.sh.mu.Unlock()
 }
 
-func (c *Context) publish(full core.Name, obj any, attrs *core.Attributes, onlyNew bool) error {
+func (c *Context) publish(ctx context.Context, full core.Name, obj any, attrs *core.Attributes, onlyNew bool) error {
 	if full.IsEmpty() {
 		return core.ErrInvalidNameEmpty
 	}
@@ -301,12 +313,12 @@ func (c *Context) publish(full core.Name, obj any, attrs *core.Attributes, onlyN
 		Attrs:   attrs.ToMap(),
 		Payload: data,
 	}
-	if _, err := c.sh.peer.Publish(adv, c.sh.lease, onlyNew); err != nil {
+	if _, err := c.sh.peer.Publish(ctx, adv, c.sh.lease, onlyNew); err != nil {
 		switch {
 		case isRemote(err, jxta.ErrAdvExists):
 			return core.ErrAlreadyBound
 		case isRemote(err, jxta.ErrNoSuchGroup):
-			if cpe := c.boundary(full, false); cpe != nil {
+			if cpe := c.boundary(ctx, full, false); cpe != nil {
 				return cpe
 			}
 			return core.ErrNotFound
@@ -319,53 +331,53 @@ func (c *Context) publish(full core.Name, obj any, attrs *core.Attributes, onlyN
 }
 
 // Bind implements core.Context via atomic first-publish.
-func (c *Context) Bind(name string, obj any) error {
-	return c.BindAttrs(name, obj, nil)
+func (c *Context) Bind(ctx context.Context, name string, obj any) error {
+	return c.BindAttrs(ctx, name, obj, nil)
 }
 
 // BindAttrs implements core.DirContext.
-func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error {
-	full, err := c.full(name)
+func (c *Context) BindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("bind", name, err)
 	}
 	// A group of the same name counts as bound.
-	if exists, gerr := c.groupExists(full); gerr == nil && exists {
+	if exists, gerr := c.groupExists(ctx, full); gerr == nil && exists {
 		return core.Errf("bind", name, core.ErrAlreadyBound)
 	}
-	return core.Errf("bind", name, c.publish(full, obj, attrs, true))
+	return core.Errf("bind", name, c.publish(ctx, full, obj, attrs, true))
 }
 
 // Rebind implements core.Context (republish, preserving attributes when
 // none are supplied).
-func (c *Context) Rebind(name string, obj any) error {
-	return c.rebind(name, obj, nil, false)
+func (c *Context) Rebind(ctx context.Context, name string, obj any) error {
+	return c.rebind(ctx, name, obj, nil, false)
 }
 
 // RebindAttrs implements core.DirContext.
-func (c *Context) RebindAttrs(name string, obj any, attrs *core.Attributes) error {
-	return c.rebind(name, obj, attrs, attrs != nil)
+func (c *Context) RebindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	return c.rebind(ctx, name, obj, attrs, attrs != nil)
 }
 
-func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replace bool) error {
-	full, err := c.full(name)
+func (c *Context) rebind(ctx context.Context, name string, obj any, attrs *core.Attributes, replace bool) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("rebind", name, err)
 	}
-	if exists, gerr := c.groupExists(full); gerr == nil && exists {
+	if exists, gerr := c.groupExists(ctx, full); gerr == nil && exists {
 		return core.Errf("rebind", name, core.ErrNotContext)
 	}
 	if !replace {
-		if adv, ok, ferr := c.fetchAdv(full); ferr == nil && ok {
+		if adv, ok, ferr := c.fetchAdv(ctx, full); ferr == nil && ok {
 			attrs = core.AttributesFromMap(adv.Attrs)
 		}
 	}
-	return core.Errf("rebind", name, c.publish(full, obj, attrs, false))
+	return core.Errf("rebind", name, c.publish(ctx, full, obj, attrs, false))
 }
 
 // Unbind implements core.Context.
-func (c *Context) Unbind(name string) error {
-	full, err := c.full(name)
+func (c *Context) Unbind(ctx context.Context, name string) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("unbind", name, err)
 	}
@@ -373,12 +385,12 @@ func (c *Context) Unbind(name string) error {
 		return core.Errf("unbind", name, core.ErrInvalidNameEmpty)
 	}
 	c.stopRenewal(full.String())
-	err = c.sh.peer.Flush(groupOf(full.Prefix(full.Size()-1)), full.Last())
+	err = c.sh.peer.Flush(ctx, groupOf(full.Prefix(full.Size()-1)), full.Last())
 	if err != nil && !isRemote(err, jxta.ErrNoSuchGroup) {
 		return core.Errf("unbind", name, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
 	}
 	if isRemote(err, jxta.ErrNoSuchGroup) {
-		if cpe := c.boundary(full, false); cpe != nil {
+		if cpe := c.boundary(ctx, full, false); cpe != nil {
 			return cpe
 		}
 		return core.Errf("unbind", name, core.ErrNotFound)
@@ -387,12 +399,12 @@ func (c *Context) Unbind(name string) error {
 }
 
 // Rename implements core.Context (fetch + bind + unbind).
-func (c *Context) Rename(oldName, newName string) error {
-	oldFull, err := c.full(oldName)
+func (c *Context) Rename(ctx context.Context, oldName, newName string) error {
+	oldFull, err := c.full(ctx, oldName)
 	if err != nil {
 		return core.Errf("rename", oldName, err)
 	}
-	adv, ok, err := c.fetchAdv(oldFull)
+	adv, ok, err := c.fetchAdv(ctx, oldFull)
 	if err != nil {
 		return core.Errf("rename", oldName, err)
 	}
@@ -403,15 +415,15 @@ func (c *Context) Rename(oldName, newName string) error {
 	if err != nil {
 		return core.Errf("rename", oldName, err)
 	}
-	if err := c.BindAttrs(newName, obj, core.AttributesFromMap(adv.Attrs)); err != nil {
+	if err := c.BindAttrs(ctx, newName, obj, core.AttributesFromMap(adv.Attrs)); err != nil {
 		return err
 	}
-	return c.Unbind(oldName)
+	return c.Unbind(ctx, oldName)
 }
 
 // List implements core.Context.
-func (c *Context) List(name string) ([]core.NameClassPair, error) {
-	bindings, err := c.ListBindings(name)
+func (c *Context) List(ctx context.Context, name string) ([]core.NameClassPair, error) {
+	bindings, err := c.ListBindings(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -423,25 +435,25 @@ func (c *Context) List(name string) ([]core.NameClassPair, error) {
 }
 
 // ListBindings implements core.Context: subgroups plus advertisements.
-func (c *Context) ListBindings(name string) ([]core.Binding, error) {
-	full, err := c.full(name)
+func (c *Context) ListBindings(ctx context.Context, name string) ([]core.Binding, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("list", name, err)
 	}
-	if cpe := c.boundary(full, true); cpe != nil {
+	if cpe := c.boundary(ctx, full, true); cpe != nil {
 		return nil, cpe
 	}
-	subs, err := c.sh.peer.SubGroups(groupOf(full))
+	subs, err := c.sh.peer.SubGroups(ctx, groupOf(full))
 	if err != nil {
 		if isRemote(err, jxta.ErrNoSuchGroup) {
-			if _, ok, _ := c.fetchAdv(full); ok {
+			if _, ok, _ := c.fetchAdv(ctx, full); ok {
 				return nil, core.Errf("list", name, core.ErrNotContext)
 			}
 			return nil, core.Errf("list", name, core.ErrNotFound)
 		}
 		return nil, core.Errf("list", name, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
 	}
-	advs, err := c.sh.peer.Discover(groupOf(full), "", nil, 0)
+	advs, err := c.sh.peer.Discover(ctx, groupOf(full), "", nil, 0)
 	if err != nil {
 		return nil, core.Errf("list", name, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
 	}
@@ -465,8 +477,8 @@ func (c *Context) ListBindings(name string) ([]core.Binding, error) {
 }
 
 // CreateSubcontext implements core.Context as peer-group creation.
-func (c *Context) CreateSubcontext(name string) (core.Context, error) {
-	dc, err := c.CreateSubcontextAttrs(name, nil)
+func (c *Context) CreateSubcontext(ctx context.Context, name string) (core.Context, error) {
+	dc, err := c.CreateSubcontextAttrs(ctx, name, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -475,18 +487,18 @@ func (c *Context) CreateSubcontext(name string) (core.Context, error) {
 
 // CreateSubcontextAttrs implements core.DirContext. Peer groups carry no
 // attributes; non-empty attrs are rejected rather than silently dropped.
-func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (core.DirContext, error) {
+func (c *Context) CreateSubcontextAttrs(ctx context.Context, name string, attrs *core.Attributes) (core.DirContext, error) {
 	if attrs.Size() > 0 {
 		return nil, core.Errf("createSubcontext", name, core.ErrNotSupported)
 	}
-	full, err := c.full(name)
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("createSubcontext", name, err)
 	}
-	if _, ok, _ := c.fetchAdv(full); ok {
+	if _, ok, _ := c.fetchAdv(ctx, full); ok {
 		return nil, core.Errf("createSubcontext", name, core.ErrAlreadyBound)
 	}
-	if err := c.sh.peer.CreateGroup(groupOf(full)); err != nil {
+	if err := c.sh.peer.CreateGroup(ctx, groupOf(full)); err != nil {
 		switch {
 		case isRemote(err, jxta.ErrGroupExists):
 			return nil, core.Errf("createSubcontext", name, core.ErrAlreadyBound)
@@ -500,12 +512,12 @@ func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (co
 }
 
 // DestroySubcontext implements core.Context.
-func (c *Context) DestroySubcontext(name string) error {
-	full, err := c.full(name)
+func (c *Context) DestroySubcontext(ctx context.Context, name string) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("destroySubcontext", name, err)
 	}
-	if err := c.sh.peer.DestroyGroup(groupOf(full)); err != nil {
+	if err := c.sh.peer.DestroyGroup(ctx, groupOf(full)); err != nil {
 		if isRemote(err, jxta.ErrGroupNotEmpty) {
 			return core.Errf("destroySubcontext", name, core.ErrContextNotEmpty)
 		}
@@ -515,34 +527,34 @@ func (c *Context) DestroySubcontext(name string) error {
 }
 
 // GetAttributes implements core.DirContext.
-func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attributes, error) {
-	full, err := c.full(name)
+func (c *Context) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*core.Attributes, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("getAttributes", name, err)
 	}
-	adv, ok, err := c.fetchAdv(full)
+	adv, ok, err := c.fetchAdv(ctx, full)
 	if err != nil {
 		return nil, core.Errf("getAttributes", name, err)
 	}
 	if ok {
 		return core.AttributesFromMap(adv.Attrs).Select(attrIDs...), nil
 	}
-	if exists, _ := c.groupExists(full); exists {
+	if exists, _ := c.groupExists(ctx, full); exists {
 		return &core.Attributes{}, nil
 	}
-	if cpe := c.boundary(full, false); cpe != nil {
+	if cpe := c.boundary(ctx, full, false); cpe != nil {
 		return nil, cpe
 	}
 	return nil, core.Errf("getAttributes", name, core.ErrNotFound)
 }
 
 // ModifyAttributes implements core.DirContext (read-modify-republish).
-func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error {
-	full, err := c.full(name)
+func (c *Context) ModifyAttributes(ctx context.Context, name string, mods []core.AttributeMod) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("modifyAttributes", name, err)
 	}
-	adv, ok, err := c.fetchAdv(full)
+	adv, ok, err := c.fetchAdv(ctx, full)
 	if err != nil {
 		return core.Errf("modifyAttributes", name, err)
 	}
@@ -557,12 +569,12 @@ func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error 
 	if err != nil {
 		return core.Errf("modifyAttributes", name, err)
 	}
-	return core.Errf("modifyAttributes", name, c.publish(full, obj, attrs, false))
+	return core.Errf("modifyAttributes", name, c.publish(ctx, full, obj, attrs, false))
 }
 
 // Search implements core.DirContext by walking groups client-side.
-func (c *Context) Search(name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
-	full, err := c.full(name)
+func (c *Context) Search(ctx context.Context, name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("search", name, err)
 	}
@@ -570,20 +582,33 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 	if err != nil {
 		return nil, core.Errf("search", name, err)
 	}
-	if cpe := c.boundary(full, true); cpe != nil {
+	if cpe := c.boundary(ctx, full, true); cpe != nil {
 		return nil, cpe
 	}
 	if controls == nil {
 		controls = &core.SearchControls{Scope: core.ScopeSubtree}
 	}
+	var deadline time.Time
+	if controls.TimeLimit > 0 {
+		deadline = time.Now().Add(controls.TimeLimit)
+	}
 	var out []core.SearchResult
 	var limitHit bool
+	var stopErr error
 	var walk func(path core.Name, depth int) error
 	walk = func(path core.Name, depth int) error {
-		if limitHit {
+		if limitHit || stopErr != nil {
 			return nil
 		}
-		advs, err := c.sh.peer.Discover(groupOf(path), "", nil, 0)
+		if cerr := core.CtxErr(ctx); cerr != nil {
+			stopErr = cerr
+			return nil
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			stopErr = &core.TimeLimitExceededError{Limit: controls.TimeLimit}
+			return nil
+		}
+		advs, err := c.sh.peer.Discover(ctx, groupOf(path), "", nil, 0)
 		if err != nil {
 			return &core.CommunicationError{Endpoint: c.sh.url, Err: err}
 		}
@@ -615,7 +640,7 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 			}
 		}
 		if controls.Scope == core.ScopeSubtree || depth == 0 {
-			subs, err := c.sh.peer.SubGroups(groupOf(path))
+			subs, err := c.sh.peer.SubGroups(ctx, groupOf(path))
 			if err != nil {
 				return nil
 			}
@@ -633,7 +658,7 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 	}
 	if controls.Scope == core.ScopeObject {
 		// Object scope tests the named advertisement only.
-		adv, ok, err := c.fetchAdv(full)
+		adv, ok, err := c.fetchAdv(ctx, full)
 		if err == nil && ok {
 			attrs := core.AttributesFromMap(adv.Attrs)
 			if attrs.MatchesFilter(f) {
@@ -650,6 +675,9 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 		}
 	} else if err := walk(full, 0); err != nil {
 		return nil, core.Errf("search", name, err)
+	}
+	if stopErr != nil {
+		return out, stopErr
 	}
 	if limitHit {
 		return out, &core.LimitExceededError{Limit: controls.CountLimit}

@@ -1,6 +1,7 @@
 package jxtasp
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -25,120 +26,125 @@ func newRendezvous(t *testing.T) *jxta.Rendezvous {
 }
 
 func openCtx(t *testing.T, r *jxta.Rendezvous) *Context {
+	ctx := context.Background()
 	t.Helper()
-	ctx, err := Open(r.Addr(), map[string]any{core.EnvPoolID: t.Name()})
+	pc, err := Open(ctx, r.Addr(), map[string]any{core.EnvPoolID: t.Name()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { ctx.Close() })
-	return ctx
+	t.Cleanup(func() { pc.Close() })
+	return pc
 }
 
 func TestBasicOps(t *testing.T) {
+	ctx := context.Background()
 	r := newRendezvous(t)
 	c := openCtx(t, r)
-	if err := c.BindAttrs("pipe", "endpoint-1", core.NewAttributes("type", "pipe")); err != nil {
+	if err := c.BindAttrs(ctx, "pipe", "endpoint-1", core.NewAttributes("type", "pipe")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Lookup("pipe")
+	got, err := c.Lookup(ctx, "pipe")
 	if err != nil || got != "endpoint-1" {
 		t.Fatalf("lookup = %v, %v", got, err)
 	}
-	if err := c.Bind("pipe", "x"); !errors.Is(err, core.ErrAlreadyBound) {
+	if err := c.Bind(ctx, "pipe", "x"); !errors.Is(err, core.ErrAlreadyBound) {
 		t.Errorf("dup bind: %v", err)
 	}
-	if err := c.Rebind("pipe", "endpoint-2"); err != nil {
+	if err := c.Rebind(ctx, "pipe", "endpoint-2"); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := c.Lookup("pipe"); got != "endpoint-2" {
+	if got, _ := c.Lookup(ctx, "pipe"); got != "endpoint-2" {
 		t.Errorf("rebind = %v", got)
 	}
 	// Rebind preserved attributes.
-	attrs, _ := c.GetAttributes("pipe")
+	attrs, _ := c.GetAttributes(ctx, "pipe")
 	if attrs.GetFirst("type") != "pipe" {
 		t.Errorf("attrs dropped: %v", attrs)
 	}
-	if err := c.Unbind("pipe"); err != nil {
+	if err := c.Unbind(ctx, "pipe"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Lookup("pipe"); !errors.Is(err, core.ErrNotFound) {
+	if _, err := c.Lookup(ctx, "pipe"); !errors.Is(err, core.ErrNotFound) {
 		t.Errorf("after unbind: %v", err)
 	}
 }
 
 func TestGroupsAsContexts(t *testing.T) {
+	ctx := context.Background()
 	r := newRendezvous(t)
 	c := openCtx(t, r)
-	sub, err := c.CreateSubcontext("jxtaGroup")
+	sub, err := c.CreateSubcontext(ctx, "jxtaGroup")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Bind("myObject", "the-data"); err != nil {
+	if err := sub.Bind(ctx, "myObject", "the-data"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Lookup("jxtaGroup/myObject")
+	got, err := c.Lookup(ctx, "jxtaGroup/myObject")
 	if err != nil || got != "the-data" {
 		t.Fatalf("composite = %v, %v", got, err)
 	}
-	pairs, err := c.List("")
+	pairs, err := c.List(ctx, "")
 	if err != nil || len(pairs) != 1 || pairs[0].Class != core.ContextReferenceClass {
 		t.Fatalf("list = %+v, %v", pairs, err)
 	}
-	bindings, err := c.ListBindings("jxtaGroup")
+	bindings, err := c.ListBindings(ctx, "jxtaGroup")
 	if err != nil || len(bindings) != 1 || bindings[0].Object != "the-data" {
 		t.Fatalf("group bindings = %+v, %v", bindings, err)
 	}
-	if err := c.DestroySubcontext("jxtaGroup"); !errors.Is(err, core.ErrContextNotEmpty) {
+	if err := c.DestroySubcontext(ctx, "jxtaGroup"); !errors.Is(err, core.ErrContextNotEmpty) {
 		t.Errorf("destroy non-empty: %v", err)
 	}
-	if err := sub.Unbind("myObject"); err != nil {
+	if err := sub.Unbind(ctx, "myObject"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.DestroySubcontext("jxtaGroup"); err != nil {
+	if err := c.DestroySubcontext(ctx, "jxtaGroup"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSearchScopes(t *testing.T) {
+	ctx := context.Background()
 	r := newRendezvous(t)
 	c := openCtx(t, r)
-	if _, err := c.CreateSubcontext("sensors"); err != nil {
+	if _, err := c.CreateSubcontext(ctx, "sensors"); err != nil {
 		t.Fatal(err)
 	}
-	must(t, c.BindAttrs("gw", "g", core.NewAttributes("kind", "gateway")))
-	must(t, c.BindAttrs("sensors/s1", "t1", core.NewAttributes("kind", "temp", "floor", "1")))
-	must(t, c.BindAttrs("sensors/s2", "t2", core.NewAttributes("kind", "temp", "floor", "2")))
+	must(t, c.BindAttrs(ctx, "gw", "g", core.NewAttributes("kind", "gateway")))
+	must(t, c.BindAttrs(ctx, "sensors/s1", "t1", core.NewAttributes("kind", "temp", "floor", "1")))
+	must(t, c.BindAttrs(ctx, "sensors/s2", "t2", core.NewAttributes("kind", "temp", "floor", "2")))
 
-	res, err := c.Search("", "(kind=temp)", &core.SearchControls{Scope: core.ScopeSubtree})
+	res, err := c.Search(ctx, "", "(kind=temp)", &core.SearchControls{Scope: core.ScopeSubtree})
 	if err != nil || len(res) != 2 {
 		t.Fatalf("subtree = %+v, %v", res, err)
 	}
-	res, err = c.Search("", "(kind=*)", &core.SearchControls{Scope: core.ScopeOneLevel})
+	res, err = c.Search(ctx, "", "(kind=*)", &core.SearchControls{Scope: core.ScopeOneLevel})
 	if err != nil || len(res) != 1 || res[0].Name != "gw" {
 		t.Fatalf("one-level = %+v, %v", res, err)
 	}
-	res, err = c.Search("sensors", "(floor>=2)", &core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
+	res, err = c.Search(ctx, "sensors", "(floor>=2)", &core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
 	if err != nil || len(res) != 1 || res[0].Object != "t2" {
 		t.Fatalf("attr search = %+v, %v", res, err)
 	}
 }
 
 func TestLeaseRenewalLifecycle(t *testing.T) {
+	ctx := context.Background()
 	r := newRendezvous(t)
-	c, err := Open(r.Addr(), map[string]any{EnvLeaseMs: 400, core.EnvPoolID: t.Name()})
+	c, err := Open(ctx, r.Addr(), map[string]any{EnvLeaseMs: 400, core.EnvPoolID: t.Name()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	must(t, c.Bind("leased", "v"))
+	must(t, c.Bind(ctx, "leased", "v"))
 	time.Sleep(900 * time.Millisecond)
-	if _, err := c.Lookup("leased"); err != nil {
+	if _, err := c.Lookup(ctx, "leased"); err != nil {
 		t.Fatalf("lease lapsed despite renewal: %v", err)
 	}
 	observer := openCtx(t, r)
 	must(t, c.Close())
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		_, err := observer.Lookup("leased")
+		_, err := observer.Lookup(ctx, "leased")
 		if errors.Is(err, core.ErrNotFound) {
 			break
 		}
@@ -153,6 +159,7 @@ func TestLeaseRenewalLifecycle(t *testing.T) {
 // ldap://host/n=jiniServer/jxtaGroup/myObject — LDAP resolves a Jini
 // reference, Jini resolves a JXTA reference, JXTA serves the object.
 func TestPaperThreeSystemFederationURL(t *testing.T) {
+	ctx := context.Background()
 	Register()
 	jinisp.Register()
 	ldapsp.Register()
@@ -172,20 +179,20 @@ func TestPaperThreeSystemFederationURL(t *testing.T) {
 	ic := core.NewInitialContext(nil)
 
 	// JXTA: the target object inside a peer group.
-	if _, err := ic.CreateSubcontext("jxta://" + rdv.Addr() + "/jxtaGroup"); err != nil {
+	if _, err := ic.CreateSubcontext(ctx, "jxta://"+rdv.Addr()+"/jxtaGroup"); err != nil {
 		t.Fatal(err)
 	}
-	must(t, ic.Bind("jxta://"+rdv.Addr()+"/jxtaGroup/myObject", "the-grid-object"))
+	must(t, ic.Bind(ctx, "jxta://"+rdv.Addr()+"/jxtaGroup/myObject", "the-grid-object"))
 	// Jini: a reference to the JXTA rendezvous root.
-	must(t, ic.Bind("jini://"+lus.Addr()+"/jxtaGroup",
+	must(t, ic.Bind(ctx, "jini://"+lus.Addr()+"/jxtaGroup",
 		core.NewContextReference("jxta://"+rdv.Addr()+"/jxtaGroup")))
 	// LDAP: a reference to the Jini registry.
-	must(t, ic.Bind("ldap://"+ldapSrv.Addr()+"/dc=domain/n=jiniServer",
+	must(t, ic.Bind(ctx, "ldap://"+ldapSrv.Addr()+"/dc=domain/n=jiniServer",
 		core.NewContextReference("jini://"+lus.Addr())))
 
 	// The paper's composite URL.
 	url := "ldap://" + ldapSrv.Addr() + "/dc=domain/n=jiniServer/jxtaGroup/myObject"
-	obj, err := ic.Lookup(url)
+	obj, err := ic.Lookup(ctx, url)
 	if err != nil {
 		t.Fatalf("federated lookup: %v", err)
 	}

@@ -13,11 +13,11 @@
 package ldapsp
 
 import (
+	"context"
 	"encoding/base64"
 	"fmt"
 	"strings"
 	"sync"
-	"time"
 
 	"gondi/internal/core"
 	"gondi/internal/ldapsrv"
@@ -41,7 +41,7 @@ const (
 
 // Register installs the "ldap" URL scheme provider.
 func Register() {
-	core.RegisterProvider("ldap", core.ProviderFunc(func(rawURL string, env map[string]any) (core.Context, core.Name, error) {
+	core.RegisterProvider("ldap", core.ProviderFunc(func(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
 		u, err := core.ParseURLName(rawURL)
 		if err != nil {
 			return nil, core.Name{}, err
@@ -54,11 +54,11 @@ func Register() {
 			baseDN = u.Path.First()
 			rest = u.Path.Suffix(1)
 		}
-		ctx, err := Open(u.Authority, baseDN, env)
+		lc, err := Open(ctx, u.Authority, baseDN, env)
 		if err != nil {
 			return nil, core.Name{}, &core.CommunicationError{Endpoint: u.Authority, Err: err}
 		}
-		return ctx, rest, nil
+		return lc, rest, nil
 	}))
 }
 
@@ -93,8 +93,11 @@ var _ core.DirContext = (*Context)(nil)
 var _ core.Referenceable = (*Context)(nil)
 
 // Open connects (or reuses a pooled connection) and optionally binds to
-// the LDAP server.
-func Open(authority, baseDN string, env map[string]any) (*Context, error) {
+// the LDAP server; the dial and initial bind honour ctx.
+func Open(ctx context.Context, authority, baseDN string, env map[string]any) (*Context, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	if !strings.Contains(authority, ":") {
 		authority += ":389"
 	}
@@ -115,11 +118,11 @@ func Open(authority, baseDN string, env map[string]any) (*Context, error) {
 	}
 	poolMu.Unlock()
 
-	conn, err := ldapsrv.Dial(authority, 10*time.Second)
+	conn, err := ldapsrv.DialContext(ctx, authority)
 	if err != nil {
 		return nil, err
 	}
-	if err := conn.Bind(principal, credentials); err != nil {
+	if err := conn.Bind(ctx, principal, credentials); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -164,7 +167,12 @@ func (c *Context) parse(name string) (core.Name, error) {
 	return core.ParseName(name)
 }
 
-func (c *Context) full(name string) (core.Name, error) {
+// full parses name under the context base, front-checking ctx so every
+// operation fails fast once the caller's budget is gone.
+func (c *Context) full(ctx context.Context, name string) (core.Name, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return core.Name{}, err
+	}
 	n, err := c.parse(name)
 	if err != nil {
 		return core.Name{}, err
@@ -232,8 +240,8 @@ func asResultError(err error, out **ldapsrv.ResultError) bool {
 }
 
 // fetch reads the entry at the path, if present.
-func (c *Context) fetch(n core.Name) (*ldapsrv.Entry, bool, error) {
-	entries, err := c.sh.conn.Search(c.dnFor(n), "(objectClass=*)", &ldapsrv.SearchOptions{Scope: ldapsrv.ScopeBaseObject})
+func (c *Context) fetch(ctx context.Context, n core.Name) (*ldapsrv.Entry, bool, error) {
+	entries, err := c.sh.conn.Search(ctx, c.dnFor(n), "(objectClass=*)", &ldapsrv.SearchOptions{Scope: ldapsrv.ScopeBaseObject})
 	if err != nil {
 		if merr := mapResultErr(err); merr == core.ErrNotFound {
 			return nil, false, nil
@@ -266,19 +274,19 @@ func entryObject(e *ldapsrv.Entry) (any, bool, error) {
 
 // boundary raises a federation continuation when a path prefix holds a
 // bound Reference.
-func (c *Context) boundary(full core.Name) *core.CannotProceedError {
-	return c.boundaryUpTo(full, full.Size())
+func (c *Context) boundary(ctx context.Context, full core.Name) *core.CannotProceedError {
+	return c.boundaryUpTo(ctx, full, full.Size())
 }
 
 // boundarySelf additionally treats full itself as a potential boundary —
 // for context-level operations (List, Search).
-func (c *Context) boundarySelf(full core.Name) *core.CannotProceedError {
-	return c.boundaryUpTo(full, full.Size()+1)
+func (c *Context) boundarySelf(ctx context.Context, full core.Name) *core.CannotProceedError {
+	return c.boundaryUpTo(ctx, full, full.Size()+1)
 }
 
-func (c *Context) boundaryUpTo(full core.Name, limit int) *core.CannotProceedError {
+func (c *Context) boundaryUpTo(ctx context.Context, full core.Name, limit int) *core.CannotProceedError {
 	for i := 1; i < limit && i <= full.Size(); i++ {
-		e, ok, err := c.fetch(full.Prefix(i))
+		e, ok, err := c.fetch(ctx, full.Prefix(i))
 		if err != nil || !ok {
 			return nil
 		}
@@ -299,20 +307,20 @@ func (c *Context) boundaryUpTo(full core.Name, limit int) *core.CannotProceedErr
 }
 
 // Lookup implements core.Context.
-func (c *Context) Lookup(name string) (any, error) {
-	full, err := c.full(name)
+func (c *Context) Lookup(ctx context.Context, name string) (any, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
 	if full.Equal(c.base) {
 		return c.child(c.base), nil
 	}
-	e, ok, err := c.fetch(full)
+	e, ok, err := c.fetch(ctx, full)
 	if err != nil {
 		return nil, core.Errf("lookup", name, err)
 	}
 	if !ok {
-		if cpe := c.boundary(full); cpe != nil {
+		if cpe := c.boundary(ctx, full); cpe != nil {
 			return nil, cpe
 		}
 		return nil, core.Errf("lookup", name, core.ErrNotFound)
@@ -328,7 +336,9 @@ func (c *Context) Lookup(name string) (any, error) {
 }
 
 // LookupLink implements core.Context.
-func (c *Context) LookupLink(name string) (any, error) { return c.Lookup(name) }
+func (c *Context) LookupLink(ctx context.Context, name string) (any, error) {
+	return c.Lookup(ctx, name)
+}
 
 // entryAttrs converts a directory entry's attributes (minus the object
 // payload) into core attributes.
@@ -373,13 +383,13 @@ func ldapAttrs(attrs *core.Attributes, obj any, isCtx bool) ([]ldapsrv.EntryAttr
 }
 
 // Bind implements core.Context — LDAP Add is natively atomic.
-func (c *Context) Bind(name string, obj any) error {
-	return c.BindAttrs(name, obj, nil)
+func (c *Context) Bind(ctx context.Context, name string, obj any) error {
+	return c.BindAttrs(ctx, name, obj, nil)
 }
 
 // BindAttrs implements core.DirContext.
-func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error {
-	full, err := c.full(name)
+func (c *Context) BindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("bind", name, err)
 	}
@@ -387,10 +397,10 @@ func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error 
 	if err != nil {
 		return core.Errf("bind", name, err)
 	}
-	err = mapResultErr(c.sh.conn.Add(c.dnFor(full), la))
+	err = mapResultErr(c.sh.conn.Add(ctx, c.dnFor(full), la))
 	if err == core.ErrNotFound {
 		// Parent missing — or a federation boundary mid-name.
-		if cpe := c.boundary(full); cpe != nil {
+		if cpe := c.boundary(ctx, full); cpe != nil {
 			return cpe
 		}
 	}
@@ -398,37 +408,37 @@ func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error 
 }
 
 // Rebind implements core.Context (delete-then-add; LDAP has no overwrite).
-func (c *Context) Rebind(name string, obj any) error {
-	return c.rebindAttrs(name, obj, nil)
+func (c *Context) Rebind(ctx context.Context, name string, obj any) error {
+	return c.rebindAttrs(ctx, name, obj, nil)
 }
 
 // RebindAttrs implements core.DirContext.
-func (c *Context) RebindAttrs(name string, obj any, attrs *core.Attributes) error {
-	return c.rebindAttrs(name, obj, attrs)
+func (c *Context) RebindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	return c.rebindAttrs(ctx, name, obj, attrs)
 }
 
-func (c *Context) rebindAttrs(name string, obj any, attrs *core.Attributes) error {
-	full, err := c.full(name)
+func (c *Context) rebindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("rebind", name, err)
 	}
 	if attrs == nil {
 		// Preserve existing attributes (JNDI semantics).
-		if e, ok, ferr := c.fetch(full); ferr == nil && ok {
+		if e, ok, ferr := c.fetch(ctx, full); ferr == nil && ok {
 			attrs = entryAttrs(e)
 		}
 	}
 	dn := c.dnFor(full)
-	if derr := mapResultErr(c.sh.conn.Delete(dn)); derr != nil && derr != core.ErrNotFound {
+	if derr := mapResultErr(c.sh.conn.Delete(ctx, dn)); derr != nil && derr != core.ErrNotFound {
 		return core.Errf("rebind", name, derr)
 	}
 	la, err := ldapAttrs(attrs, obj, false)
 	if err != nil {
 		return core.Errf("rebind", name, err)
 	}
-	err = mapResultErr(c.sh.conn.Add(dn, la))
+	err = mapResultErr(c.sh.conn.Add(ctx, dn, la))
 	if err == core.ErrNotFound {
-		if cpe := c.boundary(full); cpe != nil {
+		if cpe := c.boundary(ctx, full); cpe != nil {
 			return cpe
 		}
 	}
@@ -436,12 +446,12 @@ func (c *Context) rebindAttrs(name string, obj any, attrs *core.Attributes) erro
 }
 
 // Unbind implements core.Context.
-func (c *Context) Unbind(name string) error {
-	full, err := c.full(name)
+func (c *Context) Unbind(ctx context.Context, name string) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("unbind", name, err)
 	}
-	err = mapResultErr(c.sh.conn.Delete(c.dnFor(full)))
+	err = mapResultErr(c.sh.conn.Delete(ctx, c.dnFor(full)))
 	if err == core.ErrNotFound {
 		return nil // JNDI: unbinding an unbound name succeeds
 	}
@@ -450,37 +460,37 @@ func (c *Context) Unbind(name string) error {
 
 // Rename implements core.Context via ModifyDN for sibling renames, and
 // lookup/bind/unbind otherwise.
-func (c *Context) Rename(oldName, newName string) error {
-	oldFull, err := c.full(oldName)
+func (c *Context) Rename(ctx context.Context, oldName, newName string) error {
+	oldFull, err := c.full(ctx, oldName)
 	if err != nil {
 		return core.Errf("rename", oldName, err)
 	}
-	newFull, err := c.full(newName)
+	newFull, err := c.full(ctx, newName)
 	if err != nil {
 		return core.Errf("rename", newName, err)
 	}
 	if oldFull.Size() == newFull.Size() &&
 		oldFull.Prefix(oldFull.Size()-1).Equal(newFull.Prefix(newFull.Size()-1)) {
-		err := mapResultErr(c.sh.conn.ModifyDN(c.dnFor(oldFull), rdnFor(newFull.Last()), true))
+		err := mapResultErr(c.sh.conn.ModifyDN(ctx, c.dnFor(oldFull), rdnFor(newFull.Last()), true))
 		return core.Errf("rename", oldName, err)
 	}
-	obj, err := c.Lookup(oldName)
+	obj, err := c.Lookup(ctx, oldName)
 	if err != nil {
 		return err
 	}
-	e, ok, err := c.fetch(oldFull)
+	e, ok, err := c.fetch(ctx, oldFull)
 	if err != nil || !ok {
 		return core.Errf("rename", oldName, core.ErrNotFound)
 	}
-	if err := c.BindAttrs(newName, obj, entryAttrs(e)); err != nil {
+	if err := c.BindAttrs(ctx, newName, obj, entryAttrs(e)); err != nil {
 		return err
 	}
-	return c.Unbind(oldName)
+	return c.Unbind(ctx, oldName)
 }
 
 // List implements core.Context.
-func (c *Context) List(name string) ([]core.NameClassPair, error) {
-	bindings, err := c.ListBindings(name)
+func (c *Context) List(ctx context.Context, name string) ([]core.NameClassPair, error) {
+	bindings, err := c.ListBindings(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -492,15 +502,15 @@ func (c *Context) List(name string) ([]core.NameClassPair, error) {
 }
 
 // ListBindings implements core.Context via a one-level search.
-func (c *Context) ListBindings(name string) ([]core.Binding, error) {
-	full, err := c.full(name)
+func (c *Context) ListBindings(ctx context.Context, name string) ([]core.Binding, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("list", name, err)
 	}
-	if cpe := c.boundarySelf(full); cpe != nil {
+	if cpe := c.boundarySelf(ctx, full); cpe != nil {
 		return nil, cpe
 	}
-	entries, err := c.sh.conn.Search(c.dnFor(full), "(objectClass=*)",
+	entries, err := c.sh.conn.Search(ctx, c.dnFor(full), "(objectClass=*)",
 		&ldapsrv.SearchOptions{Scope: ldapsrv.ScopeSingleLevel})
 	if err != nil {
 		return nil, core.Errf("list", name, mapResultErr(err))
@@ -531,8 +541,8 @@ func (c *Context) ListBindings(name string) ([]core.Binding, error) {
 }
 
 // CreateSubcontext implements core.Context.
-func (c *Context) CreateSubcontext(name string) (core.Context, error) {
-	dc, err := c.CreateSubcontextAttrs(name, nil)
+func (c *Context) CreateSubcontext(ctx context.Context, name string) (core.Context, error) {
+	dc, err := c.CreateSubcontextAttrs(ctx, name, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -540,8 +550,8 @@ func (c *Context) CreateSubcontext(name string) (core.Context, error) {
 }
 
 // CreateSubcontextAttrs implements core.DirContext.
-func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (core.DirContext, error) {
-	full, err := c.full(name)
+func (c *Context) CreateSubcontextAttrs(ctx context.Context, name string, attrs *core.Attributes) (core.DirContext, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("createSubcontext", name, err)
 	}
@@ -549,19 +559,19 @@ func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (co
 	if err != nil {
 		return nil, core.Errf("createSubcontext", name, err)
 	}
-	if err := mapResultErr(c.sh.conn.Add(c.dnFor(full), la)); err != nil {
+	if err := mapResultErr(c.sh.conn.Add(ctx, c.dnFor(full), la)); err != nil {
 		return nil, core.Errf("createSubcontext", name, err)
 	}
 	return c.child(full), nil
 }
 
 // DestroySubcontext implements core.Context.
-func (c *Context) DestroySubcontext(name string) error {
-	full, err := c.full(name)
+func (c *Context) DestroySubcontext(ctx context.Context, name string) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("destroySubcontext", name, err)
 	}
-	err = mapResultErr(c.sh.conn.Delete(c.dnFor(full)))
+	err = mapResultErr(c.sh.conn.Delete(ctx, c.dnFor(full)))
 	if err == core.ErrNotFound {
 		return nil
 	}
@@ -569,17 +579,17 @@ func (c *Context) DestroySubcontext(name string) error {
 }
 
 // GetAttributes implements core.DirContext.
-func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attributes, error) {
-	full, err := c.full(name)
+func (c *Context) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*core.Attributes, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("getAttributes", name, err)
 	}
-	e, ok, err := c.fetch(full)
+	e, ok, err := c.fetch(ctx, full)
 	if err != nil {
 		return nil, core.Errf("getAttributes", name, err)
 	}
 	if !ok {
-		if cpe := c.boundary(full); cpe != nil {
+		if cpe := c.boundary(ctx, full); cpe != nil {
 			return nil, cpe
 		}
 		return nil, core.Errf("getAttributes", name, core.ErrNotFound)
@@ -588,8 +598,8 @@ func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attribute
 }
 
 // ModifyAttributes implements core.DirContext — atomic server-side.
-func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error {
-	full, err := c.full(name)
+func (c *Context) ModifyAttributes(ctx context.Context, name string, mods []core.AttributeMod) error {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return core.Errf("modifyAttributes", name, err)
 	}
@@ -608,16 +618,16 @@ func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error 
 		}
 		changes[i] = ldapsrv.ModifyChange{Op: op, Attr: ldapsrv.EntryAttr{Type: m.Attr.ID, Vals: m.Attr.Values}}
 	}
-	return core.Errf("modifyAttributes", name, mapResultErr(c.sh.conn.Modify(c.dnFor(full), changes)))
+	return core.Errf("modifyAttributes", name, mapResultErr(c.sh.conn.Modify(ctx, c.dnFor(full), changes)))
 }
 
 // Search implements core.DirContext, pushing the filter to the server.
-func (c *Context) Search(name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
-	full, err := c.full(name)
+func (c *Context) Search(ctx context.Context, name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("search", name, err)
 	}
-	if cpe := c.boundarySelf(full); cpe != nil {
+	if cpe := c.boundarySelf(ctx, full); cpe != nil {
 		return nil, cpe
 	}
 	if controls == nil {
@@ -633,15 +643,20 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 		scope = ldapsrv.ScopeWholeSubtree
 	}
 	baseDN := c.dnFor(full)
-	entries, err := c.sh.conn.Search(baseDN, filterStr, &ldapsrv.SearchOptions{
-		Scope: scope, SizeLimit: controls.CountLimit,
+	entries, err := c.sh.conn.Search(ctx, baseDN, filterStr, &ldapsrv.SearchOptions{
+		Scope: scope, SizeLimit: controls.CountLimit, TimeLimit: controls.TimeLimit,
 	})
 	var limitErr error
 	if err != nil {
 		var re *ldapsrv.ResultError
-		if asResultError(err, &re) && re.Result.Code == ldapsrv.ResultSizeLimitExceeded {
+		switch {
+		case asResultError(err, &re) && re.Result.Code == ldapsrv.ResultSizeLimitExceeded:
 			limitErr = &core.LimitExceededError{Limit: controls.CountLimit}
-		} else {
+		case asResultError(err, &re) && re.Result.Code == ldapsrv.ResultTimeLimitExceeded:
+			// The server stopped at SearchControls.TimeLimit; the entries
+			// it returned before stopping are partial results.
+			limitErr = &core.TimeLimitExceededError{Limit: controls.TimeLimit}
+		default:
 			return nil, core.Errf("search", name, mapResultErr(err))
 		}
 	}

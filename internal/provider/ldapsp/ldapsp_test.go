@@ -1,6 +1,7 @@
 package ldapsp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -20,8 +21,9 @@ func newServer(t *testing.T) *ldapsrv.Server {
 }
 
 func openCtx(t *testing.T, s *ldapsrv.Server) *Context {
+	ctx := context.Background()
 	t.Helper()
-	c, err := Open(s.Addr(), "dc=mathcs,dc=emory,dc=edu", map[string]any{})
+	c, err := Open(ctx, s.Addr(), "dc=mathcs,dc=emory,dc=edu", map[string]any{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,73 +32,76 @@ func openCtx(t *testing.T, s *ldapsrv.Server) *Context {
 }
 
 func TestBindLookupUnbind(t *testing.T) {
+	ctx := context.Background()
 	s := newServer(t)
 	c := openCtx(t, s)
-	if err := c.Bind("mokey", "object-data"); err != nil {
+	if err := c.Bind(ctx, "mokey", "object-data"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Lookup("mokey")
+	got, err := c.Lookup(ctx, "mokey")
 	if err != nil || got != "object-data" {
 		t.Fatalf("lookup = %v, %v", got, err)
 	}
 	// Atomic bind: LDAP Add fails on existing entries.
-	if err := c.Bind("mokey", "x"); !errors.Is(err, core.ErrAlreadyBound) {
+	if err := c.Bind(ctx, "mokey", "x"); !errors.Is(err, core.ErrAlreadyBound) {
 		t.Errorf("dup bind: %v", err)
 	}
-	if err := c.Rebind("mokey", 123); err != nil {
+	if err := c.Rebind(ctx, "mokey", 123); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := c.Lookup("mokey"); got != 123 {
+	if got, _ := c.Lookup(ctx, "mokey"); got != 123 {
 		t.Errorf("rebind = %v", got)
 	}
-	if err := c.Unbind("mokey"); err != nil {
+	if err := c.Unbind(ctx, "mokey"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Lookup("mokey"); !errors.Is(err, core.ErrNotFound) {
+	if _, err := c.Lookup(ctx, "mokey"); !errors.Is(err, core.ErrNotFound) {
 		t.Errorf("after unbind: %v", err)
 	}
-	if err := c.Unbind("mokey"); err != nil {
+	if err := c.Unbind(ctx, "mokey"); err != nil {
 		t.Errorf("unbind absent: %v", err)
 	}
 }
 
 func TestSubtree(t *testing.T) {
+	ctx := context.Background()
 	s := newServer(t)
 	c := openCtx(t, s)
-	sub, err := c.CreateSubcontext("ou=people")
+	sub, err := c.CreateSubcontext(ctx, "ou=people")
 	if err != nil {
 		t.Fatal(err)
 	}
-	must(t, sub.Bind("alice", "alice-rec"))
+	must(t, sub.Bind(ctx, "alice", "alice-rec"))
 	// Composite traversal through the parent.
-	got, err := c.Lookup("ou=people/alice")
+	got, err := c.Lookup(ctx, "ou=people/alice")
 	if err != nil || got != "alice-rec" {
 		t.Fatalf("composite = %v, %v", got, err)
 	}
 	// List.
-	pairs, err := c.List("")
+	pairs, err := c.List(ctx, "")
 	if err != nil || len(pairs) != 1 || pairs[0].Name != "people" {
 		t.Fatalf("list root = %+v, %v", pairs, err)
 	}
-	bindings, err := c.ListBindings("ou=people")
+	bindings, err := c.ListBindings(ctx, "ou=people")
 	if err != nil || len(bindings) != 1 || bindings[0].Object != "alice-rec" {
 		t.Fatalf("people = %+v, %v", bindings, err)
 	}
 	// Orphan binds fail.
-	if err := c.Bind("ou=ghost/bob", 1); !errors.Is(err, core.ErrNotFound) {
+	if err := c.Bind(ctx, "ou=ghost/bob", 1); !errors.Is(err, core.ErrNotFound) {
 		t.Errorf("orphan bind: %v", err)
 	}
 }
 
 func TestAttributesAndSearch(t *testing.T) {
+	ctx := context.Background()
 	s := newServer(t)
 	c := openCtx(t, s)
-	must(t, c.BindAttrs("host1", "10.0.0.1",
+	must(t, c.BindAttrs(ctx, "host1", "10.0.0.1",
 		core.NewAttributes("type", "compute", "ram", "64")))
-	must(t, c.BindAttrs("host2", "10.0.0.2",
+	must(t, c.BindAttrs(ctx, "host2", "10.0.0.2",
 		core.NewAttributes("type", "compute", "ram", "128")))
 
-	attrs, err := c.GetAttributes("host1")
+	attrs, err := c.GetAttributes(ctx, "host1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,24 +112,24 @@ func TestAttributesAndSearch(t *testing.T) {
 	if _, ok := attrs.Get(objDataAttr); ok {
 		t.Error("javaSerializedData leaked")
 	}
-	res, err := c.Search("", "(&(type=compute)(ram>=100))", &core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
+	res, err := c.Search(ctx, "", "(&(type=compute)(ram>=100))", &core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
 	if err != nil || len(res) != 1 || res[0].Name != "host2" || res[0].Object != "10.0.0.2" {
 		t.Fatalf("search = %+v, %v", res, err)
 	}
-	must(t, c.ModifyAttributes("host1", []core.AttributeMod{
+	must(t, c.ModifyAttributes(ctx, "host1", []core.AttributeMod{
 		{Op: core.ModReplace, Attr: core.Attribute{ID: "ram", Values: []string{"256"}}},
 	}))
-	attrs, _ = c.GetAttributes("host1", "ram")
+	attrs, _ = c.GetAttributes(ctx, "host1", "ram")
 	if attrs.GetFirst("ram") != "256" {
 		t.Errorf("after modify: %v", attrs)
 	}
 	// Substring search maps to LDAP substring filters server-side.
-	res, err = c.Search("", "(cn=host*)", &core.SearchControls{Scope: core.ScopeSubtree})
+	res, err = c.Search(ctx, "", "(cn=host*)", &core.SearchControls{Scope: core.ScopeSubtree})
 	if err != nil || len(res) != 2 {
 		t.Fatalf("substring = %+v, %v", res, err)
 	}
 	// Count limit surfaces as LimitExceededError with partial results.
-	res, err = c.Search("", "(cn=host*)", &core.SearchControls{Scope: core.ScopeSubtree, CountLimit: 1})
+	res, err = c.Search(ctx, "", "(cn=host*)", &core.SearchControls{Scope: core.ScopeSubtree, CountLimit: 1})
 	var lim *core.LimitExceededError
 	if !errors.As(err, &lim) || len(res) != 1 {
 		t.Fatalf("limit = %+v, %v", res, err)
@@ -132,47 +137,50 @@ func TestAttributesAndSearch(t *testing.T) {
 }
 
 func TestRename(t *testing.T) {
+	ctx := context.Background()
 	s := newServer(t)
 	c := openCtx(t, s)
-	must(t, c.BindAttrs("old", "v", core.NewAttributes("k", "1")))
+	must(t, c.BindAttrs(ctx, "old", "v", core.NewAttributes("k", "1")))
 	// Sibling rename uses ModifyDN.
-	must(t, c.Rename("old", "new"))
-	if _, err := c.Lookup("old"); !errors.Is(err, core.ErrNotFound) {
+	must(t, c.Rename(ctx, "old", "new"))
+	if _, err := c.Lookup(ctx, "old"); !errors.Is(err, core.ErrNotFound) {
 		t.Error("old survives")
 	}
-	got, err := c.Lookup("new")
+	got, err := c.Lookup(ctx, "new")
 	if err != nil || got != "v" {
 		t.Fatalf("new = %v, %v", got, err)
 	}
 	// Cross-context rename falls back to bind+unbind.
-	if _, err := c.CreateSubcontext("ou=arch"); err != nil {
+	if _, err := c.CreateSubcontext(ctx, "ou=arch"); err != nil {
 		t.Fatal(err)
 	}
-	must(t, c.Rename("new", "ou=arch/moved"))
-	if got, _ := c.Lookup("ou=arch/moved"); got != "v" {
+	must(t, c.Rename(ctx, "new", "ou=arch/moved"))
+	if got, _ := c.Lookup(ctx, "ou=arch/moved"); got != "v" {
 		t.Errorf("moved = %v", got)
 	}
 }
 
 func TestRebindPreservesAttrs(t *testing.T) {
+	ctx := context.Background()
 	s := newServer(t)
 	c := openCtx(t, s)
-	must(t, c.BindAttrs("e", "v1", core.NewAttributes("color", "red")))
-	must(t, c.Rebind("e", "v2"))
-	attrs, err := c.GetAttributes("e", "color")
+	must(t, c.BindAttrs(ctx, "e", "v1", core.NewAttributes("color", "red")))
+	must(t, c.Rebind(ctx, "e", "v2"))
+	attrs, err := c.GetAttributes(ctx, "e", "color")
 	if err != nil || attrs.GetFirst("color") != "red" {
 		t.Fatalf("attrs = %v, %v", attrs, err)
 	}
-	if got, _ := c.Lookup("e"); got != "v2" {
+	if got, _ := c.Lookup(ctx, "e"); got != "v2" {
 		t.Errorf("value = %v", got)
 	}
 }
 
 func TestFederationBoundary(t *testing.T) {
+	ctx := context.Background()
 	s := newServer(t)
 	c := openCtx(t, s)
-	must(t, c.Bind("n=jiniServer", core.NewContextReference("jini://host1:4160")))
-	_, err := c.Lookup("n=jiniServer/jxtaGroup/myObject")
+	must(t, c.Bind(ctx, "n=jiniServer", core.NewContextReference("jini://host1:4160")))
+	_, err := c.Lookup(ctx, "n=jiniServer/jxtaGroup/myObject")
 	var cpe *core.CannotProceedError
 	if !errors.As(err, &cpe) {
 		t.Fatalf("want continuation, got %v", err)
@@ -183,24 +191,26 @@ func TestFederationBoundary(t *testing.T) {
 }
 
 func TestProviderRegistration(t *testing.T) {
+	ctx := context.Background()
 	Register()
 	s := newServer(t)
-	ctx, rest, err := core.OpenURL(
+	nc, rest, err := core.OpenURL(ctx,
 		fmt.Sprintf("ldap://%s/dc=mathcs,dc=emory,dc=edu/ou=people/alice", s.Addr()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ctx.Close()
+	defer nc.Close()
 	if rest.String() != "ou=people/alice" {
 		t.Errorf("rest = %q", rest.String())
 	}
-	lc := ctx.(*Context)
+	lc := nc.(*Context)
 	if got, _ := lc.NameInNamespace(); got != "dc=mathcs,dc=emory,dc=edu" {
 		t.Errorf("NameInNamespace = %q", got)
 	}
 }
 
 func TestAuthEnv(t *testing.T) {
+	ctx := context.Background()
 	srv, err := ldapsrv.NewServer("127.0.0.1:0", ldapsrv.ServerConfig{
 		BaseDN: "dc=x", RootDN: "cn=admin,dc=x", RootPassword: "pw",
 		RequireAuthForWrite: true,
@@ -210,27 +220,27 @@ func TestAuthEnv(t *testing.T) {
 	}
 	defer srv.Close()
 	// Anonymous: writes denied.
-	anon, err := Open(srv.Addr(), "dc=x", map[string]any{})
+	anon, err := Open(ctx, srv.Addr(), "dc=x", map[string]any{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer anon.Close()
-	if err := anon.Bind("a", 1); !errors.Is(err, core.ErrNoPermission) {
+	if err := anon.Bind(ctx, "a", 1); !errors.Is(err, core.ErrNoPermission) {
 		t.Errorf("anon bind: %v", err)
 	}
 	// Authenticated via environment.
-	adm, err := Open(srv.Addr(), "dc=x", map[string]any{
+	adm, err := Open(ctx, srv.Addr(), "dc=x", map[string]any{
 		EnvPrincipal: "cn=admin,dc=x", EnvCredentials: "pw",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer adm.Close()
-	if err := adm.Bind("a", 1); err != nil {
+	if err := adm.Bind(ctx, "a", 1); err != nil {
 		t.Fatal(err)
 	}
 	// Bad credentials fail at Open.
-	if _, err := Open(srv.Addr(), "dc=x", map[string]any{
+	if _, err := Open(ctx, srv.Addr(), "dc=x", map[string]any{
 		EnvPrincipal: "cn=admin,dc=x", EnvCredentials: "wrong",
 	}); err == nil {
 		t.Error("bad credentials accepted")

@@ -9,9 +9,11 @@
 package memsp
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"gondi/internal/core"
 	"gondi/internal/filter"
@@ -76,7 +78,10 @@ func ResetSpaces() {
 // factory (rooted at the space named by core.EnvProviderURL, default
 // "mem://default").
 func Register() {
-	core.RegisterProvider("mem", core.ProviderFunc(func(rawURL string, env map[string]any) (core.Context, core.Name, error) {
+	core.RegisterProvider("mem", core.ProviderFunc(func(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
+		if err := core.CtxErr(ctx); err != nil {
+			return nil, core.Name{}, err
+		}
 		u, err := core.ParseURLName(rawURL)
 		if err != nil {
 			return nil, core.Name{}, err
@@ -85,20 +90,20 @@ func Register() {
 		if space == "" {
 			space = "default"
 		}
-		ctx := NewContext(Space(space), env, "mem://"+space)
-		return ctx, u.Path, nil
+		mc := NewContext(Space(space), env, "mem://"+space)
+		return mc, u.Path, nil
 	}))
-	core.RegisterInitialFactory("mem", func(env map[string]any) (core.Context, error) {
+	core.RegisterInitialFactory("mem", func(ctx context.Context, env map[string]any) (core.Context, error) {
 		url, _ := env[core.EnvProviderURL].(string)
 		if url == "" {
 			url = "mem://default"
 		}
-		ctx, rest, err := core.OpenURL(url, env)
+		root, rest, err := core.OpenURL(ctx, url, env)
 		if err != nil {
 			return nil, err
 		}
 		if !rest.IsEmpty() {
-			obj, err := ctx.Lookup(rest.String())
+			obj, err := root.Lookup(ctx, rest.String())
 			if err != nil {
 				return nil, err
 			}
@@ -108,7 +113,7 @@ func Register() {
 			}
 			return c, nil
 		}
-		return ctx, nil
+		return root, nil
 	})
 }
 
@@ -136,6 +141,15 @@ func (c *Context) closed() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.done
+}
+
+// check guards every operation: a closed context or an already-done ctx
+// fails fast before any tree access.
+func (c *Context) check(ctx context.Context) error {
+	if c.closed() {
+		return core.ErrClosed
+	}
+	return core.CtxErr(ctx)
 }
 
 // resolveLocked walks the tree to the parent of the final component.
@@ -220,9 +234,9 @@ func (c *Context) parse(name string) (core.Name, error) {
 }
 
 // Lookup implements core.Context.
-func (c *Context) Lookup(name string) (any, error) {
-	if c.closed() {
-		return nil, core.Errf("lookup", name, core.ErrClosed)
+func (c *Context) Lookup(ctx context.Context, name string) (any, error) {
+	if err := c.check(ctx); err != nil {
+		return nil, core.Errf("lookup", name, err)
 	}
 	n, err := c.parse(name)
 	if err != nil {
@@ -243,17 +257,19 @@ func (c *Context) Lookup(name string) (any, error) {
 // LookupLink implements core.Context; in-memory links are LinkRef values
 // stored as ordinary objects, so this is identical to Lookup without
 // post-processing (the initial context does the following).
-func (c *Context) LookupLink(name string) (any, error) { return c.Lookup(name) }
+func (c *Context) LookupLink(ctx context.Context, name string) (any, error) {
+	return c.Lookup(ctx, name)
+}
 
 // Bind implements core.Context with atomic test-and-set semantics.
-func (c *Context) Bind(name string, obj any) error {
-	return c.BindAttrs(name, obj, nil)
+func (c *Context) Bind(ctx context.Context, name string, obj any) error {
+	return c.BindAttrs(ctx, name, obj, nil)
 }
 
 // BindAttrs implements core.DirContext.
-func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error {
-	if c.closed() {
-		return core.Errf("bind", name, core.ErrClosed)
+func (c *Context) BindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	if err := c.check(ctx); err != nil {
+		return core.Errf("bind", name, err)
 	}
 	n, err := c.parse(name)
 	if err != nil {
@@ -277,19 +293,19 @@ func (c *Context) BindAttrs(name string, obj any, attrs *core.Attributes) error 
 }
 
 // Rebind implements core.Context.
-func (c *Context) Rebind(name string, obj any) error {
-	return c.rebind(name, obj, nil, false)
+func (c *Context) Rebind(ctx context.Context, name string, obj any) error {
+	return c.rebind(ctx, name, obj, nil, false)
 }
 
 // RebindAttrs implements core.DirContext; nil attrs preserves existing
 // attributes.
-func (c *Context) RebindAttrs(name string, obj any, attrs *core.Attributes) error {
-	return c.rebind(name, obj, attrs, attrs != nil)
+func (c *Context) RebindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	return c.rebind(ctx, name, obj, attrs, attrs != nil)
 }
 
-func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replaceAttrs bool) error {
-	if c.closed() {
-		return core.Errf("rebind", name, core.ErrClosed)
+func (c *Context) rebind(ctx context.Context, name string, obj any, attrs *core.Attributes, replaceAttrs bool) error {
+	if err := c.check(ctx); err != nil {
+		return core.Errf("rebind", name, err)
 	}
 	n, err := c.parse(name)
 	if err != nil {
@@ -330,9 +346,9 @@ func (c *Context) rebind(name string, obj any, attrs *core.Attributes, replaceAt
 
 // Unbind implements core.Context; unbinding an absent terminal name is a
 // no-op per JNDI semantics.
-func (c *Context) Unbind(name string) error {
-	if c.closed() {
-		return core.Errf("unbind", name, core.ErrClosed)
+func (c *Context) Unbind(ctx context.Context, name string) error {
+	if err := c.check(ctx); err != nil {
+		return core.Errf("unbind", name, err)
 	}
 	n, err := c.parse(name)
 	if err != nil {
@@ -356,9 +372,9 @@ func (c *Context) Unbind(name string) error {
 }
 
 // Rename implements core.Context.
-func (c *Context) Rename(oldName, newName string) error {
-	if c.closed() {
-		return core.Errf("rename", oldName, core.ErrClosed)
+func (c *Context) Rename(ctx context.Context, oldName, newName string) error {
+	if err := c.check(ctx); err != nil {
+		return core.Errf("rename", oldName, err)
 	}
 	on, err := c.parse(oldName)
 	if err != nil {
@@ -398,8 +414,8 @@ func (c *Context) Rename(oldName, newName string) error {
 }
 
 // List implements core.Context.
-func (c *Context) List(name string) ([]core.NameClassPair, error) {
-	bindings, err := c.list(name, false)
+func (c *Context) List(ctx context.Context, name string) ([]core.NameClassPair, error) {
+	bindings, err := c.list(ctx, name, false)
 	if err != nil {
 		return nil, err
 	}
@@ -411,13 +427,13 @@ func (c *Context) List(name string) ([]core.NameClassPair, error) {
 }
 
 // ListBindings implements core.Context.
-func (c *Context) ListBindings(name string) ([]core.Binding, error) {
-	return c.list(name, true)
+func (c *Context) ListBindings(ctx context.Context, name string) ([]core.Binding, error) {
+	return c.list(ctx, name, true)
 }
 
-func (c *Context) list(name string, withObj bool) ([]core.Binding, error) {
-	if c.closed() {
-		return nil, core.Errf("list", name, core.ErrClosed)
+func (c *Context) list(ctx context.Context, name string, withObj bool) ([]core.Binding, error) {
+	if err := c.check(ctx); err != nil {
+		return nil, core.Errf("list", name, err)
 	}
 	n, err := c.parse(name)
 	if err != nil {
@@ -453,8 +469,8 @@ func (c *Context) list(name string, withObj bool) ([]core.Binding, error) {
 }
 
 // CreateSubcontext implements core.Context.
-func (c *Context) CreateSubcontext(name string) (core.Context, error) {
-	dc, err := c.CreateSubcontextAttrs(name, nil)
+func (c *Context) CreateSubcontext(ctx context.Context, name string) (core.Context, error) {
+	dc, err := c.CreateSubcontextAttrs(ctx, name, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -462,9 +478,9 @@ func (c *Context) CreateSubcontext(name string) (core.Context, error) {
 }
 
 // CreateSubcontextAttrs implements core.DirContext.
-func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (core.DirContext, error) {
-	if c.closed() {
-		return nil, core.Errf("createSubcontext", name, core.ErrClosed)
+func (c *Context) CreateSubcontextAttrs(ctx context.Context, name string, attrs *core.Attributes) (core.DirContext, error) {
+	if err := c.check(ctx); err != nil {
+		return nil, core.Errf("createSubcontext", name, err)
 	}
 	n, err := c.parse(name)
 	if err != nil {
@@ -490,9 +506,9 @@ func (c *Context) CreateSubcontextAttrs(name string, attrs *core.Attributes) (co
 }
 
 // DestroySubcontext implements core.Context.
-func (c *Context) DestroySubcontext(name string) error {
-	if c.closed() {
-		return core.Errf("destroySubcontext", name, core.ErrClosed)
+func (c *Context) DestroySubcontext(ctx context.Context, name string) error {
+	if err := c.check(ctx); err != nil {
+		return core.Errf("destroySubcontext", name, err)
 	}
 	n, err := c.parse(name)
 	if err != nil {
@@ -525,9 +541,9 @@ func (c *Context) DestroySubcontext(name string) error {
 }
 
 // GetAttributes implements core.DirContext.
-func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attributes, error) {
-	if c.closed() {
-		return nil, core.Errf("getAttributes", name, core.ErrClosed)
+func (c *Context) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*core.Attributes, error) {
+	if err := c.check(ctx); err != nil {
+		return nil, core.Errf("getAttributes", name, err)
 	}
 	n, err := c.parse(name)
 	if err != nil {
@@ -543,9 +559,9 @@ func (c *Context) GetAttributes(name string, attrIDs ...string) (*core.Attribute
 }
 
 // ModifyAttributes implements core.DirContext.
-func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error {
-	if c.closed() {
-		return core.Errf("modifyAttributes", name, core.ErrClosed)
+func (c *Context) ModifyAttributes(ctx context.Context, name string, mods []core.AttributeMod) error {
+	if err := c.check(ctx); err != nil {
+		return core.Errf("modifyAttributes", name, err)
 	}
 	n, err := c.parse(name)
 	if err != nil {
@@ -570,10 +586,13 @@ func (c *Context) ModifyAttributes(name string, mods []core.AttributeMod) error 
 	return nil
 }
 
-// Search implements core.DirContext.
-func (c *Context) Search(name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
-	if c.closed() {
-		return nil, core.Errf("search", name, core.ErrClosed)
+// Search implements core.DirContext. SearchControls.TimeLimit bounds the
+// walk: when it fires, the results gathered so far are returned together
+// with a *core.TimeLimitExceededError. Cancelling ctx aborts the walk the
+// same way with ctx.Err().
+func (c *Context) Search(ctx context.Context, name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+	if err := c.check(ctx); err != nil {
+		return nil, core.Errf("search", name, err)
 	}
 	n, err := c.parse(name)
 	if err != nil {
@@ -592,11 +611,24 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 	if err != nil {
 		return nil, core.Errf("search", name, err)
 	}
+	var deadline time.Time
+	if controls.TimeLimit > 0 {
+		deadline = time.Now().Add(controls.TimeLimit)
+	}
 	var out []core.SearchResult
 	var limitHit bool
+	var walkErr error
 	var walk func(e *entry, rel core.Name, depth int)
 	walk = func(e *entry, rel core.Name, depth int) {
-		if limitHit {
+		if limitHit || walkErr != nil {
+			return
+		}
+		if err := core.CtxErr(ctx); err != nil {
+			walkErr = err
+			return
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			walkErr = &core.TimeLimitExceededError{Limit: controls.TimeLimit}
 			return
 		}
 		inScope := false
@@ -641,6 +673,9 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 	}
 	walk(base, core.Name{}, 0)
 	sortResults(out)
+	if walkErr != nil {
+		return out, walkErr
+	}
 	if limitHit {
 		return out, &core.LimitExceededError{Limit: controls.CountLimit}
 	}
@@ -648,9 +683,9 @@ func (c *Context) Search(name, filterStr string, controls *core.SearchControls) 
 }
 
 // Watch implements core.EventContext.
-func (c *Context) Watch(target string, scope core.SearchScope, l core.Listener) (func(), error) {
-	if c.closed() {
-		return nil, core.Errf("watch", target, core.ErrClosed)
+func (c *Context) Watch(ctx context.Context, target string, scope core.SearchScope, l core.Listener) (func(), error) {
+	if err := c.check(ctx); err != nil {
+		return nil, core.Errf("watch", target, err)
 	}
 	n, err := c.parse(target)
 	if err != nil {

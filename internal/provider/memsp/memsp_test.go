@@ -1,10 +1,12 @@
 package memsp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"gondi/internal/core"
 )
@@ -14,47 +16,49 @@ func newCtx() *Context {
 }
 
 func TestBindLookup(t *testing.T) {
+	ctx := context.Background()
 	c := newCtx()
-	if err := c.Bind("a", "va"); err != nil {
+	if err := c.Bind(ctx, "a", "va"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Lookup("a")
+	got, err := c.Lookup(ctx, "a")
 	if err != nil || got != "va" {
 		t.Fatalf("Lookup = %v, %v", got, err)
 	}
 	// Atomic bind: second bind fails.
-	if err := c.Bind("a", "other"); !errors.Is(err, core.ErrAlreadyBound) {
+	if err := c.Bind(ctx, "a", "other"); !errors.Is(err, core.ErrAlreadyBound) {
 		t.Errorf("want ErrAlreadyBound, got %v", err)
 	}
 	// Lookup of missing name.
-	if _, err := c.Lookup("zzz"); !errors.Is(err, core.ErrNotFound) {
+	if _, err := c.Lookup(ctx, "zzz"); !errors.Is(err, core.ErrNotFound) {
 		t.Errorf("want ErrNotFound, got %v", err)
 	}
 	// Rebind overwrites.
-	if err := c.Rebind("a", "vb"); err != nil {
+	if err := c.Rebind(ctx, "a", "vb"); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := c.Lookup("a"); got != "vb" {
+	if got, _ := c.Lookup(ctx, "a"); got != "vb" {
 		t.Errorf("after rebind: %v", got)
 	}
 }
 
 func TestSubcontexts(t *testing.T) {
+	ctx := context.Background()
 	c := newCtx()
-	sub, err := c.CreateSubcontext("dir")
+	sub, err := c.CreateSubcontext(ctx, "dir")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Bind("x", 1); err != nil {
+	if err := sub.Bind(ctx, "x", 1); err != nil {
 		t.Fatal(err)
 	}
 	// Visible through the parent by composite name.
-	got, err := c.Lookup("dir/x")
+	got, err := c.Lookup(ctx, "dir/x")
 	if err != nil || got != 1 {
 		t.Fatalf("Lookup(dir/x) = %v, %v", got, err)
 	}
 	// Lookup of a context returns a context.
-	obj, err := c.Lookup("dir")
+	obj, err := c.Lookup(ctx, "dir")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,74 +66,77 @@ func TestSubcontexts(t *testing.T) {
 		t.Fatalf("Lookup(dir) = %T", obj)
 	}
 	// Intermediate non-context fails.
-	if err := c.Bind("dir/x/deep", 2); !errors.Is(err, core.ErrNotContext) {
+	if err := c.Bind(ctx, "dir/x/deep", 2); !errors.Is(err, core.ErrNotContext) {
 		t.Errorf("want ErrNotContext, got %v", err)
 	}
 	// Destroy of non-empty fails.
-	if err := c.DestroySubcontext("dir"); !errors.Is(err, core.ErrContextNotEmpty) {
+	if err := c.DestroySubcontext(ctx, "dir"); !errors.Is(err, core.ErrContextNotEmpty) {
 		t.Errorf("want ErrContextNotEmpty, got %v", err)
 	}
-	if err := sub.Unbind("x"); err != nil {
+	if err := sub.Unbind(ctx, "x"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.DestroySubcontext("dir"); err != nil {
+	if err := c.DestroySubcontext(ctx, "dir"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Lookup("dir"); !errors.Is(err, core.ErrNotFound) {
+	if _, err := c.Lookup(ctx, "dir"); !errors.Is(err, core.ErrNotFound) {
 		t.Errorf("dir should be gone, got %v", err)
 	}
 	// Destroying a nonexistent subcontext succeeds (JNDI).
-	if err := c.DestroySubcontext("ghost"); err != nil {
+	if err := c.DestroySubcontext(ctx, "ghost"); err != nil {
 		t.Errorf("destroy missing: %v", err)
 	}
 	// Destroying a non-context fails.
-	if err := c.Bind("leaf", 0); err != nil {
+	if err := c.Bind(ctx, "leaf", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.DestroySubcontext("leaf"); !errors.Is(err, core.ErrNotContext) {
+	if err := c.DestroySubcontext(ctx, "leaf"); !errors.Is(err, core.ErrNotContext) {
 		t.Errorf("want ErrNotContext, got %v", err)
 	}
 }
 
 func TestUnbindSemantics(t *testing.T) {
+	ctx := context.Background()
 	c := newCtx()
 	// Unbind of absent terminal name succeeds.
-	if err := c.Unbind("missing"); err != nil {
+	if err := c.Unbind(ctx, "missing"); err != nil {
 		t.Errorf("unbind missing: %v", err)
 	}
 	// But intermediate contexts must exist.
-	if err := c.Unbind("no/such/path"); !errors.Is(err, core.ErrNotFound) {
+	if err := c.Unbind(ctx, "no/such/path"); !errors.Is(err, core.ErrNotFound) {
 		t.Errorf("want ErrNotFound, got %v", err)
 	}
 }
 
 func TestRename(t *testing.T) {
+	ctx := context.Background()
 	c := newCtx()
-	must(t, c.Bind("a", "v"))
-	must(t, c.Rename("a", "b"))
-	if _, err := c.Lookup("a"); !errors.Is(err, core.ErrNotFound) {
+	must(t, c.Bind(ctx, "a", "v"))
+	must(t, c.Rename(ctx, "a", "b"))
+	if _, err := c.Lookup(ctx, "a"); !errors.Is(err, core.ErrNotFound) {
 		t.Error("old name still bound")
 	}
-	if got, _ := c.Lookup("b"); got != "v" {
+	if got, _ := c.Lookup(ctx, "b"); got != "v" {
 		t.Errorf("new name = %v", got)
 	}
-	must(t, c.Bind("c", "w"))
-	if err := c.Rename("b", "c"); !errors.Is(err, core.ErrAlreadyBound) {
+	must(t, c.Bind(ctx, "c", "w"))
+	if err := c.Rename(ctx, "b", "c"); !errors.Is(err, core.ErrAlreadyBound) {
 		t.Errorf("want ErrAlreadyBound, got %v", err)
 	}
-	if err := c.Rename("ghost", "d"); !errors.Is(err, core.ErrNotFound) {
+	if err := c.Rename(ctx, "ghost", "d"); !errors.Is(err, core.ErrNotFound) {
 		t.Errorf("want ErrNotFound, got %v", err)
 	}
 }
 
 func TestListAndListBindings(t *testing.T) {
+	ctx := context.Background()
 	c := newCtx()
-	must(t, c.Bind("b", 2))
-	must(t, c.Bind("a", "one"))
-	if _, err := c.CreateSubcontext("sub"); err != nil {
+	must(t, c.Bind(ctx, "b", 2))
+	must(t, c.Bind(ctx, "a", "one"))
+	if _, err := c.CreateSubcontext(ctx, "sub"); err != nil {
 		t.Fatal(err)
 	}
-	pairs, err := c.List("")
+	pairs, err := c.List(ctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +146,7 @@ func TestListAndListBindings(t *testing.T) {
 	if pairs[2].Class != core.ContextReferenceClass {
 		t.Errorf("sub class = %q", pairs[2].Class)
 	}
-	bindings, err := c.ListBindings("")
+	bindings, err := c.ListBindings(ctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,15 +157,16 @@ func TestListAndListBindings(t *testing.T) {
 		t.Errorf("sub object = %T", bindings[2].Object)
 	}
 	// List of a non-context fails.
-	if _, err := c.List("a"); !errors.Is(err, core.ErrNotContext) {
+	if _, err := c.List(ctx, "a"); !errors.Is(err, core.ErrNotContext) {
 		t.Errorf("want ErrNotContext, got %v", err)
 	}
 }
 
 func TestAttributesOps(t *testing.T) {
+	ctx := context.Background()
 	c := newCtx()
-	must(t, c.BindAttrs("host1", "addr1", core.NewAttributes("type", "compute", "cpus", "8")))
-	attrs, err := c.GetAttributes("host1")
+	must(t, c.BindAttrs(ctx, "host1", "addr1", core.NewAttributes("type", "compute", "cpus", "8")))
+	attrs, err := c.GetAttributes(ctx, "host1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,57 +174,58 @@ func TestAttributesOps(t *testing.T) {
 		t.Errorf("attrs = %v", attrs)
 	}
 	// Restricted fetch.
-	attrs, _ = c.GetAttributes("host1", "cpus")
+	attrs, _ = c.GetAttributes(ctx, "host1", "cpus")
 	if attrs.Size() != 1 || attrs.GetFirst("cpus") != "8" {
 		t.Errorf("restricted attrs = %v", attrs)
 	}
 	// Modify.
-	must(t, c.ModifyAttributes("host1", []core.AttributeMod{
+	must(t, c.ModifyAttributes(ctx, "host1", []core.AttributeMod{
 		{Op: core.ModReplace, Attr: core.Attribute{ID: "cpus", Values: []string{"16"}}},
 		{Op: core.ModAdd, Attr: core.Attribute{ID: "gpu", Values: []string{"yes"}}},
 	}))
-	attrs, _ = c.GetAttributes("host1")
+	attrs, _ = c.GetAttributes(ctx, "host1")
 	if attrs.GetFirst("cpus") != "16" || attrs.GetFirst("gpu") != "yes" {
 		t.Errorf("after modify: %v", attrs)
 	}
 	// Bad batch leaves attributes untouched.
-	err = c.ModifyAttributes("host1", []core.AttributeMod{
+	err = c.ModifyAttributes(ctx, "host1", []core.AttributeMod{
 		{Op: core.ModRemove, Attr: core.Attribute{ID: "gpu"}},
 		{Op: core.ModOp(99), Attr: core.Attribute{ID: "x"}},
 	})
 	if err == nil {
 		t.Fatal("bad batch should fail")
 	}
-	attrs, _ = c.GetAttributes("host1")
+	attrs, _ = c.GetAttributes(ctx, "host1")
 	if _, ok := attrs.Get("gpu"); !ok {
 		t.Error("failed batch partially applied")
 	}
 	// RebindAttrs with nil attrs preserves them.
-	must(t, c.RebindAttrs("host1", "addr2", nil))
-	attrs, _ = c.GetAttributes("host1")
+	must(t, c.RebindAttrs(ctx, "host1", "addr2", nil))
+	attrs, _ = c.GetAttributes(ctx, "host1")
 	if attrs.GetFirst("cpus") != "16" {
 		t.Error("rebind with nil attrs dropped attributes")
 	}
 	// RebindAttrs with empty attrs clears them.
-	must(t, c.RebindAttrs("host1", "addr3", &core.Attributes{}))
-	attrs, _ = c.GetAttributes("host1")
+	must(t, c.RebindAttrs(ctx, "host1", "addr3", &core.Attributes{}))
+	attrs, _ = c.GetAttributes(ctx, "host1")
 	if attrs.Size() != 0 {
 		t.Errorf("attrs should be cleared: %v", attrs)
 	}
 }
 
 func TestSearch(t *testing.T) {
+	ctx := context.Background()
 	c := newCtx()
-	sub, _ := c.CreateSubcontext("cluster")
+	sub, _ := c.CreateSubcontext(ctx, "cluster")
 	for i := 0; i < 5; i++ {
-		must(t, sub.(*Context).BindAttrs(
+		must(t, sub.(*Context).BindAttrs(ctx,
 			fmt.Sprintf("node%d", i), fmt.Sprintf("10.0.0.%d", i),
 			core.NewAttributes("type", "compute", "rank", fmt.Sprint(i))))
 	}
-	must(t, c.BindAttrs("gateway", "10.1.0.1", core.NewAttributes("type", "gateway")))
+	must(t, c.BindAttrs(ctx, "gateway", "10.1.0.1", core.NewAttributes("type", "gateway")))
 
 	// Subtree search from root.
-	res, err := c.Search("", "(type=compute)", nil)
+	res, err := c.Search(ctx, "", "(type=compute)", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,27 +236,27 @@ func TestSearch(t *testing.T) {
 		t.Errorf("first result = %q", res[0].Name)
 	}
 	// One-level scope from root misses nested nodes.
-	res, _ = c.Search("", "(type=compute)", &core.SearchControls{Scope: core.ScopeOneLevel})
+	res, _ = c.Search(ctx, "", "(type=compute)", &core.SearchControls{Scope: core.ScopeOneLevel})
 	if len(res) != 0 {
 		t.Errorf("one-level = %d", len(res))
 	}
-	res, _ = c.Search("", "(type=gateway)", &core.SearchControls{Scope: core.ScopeOneLevel})
+	res, _ = c.Search(ctx, "", "(type=gateway)", &core.SearchControls{Scope: core.ScopeOneLevel})
 	if len(res) != 1 || res[0].Name != "gateway" {
 		t.Errorf("one-level gateway = %+v", res)
 	}
 	// Object scope.
-	res, _ = c.Search("gateway", "(type=gateway)", &core.SearchControls{Scope: core.ScopeObject})
+	res, _ = c.Search(ctx, "gateway", "(type=gateway)", &core.SearchControls{Scope: core.ScopeObject})
 	if len(res) != 1 || res[0].Name != "" {
 		t.Errorf("object scope = %+v", res)
 	}
 	// Count limit returns partial results plus LimitExceededError.
-	res, err = c.Search("", "(type=*)", &core.SearchControls{Scope: core.ScopeSubtree, CountLimit: 2})
+	res, err = c.Search(ctx, "", "(type=*)", &core.SearchControls{Scope: core.ScopeSubtree, CountLimit: 2})
 	var lim *core.LimitExceededError
 	if !errors.As(err, &lim) || len(res) != 2 {
 		t.Errorf("limit: res=%d err=%v", len(res), err)
 	}
 	// Return-object and attribute selection.
-	res, err = c.Search("cluster", "(rank=3)", &core.SearchControls{
+	res, err = c.Search(ctx, "cluster", "(rank=3)", &core.SearchControls{
 		Scope: core.ScopeSubtree, ReturnObject: true, ReturnAttrs: []string{"rank"},
 	})
 	if err != nil || len(res) != 1 {
@@ -257,12 +266,13 @@ func TestSearch(t *testing.T) {
 		t.Errorf("result = %+v", res[0])
 	}
 	// Invalid filter.
-	if _, err := c.Search("", "bad filter", nil); err == nil {
+	if _, err := c.Search(ctx, "", "bad filter", nil); err == nil {
 		t.Error("bad filter should fail")
 	}
 }
 
 func TestEvents(t *testing.T) {
+	ctx := context.Background()
 	c := newCtx()
 	var mu sync.Mutex
 	var got []core.NamingEvent
@@ -271,13 +281,13 @@ func TestEvents(t *testing.T) {
 		got = append(got, e)
 		mu.Unlock()
 	}
-	cancel, err := c.Watch("", core.ScopeSubtree, record)
+	cancel, err := c.Watch(ctx, "", core.ScopeSubtree, record)
 	if err != nil {
 		t.Fatal(err)
 	}
-	must(t, c.Bind("a", 1))
-	must(t, c.Rebind("a", 2))
-	must(t, c.Unbind("a"))
+	must(t, c.Bind(ctx, "a", 1))
+	must(t, c.Rebind(ctx, "a", 2))
+	must(t, c.Unbind(ctx, "a"))
 	mu.Lock()
 	if len(got) != 3 || got[0].Type != core.EventObjectAdded ||
 		got[1].Type != core.EventObjectChanged || got[2].Type != core.EventObjectRemoved {
@@ -289,7 +299,7 @@ func TestEvents(t *testing.T) {
 	got = nil
 	mu.Unlock()
 	cancel()
-	must(t, c.Bind("b", 3))
+	must(t, c.Bind(ctx, "b", 3))
 	mu.Lock()
 	if len(got) != 0 {
 		t.Errorf("events after cancel: %+v", got)
@@ -298,14 +308,15 @@ func TestEvents(t *testing.T) {
 }
 
 func TestEventScopes(t *testing.T) {
+	ctx := context.Background()
 	c := newCtx()
-	sub, _ := c.CreateSubcontext("d")
+	sub, _ := c.CreateSubcontext(ctx, "d")
 	_ = sub
 
 	count := func(scope core.SearchScope, target string) *int {
 		n := new(int)
 		var mu sync.Mutex
-		_, err := c.Watch(target, scope, func(core.NamingEvent) {
+		_, err := c.Watch(ctx, target, scope, func(core.NamingEvent) {
 			mu.Lock()
 			*n++
 			mu.Unlock()
@@ -319,9 +330,9 @@ func TestEventScopes(t *testing.T) {
 	oneN := count(core.ScopeOneLevel, "d")
 	subN := count(core.ScopeSubtree, "")
 
-	must(t, c.Bind("d/x", 1))   // obj+one+sub
-	must(t, c.Bind("d/y", 2))   // one+sub
-	must(t, c.Bind("other", 3)) // sub
+	must(t, c.Bind(ctx, "d/x", 1))   // obj+one+sub
+	must(t, c.Bind(ctx, "d/y", 2))   // one+sub
+	must(t, c.Bind(ctx, "other", 3)) // sub
 
 	if *objN != 1 || *oneN != 2 || *subN != 3 {
 		t.Errorf("objN=%d oneN=%d subN=%d", *objN, *oneN, *subN)
@@ -329,29 +340,30 @@ func TestEventScopes(t *testing.T) {
 }
 
 func TestFederationContinuation(t *testing.T) {
+	ctx := context.Background()
 	ResetSpaces()
 	Register()
 	defer ResetSpaces()
 
 	// Two spaces; space B holds data, space A holds a reference to B.
 	ic := core.NewInitialContext(nil)
-	b, _, err := core.OpenURL("mem://spaceB", nil)
+	b, _, err := core.OpenURL(ctx, "mem://spaceB", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	must(t, b.Bind("deep", "treasure"))
+	must(t, b.Bind(ctx, "deep", "treasure"))
 
-	a, _, err := core.OpenURL("mem://spaceA", nil)
+	a, _, err := core.OpenURL(ctx, "mem://spaceA", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Bind the B context into A via its Reference (the paper's
 	// hdnsCtx.bind("jiniCtx", jiniCtx) pattern).
-	must(t, ic.Bind("mem://spaceA/linkToB", b))
+	must(t, ic.Bind(ctx, "mem://spaceA/linkToB", b))
 	_ = a
 
 	// Resolving across the boundary must follow the continuation.
-	got, err := ic.Lookup("mem://spaceA/linkToB/deep")
+	got, err := ic.Lookup(ctx, "mem://spaceA/linkToB/deep")
 	if err != nil {
 		t.Fatalf("federated lookup: %v", err)
 	}
@@ -360,13 +372,13 @@ func TestFederationContinuation(t *testing.T) {
 	}
 
 	// Writes cross the boundary too.
-	must(t, ic.Bind("mem://spaceA/linkToB/fresh", "new"))
-	if got, _ := b.Lookup("fresh"); got != "new" {
+	must(t, ic.Bind(ctx, "mem://spaceA/linkToB/fresh", "new"))
+	if got, _ := b.Lookup(ctx, "fresh"); got != "new" {
 		t.Errorf("write did not cross boundary: %v", got)
 	}
 
 	// Lookup of the boundary itself yields a usable context.
-	obj, err := ic.Lookup("mem://spaceA/linkToB")
+	obj, err := ic.Lookup(ctx, "mem://spaceA/linkToB")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,12 +386,13 @@ func TestFederationContinuation(t *testing.T) {
 	if !ok {
 		t.Fatalf("boundary = %T", obj)
 	}
-	if got, _ := bctx.Lookup("deep"); got != "treasure" {
+	if got, _ := bctx.Lookup(ctx, "deep"); got != "treasure" {
 		t.Errorf("boundary context lookup = %v", got)
 	}
 }
 
 func TestLinkRefResolution(t *testing.T) {
+	ctx := context.Background()
 	ResetSpaces()
 	Register()
 	defer ResetSpaces()
@@ -387,14 +400,14 @@ func TestLinkRefResolution(t *testing.T) {
 		core.EnvInitialFactory: "mem",
 		core.EnvProviderURL:    "mem://links",
 	})
-	must(t, ic.Bind("real", "value"))
-	must(t, ic.Bind("alias", core.LinkRef{Target: "mem://links/real"}))
-	got, err := ic.Lookup("alias")
+	must(t, ic.Bind(ctx, "real", "value"))
+	must(t, ic.Bind(ctx, "alias", core.LinkRef{Target: "mem://links/real"}))
+	got, err := ic.Lookup(ctx, "alias")
 	if err != nil || got != "value" {
 		t.Fatalf("link lookup = %v, %v", got, err)
 	}
 	// LookupLink does not follow.
-	raw, err := ic.LookupLink("alias")
+	raw, err := ic.LookupLink(ctx, "alias")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,23 +417,24 @@ func TestLinkRefResolution(t *testing.T) {
 }
 
 func TestInitialContextDefault(t *testing.T) {
+	ctx := context.Background()
 	ResetSpaces()
 	Register()
 	defer ResetSpaces()
 	ic := core.NewInitialContext(map[string]any{core.EnvInitialFactory: "mem"})
-	must(t, ic.Bind("plain", "p"))
-	got, err := ic.Lookup("plain")
+	must(t, ic.Bind(ctx, "plain", "p"))
+	got, err := ic.Lookup(ctx, "plain")
 	if err != nil || got != "p" {
 		t.Fatalf("default ctx lookup = %v, %v", got, err)
 	}
 	// Same space via URL.
-	got, err = ic.Lookup("mem://default/plain")
+	got, err = ic.Lookup(ctx, "mem://default/plain")
 	if err != nil || got != "p" {
 		t.Fatalf("url lookup = %v, %v", got, err)
 	}
 	// Search through the initial context.
-	must(t, ic.BindAttrs("svc", "obj", core.NewAttributes("type", "db")))
-	res, err := ic.Search("", "(type=db)", nil)
+	must(t, ic.BindAttrs(ctx, "svc", "obj", core.NewAttributes("type", "db")))
+	res, err := ic.Search(ctx, "", "(type=db)", nil)
 	if err != nil || len(res) != 1 || res[0].Name != "svc" {
 		t.Fatalf("search = %+v, %v", res, err)
 	}
@@ -430,17 +444,19 @@ func TestInitialContextDefault(t *testing.T) {
 }
 
 func TestClosedContext(t *testing.T) {
+	ctx := context.Background()
 	c := newCtx()
 	must(t, c.Close())
-	if _, err := c.Lookup("a"); !errors.Is(err, core.ErrClosed) {
+	if _, err := c.Lookup(ctx, "a"); !errors.Is(err, core.ErrClosed) {
 		t.Errorf("want ErrClosed, got %v", err)
 	}
-	if err := c.Bind("a", 1); !errors.Is(err, core.ErrClosed) {
+	if err := c.Bind(ctx, "a", 1); !errors.Is(err, core.ErrClosed) {
 		t.Errorf("want ErrClosed, got %v", err)
 	}
 }
 
 func TestConcurrentAccess(t *testing.T) {
+	ctx := context.Background()
 	c := newCtx()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -449,15 +465,15 @@ func TestConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				name := fmt.Sprintf("g%d-i%d", g, i)
-				if err := c.Bind(name, i); err != nil {
+				if err := c.Bind(ctx, name, i); err != nil {
 					t.Errorf("bind %s: %v", name, err)
 					return
 				}
-				if v, err := c.Lookup(name); err != nil || v != i {
+				if v, err := c.Lookup(ctx, name); err != nil || v != i {
 					t.Errorf("lookup %s = %v, %v", name, v, err)
 					return
 				}
-				if err := c.Unbind(name); err != nil {
+				if err := c.Unbind(ctx, name); err != nil {
 					t.Errorf("unbind %s: %v", name, err)
 					return
 				}
@@ -465,7 +481,7 @@ func TestConcurrentAccess(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	pairs, err := c.List("")
+	pairs, err := c.List(ctx, "")
 	if err != nil || len(pairs) != 0 {
 		t.Errorf("leftover bindings: %v, %v", pairs, err)
 	}
@@ -474,6 +490,7 @@ func TestConcurrentAccess(t *testing.T) {
 // Property-flavoured test: bind N random names, verify all retrievable,
 // unbind half, verify membership exactly matches the model.
 func TestModelConformance(t *testing.T) {
+	ctx := context.Background()
 	c := newCtx()
 	model := map[string]int{}
 	for i := 0; i < 200; i++ {
@@ -482,15 +499,15 @@ func TestModelConformance(t *testing.T) {
 			continue
 		}
 		model[name] = i
-		must(t, c.Bind(name, i))
+		must(t, c.Bind(ctx, name, i))
 	}
 	for name := range model {
 		if len(name)%2 == 0 {
-			must(t, c.Unbind(name))
+			must(t, c.Unbind(ctx, name))
 			delete(model, name)
 		}
 	}
-	pairs, err := c.List("")
+	pairs, err := c.List(ctx, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -503,7 +520,7 @@ func TestModelConformance(t *testing.T) {
 			t.Errorf("unexpected binding %q", p.Name)
 			continue
 		}
-		got, err := c.Lookup(p.Name)
+		got, err := c.Lookup(ctx, p.Name)
 		if err != nil || got != want {
 			t.Errorf("lookup %q = %v, %v; want %d", p.Name, got, err, want)
 		}
@@ -514,5 +531,31 @@ func must(t *testing.T, err error) {
 	t.Helper()
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSearchTimeLimit(t *testing.T) {
+	ctx := context.Background()
+	c := newCtx()
+	for i := 0; i < 5; i++ {
+		must(t, c.BindAttrs(ctx, fmt.Sprintf("n%d", i), i,
+			core.NewAttributes("type", "compute")))
+	}
+	// An already-expired limit stops the walk on its first step: the
+	// typed error surfaces and whatever was gathered comes back.
+	res, err := c.Search(ctx, "", "(type=compute)",
+		&core.SearchControls{Scope: core.ScopeSubtree, TimeLimit: time.Nanosecond})
+	var tle *core.TimeLimitExceededError
+	if !errors.As(err, &tle) {
+		t.Fatalf("want TimeLimitExceededError, got %v (results %v)", err, res)
+	}
+	if tle.Limit != time.Nanosecond {
+		t.Errorf("Limit = %v", tle.Limit)
+	}
+	// A generous limit behaves like no limit at all.
+	res, err = c.Search(ctx, "", "(type=compute)",
+		&core.SearchControls{Scope: core.ScopeSubtree, TimeLimit: time.Minute})
+	if err != nil || len(res) != 5 {
+		t.Fatalf("generous limit = %d results, %v", len(res), err)
 	}
 }

@@ -4,6 +4,7 @@ package ptest_test
 // five different substrates, one behavioural contract.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -63,12 +64,12 @@ func TestHDNSProviderConformance(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { n.Close() })
-		ctx, err := hdnssp.Open(n.Addr(), map[string]any{core.EnvPoolID: t.Name()})
+		pc, err := hdnssp.Open(context.Background(), n.Addr(), map[string]any{core.EnvPoolID: t.Name()})
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(func() { ctx.Close() })
-		return ctx
+		t.Cleanup(func() { pc.Close() })
+		return pc
 	})
 }
 
@@ -88,15 +89,15 @@ func TestJiniProviderConformance(t *testing.T) {
 					t.Fatal(err)
 				}
 				t.Cleanup(func() { lus.Close() })
-				ctx, err := jinisp.Open(lus.Addr(), map[string]any{
+				pc, err := jinisp.Open(context.Background(), lus.Addr(), map[string]any{
 					jinisp.EnvBind: mode,
 					core.EnvPoolID: t.Name(),
 				})
 				if err != nil {
 					t.Fatal(err)
 				}
-				t.Cleanup(func() { ctx.Close() })
-				return ctx
+				t.Cleanup(func() { pc.Close() })
+				return pc
 			})
 		})
 	}
@@ -116,12 +117,12 @@ func TestJXTAProviderConformance(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { rdv.Close() })
-		ctx, err := jxtasp.Open(rdv.Addr(), map[string]any{core.EnvPoolID: t.Name()})
+		pc, err := jxtasp.Open(context.Background(), rdv.Addr(), map[string]any{core.EnvPoolID: t.Name()})
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(func() { ctx.Close() })
-		return ctx
+		t.Cleanup(func() { pc.Close() })
+		return pc
 	})
 }
 
@@ -138,11 +139,11 @@ func TestLDAPProviderConformance(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { srv.Close() })
-		ctx, err := ldapsp.Open(srv.Addr(), "dc=conf", map[string]any{core.EnvPoolID: t.Name()})
+		pc, err := ldapsp.Open(context.Background(), srv.Addr(), "dc=conf", map[string]any{core.EnvPoolID: t.Name()})
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(func() { ctx.Close() })
-		return ctx
+		t.Cleanup(func() { pc.Close() })
+		return pc
 	})
 }

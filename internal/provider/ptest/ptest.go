@@ -7,9 +7,11 @@
 package ptest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"gondi/internal/core"
 )
@@ -37,12 +39,13 @@ type Factory func(t *testing.T) core.DirContext
 
 // Run executes the conformance suite.
 func Run(t *testing.T, caps Caps, factory Factory) {
+	ctx := context.Background()
 	t.Run("BindLookupRoundTrip", func(t *testing.T) {
 		c := factory(t)
-		if err := c.Bind("a", "v1"); err != nil {
+		if err := c.Bind(ctx, "a", "v1"); err != nil {
 			t.Fatal(err)
 		}
-		got, err := c.Lookup("a")
+		got, err := c.Lookup(ctx, "a")
 		if err != nil || got != "v1" {
 			t.Fatalf("Lookup = %v, %v", got, err)
 		}
@@ -50,57 +53,57 @@ func Run(t *testing.T, caps Caps, factory Factory) {
 
 	t.Run("BindIsAtomic", func(t *testing.T) {
 		c := factory(t)
-		if err := c.Bind("a", 1); err != nil {
+		if err := c.Bind(ctx, "a", 1); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Bind("a", 2); !errors.Is(err, core.ErrAlreadyBound) {
+		if err := c.Bind(ctx, "a", 2); !errors.Is(err, core.ErrAlreadyBound) {
 			t.Fatalf("second bind: %v", err)
 		}
 		// The original value survives the failed bind.
-		if got, _ := c.Lookup("a"); got != 1 {
+		if got, _ := c.Lookup(ctx, "a"); got != 1 {
 			t.Fatalf("value after failed bind = %v", got)
 		}
 	})
 
 	t.Run("RebindOverwrites", func(t *testing.T) {
 		c := factory(t)
-		if err := c.Rebind("a", "old"); err != nil {
+		if err := c.Rebind(ctx, "a", "old"); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Rebind("a", "new"); err != nil {
+		if err := c.Rebind(ctx, "a", "new"); err != nil {
 			t.Fatal(err)
 		}
-		if got, _ := c.Lookup("a"); got != "new" {
+		if got, _ := c.Lookup(ctx, "a"); got != "new" {
 			t.Fatalf("got %v", got)
 		}
 	})
 
 	t.Run("LookupMissingIsNotFound", func(t *testing.T) {
 		c := factory(t)
-		if _, err := c.Lookup("ghost"); !errors.Is(err, core.ErrNotFound) {
+		if _, err := c.Lookup(ctx, "ghost"); !errors.Is(err, core.ErrNotFound) {
 			t.Fatalf("got %v", err)
 		}
 	})
 
 	t.Run("UnbindIsIdempotent", func(t *testing.T) {
 		c := factory(t)
-		if err := c.Bind("a", 1); err != nil {
+		if err := c.Bind(ctx, "a", 1); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Unbind("a"); err != nil {
+		if err := c.Unbind(ctx, "a"); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Unbind("a"); err != nil {
+		if err := c.Unbind(ctx, "a"); err != nil {
 			t.Fatalf("second unbind: %v", err)
 		}
-		if _, err := c.Lookup("a"); !errors.Is(err, core.ErrNotFound) {
+		if _, err := c.Lookup(ctx, "a"); !errors.Is(err, core.ErrNotFound) {
 			t.Fatalf("after unbind: %v", err)
 		}
 	})
 
 	t.Run("EmptyNameLookupYieldsContext", func(t *testing.T) {
 		c := factory(t)
-		obj, err := c.Lookup("")
+		obj, err := c.Lookup(ctx, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,18 +115,18 @@ func Run(t *testing.T, caps Caps, factory Factory) {
 	t.Run("ListEnumeratesBindings", func(t *testing.T) {
 		c := factory(t)
 		for i := 0; i < 3; i++ {
-			if err := c.Bind(fmt.Sprintf("e%d", i), i); err != nil {
+			if err := c.Bind(ctx, fmt.Sprintf("e%d", i), i); err != nil {
 				t.Fatal(err)
 			}
 		}
-		pairs, err := c.List("")
+		pairs, err := c.List(ctx, "")
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(pairs) != 3 {
 			t.Fatalf("List = %+v", pairs)
 		}
-		bindings, err := c.ListBindings("")
+		bindings, err := c.ListBindings(ctx, "")
 		if err != nil || len(bindings) != 3 {
 			t.Fatalf("ListBindings = %+v, %v", bindings, err)
 		}
@@ -140,17 +143,17 @@ func Run(t *testing.T, caps Caps, factory Factory) {
 
 	t.Run("AttributesRoundTrip", func(t *testing.T) {
 		c := factory(t)
-		if err := c.BindAttrs("a", "v", core.NewAttributes("color", "red", "size", "9")); err != nil {
+		if err := c.BindAttrs(ctx, "a", "v", core.NewAttributes("color", "red", "size", "9")); err != nil {
 			t.Fatal(err)
 		}
-		attrs, err := c.GetAttributes("a")
+		attrs, err := c.GetAttributes(ctx, "a")
 		if err != nil {
 			t.Fatal(err)
 		}
 		if attrs.GetFirst("color") != "red" || attrs.GetFirst("size") != "9" {
 			t.Fatalf("attrs = %v", attrs)
 		}
-		sel, err := c.GetAttributes("a", "color")
+		sel, err := c.GetAttributes(ctx, "a", "color")
 		if err != nil || sel.Size() != 1 || sel.GetFirst("color") != "red" {
 			t.Fatalf("selected = %v, %v", sel, err)
 		}
@@ -158,50 +161,50 @@ func Run(t *testing.T, caps Caps, factory Factory) {
 
 	t.Run("ModifyAttributes", func(t *testing.T) {
 		c := factory(t)
-		if err := c.BindAttrs("a", "v", core.NewAttributes("k", "1")); err != nil {
+		if err := c.BindAttrs(ctx, "a", "v", core.NewAttributes("k", "1")); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.ModifyAttributes("a", []core.AttributeMod{
+		if err := c.ModifyAttributes(ctx, "a", []core.AttributeMod{
 			{Op: core.ModReplace, Attr: core.Attribute{ID: "k", Values: []string{"2"}}},
 			{Op: core.ModAdd, Attr: core.Attribute{ID: "extra", Values: []string{"x"}}},
 		}); err != nil {
 			t.Fatal(err)
 		}
-		attrs, _ := c.GetAttributes("a")
+		attrs, _ := c.GetAttributes(ctx, "a")
 		if attrs.GetFirst("k") != "2" || attrs.GetFirst("extra") != "x" {
 			t.Fatalf("after modify: %v", attrs)
 		}
-		if err := c.ModifyAttributes("a", []core.AttributeMod{
+		if err := c.ModifyAttributes(ctx, "a", []core.AttributeMod{
 			{Op: core.ModRemove, Attr: core.Attribute{ID: "extra"}},
 		}); err != nil {
 			t.Fatal(err)
 		}
-		attrs, _ = c.GetAttributes("a")
+		attrs, _ = c.GetAttributes(ctx, "a")
 		if _, ok := attrs.Get("extra"); ok {
 			t.Fatalf("remove failed: %v", attrs)
 		}
 		// The bound object is untouched by attribute modification.
-		if got, _ := c.Lookup("a"); got != "v" {
+		if got, _ := c.Lookup(ctx, "a"); got != "v" {
 			t.Fatalf("object after modify = %v", got)
 		}
 	})
 
 	t.Run("SearchFiltersAndScopes", func(t *testing.T) {
 		c := factory(t)
-		if err := c.BindAttrs("n1", "o1", core.NewAttributes("type", "compute", "rank", "1")); err != nil {
+		if err := c.BindAttrs(ctx, "n1", "o1", core.NewAttributes("type", "compute", "rank", "1")); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.BindAttrs("n2", "o2", core.NewAttributes("type", "compute", "rank", "5")); err != nil {
+		if err := c.BindAttrs(ctx, "n2", "o2", core.NewAttributes("type", "compute", "rank", "5")); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.BindAttrs("gw", "o3", core.NewAttributes("type", "gateway")); err != nil {
+		if err := c.BindAttrs(ctx, "gw", "o3", core.NewAttributes("type", "gateway")); err != nil {
 			t.Fatal(err)
 		}
-		res, err := c.Search("", "(type=compute)", &core.SearchControls{Scope: core.ScopeSubtree})
+		res, err := c.Search(ctx, "", "(type=compute)", &core.SearchControls{Scope: core.ScopeSubtree})
 		if err != nil || len(res) != 2 {
 			t.Fatalf("compute search = %+v, %v", res, err)
 		}
-		res, err = c.Search("", "(&(type=compute)(rank>=5))",
+		res, err = c.Search(ctx, "", "(&(type=compute)(rank>=5))",
 			&core.SearchControls{Scope: core.ScopeSubtree, ReturnObject: true})
 		if err != nil || len(res) != 1 || res[0].Name != "n2" {
 			t.Fatalf("combined search = %+v, %v", res, err)
@@ -209,11 +212,11 @@ func Run(t *testing.T, caps Caps, factory Factory) {
 		if res[0].Object != "o2" {
 			t.Fatalf("ReturnObject = %v", res[0].Object)
 		}
-		res, err = c.Search("", "(type=*)", &core.SearchControls{Scope: core.ScopeObject})
+		res, err = c.Search(ctx, "", "(type=*)", &core.SearchControls{Scope: core.ScopeObject})
 		if err != nil || len(res) != 0 {
 			t.Fatalf("object-scope from root = %+v, %v", res, err)
 		}
-		if _, err := c.Search("", "not a filter", nil); err == nil {
+		if _, err := c.Search(ctx, "", "not a filter", nil); err == nil {
 			t.Fatal("bad filter accepted")
 		}
 	})
@@ -223,13 +226,13 @@ func Run(t *testing.T, caps Caps, factory Factory) {
 			t.Skip("provider does not preserve attributes on rebind")
 		}
 		c := factory(t)
-		if err := c.BindAttrs("a", "v1", core.NewAttributes("keep", "me")); err != nil {
+		if err := c.BindAttrs(ctx, "a", "v1", core.NewAttributes("keep", "me")); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Rebind("a", "v2"); err != nil {
+		if err := c.Rebind(ctx, "a", "v2"); err != nil {
 			t.Fatal(err)
 		}
-		attrs, _ := c.GetAttributes("a")
+		attrs, _ := c.GetAttributes(ctx, "a")
 		if attrs.GetFirst("keep") != "me" {
 			t.Fatalf("attrs dropped: %v", attrs)
 		}
@@ -237,10 +240,10 @@ func Run(t *testing.T, caps Caps, factory Factory) {
 		if !ok {
 			t.Fatal("not a DirContext")
 		}
-		if err := dc.RebindAttrs("a", "v3", &core.Attributes{}); err != nil {
+		if err := dc.RebindAttrs(ctx, "a", "v3", &core.Attributes{}); err != nil {
 			t.Fatal(err)
 		}
-		attrs, _ = c.GetAttributes("a")
+		attrs, _ = c.GetAttributes(ctx, "a")
 		if _, present := attrs.Get("keep"); present {
 			t.Fatalf("explicit empty attrs did not clear: %v", attrs)
 		}
@@ -251,30 +254,30 @@ func Run(t *testing.T, caps Caps, factory Factory) {
 			t.Skip("provider does not support subcontexts")
 		}
 		c := factory(t)
-		sub, err := c.CreateSubcontext("dir")
+		sub, err := c.CreateSubcontext(ctx, "dir")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := sub.Bind("x", 7); err != nil {
+		if err := sub.Bind(ctx, "x", 7); err != nil {
 			t.Fatal(err)
 		}
-		got, err := c.Lookup("dir/x")
+		got, err := c.Lookup(ctx, "dir/x")
 		if err != nil || got != 7 {
 			t.Fatalf("composite lookup = %v, %v", got, err)
 		}
-		if _, err := c.CreateSubcontext("dir"); !errors.Is(err, core.ErrAlreadyBound) {
+		if _, err := c.CreateSubcontext(ctx, "dir"); !errors.Is(err, core.ErrAlreadyBound) {
 			t.Fatalf("dup subcontext: %v", err)
 		}
-		if err := c.DestroySubcontext("dir"); !errors.Is(err, core.ErrContextNotEmpty) {
+		if err := c.DestroySubcontext(ctx, "dir"); !errors.Is(err, core.ErrContextNotEmpty) {
 			t.Fatalf("destroy non-empty: %v", err)
 		}
-		if err := sub.Unbind("x"); err != nil {
+		if err := sub.Unbind(ctx, "x"); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.DestroySubcontext("dir"); err != nil {
+		if err := c.DestroySubcontext(ctx, "dir"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Lookup("dir"); !errors.Is(err, core.ErrNotFound) {
+		if _, err := c.Lookup(ctx, "dir"); !errors.Is(err, core.ErrNotFound) {
 			t.Fatalf("destroyed dir still resolves: %v", err)
 		}
 	})
@@ -285,20 +288,20 @@ func Run(t *testing.T, caps Caps, factory Factory) {
 		}
 		c := factory(t)
 		if caps.IntermediateContextsRequired {
-			if err := c.Bind("no/such/path", 1); err == nil {
+			if err := c.Bind(ctx, "no/such/path", 1); err == nil {
 				t.Fatal("bind under missing context succeeded")
 			}
 		}
-		if _, err := c.CreateSubcontext("a"); err != nil {
+		if _, err := c.CreateSubcontext(ctx, "a"); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Bind("a/leaf", 1); err != nil {
+		if err := c.Bind(ctx, "a/leaf", 1); err != nil {
 			t.Fatal(err)
 		}
 		// Binding under a value (not a context) must not succeed —
 		// except in models where every entry is a container.
 		if !caps.LeavesAreContexts {
-			if err := c.Bind("a/leaf/deep", 2); err == nil {
+			if err := c.Bind(ctx, "a/leaf/deep", 2); err == nil {
 				t.Fatal("bind under leaf succeeded")
 			}
 		}
@@ -309,32 +312,32 @@ func Run(t *testing.T, caps Caps, factory Factory) {
 			t.Skip("provider does not support rename")
 		}
 		c := factory(t)
-		if err := c.Bind("old", "v"); err != nil {
+		if err := c.Bind(ctx, "old", "v"); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Rename("old", "new"); err != nil {
+		if err := c.Rename(ctx, "old", "new"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Lookup("old"); !errors.Is(err, core.ErrNotFound) {
+		if _, err := c.Lookup(ctx, "old"); !errors.Is(err, core.ErrNotFound) {
 			t.Fatalf("old name survives: %v", err)
 		}
-		if got, _ := c.Lookup("new"); got != "v" {
+		if got, _ := c.Lookup(ctx, "new"); got != "v" {
 			t.Fatalf("renamed = %v", got)
 		}
-		if err := c.Bind("taken", 1); err != nil {
+		if err := c.Bind(ctx, "taken", 1); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Rename("new", "taken"); !errors.Is(err, core.ErrAlreadyBound) {
+		if err := c.Rename(ctx, "new", "taken"); !errors.Is(err, core.ErrAlreadyBound) {
 			t.Fatalf("rename onto taken: %v", err)
 		}
 	})
 
 	t.Run("FederationBoundary", func(t *testing.T) {
 		c := factory(t)
-		if err := c.Bind("gw", core.NewContextReference("mem://elsewhere")); err != nil {
+		if err := c.Bind(ctx, "gw", core.NewContextReference("mem://elsewhere")); err != nil {
 			t.Fatal(err)
 		}
-		_, err := c.Lookup("gw/deep/name")
+		_, err := c.Lookup(ctx, "gw/deep/name")
 		var cpe *core.CannotProceedError
 		if !errors.As(err, &cpe) {
 			t.Fatalf("want CannotProceedError, got %v", err)
@@ -363,6 +366,49 @@ func Run(t *testing.T, caps Caps, factory Factory) {
 		c := factory(t)
 		if _, err := c.NameInNamespace(); err != nil {
 			t.Fatal(err)
+		}
+	})
+
+	t.Run("CanceledContextAborts", func(t *testing.T) {
+		c := factory(t)
+		if err := c.Bind(ctx, "a", "v"); err != nil {
+			t.Fatal(err)
+		}
+		canceled, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := c.Lookup(canceled, "a"); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Lookup under canceled ctx: %v", err)
+		}
+		if err := c.Bind(canceled, "b", 1); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Bind under canceled ctx: %v", err)
+		}
+		if _, err := c.List(canceled, ""); !errors.Is(err, context.Canceled) {
+			t.Fatalf("List under canceled ctx: %v", err)
+		}
+		if _, err := c.Search(canceled, "", "(a=*)", nil); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Search under canceled ctx: %v", err)
+		}
+		// The cancellation did not disturb existing state.
+		if got, err := c.Lookup(ctx, "a"); err != nil || got != "v" {
+			t.Fatalf("state after cancel = %v, %v", got, err)
+		}
+	})
+
+	t.Run("DeadlineExceededSurfaces", func(t *testing.T) {
+		c := factory(t)
+		expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		if _, err := c.Lookup(expired, "anything"); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Lookup under expired deadline: %v", err)
+		}
+		if err := c.Rebind(expired, "a", 1); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Rebind under expired deadline: %v", err)
+		}
+		if err := c.Unbind(expired, "a"); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Unbind under expired deadline: %v", err)
+		}
+		if _, err := c.GetAttributes(expired, "a"); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("GetAttributes under expired deadline: %v", err)
 		}
 	})
 }

@@ -1,0 +1,149 @@
+// Package retry implements capped exponential backoff with jitter for the
+// wire paths (rpc dials, registrar calls, lease renewal). All waiting is
+// ctx-aware: a cancelled or expired context aborts the backoff sleep
+// immediately and is never itself retried.
+package retry
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"syscall"
+	"time"
+)
+
+// Defaults applied by Policy.withDefaults for zero fields.
+const (
+	DefaultAttempts   = 4
+	DefaultBaseDelay  = 50 * time.Millisecond
+	DefaultMaxDelay   = 2 * time.Second
+	DefaultMultiplier = 2.0
+	DefaultJitter     = 0.2
+)
+
+// Policy describes a capped exponential backoff schedule. The zero value
+// means "use the defaults above": up to 4 attempts with delays of roughly
+// 50ms, 100ms, 200ms (each ±20% jitter), capped at 2s.
+type Policy struct {
+	// MaxAttempts bounds total tries (first call included); <=0 uses
+	// DefaultAttempts. 1 means no retries.
+	MaxAttempts int
+	// BaseDelay is the pause after the first failure; <=0 uses
+	// DefaultBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay; <=0 uses DefaultMaxDelay.
+	MaxDelay time.Duration
+	// Multiplier grows the delay each attempt; <=1 uses DefaultMultiplier.
+	Multiplier float64
+	// Jitter is the random fraction (0..1) added/subtracted from each
+	// delay to avoid thundering herds; <0 disables, 0 uses DefaultJitter.
+	Jitter float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = DefaultMultiplier
+	}
+	if p.Jitter == 0 {
+		p.Jitter = DefaultJitter
+	}
+	return p
+}
+
+// Transient reports whether err is worth retrying: network timeouts,
+// connection refused/reset (a service restarting behind a stable address),
+// and torn connections (EOF mid-protocol). Context cancellation and
+// deadline expiry are never transient — the caller's budget is gone.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	return false
+}
+
+// Do runs fn until it succeeds, fails permanently (per Transient), the
+// policy's attempts are exhausted, or ctx ends. It returns nil on success,
+// ctx.Err() if the context ended first, and otherwise the last error from
+// fn.
+func Do(ctx context.Context, p Policy, fn func() error) error {
+	return DoClassify(ctx, p, Transient, fn)
+}
+
+// DoClassify is Do with a custom transient-error classifier.
+func DoClassify(ctx context.Context, p Policy, transient func(error) bool, fn func() error) error {
+	p = p.withDefaults()
+	if transient == nil {
+		transient = Transient
+	}
+	delay := p.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if attempt >= p.MaxAttempts || !transient(err) {
+			return err
+		}
+		if !sleep(ctx, jittered(delay, p.Jitter)) {
+			return ctx.Err()
+		}
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}
+
+// jittered perturbs d by ±frac (e.g. 0.2 → d*[0.8, 1.2)).
+func jittered(d time.Duration, frac float64) time.Duration {
+	if frac <= 0 || d <= 0 {
+		return d
+	}
+	span := float64(d) * frac
+	return time.Duration(float64(d) - span + rand.Float64()*2*span)
+}
+
+// sleep waits d or until ctx is done; it reports whether the full wait
+// elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

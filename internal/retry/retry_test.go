@@ -1,0 +1,119 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func fastPolicy() Policy {
+	return Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+}
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func() error {
+		calls++
+		if calls < 3 {
+			return io.EOF
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	perm := errors.New("bad request")
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func() error {
+		calls++
+		return syscall.ECONNREFUSED
+	})
+	if !errors.Is(err, syscall.ECONNREFUSED) || calls != 4 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, Policy{MaxAttempts: 100, BaseDelay: time.Hour}, func() error {
+			calls++
+			return io.EOF
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err=%v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do did not return after cancel")
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d", calls)
+	}
+}
+
+func TestDoNeverRetriesContextErrors(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func() error {
+		calls++
+		return context.DeadlineExceeded
+	})
+	if !errors.Is(err, context.DeadlineExceeded) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{io.EOF, true},
+		{io.ErrUnexpectedEOF, true},
+		{syscall.ECONNREFUSED, true},
+		{syscall.ECONNRESET, true},
+		{syscall.EPIPE, true},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{errors.New("semantic error"), false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("Transient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestJitteredStaysInBand(t *testing.T) {
+	d := 100 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		j := jittered(d, 0.2)
+		if j < 80*time.Millisecond || j > 120*time.Millisecond {
+			t.Fatalf("jittered out of band: %v", j)
+		}
+	}
+}

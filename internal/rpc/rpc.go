@@ -5,6 +5,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -13,6 +14,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"gondi/internal/retry"
 )
 
 // Frame kinds.
@@ -34,8 +37,15 @@ type frame struct {
 	Body   []byte
 }
 
-// ErrConnClosed is returned by calls on a closed connection.
+// ErrConnClosed is returned by calls whose connection the peer (or the
+// network) terminated.
 var ErrConnClosed = errors.New("rpc: connection closed")
+
+// ErrClientClosed is returned by calls — including calls already in
+// flight — when the local side called Close. It is distinct from
+// ErrConnClosed so callers can tell an orderly local shutdown from a torn
+// connection.
+var ErrClientClosed = errors.New("rpc: client closed")
 
 // RemoteError carries an error string produced by a server handler.
 type RemoteError struct {
@@ -282,29 +292,61 @@ func (sc *ServerConn) Get(key string) (any, bool) {
 	return v, ok
 }
 
-// Client is a multiplexing RPC client.
+// Client is a multiplexing RPC client. Calls are context-first: the ctx
+// deadline becomes a real write deadline on the connection and bounds the
+// wait for the response; cancellation aborts an in-flight call
+// immediately with ctx.Err().
 type Client struct {
-	conn    net.Conn
-	writeMu sync.Mutex
-	mu      sync.Mutex
-	pending map[uint64]chan *frame
-	nextID  uint64
-	onPush  func(method string, body []byte)
-	closed  bool
-	timeout time.Duration
+	conn     net.Conn
+	writeMu  sync.Mutex
+	mu       sync.Mutex
+	pending  map[uint64]chan *frame
+	nextID   uint64
+	onPush   func(method string, body []byte)
+	closed   bool
+	closeErr error         // ErrClientClosed or ErrConnClosed once closed
+	done     chan struct{} // closed when the readLoop has torn down
+	timeout  time.Duration
 }
 
-// Dial connects to a server. timeout applies to connect and, by default,
-// to each call (0 means 10s).
+// dialPolicy retries transient connect failures (a registrar restarting
+// behind a stable address) with capped exponential backoff.
+var dialPolicy = retry.Policy{MaxAttempts: 3, BaseDelay: 25 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
+
+// Dial connects to a server. timeout applies to connect and, for calls
+// whose ctx carries no deadline, to each call (0 means 10s).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return DialContext(ctx, addr, timeout)
+}
+
+// DialContext connects to a server, bounded by ctx. defaultTimeout (0 =
+// 10s) applies to calls whose own ctx has no deadline. Transient connect
+// errors are retried with backoff within ctx's budget.
+func DialContext(ctx context.Context, addr string, defaultTimeout time.Duration) (*Client, error) {
+	if defaultTimeout <= 0 {
+		defaultTimeout = 10 * time.Second
+	}
+	var conn net.Conn
+	err := retry.Do(ctx, dialPolicy, func() error {
+		var d net.Dialer
+		var derr error
+		conn, derr = d.DialContext(ctx, "tcp", addr)
+		return derr
+	})
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, pending: map[uint64]chan *frame{}, timeout: timeout}
+	c := &Client{
+		conn:    conn,
+		pending: map[uint64]chan *frame{},
+		timeout: defaultTimeout,
+		done:    make(chan struct{}),
+	}
 	go c.readLoop()
 	return c, nil
 }
@@ -317,17 +359,22 @@ func (c *Client) OnPush(f func(method string, body []byte)) {
 	c.onPush = f
 }
 
+// readLoop drains response and push frames until the connection dies,
+// then fails every pending call and closes c.done. It exits on any read
+// error, including the conn.Close issued by Close, so it can never leak.
 func (c *Client) readLoop() {
 	for {
 		f, err := readFrame(c.conn)
 		if err != nil {
 			c.mu.Lock()
-			c.closed = true
-			for id, ch := range c.pending {
-				close(ch)
-				delete(c.pending, id)
+			if !c.closed {
+				// The peer (or network) ended the connection.
+				c.closed = true
+				c.closeErr = ErrConnClosed
 			}
+			c.pending = nil // waiters wake via c.done
 			c.mu.Unlock()
+			close(c.done)
 			return
 		}
 		switch f.Kind {
@@ -350,12 +397,23 @@ func (c *Client) readLoop() {
 	}
 }
 
-// Call sends a request and waits for the response or the client timeout.
-func (c *Client) Call(method string, body []byte) ([]byte, error) {
+// Call sends a request and waits for the response, ctx's end, or client
+// shutdown, whichever comes first. A ctx without a deadline gets the
+// client's default timeout.
+func (c *Client) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
 	c.mu.Lock()
 	if c.closed {
+		err := c.closeErr
 		c.mu.Unlock()
-		return nil, ErrConnClosed
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return nil, err
 	}
 	c.nextID++
 	id := c.nextID
@@ -363,34 +421,68 @@ func (c *Client) Call(method string, body []byte) ([]byte, error) {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
+	// The ctx deadline is a real I/O deadline for the request write: a
+	// peer that has stopped reading cannot wedge the sender past it.
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetWriteDeadline(dl)
+	}
 	err := writeFrame(c.conn, &c.writeMu, &frame{Kind: kindRequest, ID: id, Method: method, Body: body})
+	_ = c.conn.SetWriteDeadline(time.Time{})
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
+		closeErr := c.closeErr
 		c.mu.Unlock()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("rpc: %s: %w", method, cerr)
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
 		return nil, err
 	}
 	select {
-	case f, ok := <-ch:
-		if !ok {
-			return nil, ErrConnClosed
-		}
+	case f := <-ch:
 		if f.Err != "" {
 			return nil, &RemoteError{Method: method, Msg: f.Err}
 		}
 		return f.Body, nil
-	case <-time.After(c.timeout):
+	case <-c.done:
+		c.mu.Lock()
+		err := c.closeErr
+		c.mu.Unlock()
+		// A response may have raced with teardown.
+		select {
+		case f := <-ch:
+			if f.Err != "" {
+				return nil, &RemoteError{Method: method, Msg: f.Err}
+			}
+			return f.Body, nil
+		default:
+		}
+		if err == nil {
+			err = ErrConnClosed
+		}
+		return nil, err
+	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("rpc: %s timed out after %v", method, c.timeout)
+		return nil, fmt.Errorf("rpc: %s: %w", method, ctx.Err())
 	}
 }
 
-// Close shuts the connection down.
+// Close shuts the connection down. Pending calls fail with
+// ErrClientClosed; the read loop exits once the kernel aborts its blocked
+// read.
 func (c *Client) Close() error {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
+	c.closeErr = ErrClientClosed
 	c.mu.Unlock()
 	return c.conn.Close()
 }
@@ -401,3 +493,7 @@ func (c *Client) Closed() bool {
 	defer c.mu.Unlock()
 	return c.closed
 }
+
+// Done returns a channel closed when the client's read loop has fully
+// torn down (tests use it to prove the goroutine exits).
+func (c *Client) Done() <-chan struct{} { return c.done }

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,7 +30,7 @@ func TestCallRoundTrip(t *testing.T) {
 	s.Handle("echo", func(_ *ServerConn, body []byte) ([]byte, error) {
 		return body, nil
 	})
-	out, err := c.Call("echo", []byte("hello"))
+	out, err := c.Call(context.Background(), "echo", []byte("hello"))
 	if err != nil || !bytes.Equal(out, []byte("hello")) {
 		t.Fatalf("Call = %q, %v", out, err)
 	}
@@ -40,7 +41,7 @@ func TestRemoteError(t *testing.T) {
 	s.Handle("fail", func(_ *ServerConn, _ []byte) ([]byte, error) {
 		return nil, errors.New("boom")
 	})
-	_, err := c.Call("fail", nil)
+	_, err := c.Call(context.Background(), "fail", nil)
 	var re *RemoteError
 	if !errors.As(err, &re) || re.Msg != "boom" {
 		t.Fatalf("err = %v", err)
@@ -49,7 +50,7 @@ func TestRemoteError(t *testing.T) {
 
 func TestUnknownMethod(t *testing.T) {
 	_, c := newPair(t)
-	if _, err := c.Call("nope", nil); err == nil {
+	if _, err := c.Call(context.Background(), "nope", nil); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -65,7 +66,7 @@ func TestConcurrentCalls(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			msg := []byte(fmt.Sprintf("msg-%d", i))
-			out, err := c.Call("id", msg)
+			out, err := c.Call(context.Background(), "id", msg)
 			if err != nil || !bytes.Equal(out, msg) {
 				t.Errorf("call %d: %q, %v", i, out, err)
 			}
@@ -84,7 +85,7 @@ func TestPush(t *testing.T) {
 		go sc.Push("event", []byte("data"))
 		return nil, nil
 	})
-	if _, err := c.Call("subscribe", nil); err != nil {
+	if _, err := c.Call(context.Background(), "subscribe", nil); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -108,10 +109,10 @@ func TestConnState(t *testing.T) {
 		str, _ := v.(string)
 		return []byte(str), nil
 	})
-	if _, err := c.Call("set", []byte("v1")); err != nil {
+	if _, err := c.Call(context.Background(), "set", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.Call("get", nil)
+	out, err := c.Call(context.Background(), "get", nil)
 	if err != nil || string(out) != "v1" {
 		t.Fatalf("get = %q, %v", out, err)
 	}
@@ -131,7 +132,7 @@ func TestOnConnClose(t *testing.T) {
 	}
 	// Ensure the connection is established server-side first.
 	s.Handle("ping", func(*ServerConn, []byte) ([]byte, error) { return nil, nil })
-	if _, err := c.Call("ping", nil); err != nil {
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
@@ -145,7 +146,7 @@ func TestOnConnClose(t *testing.T) {
 func TestCallAfterServerClose(t *testing.T) {
 	s, c := newPair(t)
 	s.Handle("ping", func(*ServerConn, []byte) ([]byte, error) { return nil, nil })
-	if _, err := c.Call("ping", nil); err != nil {
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -154,7 +155,7 @@ func TestCallAfterServerClose(t *testing.T) {
 	for !c.Closed() && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 	}
-	if _, err := c.Call("ping", nil); err == nil {
+	if _, err := c.Call(context.Background(), "ping", nil); err == nil {
 		t.Fatal("call after close should fail")
 	}
 }
@@ -168,7 +169,7 @@ func TestLargePayload(t *testing.T) {
 	for i := range big {
 		big[i] = byte(i)
 	}
-	out, err := c.Call("echo", big)
+	out, err := c.Call(context.Background(), "echo", big)
 	if err != nil || !bytes.Equal(out, big) {
 		t.Fatalf("1MB echo failed: len=%d err=%v", len(out), err)
 	}
@@ -189,7 +190,136 @@ func TestSlowHandlerTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Call("slow", nil); err == nil {
+	if _, err := c.Call(context.Background(), "slow", nil); err == nil {
 		t.Fatal("expected timeout")
+	}
+}
+
+func TestCallHonorsContextCancel(t *testing.T) {
+	s, c := newPair(t)
+	release := make(chan struct{})
+	s.Handle("block", func(*ServerConn, []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	defer close(release)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(ctx, "block", nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight call did not abort on cancel")
+	}
+}
+
+func TestCallHonorsContextDeadline(t *testing.T) {
+	s, c := newPair(t)
+	release := make(chan struct{})
+	s.Handle("block", func(*ServerConn, []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	defer close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Call(ctx, "block", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadline ignored: call took %v", elapsed)
+	}
+}
+
+func TestClosePendingCallsGetErrClientClosed(t *testing.T) {
+	s, c := newPair(t)
+	release := make(chan struct{})
+	s.Handle("block", func(*ServerConn, []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	defer close(release)
+	const n = 5
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := c.Call(context.Background(), "block", nil)
+			errs <- err
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // let the calls get in flight
+	c.Close()
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrClientClosed) {
+				t.Fatalf("pending call err = %v, want ErrClientClosed", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("pending call hung after Close")
+		}
+	}
+	// New calls fail the same way.
+	if _, err := c.Call(context.Background(), "block", nil); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("post-close call err = %v, want ErrClientClosed", err)
+	}
+}
+
+func TestPeerCloseYieldsErrConnClosed(t *testing.T) {
+	s, c := newPair(t)
+	s.Handle("ping", func(*ServerConn, []byte) ([]byte, error) { return nil, nil })
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	select {
+	case <-c.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("client did not observe server close")
+	}
+	if _, err := c.Call(context.Background(), "ping", nil); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("err = %v, want ErrConnClosed", err)
+	}
+}
+
+// TestReadLoopExitsOnClose proves the readLoop goroutine terminates after
+// Close — both with an idle connection and with calls in flight.
+func TestReadLoopExitsOnClose(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	block := make(chan struct{})
+	defer close(block)
+	s.Handle("block", func(*ServerConn, []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	for _, inflight := range []bool{false, true} {
+		c, err := Dial(s.Addr(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inflight {
+			go func() { _, _ = c.Call(context.Background(), "block", nil) }()
+			time.Sleep(10 * time.Millisecond)
+		}
+		c.Close()
+		select {
+		case <-c.Done():
+		case <-time.After(2 * time.Second):
+			t.Fatalf("readLoop leaked (inflight=%v)", inflight)
+		}
 	}
 }

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1.5 gate: formatting, vet, and the race-enabled test suite.
+# Run from the repository root:  sh scripts/check.sh
+set -e
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"
