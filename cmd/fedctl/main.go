@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"gondi/internal/cache"
 	"gondi/internal/core"
 	"gondi/internal/provider/dnssp"
 	"gondi/internal/provider/fssp"
@@ -55,7 +56,12 @@ commands:
 flags:
   -timeout                  per-operation deadline (default 10s, 0 = none)
   -principal / -credentials authentication (where the provider supports it)
-  -secret                   HDNS write secret`)
+  -secret                   HDNS write secret
+  -cache                    read-through federation cache for repeated resolutions
+  -cache-ttl                positive-entry TTL for event-less providers (0 = default)
+  -cache-neg-ttl            not-found entry TTL (0 = default)
+  -cache-max                max cached entries per naming system (0 = default)
+  -cache-no-events          TTL-only coherence, ignore provider change events`)
 	os.Exit(2)
 }
 
@@ -66,6 +72,11 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-operation deadline (0 disables)")
 	jiniBind := flag.String("jini-bind", "", "Jini bind semantics: strict, relaxed, or proxy")
 	jiniProxy := flag.String("jini-proxy", "", "BindProxy address for -jini-bind proxy")
+	useCache := flag.Bool("cache", false, "enable the read-through federation cache")
+	cacheTTL := flag.Duration("cache-ttl", 0, "cache: positive-entry TTL (0 = default)")
+	cacheNegTTL := flag.Duration("cache-neg-ttl", 0, "cache: not-found entry TTL (0 = default)")
+	cacheMax := flag.Int("cache-max", 0, "cache: max entries per naming system (0 = default)")
+	cacheNoEvents := flag.Bool("cache-no-events", false, "cache: TTL-only coherence, ignore change events")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -82,23 +93,31 @@ func main() {
 	memsp.Register()
 	jxtasp.Register()
 
-	env := map[string]any{}
+	var opts []core.Option
 	if *principal != "" {
-		env[core.EnvPrincipal] = *principal
+		opts = append(opts, core.WithEnv(core.EnvPrincipal, *principal))
 	}
 	if *credentials != "" {
-		env[core.EnvCredentials] = *credentials
+		opts = append(opts, core.WithEnv(core.EnvCredentials, *credentials))
 	}
 	if *secret != "" {
-		env[hdnssp.EnvSecret] = *secret
+		opts = append(opts, core.WithEnv(hdnssp.EnvSecret, *secret))
 	}
 	if *jiniBind != "" {
-		env[jinisp.EnvBind] = *jiniBind
+		opts = append(opts, core.WithEnv(jinisp.EnvBind, *jiniBind))
 	}
 	if *jiniProxy != "" {
-		env[jinisp.EnvProxyAddr] = *jiniProxy
+		opts = append(opts, core.WithEnv(jinisp.EnvProxyAddr, *jiniProxy))
 	}
-	ic := core.NewInitialContext(env)
+	if *useCache {
+		cache.Register()
+		opts = append(opts, core.WithCache(cache.Config{
+			TTL:           *cacheTTL,
+			NegativeTTL:   *cacheNegTTL,
+			MaxEntries:    *cacheMax,
+			DisableEvents: *cacheNoEvents,
+		}))
+	}
 
 	// Every command below runs under this deadline: it propagates through
 	// the initial context into the provider and onto the wire, and across
@@ -118,6 +137,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	ic, err := core.Open(ctx, opts...)
+	die(err)
+	defer ic.Close()
 	need := func(n int) {
 		if len(args) < n {
 			usage()

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"gondi/internal/benchmark"
+)
+
+// The -issue2 report: the cache speedup claim plus a regression diff of
+// the uncached figure series against the BENCH_issue1.json baseline.
+
+type issue1Report struct {
+	Results []struct {
+		Experiment string  `json:"experiment"`
+		Series     string  `json:"series"`
+		After      float64 `json:"after_ops_per_sec"`
+	} `json:"results"`
+}
+
+type issue2Cache struct {
+	UncachedOpsPerSec float64 `json:"uncached_ops_per_sec"`
+	CachedOpsPerSec   float64 `json:"cached_ops_per_sec"`
+	Speedup           float64 `json:"speedup"`
+}
+
+type issue2Row struct {
+	Experiment      string  `json:"experiment"`
+	Series          string  `json:"series"`
+	Issue1OpsPerSec float64 `json:"issue1_ops_per_sec,omitempty"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	DeltaPct        float64 `json:"delta_pct"`
+}
+
+type issue2Report struct {
+	Issue    string      `json:"issue"`
+	Claim    string      `json:"claim"`
+	Method   string      `json:"method"`
+	Date     string      `json:"date"`
+	Clients  int         `json:"clients"`
+	Cache    issue2Cache `json:"cache"`
+	Baseline []issue2Row `json:"baseline"`
+	Verdict  string      `json:"verdict"`
+}
+
+// baselineSeries maps (experiment, our series label) to the series label
+// used in BENCH_issue1.json.
+var baselineSeries = []struct {
+	experiment, label, issue1Label string
+}{
+	{"fig2", "jini", "jini (raw)"},
+	{"fig2", "jini-spi-relaxed", "jini-spi-relaxed"},
+	{"fig2", "jini-spi-strict", "jini-spi-strict"},
+	{"fig4", "hdns", "hdns (raw)"},
+	{"fig4", "hdns-spi", "hdns-spi"},
+	{"fig6", "dns", "dns"},
+	{"fig7", "lookup", "ldap lookup"},
+	{"fig7", "rebind", "ldap rebind"},
+}
+
+func runIssue2(opts benchmark.Options, baselinePath, outPath string) error {
+	const clients = 100
+	opts.Clients = []int{clients}
+
+	baseline := map[string]float64{}
+	if data, err := os.ReadFile(baselinePath); err == nil {
+		var prev issue1Report
+		if err := json.Unmarshal(data, &prev); err != nil {
+			return fmt.Errorf("parse %s: %w", baselinePath, err)
+		}
+		for _, r := range prev.Results {
+			baseline[r.Experiment+"/"+r.Series] = r.After
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "ippsbench: no %s baseline (%v); reporting absolute numbers only\n", baselinePath, err)
+	}
+
+	rep := issue2Report{
+		Issue:   "read-through federation cache with event-driven invalidation (core.Open + WithCache)",
+		Claim:   fmt.Sprintf("cached repeated federated lookups >=10x uncached at N=%d clients; uncached paths within noise of the issue1 baseline", clients),
+		Method:  fmt.Sprintf("cmd/ippsbench -issue2: cache-lookup (hot loop, dns→hdns federation) plus figs 2/4/6/7 at %d clients, warmup %v, measure %v; baseline from %s", clients, opts.Warmup, opts.Measure, baselinePath),
+		Date:    time.Now().Format("2006-01-02"),
+		Clients: clients,
+	}
+
+	fmt.Printf("== cache-lookup (%d clients, hot loop) ==\n", clients)
+	ce, err := benchmark.RunCacheLookup(opts)
+	if err != nil {
+		return fmt.Errorf("cache-lookup: %w", err)
+	}
+	ce.Print(os.Stdout)
+	var uncached, cached float64
+	for _, s := range ce.Series {
+		switch s.Label {
+		case "uncached":
+			uncached = s.At(clients)
+		case "cached":
+			cached = s.At(clients)
+		}
+	}
+	rep.Cache = issue2Cache{UncachedOpsPerSec: round1(uncached), CachedOpsPerSec: round1(cached)}
+	if uncached > 0 {
+		rep.Cache.Speedup = round1(cached / uncached)
+	}
+
+	ran := map[string]*benchmark.Experiment{}
+	for _, id := range []string{"fig2", "fig4", "fig6", "fig7"} {
+		fmt.Printf("\n== %s (%d clients, uncached) ==\n", id, clients)
+		e, err := benchmark.Experiments[id](opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		e.Print(os.Stdout)
+		ran[id] = e
+	}
+	worstDelta := 0.0
+	for _, b := range baselineSeries {
+		e := ran[b.experiment]
+		var now float64
+		for _, s := range e.Series {
+			if s.Label == b.label {
+				now = s.At(clients)
+			}
+		}
+		row := issue2Row{Experiment: b.experiment, Series: b.issue1Label, OpsPerSec: round1(now)}
+		if prev, ok := baseline[b.experiment+"/"+b.issue1Label]; ok && prev > 0 {
+			row.Issue1OpsPerSec = prev
+			row.DeltaPct = round1((now - prev) / prev * 100)
+			if d := row.DeltaPct; d < 0 && -d > worstDelta {
+				worstDelta = -d
+			}
+		}
+		rep.Baseline = append(rep.Baseline, row)
+	}
+
+	switch {
+	case rep.Cache.Speedup >= 10:
+		rep.Verdict = fmt.Sprintf("pass: cache speedup %.1fx (>= 10x required); worst uncached regression vs issue1 baseline %.1f%%", rep.Cache.Speedup, worstDelta)
+	default:
+		rep.Verdict = fmt.Sprintf("FAIL: cache speedup %.1fx < 10x required", rep.Cache.Speedup)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\n%s\nwrote %s\n", rep.Verdict, outPath)
+	if rep.Cache.Speedup < 10 {
+		return fmt.Errorf("cache speedup %.1fx below the 10x claim", rep.Cache.Speedup)
+	}
+	return nil
+}
+
+func round1(v float64) float64 {
+	return math.Round(v*10) / 10
+}

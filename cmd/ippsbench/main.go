@@ -9,6 +9,7 @@
 //	ippsbench -exp ablation-queue
 //	ippsbench -quick          # short sweep and windows (smoke run)
 //	ippsbench -clients 1,10,50 -warm 2s -measure 3s
+//	ippsbench -issue2         # cache speedup + baseline diff → BENCH_issue2.json
 //
 // Absolute numbers depend on the calibrated cost model (see DESIGN.md);
 // the curve shapes — who saturates where, the strict-bind penalty, the
@@ -34,6 +35,9 @@ func main() {
 	warm := flag.Duration("warm", 0, "warmup per point (0 = per-experiment default)")
 	measure := flag.Duration("measure", 0, "measurement window per point (0 = per-experiment default)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	issue2 := flag.Bool("issue2", false, "run the cache speedup report (cache-lookup + figs 2/4/6/7 at 100 clients) and write -out")
+	baseline := flag.String("baseline", "BENCH_issue1.json", "issue1 baseline file for -issue2")
+	out := flag.String("out", "BENCH_issue2.json", "output file for -issue2")
 	flag.Parse()
 
 	if *list {
@@ -64,6 +68,14 @@ func main() {
 	}
 	if *measure > 0 {
 		opts.Measure = *measure
+	}
+
+	if *issue2 {
+		if err := runIssue2(opts, *baseline, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "ippsbench: issue2: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ids := benchmark.OrderedIDs

@@ -26,6 +26,7 @@ import (
 	"log"
 	"time"
 
+	gcache "gondi/internal/cache"
 	"gondi/internal/core"
 	"gondi/internal/dnssrv"
 	"gondi/internal/hdns"
@@ -91,13 +92,22 @@ func main() {
 	zone.Add(dnssrv.RR{Name: "emory.global", Type: dnssrv.TypeTXT, Txt: []string{"Emory University"}})
 	dnsSrv.AddZone(zone)
 
-	ic := core.NewInitialContext(nil)
-
 	// One deadline governs the whole demo. It travels with each request
 	// across every federation hop (DNS -> HDNS -> LDAP/Jini), becoming a
 	// real I/O deadline on each wire connection along the way.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+
+	// The read-through cache fronts the whole federation: repeated
+	// resolutions of the composite URL below are served from local entry
+	// tables, kept coherent by provider change events (HDNS) and TTLs
+	// (DNS), instead of re-walking DNS → HDNS → LDAP every time.
+	gcache.Register()
+	ic, err := core.Open(ctx, core.WithCache(gcache.Config{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ic.Close()
 
 	// --- Wire the federation together through the API (§6): bind the
 	// leaf services into HDNS as context references. ---
@@ -123,11 +133,22 @@ func main() {
 	// --- The paper's resolution, from the DNS root. ---
 	composite := "dns://" + dnsSrv.Addr() + "/global/emory/mathcs/dcl/mokey"
 	fmt.Println("resolving:", composite)
+	start := time.Now()
 	obj, err := ic.Lookup(ctx, composite)
 	if err != nil {
 		log.Fatal(err)
 	}
+	cold := time.Since(start)
 	fmt.Printf("  -> %v\n", obj)
+
+	// Resolve it again: the DNS delegation, the HDNS boundary reference
+	// and the LDAP entry are all cached now, so no hop touches the wire.
+	start = time.Now()
+	if _, err := ic.Lookup(ctx, composite); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  again (cached): %v vs %v cold\n",
+		time.Since(start).Round(time.Microsecond), cold.Round(time.Microsecond))
 
 	// Attributes resolve across the same three hops.
 	attrs, err := ic.GetAttributes(ctx, composite)

@@ -43,7 +43,6 @@ func main() {
 	}
 	defer n2.Close()
 
-	ic := core.NewInitialContext(nil)
 	reg1 := "hdns://" + n1.Addr()
 	reg2 := "hdns://" + n2.Addr()
 
@@ -52,6 +51,12 @@ func main() {
 	// wire-level I/O deadline.
 	ctx, stop := context.WithTimeout(context.Background(), 30*time.Second)
 	defer stop()
+
+	ic, err := core.Open(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ic.Close()
 
 	if _, err := ic.CreateSubcontext(ctx, reg1+"/resources"); err != nil {
 		log.Fatal(err)

@@ -45,12 +45,20 @@ func main() {
 	// --- Client side: register providers once, then use URL names. ---
 	jinisp.Register()
 	hdnssp.Register()
-	ic := core.NewInitialContext(nil)
 
 	// Every operation takes a context first; its deadline rides the wire
 	// to the backing service, whichever technology that turns out to be.
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
+
+	// core.Open is the typed construction path (core.WithPrincipal,
+	// core.WithCache, ... compose here); with no options it is an empty
+	// environment, same as core.NewInitialContext(nil).
+	ic, err := core.Open(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ic.Close()
 
 	jiniURL := "jini://" + lus.Addr()
 	hdnsURL := "hdns://" + node.Addr()

@@ -29,7 +29,7 @@ func find(e *Experiment, label string) Series {
 
 func TestHarnessClosedLoop(t *testing.T) {
 	// A no-op workload must track the ideal 20 Hz per-thread line.
-	p, err := RunClosedLoop(5, 100*time.Millisecond, 500*time.Millisecond, 0,
+	p, err := RunClosedLoop(5, 100*time.Millisecond, 500*time.Millisecond, 0, 0,
 		func(int) (func(ctx context.Context) error, func(), error) {
 			return func(context.Context) error { return nil }, nil, nil
 		})
@@ -46,7 +46,7 @@ func TestHarnessClosedLoop(t *testing.T) {
 
 func TestHarnessErrorsCounted(t *testing.T) {
 	boom := errors.New("boom")
-	p, err := RunClosedLoop(2, 50*time.Millisecond, 300*time.Millisecond, 0,
+	p, err := RunClosedLoop(2, 50*time.Millisecond, 300*time.Millisecond, 0, 0,
 		func(int) (func(ctx context.Context) error, func(), error) {
 			return func(context.Context) error { return boom }, nil, nil
 		})
@@ -59,7 +59,7 @@ func TestHarnessErrorsCounted(t *testing.T) {
 }
 
 func TestHarnessFactoryFailure(t *testing.T) {
-	_, err := RunClosedLoop(1, 10*time.Millisecond, 10*time.Millisecond, 0,
+	_, err := RunClosedLoop(1, 10*time.Millisecond, 10*time.Millisecond, 0, 0,
 		func(int) (func(ctx context.Context) error, func(), error) {
 			return nil, nil, errors.New("cannot connect")
 		})
@@ -290,7 +290,7 @@ func TestFederationDepthAblation(t *testing.T) {
 func TestHarnessOpTimeout(t *testing.T) {
 	// An op that never returns on its own must be cut loose by the
 	// per-operation deadline instead of wedging its client thread.
-	p, err := RunClosedLoop(2, 20*time.Millisecond, 200*time.Millisecond, 10*time.Millisecond,
+	p, err := RunClosedLoop(2, 20*time.Millisecond, 200*time.Millisecond, 10*time.Millisecond, 0,
 		func(int) (func(ctx context.Context) error, func(), error) {
 			return func(ctx context.Context) error {
 				<-ctx.Done()

@@ -1,0 +1,116 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+
+	"gondi/internal/cache"
+	"gondi/internal/core"
+	"gondi/internal/costmodel"
+	"gondi/internal/dnssrv"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/provider/hdnssp"
+)
+
+// newCacheWorld builds the federated target for the cache experiment: a
+// calibrated DNS root whose "mathcs" record federates into a calibrated
+// HDNS node holding the object, so every uncached lookup pays a DNS
+// resolution, a federation continuation, and an HDNS round trip.
+func newCacheWorld() (url string, cleanup func(), err error) {
+	registerProviders()
+	dnsSrv, err := dnssrv.NewServer("127.0.0.1:0", costmodel.DNSCosts())
+	if err != nil {
+		return "", nil, err
+	}
+	node, err := hdns.NewNode(hdns.NodeConfig{
+		Group:      "cache-bench",
+		Transport:  jgroups.NewFabric().Endpoint("cache-n1"),
+		Stack:      jgroups.DefaultConfig(),
+		ListenAddr: "127.0.0.1:0",
+		Costs:      costmodel.HDNSCosts(),
+	})
+	if err != nil {
+		dnsSrv.Close()
+		return "", nil, err
+	}
+	cleanup = func() { node.Close(); dnsSrv.Close() }
+
+	bg := context.Background()
+	seed, err := hdnssp.Open(bg, node.Addr(), map[string]any{})
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	if err := seed.Bind(bg, "printer", spiPayload); err != nil {
+		seed.Close()
+		cleanup()
+		return "", nil, err
+	}
+	seed.Close()
+
+	z := dnssrv.NewZone("global")
+	z.Add(dnssrv.RR{Name: "mathcs.global", Type: dnssrv.TypeTXT, Txt: []string{"hdns://" + node.Addr()}})
+	dnsSrv.AddZone(z)
+	return "dns://" + dnsSrv.Addr() + "/global/mathcs/printer", cleanup, nil
+}
+
+func cacheLookupOp(ic *core.InitialContext, url string) func(ctx context.Context) error {
+	return func(ctx context.Context) error {
+		obj, err := ic.Lookup(ctx, url)
+		if err != nil {
+			return err
+		}
+		if obj != spiPayload {
+			return fmt.Errorf("wrong object %v", obj)
+		}
+		return nil
+	}
+}
+
+// RunCacheLookup measures the read-through federation cache: the same
+// two-hop lookup (dns → hdns) issued repeatedly, uncached (per-client
+// InitialContexts with per-client wire connections, every call paying the
+// full resolution) versus cached (one shared core.Open(WithCache)
+// context serving repeats from its entry tables). Both series run as hot
+// loops — with the paper's 50 ms think time every curve would flatten at
+// 20 Hz per client and the resolution cost would be invisible.
+func RunCacheLookup(opts Options) (*Experiment, error) {
+	url, cleanup, err := newCacheWorld()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	opts.Think = -1
+
+	e := &Experiment{ID: "cache-lookup", Title: "Federated lookup (dns→hdns): uncached vs read-through cache"}
+
+	uncached := func(client int) (func(ctx context.Context) error, func(), error) {
+		ic := core.NewInitialContext(map[string]any{
+			core.EnvPoolID: fmt.Sprintf("cache-uncached-%d", client),
+		})
+		return cacheLookupOp(ic, url), func() { ic.Close() }, nil
+	}
+	s, err := Sweep("uncached", opts, uncached)
+	if err != nil {
+		return nil, err
+	}
+	e.Series = append(e.Series, s)
+
+	ic, err := core.Open(context.Background(),
+		core.WithCache(cache.Config{}),
+		core.WithPoolID("cache-shared"))
+	if err != nil {
+		return nil, err
+	}
+	defer ic.Close()
+	cached := func(client int) (func(ctx context.Context) error, func(), error) {
+		return cacheLookupOp(ic, url), func() {}, nil
+	}
+	s, err = Sweep("cached", opts, cached)
+	if err != nil {
+		return nil, err
+	}
+	e.Series = append(e.Series, s)
+	return e, nil
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"gondi/internal/cache"
 	"gondi/internal/core"
 	"gondi/internal/costmodel"
 	"gondi/internal/dnssrv"
@@ -23,13 +24,15 @@ import (
 
 var registerOnce sync.Once
 
-// registerProviders installs all URL providers once per process.
+// registerProviders installs all URL providers (and the cache middleware
+// factory, for the core.Open(WithCache) experiments) once per process.
 func registerProviders() {
 	registerOnce.Do(func() {
 		jinisp.Register()
 		hdnssp.Register()
 		dnssp.Register()
 		ldapsp.Register()
+		cache.Register()
 	})
 }
 
@@ -650,10 +653,12 @@ var Experiments = map[string]func(Options) (*Experiment, error){
 	"ablation-stack":      RunAblationHDNSStack,
 	"ablation-queue":      RunAblationQueueBound,
 	"ablation-federation": RunAblationFederationDepth,
+	"cache-lookup":        RunCacheLookup,
 }
 
 // OrderedIDs lists the experiments in presentation order.
 var OrderedIDs = []string{
 	"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 	"ablation-bind", "ablation-stack", "ablation-queue", "ablation-federation",
+	"cache-lookup",
 }

@@ -1,0 +1,290 @@
+// Package cache is the read-through, invalidation-aware caching layer for
+// the federated name space. It wraps provider contexts opened during
+// InitialContext resolution so that repeated Lookup/List/GetAttributes/
+// Search operations — including the CannotProceedError continuations that
+// stitch federation hops together — are served locally instead of costing
+// a wire RPC per operation.
+//
+// Coherence is per provider root:
+//
+//   - Event mode: where the provider implements core.EventContext (Jini
+//     natively, HDNS via pluglet events, the in-memory provider), the cache
+//     registers one subtree Watch at the root and evicts entries as
+//     added/removed/changed/renamed events arrive. This is safe exactly
+//     where the paper's §5.1 lease/event machinery exists: the provider
+//     guarantees event delivery for the lifetime of the registration, and
+//     reports the registration's death (core.EventWatchLost) when the
+//     connection is torn.
+//   - TTL mode: providers without events (DNS, LDAP, filesystem) get
+//     time-based expiry. A provider may advise per-name TTLs by
+//     implementing TTLAdvisor (the DNS provider reports record TTLs).
+//   - Degradation: when a watch dies the affected root is flushed and
+//     flipped to TTL mode, and a background goroutine re-registers the
+//     watch with capped exponential backoff (internal/retry), re-dialing
+//     the root if the old connection is gone. On success the root is
+//     flushed once more and returns to event mode.
+//
+// Negative results (core.ErrNotFound) are cached briefly, and concurrent
+// misses for one key are collapsed into a single provider call
+// (singleflight), so a thundering herd costs one RPC.
+//
+// The cache also memoizes resolution itself: one wire client per
+// (scheme, authority), so OpenURL stops re-dialing per operation.
+//
+// Write operations are never cached: they pass straight through to the
+// provider (preserving atomic Bind semantics) and then invalidate every
+// entry whose name overlaps the written name.
+package cache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/retry"
+)
+
+// Config is the cache configuration. It aliases core.CacheConfig so that
+// core.Open's WithCache option and this package share one type without an
+// import cycle.
+type Config = core.CacheConfig
+
+// Defaults applied for zero Config fields.
+const (
+	// DefaultTTL bounds positive-entry staleness in TTL mode.
+	DefaultTTL = 30 * time.Second
+	// DefaultNegativeTTL bounds how long ErrNotFound is remembered.
+	DefaultNegativeTTL = 5 * time.Second
+	// DefaultMaxEntries bounds each root's entry count (LRU beyond it).
+	DefaultMaxEntries = 4096
+	// backstopTTL bounds event-mode entries: events keep them fresh, so
+	// expiry exists only to cap memory held for names never touched again.
+	backstopTTL = time.Hour
+)
+
+// rewatchPolicy drives watch re-registration after a loss: effectively
+// unbounded attempts (the cache's Close cancels the loop), capped backoff.
+var rewatchPolicy = retry.Policy{
+	MaxAttempts: 1 << 30,
+	BaseDelay:   50 * time.Millisecond,
+	MaxDelay:    5 * time.Second,
+}
+
+// TTLAdvisor is implemented by provider contexts that know how long a
+// name's data may be cached (the DNS provider reports the minimum record
+// TTL it saw for the name; the LDAP provider an operator-configured value).
+// Structural: providers implement it without importing this package.
+type TTLAdvisor interface {
+	AdviseTTL(name string) (time.Duration, bool)
+}
+
+// Register installs this package as the middleware behind
+// core.Open(core.WithCache(...)). Call it once alongside the provider
+// Register calls.
+func Register() {
+	core.RegisterCacheFactory(func(cfg core.CacheConfig, env map[string]any) core.Middleware {
+		return New(cfg, env)
+	})
+}
+
+// Stats is a point-in-time snapshot of cache counters.
+type Stats struct {
+	// Hits counts positive cache hits, NegativeHits cached ErrNotFound
+	// answers, Misses fills that went to the provider.
+	Hits, NegativeHits, Misses int64
+	// Collapsed counts calls that piggybacked on another caller's
+	// in-flight fill instead of issuing their own RPC.
+	Collapsed int64
+	// Evictions counts invalidation-driven removals (writes, events,
+	// flushes, LRU); Expirations counts TTL-driven removals.
+	Evictions, Expirations int64
+	// WatchLosses counts event-channel failures; Rewatches counts
+	// successful re-registrations after a loss.
+	WatchLosses, Rewatches int64
+}
+
+// Cache implements core.Middleware. One Cache serves one InitialContext
+// (one environment); roots — one per (scheme, authority) plus one per
+// wrapped default context — each hold their own entry table and watch.
+type Cache struct {
+	cfg Config
+	env map[string]any
+
+	closeCtx    context.Context
+	closeCancel context.CancelFunc
+	wg          sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	roots   map[string]*root
+	opening map[string]*rootCall
+	wrapSeq int
+
+	hits, negHits, misses, collapsed atomic.Int64
+	evictions, expirations           atomic.Int64
+	watchLosses, rewatches           atomic.Int64
+}
+
+var _ core.Middleware = (*Cache)(nil)
+
+// New builds a cache middleware with the given configuration and
+// environment (the environment is used to open and re-open provider
+// roots). Zero Config fields take the package defaults.
+func New(cfg Config, env map[string]any) *Cache {
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.NegativeTTL <= 0 {
+		cfg.NegativeTTL = DefaultNegativeTTL
+	}
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Cache{
+		cfg:         cfg,
+		env:         env,
+		closeCtx:    ctx,
+		closeCancel: cancel,
+		roots:       map[string]*root{},
+		opening:     map[string]*rootCall{},
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:         c.hits.Load(),
+		NegativeHits: c.negHits.Load(),
+		Misses:       c.misses.Load(),
+		Collapsed:    c.collapsed.Load(),
+		Evictions:    c.evictions.Load(),
+		Expirations:  c.expirations.Load(),
+		WatchLosses:  c.watchLosses.Load(),
+		Rewatches:    c.rewatches.Load(),
+	}
+}
+
+// Config returns the effective configuration (defaults filled in).
+func (c *Cache) Config() Config { return c.cfg }
+
+// rootCall collapses concurrent dials for the same root.
+type rootCall struct {
+	done chan struct{}
+}
+
+// OpenURL implements core.Middleware: it resolves rawURL's scheme and
+// authority to a cached provider root — dialing at most once per root,
+// with concurrent first-opens collapsed — and returns the caching wrapper
+// plus the URL's path as the remaining name.
+func (c *Cache) OpenURL(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, core.Name{}, err
+	}
+	u, err := core.ParseURLName(rawURL)
+	if err != nil {
+		return nil, core.Name{}, err
+	}
+	key := u.Scheme + "://" + u.Authority
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, core.Name{}, core.ErrClosed
+		}
+		if r, ok := c.roots[key]; ok {
+			c.mu.Unlock()
+			return r.wrapper, u.Path, nil
+		}
+		if cl, ok := c.opening[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+				continue // either cached now, or the leader failed: retry
+			case <-ctx.Done():
+				return nil, core.Name{}, ctx.Err()
+			}
+		}
+		cl := &rootCall{done: make(chan struct{})}
+		c.opening[key] = cl
+		c.mu.Unlock()
+
+		inner, _, err := core.OpenURL(ctx, key, env)
+		c.mu.Lock()
+		delete(c.opening, key)
+		if err != nil {
+			c.mu.Unlock()
+			close(cl.done)
+			return nil, core.Name{}, err
+		}
+		if c.closed {
+			c.mu.Unlock()
+			close(cl.done)
+			_ = inner.Close()
+			return nil, core.Name{}, core.ErrClosed
+		}
+		c.mu.Unlock()
+		r := c.newRoot(ctx, key, key, inner)
+		c.mu.Lock()
+		c.roots[key] = r
+		c.mu.Unlock()
+		close(cl.done)
+		return r.wrapper, u.Path, nil
+	}
+}
+
+// WrapContext implements core.Middleware: it gives an already-open context
+// (the InitialContext's default context) its own cache root.
+func (c *Cache) WrapContext(inner core.Context) core.Context {
+	c.mu.Lock()
+	c.wrapSeq++
+	key := fmt.Sprintf("wrapped:%d", c.wrapSeq)
+	c.mu.Unlock()
+	r := c.newRoot(context.Background(), key, "", inner)
+	c.mu.Lock()
+	c.roots[key] = r
+	c.mu.Unlock()
+	return r.wrapper
+}
+
+// Wrap is WrapContext typed for tests and direct embedding: it returns the
+// concrete caching wrapper around an existing context.
+func (c *Cache) Wrap(inner core.Context) *CachedContext {
+	return c.WrapContext(inner).(*CachedContext)
+}
+
+// Close implements core.Middleware: it cancels background re-registration,
+// deregisters every watch, and closes every cached provider root.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	roots := make([]*root, 0, len(c.roots))
+	for _, r := range c.roots {
+		roots = append(roots, r)
+	}
+	c.roots = map[string]*root{}
+	c.mu.Unlock()
+	c.closeCancel()
+	var err error
+	for _, r := range roots {
+		if e := r.close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	c.wg.Wait()
+	return err
+}
+
+// dropRoot detaches a root closed via its wrapper.
+func (c *Cache) dropRoot(key string) {
+	c.mu.Lock()
+	delete(c.roots, key)
+	c.mu.Unlock()
+}

@@ -1,0 +1,412 @@
+package cache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/retry"
+)
+
+// root is the per-(scheme, authority) cache state: one provider context,
+// one entry table, one invalidation watch.
+type root struct {
+	c       *Cache
+	key     string
+	url     string // re-open target; "" for wrapped (caller-owned) roots
+	wrapper *CachedContext
+
+	mu         sync.Mutex
+	inner      core.Context
+	entries    map[string]*entry
+	lru        *list.List // of *entry; front = most recently used
+	flight     map[string]*call
+	gen        uint64 // bumped by every invalidation; fills from an older gen are dropped
+	eventMode  bool
+	unwatch    func()
+	rewatching bool
+	closed     bool
+}
+
+// entry is one cached operation result. err is non-nil for cached
+// negative (ErrNotFound) and continuation (*CannotProceedError) results.
+type entry struct {
+	key     string
+	base    core.Name // the name the result depends on, for overlap eviction
+	val     any
+	err     error
+	expires time.Time
+	elem    *list.Element
+}
+
+// call is an in-flight fill other callers wait on (singleflight).
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// newRoot wraps inner, registering the invalidation watch when the
+// provider supports events; ctx bounds the watch registration only.
+func (c *Cache) newRoot(ctx context.Context, key, url string, inner core.Context) *root {
+	r := &root{
+		c:       c,
+		key:     key,
+		url:     url,
+		inner:   inner,
+		entries: map[string]*entry{},
+		lru:     list.New(),
+		flight:  map[string]*call{},
+	}
+	r.wrapper = &CachedContext{r: r}
+	if !c.cfg.DisableEvents {
+		if ec, ok := inner.(core.EventContext); ok {
+			if unwatch, err := ec.Watch(ctx, "", core.ScopeSubtree, r.onEvent); err == nil {
+				r.eventMode = true
+				r.unwatch = unwatch
+			}
+		}
+	}
+	return r
+}
+
+func (r *root) getInner() core.Context {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner
+}
+
+// cachedOp is the read path: serve from the entry table, else collapse
+// into any in-flight fill for the same key, else fill from the provider
+// and (when the result is cacheable) remember it.
+func (r *root) cachedOp(ctx context.Context, key string, base core.Name, fill func(inner core.Context) (any, error)) (any, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	r.mu.Lock()
+	if r.closed {
+		inner := r.inner
+		r.mu.Unlock()
+		return fill(inner)
+	}
+	if e, ok := r.entries[key]; ok {
+		if now.Before(e.expires) {
+			r.lru.MoveToFront(e.elem)
+			val, err := e.val, e.err
+			r.mu.Unlock()
+			if err != nil {
+				if errors.Is(err, core.ErrNotFound) {
+					r.c.negHits.Add(1)
+				} else {
+					r.c.hits.Add(1)
+				}
+				return nil, err
+			}
+			r.c.hits.Add(1)
+			return val, nil
+		}
+		r.removeLocked(e)
+		r.c.expirations.Add(1)
+	}
+	if cl, ok := r.flight[key]; ok {
+		inner := r.inner
+		r.mu.Unlock()
+		r.c.collapsed.Add(1)
+		select {
+		case <-cl.done:
+			// If the leader was aborted by its own context while ours is
+			// still alive, its error is not ours to inherit: fill directly.
+			if cl.err != nil && ctx.Err() == nil &&
+				(errors.Is(cl.err, context.Canceled) || errors.Is(cl.err, context.DeadlineExceeded)) {
+				return fill(inner)
+			}
+			return cl.val, cl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	r.flight[key] = cl
+	inner := r.inner
+	gen := r.gen
+	r.mu.Unlock()
+
+	r.c.misses.Add(1)
+	val, err := fill(inner)
+	cl.val, cl.err = val, err
+
+	r.mu.Lock()
+	delete(r.flight, key)
+	if !r.closed && r.gen == gen {
+		if exp, ok := r.cacheable(base, val, err); ok {
+			r.insertLocked(&entry{key: key, base: base, val: val, err: err, expires: exp})
+		}
+	}
+	r.mu.Unlock()
+	close(cl.done)
+	return val, err
+}
+
+// cacheable decides whether a fill result may be remembered and until
+// when. Positive results and federation continuations get the mode TTL;
+// ErrNotFound gets the negative TTL; other errors are never cached.
+func (r *root) cacheable(base core.Name, val any, err error) (time.Time, bool) {
+	now := time.Now()
+	if err == nil {
+		return now.Add(r.entryTTLLocked(base.String())), true
+	}
+	if errors.Is(err, core.ErrNotFound) {
+		if r.c.cfg.DisableNegative {
+			return time.Time{}, false
+		}
+		return now.Add(r.c.cfg.NegativeTTL), true
+	}
+	var cpe *core.CannotProceedError
+	if errors.As(err, &cpe) {
+		// Continuations are cacheable only when the boundary object is
+		// inert data (a URL string or a Reference); a live Context would
+		// pin one specific connection into the cache.
+		switch cpe.Resolved.(type) {
+		case string, *core.Reference:
+			return now.Add(r.entryTTLLocked(base.String())), true
+		}
+	}
+	return time.Time{}, false
+}
+
+// entryTTLLocked returns the positive-entry lifetime. In event mode the
+// watch keeps entries coherent, so only the backstop applies; in TTL mode
+// the provider may advise per-name freshness (DNS record TTLs), else the
+// configured default applies. Caller holds r.mu.
+func (r *root) entryTTLLocked(name string) time.Duration {
+	if r.eventMode {
+		return backstopTTL
+	}
+	if adv, ok := r.inner.(TTLAdvisor); ok {
+		if d, ok := adv.AdviseTTL(name); ok && d > 0 {
+			return d
+		}
+	}
+	return r.c.cfg.TTL
+}
+
+func (r *root) insertLocked(e *entry) {
+	if old, ok := r.entries[e.key]; ok {
+		r.removeLocked(old)
+	}
+	e.elem = r.lru.PushFront(e)
+	r.entries[e.key] = e
+	for r.lru.Len() > r.c.cfg.MaxEntries {
+		back := r.lru.Back()
+		r.removeLocked(back.Value.(*entry))
+		r.c.evictions.Add(1)
+	}
+}
+
+func (r *root) removeLocked(e *entry) {
+	delete(r.entries, e.key)
+	r.lru.Remove(e.elem)
+}
+
+// invalidate drops every entry whose base name overlaps one of the given
+// names (ancestor or descendant — a write at "a/b" stales both a cached
+// List("a") and a cached Lookup("a/b/c")) and fences in-flight fills.
+func (r *root) invalidate(names ...string) {
+	parsed := make([]core.Name, 0, len(names))
+	for _, s := range names {
+		n, err := core.ParseName(s)
+		if err != nil {
+			r.flushAll()
+			return
+		}
+		parsed = append(parsed, n)
+	}
+	r.mu.Lock()
+	r.gen++
+	var victims []*entry
+	for _, e := range r.entries {
+		for _, n := range parsed {
+			if e.base.StartsWith(n) || n.StartsWith(e.base) {
+				victims = append(victims, e)
+				break
+			}
+		}
+	}
+	for _, e := range victims {
+		r.removeLocked(e)
+	}
+	r.mu.Unlock()
+	r.c.evictions.Add(int64(len(victims)))
+}
+
+// flushAll empties the root's entry table and fences in-flight fills.
+func (r *root) flushAll() {
+	r.mu.Lock()
+	r.gen++
+	n := len(r.entries)
+	r.entries = map[string]*entry{}
+	r.lru.Init()
+	r.mu.Unlock()
+	r.c.evictions.Add(int64(n))
+}
+
+// onEvent is the invalidation listener registered on the provider root.
+func (r *root) onEvent(ev core.NamingEvent) {
+	switch ev.Type {
+	case core.EventWatchLost:
+		r.watchLost()
+	case core.EventObjectRenamed:
+		// Rename events carry only one of the two affected names; drop
+		// everything rather than risk serving the other side stale.
+		r.flushAll()
+	default:
+		r.invalidate(ev.Name)
+	}
+}
+
+// watchLost flips the root to TTL mode, flushes it (nothing cached under
+// the dead watch can be trusted), and starts backoff re-registration.
+func (r *root) watchLost() {
+	r.mu.Lock()
+	if r.closed || !r.eventMode {
+		r.mu.Unlock()
+		return
+	}
+	r.eventMode = false
+	r.unwatch = nil
+	startLoop := !r.rewatching
+	r.rewatching = true
+	r.mu.Unlock()
+	r.c.watchLosses.Add(1)
+	r.flushAll()
+	if !startLoop {
+		return
+	}
+	r.c.wg.Add(1)
+	go r.rewatchLoop()
+}
+
+// rewatchLoop re-registers the invalidation watch with capped exponential
+// backoff until it succeeds or the cache closes. Every error is treated as
+// transient: the loop exists precisely to outlast partitions and restarts.
+func (r *root) rewatchLoop() {
+	defer r.c.wg.Done()
+	err := retry.DoClassify(r.c.closeCtx, rewatchPolicy,
+		func(error) bool { return true },
+		func() error { return r.tryRewatch(r.c.closeCtx) })
+	r.mu.Lock()
+	r.rewatching = false
+	r.mu.Unlock()
+	if err != nil {
+		return // cache closed (or root closed) before the watch came back
+	}
+	// Anything cached while degraded may predate the new watch: flush so
+	// event mode starts from a provider-fresh table.
+	r.flushAll()
+	r.c.rewatches.Add(1)
+}
+
+// tryRewatch attempts one watch registration, re-opening the provider
+// root first when the old connection is dead.
+func (r *root) tryRewatch(ctx context.Context) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil // treated as success; loop exits, flush is harmless
+	}
+	inner := r.inner
+	r.mu.Unlock()
+
+	ec, ok := inner.(core.EventContext)
+	if ok {
+		if unwatch, err := ec.Watch(ctx, "", core.ScopeSubtree, r.onEvent); err == nil {
+			r.adoptWatch(inner, unwatch)
+			return nil
+		}
+	}
+	if r.url == "" {
+		// A wrapped (caller-owned) context cannot be re-dialed; keep
+		// retrying the watch itself in case the substrate recovers.
+		return errors.New("cache: watch re-registration failed")
+	}
+	fresh, _, err := core.OpenURL(ctx, r.url, r.c.env)
+	if err != nil {
+		return err
+	}
+	fec, ok := fresh.(core.EventContext)
+	if !ok {
+		_ = fresh.Close()
+		return errors.New("cache: reopened root lost event support")
+	}
+	unwatch, err := fec.Watch(ctx, "", core.ScopeSubtree, r.onEvent)
+	if err != nil {
+		_ = fresh.Close()
+		return err
+	}
+	old := r.adoptWatchSwap(fresh, unwatch)
+	if old != nil {
+		_ = old.Close()
+	}
+	return nil
+}
+
+// adoptWatch records a successful re-registration on the existing inner.
+func (r *root) adoptWatch(inner core.Context, unwatch func()) {
+	r.mu.Lock()
+	if r.closed || r.inner != inner {
+		r.mu.Unlock()
+		unwatch()
+		return
+	}
+	r.eventMode = true
+	r.unwatch = unwatch
+	r.mu.Unlock()
+}
+
+// adoptWatchSwap installs a freshly dialed inner plus its watch and
+// returns the replaced context (nil if the root closed meanwhile, in
+// which case the fresh context is closed instead).
+func (r *root) adoptWatchSwap(fresh core.Context, unwatch func()) core.Context {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		unwatch()
+		_ = fresh.Close()
+		return nil
+	}
+	old := r.inner
+	r.inner = fresh
+	r.eventMode = true
+	r.unwatch = unwatch
+	r.mu.Unlock()
+	return old
+}
+
+// close tears the root down: watch, entries, and — since the cache opened
+// it or adopted it — the provider context.
+func (r *root) close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	unwatch := r.unwatch
+	r.unwatch = nil
+	inner := r.inner
+	r.entries = map[string]*entry{}
+	r.lru.Init()
+	r.mu.Unlock()
+	r.c.dropRoot(r.key)
+	if unwatch != nil {
+		unwatch()
+	}
+	if inner != nil {
+		return inner.Close()
+	}
+	return nil
+}

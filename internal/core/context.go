@@ -135,6 +135,12 @@ const (
 	EventObjectRemoved
 	EventObjectChanged
 	EventObjectRenamed
+	// EventWatchLost signals that the event channel behind a Watch died
+	// (connection torn, server restarted): no further events will arrive
+	// and the listener's view of the subtree can silently go stale.
+	// Consumers that cache on the strength of the watch must fall back to
+	// time-based expiry until a new Watch succeeds.
+	EventWatchLost
 )
 
 func (t EventType) String() string {
@@ -147,6 +153,8 @@ func (t EventType) String() string {
 		return "changed"
 	case EventObjectRenamed:
 		return "renamed"
+	case EventWatchLost:
+		return "watch-lost"
 	default:
 		return "?"
 	}

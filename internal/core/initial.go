@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // maxFederationHops bounds continuation chains to catch reference cycles.
@@ -17,10 +18,17 @@ const maxFederationHops = 16
 // propagating the caller's context.Context across every hop so a single
 // deadline bounds the whole chain.
 type InitialContext struct {
-	env      map[string]any
-	defCtx   Context // lazily created
+	env map[string]any
+
+	mu       sync.Mutex // guards the lazy default-context fields
+	defCtx   Context    // lazily created
 	defErr   error
 	resolved bool
+
+	// mw, when non-nil, intercepts resolution (see Middleware): URL opens
+	// route through mw.OpenURL and the default context is wrapped by
+	// mw.WrapContext. Installed by Open(WithCache(...)); nil otherwise.
+	mw Middleware
 }
 
 // NewInitialContext creates an initial context with the given environment
@@ -37,7 +45,21 @@ func NewInitialContext(env map[string]any) *InitialContext {
 // Environment returns the environment map (shared, not a copy).
 func (ic *InitialContext) Environment() map[string]any { return ic.env }
 
+// installMiddleware wires resolution middleware in; call before first use.
+func (ic *InitialContext) installMiddleware(mw Middleware) { ic.mw = mw }
+
+// openURL dispatches a URL-form name through the middleware, if installed,
+// else through the provider registry directly.
+func (ic *InitialContext) openURL(ctx context.Context, rawURL string) (Context, Name, error) {
+	if ic.mw != nil {
+		return ic.mw.OpenURL(ctx, rawURL, ic.env)
+	}
+	return OpenURL(ctx, rawURL, ic.env)
+}
+
 func (ic *InitialContext) defaultContext(ctx context.Context) (Context, error) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
 	if ic.resolved {
 		return ic.defCtx, ic.defErr
 	}
@@ -53,6 +75,9 @@ func (ic *InitialContext) defaultContext(ctx context.Context) (Context, error) {
 		return nil, ic.defErr
 	}
 	ic.defCtx, ic.defErr = f(ctx, ic.env)
+	if ic.defErr == nil && ic.mw != nil {
+		ic.defCtx = ic.mw.WrapContext(ic.defCtx)
+	}
 	return ic.defCtx, ic.defErr
 }
 
@@ -62,7 +87,7 @@ func (ic *InitialContext) resolve(ctx context.Context, name string) (Context, Na
 		return nil, Name{}, err
 	}
 	if IsURLName(name) {
-		return OpenURL(ctx, name, ic.env)
+		return ic.openURL(ctx, name)
 	}
 	c, err := ic.defaultContext(ctx)
 	if err != nil {
@@ -75,6 +100,29 @@ func (ic *InitialContext) resolve(ctx context.Context, name string) (Context, Na
 	return c, n, nil
 }
 
+// objectFromReference turns a stored Reference into an application object,
+// routing plain context references (URL address, no named factory) through
+// the resolution middleware so federation hops share cached wire clients.
+// wantCtx is set when the caller knows the reference marks a naming-system
+// boundary (so the target must be a context): the middleware may then
+// return a rebased view instead of a remote lookup.
+func (ic *InitialContext) objectFromReference(ctx context.Context, ref *Reference, wantCtx bool) (any, error) {
+	if url, ok := ref.Get(AddrURL); ok && ref.Factory == "" && ic.mw != nil {
+		c, rest, err := ic.openURL(ctx, url)
+		if err != nil {
+			return nil, err
+		}
+		if rest.IsEmpty() {
+			return c, nil
+		}
+		if v, ok := c.(ContextViewer); ok && wantCtx {
+			return v.View(rest), nil
+		}
+		return c.Lookup(ctx, rest.String())
+	}
+	return GetObjectInstance(ctx, ref, Name{}, ic.env)
+}
+
 // continueCtx turns a CannotProceedError's resolved object into the next
 // context to dispatch to.
 func (ic *InitialContext) continueCtx(ctx context.Context, cpe *CannotProceedError) (Context, error) {
@@ -82,7 +130,7 @@ func (ic *InitialContext) continueCtx(ctx context.Context, cpe *CannotProceedErr
 	case Context:
 		return r, nil
 	case *Reference:
-		obj, err := GetObjectInstance(ctx, r, Name{}, ic.env)
+		obj, err := ic.objectFromReference(ctx, r, true)
 		if err != nil {
 			return nil, err
 		}
@@ -100,11 +148,14 @@ func (ic *InitialContext) continueCtx(ctx context.Context, cpe *CannotProceedErr
 		}
 		return nil, fmt.Errorf("naming: federation boundary at %q did not resolve to a context (%T)", cpe.AltName, obj)
 	case string:
-		c, rest, err := OpenURL(ctx, r, ic.env)
+		c, rest, err := ic.openURL(ctx, r)
 		if err != nil {
 			return nil, err
 		}
 		if !rest.IsEmpty() {
+			if v, ok := c.(ContextViewer); ok {
+				return v.View(rest), nil
+			}
 			obj, err := c.Lookup(ctx, rest.String())
 			if err != nil {
 				return nil, err
@@ -153,7 +204,7 @@ func (ic *InitialContext) postProcess(ctx context.Context, obj any, name string,
 		return nil, fmt.Errorf("naming: reference/link chain too deep (cycle?) at %q after %d hops", name, depth)
 	}
 	if ref, ok := obj.(*Reference); ok {
-		out, err := GetObjectInstance(ctx, ref, Name{}, ic.env)
+		out, err := ic.objectFromReference(ctx, ref, false)
 		if err != nil {
 			return nil, err
 		}
@@ -245,8 +296,10 @@ func (ic *InitialContext) bindOp(ctx context.Context, op, name string, obj any, 
 		return Errf(op, name, err)
 	}
 	if extraAttrs != nil {
-		merged := extraAttrs.Clone()
-		for _, a := range attrs.All() {
+		// State-factory attributes merge over the caller's (GetStateToBind
+		// contract); Clone is nil-safe, so attrs == nil works too.
+		merged := attrs.Clone()
+		for _, a := range extraAttrs.All() {
 			merged.Put(a.ID, a.Values...)
 		}
 		attrs = merged
@@ -440,10 +493,20 @@ func (ic *InitialContext) Watch(ctx context.Context, name string, scope SearchSc
 	return cancel, err
 }
 
-// Close closes the default context, if one was created.
+// Close closes the default context, if one was created, and shuts down any
+// installed resolution middleware (cached connections, watches).
 func (ic *InitialContext) Close() error {
-	if ic.defCtx != nil {
-		return ic.defCtx.Close()
+	ic.mu.Lock()
+	defCtx := ic.defCtx
+	ic.mu.Unlock()
+	var err error
+	if defCtx != nil {
+		err = defCtx.Close()
 	}
-	return nil
+	if ic.mw != nil {
+		if merr := ic.mw.Close(); err == nil {
+			err = merr
+		}
+	}
+	return err
 }

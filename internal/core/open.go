@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// CacheConfig configures the read-through cache middleware (implemented in
+// internal/cache; see WithCache). It lives in core so that core can expose
+// the typed WithCache option without importing the cache package.
+type CacheConfig struct {
+	// TTL bounds the staleness of positive entries for providers without
+	// event-driven invalidation (and backstops those with it); <=0 uses
+	// the cache package's default.
+	TTL time.Duration
+	// NegativeTTL bounds how long an ErrNotFound result is remembered;
+	// <=0 uses the default.
+	NegativeTTL time.Duration
+	// MaxEntries bounds the per-root entry count (LRU eviction); <=0 uses
+	// the default.
+	MaxEntries int
+	// DisableEvents forces TTL-only coherence even on providers that
+	// support Watch.
+	DisableEvents bool
+	// DisableNegative turns off negative caching of ErrNotFound.
+	DisableNegative bool
+}
+
+// Middleware intercepts InitialContext resolution. The cache package
+// implements it; other cross-cutting layers (metrics, tracing) could too.
+type Middleware interface {
+	// WrapContext wraps the default (non-URL-name) context.
+	WrapContext(c Context) Context
+	// OpenURL replaces core.OpenURL during resolution, letting the
+	// middleware reuse one wire client per (scheme, authority).
+	OpenURL(ctx context.Context, rawURL string, env map[string]any) (Context, Name, error)
+	// Close releases everything the middleware holds (cached connections,
+	// watch registrations, background goroutines).
+	Close() error
+}
+
+// ContextViewer is implemented by middleware-provided contexts that can
+// address a subtree of themselves without a wire round trip. The federation
+// machinery uses it when a boundary reference carries a path ("hdns://h/a/b"):
+// instead of looking the subtree context up remotely, it asks the wrapper
+// for a rebased view, so operations on the next hop stay cacheable.
+type ContextViewer interface {
+	View(rest Name) Context
+}
+
+// CacheFactory builds the cache middleware for one InitialContext. env is
+// the context's environment (shared, not a copy).
+type CacheFactory func(cfg CacheConfig, env map[string]any) Middleware
+
+var cacheFactoryMu sync.RWMutex
+var cacheFactory CacheFactory
+
+// RegisterCacheFactory installs the factory WithCache uses. The cache
+// package registers itself via cache.Register(); core holds only this hook
+// so the dependency points cache→core, never the reverse.
+func RegisterCacheFactory(f CacheFactory) {
+	cacheFactoryMu.Lock()
+	defer cacheFactoryMu.Unlock()
+	cacheFactory = f
+}
+
+func lookupCacheFactory() (CacheFactory, bool) {
+	cacheFactoryMu.RLock()
+	defer cacheFactoryMu.RUnlock()
+	return cacheFactory, cacheFactory != nil
+}
+
+// openOptions accumulates functional options for Open.
+type openOptions struct {
+	env   map[string]any
+	cache *CacheConfig
+}
+
+// Option configures Open.
+type Option func(*openOptions)
+
+// WithInitialFactory selects the initial context factory for non-URL names
+// (the typed form of env[EnvInitialFactory]).
+func WithInitialFactory(name string) Option {
+	return func(o *openOptions) { o.env[EnvInitialFactory] = name }
+}
+
+// WithProviderURL points the initial factory at its provider (the typed
+// form of env[EnvProviderURL]).
+func WithProviderURL(url string) Option {
+	return func(o *openOptions) { o.env[EnvProviderURL] = url }
+}
+
+// WithPrincipal carries authentication data (the typed form of
+// env[EnvPrincipal] / env[EnvCredentials]).
+func WithPrincipal(principal, credentials string) Option {
+	return func(o *openOptions) {
+		o.env[EnvPrincipal] = principal
+		o.env[EnvCredentials] = credentials
+	}
+}
+
+// WithPoolID partitions provider connection pools (the typed form of
+// env[EnvPoolID]): contexts opened with different pool IDs never share a
+// wire connection.
+func WithPoolID(id string) Option {
+	return func(o *openOptions) { o.env[EnvPoolID] = id }
+}
+
+// WithEnv sets an arbitrary environment property, for provider-specific
+// keys ("jini.bind", "hdns.secret", ...) that have no typed option.
+func WithEnv(key string, value any) Option {
+	return func(o *openOptions) { o.env[key] = value }
+}
+
+// WithCache enables the read-through federation cache with the given
+// configuration (zero value = defaults). It requires the cache middleware
+// to be registered — import internal/cache and call cache.Register()
+// alongside the provider Register calls — otherwise Open fails.
+func WithCache(cfg CacheConfig) Option {
+	return func(o *openOptions) { o.cache = &cfg }
+}
+
+// Open creates an initial context from typed functional options — the
+// preferred construction path. NewInitialContext remains as the
+// SPI-compatible map-based form; Open composes the same environment and
+// additionally wires optional middleware (WithCache) into resolution.
+func Open(ctx context.Context, opts ...Option) (*InitialContext, error) {
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	o := &openOptions{env: make(map[string]any)}
+	for _, opt := range opts {
+		opt(o)
+	}
+	ic := NewInitialContext(o.env)
+	if o.cache != nil {
+		f, ok := lookupCacheFactory()
+		if !ok {
+			return nil, fmt.Errorf("naming: WithCache requires the cache middleware: import gondi/internal/cache and call cache.Register()")
+		}
+		ic.installMiddleware(f(*o.cache, ic.env))
+	}
+	return ic, nil
+}

@@ -75,6 +75,11 @@ func (c *Client) Close() error { return c.rc.Close() }
 // shutdown); pooled providers use it to discard dead connections.
 func (c *Client) Closed() bool { return c.rc.Closed() }
 
+// Done returns a channel that closes when the connection terminates.
+// Watch holders select on it to learn that their registrations are dead
+// (server-side watches die with the connection).
+func (c *Client) Done() <-chan struct{} { return c.rc.Done() }
+
 func (c *Client) call(ctx context.Context, method string, req *Req) (*Rsp, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(req); err != nil {

@@ -63,6 +63,11 @@ func (r *Registrar) Close() error { return r.rc.Close() }
 // shutdown); pooled providers use it to discard dead connections.
 func (r *Registrar) Closed() bool { return r.rc.Closed() }
 
+// Done returns a channel that closes when the connection terminates.
+// Event registrations die with the connection, so Notify holders select
+// on it to learn that no further events will arrive.
+func (r *Registrar) Done() <-chan struct{} { return r.rc.Done() }
+
 func (r *Registrar) call(ctx context.Context, method string, req *wireReq) (*wireRsp, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(req); err != nil {

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"gondi/internal/core"
@@ -39,6 +40,7 @@ func Register() {
 			resolver: dnssrv.NewResolver(server),
 			url:      "dns://" + u.Authority,
 			env:      env,
+			ttl:      newTTLMemo(),
 		}
 		return dc, u.Path, nil
 	}))
@@ -50,6 +52,60 @@ type Context struct {
 	url      string
 	base     core.Name // domain labels, topmost first
 	env      map[string]any
+	ttl      *ttlMemo // shared by all children of one provider root
+}
+
+// ttlMemo remembers the minimum record TTL observed per domain, so a
+// caching layer can key entry freshness off real DNS TTLs instead of a
+// blanket default (see AdviseTTL).
+type ttlMemo struct {
+	mu sync.Mutex
+	m  map[string]time.Duration
+}
+
+func newTTLMemo() *ttlMemo { return &ttlMemo{m: map[string]time.Duration{}} }
+
+func (t *ttlMemo) note(domain string, rrs []dnssrv.RR) {
+	if t == nil || len(rrs) == 0 {
+		return
+	}
+	var min time.Duration
+	for _, rr := range rrs {
+		d := time.Duration(rr.TTL) * time.Second
+		if d <= 0 {
+			continue
+		}
+		if min == 0 || d < min {
+			min = d
+		}
+	}
+	if min <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.m[domain] = min
+	t.mu.Unlock()
+}
+
+func (t *ttlMemo) get(domain string) (time.Duration, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d, ok := t.m[domain]
+	return d, ok
+}
+
+// AdviseTTL reports the minimum record TTL observed for the named domain,
+// implementing the caching layer's TTLAdvisor contract: cached DNS answers
+// should not outlive the records they were built from.
+func (c *Context) AdviseTTL(name string) (time.Duration, bool) {
+	n, err := core.ParseName(name)
+	if err != nil {
+		return 0, false
+	}
+	return c.ttl.get(domainFor(c.base.Concat(n)))
 }
 
 var _ core.DirContext = (*Context)(nil)
@@ -66,7 +122,7 @@ func domainFor(n core.Name) string {
 }
 
 func (c *Context) child(base core.Name) *Context {
-	return &Context{resolver: c.resolver, url: c.url, base: base, env: c.env}
+	return &Context{resolver: c.resolver, url: c.url, base: base, env: c.env, ttl: c.ttl}
 }
 
 func (c *Context) parse(name string) (core.Name, error) {
@@ -109,6 +165,7 @@ func (c *Context) records(ctx context.Context, n core.Name) ([]dnssrv.RR, bool, 
 	}
 	// NODATA (an empty non-terminal) arrives as NoError with no answers:
 	// the name exists but carries no records.
+	c.ttl.note(domainFor(n), rrs)
 	return rrs, true, nil
 }
 

@@ -590,7 +590,24 @@ func (c *Context) Watch(ctx context.Context, target string, scope core.SearchSco
 	if err != nil {
 		return nil, core.Errf("watch", target, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
 	}
-	return cancel, nil
+	// Server-side watches die with the connection; surface that to the
+	// listener as EventWatchLost so caches layered on this registration
+	// know to fall back to time-based expiry.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-c.sh.client.Done():
+			l(core.NamingEvent{Type: core.EventWatchLost})
+		case <-stop:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stop)
+			cancel()
+		})
+	}, nil
 }
 
 // NameInNamespace implements core.Context.

@@ -1124,7 +1124,24 @@ func (c *Context) Watch(ctx context.Context, target string, scope core.SearchSco
 	if err != nil {
 		return nil, core.Errf("watch", target, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
 	}
-	return cancel, nil
+	// Event registrations die with the LUS connection (§5.1: the lease
+	// stops being renewable). Report that as EventWatchLost so consumers
+	// caching on the strength of this registration degrade safely.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-c.sh.reg.Done():
+			l(core.NamingEvent{Type: core.EventWatchLost})
+		case <-stop:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stop)
+			cancel()
+		})
+	}, nil
 }
 
 // NameInNamespace implements core.Context.

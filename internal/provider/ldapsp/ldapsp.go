@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"gondi/internal/core"
 	"gondi/internal/ldapsrv"
@@ -29,6 +30,11 @@ const (
 	// the core EnvPrincipal/EnvCredentials keys are honoured too.
 	EnvPrincipal   = "ldap.principal"
 	EnvCredentials = "ldap.credentials"
+	// EnvCacheTTLMs advises caching layers how long (in milliseconds)
+	// entries read from this directory may be served without revalidation.
+	// LDAP has no change notification in this provider, so the operator
+	// sets the staleness budget; unset means the cache's own default.
+	EnvCacheTTLMs = "ldap.cache.ttl.ms"
 )
 
 // Attribute names used by the object encoding.
@@ -711,6 +717,24 @@ func (c *Context) NameInNamespace() (string, error) {
 
 // Environment implements core.Context.
 func (c *Context) Environment() map[string]any { return c.env }
+
+// AdviseTTL implements the caching layer's TTLAdvisor contract using the
+// operator-configured EnvCacheTTLMs staleness budget.
+func (c *Context) AdviseTTL(string) (time.Duration, bool) {
+	var ms int64
+	switch v := c.env[EnvCacheTTLMs].(type) {
+	case int:
+		ms = int64(v)
+	case int64:
+		ms = v
+	default:
+		return 0, false
+	}
+	if ms <= 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
 
 // Close implements core.Context: the last root context for a pooled
 // connection closes it.

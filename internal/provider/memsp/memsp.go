@@ -67,6 +67,22 @@ func Space(name string) *Tree {
 	return t
 }
 
+// DropWatches discards every registered listener, notifying each with an
+// EventWatchLost first — simulating the event transport dying out from
+// under its registrations (tests of watch-loss degradation use this).
+func (t *Tree) DropWatches() {
+	t.mu.Lock()
+	ws := make([]*watch, 0, len(t.listeners))
+	for _, w := range t.listeners {
+		ws = append(ws, w)
+	}
+	t.listeners = map[int]*watch{}
+	t.mu.Unlock()
+	for _, w := range ws {
+		w.l(core.NamingEvent{Type: core.EventWatchLost})
+	}
+}
+
 // ResetSpaces drops all global namespaces (tests only).
 func ResetSpaces() {
 	spacesMu.Lock()

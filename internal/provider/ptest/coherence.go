@@ -1,0 +1,181 @@
+package ptest
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gondi/internal/cache"
+	"gondi/internal/core"
+)
+
+// CoherenceWorld is one provider instance seen through two channels: Main
+// is the context the cache under test wraps; Side is an independent,
+// uncached path to the same store (a second connection, or a second view
+// of the same tree) used to make out-of-band changes behind the cache's
+// back. BreakWatch, when non-nil, kills the event transport under Main's
+// registrations so the watch-loss degradation path can be exercised;
+// providers whose transport cannot be broken in-process leave it nil.
+type CoherenceWorld struct {
+	Main       core.DirContext
+	Side       core.DirContext
+	BreakWatch func()
+}
+
+// CoherenceFactory builds a fresh world per subtest.
+type CoherenceFactory func(t *testing.T) *CoherenceWorld
+
+// pollUntil retries fn every few milliseconds until it returns true or the
+// deadline passes.
+func pollUntil(d time.Duration, fn func() bool) bool {
+	deadline := time.Now().Add(d)
+	for {
+		if fn() {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// RunCacheCoherence verifies that the read-through cache stays coherent
+// with a provider under out-of-band writes: event-driven invalidation
+// where the provider supports Watch, TTL-bounded staleness where it does
+// not, negative-entry eviction on successful writes, and the watch-loss →
+// TTL degradation contract.
+func RunCacheCoherence(t *testing.T, mk CoherenceFactory) {
+	ctx := context.Background()
+
+	wrap := func(t *testing.T, w *CoherenceWorld, cfg cache.Config) *cache.CachedContext {
+		c := cache.New(cfg, nil)
+		t.Cleanup(func() { c.Close() })
+		// The world owns Main's lifecycle (t.Cleanup in its factory); the
+		// cache must not double-close it, so the root wrapper is closed via
+		// the cache's own Close only.
+		return c.Wrap(w.Main)
+	}
+
+	t.Run("ReadThroughHit", func(t *testing.T) {
+		w := mk(t)
+		cc := wrap(t, w, cache.Config{TTL: time.Hour})
+		if err := cc.Bind(ctx, "coh-hit", "v1"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			v, err := cc.Lookup(ctx, "coh-hit")
+			if err != nil || v != "v1" {
+				t.Fatalf("lookup %d = %v, %v", i, v, err)
+			}
+		}
+		if s := cc.Stats(); s.Hits < 2 {
+			t.Errorf("hits = %d, want >= 2 (repeated lookups must be served locally)", s.Hits)
+		}
+	})
+
+	t.Run("StaleReadBoundedByTTL", func(t *testing.T) {
+		w := mk(t)
+		const ttl = 150 * time.Millisecond
+		cc := wrap(t, w, cache.Config{TTL: ttl, DisableEvents: true})
+		if err := w.Side.Bind(ctx, "coh-ttl", "old"); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := cc.Lookup(ctx, "coh-ttl"); err != nil || v != "old" {
+			t.Fatalf("prime lookup = %v, %v", v, err)
+		}
+		// Change behind the cache's back: with events disabled the cache
+		// may serve "old", but only for at most the TTL.
+		if err := w.Side.Rebind(ctx, "coh-ttl", "new"); err != nil {
+			t.Fatal(err)
+		}
+		fresh := pollUntil(10*ttl, func() bool {
+			v, err := cc.Lookup(ctx, "coh-ttl")
+			return err == nil && v == "new"
+		})
+		if !fresh {
+			t.Fatal("cached value outlived the configured TTL")
+		}
+	})
+
+	t.Run("EventEvictedFresh", func(t *testing.T) {
+		w := mk(t)
+		if _, ok := w.Main.(core.EventContext); !ok {
+			t.Skip("provider has no event support")
+		}
+		// TTL far beyond the test: only event invalidation can freshen.
+		cc := wrap(t, w, cache.Config{TTL: time.Hour})
+		if err := w.Side.Bind(ctx, "coh-ev", "old"); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := cc.Lookup(ctx, "coh-ev"); err != nil || v != "old" {
+			t.Fatalf("prime lookup = %v, %v", v, err)
+		}
+		if err := w.Side.Rebind(ctx, "coh-ev", "new"); err != nil {
+			t.Fatal(err)
+		}
+		fresh := pollUntil(5*time.Second, func() bool {
+			v, err := cc.Lookup(ctx, "coh-ev")
+			return err == nil && v == "new"
+		})
+		if !fresh {
+			t.Fatal("out-of-band write never reached the cache via events")
+		}
+	})
+
+	t.Run("NegativeEvictedOnBind", func(t *testing.T) {
+		w := mk(t)
+		cc := wrap(t, w, cache.Config{TTL: time.Hour, NegativeTTL: time.Hour})
+		for i := 0; i < 2; i++ {
+			if _, err := cc.Lookup(ctx, "coh-neg"); !errors.Is(err, core.ErrNotFound) {
+				t.Fatalf("lookup %d: want ErrNotFound, got %v", i, err)
+			}
+		}
+		if s := cc.Stats(); s.NegativeHits < 1 {
+			t.Errorf("negative hits = %d, want >= 1", s.NegativeHits)
+		}
+		// A successful Bind through the cache must evict the negative
+		// entry immediately — not after NegativeTTL.
+		if err := cc.Bind(ctx, "coh-neg", "born"); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := cc.Lookup(ctx, "coh-neg"); err != nil || v != "born" {
+			t.Fatalf("post-bind lookup = %v, %v", v, err)
+		}
+	})
+
+	t.Run("WatchLossDegradesToTTL", func(t *testing.T) {
+		w := mk(t)
+		if _, ok := w.Main.(core.EventContext); !ok {
+			t.Skip("provider has no event support")
+		}
+		if w.BreakWatch == nil {
+			t.Skip("world cannot break the event transport")
+		}
+		const ttl = 200 * time.Millisecond
+		cc := wrap(t, w, cache.Config{TTL: ttl})
+		if err := w.Side.Bind(ctx, "coh-loss", "old"); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := cc.Lookup(ctx, "coh-loss"); err != nil || v != "old" {
+			t.Fatalf("prime lookup = %v, %v", v, err)
+		}
+		w.BreakWatch()
+		if !pollUntil(2*time.Second, func() bool { return cc.Stats().WatchLosses >= 1 }) {
+			t.Fatal("cache never observed the watch loss")
+		}
+		// Degraded: no events will arrive, but staleness must still be
+		// bounded by the TTL.
+		if err := w.Side.Rebind(ctx, "coh-loss", "new"); err != nil {
+			t.Fatal(err)
+		}
+		fresh := pollUntil(10*ttl, func() bool {
+			v, err := cc.Lookup(ctx, "coh-loss")
+			return err == nil && v == "new"
+		})
+		if !fresh {
+			t.Fatal("degraded cache served stale data beyond the TTL")
+		}
+	})
+}

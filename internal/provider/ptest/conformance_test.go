@@ -126,6 +126,73 @@ func TestJXTAProviderConformance(t *testing.T) {
 	})
 }
 
+// Cache-coherence conformance: the read-through cache layered over each
+// provider must stay fresh via events where the provider has them, and
+// within the TTL bound where it does not.
+
+func TestMemCacheCoherence(t *testing.T) {
+	ptest.RunCacheCoherence(t, func(t *testing.T) *ptest.CoherenceWorld {
+		tree := memsp.NewTree()
+		return &ptest.CoherenceWorld{
+			Main:       memsp.NewContext(tree, map[string]any{}, "mem://coh"),
+			Side:       memsp.NewContext(tree, map[string]any{}, "mem://coh"),
+			BreakWatch: tree.DropWatches,
+		}
+	})
+}
+
+func TestJiniCacheCoherence(t *testing.T) {
+	ptest.RunCacheCoherence(t, func(t *testing.T) *ptest.CoherenceWorld {
+		lus, err := jini.NewLUS(jini.LUSConfig{ListenAddr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { lus.Close() })
+		main, err := jinisp.Open(context.Background(), lus.Addr(), map[string]any{core.EnvPoolID: t.Name() + "-main"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { main.Close() })
+		side, err := jinisp.Open(context.Background(), lus.Addr(), map[string]any{core.EnvPoolID: t.Name() + "-side"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { side.Close() })
+		// The event transport is the pooled LUS connection Main itself
+		// runs on; it cannot be severed without killing Main, so the
+		// degradation subtest is exercised by the in-memory world.
+		return &ptest.CoherenceWorld{Main: main, Side: side}
+	})
+}
+
+func TestHDNSCacheCoherence(t *testing.T) {
+	ptest.RunCacheCoherence(t, func(t *testing.T) *ptest.CoherenceWorld {
+		stack := jgroups.DefaultConfig()
+		stack.HeartbeatInterval = 50 * time.Millisecond
+		n, err := hdns.NewNode(hdns.NodeConfig{
+			Group:      "coh-" + t.Name(),
+			Transport:  jgroups.NewFabric().Endpoint("coh-node"),
+			Stack:      stack,
+			ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		main, err := hdnssp.Open(context.Background(), n.Addr(), map[string]any{core.EnvPoolID: t.Name() + "-main"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { main.Close() })
+		side, err := hdnssp.Open(context.Background(), n.Addr(), map[string]any{core.EnvPoolID: t.Name() + "-side"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { side.Close() })
+		return &ptest.CoherenceWorld{Main: main, Side: side}
+	})
+}
+
 func TestLDAPProviderConformance(t *testing.T) {
 	ptest.Run(t, ptest.Caps{
 		Rename:                       true,

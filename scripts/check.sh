@@ -1,6 +1,8 @@
 #!/bin/sh
-# Tier-1.5 gate: formatting, vet, and the race-enabled test suite.
+# Tier-1.5 gate: formatting, vet, the race-enabled test suite, the cache
+# conformance pass, and the cache benchmark diff.
 # Run from the repository root:  sh scripts/check.sh
+# Set CHECK_SKIP_BENCH=1 to skip the (slow) benchmark diff.
 set -e
 
 echo "== gofmt =="
@@ -14,10 +16,19 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== go build =="
+echo "== go build (incl. examples) =="
 go build ./...
+go build ./examples/...
+
+echo "== cache coherence conformance (-race) =="
+go test -race -run 'CacheCoherence' ./internal/provider/ptest/
 
 echo "== go test -race =="
 go test -race ./...
+
+if [ -z "$CHECK_SKIP_BENCH" ]; then
+    echo "== cache benchmark diff (writes BENCH_issue2.json) =="
+    go run ./cmd/ippsbench -issue2
+fi
 
 echo "OK"
