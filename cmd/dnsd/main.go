@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"gondi/internal/dnssrv"
+	"gondi/internal/obs"
 )
 
 type zoneFlags []string
@@ -29,6 +30,7 @@ func (z *zoneFlags) Set(v string) error {
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5353", "UDP+TCP listen address")
+	obsAddr := flag.String("obs.addr", "", "observability HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
 	var zones zoneFlags
 	flag.Var(&zones, "zone", "zone file (repeatable)")
 	flag.Parse()
@@ -54,6 +56,12 @@ func main() {
 		fmt.Printf("dnsd: authoritative for %s (%s)\n", zone.Origin(), path)
 	}
 	fmt.Printf("dnsd: serving dns://%s\n", srv.Addr())
+	if osrv, err := obs.Serve(*obsAddr); err != nil {
+		log.Fatalf("dnsd: obs: %v", err)
+	} else if osrv != nil {
+		defer osrv.Close()
+		fmt.Printf("dnsd: observability at http://%s/metrics\n", osrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -30,6 +30,7 @@ import (
 
 	"gondi/internal/cache"
 	"gondi/internal/core"
+	"gondi/internal/obs"
 	"gondi/internal/provider/dnssp"
 	"gondi/internal/provider/fssp"
 	"gondi/internal/provider/hdnssp"
@@ -61,7 +62,10 @@ flags:
   -cache-ttl                positive-entry TTL for event-less providers (0 = default)
   -cache-neg-ttl            not-found entry TTL (0 = default)
   -cache-max                max cached entries per naming system (0 = default)
-  -cache-no-events          TTL-only coherence, ignore provider change events`)
+  -cache-no-events          TTL-only coherence, ignore provider change events
+  -trace                    print the federation trace (one line per hop) after the command
+  -obs.addr                 observability HTTP address (/metrics, /debug/vars, /debug/pprof)
+  -obs.hold                 keep serving -obs.addr this long after the command completes`)
 	os.Exit(2)
 }
 
@@ -77,6 +81,9 @@ func main() {
 	cacheNegTTL := flag.Duration("cache-neg-ttl", 0, "cache: not-found entry TTL (0 = default)")
 	cacheMax := flag.Int("cache-max", 0, "cache: max entries per naming system (0 = default)")
 	cacheNoEvents := flag.Bool("cache-no-events", false, "cache: TTL-only coherence, ignore change events")
+	showTrace := flag.Bool("trace", false, "print the federation trace after the command")
+	obsAddr := flag.String("obs.addr", "", "observability HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+	obsHold := flag.Duration("obs.hold", 0, "keep serving -obs.addr this long after the command completes")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -93,7 +100,10 @@ func main() {
 	memsp.Register()
 	jxtasp.Register()
 
-	var opts []core.Option
+	// The obs middleware is always installed: it is what turns each
+	// command into a federation trace (-trace, /debug/vars) and costs
+	// nothing observable at fedctl's interactive scale.
+	opts := []core.Option{core.WithMiddleware(obs.NewMiddleware())}
 	if *principal != "" {
 		opts = append(opts, core.WithEnv(core.EnvPrincipal, *principal))
 	}
@@ -123,16 +133,54 @@ func main() {
 	// the initial context into the provider and onto the wire, and across
 	// federation hops, so a wedged backend ends with DeadlineExceeded
 	// instead of a hang. Ctrl-C cancels in-flight operations the same way.
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	ctx := sigCtx
 	if *timeout > 0 && cmd != "watch" {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
 
+	var osrv *obs.Server
+	{
+		var err error
+		osrv, err = obs.Serve(*obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fedctl: obs: %v\n", err)
+			os.Exit(1)
+		}
+		if osrv != nil {
+			fmt.Fprintf(os.Stderr, "fedctl: observability at http://%s/metrics\n", osrv.Addr())
+			defer osrv.Close()
+		}
+	}
+	// finishObs runs before a successful exit: it prints the recorded
+	// federation trace and keeps the observability endpoint alive for
+	// -obs.hold so an operator can curl /debug/vars after the command.
+	finishObs := func() {
+		if *showTrace {
+			for _, t := range obs.RecentTraces(8) {
+				fmt.Fprintln(os.Stderr, t)
+			}
+		}
+		if osrv != nil && *obsHold > 0 {
+			// Hold against the signal context, not the per-op deadline:
+			// the hold outlives the command on purpose.
+			fmt.Fprintf(os.Stderr, "fedctl: holding observability endpoint for %s\n", *obsHold)
+			select {
+			case <-time.After(*obsHold):
+			case <-sigCtx.Done():
+			}
+		}
+	}
 	die := func(err error) {
 		if err != nil {
+			if *showTrace {
+				for _, t := range obs.RecentTraces(8) {
+					fmt.Fprintln(os.Stderr, t)
+				}
+			}
 			fmt.Fprintf(os.Stderr, "fedctl: %v\n", err)
 			os.Exit(1)
 		}
@@ -205,4 +253,5 @@ func main() {
 	default:
 		usage()
 	}
+	finishObs()
 }

@@ -23,10 +23,12 @@ import (
 
 	"gondi/internal/hdns"
 	"gondi/internal/jgroups"
+	"gondi/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7001", "client-facing TCP address")
+	obsAddr := flag.String("obs.addr", "", "observability HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
 	group := flag.String("group", "hdns", "replication group name")
 	bind := flag.String("bind", "127.0.0.1:0", "group transport UDP address")
 	peers := flag.String("peers", "", "comma-separated peer transport addresses")
@@ -65,6 +67,12 @@ func main() {
 	view := node.Channel().View()
 	fmt.Printf("hdnsd: serving %s group=%s transport=%s members=%v\n",
 		node.Addr(), *group, tr.Addr(), view.Members)
+	if osrv, err := obs.Serve(*obsAddr); err != nil {
+		log.Fatalf("hdnsd: obs: %v", err)
+	} else if osrv != nil {
+		defer osrv.Close()
+		fmt.Printf("hdnsd: observability at http://%s/metrics\n", osrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

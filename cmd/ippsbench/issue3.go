@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gondi/internal/benchmark"
+)
+
+// The -issue3 report: the observability layer's overhead claim (recording
+// enabled vs the SetEnabled(false) gate on the hot federated lookup) plus
+// the server-side view — op counts and latency quantiles from the obs
+// registry printed next to the client-observed throughput, so the two
+// sides of the measurement can be compared in one document.
+
+type issue3Overhead struct {
+	EnabledOpsPerSec  float64 `json:"enabled_ops_per_sec"`
+	DisabledOpsPerSec float64 `json:"disabled_ops_per_sec"`
+	OverheadPct       float64 `json:"overhead_pct"`
+}
+
+type issue3Report struct {
+	Issue     string                          `json:"issue"`
+	Claim     string                          `json:"claim"`
+	Method    string                          `json:"method"`
+	Date      string                          `json:"date"`
+	Clients   int                             `json:"clients"`
+	Overhead  issue3Overhead                  `json:"overhead"`
+	ServerOps map[string]int64                `json:"server_ops"`
+	Latency   map[string]benchmark.ObsLatency `json:"latency"`
+	Verdict   string                          `json:"verdict"`
+}
+
+// maxOverheadPct is the acceptance bound: metering, tracing and wire
+// annotation together must cost less than this at N=100 clients.
+const maxOverheadPct = 2.0
+
+func runIssue3(opts benchmark.Options, outPath string) error {
+	const clients = 100
+	opts.Clients = []int{clients}
+
+	rep := issue3Report{
+		Issue:   "stack-wide observability layer: metrics, federation tracing, profiling hooks (internal/obs)",
+		Claim:   fmt.Sprintf("obs recording costs < %.0f%% throughput on the hot two-hop federated lookup at N=%d clients", maxOverheadPct, clients),
+		Method:  fmt.Sprintf("cmd/ippsbench -issue3: dns→hdns hot-loop lookup at %d clients, warmup %v, measure %v; obs middleware installed in both series, recording gated off in the second; server-side counters and histograms snapshotted over the enabled window", clients, opts.Warmup, opts.Measure),
+		Date:    time.Now().Format("2006-01-02"),
+		Clients: clients,
+	}
+
+	fmt.Printf("== obs-overhead (%d clients, hot loop) ==\n", clients)
+	e, obsRep, err := benchmark.RunObsOverhead(opts)
+	if err != nil {
+		return fmt.Errorf("obs-overhead: %w", err)
+	}
+	e.Print(os.Stdout)
+
+	var enabled, disabled float64
+	for _, s := range e.Series {
+		switch s.Label {
+		case "obs-enabled":
+			enabled = s.At(clients)
+		case "obs-disabled":
+			disabled = s.At(clients)
+		}
+	}
+	rep.Overhead = issue3Overhead{
+		EnabledOpsPerSec:  round1(enabled),
+		DisabledOpsPerSec: round1(disabled),
+	}
+	if disabled > 0 {
+		rep.Overhead.OverheadPct = round1((disabled - enabled) / disabled * 100)
+	}
+	rep.ServerOps = obsRep.ServerOps
+	rep.Latency = obsRep.Latency
+
+	fmt.Printf("\nserver-side ops over the enabled window:\n")
+	for k, v := range rep.ServerOps {
+		fmt.Printf("  %-60s %d\n", k, v)
+	}
+	fmt.Printf("latency quantiles (obs histograms):\n")
+	for k, l := range rep.Latency {
+		fmt.Printf("  %-60s n=%-8d p50=%.3fms p95=%.3fms p99=%.3fms\n", k, l.Count, l.P50Ms, l.P95Ms, l.P99Ms)
+	}
+
+	switch {
+	case rep.Overhead.OverheadPct < maxOverheadPct:
+		rep.Verdict = fmt.Sprintf("pass: obs overhead %.1f%% (< %.0f%% required) at N=%d", rep.Overhead.OverheadPct, maxOverheadPct, clients)
+	default:
+		rep.Verdict = fmt.Sprintf("FAIL: obs overhead %.1f%% >= %.0f%% at N=%d", rep.Overhead.OverheadPct, maxOverheadPct, clients)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\n%s\nwrote %s\n", rep.Verdict, outPath)
+	if rep.Overhead.OverheadPct >= maxOverheadPct {
+		return fmt.Errorf("obs overhead %.1f%% above the %.0f%% bound", rep.Overhead.OverheadPct, maxOverheadPct)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@
 //	ippsbench -quick          # short sweep and windows (smoke run)
 //	ippsbench -clients 1,10,50 -warm 2s -measure 3s
 //	ippsbench -issue2         # cache speedup + baseline diff → BENCH_issue2.json
+//	ippsbench -issue3         # obs overhead + server-side view → BENCH_issue3.json
 //
 // Absolute numbers depend on the calibrated cost model (see DESIGN.md);
 // the curve shapes — who saturates where, the strict-bind penalty, the
@@ -36,8 +37,9 @@ func main() {
 	measure := flag.Duration("measure", 0, "measurement window per point (0 = per-experiment default)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	issue2 := flag.Bool("issue2", false, "run the cache speedup report (cache-lookup + figs 2/4/6/7 at 100 clients) and write -out")
+	issue3 := flag.Bool("issue3", false, "run the observability overhead report (obs enabled vs disabled at 100 clients) and write -out")
 	baseline := flag.String("baseline", "BENCH_issue1.json", "issue1 baseline file for -issue2")
-	out := flag.String("out", "BENCH_issue2.json", "output file for -issue2")
+	out := flag.String("out", "", "output file for -issue2 / -issue3 (default BENCH_issue<N>.json)")
 	flag.Parse()
 
 	if *list {
@@ -71,8 +73,23 @@ func main() {
 	}
 
 	if *issue2 {
-		if err := runIssue2(opts, *baseline, *out); err != nil {
+		path := *out
+		if path == "" {
+			path = "BENCH_issue2.json"
+		}
+		if err := runIssue2(opts, *baseline, path); err != nil {
 			fmt.Fprintf(os.Stderr, "ippsbench: issue2: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *issue3 {
+		path := *out
+		if path == "" {
+			path = "BENCH_issue3.json"
+		}
+		if err := runIssue3(opts, path); err != nil {
+			fmt.Fprintf(os.Stderr, "ippsbench: issue3: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -16,10 +16,12 @@ import (
 	"time"
 
 	"gondi/internal/jini"
+	"gondi/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:4160", "registrar TCP address")
+	obsAddr := flag.String("obs.addr", "", "observability HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
 	groups := flag.String("groups", "", "comma-separated discovery groups (empty = public)")
 	proxyAddr := flag.String("proxy", "", "also serve a colocated BindProxy at this address (atomic binds for \"jini.bind\": \"proxy\" clients)")
 	stats := flag.Duration("stats", 0, "print registration counts at this interval (0 = off)")
@@ -35,6 +37,12 @@ func main() {
 	}
 	jini.Announce(lus)
 	fmt.Printf("jinilusd: lookup service at jini://%s groups=%v\n", lus.Addr(), groupList)
+	if osrv, err := obs.Serve(*obsAddr); err != nil {
+		log.Fatalf("jinilusd: obs: %v", err)
+	} else if osrv != nil {
+		defer osrv.Close()
+		fmt.Printf("jinilusd: observability at http://%s/metrics\n", osrv.Addr())
+	}
 
 	if *proxyAddr != "" {
 		proxy, err := jini.NewBindProxy(lus.Addr(), *proxyAddr)

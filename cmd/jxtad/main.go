@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"gondi/internal/jxta"
+	"gondi/internal/obs"
 )
 
 type groupFlags []string
@@ -28,6 +29,7 @@ func (g *groupFlags) Set(v string) error {
 func main() {
 	ctx := context.Background()
 	listen := flag.String("listen", "127.0.0.1:9701", "TCP listen address")
+	obsAddr := flag.String("obs.addr", "", "observability HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
 	var groups groupFlags
 	flag.Var(&groups, "group", "peer group to pre-create under net (repeatable, parents first)")
 	flag.Parse()
@@ -49,6 +51,12 @@ func main() {
 		peer.Close()
 	}
 	fmt.Printf("jxtad: rendezvous at jxta://%s (%d groups)\n", rdv.Addr(), rdv.GroupCount())
+	if osrv, err := obs.Serve(*obsAddr); err != nil {
+		log.Fatalf("jxtad: obs: %v", err)
+	} else if osrv != nil {
+		defer osrv.Close()
+		fmt.Printf("jxtad: observability at http://%s/metrics\n", osrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -16,10 +16,12 @@ import (
 	"time"
 
 	"gondi/internal/ldapsrv"
+	"gondi/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:3890", "TCP listen address")
+	obsAddr := flag.String("obs.addr", "", "observability HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
 	base := flag.String("base", "dc=example,dc=com", "base DN")
 	rootDN := flag.String("rootdn", "", "administrative bind DN")
 	rootPW := flag.String("rootpw", "", "administrative password")
@@ -37,6 +39,12 @@ func main() {
 		log.Fatalf("ldapd: %v", err)
 	}
 	fmt.Printf("ldapd: serving ldap://%s/%s\n", srv.Addr(), *base)
+	if osrv, err := obs.Serve(*obsAddr); err != nil {
+		log.Fatalf("ldapd: obs: %v", err)
+	} else if osrv != nil {
+		defer osrv.Close()
+		fmt.Printf("ldapd: observability at http://%s/metrics\n", osrv.Addr())
+	}
 
 	if *stats > 0 {
 		go func() {

@@ -364,7 +364,7 @@ func RunFig6(opts Options) (*Experiment, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		dc := nc.(*dnssp.Context)
+		dc := nc.(core.DirContext)
 		base := rest.String()
 		return func(ctx context.Context) error {
 			attrs, err := dc.GetAttributes(ctx, base+"/target")

@@ -1,0 +1,138 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/obs"
+)
+
+// The -issue3 experiment: the observability layer's cost and its yield.
+// The same hot two-hop federated lookup (dns → hdns) as the cache
+// experiment runs twice with the obs middleware installed — once with
+// recording enabled, once with the global gate off — so the throughput
+// delta is exactly the price of metering, tracing and wire annotation.
+// While the enabled window runs, the Default registry accumulates the
+// server-side view; ObsReport carries the snapshot diff and histogram
+// quantiles so the client-observed throughput can be printed next to what
+// the servers actually did.
+
+// ObsLatency is one histogram's summary over the measurement window.
+type ObsLatency struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// ObsReport is the server-side half of the -issue3 result.
+type ObsReport struct {
+	// ServerOps is the counter delta over the enabled window, keyed by
+	// metric name+labels, filtered to the families worth reporting.
+	ServerOps map[string]int64 `json:"server_ops"`
+	// Latency holds quantiles for the op-latency histograms that recorded
+	// observations during the window.
+	Latency map[string]ObsLatency `json:"latency"`
+}
+
+// obsReportFamilies are the counter families the report keeps: resolve-
+// level ops, federation hops, wire round-trips, and server-side requests.
+var obsReportFamilies = []string{
+	"gondi_resolve_ops_total",
+	"gondi_federation_hops_total",
+	"gondi_dns_exchanges_total",
+	"gondi_rpc_calls_total",
+	"gondi_server_requests_total",
+}
+
+// obsLatencyFamilies are the histograms quantiled in the report.
+var obsLatencyFamilies = []string{
+	"gondi_resolve_seconds",
+	"gondi_dns_exchange_seconds",
+	"gondi_rpc_call_seconds",
+	"gondi_server_request_seconds",
+}
+
+func keepFamily(key string, families []string) bool {
+	for _, f := range families {
+		if key == f || strings.HasPrefix(key, f+"{") {
+			return true
+		}
+	}
+	return false
+}
+
+// RunObsOverhead measures the observability layer's overhead on the hot
+// federated lookup path and collects the server-side metrics view. The
+// returned experiment has an "obs-enabled" and an "obs-disabled" series;
+// the report covers the enabled window only (while disabled, the registry
+// deliberately freezes).
+func RunObsOverhead(opts Options) (*Experiment, *ObsReport, error) {
+	url, cleanup, err := newCacheWorld()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cleanup()
+	opts.Think = -1
+
+	e := &Experiment{ID: "obs-overhead", Title: "Federated lookup (dns→hdns): obs recording enabled vs disabled"}
+
+	mkFactory := func(tag string) ClientFactory {
+		return func(client int) (op func(ctx context.Context) error, cleanup func(), err error) {
+			ic, err := core.Open(context.Background(),
+				core.WithMiddleware(obs.NewMiddleware()),
+				core.WithPoolID(fmt.Sprintf("obs-%s-%d", tag, client)))
+			if err != nil {
+				return nil, nil, err
+			}
+			return cacheLookupOp(ic, url), func() { ic.Close() }, nil
+		}
+	}
+
+	// Enabled window: snapshot the registry around the sweep so the report
+	// reflects exactly this window's ops.
+	obs.SetEnabled(true)
+	before := obs.Default.Snapshot()
+	s, err := Sweep("obs-enabled", opts, mkFactory("on"))
+	if err != nil {
+		return nil, nil, err
+	}
+	after := obs.Default.Snapshot()
+	e.Series = append(e.Series, s)
+
+	report := &ObsReport{ServerOps: map[string]int64{}, Latency: map[string]ObsLatency{}}
+	for k, v := range after {
+		if d := v - before[k]; d > 0 && keepFamily(k, obsReportFamilies) {
+			report.ServerOps[k] = d
+		}
+	}
+	for k, h := range obs.Default.Histograms() {
+		if !keepFamily(k, obsLatencyFamilies) || h.Count() == 0 {
+			continue
+		}
+		report.Latency[k] = ObsLatency{
+			Count: h.Count(),
+			P50Ms: durMs(h.Quantile(0.50)),
+			P95Ms: durMs(h.Quantile(0.95)),
+			P99Ms: durMs(h.Quantile(0.99)),
+		}
+	}
+
+	// Disabled window: the identical stack with every record path gated
+	// off — the throughput delta between the two series is the overhead.
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	s, err = Sweep("obs-disabled", opts, mkFactory("off"))
+	if err != nil {
+		return nil, nil, err
+	}
+	e.Series = append(e.Series, s)
+	return e, report, nil
+}
+
+func durMs(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

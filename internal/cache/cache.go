@@ -44,7 +44,29 @@ import (
 	"time"
 
 	"gondi/internal/core"
+	"gondi/internal/obs"
 	"gondi/internal/retry"
+)
+
+// Process-wide cache metrics (every Cache instance records into the same
+// family; per-instance numbers remain available via Stats).
+var (
+	mHits = obs.Default.Counter("gondi_cache_hits_total",
+		"Positive cache hits.")
+	mNegHits = obs.Default.Counter("gondi_cache_negative_hits_total",
+		"Cached ErrNotFound answers served.")
+	mMisses = obs.Default.Counter("gondi_cache_misses_total",
+		"Cache fills that went to the provider.")
+	mCollapsed = obs.Default.Counter("gondi_cache_collapsed_total",
+		"Calls that piggybacked on an in-flight fill (singleflight).")
+	mEvictions = obs.Default.Counter("gondi_cache_evictions_total",
+		"Invalidation-driven entry removals (writes, events, flushes, LRU).")
+	mExpirations = obs.Default.Counter("gondi_cache_expirations_total",
+		"TTL-driven entry removals.")
+	mWatchLosses = obs.Default.Counter("gondi_cache_watch_losses_total",
+		"Invalidation watches lost (root degraded to TTL mode).")
+	mRewatches = obs.Default.Counter("gondi_cache_rewatches_total",
+		"Invalidation watches successfully re-registered after a loss.")
 )
 
 // Config is the cache configuration. It aliases core.CacheConfig so that

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gondi/internal/core"
+	"gondi/internal/obs"
 	"gondi/internal/retry"
 )
 
@@ -101,21 +102,30 @@ func (r *root) cachedOp(ctx context.Context, key string, base core.Name, fill fu
 			if err != nil {
 				if errors.Is(err, core.ErrNotFound) {
 					r.c.negHits.Add(1)
+					mNegHits.Inc()
+					obs.CacheEvent(ctx, "negative-hit")
 				} else {
 					r.c.hits.Add(1)
+					mHits.Inc()
+					obs.CacheEvent(ctx, "hit")
 				}
 				return nil, err
 			}
 			r.c.hits.Add(1)
+			mHits.Inc()
+			obs.CacheEvent(ctx, "hit")
 			return val, nil
 		}
 		r.removeLocked(e)
 		r.c.expirations.Add(1)
+		mExpirations.Inc()
 	}
 	if cl, ok := r.flight[key]; ok {
 		inner := r.inner
 		r.mu.Unlock()
 		r.c.collapsed.Add(1)
+		mCollapsed.Inc()
+		obs.CacheEvent(ctx, "collapsed")
 		select {
 		case <-cl.done:
 			// If the leader was aborted by its own context while ours is
@@ -136,6 +146,8 @@ func (r *root) cachedOp(ctx context.Context, key string, base core.Name, fill fu
 	r.mu.Unlock()
 
 	r.c.misses.Add(1)
+	mMisses.Inc()
+	obs.CacheEvent(ctx, "miss")
 	val, err := fill(inner)
 	cl.val, cl.err = val, err
 
@@ -204,6 +216,7 @@ func (r *root) insertLocked(e *entry) {
 		back := r.lru.Back()
 		r.removeLocked(back.Value.(*entry))
 		r.c.evictions.Add(1)
+		mEvictions.Inc()
 	}
 }
 
@@ -241,6 +254,7 @@ func (r *root) invalidate(names ...string) {
 	}
 	r.mu.Unlock()
 	r.c.evictions.Add(int64(len(victims)))
+	mEvictions.Add(int64(len(victims)))
 }
 
 // flushAll empties the root's entry table and fences in-flight fills.
@@ -252,6 +266,7 @@ func (r *root) flushAll() {
 	r.lru.Init()
 	r.mu.Unlock()
 	r.c.evictions.Add(int64(n))
+	mEvictions.Add(int64(n))
 }
 
 // onEvent is the invalidation listener registered on the provider root.
@@ -282,6 +297,7 @@ func (r *root) watchLost() {
 	r.rewatching = true
 	r.mu.Unlock()
 	r.c.watchLosses.Add(1)
+	mWatchLosses.Inc()
 	r.flushAll()
 	if !startLoop {
 		return
@@ -308,6 +324,7 @@ func (r *root) rewatchLoop() {
 	// event mode starts from a provider-fresh table.
 	r.flushAll()
 	r.c.rewatches.Add(1)
+	mRewatches.Inc()
 }
 
 // tryRewatch attempts one watch registration, re-opening the provider

@@ -25,10 +25,12 @@ type InitialContext struct {
 	defErr   error
 	resolved bool
 
-	// mw, when non-nil, intercepts resolution (see Middleware): URL opens
-	// route through mw.OpenURL and the default context is wrapped by
-	// mw.WrapContext. Installed by Open(WithCache(...)); nil otherwise.
-	mw Middleware
+	// mws, when non-empty, intercept resolution (see Middleware), stored
+	// outermost first: URL opens route through the composed openFn chain
+	// and the default context is wrapped innermost-out. Installed by
+	// Open(WithMiddleware(...), WithCache(...)); empty otherwise.
+	mws    []Middleware
+	openFn OpenURLFunc // composed chain, nil when mws is empty
 }
 
 // NewInitialContext creates an initial context with the given environment
@@ -45,16 +47,59 @@ func NewInitialContext(env map[string]any) *InitialContext {
 // Environment returns the environment map (shared, not a copy).
 func (ic *InitialContext) Environment() map[string]any { return ic.env }
 
-// installMiddleware wires resolution middleware in; call before first use.
-func (ic *InitialContext) installMiddleware(mw Middleware) { ic.mw = mw }
+// installMiddleware appends a resolution middleware (outermost first) and
+// recomposes the URL-open chain; call before first use.
+func (ic *InitialContext) installMiddleware(mw Middleware) {
+	ic.mws = append(ic.mws, mw)
+	// Compose innermost-out: the base resolver is core.OpenURL; a chained
+	// middleware decorates the layer below it, a plain middleware
+	// terminates the chain with its own OpenURL.
+	fn := OpenURLFunc(OpenURL)
+	for i := len(ic.mws) - 1; i >= 0; i-- {
+		mw := ic.mws[i]
+		if cm, ok := mw.(ChainedMiddleware); ok {
+			next := fn
+			fn = func(ctx context.Context, rawURL string, env map[string]any) (Context, Name, error) {
+				return cm.OpenURLNext(ctx, rawURL, env, next)
+			}
+		} else {
+			fn = mw.OpenURL
+		}
+	}
+	ic.openFn = fn
+}
 
-// openURL dispatches a URL-form name through the middleware, if installed,
-// else through the provider registry directly.
+// openURL dispatches a URL-form name through the middleware chain, if
+// installed, else through the provider registry directly.
 func (ic *InitialContext) openURL(ctx context.Context, rawURL string) (Context, Name, error) {
-	if ic.mw != nil {
-		return ic.mw.OpenURL(ctx, rawURL, ic.env)
+	if ic.openFn != nil {
+		return ic.openFn(ctx, rawURL, ic.env)
 	}
 	return OpenURL(ctx, rawURL, ic.env)
+}
+
+// begin runs every middleware's BeginOp hook (outermost first) and
+// returns the derived context plus a finish that unwinds them innermost
+// first. With no observers it returns ctx and a no-op.
+func (ic *InitialContext) begin(ctx context.Context, op, name string) (context.Context, func(error)) {
+	var finishes []func(error)
+	for _, mw := range ic.mws {
+		if o, ok := mw.(OpObserver); ok {
+			var fin func(error)
+			ctx, fin = o.BeginOp(ctx, op, name)
+			if fin != nil {
+				finishes = append(finishes, fin)
+			}
+		}
+	}
+	if len(finishes) == 0 {
+		return ctx, func(error) {}
+	}
+	return ctx, func(err error) {
+		for i := len(finishes) - 1; i >= 0; i-- {
+			finishes[i](err)
+		}
+	}
 }
 
 func (ic *InitialContext) defaultContext(ctx context.Context) (Context, error) {
@@ -75,8 +120,12 @@ func (ic *InitialContext) defaultContext(ctx context.Context) (Context, error) {
 		return nil, ic.defErr
 	}
 	ic.defCtx, ic.defErr = f(ctx, ic.env)
-	if ic.defErr == nil && ic.mw != nil {
-		ic.defCtx = ic.mw.WrapContext(ic.defCtx)
+	if ic.defErr == nil {
+		// Wrap innermost-out so the outermost middleware observes the
+		// whole stack below it (obs outside cache).
+		for i := len(ic.mws) - 1; i >= 0; i-- {
+			ic.defCtx = ic.mws[i].WrapContext(ic.defCtx)
+		}
 	}
 	return ic.defCtx, ic.defErr
 }
@@ -107,7 +156,7 @@ func (ic *InitialContext) resolve(ctx context.Context, name string) (Context, Na
 // boundary (so the target must be a context): the middleware may then
 // return a rebased view instead of a remote lookup.
 func (ic *InitialContext) objectFromReference(ctx context.Context, ref *Reference, wantCtx bool) (any, error) {
-	if url, ok := ref.Get(AddrURL); ok && ref.Factory == "" && ic.mw != nil {
+	if url, ok := ref.Get(AddrURL); ok && ref.Factory == "" && len(ic.mws) > 0 {
 		c, rest, err := ic.openURL(ctx, url)
 		if err != nil {
 			return nil, err
@@ -218,7 +267,9 @@ func (ic *InitialContext) postProcess(ctx context.Context, obj any, name string,
 
 // Lookup resolves name across the federated name space and returns the
 // bound object, running object factories and following links.
-func (ic *InitialContext) Lookup(ctx context.Context, name string) (any, error) {
+func (ic *InitialContext) Lookup(ctx context.Context, name string) (out any, err error) {
+	ctx, finish := ic.begin(ctx, "lookup", name)
+	defer func() { finish(err) }()
 	return ic.lookupDepth(ctx, name, 0)
 }
 
@@ -243,7 +294,9 @@ func (ic *InitialContext) lookupDepth(ctx context.Context, name string, depth in
 }
 
 // LookupLink is Lookup without following a terminal link.
-func (ic *InitialContext) LookupLink(ctx context.Context, name string) (any, error) {
+func (ic *InitialContext) LookupLink(ctx context.Context, name string) (_ any, rerr error) {
+	ctx, finish := ic.begin(ctx, "lookupLink", name)
+	defer func() { finish(rerr) }()
 	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("lookupLink", name, err)
@@ -286,7 +339,9 @@ func (ic *InitialContext) RebindAttrs(ctx context.Context, name string, obj any,
 	return ic.bindOp(ctx, "rebind", name, obj, attrs, true)
 }
 
-func (ic *InitialContext) bindOp(ctx context.Context, op, name string, obj any, attrs *Attributes, overwrite bool) error {
+func (ic *InitialContext) bindOp(ctx context.Context, op, name string, obj any, attrs *Attributes, overwrite bool) (rerr error) {
+	ctx, finish := ic.begin(ctx, op, name)
+	defer func() { finish(rerr) }()
 	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return Errf(op, name, err)
@@ -323,7 +378,9 @@ func (ic *InitialContext) bindOp(ctx context.Context, op, name string, obj any, 
 }
 
 // Unbind removes a binding.
-func (ic *InitialContext) Unbind(ctx context.Context, name string) error {
+func (ic *InitialContext) Unbind(ctx context.Context, name string) (rerr error) {
+	ctx, finish := ic.begin(ctx, "unbind", name)
+	defer func() { finish(rerr) }()
 	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return Errf("unbind", name, err)
@@ -334,7 +391,9 @@ func (ic *InitialContext) Unbind(ctx context.Context, name string) error {
 }
 
 // Rename moves a binding; both names must resolve within one naming system.
-func (ic *InitialContext) Rename(ctx context.Context, oldName, newName string) error {
+func (ic *InitialContext) Rename(ctx context.Context, oldName, newName string) (rerr error) {
+	ctx, finish := ic.begin(ctx, "rename", oldName)
+	defer func() { finish(rerr) }()
 	c, rest, err := ic.resolve(ctx, oldName)
 	if err != nil {
 		return Errf("rename", oldName, err)
@@ -367,7 +426,9 @@ func (ic *InitialContext) Rename(ctx context.Context, oldName, newName string) e
 }
 
 // List enumerates names and classes in the named context.
-func (ic *InitialContext) List(ctx context.Context, name string) ([]NameClassPair, error) {
+func (ic *InitialContext) List(ctx context.Context, name string) (_ []NameClassPair, rerr error) {
+	ctx, finish := ic.begin(ctx, "list", name)
+	defer func() { finish(rerr) }()
 	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("list", name, err)
@@ -382,7 +443,9 @@ func (ic *InitialContext) List(ctx context.Context, name string) ([]NameClassPai
 }
 
 // ListBindings enumerates names, classes and objects.
-func (ic *InitialContext) ListBindings(ctx context.Context, name string) ([]Binding, error) {
+func (ic *InitialContext) ListBindings(ctx context.Context, name string) (_ []Binding, rerr error) {
+	ctx, finish := ic.begin(ctx, "listBindings", name)
+	defer func() { finish(rerr) }()
 	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("listBindings", name, err)
@@ -397,7 +460,9 @@ func (ic *InitialContext) ListBindings(ctx context.Context, name string) ([]Bind
 }
 
 // CreateSubcontext creates a subcontext.
-func (ic *InitialContext) CreateSubcontext(ctx context.Context, name string) (Context, error) {
+func (ic *InitialContext) CreateSubcontext(ctx context.Context, name string) (_ Context, rerr error) {
+	ctx, finish := ic.begin(ctx, "createSubcontext", name)
+	defer func() { finish(rerr) }()
 	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("createSubcontext", name, err)
@@ -412,7 +477,9 @@ func (ic *InitialContext) CreateSubcontext(ctx context.Context, name string) (Co
 }
 
 // DestroySubcontext removes an empty subcontext.
-func (ic *InitialContext) DestroySubcontext(ctx context.Context, name string) error {
+func (ic *InitialContext) DestroySubcontext(ctx context.Context, name string) (rerr error) {
+	ctx, finish := ic.begin(ctx, "destroySubcontext", name)
+	defer func() { finish(rerr) }()
 	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return Errf("destroySubcontext", name, err)
@@ -423,7 +490,9 @@ func (ic *InitialContext) DestroySubcontext(ctx context.Context, name string) er
 }
 
 // GetAttributes returns a name's attributes (directory providers only).
-func (ic *InitialContext) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*Attributes, error) {
+func (ic *InitialContext) GetAttributes(ctx context.Context, name string, attrIDs ...string) (_ *Attributes, rerr error) {
+	ctx, finish := ic.begin(ctx, "getAttributes", name)
+	defer func() { finish(rerr) }()
 	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("getAttributes", name, err)
@@ -442,7 +511,9 @@ func (ic *InitialContext) GetAttributes(ctx context.Context, name string, attrID
 }
 
 // ModifyAttributes applies attribute modifications.
-func (ic *InitialContext) ModifyAttributes(ctx context.Context, name string, mods []AttributeMod) error {
+func (ic *InitialContext) ModifyAttributes(ctx context.Context, name string, mods []AttributeMod) (rerr error) {
+	ctx, finish := ic.begin(ctx, "modifyAttributes", name)
+	defer func() { finish(rerr) }()
 	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return Errf("modifyAttributes", name, err)
@@ -457,7 +528,9 @@ func (ic *InitialContext) ModifyAttributes(ctx context.Context, name string, mod
 }
 
 // Search runs a filter search under the named context.
-func (ic *InitialContext) Search(ctx context.Context, name, filterStr string, controls *SearchControls) ([]SearchResult, error) {
+func (ic *InitialContext) Search(ctx context.Context, name, filterStr string, controls *SearchControls) (_ []SearchResult, rerr error) {
+	ctx, finish := ic.begin(ctx, "search", name)
+	defer func() { finish(rerr) }()
 	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("search", name, err)
@@ -477,6 +550,8 @@ func (ic *InitialContext) Search(ctx context.Context, name, filterStr string, co
 
 // Watch registers a listener on a watchable provider.
 func (ic *InitialContext) Watch(ctx context.Context, name string, scope SearchScope, l Listener) (cancel func(), err error) {
+	ctx, finish := ic.begin(ctx, "watch", name)
+	defer func() { finish(err) }()
 	c, rest, err := ic.resolve(ctx, name)
 	if err != nil {
 		return nil, Errf("watch", name, err)
@@ -503,8 +578,8 @@ func (ic *InitialContext) Close() error {
 	if defCtx != nil {
 		err = defCtx.Close()
 	}
-	if ic.mw != nil {
-		if merr := ic.mw.Close(); err == nil {
+	for _, mw := range ic.mws {
+		if merr := mw.Close(); err == nil {
 			err = merr
 		}
 	}

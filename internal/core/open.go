@@ -29,7 +29,10 @@ type CacheConfig struct {
 }
 
 // Middleware intercepts InitialContext resolution. The cache package
-// implements it; other cross-cutting layers (metrics, tracing) could too.
+// implements it; the obs package layers metrics and federation tracing
+// the same way. Multiple middlewares stack: each WrapContext wraps the
+// previous wrapper, and URL resolution flows outermost-in (see
+// ChainedMiddleware).
 type Middleware interface {
 	// WrapContext wraps the default (non-URL-name) context.
 	WrapContext(c Context) Context
@@ -39,6 +42,29 @@ type Middleware interface {
 	// Close releases everything the middleware holds (cached connections,
 	// watch registrations, background goroutines).
 	Close() error
+}
+
+// OpenURLFunc is the URL-resolution continuation handed to chained
+// middleware: the next layer down, ending at core.OpenURL.
+type OpenURLFunc func(ctx context.Context, rawURL string, env map[string]any) (Context, Name, error)
+
+// ChainedMiddleware is an optional Middleware extension for layers that
+// decorate resolution rather than replace it (observability around the
+// cache). When a middleware implements it, the chain calls OpenURLNext
+// with the next layer's resolver; plain Middleware terminates the chain
+// via its own OpenURL.
+type ChainedMiddleware interface {
+	Middleware
+	OpenURLNext(ctx context.Context, rawURL string, env map[string]any, next OpenURLFunc) (Context, Name, error)
+}
+
+// OpObserver is an optional Middleware extension that brackets every
+// InitialContext operation: BeginOp runs before resolution starts and may
+// derive the context (e.g. to carry a trace); the returned finish runs
+// once with the operation's terminal error. Middleware whose BeginOp
+// needs no per-op state returns ctx unchanged and a no-op finish.
+type OpObserver interface {
+	BeginOp(ctx context.Context, op, name string) (context.Context, func(err error))
 }
 
 // ContextViewer is implemented by middleware-provided contexts that can
@@ -76,6 +102,7 @@ func lookupCacheFactory() (CacheFactory, bool) {
 type openOptions struct {
 	env   map[string]any
 	cache *CacheConfig
+	mws   []Middleware
 }
 
 // Option configures Open.
@@ -115,6 +142,14 @@ func WithEnv(key string, value any) Option {
 	return func(o *openOptions) { o.env[key] = value }
 }
 
+// WithMiddleware stacks a resolution middleware outside any configured
+// cache (the first WithMiddleware is outermost). The obs package's
+// NewMiddleware is the canonical use: metrics and federation tracing
+// wrap the cache, so a cache hit is still observed.
+func WithMiddleware(mw Middleware) Option {
+	return func(o *openOptions) { o.mws = append(o.mws, mw) }
+}
+
 // WithCache enables the read-through federation cache with the given
 // configuration (zero value = defaults). It requires the cache middleware
 // to be registered — import internal/cache and call cache.Register()
@@ -136,6 +171,9 @@ func Open(ctx context.Context, opts ...Option) (*InitialContext, error) {
 		opt(o)
 	}
 	ic := NewInitialContext(o.env)
+	for _, mw := range o.mws {
+		ic.installMiddleware(mw)
+	}
 	if o.cache != nil {
 		f, ok := lookupCacheFactory()
 		if !ok {

@@ -290,7 +290,7 @@ func TestBindWithStateFactoryAttrs(t *testing.T) {
 // Guard: a nil middleware never intercepts (plain NewInitialContext path).
 func TestNoMiddlewareByDefault(t *testing.T) {
 	ic := NewInitialContext(nil)
-	if ic.mw != nil {
+	if len(ic.mws) != 0 || ic.openFn != nil {
 		t.Fatal("NewInitialContext must not install middleware")
 	}
 	if _, err := ic.Lookup(context.Background(), "nope/x"); !errors.Is(err, ErrNoInitialContext) {

@@ -10,6 +10,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"gondi/internal/obs"
 )
 
 // Resolver queries one DNS server over UDP, falling back to TCP on
@@ -87,7 +89,21 @@ func (r *Resolver) attemptTimeout(ctx context.Context) time.Duration {
 // Exchange sends a query message and returns the validated response. ctx
 // bounds the whole exchange including retries; its deadline is applied to
 // each socket.
-func (r *Resolver) Exchange(ctx context.Context, req *Message) (*Message, error) {
+func (r *Resolver) Exchange(ctx context.Context, req *Message) (_ *Message, rerr error) {
+	if obs.On() {
+		start := time.Now()
+		obs.AddWireRT(ctx)
+		defer func() {
+			obs.Default.Counter("gondi_dns_exchanges_total",
+				"DNS query exchanges issued.").Inc()
+			obs.Default.Histogram("gondi_dns_exchange_seconds",
+				"DNS exchange latency (UDP retries and TCP fallback included).").Since(start)
+			if rerr != nil {
+				obs.Default.Counter("gondi_dns_exchange_errors_total",
+					"DNS exchanges that failed.").Inc()
+			}
+		}()
+	}
 	retries := r.Retries
 	if retries <= 0 {
 		retries = 2
@@ -113,6 +129,12 @@ func (r *Resolver) Exchange(ctx context.Context, req *Message) (*Message, error)
 			return r.exchangeTCP(ctx, pkt, req.Header.ID)
 		}
 		return resp, nil
+	}
+	// The last attempt's socket timeout is clamped to ctx's remaining
+	// budget, so it can fire a hair before ctx's own timer; report the
+	// deadline, not the raw I/O timeout, once the budget is spent.
+	if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+		return nil, fmt.Errorf("dnssrv: no response from %s: %w", r.Server, context.DeadlineExceeded)
 	}
 	return nil, fmt.Errorf("dnssrv: no response from %s: %w", r.Server, lastErr)
 }

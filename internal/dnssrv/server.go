@@ -6,8 +6,10 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"gondi/internal/costmodel"
+	"gondi/internal/obs"
 )
 
 // maxUDPResponse is the classic RFC 1035 UDP payload limit; larger
@@ -179,6 +181,17 @@ func (s *Server) truncate(reqPkt []byte) []byte {
 // handle processes one wire-format query and returns the wire-format
 // response (nil to drop).
 func (s *Server) handle(pkt []byte) []byte {
+	if obs.On() {
+		start := time.Now()
+		defer func() {
+			obs.Default.Counter("gondi_server_requests_total",
+				"Server-side requests handled, by protocol.",
+				obs.Label{K: "proto", V: "dns"}).Inc()
+			obs.Default.Histogram("gondi_server_request_seconds",
+				"Server-side request handling latency, by protocol.",
+				obs.Label{K: "proto", V: "dns"}).Since(start)
+		}()
+	}
 	s.costs.ReadCost(len(pkt))
 	req, err := DecodeMessage(pkt)
 	if err != nil || req.Header.QR || len(req.Questions) == 0 {

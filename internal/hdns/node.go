@@ -15,6 +15,7 @@ import (
 	"gondi/internal/filter"
 	"gondi/internal/h2o"
 	"gondi/internal/jgroups"
+	"gondi/internal/obs"
 	"gondi/internal/rpc"
 )
 
@@ -379,12 +380,21 @@ var errDenied = errors.New("hdns: authentication required")
 
 func (n *Node) registerHandlers() {
 	h := func(name string, fn func(sc *rpc.ServerConn, req *Req) (*Rsp, error)) {
+		reqs := obs.Default.Counter("gondi_server_requests_total",
+			"Server-side requests handled, by protocol.",
+			obs.Label{K: "proto", V: "hdns"}, obs.Label{K: "method", V: name})
+		lat := obs.Default.Histogram("gondi_server_request_seconds",
+			"Server-side request handling latency, by protocol.",
+			obs.Label{K: "proto", V: "hdns"}, obs.Label{K: "method", V: name})
 		n.srv.Handle(name, func(sc *rpc.ServerConn, body []byte) ([]byte, error) {
+			start := time.Now()
 			req, err := decodeReq(body)
 			if err != nil {
 				return nil, err
 			}
 			rsp, err := fn(sc, req)
+			reqs.Inc()
+			lat.Since(start)
 			if err != nil {
 				return nil, err
 			}

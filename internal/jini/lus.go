@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gondi/internal/costmodel"
+	"gondi/internal/obs"
 	"gondi/internal/rpc"
 )
 
@@ -290,12 +291,21 @@ type wireRsp struct {
 
 func (l *LUS) registerHandlers() {
 	h := func(name string, fn func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error)) {
+		reqs := obs.Default.Counter("gondi_server_requests_total",
+			"Server-side requests handled, by protocol.",
+			obs.Label{K: "proto", V: "jini"}, obs.Label{K: "method", V: name})
+		lat := obs.Default.Histogram("gondi_server_request_seconds",
+			"Server-side request handling latency, by protocol.",
+			obs.Label{K: "proto", V: "jini"}, obs.Label{K: "method", V: name})
 		l.srv.Handle(name, func(sc *rpc.ServerConn, body []byte) ([]byte, error) {
+			start := time.Now()
 			var req wireReq
 			if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
 				return nil, err
 			}
 			rsp, err := fn(sc, &req)
+			reqs.Inc()
+			lat.Since(start)
 			if err != nil {
 				return nil, err
 			}

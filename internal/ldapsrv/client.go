@@ -2,13 +2,16 @@ package ldapsrv
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
 	"gondi/internal/filter"
 	"gondi/internal/ldapsrv/ber"
+	"gondi/internal/obs"
 	"gondi/internal/retry"
 )
 
@@ -69,7 +72,21 @@ func (c *Conn) Close() error {
 // tag; the caller receives all response ops in order. ctx's deadline is
 // applied to the socket for the whole exchange, so a stalled server
 // cannot wedge the caller past its budget.
-func (c *Conn) roundTrip(ctx context.Context, op *ber.Packet, terminator byte) ([]*ber.Packet, error) {
+func (c *Conn) roundTrip(ctx context.Context, op *ber.Packet, terminator byte) (_ []*ber.Packet, rerr error) {
+	if obs.On() {
+		start := time.Now()
+		obs.AddWireRT(ctx)
+		defer func() {
+			obs.Default.Counter("gondi_ldap_roundtrips_total",
+				"LDAP protocol round-trips issued.").Inc()
+			obs.Default.Histogram("gondi_ldap_roundtrip_seconds",
+				"LDAP round-trip latency.").Since(start)
+			if rerr != nil {
+				obs.Default.Counter("gondi_ldap_roundtrip_errors_total",
+					"LDAP round-trips that failed.").Inc()
+			}
+		}()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
@@ -108,10 +125,16 @@ func (c *Conn) roundTrip(ctx context.Context, op *ber.Packet, terminator byte) (
 
 // wrapCtx substitutes ctx.Err() for an I/O error caused by the ctx
 // deadline expiring (the socket reports a timeout, the caller wants the
-// context error).
+// context error). The socket deadline mirrors ctx's exactly, so the net
+// poller can observe the expiry a hair before ctx's own timer fires; a
+// timeout error with a ctx deadline set is therefore always the
+// deadline, even while ctx.Err() still reads nil.
 func wrapCtx(ctx context.Context, err error) error {
 	if cerr := ctx.Err(); cerr != nil {
 		return cerr
+	}
+	if _, hasDL := ctx.Deadline(); hasDL && errors.Is(err, os.ErrDeadlineExceeded) {
+		return context.DeadlineExceeded
 	}
 	return err
 }

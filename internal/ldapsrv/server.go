@@ -9,6 +9,7 @@ import (
 
 	"gondi/internal/costmodel"
 	"gondi/internal/ldapsrv/ber"
+	"gondi/internal/obs"
 )
 
 // maxBERMessage bounds one LDAP PDU.
@@ -187,6 +188,17 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // dispatch handles one protocol op, returning the response op(s).
 func (s *Server) dispatch(sess *session, op *ber.Packet) []*ber.Packet {
+	if obs.On() {
+		start := time.Now()
+		defer func() {
+			obs.Default.Counter("gondi_server_requests_total",
+				"Server-side requests handled, by protocol.",
+				obs.Label{K: "proto", V: "ldap"}).Inc()
+			obs.Default.Histogram("gondi_server_request_seconds",
+				"Server-side request handling latency, by protocol.",
+				obs.Label{K: "proto", V: "ldap"}).Since(start)
+		}()
+	}
 	switch op.TagNumber() {
 	case AppBindRequest:
 		return []*ber.Packet{s.handleBind(sess, op)}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket bounds: exponential, base 1µs doubling up to ~8.6s,
+// plus +Inf. Doubling buckets keep quantile estimates within a factor of
+// two everywhere, which is enough to tell a 100µs in-memory op from a
+// 10ms wire op from a 2s overload stall.
+var bucketBounds = func() []time.Duration {
+	out := make([]time.Duration, 0, 24)
+	for b := time.Microsecond; b <= 10*time.Second; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}()
+
+// Histogram is a fixed-bucket latency histogram. Observations are atomic
+// adds; readers see a consistent-enough view for monitoring (buckets are
+// read individually, not under a lock — the usual Prometheus contract).
+type Histogram struct {
+	counts []atomic.Int64 // one per bound, cumulative semantics applied at render
+	inf    atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	count  atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, len(bucketBounds))}
+}
+
+// Observe records one latency (recording gate applies).
+func (h *Histogram) Observe(d time.Duration) {
+	if !enabled.Load() {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+	// Find the first bound >= d. The bounds double, so a branchless log2
+	// would work, but a short loop over 24 entries is just as fast in
+	// practice and far clearer.
+	for i, b := range bucketBounds {
+		if d <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.inf.Add(1)
+}
+
+// Since is Observe(time.Since(start)) — the idiomatic deferred form.
+func (h *Histogram) Since(start time.Time) { h.Observe(time.Since(start)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile estimates the p-quantile (0 < p < 1) from the bucket counts.
+// The estimate interpolates linearly within the winning bucket, and is
+// exact at bucket boundaries. Returns 0 when empty.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if cum+c >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketBounds[i-1]
+			}
+			hi := bucketBounds[i]
+			if c == 0 {
+				return hi
+			}
+			frac := float64(rank-cum) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	// Rank landed in +Inf: report the largest finite bound.
+	return bucketBounds[len(bucketBounds)-1]
+}
+
+// HistSummary is a point-in-time quantile summary.
+type HistSummary struct {
+	Count int64         `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// Summary computes the count/mean/p50/p95/p99 view the benchmark report
+// and /debug/vars publish.
+func (h *Histogram) Summary() HistSummary {
+	s := HistSummary{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.Mean = s.Sum / time.Duration(s.Count)
+	}
+	return s
+}
+
+func (h *Histogram) write(w io.Writer, fq string) {
+	// fq arrives as name{labels} or bare name; bucket lines need the le
+	// label merged into the existing set.
+	name, labels := fq, ""
+	if i := strings.IndexByte(fq, '{'); i >= 0 {
+		name, labels = fq[:i], fq[i+1:len(fq)-1]
+	}
+	line := func(suffix, le string, v int64) {
+		switch {
+		case le == "" && labels == "":
+			fmt.Fprintf(w, "%s%s %d\n", name, suffix, v)
+		case le == "":
+			fmt.Fprintf(w, "%s%s{%s} %d\n", name, suffix, labels, v)
+		case labels == "":
+			fmt.Fprintf(w, "%s%s{le=%q} %d\n", name, suffix, le, v)
+		default:
+			fmt.Fprintf(w, "%s%s{%s,le=%q} %d\n", name, suffix, labels, le, v)
+		}
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		line("_bucket", formatSeconds(bucketBounds[i]), cum)
+	}
+	cum += h.inf.Load()
+	line("_bucket", "+Inf", cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, time.Duration(h.sum.Load()).Seconds())
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, time.Duration(h.sum.Load()).Seconds())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
+	}
+}
+
+func (h *Histogram) varValue() any {
+	s := h.Summary()
+	return map[string]any{
+		"count":   s.Count,
+		"sum_ms":  float64(s.Sum) / float64(time.Millisecond),
+		"mean_ms": float64(s.Mean) / float64(time.Millisecond),
+		"p50_ms":  float64(s.P50) / float64(time.Millisecond),
+		"p95_ms":  float64(s.P95) / float64(time.Millisecond),
+		"p99_ms":  float64(s.P99) / float64(time.Millisecond),
+	}
+}
+
+func formatSeconds(d time.Duration) string {
+	return fmt.Sprintf("%g", d.Seconds())
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "help", Label{"op", "lookup"}).Add(2)
+	r.Histogram("h_seconds", "").Observe(time.Millisecond)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content-type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{`h_total{op="lookup"} 2`, "h_seconds_bucket", "# TYPE h_seconds histogram"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerDebugVars(t *testing.T) {
+	ResetTraces()
+	_, finish := StartTrace(context.Background(), "lookup", "dns://a/x")
+	finish(nil)
+	r := NewRegistry()
+	r.Counter("dv_total", "").Add(5)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	metrics, ok := doc["metrics"].(map[string]any)
+	if !ok || metrics["dv_total"] != float64(5) {
+		t.Errorf("metrics = %v", doc["metrics"])
+	}
+	traces, ok := doc["traces"].([]any)
+	if !ok || len(traces) == 0 {
+		t.Errorf("traces = %v", doc["traces"])
+	}
+	rt, ok := doc["runtime"].(map[string]any)
+	if !ok || rt["goroutines"] == nil {
+		t.Errorf("runtime = %v", doc["runtime"])
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	// Empty addr: observability off, no server, no error.
+	if s, err := Serve(""); s != nil || err != nil {
+		t.Fatalf("Serve(\"\") = %v, %v", s, err)
+	}
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() == "" {
+		t.Error("Addr empty")
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close = %v", err)
+	}
+	// A second server cannot bind the same port... but more importantly the
+	// closed one stops answering.
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Error("server still answering after Close")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := ServeRegistry("256.256.256.256:99999", NewRegistry()); err == nil {
+		t.Fatal("expected a listen error")
+	}
+}

@@ -1,0 +1,273 @@
+// Package obs is the stack-wide observability layer: cheap atomic metrics
+// (counters, gauges, latency histograms) registered per subsystem,
+// federation tracing (one span per resolution hop, threaded through
+// context.Context), and the HTTP serving hooks every daemon exposes via
+// -obs.addr (/metrics in Prometheus text format, /debug/vars, and
+// net/http/pprof).
+//
+// The package is stdlib-only and always-on by default; a process-global
+// kill switch (SetEnabled) turns every record path into a no-op so the
+// benchmark harness can measure instrumentation overhead directly. All
+// record paths are safe for concurrent use and allocate nothing on the
+// hot path beyond the first registration of a metric.
+//
+// Layering: obs imports only internal/core (for the Middleware and
+// DirContext instrumentation decorators); everything else — wire clients,
+// servers, cache, retry, providers, daemons — imports obs. core itself
+// never imports obs.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the process-global record gate. Default on.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled flips the global record gate. Disabling makes every counter
+// add, histogram observation and trace annotation a no-op (metric values
+// freeze); serving endpoints keep working. The benchmark harness uses it
+// to quantify instrumentation overhead.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// On reports whether recording is enabled.
+func On() bool { return enabled.Load() }
+
+// Label is one constant metric dimension (rendered {k="v"} in the
+// Prometheus exposition).
+type Label struct {
+	K, V string
+}
+
+// metric is the common behaviour the registry needs from every kind.
+type metric interface {
+	write(w io.Writer, fq string)
+	varValue() any
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (recording gate applies).
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer, fq string) {
+	fmt.Fprintf(w, "%s %d\n", fq, c.v.Load())
+}
+
+func (c *Counter) varValue() any { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v unconditionally (gauges track state, not events, so the
+// recording gate does not apply: a frozen gauge would lie about state).
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) write(w io.Writer, fq string) {
+	fmt.Fprintf(w, "%s %d\n", fq, g.v.Load())
+}
+
+func (g *Gauge) varValue() any { return g.v.Load() }
+
+// entry is one registered metric plus its exposition metadata.
+type entry struct {
+	name   string // metric family name, e.g. "gondi_provider_ops_total"
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	labels string // rendered {k="v",...} or ""
+	m      metric
+}
+
+// Registry holds named metrics. Registration is get-or-create: asking for
+// the same (name, labels) twice returns the same metric, so subsystems can
+// register at use sites without coordination.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry // keyed by name + rendered labels
+	order   []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// Default is the process-global registry every subsystem records into and
+// every daemon serves from.
+var Default = NewRegistry()
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].K < ls[j].K })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.K)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.V))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// get returns the metric registered under (name, labels), creating it via
+// mk when absent. It panics if the name is already registered with a
+// different kind — that is a programming error, not a runtime condition.
+func (r *Registry) get(name, help, typ string, labels []Label, mk func() metric) metric {
+	ls := renderLabels(labels)
+	key := name + ls
+	r.mu.RLock()
+	e, ok := r.entries[key]
+	r.mu.RUnlock()
+	if ok {
+		if e.typ != typ {
+			panic(fmt.Sprintf("obs: %s registered as %s, requested as %s", name, e.typ, typ))
+		}
+		return e.m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.typ != typ {
+			panic(fmt.Sprintf("obs: %s registered as %s, requested as %s", name, e.typ, typ))
+		}
+		return e.m
+	}
+	e = &entry{name: name, help: help, typ: typ, labels: ls, m: mk()}
+	r.entries[key] = e
+	r.order = append(r.order, key)
+	return e.m
+}
+
+// Counter returns the counter registered under (name, labels), creating
+// it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.get(name, help, "counter", labels, func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge registered under (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.get(name, help, "gauge", labels, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the latency histogram registered under (name, labels).
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.get(name, help, "histogram", labels, func() metric { return newHistogram() }).(*Histogram)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), grouped by family with HELP/TYPE
+// headers emitted once per family.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	keys := make([]string, len(r.order))
+	copy(keys, r.order)
+	entries := make([]*entry, 0, len(keys))
+	for _, k := range keys {
+		entries = append(entries, r.entries[k])
+	}
+	r.mu.RUnlock()
+	// Families must be contiguous in the exposition; sort by name, then
+	// labels, keeping registration order only as a tiebreaker.
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return entries[i].labels < entries[j].labels
+	})
+	lastFamily := ""
+	for _, e := range entries {
+		if e.name != lastFamily {
+			if e.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.typ)
+			lastFamily = e.name
+		}
+		e.m.write(w, e.name+e.labels)
+	}
+}
+
+// Vars returns every metric as a flat map (name+labels -> value) for the
+// /debug/vars JSON document. Histograms render as summary objects.
+func (r *Registry) Vars() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.entries))
+	for k, e := range r.entries {
+		out[k] = e.m.varValue()
+	}
+	return out
+}
+
+// Snapshot captures every counter value, keyed by name+labels. The
+// benchmark harness diffs two snapshots to report per-window op counts.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := map[string]int64{}
+	for k, e := range r.entries {
+		switch m := e.m.(type) {
+		case *Counter:
+			out[k] = m.Value()
+		case *Gauge:
+			out[k] = m.Value()
+		}
+	}
+	return out
+}
+
+// Histograms returns the registered histograms keyed by name+labels.
+func (r *Registry) Histograms() map[string]*Histogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := map[string]*Histogram{}
+	for k, e := range r.entries {
+		if h, ok := e.m.(*Histogram); ok {
+			out[k] = h
+		}
+	}
+	return out
+}

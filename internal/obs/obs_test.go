@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_open", "open things")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestGetOrCreateIsStable(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", Label{"op", "lookup"}, Label{"system", "mem"})
+	// Same labels in a different order must hit the same metric.
+	b := r.Counter("x_total", "x", Label{"system", "mem"}, Label{"op", "lookup"})
+	if a != b {
+		t.Fatal("label order changed metric identity")
+	}
+	other := r.Counter("x_total", "x", Label{"op", "bind"}, Label{"system", "mem"})
+	if a == other {
+		t.Fatal("different labels returned the same metric")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("dual_total", "")
+}
+
+func TestEnabledGate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gated_total", "")
+	h := r.Histogram("gated_seconds", "")
+	g := r.Gauge("gated_open", "")
+	SetEnabled(false)
+	defer SetEnabled(true)
+	if On() {
+		t.Fatal("On() after SetEnabled(false)")
+	}
+	c.Inc()
+	h.Observe(time.Millisecond)
+	g.Set(3) // gauges track state: the gate must NOT apply
+	if c.Value() != 0 {
+		t.Error("counter recorded while disabled")
+	}
+	if h.Count() != 0 {
+		t.Error("histogram recorded while disabled")
+	}
+	if g.Value() != 3 {
+		t.Error("gauge must keep working while disabled")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b help", Label{"op", "lookup"}).Add(2)
+	r.Counter("b_total", "b help", Label{"op", "bind"}).Add(1)
+	r.Gauge("a_open", "a help").Set(9)
+	h := r.Histogram("c_seconds", "c help", Label{"op", "lookup"})
+	h.Observe(3 * time.Microsecond) // lands in the 4µs bucket
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP a_open a help\n# TYPE a_open gauge\na_open 9\n",
+		"# TYPE b_total counter\n",
+		`b_total{op="bind"} 1`,
+		`b_total{op="lookup"} 2`,
+		"# TYPE c_seconds histogram\n",
+		`c_seconds_bucket{op="lookup",le="4e-06"} 1`,
+		`c_seconds_bucket{op="lookup",le="+Inf"} 1`,
+		`c_seconds_count{op="lookup"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// HELP/TYPE must appear once per family even with several label sets.
+	if strings.Count(out, "# TYPE b_total") != 1 {
+		t.Errorf("TYPE header repeated:\n%s", out)
+	}
+	// Families must be contiguous: a < b < c.
+	if !(strings.Index(out, "a_open") < strings.Index(out, "b_total") &&
+		strings.Index(out, "b_total") < strings.Index(out, "c_seconds")) {
+		t.Errorf("families out of order:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Label{"v", `a"b\c` + "\n"}).Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `esc_total{v="a\"b\\c\n"} 1`) {
+		t.Errorf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestVarsAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("v_total", "").Add(3)
+	r.Gauge("v_open", "").Set(2)
+	r.Histogram("v_seconds", "").Observe(time.Millisecond)
+	vars := r.Vars()
+	if vars["v_total"] != int64(3) {
+		t.Errorf("vars[v_total] = %v", vars["v_total"])
+	}
+	hv, ok := vars["v_seconds"].(map[string]any)
+	if !ok || hv["count"] != int64(1) {
+		t.Errorf("vars[v_seconds] = %v", vars["v_seconds"])
+	}
+	snap := r.Snapshot()
+	if snap["v_total"] != 3 || snap["v_open"] != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if _, ok := snap["v_seconds"]; ok {
+		t.Error("snapshot must contain only counters and gauges")
+	}
+	if hs := r.Histograms(); hs["v_seconds"] == nil {
+		t.Error("Histograms() missing v_seconds")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	// 100 observations at ~1ms: p50 and p99 must land within the
+	// enclosing doubling bucket (512µs, 1024µs].
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		q := h.Quantile(p)
+		if q < 512*time.Microsecond || q > 1024*time.Microsecond {
+			t.Errorf("q%g = %v, want within (512µs, 1024µs]", p, q)
+		}
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("count = %d", got)
+	}
+	if got := h.Sum(); got != 100*time.Millisecond {
+		t.Errorf("sum = %v", got)
+	}
+	s := h.Summary()
+	if s.Mean != time.Millisecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// An observation beyond the largest bound lands in +Inf and the
+	// quantile clamps to the largest finite bound.
+	h2 := newHistogram()
+	h2.Observe(time.Minute)
+	if q := h2.Quantile(0.99); q != bucketBounds[len(bucketBounds)-1] {
+		t.Errorf("inf quantile = %v", q)
+	}
+	// Negative durations clamp to zero rather than corrupting the sum.
+	h3 := newHistogram()
+	h3.Observe(-time.Second)
+	if h3.Sum() != 0 || h3.Count() != 1 {
+		t.Errorf("negative observation: sum=%v count=%d", h3.Sum(), h3.Count())
+	}
+}
+
+func TestConcurrentRegistrationAndRecording(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("conc_total", "", Label{"op", "x"}).Inc()
+				r.Histogram("conc_seconds", "").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "", Label{"op", "x"}).Value(); got != 1600 {
+		t.Errorf("count = %d, want 1600", got)
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceTwoHops(t *testing.T) {
+	ResetTraces()
+	ctx, finish := StartTrace(context.Background(), "lookup", "dns://a/x")
+	if TraceFrom(ctx) == nil {
+		t.Fatal("trace not carried by ctx")
+	}
+	StartHop(ctx, "dns", "127.0.0.1:53", "dns")
+	HopOp(ctx)
+	AddWireRT(ctx)
+	CacheEvent(ctx, "miss")
+	StartHop(ctx, "hdns", "127.0.0.1:7001", "hdns")
+	HopOp(ctx)
+	AddWireRT(ctx)
+	AddWireRT(ctx)
+	AddRetry(ctx, 1, 10*time.Millisecond)
+	tr := finish(nil)
+	if tr == nil {
+		t.Fatal("finish returned nil")
+	}
+	if len(tr.Hops) != 2 {
+		t.Fatalf("hops = %d, want 2", len(tr.Hops))
+	}
+	h0, h1 := tr.Hops[0], tr.Hops[1]
+	if h0.Scheme != "dns" || h0.Ops != 1 || h0.WireRTs != 1 || h0.Cache != "miss" {
+		t.Errorf("hop0 = %+v", h0)
+	}
+	if h1.Scheme != "hdns" || h1.WireRTs != 2 || h1.Retries != 1 || h1.BackoffNs != 10*time.Millisecond {
+		t.Errorf("hop1 = %+v", h1)
+	}
+	// The first hop closed when the second started; both have durations
+	// once the trace finished.
+	if h0.Duration == 0 || h1.Duration == 0 {
+		t.Errorf("hop durations: %v, %v", h0.Duration, h1.Duration)
+	}
+
+	recent := RecentTraces(1)
+	if len(recent) != 1 || len(recent[0].Hops) != 2 {
+		t.Fatalf("recent = %+v", recent)
+	}
+	line := recent[0].String()
+	for _, want := range []string{"lookup", "dns://127.0.0.1:53", "-> hdns://127.0.0.1:7001", "cache=miss", "rt=2"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("trace line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestTraceErrAndSyntheticLocalHop(t *testing.T) {
+	ResetTraces()
+	ctx, finish := StartTrace(context.Background(), "bind", "plain/name")
+	// Annotations before any provider hop create a synthetic local hop.
+	HopOp(ctx)
+	HopErr(ctx, errors.New("boom"))
+	tr := finish(errors.New("boom"))
+	if tr.Err != "boom" {
+		t.Errorf("trace err = %q", tr.Err)
+	}
+	if len(tr.Hops) != 1 || tr.Hops[0].Scheme != "local" || tr.Hops[0].Err != "boom" {
+		t.Fatalf("hops = %+v", tr.Hops)
+	}
+	if s := RecentTraces(1)[0].String(); !strings.Contains(s, `err="boom"`) {
+		t.Errorf("line = %s", s)
+	}
+}
+
+func TestTraceHelpersNoopWithoutTrace(t *testing.T) {
+	ctx := context.Background()
+	// Must not panic and must not create state.
+	StartHop(ctx, "dns", "a", "dns")
+	HopOp(ctx)
+	HopErr(ctx, errors.New("x"))
+	CacheEvent(ctx, "hit")
+	AddRetry(ctx, 1, time.Millisecond)
+	AddWireRT(ctx)
+	if TraceFrom(ctx) != nil {
+		t.Fatal("no trace expected")
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	SetEnabled(false)
+	defer SetEnabled(true)
+	ctx, finish := StartTrace(context.Background(), "lookup", "x")
+	if TraceFrom(ctx) != nil {
+		t.Fatal("trace started while disabled")
+	}
+	if tr := finish(nil); tr != nil {
+		t.Fatal("finish returned a trace while disabled")
+	}
+}
+
+func TestAnnotationsAfterFinishIgnored(t *testing.T) {
+	ResetTraces()
+	ctx, finish := StartTrace(context.Background(), "lookup", "x")
+	StartHop(ctx, "mem", "a", "mem")
+	tr := finish(nil)
+	HopOp(ctx)
+	StartHop(ctx, "mem", "b", "mem")
+	if len(tr.Hops) != 1 || tr.Hops[0].Ops != 0 {
+		t.Errorf("post-finish annotation mutated trace: %+v", tr.Hops)
+	}
+}
+
+func TestTraceRingRotation(t *testing.T) {
+	ResetTraces()
+	for i := 0; i < traceRingSize+10; i++ {
+		_, finish := StartTrace(context.Background(), "lookup", "x")
+		finish(nil)
+	}
+	all := RecentTraces(0)
+	if len(all) != traceRingSize {
+		t.Fatalf("ring size = %d, want %d", len(all), traceRingSize)
+	}
+	// Newest first.
+	if all[0].ID < all[1].ID {
+		t.Errorf("not newest-first: %d then %d", all[0].ID, all[1].ID)
+	}
+	if got := RecentTraces(5); len(got) != 5 {
+		t.Errorf("RecentTraces(5) = %d", len(got))
+	}
+}

@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"gondi/internal/core"
+)
+
+// The shared instrumenting wrapper: a ptest-style decorator every
+// provider (and the obs middleware) uses to meter a core.Context. Each
+// operation increments exactly one op counter and records exactly one
+// latency observation; failed operations additionally increment the error
+// counter. CannotProceedError continuations are not errors — they are how
+// federation hands off to the next hop — so they count as ops only.
+
+// opMetrics is the per-(system, op) instrument triple.
+type opMetrics struct {
+	ops  *Counter
+	errs *Counter
+	lat  *Histogram
+}
+
+// InstrumentSet holds one system's pre-registered op instruments so the
+// per-call path is two pointer chases, no registry lookups.
+type InstrumentSet struct {
+	byOp map[string]*opMetrics
+}
+
+// opNames is the closed set of naming operations the wrapper meters.
+var opNames = []string{
+	"lookup", "lookupLink", "bind", "rebind", "unbind", "rename",
+	"list", "listBindings", "createSubcontext", "destroySubcontext",
+	"getAttributes", "modifyAttributes", "search", "watch",
+}
+
+// NewInstrumentSet registers (or re-uses) the op instruments for one
+// subsystem/system pair in r:
+//
+//	gondi_<subsystem>_ops_total{system=..., op=...}
+//	gondi_<subsystem>_errors_total{system=..., op=...}
+//	gondi_<subsystem>_op_seconds{system=..., op=...}
+func NewInstrumentSet(r *Registry, subsystem, system string) *InstrumentSet {
+	s := &InstrumentSet{byOp: make(map[string]*opMetrics, len(opNames))}
+	for _, op := range opNames {
+		labels := []Label{{"system", system}, {"op", op}}
+		s.byOp[op] = &opMetrics{
+			ops:  r.Counter("gondi_"+subsystem+"_ops_total", "naming operations by system and op", labels...),
+			errs: r.Counter("gondi_"+subsystem+"_errors_total", "failed naming operations (federation continuations excluded)", labels...),
+			lat:  r.Histogram("gondi_"+subsystem+"_op_seconds", "naming operation latency", labels...),
+		}
+	}
+	return s
+}
+
+// setCache memoizes instrument sets on the Default registry, so wrapping
+// a context per federation hop costs one sync.Map hit, not 14 registry
+// registrations.
+var setCache sync.Map // "subsystem\x00system" -> *InstrumentSet
+
+func defaultSet(subsystem, system string) *InstrumentSet {
+	key := subsystem + "\x00" + system
+	if v, ok := setCache.Load(key); ok {
+		return v.(*InstrumentSet)
+	}
+	s := NewInstrumentSet(Default, subsystem, system)
+	actual, _ := setCache.LoadOrStore(key, s)
+	return actual.(*InstrumentSet)
+}
+
+// record meters one finished op and annotates the current trace hop.
+func (s *InstrumentSet) record(ctx context.Context, op string, start time.Time, err error) {
+	m := s.byOp[op]
+	if m == nil {
+		return
+	}
+	m.ops.Inc()
+	m.lat.Since(start)
+	HopOp(ctx)
+	if err != nil {
+		var cpe *core.CannotProceedError
+		if errors.As(err, &cpe) {
+			return // a continuation, not a failure
+		}
+		m.errs.Inc()
+		HopErr(ctx, err)
+	}
+}
+
+// Instrument wraps inner with per-op metrics under
+// gondi_<subsystem>_*{system=...} in the Default registry. The wrapper
+// preserves inner's optional capabilities: DirContext and EventContext
+// methods fail with core.ErrNotSupported exactly when inner lacks them,
+// ContextViewer is implemented only when inner can rebase (so federation
+// falls back to Lookup for providers that cannot), and TTL advice (the
+// cache's TTLAdvisor) passes through.
+func Instrument(inner core.Context, subsystem, system string) core.Context {
+	return newInstCtx(inner, defaultSet(subsystem, system))
+}
+
+// InstrumentDir is Instrument typed for DirContext call sites.
+func InstrumentDir(inner core.DirContext, subsystem, system string) core.DirContext {
+	return newInstCtx(inner, defaultSet(subsystem, system)).(core.DirContext)
+}
+
+func newInstCtx(inner core.Context, set *InstrumentSet) core.Context {
+	switch ic := inner.(type) {
+	case *InstCtx:
+		if ic.set == set {
+			return ic // never double-meter the same system
+		}
+	case *instViewerCtx:
+		if ic.set == set {
+			return ic
+		}
+	}
+	w := &InstCtx{inner: inner, set: set}
+	if _, ok := inner.(core.ContextViewer); ok {
+		return &instViewerCtx{w}
+	}
+	return w
+}
+
+// InstCtx is the instrumented wrapper. It implements the full DirContext
+// + EventContext surface and defers capability checks to the inner
+// context, mirroring the cache wrapper's contract.
+type InstCtx struct {
+	inner core.Context
+	set   *InstrumentSet
+}
+
+// instViewerCtx adds ContextViewer for inner contexts that support
+// rebasing (e.g. the cache wrapper). Kept as a separate type so a plain
+// InstCtx does NOT satisfy core.ContextViewer — the federation machinery
+// type-asserts it and must fall back to Lookup otherwise.
+type instViewerCtx struct {
+	*InstCtx
+}
+
+var (
+	_ core.DirContext    = (*InstCtx)(nil)
+	_ core.EventContext  = (*InstCtx)(nil)
+	_ core.ContextViewer = (*instViewerCtx)(nil)
+)
+
+// Unwrap returns the wrapped context (tests and diagnostics).
+func (w *InstCtx) Unwrap() core.Context { return w.inner }
+
+// Uninstrument strips instrumentation wrappers (and any other wrapper
+// exposing Unwrap), returning the underlying provider context. Tests that
+// need the concrete provider type go through this instead of downcasting
+// core.OpenURL's result directly.
+func Uninstrument(c core.Context) core.Context {
+	for {
+		w, ok := c.(interface{ Unwrap() core.Context })
+		if !ok {
+			return c
+		}
+		c = w.Unwrap()
+	}
+}
+
+func (w *InstCtx) dir(op, name string) (core.DirContext, error) {
+	d, ok := w.inner.(core.DirContext)
+	if !ok {
+		return nil, core.Errf(op, name, core.ErrNotSupported)
+	}
+	return d, nil
+}
+
+// Lookup implements core.Context.
+func (w *InstCtx) Lookup(ctx context.Context, name string) (any, error) {
+	start := time.Now()
+	v, err := w.inner.Lookup(ctx, name)
+	w.set.record(ctx, "lookup", start, err)
+	if c, ok := v.(core.Context); ok && err == nil {
+		return newInstCtx(c, w.set), nil
+	}
+	return v, err
+}
+
+// LookupLink implements core.Context.
+func (w *InstCtx) LookupLink(ctx context.Context, name string) (any, error) {
+	start := time.Now()
+	v, err := w.inner.LookupLink(ctx, name)
+	w.set.record(ctx, "lookupLink", start, err)
+	return v, err
+}
+
+// Bind implements core.Context.
+func (w *InstCtx) Bind(ctx context.Context, name string, obj any) error {
+	start := time.Now()
+	err := w.inner.Bind(ctx, name, obj)
+	w.set.record(ctx, "bind", start, err)
+	return err
+}
+
+// Rebind implements core.Context.
+func (w *InstCtx) Rebind(ctx context.Context, name string, obj any) error {
+	start := time.Now()
+	err := w.inner.Rebind(ctx, name, obj)
+	w.set.record(ctx, "rebind", start, err)
+	return err
+}
+
+// Unbind implements core.Context.
+func (w *InstCtx) Unbind(ctx context.Context, name string) error {
+	start := time.Now()
+	err := w.inner.Unbind(ctx, name)
+	w.set.record(ctx, "unbind", start, err)
+	return err
+}
+
+// Rename implements core.Context.
+func (w *InstCtx) Rename(ctx context.Context, oldName, newName string) error {
+	start := time.Now()
+	err := w.inner.Rename(ctx, oldName, newName)
+	w.set.record(ctx, "rename", start, err)
+	return err
+}
+
+// List implements core.Context.
+func (w *InstCtx) List(ctx context.Context, name string) ([]core.NameClassPair, error) {
+	start := time.Now()
+	v, err := w.inner.List(ctx, name)
+	w.set.record(ctx, "list", start, err)
+	return v, err
+}
+
+// ListBindings implements core.Context.
+func (w *InstCtx) ListBindings(ctx context.Context, name string) ([]core.Binding, error) {
+	start := time.Now()
+	v, err := w.inner.ListBindings(ctx, name)
+	w.set.record(ctx, "listBindings", start, err)
+	return v, err
+}
+
+// CreateSubcontext implements core.Context.
+func (w *InstCtx) CreateSubcontext(ctx context.Context, name string) (core.Context, error) {
+	start := time.Now()
+	c, err := w.inner.CreateSubcontext(ctx, name)
+	w.set.record(ctx, "createSubcontext", start, err)
+	if err != nil {
+		return nil, err
+	}
+	return newInstCtx(c, w.set), nil
+}
+
+// DestroySubcontext implements core.Context.
+func (w *InstCtx) DestroySubcontext(ctx context.Context, name string) error {
+	start := time.Now()
+	err := w.inner.DestroySubcontext(ctx, name)
+	w.set.record(ctx, "destroySubcontext", start, err)
+	return err
+}
+
+// BindAttrs implements core.DirContext.
+func (w *InstCtx) BindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	d, err := w.dir("bind", name)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	err = d.BindAttrs(ctx, name, obj, attrs)
+	w.set.record(ctx, "bind", start, err)
+	return err
+}
+
+// RebindAttrs implements core.DirContext.
+func (w *InstCtx) RebindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	d, err := w.dir("rebind", name)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	err = d.RebindAttrs(ctx, name, obj, attrs)
+	w.set.record(ctx, "rebind", start, err)
+	return err
+}
+
+// GetAttributes implements core.DirContext.
+func (w *InstCtx) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*core.Attributes, error) {
+	d, err := w.dir("getAttributes", name)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	v, err := d.GetAttributes(ctx, name, attrIDs...)
+	w.set.record(ctx, "getAttributes", start, err)
+	return v, err
+}
+
+// ModifyAttributes implements core.DirContext.
+func (w *InstCtx) ModifyAttributes(ctx context.Context, name string, mods []core.AttributeMod) error {
+	d, err := w.dir("modifyAttributes", name)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	err = d.ModifyAttributes(ctx, name, mods)
+	w.set.record(ctx, "modifyAttributes", start, err)
+	return err
+}
+
+// Search implements core.DirContext.
+func (w *InstCtx) Search(ctx context.Context, name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+	d, err := w.dir("search", name)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	v, err := d.Search(ctx, name, filterStr, controls)
+	w.set.record(ctx, "search", start, err)
+	return v, err
+}
+
+// CreateSubcontextAttrs implements core.DirContext.
+func (w *InstCtx) CreateSubcontextAttrs(ctx context.Context, name string, attrs *core.Attributes) (core.DirContext, error) {
+	d, err := w.dir("createSubcontext", name)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	c, err := d.CreateSubcontextAttrs(ctx, name, attrs)
+	w.set.record(ctx, "createSubcontext", start, err)
+	if err != nil {
+		return nil, err
+	}
+	return newInstCtx(c, w.set).(core.DirContext), nil
+}
+
+// Watch implements core.EventContext when inner does; the registration is
+// metered, the listener's event deliveries are not (they are pushes, not
+// ops).
+func (w *InstCtx) Watch(ctx context.Context, target string, scope core.SearchScope, l core.Listener) (func(), error) {
+	ec, ok := w.inner.(core.EventContext)
+	if !ok {
+		return nil, core.Errf("watch", target, core.ErrNotSupported)
+	}
+	start := time.Now()
+	cancel, err := ec.Watch(ctx, target, scope, l)
+	w.set.record(ctx, "watch", start, err)
+	return cancel, err
+}
+
+// View implements core.ContextViewer by rebasing inner, keeping the
+// rebased view instrumented.
+func (w *instViewerCtx) View(rest core.Name) core.Context {
+	return newInstCtx(w.inner.(core.ContextViewer).View(rest), w.set)
+}
+
+// Reference implements core.Referenceable when inner does.
+func (w *InstCtx) Reference() (*core.Reference, error) {
+	if rf, ok := w.inner.(core.Referenceable); ok {
+		return rf.Reference()
+	}
+	return nil, core.ErrNotSupported
+}
+
+// AdviseTTL forwards the cache's structural TTLAdvisor interface.
+func (w *InstCtx) AdviseTTL(name string) (time.Duration, bool) {
+	type ttlAdvisor interface {
+		AdviseTTL(name string) (time.Duration, bool)
+	}
+	if a, ok := w.inner.(ttlAdvisor); ok {
+		return a.AdviseTTL(name)
+	}
+	return 0, false
+}
+
+// NameInNamespace implements core.Context.
+func (w *InstCtx) NameInNamespace() (string, error) { return w.inner.NameInNamespace() }
+
+// Environment implements core.Context.
+func (w *InstCtx) Environment() map[string]any { return w.inner.Environment() }
+
+// Close implements core.Context.
+func (w *InstCtx) Close() error { return w.inner.Close() }

@@ -23,6 +23,7 @@ import (
 	"gondi/internal/core"
 	"gondi/internal/dnssrv"
 	"gondi/internal/filter"
+	"gondi/internal/obs"
 )
 
 // Register installs the "dns" URL scheme provider.
@@ -42,7 +43,7 @@ func Register() {
 			env:      env,
 			ttl:      newTTLMemo(),
 		}
-		return dc, u.Path, nil
+		return obs.Instrument(dc, "provider", "dns"), u.Path, nil
 	}))
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"gondi/internal/core"
 	"gondi/internal/dnssrv"
+	"gondi/internal/obs"
 )
 
 // newWorld builds a DNS server with the paper's example hierarchy:
@@ -76,7 +77,7 @@ func TestGetAttributes(t *testing.T) {
 	s := newWorld(t)
 	ctx := context.Background()
 	nc, _ := open(t, s, "global")
-	attrs, err := nc.(*Context).GetAttributes(ctx, "global/emory")
+	attrs, err := obs.Uninstrument(nc).(*Context).GetAttributes(ctx, "global/emory")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestGetAttributes(t *testing.T) {
 		t.Errorf("TXT = %q", attrs.GetFirst("TXT"))
 	}
 	// Restricted.
-	attrs, _ = nc.(*Context).GetAttributes(ctx, "global/emory", "TXT")
+	attrs, _ = obs.Uninstrument(nc).(*Context).GetAttributes(ctx, "global/emory", "TXT")
 	if attrs.Size() != 1 {
 		t.Errorf("restricted = %v", attrs)
 	}
@@ -121,12 +122,12 @@ func TestSearch(t *testing.T) {
 	s := newWorld(t)
 	ctx := context.Background()
 	nc, _ := open(t, s, "global")
-	res, err := nc.(*Context).Search(ctx, "global", "(TXT=*university*)", &core.SearchControls{Scope: core.ScopeSubtree})
+	res, err := obs.Uninstrument(nc).(*Context).Search(ctx, "global", "(TXT=*university*)", &core.SearchControls{Scope: core.ScopeSubtree})
 	if err != nil || len(res) != 1 || res[0].Name != "emory" {
 		t.Fatalf("search = %+v, %v", res, err)
 	}
 	// One-level scope.
-	res, err = nc.(*Context).Search(ctx, "global", "(TXT=*)", &core.SearchControls{Scope: core.ScopeOneLevel})
+	res, err = obs.Uninstrument(nc).(*Context).Search(ctx, "global", "(TXT=*)", &core.SearchControls{Scope: core.ScopeOneLevel})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestWritesUnsupported(t *testing.T) {
 	s := newWorld(t)
 	ctx := context.Background()
 	nc, _ := open(t, s, "global")
-	c := nc.(*Context)
+	c := obs.Uninstrument(nc).(*Context)
 	if err := c.Bind(ctx, "x", 1); !errors.Is(err, core.ErrNotSupported) {
 		t.Errorf("bind: %v", err)
 	}

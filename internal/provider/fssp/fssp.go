@@ -20,6 +20,7 @@ import (
 
 	"gondi/internal/core"
 	"gondi/internal/filter"
+	"gondi/internal/obs"
 )
 
 // bindingExt marks binding files; directories are subcontexts.
@@ -42,7 +43,7 @@ func Register() {
 		if u.Authority != "" && u.Authority != "localhost" {
 			return nil, core.Name{}, fmt.Errorf("fssp: remote file URLs unsupported: %q", u.Authority)
 		}
-		return &Context{root: root, env: env}, u.Path, nil
+		return obs.Instrument(&Context{root: root, env: env}, "provider", "file"), u.Path, nil
 	}))
 }
 

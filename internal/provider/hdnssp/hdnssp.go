@@ -15,6 +15,7 @@ import (
 
 	"gondi/internal/core"
 	"gondi/internal/hdns"
+	"gondi/internal/obs"
 )
 
 // Environment property keys.
@@ -37,7 +38,7 @@ func Register() {
 		if err != nil {
 			return nil, core.Name{}, &core.CommunicationError{Endpoint: u.Authority, Err: err}
 		}
-		return hc, u.Path, nil
+		return obs.Instrument(hc, "provider", "hdns"), u.Path, nil
 	}))
 }
 
@@ -597,6 +598,9 @@ func (c *Context) Watch(ctx context.Context, target string, scope core.SearchSco
 	go func() {
 		select {
 		case <-c.sh.client.Done():
+			obs.Default.Counter("gondi_provider_watch_lost_total",
+				"Event registrations lost with their wire connection, by provider.",
+				obs.Label{K: "system", V: "hdns"}).Inc()
 			l(core.NamingEvent{Type: core.EventWatchLost})
 		case <-stop:
 		}

@@ -34,6 +34,7 @@ import (
 	"gondi/internal/filter"
 	"gondi/internal/jini"
 	"gondi/internal/lock"
+	"gondi/internal/obs"
 )
 
 // Environment property keys.
@@ -79,7 +80,7 @@ func Register() {
 		if err != nil {
 			return nil, core.Name{}, &core.CommunicationError{Endpoint: loc.Addr(), Err: err}
 		}
-		return jc, u.Path, nil
+		return obs.Instrument(jc, "provider", "jini"), u.Path, nil
 	}))
 }
 
@@ -1131,6 +1132,9 @@ func (c *Context) Watch(ctx context.Context, target string, scope core.SearchSco
 	go func() {
 		select {
 		case <-c.sh.reg.Done():
+			obs.Default.Counter("gondi_provider_watch_lost_total",
+				"Event registrations lost with their wire connection, by provider.",
+				obs.Label{K: "system", V: "jini"}).Inc()
 			l(core.NamingEvent{Type: core.EventWatchLost})
 		case <-stop:
 		}

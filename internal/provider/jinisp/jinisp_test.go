@@ -10,6 +10,7 @@ import (
 
 	"gondi/internal/core"
 	"gondi/internal/jini"
+	"gondi/internal/obs"
 )
 
 func newLUS(t *testing.T) *jini.LUS {
@@ -335,7 +336,7 @@ func TestProviderRegistration(t *testing.T) {
 	if rest.String() != "a/b" {
 		t.Errorf("rest = %q", rest.String())
 	}
-	if _, ok := nc.(*Context); !ok {
+	if _, ok := obs.Uninstrument(nc).(*Context); !ok {
 		t.Errorf("nc = %T", nc)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"gondi/internal/core"
 	"gondi/internal/filter"
 	"gondi/internal/jxta"
+	"gondi/internal/obs"
 	"gondi/internal/rpc"
 )
 
@@ -39,7 +40,7 @@ func Register() {
 		if err != nil {
 			return nil, core.Name{}, &core.CommunicationError{Endpoint: u.Authority, Err: err}
 		}
-		return jc, u.Path, nil
+		return obs.Instrument(jc, "provider", "jxta"), u.Path, nil
 	}))
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"gondi/internal/core"
 	"gondi/internal/ldapsrv"
+	"gondi/internal/obs"
 )
 
 // Environment property keys.
@@ -64,7 +65,7 @@ func Register() {
 		if err != nil {
 			return nil, core.Name{}, &core.CommunicationError{Endpoint: u.Authority, Err: err}
 		}
-		return lc, rest, nil
+		return obs.Instrument(lc, "provider", "ldap"), rest, nil
 	}))
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"gondi/internal/core"
 	"gondi/internal/ldapsrv"
+	"gondi/internal/obs"
 )
 
 func newServer(t *testing.T) *ldapsrv.Server {
@@ -203,7 +204,7 @@ func TestProviderRegistration(t *testing.T) {
 	if rest.String() != "ou=people/alice" {
 		t.Errorf("rest = %q", rest.String())
 	}
-	lc := nc.(*Context)
+	lc := obs.Uninstrument(nc).(*Context)
 	if got, _ := lc.NameInNamespace(); got != "dc=mathcs,dc=emory,dc=edu" {
 		t.Errorf("NameInNamespace = %q", got)
 	}

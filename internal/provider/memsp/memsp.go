@@ -17,6 +17,7 @@ import (
 
 	"gondi/internal/core"
 	"gondi/internal/filter"
+	"gondi/internal/obs"
 )
 
 // entry is one node of the in-memory tree.
@@ -107,7 +108,7 @@ func Register() {
 			space = "default"
 		}
 		mc := NewContext(Space(space), env, "mem://"+space)
-		return mc, u.Path, nil
+		return obs.Instrument(mc, "provider", "mem"), u.Path, nil
 	}))
 	core.RegisterInitialFactory("mem", func(ctx context.Context, env map[string]any) (core.Context, error) {
 		url, _ := env[core.EnvProviderURL].(string)

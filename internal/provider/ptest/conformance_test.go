@@ -214,3 +214,53 @@ func TestLDAPProviderConformance(t *testing.T) {
 		return pc
 	})
 }
+
+// Observability conformance: the instrumenting wrapper's metering contract
+// (one op count + one latency observation per operation, errors counted,
+// federation continuations excluded) holds over real providers, not just
+// the obs package's fakes — in-memory, Jini and HDNS worlds.
+
+func TestMemObsConformance(t *testing.T) {
+	ptest.RunObsConformance(t, func(t *testing.T) core.DirContext {
+		return memsp.NewContext(memsp.NewTree(), map[string]any{}, "mem://obsconf")
+	})
+}
+
+func TestJiniObsConformance(t *testing.T) {
+	ptest.RunObsConformance(t, func(t *testing.T) core.DirContext {
+		lus, err := jini.NewLUS(jini.LUSConfig{ListenAddr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { lus.Close() })
+		pc, err := jinisp.Open(context.Background(), lus.Addr(), map[string]any{core.EnvPoolID: t.Name()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { pc.Close() })
+		return pc
+	})
+}
+
+func TestHDNSObsConformance(t *testing.T) {
+	ptest.RunObsConformance(t, func(t *testing.T) core.DirContext {
+		stack := jgroups.DefaultConfig()
+		stack.HeartbeatInterval = 50 * time.Millisecond
+		n, err := hdns.NewNode(hdns.NodeConfig{
+			Group:      "obsconf-" + t.Name(),
+			Transport:  jgroups.NewFabric().Endpoint("obsconf-node"),
+			Stack:      stack,
+			ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		pc, err := hdnssp.Open(context.Background(), n.Addr(), map[string]any{core.EnvPoolID: t.Name()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { pc.Close() })
+		return pc
+	})
+}

@@ -1,0 +1,123 @@
+package ptest
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"gondi/internal/core"
+	"gondi/internal/obs"
+)
+
+// RunObsConformance verifies the obs instrumenting wrapper's metering
+// contract against a live provider: every operation records exactly one op
+// count and one latency observation, a failed operation additionally
+// records exactly one error count, and a federation continuation
+// (CannotProceedError) counts as an op but never as an error. Run under
+// -race this also exercises the wrapper's concurrent-recording safety.
+func RunObsConformance(t *testing.T, factory Factory) {
+	ctx := context.Background()
+	// The system label isolates this run's instruments in the shared
+	// Default registry, so deltas below start from zero.
+	system := strings.ReplaceAll(t.Name(), "/", "_")
+	counters := func(op string) (ops, errs, lat int64) {
+		labels := []obs.Label{{K: "system", V: system}, {K: "op", V: op}}
+		return obs.Default.Counter("gondi_ptest_ops_total", "", labels...).Value(),
+			obs.Default.Counter("gondi_ptest_errors_total", "", labels...).Value(),
+			obs.Default.Histogram("gondi_ptest_op_seconds", "", labels...).Count()
+	}
+	c := obs.InstrumentDir(factory(t), "ptest", system)
+
+	// step runs one operation and asserts the metering delta: +1 op,
+	// +1 latency observation, +wantErrs errors.
+	step := func(op string, wantErrs int64, do func() error) {
+		t.Helper()
+		ops0, errs0, lat0 := counters(op)
+		err := do()
+		if wantErrs == 0 {
+			var cpe *core.CannotProceedError
+			if err != nil && !errors.As(err, &cpe) {
+				t.Fatalf("%s: unexpected error: %v", op, err)
+			}
+		} else if err == nil {
+			t.Fatalf("%s: expected an error", op)
+		}
+		ops1, errs1, lat1 := counters(op)
+		if ops1 != ops0+1 {
+			t.Errorf("%s: ops %d -> %d, want exactly one increment", op, ops0, ops1)
+		}
+		if lat1 != lat0+1 {
+			t.Errorf("%s: latency observations %d -> %d, want exactly one", op, lat0, lat1)
+		}
+		if errs1 != errs0+wantErrs {
+			t.Errorf("%s: errors %d -> %d, want +%d", op, errs0, errs1, wantErrs)
+		}
+	}
+
+	// The success path across the DirContext surface.
+	step("bind", 0, func() error { return c.Bind(ctx, "a", "v1") })
+	step("lookup", 0, func() error { _, err := c.Lookup(ctx, "a"); return err })
+	step("rebind", 0, func() error { return c.Rebind(ctx, "a", "v2") })
+	step("list", 0, func() error { _, err := c.List(ctx, ""); return err })
+	step("listBindings", 0, func() error { _, err := c.ListBindings(ctx, ""); return err })
+	step("getAttributes", 0, func() error { _, err := c.GetAttributes(ctx, "a"); return err })
+	step("search", 0, func() error {
+		_, err := c.Search(ctx, "", "(type=*)", &core.SearchControls{Scope: core.ScopeSubtree})
+		return err
+	})
+	step("unbind", 0, func() error { return c.Unbind(ctx, "a") })
+
+	// The failure path: a lookup of an unbound name is an error and must
+	// be counted as one.
+	step("lookup", 1, func() error {
+		_, err := c.Lookup(ctx, "no-such-name")
+		if err == nil {
+			return errors.New("lookup of unbound name succeeded")
+		}
+		return err
+	})
+
+	// The federation path: resolution stopping at a foreign-system
+	// boundary is a continuation, not a failure — ops and latency record,
+	// the error counter must not move.
+	if err := c.Bind(ctx, "gateway", core.NewContextReference("mem://other")); err != nil {
+		t.Fatalf("bind gateway: %v", err)
+	}
+	step("lookup", 0, func() error {
+		_, err := c.Lookup(ctx, "gateway/deeper/name")
+		var cpe *core.CannotProceedError
+		if !errors.As(err, &cpe) {
+			t.Fatalf("want CannotProceedError, got %v", err)
+		}
+		return err
+	})
+
+	// Concurrent metering: counts must stay exact under parallel load
+	// (and -race must stay quiet).
+	if err := c.Bind(ctx, "hot", "x"); err != nil {
+		t.Fatalf("bind hot: %v", err)
+	}
+	const workers, perWorker = 4, 25
+	ops0, _, lat0 := counters("lookup")
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				if _, err := c.Lookup(ctx, "hot"); err != nil {
+					t.Errorf("concurrent lookup: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ops1, _, lat1 := counters("lookup")
+	if ops1 != ops0+workers*perWorker || lat1 != lat0+workers*perWorker {
+		t.Errorf("concurrent lookups: ops +%d lat +%d, want +%d each",
+			ops1-ops0, lat1-lat0, workers*perWorker)
+	}
+}

@@ -12,6 +12,17 @@ import (
 	"net"
 	"syscall"
 	"time"
+
+	"gondi/internal/obs"
+)
+
+var (
+	mRetries = obs.Default.Counter("gondi_retry_attempts_total",
+		"Retry attempts beyond the first try.")
+	mBackoff = obs.Default.Counter("gondi_retry_backoff_ns_total",
+		"Nanoseconds spent sleeping between retry attempts.")
+	mExhausted = obs.Default.Counter("gondi_retry_exhausted_total",
+		"Operations that failed after exhausting their retry budget.")
 )
 
 // Defaults applied by Policy.withDefaults for zero fields.
@@ -111,11 +122,18 @@ func DoClassify(ctx context.Context, p Policy, transient func(error) bool, fn fu
 			return nil
 		}
 		if attempt >= p.MaxAttempts || !transient(err) {
+			if attempt >= p.MaxAttempts && transient(err) {
+				mExhausted.Inc()
+			}
 			return err
 		}
-		if !sleep(ctx, jittered(delay, p.Jitter)) {
+		pause := jittered(delay, p.Jitter)
+		if !sleep(ctx, pause) {
 			return ctx.Err()
 		}
+		mRetries.Inc()
+		mBackoff.Add(int64(pause))
+		obs.AddRetry(ctx, 1, pause)
 		delay = time.Duration(float64(delay) * p.Multiplier)
 		if delay > p.MaxDelay {
 			delay = p.MaxDelay

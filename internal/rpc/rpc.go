@@ -12,10 +12,26 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
+	"gondi/internal/obs"
 	"gondi/internal/retry"
+)
+
+// Wire-level metrics, shared by every protocol built on this substrate
+// (Jini registrar, HDNS). Latency is observed per method so slow RPCs are
+// distinguishable from chatty ones.
+var (
+	mDials = obs.Default.Counter("gondi_rpc_dials_total",
+		"RPC connections established.")
+	mDialErrs = obs.Default.Counter("gondi_rpc_dial_errors_total",
+		"RPC connection attempts that failed after retries.")
+	mConns = obs.Default.Gauge("gondi_rpc_conns_open",
+		"RPC client connections currently open.")
+	mConnLost = obs.Default.Counter("gondi_rpc_conns_lost_total",
+		"RPC connections terminated by the peer or the network.")
 )
 
 // Frame kinds.
@@ -339,8 +355,11 @@ func DialContext(ctx context.Context, addr string, defaultTimeout time.Duration)
 		return derr
 	})
 	if err != nil {
+		mDialErrs.Inc()
 		return nil, err
 	}
+	mDials.Inc()
+	mConns.Add(1)
 	c := &Client{
 		conn:    conn,
 		pending: map[uint64]chan *frame{},
@@ -371,9 +390,11 @@ func (c *Client) readLoop() {
 				// The peer (or network) ended the connection.
 				c.closed = true
 				c.closeErr = ErrConnClosed
+				mConnLost.Inc()
 			}
 			c.pending = nil // waiters wake via c.done
 			c.mu.Unlock()
+			mConns.Add(-1) // readLoop runs once per dialed conn
 			close(c.done)
 			return
 		}
@@ -400,7 +421,21 @@ func (c *Client) readLoop() {
 // Call sends a request and waits for the response, ctx's end, or client
 // shutdown, whichever comes first. A ctx without a deadline gets the
 // client's default timeout.
-func (c *Client) Call(ctx context.Context, method string, body []byte) ([]byte, error) {
+func (c *Client) Call(ctx context.Context, method string, body []byte) (_ []byte, rerr error) {
+	if obs.On() {
+		start := time.Now()
+		obs.AddWireRT(ctx)
+		defer func() {
+			obs.Default.Counter("gondi_rpc_calls_total",
+				"RPC round-trips issued, by method.", obs.Label{K: "method", V: method}).Inc()
+			obs.Default.Histogram("gondi_rpc_call_seconds",
+				"RPC round-trip latency, by method.", obs.Label{K: "method", V: method}).Since(start)
+			if rerr != nil {
+				obs.Default.Counter("gondi_rpc_call_errors_total",
+					"RPC round-trips that failed, by method.", obs.Label{K: "method", V: method}).Inc()
+			}
+		}()
+	}
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
@@ -435,6 +470,11 @@ func (c *Client) Call(ctx context.Context, method string, body []byte) ([]byte, 
 		c.mu.Unlock()
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, fmt.Errorf("rpc: %s: %w", method, cerr)
+		}
+		// The write deadline mirrors ctx's; the net poller can see the
+		// expiry before ctx's own timer fires.
+		if _, hasDL := ctx.Deadline(); hasDL && errors.Is(err, os.ErrDeadlineExceeded) {
+			return nil, fmt.Errorf("rpc: %s: %w", method, context.DeadlineExceeded)
 		}
 		if closeErr != nil {
 			return nil, closeErr

@@ -1,0 +1,127 @@
+// Command ctxfirst is the repository's ctx-first lint: any function or
+// method that accepts a context.Context must accept it as the first
+// parameter. The whole stack threads deadlines and traces through that
+// leading parameter (see DESIGN.md); a context buried later in the list is
+// either a mistake or an API that callers will get wrong.
+//
+// Usage:
+//
+//	go run ./scripts/lint/ctxfirst file.go dir/ ...
+//
+// Arguments are Go files or directories (walked recursively, skipping
+// dot-directories and testdata). Exits non-zero after printing one
+// file:line: message per violation. Stdlib-only: go/parser + go/ast.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ctxfirst <files-or-dirs>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctxfirst: %v\n", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			name := d.Name()
+			if d.IsDir() && path != arg && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if !d.IsDir() && strings.HasSuffix(name, ".go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctxfirst: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	fset := token.NewFileSet()
+	bad := 0
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctxfirst: %v\n", err)
+			os.Exit(2)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var what string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft = fn.Type
+				what = fn.Name.Name
+			case *ast.FuncLit:
+				ft = fn.Type
+				what = "func literal"
+			default:
+				return true
+			}
+			if idx := ctxParamIndex(ft); idx > 0 {
+				fmt.Printf("%s: %s: context.Context is parameter %d, must be first\n",
+					fset.Position(ft.Pos()), what, idx+1)
+				bad++
+			}
+			return true
+		})
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "ctxfirst: %d violation(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// ctxParamIndex returns the index of the first parameter whose type is
+// context.Context, counting each name in a shared-type group, or -1.
+func ctxParamIndex(ft *ast.FuncType) int {
+	if ft.Params == nil {
+		return -1
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isCtxType(field.Type) {
+			return idx
+		}
+		idx += n
+	}
+	return -1
+}
+
+// isCtxType matches the literal selector context.Context (the import is
+// canonically named across the repository).
+func isCtxType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && sel.Sel.Name == "Context"
+}
