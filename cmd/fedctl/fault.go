@@ -1,0 +1,85 @@
+package main
+
+// The chaos face of fedctl: `fedctl proxy <host:port>` stands a faulting
+// relay (internal/fault) in front of a live server and prints the relay's
+// address. Point any provider URL — or one endpoint of a multi-endpoint
+// authority — at it and watch the stack's breakers, failover and
+// serve-stale cache heal around the injected faults. The schedule is
+// seedable, so an incident reproduces run after run.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gondi/internal/fault"
+)
+
+var (
+	faultSeed      = flag.Int64("fault-seed", 1, "proxy: injector seed (same seed + same traffic = same schedule)")
+	faultLatency   = flag.Duration("fault-latency", 0, "proxy: latency added when a latency fault fires")
+	faultLatencyP  = flag.Float64("fault-latency-p", 0, "proxy: per-op probability of added latency")
+	faultDropP     = flag.Float64("fault-drop-p", 0, "proxy: per-write probability of a silent drop")
+	faultResetP    = flag.Float64("fault-reset-p", 0, "proxy: per-op probability of a connection reset")
+	faultShortP    = flag.Float64("fault-shortw-p", 0, "proxy: per-write probability of a torn frame")
+	faultCutAfter  = flag.Duration("fault-cut-after", 0, "proxy: sever everything this long after start (0 = never)")
+	faultHealAfter = flag.Duration("fault-heal-after", 0, "proxy: lift the cut this long after it lands (0 = stay cut)")
+	faultDualProxy = flag.Bool("fault-udp", false, "proxy: also relay UDP on the same port (DNS targets)")
+)
+
+// faultRelay is the common face of Proxy and DualProxy.
+type faultRelay interface {
+	Addr() string
+	Cut()
+	Restore()
+	Close() error
+}
+
+// runFaultProxy serves the relay until ctx is cancelled (Ctrl-C).
+func runFaultProxy(ctx context.Context, target string) error {
+	inj := fault.NewInjector(fault.Config{
+		Seed:           *faultSeed,
+		Latency:        *faultLatency,
+		LatencyProb:    *faultLatencyP,
+		DropProb:       *faultDropP,
+		ResetProb:      *faultResetP,
+		ShortWriteProb: *faultShortP,
+	})
+	var p faultRelay
+	var err error
+	if *faultDualProxy {
+		p, err = fault.NewDualProxy(target, inj)
+	} else {
+		p, err = fault.NewProxy(target, inj)
+	}
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	// The address goes to stdout so scripts can capture it.
+	fmt.Println(p.Addr())
+	fmt.Fprintf(os.Stderr, "fedctl: faulting proxy %s -> %s (interrupt to stop)\n", p.Addr(), target)
+
+	if *faultCutAfter > 0 {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*faultCutAfter):
+		}
+		p.Cut()
+		fmt.Fprintf(os.Stderr, "fedctl: proxy cut (clients now see a crash)\n")
+		if *faultHealAfter > 0 {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(*faultHealAfter):
+			}
+			p.Restore()
+			fmt.Fprintf(os.Stderr, "fedctl: proxy healed\n")
+		}
+	}
+	<-ctx.Done()
+	return nil
+}

@@ -54,6 +54,7 @@ commands:
   rmctx  <name>             destroy an empty subcontext
   link   <name> <url>       bind a federation reference to <url> at <name>
   watch  <name>             stream change events until interrupted
+  proxy  <host:port>        faulting relay in front of a server (chaos drills)
 flags:
   -timeout                  per-operation deadline (default 10s, 0 = none)
   -principal / -credentials authentication (where the provider supports it)
@@ -65,7 +66,10 @@ flags:
   -cache-no-events          TTL-only coherence, ignore provider change events
   -trace                    print the federation trace (one line per hop) after the command
   -obs.addr                 observability HTTP address (/metrics, /debug/vars, /debug/pprof)
-  -obs.hold                 keep serving -obs.addr this long after the command completes`)
+  -obs.hold                 keep serving -obs.addr this long after the command completes
+  -fault-*                  proxy: seedable fault schedule (latency, drops, resets,
+                            torn frames) plus -fault-cut-after / -fault-heal-after
+                            for a scripted crash; -fault-udp relays UDP too`)
 	os.Exit(2)
 }
 
@@ -135,6 +139,13 @@ func main() {
 	// instead of a hang. Ctrl-C cancels in-flight operations the same way.
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if cmd == "proxy" {
+		if err := runFaultProxy(sigCtx, name); err != nil {
+			fmt.Fprintf(os.Stderr, "fedctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	ctx := sigCtx
 	if *timeout > 0 && cmd != "watch" {
 		var cancel context.CancelFunc

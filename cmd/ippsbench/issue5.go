@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gondi/internal/benchmark"
+)
+
+// The -issue5 report: the self-healing claim. A two-replica federated
+// lookup keeps most of its throughput when the primary crashes mid-window
+// (breakers open, failover reroutes); the identical crash against a
+// single-endpoint authority collapses. The gate is the healed series
+// sustaining at least minHealingPct of the fault-free ceiling.
+
+type issue5Series struct {
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	Errors       int64   `json:"errors"`
+	PctFaultFree float64 `json:"pct_of_fault_free"`
+}
+
+type issue5Report struct {
+	Issue     string       `json:"issue"`
+	Claim     string       `json:"claim"`
+	Method    string       `json:"method"`
+	Date      string       `json:"date"`
+	Clients   int          `json:"clients"`
+	FaultFree issue5Series `json:"fault_free"`
+	Healing   issue5Series `json:"healing_cut"`
+	Collapsed issue5Series `json:"collapsed_cut"`
+	Verdict   string       `json:"verdict"`
+}
+
+// minHealingPct is the acceptance bound: with the primary cut a quarter
+// of the way into the window, breaker-ranked failover must sustain at
+// least this share of fault-free throughput at N=100 clients.
+const minHealingPct = 50.0
+
+func runIssue5(opts benchmark.Options, outPath string) error {
+	const clients = 100
+	opts.Clients = []int{clients}
+
+	rep := issue5Report{
+		Issue:   "deterministic fault injection + self-healing federation (internal/fault, internal/breaker, internal/failover)",
+		Claim:   fmt.Sprintf("with the primary HDNS replica cut mid-window, failover sustains >= %.0f%% of fault-free throughput at N=%d clients", minHealingPct, clients),
+		Method:  fmt.Sprintf("cmd/ippsbench -issue5: dns→hdns lookup against a two-node replicated group, primary behind a fault.Proxy cut at warmup+measure/4; three series at %d clients (fault-free / multi-endpoint cut / single-endpoint cut), warmup %v, measure %v, breakers reset between series", clients, opts.Warmup, opts.Measure),
+		Date:    time.Now().Format("2006-01-02"),
+		Clients: clients,
+	}
+
+	fmt.Printf("== self-healing (%d clients, primary cut mid-window) ==\n", clients)
+	e, err := benchmark.RunHealing(opts)
+	if err != nil {
+		return fmt.Errorf("self-healing: %w", err)
+	}
+	e.Print(os.Stdout)
+
+	series := func(label string) issue5Series {
+		for _, s := range e.Series {
+			if s.Label != label {
+				continue
+			}
+			out := issue5Series{OpsPerSec: round1(s.At(clients))}
+			for _, p := range s.Points {
+				if p.Clients == clients {
+					out.Errors = p.Errors
+				}
+			}
+			return out
+		}
+		return issue5Series{}
+	}
+	rep.FaultFree = series("fault-free")
+	rep.Healing = series("healing-cut")
+	rep.Collapsed = series("collapsed-cut")
+	if rep.FaultFree.OpsPerSec > 0 {
+		rep.FaultFree.PctFaultFree = 100
+		rep.Healing.PctFaultFree = round1(rep.Healing.OpsPerSec / rep.FaultFree.OpsPerSec * 100)
+		rep.Collapsed.PctFaultFree = round1(rep.Collapsed.OpsPerSec / rep.FaultFree.OpsPerSec * 100)
+	}
+
+	switch {
+	case rep.Healing.PctFaultFree >= minHealingPct:
+		rep.Verdict = fmt.Sprintf("pass: healed throughput %.1f%% of fault-free (>= %.0f%% required); collapsed baseline %.1f%%",
+			rep.Healing.PctFaultFree, minHealingPct, rep.Collapsed.PctFaultFree)
+	default:
+		rep.Verdict = fmt.Sprintf("FAIL: healed throughput %.1f%% of fault-free < %.0f%% at N=%d",
+			rep.Healing.PctFaultFree, minHealingPct, clients)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\n%s\nwrote %s\n", rep.Verdict, outPath)
+	if rep.Healing.PctFaultFree < minHealingPct {
+		return fmt.Errorf("healed throughput %.1f%% below the %.0f%% bound", rep.Healing.PctFaultFree, minHealingPct)
+	}
+	return nil
+}

@@ -11,6 +11,7 @@
 //	ippsbench -clients 1,10,50 -warm 2s -measure 3s
 //	ippsbench -issue2         # cache speedup + baseline diff → BENCH_issue2.json
 //	ippsbench -issue3         # obs overhead + server-side view → BENCH_issue3.json
+//	ippsbench -issue5         # self-healing vs collapse under a replica crash → BENCH_issue5.json
 //
 // Absolute numbers depend on the calibrated cost model (see DESIGN.md);
 // the curve shapes — who saturates where, the strict-bind penalty, the
@@ -38,8 +39,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	issue2 := flag.Bool("issue2", false, "run the cache speedup report (cache-lookup + figs 2/4/6/7 at 100 clients) and write -out")
 	issue3 := flag.Bool("issue3", false, "run the observability overhead report (obs enabled vs disabled at 100 clients) and write -out")
+	issue5 := flag.Bool("issue5", false, "run the self-healing report (replica crash with/without failover at 100 clients) and write -out")
 	baseline := flag.String("baseline", "BENCH_issue1.json", "issue1 baseline file for -issue2")
-	out := flag.String("out", "", "output file for -issue2 / -issue3 (default BENCH_issue<N>.json)")
+	out := flag.String("out", "", "output file for -issue2 / -issue3 / -issue5 (default BENCH_issue<N>.json)")
 	flag.Parse()
 
 	if *list {
@@ -90,6 +92,17 @@ func main() {
 		}
 		if err := runIssue3(opts, path); err != nil {
 			fmt.Fprintf(os.Stderr, "ippsbench: issue3: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *issue5 {
+		path := *out
+		if path == "" {
+			path = "BENCH_issue5.json"
+		}
+		if err := runIssue5(opts, path); err != nil {
+			fmt.Fprintf(os.Stderr, "ippsbench: issue5: %v\n", err)
 			os.Exit(1)
 		}
 		return

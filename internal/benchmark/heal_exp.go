@@ -1,0 +1,181 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gondi/internal/breaker"
+	"gondi/internal/core"
+	"gondi/internal/costmodel"
+	"gondi/internal/dnssrv"
+	"gondi/internal/fault"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/provider/hdnssp"
+)
+
+// The -issue5 experiment: what self-healing is worth when a replica dies
+// mid-run. The federated target is the cache experiment's two-hop lookup
+// (dns → hdns), but the HDNS tier is a two-node replicated group and the
+// primary node sits behind a fault.Proxy. A quarter of the way into the
+// measurement window the proxy is Cut — a crash as clients observe it.
+//
+// Three series at the same client count tell the story:
+//
+//   - fault-free:    multi-endpoint authority, nothing cut (the ceiling)
+//   - healing-cut:   multi-endpoint authority; after the cut, the primary's
+//     breaker opens and failover routes every resolution to the replica
+//   - collapsed-cut: single-endpoint authority, same cut; every op fails
+//     for the rest of the window (fast, once the breaker opens — but
+//     failures don't count as throughput)
+
+// healWorld is the two-replica federated target.
+type healWorld struct {
+	proxy *fault.Proxy
+	// healingURL resolves through "hdns://proxy,replica" (failover heals).
+	healingURL string
+	// soloURL resolves through "hdns://proxy" only (nothing to fail over to).
+	soloURL string
+	cleanup func()
+}
+
+func newHealWorld() (*healWorld, error) {
+	registerProviders()
+	dnsSrv, err := dnssrv.NewServer("127.0.0.1:0", costmodel.DNSCosts())
+	if err != nil {
+		return nil, err
+	}
+	w := &healWorld{cleanup: func() { dnsSrv.Close() }}
+	fail := func(err error) (*healWorld, error) {
+		w.cleanup()
+		return nil, err
+	}
+
+	f := jgroups.NewFabric()
+	var nodes []*hdns.Node
+	for _, name := range []string{"heal-n1", "heal-n2"} {
+		n, err := hdns.NewNode(hdns.NodeConfig{
+			Group:      "heal-bench",
+			Transport:  f.Endpoint(jgroups.Address(name)),
+			Stack:      jgroups.DefaultConfig(),
+			ListenAddr: "127.0.0.1:0",
+			Costs:      costmodel.HDNSCosts(),
+		})
+		if err != nil {
+			return fail(err)
+		}
+		nodes = append(nodes, n)
+		prev := w.cleanup
+		w.cleanup = func() { n.Close(); prev() }
+	}
+	primary, replica := nodes[0], nodes[1]
+
+	bg := context.Background()
+	seed, err := hdnssp.Open(bg, primary.Addr(), map[string]any{})
+	if err != nil {
+		return fail(err)
+	}
+	err = seed.Bind(bg, "printer", spiPayload)
+	seed.Close()
+	if err != nil {
+		return fail(err)
+	}
+	// The replica must hold the object before the primary can crash.
+	deadline := time.Now().Add(5 * time.Second)
+	for !replica.Store().Lookup([]string{"printer"}).Exists {
+		if time.Now().After(deadline) {
+			return fail(fmt.Errorf("benchmark: replica never converged"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	proxy, err := fault.NewProxy(primary.Addr(), nil)
+	if err != nil {
+		return fail(err)
+	}
+	w.proxy = proxy
+	prev := w.cleanup
+	w.cleanup = func() { proxy.Close(); prev() }
+
+	z := dnssrv.NewZone("global")
+	z.Add(dnssrv.RR{Name: "mathcs.global", Type: dnssrv.TypeTXT,
+		Txt: []string{"hdns://" + proxy.Addr() + "," + replica.Addr()}})
+	z.Add(dnssrv.RR{Name: "solo.global", Type: dnssrv.TypeTXT,
+		Txt: []string{"hdns://" + proxy.Addr()}})
+	dnsSrv.AddZone(z)
+	w.healingURL = "dns://" + dnsSrv.Addr() + "/global/mathcs/printer"
+	w.soloURL = "dns://" + dnsSrv.Addr() + "/global/solo/printer"
+	return w, nil
+}
+
+// RunHealing measures the three series. The cut fires warmup+measure/4
+// into each point's run, so roughly three quarters of every "cut" window
+// is spent post-crash; between points the proxy is restored and every
+// breaker reset (the operator's "outage over" action).
+func RunHealing(opts Options) (*Experiment, error) {
+	w, err := newHealWorld()
+	if err != nil {
+		return nil, err
+	}
+	defer w.cleanup()
+	opts.Think = -1
+	if opts.OpTimeout <= 0 {
+		// Pre-breaker-open failures pay this in full; keep the transient
+		// short so the healed steady state dominates the window.
+		opts.OpTimeout = 500 * time.Millisecond
+	}
+
+	e := &Experiment{ID: "self-healing",
+		Title: "Federated lookup (dns→hdns×2): replica crash with and without failover"}
+
+	factory := func(tag, url string) ClientFactory {
+		return func(client int) (func(ctx context.Context) error, func(), error) {
+			ic := core.NewInitialContext(map[string]any{
+				core.EnvPoolID: fmt.Sprintf("heal-%s-%d", tag, client),
+			})
+			return cacheLookupOp(ic, url), func() { ic.Close() }, nil
+		}
+	}
+
+	runSeries := func(label, url string, cut bool) (Series, error) {
+		s := Series{Label: label}
+		for _, n := range opts.Clients {
+			breaker.ResetAll()
+			w.proxy.Restore()
+			var timer *time.Timer
+			if cut {
+				timer = time.AfterFunc(opts.Warmup+opts.Measure/4, w.proxy.Cut)
+			}
+			p, err := RunClosedLoop(n, opts.Warmup, opts.Measure, opts.OpTimeout, opts.Think,
+				factory(fmt.Sprintf("%s-%d", label, n), url))
+			if timer != nil {
+				timer.Stop()
+			}
+			w.proxy.Restore()
+			if err != nil {
+				return s, err
+			}
+			s.Points = append(s.Points, p)
+		}
+		return s, nil
+	}
+
+	for _, run := range []struct {
+		label string
+		url   string
+		cut   bool
+	}{
+		{"fault-free", w.healingURL, false},
+		{"healing-cut", w.healingURL, true},
+		{"collapsed-cut", w.soloURL, true},
+	} {
+		s, err := runSeries(run.label, run.url, run.cut)
+		if err != nil {
+			return nil, err
+		}
+		e.Series = append(e.Series, s)
+	}
+	breaker.ResetAll()
+	return e, nil
+}

@@ -1,0 +1,267 @@
+// Package breaker implements a per-endpoint circuit breaker for the wire
+// paths (rpc dials and calls, DNS exchanges, LDAP round trips, cache
+// re-registration). A breaker trips open after a run of consecutive
+// transport failures, fails calls fast while open (protecting both the
+// caller's latency budget and the struggling backend), and probes the
+// endpoint with a single half-open trial once a cooldown elapses.
+//
+// Breakers sit *under* internal/retry: retry treats ErrOpen as permanent
+// (it is not in retry.Transient's vocabulary), so a retry loop stops
+// hammering an endpoint the moment its breaker opens, and the federation
+// layer's failover (internal/failover) moves on to the next endpoint.
+package breaker
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"gondi/internal/obs"
+)
+
+// ErrOpen is returned by Allow (and surfaces from gated operations) while
+// a breaker is open. It is deliberately not a net.Error and not in
+// retry.Transient's vocabulary: retrying against an open breaker is
+// pointless by construction.
+var ErrOpen = errors.New("breaker: circuit open")
+
+// State is a breaker's position.
+type State int
+
+// Breaker states: Closed passes traffic, Open fails fast, HalfOpen admits
+// one probe.
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Defaults applied for zero Config fields.
+const (
+	// DefaultThreshold is the consecutive-failure count that trips the
+	// breaker.
+	DefaultThreshold = 5
+	// DefaultCooldown is how long an open breaker rejects before
+	// admitting a half-open probe.
+	DefaultCooldown = 2 * time.Second
+)
+
+// Config tunes a breaker. The zero value uses the defaults above.
+type Config struct {
+	// Threshold is the run of consecutive failures that opens the
+	// breaker; <=0 uses DefaultThreshold.
+	Threshold int
+	// Cooldown is the open interval before a half-open probe is
+	// admitted; <=0 uses DefaultCooldown.
+	Cooldown time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultCooldown
+	}
+	return c
+}
+
+var (
+	mTrips = obs.Default.Counter("gondi_breaker_trips_total",
+		"Circuit breakers tripped open.")
+	mFastFails = obs.Default.Counter("gondi_breaker_fast_fails_total",
+		"Calls rejected fast by an open breaker.")
+	mProbes = obs.Default.Counter("gondi_breaker_probes_total",
+		"Half-open probe calls admitted.")
+	mRecoveries = obs.Default.Counter("gondi_breaker_recoveries_total",
+		"Breakers closed again after a successful probe.")
+	mOpenNow = obs.Default.Gauge("gondi_breaker_open",
+		"Breakers currently open or half-open.")
+)
+
+// Breaker is one endpoint's circuit breaker. The zero value is not usable;
+// use New or the package registry (For).
+type Breaker struct {
+	cfg Config
+
+	mu       sync.Mutex
+	state    State
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// New builds a breaker with the given configuration.
+func New(cfg Config) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// State returns the breaker's current position (Open lazily becomes
+// HalfOpen once the cooldown has elapsed).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked()
+}
+
+func (b *Breaker) stateLocked() State {
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = HalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a call may proceed: nil while closed, nil for the
+// single half-open probe once the cooldown elapses, ErrOpen otherwise.
+// Every Allow that returns nil must be paired with a Record.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked() {
+	case Closed:
+		return nil
+	case HalfOpen:
+		if b.probing {
+			mFastFails.Inc()
+			return ErrOpen
+		}
+		b.probing = true
+		mProbes.Inc()
+		return nil
+	default:
+		mFastFails.Inc()
+		return ErrOpen
+	}
+}
+
+// Ready reports whether a call would currently be admitted, without
+// consuming the half-open probe slot. Use it to rank endpoints (failover
+// ordering); use Allow/Record to actually gate a call.
+func (b *Breaker) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked() {
+	case Closed:
+		return true
+	case HalfOpen:
+		return !b.probing
+	default:
+		return false
+	}
+}
+
+// Record reports a call outcome. failure should be true only for
+// transport-level failures (the backend did not answer); a semantic error
+// from a live backend is a success as far as the circuit is concerned.
+func (b *Breaker) Record(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked() {
+	case HalfOpen:
+		b.probing = false
+		if failure {
+			// Probe failed: back to open, restart the cooldown.
+			b.state = Open
+			b.openedAt = b.now()
+			mTrips.Inc()
+			return
+		}
+		b.state = Closed
+		b.failures = 0
+		mRecoveries.Inc()
+		mOpenNow.Add(-1)
+	case Closed:
+		if !failure {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = Open
+			b.openedAt = b.now()
+			b.failures = 0
+			mTrips.Inc()
+			mOpenNow.Add(1)
+		}
+	case Open:
+		// A straggler from before the trip; nothing to learn.
+	}
+}
+
+// Do gates fn behind the breaker: ErrOpen without calling fn when open,
+// otherwise fn's error with the outcome recorded. faulty classifies which
+// errors count against the circuit (nil means every non-nil error does).
+func (b *Breaker) Do(faulty func(error) bool, fn func() error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := fn()
+	if faulty == nil {
+		b.Record(err != nil)
+	} else {
+		b.Record(err != nil && faulty(err))
+	}
+	return err
+}
+
+// Reset forces the breaker closed (tests, operator action).
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Closed {
+		mOpenNow.Add(-1)
+	}
+	b.state = Closed
+	b.failures = 0
+	b.probing = false
+}
+
+// --- registry ---
+
+var regMu sync.Mutex
+var registry = map[string]*Breaker{}
+
+// For returns the process-wide breaker for an endpoint (host:port or any
+// stable key), creating it with the default configuration on first use.
+// All wire clients talking to one endpoint share one breaker, so a dial
+// failure observed by the rpc layer also fails-fast a DNS-style probe of
+// the same address.
+func For(endpoint string) *Breaker {
+	regMu.Lock()
+	defer regMu.Unlock()
+	b, ok := registry[endpoint]
+	if !ok {
+		b = New(Config{})
+		registry[endpoint] = b
+	}
+	return b
+}
+
+// ResetAll closes every registered breaker (tests and benchmark harness
+// isolation: one experiment's injected faults must not fail-fast the next).
+func ResetAll() {
+	regMu.Lock()
+	breakers := make([]*Breaker, 0, len(registry))
+	for _, b := range registry {
+		breakers = append(breakers, b)
+	}
+	regMu.Unlock()
+	for _, b := range breakers {
+		b.Reset()
+	}
+}

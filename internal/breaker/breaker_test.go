@@ -1,0 +1,151 @@
+package breaker
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// testClock is a manually advanced clock.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time { return c.t }
+
+func newTestBreaker(cfg Config) (*Breaker, *testClock) {
+	b := New(cfg)
+	clk := &testClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestClosedPassesTraffic(t *testing.T) {
+	b, _ := newTestBreaker(Config{Threshold: 3, Cooldown: time.Second})
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow() = %v while closed", err)
+		}
+		b.Record(false)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v", got)
+	}
+}
+
+func TestTripsAfterThresholdConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(Config{Threshold: 3, Cooldown: time.Second})
+	for i := 0; i < 2; i++ {
+		_ = b.Allow()
+		b.Record(true)
+	}
+	// A success resets the run.
+	_ = b.Allow()
+	b.Record(false)
+	for i := 0; i < 2; i++ {
+		_ = b.Allow()
+		b.Record(true)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("tripped after interrupted run: %v", got)
+	}
+	_ = b.Allow()
+	b.Record(true)
+	if got := b.State(); got != Open {
+		t.Fatalf("state after 3 consecutive failures = %v", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow() while open = %v", err)
+	}
+}
+
+func TestHalfOpenProbeRecovers(t *testing.T) {
+	b, clk := newTestBreaker(Config{Threshold: 1, Cooldown: time.Second})
+	_ = b.Allow()
+	b.Record(true)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow() while open = %v", err)
+	}
+	clk.t = clk.t.Add(time.Second)
+	// Exactly one probe is admitted.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow() = %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe admitted: %v", err)
+	}
+	b.Record(false)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after successful probe = %v", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow() after recovery = %v", err)
+	}
+}
+
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(Config{Threshold: 1, Cooldown: time.Second})
+	_ = b.Allow()
+	b.Record(true)
+	clk.t = clk.t.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow() = %v", err)
+	}
+	b.Record(true)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow() after failed probe = %v", err)
+	}
+	// The cooldown restarts from the failed probe.
+	clk.t = clk.t.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow() after second cooldown = %v", err)
+	}
+	b.Record(false)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v", got)
+	}
+}
+
+func TestDoClassifiesFailures(t *testing.T) {
+	b, _ := newTestBreaker(Config{Threshold: 1, Cooldown: time.Minute})
+	semantic := errors.New("name not found")
+	// Semantic errors (classified non-faulty) never trip the breaker.
+	for i := 0; i < 5; i++ {
+		err := b.Do(func(error) bool { return false }, func() error { return semantic })
+		if !errors.Is(err, semantic) {
+			t.Fatalf("Do = %v", err)
+		}
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("semantic errors tripped the breaker: %v", got)
+	}
+	// A transport failure does.
+	transport := errors.New("connection refused")
+	_ = b.Do(func(error) bool { return true }, func() error { return transport })
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v", got)
+	}
+	if err := b.Do(nil, func() error { t.Fatal("fn ran while open"); return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Do while open = %v", err)
+	}
+}
+
+func TestRegistrySharesPerEndpoint(t *testing.T) {
+	t.Cleanup(ResetAll)
+	a := For("test-ep:1")
+	if For("test-ep:1") != a {
+		t.Fatal("same endpoint returned distinct breakers")
+	}
+	if For("test-ep:2") == a {
+		t.Fatal("distinct endpoints share a breaker")
+	}
+	for i := 0; i < DefaultThreshold; i++ {
+		_ = a.Allow()
+		a.Record(true)
+	}
+	if got := For("test-ep:1").State(); got != Open {
+		t.Fatalf("state = %v", got)
+	}
+	ResetAll()
+	if got := a.State(); got != Closed {
+		t.Fatalf("state after ResetAll = %v", got)
+	}
+}

@@ -21,8 +21,15 @@
 //   - Degradation: when a watch dies the affected root is flushed and
 //     flipped to TTL mode, and a background goroutine re-registers the
 //     watch with capped exponential backoff (internal/retry), re-dialing
-//     the root if the old connection is gone. On success the root is
-//     flushed once more and returns to event mode.
+//     the root if the old connection is gone (each attempt gated by the
+//     endpoint's circuit breaker). On success the root is flushed once
+//     more and returns to event mode.
+//   - Serve-stale: when a refill fails with a transport-class error (the
+//     backend is unreachable or its breaker is open) and an expired entry
+//     is still within its stale window (Config.StaleTTL), the cache serves
+//     the stale value instead of the error, extends its freshness briefly,
+//     and marks the serve in metrics and traces. Disable with
+//     Config.DisableServeStale.
 //
 // Negative results (core.ErrNotFound) are cached briefly, and concurrent
 // misses for one key are collapsed into a single provider call
@@ -62,11 +69,13 @@ var (
 	mEvictions = obs.Default.Counter("gondi_cache_evictions_total",
 		"Invalidation-driven entry removals (writes, events, flushes, LRU).")
 	mExpirations = obs.Default.Counter("gondi_cache_expirations_total",
-		"TTL-driven entry removals.")
+		"Entries whose TTL lapsed (removed, or retained for serve-stale).")
 	mWatchLosses = obs.Default.Counter("gondi_cache_watch_losses_total",
 		"Invalidation watches lost (root degraded to TTL mode).")
 	mRewatches = obs.Default.Counter("gondi_cache_rewatches_total",
 		"Invalidation watches successfully re-registered after a loss.")
+	mStaleServes = obs.Default.Counter("gondi_cache_stale_serves_total",
+		"Expired entries served because the refill hit a transport failure.")
 )
 
 // Config is the cache configuration. It aliases core.CacheConfig so that
@@ -82,9 +91,17 @@ const (
 	DefaultNegativeTTL = 5 * time.Second
 	// DefaultMaxEntries bounds each root's entry count (LRU beyond it).
 	DefaultMaxEntries = 4096
+	// DefaultStaleTTL bounds how long past expiry a positive entry remains
+	// eligible for degraded serve-stale when the backend is unreachable.
+	DefaultStaleTTL = 2 * time.Minute
 	// backstopTTL bounds event-mode entries: events keep them fresh, so
 	// expiry exists only to cap memory held for names never touched again.
 	backstopTTL = time.Hour
+	// staleExtension is the freshness a stale serve grants the entry: long
+	// enough that a burst during an outage is absorbed by the ordinary hit
+	// path instead of re-probing per call, short enough that recovery is
+	// noticed quickly once the endpoint heals.
+	staleExtension = time.Second
 )
 
 // rewatchPolicy drives watch re-registration after a loss: effectively
@@ -126,6 +143,9 @@ type Stats struct {
 	// WatchLosses counts event-channel failures; Rewatches counts
 	// successful re-registrations after a loss.
 	WatchLosses, Rewatches int64
+	// StaleServes counts expired entries served in degraded mode because
+	// the refill failed with a transport-class error.
+	StaleServes int64
 }
 
 // Cache implements core.Middleware. One Cache serves one InitialContext
@@ -148,6 +168,7 @@ type Cache struct {
 	hits, negHits, misses, collapsed atomic.Int64
 	evictions, expirations           atomic.Int64
 	watchLosses, rewatches           atomic.Int64
+	staleServes                      atomic.Int64
 }
 
 var _ core.Middleware = (*Cache)(nil)
@@ -164,6 +185,9 @@ func New(cfg Config, env map[string]any) *Cache {
 	}
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = DefaultMaxEntries
+	}
+	if cfg.StaleTTL <= 0 {
+		cfg.StaleTTL = DefaultStaleTTL
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Cache{
@@ -187,6 +211,7 @@ func (c *Cache) Stats() Stats {
 		Expirations:  c.expirations.Load(),
 		WatchLosses:  c.watchLosses.Load(),
 		Rewatches:    c.rewatches.Load(),
+		StaleServes:  c.staleServes.Load(),
 	}
 }
 

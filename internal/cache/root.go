@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"gondi/internal/breaker"
 	"gondi/internal/core"
 	"gondi/internal/obs"
 	"gondi/internal/retry"
@@ -40,7 +41,12 @@ type entry struct {
 	val     any
 	err     error
 	expires time.Time
-	elem    *list.Element
+	// staleUntil bounds degraded serve-stale: past expires but before
+	// staleUntil the entry may still be served when a refill fails with a
+	// transport-class error. Equal to expires for entries never eligible
+	// (negative results).
+	staleUntil time.Time
+	elem       *list.Element
 }
 
 // call is an in-flight fill other callers wait on (singleflight).
@@ -88,6 +94,7 @@ func (r *root) cachedOp(ctx context.Context, key string, base core.Name, fill fu
 		return nil, err
 	}
 	now := time.Now()
+	hasStale := false
 	r.mu.Lock()
 	if r.closed {
 		inner := r.inner
@@ -116,9 +123,16 @@ func (r *root) cachedOp(ctx context.Context, key string, base core.Name, fill fu
 			obs.CacheEvent(ctx, "hit")
 			return val, nil
 		}
-		r.removeLocked(e)
 		r.c.expirations.Add(1)
 		mExpirations.Inc()
+		if !r.c.cfg.DisableServeStale && now.Before(e.staleUntil) {
+			// Expired but inside the stale window: keep it as the degraded-
+			// mode fallback. A successful fill below replaces it; a
+			// transport failure serves it (serveStale).
+			hasStale = true
+		} else {
+			r.removeLocked(e)
+		}
 	}
 	if cl, ok := r.flight[key]; ok {
 		inner := r.inner
@@ -149,18 +163,82 @@ func (r *root) cachedOp(ctx context.Context, key string, base core.Name, fill fu
 	mMisses.Inc()
 	obs.CacheEvent(ctx, "miss")
 	val, err := fill(inner)
+	staleServed := false
+	if err != nil && hasStale {
+		if sv, serr, ok := r.serveStale(key, err); ok {
+			obs.CacheEvent(ctx, "stale")
+			val, err, staleServed = sv, serr, true
+		}
+	}
 	cl.val, cl.err = val, err
 
 	r.mu.Lock()
 	delete(r.flight, key)
-	if !r.closed && r.gen == gen {
+	if !r.closed && r.gen == gen && !staleServed {
 		if exp, ok := r.cacheable(base, val, err); ok {
-			r.insertLocked(&entry{key: key, base: base, val: val, err: err, expires: exp})
+			e := &entry{key: key, base: base, val: val, err: err, expires: exp, staleUntil: exp}
+			if r.staleEligible(err) {
+				e.staleUntil = exp.Add(r.c.cfg.StaleTTL)
+			}
+			r.insertLocked(e)
 		}
 	}
 	r.mu.Unlock()
 	close(cl.done)
 	return val, err
+}
+
+// staleEligible reports whether an entry with this result error may later
+// be served stale: positive results and inert federation continuations
+// yes, cached ErrNotFound no (a stale "does not exist" is an invented
+// answer, not a degraded one).
+func (r *root) staleEligible(err error) bool {
+	if err == nil {
+		return true
+	}
+	var cpe *core.CannotProceedError
+	return errors.As(err, &cpe)
+}
+
+// serveStale serves an expired entry after a failed refill, provided the
+// failure was transport-class and the entry is still inside its stale
+// window. The entry's freshness is extended briefly (capped by the window)
+// so a burst during the outage rides the ordinary hit path instead of
+// re-probing the dead backend per call.
+func (r *root) serveStale(key string, fillErr error) (any, error, bool) {
+	if !transportClass(fillErr) {
+		return nil, nil, false
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[key]
+	if !ok || r.closed || !now.Before(e.staleUntil) {
+		return nil, nil, false
+	}
+	exp := now.Add(staleExtension)
+	if exp.After(e.staleUntil) {
+		exp = e.staleUntil
+	}
+	e.expires = exp
+	r.lru.MoveToFront(e.elem)
+	r.c.staleServes.Add(1)
+	mStaleServes.Inc()
+	return e.val, e.err, true
+}
+
+// transportClass reports whether err means "the backend did not answer"
+// (dial/connection failure, breaker open, transient net error) as opposed
+// to a semantic answer from a live backend or the caller's own context
+// expiring. Only transport-class failures trigger serve-stale.
+func transportClass(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ce *core.CommunicationError
+	var sue *core.ServiceUnavailableError
+	return errors.As(err, &ce) || errors.As(err, &sue) ||
+		errors.Is(err, breaker.ErrOpen) || retry.Transient(err)
 }
 
 // cacheable decides whether a fill result may be remembered and until
@@ -308,12 +386,24 @@ func (r *root) watchLost() {
 
 // rewatchLoop re-registers the invalidation watch with capped exponential
 // backoff until it succeeds or the cache closes. Every error is treated as
-// transient: the loop exists precisely to outlast partitions and restarts.
+// transient — including breaker.ErrOpen, so the loop keeps backing off
+// through an open circuit instead of dying: it exists precisely to outlast
+// partitions and restarts. The breaker (shared per root key) keeps the
+// actual re-dial attempts from hammering a dead endpoint: while it is
+// open, iterations fail fast without touching the wire.
 func (r *root) rewatchLoop() {
 	defer r.c.wg.Done()
+	br := breaker.For("cache:" + r.key)
 	err := retry.DoClassify(r.c.closeCtx, rewatchPolicy,
 		func(error) bool { return true },
-		func() error { return r.tryRewatch(r.c.closeCtx) })
+		func() error {
+			if err := br.Allow(); err != nil {
+				return err
+			}
+			err := r.tryRewatch(r.c.closeCtx)
+			br.Record(err != nil && r.c.closeCtx.Err() == nil)
+			return err
+		})
 	r.mu.Lock()
 	r.rewatching = false
 	r.mu.Unlock()

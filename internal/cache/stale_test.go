@@ -1,0 +1,236 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+)
+
+// failCtx wraps fakeCtx so reads can be switched to fail with an arbitrary
+// error, simulating a backend that stopped answering.
+type failCtx struct {
+	*fakeCtx
+	mu  sync.Mutex
+	err error
+}
+
+func (f *failCtx) setErr(err error) {
+	f.mu.Lock()
+	f.err = err
+	f.mu.Unlock()
+}
+
+func (f *failCtx) Lookup(ctx context.Context, name string) (any, error) {
+	f.mu.Lock()
+	err := f.err
+	f.mu.Unlock()
+	if err != nil {
+		f.fakeCtx.mu.Lock()
+		f.fakeCtx.lookups++
+		f.fakeCtx.mu.Unlock()
+		return nil, err
+	}
+	return f.fakeCtx.Lookup(ctx, name)
+}
+
+func transportErr() error {
+	return &core.CommunicationError{Endpoint: "backend:1", Err: errors.New("connection refused")}
+}
+
+func TestServeStaleOnTransportFailure(t *testing.T) {
+	f := &failCtx{fakeCtx: newFakeCtx()}
+	f.bound["svc"] = "v1"
+	c := New(Config{TTL: 20 * time.Millisecond, DisableEvents: true}, nil)
+	defer c.Close()
+	w := c.Wrap(f)
+	ctx := context.Background()
+
+	if _, err := w.Lookup(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	f.setErr(transportErr())
+	got, err := w.Lookup(ctx, "svc")
+	if err != nil {
+		t.Fatalf("degraded lookup failed: %v (want stale value)", err)
+	}
+	if got != "v1" {
+		t.Fatalf("degraded lookup = %v, want stale v1", got)
+	}
+	if s := c.Stats(); s.StaleServes != 1 {
+		t.Errorf("stale serves = %d, want 1", s.StaleServes)
+	}
+}
+
+func TestServeStaleExtendsFreshness(t *testing.T) {
+	f := &failCtx{fakeCtx: newFakeCtx()}
+	f.bound["svc"] = "v1"
+	c := New(Config{TTL: 20 * time.Millisecond, DisableEvents: true}, nil)
+	defer c.Close()
+	w := c.Wrap(f)
+	ctx := context.Background()
+
+	if _, err := w.Lookup(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	f.setErr(transportErr())
+	if _, err := w.Lookup(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	fills := f.lookupCount()
+	// The stale serve granted a short freshness extension: an immediate
+	// retry must ride the hit path, not re-probe the dead backend.
+	if _, err := w.Lookup(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.lookupCount(); got != fills {
+		t.Errorf("provider lookups = %d, want %d (extension should absorb the burst)", got, fills)
+	}
+}
+
+func TestServeStaleRecovers(t *testing.T) {
+	f := &failCtx{fakeCtx: newFakeCtx()}
+	f.bound["svc"] = "v1"
+	c := New(Config{TTL: 20 * time.Millisecond, DisableEvents: true}, nil)
+	defer c.Close()
+	w := c.Wrap(f)
+	ctx := context.Background()
+
+	if _, err := w.Lookup(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	f.setErr(transportErr())
+	if _, err := w.Lookup(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	// Backend heals and the data changed meanwhile; once the extension
+	// lapses the next fill must return the fresh value.
+	f.setErr(nil)
+	f.fakeCtx.mu.Lock()
+	f.fakeCtx.bound["svc"] = "v2"
+	f.fakeCtx.mu.Unlock()
+	time.Sleep(staleExtension + 50*time.Millisecond)
+	got, err := w.Lookup(ctx, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "v2" {
+		t.Errorf("post-recovery lookup = %v, want v2", got)
+	}
+}
+
+func TestServeStaleOnlyForTransportErrors(t *testing.T) {
+	f := &failCtx{fakeCtx: newFakeCtx()}
+	f.bound["svc"] = "v1"
+	c := New(Config{TTL: 20 * time.Millisecond, DisableEvents: true}, nil)
+	defer c.Close()
+	w := c.Wrap(f)
+	ctx := context.Background()
+
+	if _, err := w.Lookup(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	semantic := errors.New("schema violation")
+	f.setErr(semantic)
+	if _, err := w.Lookup(ctx, "svc"); !errors.Is(err, semantic) {
+		t.Fatalf("semantic failure returned %v, want it surfaced (no stale serve)", err)
+	}
+	if s := c.Stats(); s.StaleServes != 0 {
+		t.Errorf("stale serves = %d, want 0", s.StaleServes)
+	}
+}
+
+func TestServeStaleWindowBounded(t *testing.T) {
+	f := &failCtx{fakeCtx: newFakeCtx()}
+	f.bound["svc"] = "v1"
+	c := New(Config{TTL: 20 * time.Millisecond, StaleTTL: 30 * time.Millisecond, DisableEvents: true}, nil)
+	defer c.Close()
+	w := c.Wrap(f)
+	ctx := context.Background()
+
+	if _, err := w.Lookup(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond) // past TTL + StaleTTL
+	f.setErr(transportErr())
+	var ce *core.CommunicationError
+	if _, err := w.Lookup(ctx, "svc"); !errors.As(err, &ce) {
+		t.Fatalf("lookup past the stale window returned %v, want the transport error", err)
+	}
+}
+
+func TestServeStaleDisabled(t *testing.T) {
+	f := &failCtx{fakeCtx: newFakeCtx()}
+	f.bound["svc"] = "v1"
+	c := New(Config{TTL: 20 * time.Millisecond, DisableServeStale: true, DisableEvents: true}, nil)
+	defer c.Close()
+	w := c.Wrap(f)
+	ctx := context.Background()
+
+	if _, err := w.Lookup(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	f.setErr(transportErr())
+	var ce *core.CommunicationError
+	if _, err := w.Lookup(ctx, "svc"); !errors.As(err, &ce) {
+		t.Fatalf("lookup with serve-stale disabled returned %v, want the transport error", err)
+	}
+}
+
+func TestNegativeEntriesNeverServedStale(t *testing.T) {
+	f := &failCtx{fakeCtx: newFakeCtx()}
+	c := New(Config{NegativeTTL: 20 * time.Millisecond, DisableEvents: true}, nil)
+	defer c.Close()
+	w := c.Wrap(f)
+	ctx := context.Background()
+
+	if _, err := w.Lookup(ctx, "ghost"); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("lookup = %v, want ErrNotFound", err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	f.setErr(transportErr())
+	// A stale "does not exist" would be an invented answer: the transport
+	// failure must surface instead.
+	var ce *core.CommunicationError
+	if _, err := w.Lookup(ctx, "ghost"); !errors.As(err, &ce) {
+		t.Fatalf("lookup = %v, want the transport error, not a stale ErrNotFound", err)
+	}
+	if s := c.Stats(); s.StaleServes != 0 {
+		t.Errorf("stale serves = %d, want 0", s.StaleServes)
+	}
+}
+
+func TestWriteInvalidatesStaleCandidate(t *testing.T) {
+	f := &failCtx{fakeCtx: newFakeCtx()}
+	f.bound["svc"] = "v1"
+	c := New(Config{TTL: 20 * time.Millisecond, DisableEvents: true}, nil)
+	defer c.Close()
+	w := c.Wrap(f)
+	ctx := context.Background()
+
+	if _, err := w.Lookup(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	// The write removes the expired entry outright: a later degraded read
+	// must not resurrect the pre-write value.
+	if err := w.Unbind(ctx, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	f.setErr(transportErr())
+	var ce *core.CommunicationError
+	if _, err := w.Lookup(ctx, "svc"); !errors.As(err, &ce) {
+		t.Fatalf("post-write degraded lookup = %v, want the transport error", err)
+	}
+	if s := c.Stats(); s.StaleServes != 0 {
+		t.Errorf("stale serves = %d, want 0", s.StaleServes)
+	}
+}

@@ -158,3 +158,21 @@ func (e *CommunicationError) Error() string {
 }
 
 func (e *CommunicationError) Unwrap() error { return e.Err }
+
+// ServiceUnavailableError reports that a service could not be reached on
+// any of its endpoints — every candidate was down, breaker-open, or
+// exhausted its retries (javax.naming.ServiceUnavailableException). It is
+// the terminal form of CommunicationError: retrying immediately is
+// pointless, failover has already happened.
+type ServiceUnavailableError struct {
+	// Endpoint is the last endpoint tried (or the whole authority when
+	// no endpoint admitted an attempt).
+	Endpoint string
+	Err      error
+}
+
+func (e *ServiceUnavailableError) Error() string {
+	return fmt.Sprintf("naming: service unavailable at %s: %v", e.Endpoint, e.Err)
+}
+
+func (e *ServiceUnavailableError) Unwrap() error { return e.Err }

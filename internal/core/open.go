@@ -26,6 +26,14 @@ type CacheConfig struct {
 	DisableEvents bool
 	// DisableNegative turns off negative caching of ErrNotFound.
 	DisableNegative bool
+	// StaleTTL bounds how long past expiry a positive entry may still be
+	// served when a refill fails with a transport-class error (backend
+	// unreachable, breaker open). <=0 uses the cache package's default.
+	StaleTTL time.Duration
+	// DisableServeStale turns the degraded serve-stale mode off entirely:
+	// a transport failure during refill surfaces to the caller even when an
+	// expired entry is available.
+	DisableServeStale bool
 }
 
 // Middleware intercepts InitialContext resolution. The cache package

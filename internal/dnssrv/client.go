@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"gondi/internal/breaker"
 	"gondi/internal/obs"
 )
 
@@ -89,7 +90,20 @@ func (r *Resolver) attemptTimeout(ctx context.Context) time.Duration {
 // Exchange sends a query message and returns the validated response. ctx
 // bounds the whole exchange including retries; its deadline is applied to
 // each socket.
+//
+// Exchanges are gated by the server's process-wide circuit breaker: a
+// server that has repeatedly timed out fast-fails with breaker.ErrOpen
+// until its cooldown admits a probe. A response with a failure rcode
+// (NXDOMAIN, SERVFAIL) counts as success — the server answered.
 func (r *Resolver) Exchange(ctx context.Context, req *Message) (_ *Message, rerr error) {
+	br := breaker.For(r.Server)
+	if err := br.Allow(); err != nil {
+		return nil, fmt.Errorf("dnssrv: %s: %w", r.Server, err)
+	}
+	defer func() {
+		// Caller cancellation is not server health.
+		br.Record(rerr != nil && ctx.Err() == nil)
+	}()
 	if obs.On() {
 		start := time.Now()
 		obs.AddWireRT(ctx)
@@ -142,7 +156,12 @@ func (r *Resolver) Exchange(ctx context.Context, req *Message) (_ *Message, rerr
 func (r *Resolver) exchangeUDP(ctx context.Context, pkt []byte, id uint16) (*Message, error) {
 	timeout := r.attemptTimeout(ctx)
 	if timeout <= 0 {
-		return nil, ctx.Err()
+		// ctx.Err() can still be nil for a hair after the deadline passes
+		// (the timer hasn't fired); never return (nil, nil).
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.DeadlineExceeded
 	}
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "udp", r.Server)
@@ -174,7 +193,10 @@ func (r *Resolver) exchangeUDP(ctx context.Context, pkt []byte, id uint16) (*Mes
 func (r *Resolver) exchangeTCP(ctx context.Context, pkt []byte, id uint16) (*Message, error) {
 	timeout := r.attemptTimeout(ctx)
 	if timeout <= 0 {
-		return nil, ctx.Err()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.DeadlineExceeded
 	}
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", r.Server)

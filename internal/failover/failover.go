@@ -1,0 +1,78 @@
+// Package failover opens a provider context against a multi-endpoint
+// authority: "host1:port1,host2:port2,…". Endpoints are tried in order,
+// each gated by its process-wide circuit breaker, so a dead replica is
+// skipped in O(1) once its breaker opens and re-probed only after the
+// cooldown. All providers that dial a remote server route their Open
+// through this package, which is what makes `gondi://a:1,b:2/path` URLs
+// heal around a crashed replica.
+//
+// The package sits above core (it returns core errors) and beside the
+// providers; core itself stays transport-agnostic.
+package failover
+
+import (
+	"context"
+	"errors"
+	"strings"
+
+	"gondi/internal/breaker"
+	"gondi/internal/core"
+)
+
+// DialFunc opens a context against one concrete endpoint.
+type DialFunc[T any] func(ctx context.Context, endpoint string) (T, error)
+
+// Endpoints splits a (possibly comma-separated) authority into its
+// endpoint list, dropping empty entries.
+func Endpoints(authority string) []string {
+	parts := strings.Split(authority, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Open tries dial against each endpoint of authority in order. Endpoints
+// whose breaker is open are skipped (their turn comes back after the
+// cooldown via half-open probes). Each attempt's outcome is recorded with
+// the endpoint's breaker. When every endpoint fails — or every breaker
+// refused to admit an attempt — the error is a
+// *core.ServiceUnavailableError wrapping the last failure.
+func Open[T any](ctx context.Context, authority string, dial DialFunc[T]) (T, error) {
+	var zero T
+	eps := Endpoints(authority)
+	if len(eps) == 0 {
+		return zero, &core.ServiceUnavailableError{Endpoint: authority, Err: errors.New("no endpoints in authority")}
+	}
+	var lastErr error
+	lastEp := eps[len(eps)-1]
+	for _, ep := range eps {
+		if err := core.CtxErr(ctx); err != nil {
+			return zero, err
+		}
+		br := breaker.For(ep)
+		if err := br.Allow(); err != nil {
+			if lastErr == nil {
+				lastErr, lastEp = err, ep
+			}
+			continue
+		}
+		v, err := dial(ctx, ep)
+		if err == nil {
+			br.Record(false)
+			return v, nil
+		}
+		// Context cancellation is the caller giving up, not endpoint
+		// health; don't charge it to the breaker.
+		br.Record(!isCtxErr(err))
+		lastErr, lastEp = err, ep
+	}
+	return zero, &core.ServiceUnavailableError{Endpoint: lastEp, Err: lastErr}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,144 @@
+package failover
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gondi/internal/breaker"
+	"gondi/internal/core"
+)
+
+func TestEndpointsSplitsAndTrims(t *testing.T) {
+	got := Endpoints(" a:1 ,b:2,,c:3 ")
+	want := []string{"a:1", "b:2", "c:3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Endpoints = %v, want %v", got, want)
+	}
+}
+
+func TestOpenFailsOverToHealthyEndpoint(t *testing.T) {
+	breaker.ResetAll()
+	var tried []string
+	v, err := Open(context.Background(), "dead:1,live:2", func(ctx context.Context, ep string) (string, error) {
+		tried = append(tried, ep)
+		if ep == "dead:1" {
+			return "", errors.New("connection refused")
+		}
+		return "ctx@" + ep, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "ctx@live:2" {
+		t.Fatalf("v = %q", v)
+	}
+	if !reflect.DeepEqual(tried, []string{"dead:1", "live:2"}) {
+		t.Fatalf("tried = %v", tried)
+	}
+}
+
+func TestOpenSkipsBreakerOpenEndpoints(t *testing.T) {
+	breaker.ResetAll()
+	// Trip dead:1's breaker.
+	br := breaker.For("dead:1")
+	for i := 0; i < 10; i++ {
+		br.Record(true)
+	}
+	var tried []string
+	_, err := Open(context.Background(), "dead:1,live:2", func(ctx context.Context, ep string) (string, error) {
+		tried = append(tried, ep)
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tried, []string{"live:2"}) {
+		t.Fatalf("tried = %v, want only the healthy endpoint", tried)
+	}
+}
+
+func TestOpenAllDownIsServiceUnavailable(t *testing.T) {
+	breaker.ResetAll()
+	boom := errors.New("boom")
+	_, err := Open(context.Background(), "a:1,b:2", func(ctx context.Context, ep string) (string, error) {
+		return "", fmt.Errorf("dial %s: %w", ep, boom)
+	})
+	var sue *core.ServiceUnavailableError
+	if !errors.As(err, &sue) {
+		t.Fatalf("err = %v, want ServiceUnavailableError", err)
+	}
+	if sue.Endpoint != "b:2" {
+		t.Fatalf("Endpoint = %q", sue.Endpoint)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("underlying cause not preserved")
+	}
+}
+
+func TestOpenAllBreakersOpen(t *testing.T) {
+	breaker.ResetAll()
+	for _, ep := range []string{"a:1", "b:2"} {
+		br := breaker.For(ep)
+		for i := 0; i < 10; i++ {
+			br.Record(true)
+		}
+	}
+	_, err := Open(context.Background(), "a:1,b:2", func(ctx context.Context, ep string) (string, error) {
+		t.Fatalf("dial reached %s through an open breaker", ep)
+		return "", nil
+	})
+	var sue *core.ServiceUnavailableError
+	if !errors.As(err, &sue) {
+		t.Fatalf("err = %v, want ServiceUnavailableError", err)
+	}
+	if !errors.Is(err, breaker.ErrOpen) {
+		t.Fatalf("err = %v, want to wrap breaker.ErrOpen", err)
+	}
+}
+
+func TestOpenRepeatedFailuresTripBreaker(t *testing.T) {
+	breaker.ResetAll()
+	calls := 0
+	for i := 0; i < 10; i++ {
+		_, _ = Open(context.Background(), "flaky:9", func(ctx context.Context, ep string) (string, error) {
+			calls++
+			return "", errors.New("reset by peer")
+		})
+	}
+	if calls >= 10 {
+		t.Fatalf("breaker never opened: %d dials for 10 opens", calls)
+	}
+	if breaker.For("flaky:9").State() != breaker.Open {
+		t.Fatalf("breaker state = %v", breaker.For("flaky:9").State())
+	}
+}
+
+func TestOpenCtxErrNotChargedToBreaker(t *testing.T) {
+	breaker.ResetAll()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 20; i++ {
+		_, err := Open(context.Background(), "slow:1", func(c context.Context, ep string) (string, error) {
+			return "", ctx.Err()
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+	}
+	if st := breaker.For("slow:1").State(); st != breaker.Closed {
+		t.Fatalf("cancellations tripped the breaker: state = %v", st)
+	}
+}
+
+func TestOpenEmptyAuthority(t *testing.T) {
+	_, err := Open(context.Background(), " , ", func(ctx context.Context, ep string) (string, error) {
+		return "", nil
+	})
+	var sue *core.ServiceUnavailableError
+	if !errors.As(err, &sue) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"syscall"
+	"time"
+)
+
+// ErrInjectedReset marks a connection torn down by the schedule. It wraps
+// syscall.ECONNRESET so retry.Transient classifies it exactly like a real
+// peer reset.
+var ErrInjectedReset = &net.OpError{Op: "fault", Err: syscall.ECONNRESET}
+
+// cutPoll is how often a stalled (partitioned) operation re-checks the
+// schedule.
+const cutPoll = 5 * time.Millisecond
+
+// Conn wraps a net.Conn, injecting the Injector's schedule into its
+// Read/Write path. The zero value is not usable; use WrapConn.
+type Conn struct {
+	net.Conn
+	inj *Injector
+}
+
+// WrapConn applies inj's schedule to c.
+func WrapConn(c net.Conn, inj *Injector) *Conn {
+	return &Conn{Conn: c, inj: inj}
+}
+
+// Read implements net.Conn. A one-way inbound cut stalls the read — the
+// bytes simply stop arriving, exactly like a half-open network path — and
+// resumes (or fails with the connection's fate) once the cut lifts.
+func (c *Conn) Read(p []byte) (int, error) {
+	for c.inj.inCut() {
+		time.Sleep(cutPoll)
+	}
+	d := c.inj.next(false)
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.reset {
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn. Dropped writes report success without
+// touching the wire; short writes tear protocol framing; an outbound cut
+// swallows everything while it lasts.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.inj.outCut() {
+		return len(p), nil
+	}
+	d := c.inj.next(true)
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+	if d.reset {
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if d.drop {
+		return len(p), nil
+	}
+	if d.shortWrite && len(p) > 1 {
+		n, err := c.Conn.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		// Tear the rest of the frame off the wire: the peer's decoder
+		// sees a truncated frame and fails the connection.
+		c.Conn.Close()
+		return n, errors.New("fault: injected short write")
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps a net.Listener so every accepted connection carries the
+// Injector's schedule.
+type Listener struct {
+	net.Listener
+	inj *Injector
+}
+
+// WrapListener applies inj's schedule to every connection lis accepts.
+func WrapListener(lis net.Listener, inj *Injector) *Listener {
+	return &Listener{Listener: lis, inj: inj}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.inj), nil
+}

@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// StartFunc boots one server instance and returns its listen address plus
+// a stop function. gen counts restarts (0 for the first boot), letting
+// factories reuse persistent state (snapshot paths) across crashes.
+type StartFunc func(gen int) (addr string, stop func() error, err error)
+
+// Harness crash-stops and restarts a server behind a stable Proxy
+// address: clients keep dialing one address while the backend dies and
+// comes back on a fresh port. This is the crash/restart seam the chaos
+// tests use for the five daemons (LUS, HDNS, DNS, LDAP, JXTA).
+type Harness struct {
+	start StartFunc
+	proxy *Proxy
+
+	mu      sync.Mutex
+	stop    func() error
+	gen     int
+	crashed bool
+	closed  bool
+}
+
+// NewHarness boots the first instance and fronts it with a faulting
+// proxy driven by inj (nil means a pass-through schedule).
+func NewHarness(start StartFunc, inj *Injector) (*Harness, error) {
+	if inj == nil {
+		inj = NewInjector(Config{})
+	}
+	addr, stop, err := start(0)
+	if err != nil {
+		return nil, err
+	}
+	proxy, err := NewProxy(addr, inj)
+	if err != nil {
+		_ = stop()
+		return nil, err
+	}
+	return &Harness{start: start, proxy: proxy, stop: stop}, nil
+}
+
+// Addr returns the stable client-facing address (the proxy's).
+func (h *Harness) Addr() string { return h.proxy.Addr() }
+
+// Proxy exposes the fronting proxy for fine-grained fault control.
+func (h *Harness) Proxy() *Proxy { return h.proxy }
+
+// Crash kills the backend: connections sever, new dials are refused.
+func (h *Harness) Crash() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return errors.New("fault: harness closed")
+	}
+	if h.crashed {
+		return nil
+	}
+	h.crashed = true
+	stop := h.stop
+	h.stop = nil
+	h.proxy.Cut()
+	if stop != nil {
+		return stop()
+	}
+	return nil
+}
+
+// Restart boots a fresh instance (generation +1) and reconnects the
+// stable address to it.
+func (h *Harness) Restart() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return errors.New("fault: harness closed")
+	}
+	if !h.crashed {
+		return fmt.Errorf("fault: restart without crash")
+	}
+	h.gen++
+	addr, stop, err := h.start(h.gen)
+	if err != nil {
+		return err
+	}
+	h.stop = stop
+	h.crashed = false
+	h.proxy.SetTarget(addr)
+	h.proxy.Restore()
+	return nil
+}
+
+// Gen reports how many times the backend has been restarted.
+func (h *Harness) Gen() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.gen
+}
+
+// Close stops the backend and the proxy.
+func (h *Harness) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	stop := h.stop
+	h.stop = nil
+	h.mu.Unlock()
+	err := h.proxy.Close()
+	if stop != nil {
+		if serr := stop(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}

@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gondi/internal/jgroups"
+)
+
+// echoServer accepts connections and echoes every byte back.
+func echoServer(t *testing.T) (addr string, closeFn func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return lis.Addr().String(), func() { lis.Close(); wg.Wait() }
+}
+
+func roundTrip(t *testing.T, addr string, payload string, timeout time.Duration) error {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(timeout))
+	if _, err := c.Write([]byte(payload)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(payload))
+	if _, err := c.Read(buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	draw := func(seed int64) []decision {
+		inj := NewInjector(Config{Seed: seed, DropProb: 0.3, ResetProb: 0.2, ShortWriteProb: 0.1, LatencyProb: 0.4, Latency: time.Millisecond})
+		out := make([]decision, 100)
+		for i := range out {
+			out[i] = inj.next(true)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across runs with one seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced identical schedules")
+	}
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy(addr, NewInjector(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := roundTrip(t, p.Addr(), "hello", time.Second); err != nil {
+		t.Fatalf("clean round trip through proxy: %v", err)
+	}
+}
+
+func TestProxyCutSeversAndRestores(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy(addr, NewInjector(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Cut()
+	if err := roundTrip(t, p.Addr(), "x", 300*time.Millisecond); err == nil {
+		t.Fatal("round trip succeeded through a cut proxy")
+	}
+	p.Restore()
+	if err := roundTrip(t, p.Addr(), "x", time.Second); err != nil {
+		t.Fatalf("round trip after restore: %v", err)
+	}
+}
+
+func TestProxyInjectsResets(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy(addr, NewInjector(Config{Seed: 7, ResetProb: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := roundTrip(t, p.Addr(), "x", time.Second); err == nil {
+		t.Fatal("round trip survived a certain reset")
+	}
+}
+
+func TestOneWayPartitionStallsReads(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	inj := NewInjector(Config{})
+	p, err := NewProxy(addr, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	inj.CutInbound(true)
+	// The write goes through; the echo never arrives: read must time out.
+	err = roundTrip(t, p.Addr(), "x", 300*time.Millisecond)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("expected a read timeout, got %v", err)
+	}
+	inj.Restore()
+	if err := roundTrip(t, p.Addr(), "x", time.Second); err != nil {
+		t.Fatalf("round trip after restore: %v", err)
+	}
+}
+
+func TestHarnessCrashRestart(t *testing.T) {
+	h, err := NewHarness(func(gen int) (string, func() error, error) {
+		addr, stop := echoServer(t)
+		return addr, func() error { stop(); return nil }, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	stable := h.Addr()
+	if err := roundTrip(t, stable, "x", time.Second); err != nil {
+		t.Fatalf("before crash: %v", err)
+	}
+	if err := h.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(t, stable, "x", 300*time.Millisecond); err == nil {
+		t.Fatal("round trip succeeded against a crashed backend")
+	}
+	if err := h.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Gen() != 1 {
+		t.Fatalf("gen = %d", h.Gen())
+	}
+	if err := roundTrip(t, stable, "x", time.Second); err != nil {
+		t.Fatalf("after restart at the same address: %v", err)
+	}
+}
+
+func TestFabricScheduleDrivesPartitions(t *testing.T) {
+	f := jgroups.NewFabric()
+	a := f.Endpoint("a")
+	b := f.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+	send := func() bool {
+		_ = a.Send("b", &jgroups.Packet{})
+		select {
+		case <-b.Recv():
+			return true
+		case <-time.After(200 * time.Millisecond):
+			return false
+		}
+	}
+	if !send() {
+		t.Fatal("packet lost on a healthy fabric")
+	}
+	sched := &FabricSchedule{Fabric: f, Steps: []FabricStep{
+		{Partition: [][]jgroups.Address{{"a"}, {"b"}}},
+	}}
+	if err := sched.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if send() {
+		t.Fatal("packet crossed a partition")
+	}
+	heal := &FabricSchedule{Fabric: f, Steps: []FabricStep{{Heal: true}}}
+	if err := heal.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !send() {
+		t.Fatal("packet lost after heal")
+	}
+}

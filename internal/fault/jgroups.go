@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"context"
+	"time"
+
+	"gondi/internal/jgroups"
+)
+
+// FabricStep is one step of a deterministic partition/merge script
+// against an in-process jgroups fabric. Steps execute in order; each
+// waits After, then applies whichever actions are set.
+type FabricStep struct {
+	// After is the pause before this step applies (relative to the
+	// previous step).
+	After time.Duration
+	// Partition, when non-nil, splits the fabric (see Fabric.Partition).
+	Partition [][]jgroups.Address
+	// Heal, when true, removes all partitions (triggering view merge).
+	Heal bool
+	// Loss, when non-nil, sets the per-packet drop probability.
+	Loss *float64
+	// Delay, when non-nil, sets the fixed delivery delay.
+	Delay *time.Duration
+}
+
+// FabricSchedule drives a jgroups.Fabric through a scripted fault
+// sequence — the transport hook the HDNS partition/rejoin tests use to
+// exercise the PRIMARY PARTITION protocol deterministically.
+type FabricSchedule struct {
+	Fabric *jgroups.Fabric
+	Steps  []FabricStep
+}
+
+// Run executes the script; ctx aborts between steps. It returns ctx's
+// error if cancelled, else nil after the last step.
+func (s *FabricSchedule) Run(ctx context.Context) error {
+	for _, st := range s.Steps {
+		if st.After > 0 {
+			t := time.NewTimer(st.After)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		if st.Partition != nil {
+			s.Fabric.Partition(st.Partition...)
+		}
+		if st.Heal {
+			s.Fabric.Heal()
+		}
+		if st.Loss != nil {
+			s.Fabric.SetLoss(*st.Loss)
+		}
+		if st.Delay != nil {
+			s.Fabric.SetDelay(*st.Delay)
+		}
+	}
+	return nil
+}
+
+// RunAsync starts the script in the background and returns a wait
+// function.
+func (s *FabricSchedule) RunAsync(ctx context.Context) (wait func() error) {
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	return func() error { return <-done }
+}

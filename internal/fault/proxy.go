@@ -1,0 +1,384 @@
+package fault
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a faulting TCP relay: clients dial the proxy's stable address,
+// the proxy forwards to the (retargetable) backend, and the Injector's
+// schedule is applied to the forwarded stream. Cut/Restore model a hard
+// partition or crash from the client's point of view; SetTarget keeps the
+// client-facing address stable across backend restarts (see Harness).
+type Proxy struct {
+	lis net.Listener
+	inj *Injector
+
+	mu     sync.Mutex
+	target string
+	conns  map[net.Conn]struct{}
+	cut    bool
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewProxy starts a TCP proxy on an ephemeral local port forwarding to
+// target. A nil Injector means a pass-through schedule (Cut/Restore still
+// work).
+func NewProxy(target string, inj *Injector) (*Proxy, error) {
+	if inj == nil {
+		inj = NewInjector(Config{})
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return newProxyFrom(lis, target, inj), nil
+}
+
+func newProxyFrom(lis net.Listener, target string, inj *Injector) *Proxy {
+	p := &Proxy{lis: lis, inj: inj, target: target, conns: map[net.Conn]struct{}{}}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p
+}
+
+// Addr returns the stable client-facing address.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+// SetTarget points the proxy at a (re)started backend.
+func (p *Proxy) SetTarget(target string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.target = target
+}
+
+// Cut severs every relayed connection and refuses new ones: a crash or
+// full partition as observed by clients. The injector's one-way cuts are
+// orthogonal (traffic stalls instead of failing).
+func (p *Proxy) Cut() {
+	p.mu.Lock()
+	p.cut = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Restore lifts a Cut.
+func (p *Proxy) Restore() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cut = false
+}
+
+// Close stops the proxy and severs all relayed connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.lis.Close()
+	p.Cut()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		refuse := p.cut || p.closed
+		target := p.target
+		if !refuse {
+			p.conns[client] = struct{}{}
+		}
+		p.mu.Unlock()
+		if refuse {
+			client.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go p.relay(client, target)
+	}
+}
+
+func (p *Proxy) relay(client net.Conn, target string) {
+	defer p.wg.Done()
+	defer func() {
+		client.Close()
+		p.mu.Lock()
+		delete(p.conns, client)
+		p.mu.Unlock()
+	}()
+	backend, err := net.DialTimeout("tcp", target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	if p.cut || p.closed {
+		p.mu.Unlock()
+		backend.Close()
+		return
+	}
+	p.conns[backend] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		backend.Close()
+		p.mu.Lock()
+		delete(p.conns, backend)
+		p.mu.Unlock()
+	}()
+	// The faulted side is the backend conn: writes to it are outbound
+	// (client→server), reads from it inbound (server→client).
+	fb := WrapConn(backend, p.inj)
+	done := make(chan struct{}, 2)
+	go func() { _, _ = io.Copy(fb, client); backend.Close(); done <- struct{}{} }()
+	go func() { _, _ = io.Copy(client, fb); client.Close(); done <- struct{}{} }()
+	<-done
+	<-done
+}
+
+// UDPProxy is the datagram analog of Proxy, used to fault the DNS
+// provider: client datagrams are relayed to the backend and answers
+// relayed back, with drops, latency and cuts from the Injector's
+// schedule (resets and short writes do not apply to datagrams).
+type UDPProxy struct {
+	pc  net.PacketConn
+	inj *Injector
+
+	mu      sync.Mutex
+	target  string
+	clients map[string]*udpSession
+	cut     bool
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type udpSession struct {
+	conn net.Conn // connected UDP socket to the backend
+}
+
+// NewUDPProxy starts a UDP relay on an ephemeral local port forwarding to
+// target. A nil Injector means a pass-through schedule.
+func NewUDPProxy(target string, inj *Injector) (*UDPProxy, error) {
+	if inj == nil {
+		inj = NewInjector(Config{})
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return newUDPProxyFrom(pc, target, inj), nil
+}
+
+func newUDPProxyFrom(pc net.PacketConn, target string, inj *Injector) *UDPProxy {
+	p := &UDPProxy{pc: pc, inj: inj, target: target, clients: map[string]*udpSession{}}
+	p.wg.Add(1)
+	go p.readLoop()
+	return p
+}
+
+// DualProxy fronts a backend that serves TCP and UDP on one port (the
+// DNS server: queries over UDP, zone transfers and truncation fallback
+// over TCP). It binds both protocols on one local port so a single
+// client-facing address covers both paths, and cuts and heals them
+// together.
+type DualProxy struct {
+	tcp *Proxy
+	udp *UDPProxy
+}
+
+// NewDualProxy starts TCP and UDP relays sharing one ephemeral local
+// port, both forwarding to target with inj's schedule (nil means
+// pass-through).
+func NewDualProxy(target string, inj *Injector) (*DualProxy, error) {
+	if inj == nil {
+		inj = NewInjector(Config{})
+	}
+	var lastErr error
+	// The TCP bind picks the port; the UDP bind on the same port can
+	// collide with an unrelated socket, so retry with fresh ports.
+	for attempt := 0; attempt < 16; attempt++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		pc, err := net.ListenPacket("udp", lis.Addr().String())
+		if err != nil {
+			lastErr = err
+			lis.Close()
+			continue
+		}
+		return &DualProxy{
+			tcp: newProxyFrom(lis, target, inj),
+			udp: newUDPProxyFrom(pc, target, inj),
+		}, nil
+	}
+	return nil, lastErr
+}
+
+// Addr returns the stable client-facing address (same port for both
+// protocols).
+func (p *DualProxy) Addr() string { return p.tcp.Addr() }
+
+// SetTarget points both relays at a (re)started backend.
+func (p *DualProxy) SetTarget(target string) {
+	p.tcp.SetTarget(target)
+	p.udp.SetTarget(target)
+}
+
+// Cut severs both protocols; Restore heals both.
+func (p *DualProxy) Cut() {
+	p.tcp.Cut()
+	p.udp.Cut()
+}
+
+// Restore lifts a Cut on both protocols.
+func (p *DualProxy) Restore() {
+	p.tcp.Restore()
+	p.udp.Restore()
+}
+
+// Close stops both relays.
+func (p *DualProxy) Close() error {
+	err := p.tcp.Close()
+	if e := p.udp.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// Addr returns the stable client-facing address.
+func (p *UDPProxy) Addr() string { return p.pc.LocalAddr().String() }
+
+// SetTarget points the proxy at a (re)started backend.
+func (p *UDPProxy) SetTarget(target string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.target = target
+}
+
+// Cut makes the proxy a black hole (datagrams vanish in both directions).
+func (p *UDPProxy) Cut() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cut = true
+}
+
+// Restore lifts a Cut.
+func (p *UDPProxy) Restore() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cut = false
+}
+
+// Close stops the relay.
+func (p *UDPProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	sessions := make([]*udpSession, 0, len(p.clients))
+	for _, s := range p.clients {
+		sessions = append(sessions, s)
+	}
+	p.mu.Unlock()
+	err := p.pc.Close()
+	for _, s := range sessions {
+		s.conn.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *UDPProxy) readLoop() {
+	defer p.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := p.pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		p.mu.Lock()
+		cut, target := p.cut, p.target
+		sess := p.clients[from.String()]
+		p.mu.Unlock()
+		if cut {
+			continue
+		}
+		d := p.inj.next(true)
+		if d.drop || p.inj.outCut() {
+			continue
+		}
+		if sess == nil {
+			bc, err := net.Dial("udp", target)
+			if err != nil {
+				continue
+			}
+			sess = &udpSession{conn: bc}
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				bc.Close()
+				return
+			}
+			p.clients[from.String()] = sess
+			p.mu.Unlock()
+			p.wg.Add(1)
+			go p.backendLoop(sess, from)
+		}
+		if d.latency > 0 {
+			time.AfterFunc(d.latency, func() { _, _ = sess.conn.Write(pkt) })
+			continue
+		}
+		_, _ = sess.conn.Write(pkt)
+	}
+}
+
+func (p *UDPProxy) backendLoop(sess *udpSession, client net.Addr) {
+	defer p.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := sess.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		cut := p.cut
+		p.mu.Unlock()
+		if cut || p.inj.inCut() {
+			continue
+		}
+		d := p.inj.next(false)
+		if d.drop {
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		if d.latency > 0 {
+			time.AfterFunc(d.latency, func() { _, _ = p.pc.WriteTo(pkt, client) })
+			continue
+		}
+		_, _ = p.pc.WriteTo(pkt, client)
+	}
+}

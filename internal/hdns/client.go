@@ -59,11 +59,19 @@ func DialContext(ctx context.Context, addr, secret string, timeout time.Duration
 			h(msg)
 		}
 	})
-	if secret != "" {
-		if _, err := c.call(ctx, mAuth, &Req{Secret: secret}); err != nil {
-			rc.Close()
-			return nil, err
-		}
+	// A TCP dial can complete against a dead peer — a crashed node's
+	// accept queue, or a severed relay that accepts and drops — so the
+	// handshake always round-trips: auth when a secret is set, a no-op
+	// Info probe otherwise. Multi-endpoint failover then skips to the
+	// next replica at dial time instead of failing the first operation.
+	hello := &Req{Secret: secret}
+	method := mAuth
+	if secret == "" {
+		method = mInfo
+	}
+	if _, err := c.call(ctx, method, hello); err != nil {
+		rc.Close()
+		return nil, err
 	}
 	return c, nil
 }

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
+	"math/rand"
 	"sync"
 	"time"
 
+	"gondi/internal/breaker"
 	"gondi/internal/retry"
 	"gondi/internal/rpc"
 )
@@ -53,8 +56,20 @@ func DialRegistrarContext(ctx context.Context, addr string, defaultTimeout time.
 			h(ev)
 		}
 	})
+	// Liveness handshake: a TCP dial can complete against a dead LUS (a
+	// crashed process's accept queue, a severed relay that accepts and
+	// drops), so the dial ends with a no-op Groups round-trip. Failover
+	// across "host1:port,host2:port" authorities then moves to the next
+	// registrar at dial time instead of failing the first operation.
+	if _, err := r.call(ctx, mGroups, &wireReq{}); err != nil {
+		rc.Close()
+		return nil, err
+	}
 	return r, nil
 }
+
+// Addr returns the LUS endpoint this registrar dialed.
+func (r *Registrar) Addr() string { return r.rc.Addr() }
 
 // Close drops the connection (event registrations die with it).
 func (r *Registrar) Close() error { return r.rc.Close() }
@@ -161,9 +176,18 @@ func (r *Registrar) ServiceGroups(ctx context.Context) ([]string, error) {
 // previously bound, until they are explicitly removed, or until the Java
 // VM exits").
 type LeaseRenewalManager struct {
+	// OnLost, when set before the first Manage, is invoked once for each
+	// lease the manager gives up on: the registration is gone at the LUS
+	// (it answered "unknown") or the lease expired while the LUS was
+	// unreachable. Watch holders use it to surface the loss (the JNDI
+	// provider fires an EventWatchLost). Called outside the manager's
+	// lock.
+	OnLost func(id ServiceID, err error)
+
 	mu      sync.Mutex
 	tracked map[ServiceID]*trackedLease
 	stopped bool
+	rng     *rand.Rand
 }
 
 // renewPolicy retries a transiently failing renewal a few times inside
@@ -181,14 +205,33 @@ func NewLeaseRenewalManager() *LeaseRenewalManager {
 	return &LeaseRenewalManager{tracked: map[ServiceID]*trackedLease{}}
 }
 
-// Manage renews id's lease through reg every lease/2 until Forget or Stop.
+// interval is the jittered renewal period: lease/2 shortened by up to
+// 20%, so a fleet of providers whose leases were granted together (e.g.
+// after an LUS restart) doesn't renew in lockstep.
+func (m *LeaseRenewalManager) interval(lease time.Duration) time.Duration {
+	base := lease / 2
+	m.mu.Lock()
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	j := time.Duration(m.rng.Int63n(int64(base/5) + 1))
+	m.mu.Unlock()
+	return base - j
+}
+
+// Manage renews id's lease through reg on a jittered half-lease period
+// until Forget or Stop. Renewals are gated by the LUS endpoint's circuit
+// breaker: while it is open the manager skips the wire entirely and
+// re-checks shortly, giving the lease up (via OnLost) only once its
+// granted duration has actually expired. An LUS that answers "unknown
+// registration" loses the lease immediately.
 func (m *LeaseRenewalManager) Manage(reg *Registrar, id ServiceID, lease time.Duration) {
 	if lease <= 0 {
 		lease = DefaultLease
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.stopped {
+		m.mu.Unlock()
 		return
 	}
 	if old, ok := m.tracked[id]; ok {
@@ -196,6 +239,7 @@ func (m *LeaseRenewalManager) Manage(reg *Registrar, id ServiceID, lease time.Du
 	}
 	tl := &trackedLease{reg: reg, lease: lease, cancel: make(chan struct{})}
 	m.tracked[id] = tl
+	m.mu.Unlock()
 	go func() {
 		// The renewal loop's context dies with the tracked lease, so
 		// Stop/Forget abort an in-flight renewal instead of waiting it
@@ -206,30 +250,63 @@ func (m *LeaseRenewalManager) Manage(reg *Registrar, id ServiceID, lease time.Du
 			<-tl.cancel
 			cancelCtx()
 		}()
-		t := time.NewTicker(lease / 2)
+		expiry := time.Now().Add(lease)
+		t := time.NewTimer(m.interval(lease))
 		defer t.Stop()
 		for {
 			select {
 			case <-tl.cancel:
 				return
 			case <-t.C:
+			}
+			var err error
+			if addr := reg.Addr(); addr != "" {
+				err = breaker.For(addr).Allow()
+			}
+			if err == nil {
 				// Bound each renewal round (including retries) to the
 				// half-lease window it must fit inside.
 				rctx, cancel := context.WithTimeout(ctx, lease/2)
-				err := retry.Do(rctx, renewPolicy, func() error {
+				err = retry.Do(rctx, renewPolicy, func() error {
 					_, rerr := reg.Renew(rctx, id, lease)
 					return rerr
 				})
 				cancel()
-				if err != nil {
-					// The registration is gone (cancelled or LUS
-					// restarted) or the manager stopped; stop renewing.
-					m.Forget(id)
-					return
-				}
 			}
+			if err == nil {
+				expiry = time.Now().Add(lease)
+				t.Reset(m.interval(lease))
+				continue
+			}
+			var re *rpc.RemoteError
+			if errors.As(err, &re) || time.Now().After(expiry) {
+				m.lost(id, err)
+				return
+			}
+			// The LUS may return before the lease actually runs out;
+			// re-check on a short period without burning the breaker.
+			short := lease / 8
+			if short > 500*time.Millisecond {
+				short = 500 * time.Millisecond
+			}
+			t.Reset(short)
 		}
 	}()
+}
+
+// lost drops the lease and reports it, exactly once, to OnLost.
+func (m *LeaseRenewalManager) lost(id ServiceID, err error) {
+	m.mu.Lock()
+	tl, ok := m.tracked[id]
+	onLost := m.OnLost
+	if ok {
+		close(tl.cancel)
+		delete(m.tracked, id)
+	}
+	m.mu.Unlock()
+	if ok && onLost != nil {
+		onLost(id, err)
+	}
 }
 
 // Forget stops renewing id (without cancelling the registration).

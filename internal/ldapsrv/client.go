@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"gondi/internal/breaker"
 	"gondi/internal/filter"
 	"gondi/internal/ldapsrv/ber"
 	"gondi/internal/obs"
@@ -19,6 +20,7 @@ import (
 type Conn struct {
 	mu     sync.Mutex
 	conn   net.Conn
+	br     *breaker.Breaker
 	nextID int64
 	bound  string
 	dead   bool
@@ -43,8 +45,16 @@ func Dial(addr string, timeout time.Duration) (*Conn, error) {
 }
 
 // DialContext connects to an LDAP server, bounded by ctx; transient
-// connect failures are retried with backoff within ctx's budget.
+// connect failures are retried with backoff within ctx's budget. Dials
+// are gated by the server's process-wide circuit breaker — a repeatedly
+// unreachable server fast-fails with breaker.ErrOpen until its cooldown
+// admits a probe — and transport failures on the live connection feed the
+// same breaker.
 func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	br := breaker.For(addr)
+	if err := br.Allow(); err != nil {
+		return nil, err
+	}
 	var c net.Conn
 	err := retry.Do(ctx, retry.Policy{MaxAttempts: 3, BaseDelay: 25 * time.Millisecond, MaxDelay: 250 * time.Millisecond}, func() error {
 		var d net.Dialer
@@ -53,9 +63,11 @@ func DialContext(ctx context.Context, addr string) (*Conn, error) {
 		return derr
 	})
 	if err != nil {
+		br.Record(ctx.Err() == nil)
 		return nil, err
 	}
-	return &Conn{conn: c}, nil
+	br.Record(false)
+	return &Conn{conn: c, br: br}, nil
 }
 
 // Close sends an unbind request and closes the connection.
@@ -100,6 +112,7 @@ func (c *Conn) roundTrip(ctx context.Context, op *ber.Packet, terminator byte) (
 	id := c.nextID
 	if _, err := c.conn.Write(WrapMessage(id, op).Encode()); err != nil {
 		c.dead = true
+		c.recordLocked(wrapCtx(ctx, err))
 		return nil, wrapCtx(ctx, err)
 	}
 	var out []*ber.Packet
@@ -107,6 +120,7 @@ func (c *Conn) roundTrip(ctx context.Context, op *ber.Packet, terminator byte) (
 		msg, err := readBER(c.conn)
 		if err != nil {
 			c.dead = true
+			c.recordLocked(wrapCtx(ctx, err))
 			return nil, wrapCtx(ctx, err)
 		}
 		gotID, respOp, err := UnwrapMessage(msg)
@@ -118,9 +132,23 @@ func (c *Conn) roundTrip(ctx context.Context, op *ber.Packet, terminator byte) (
 		}
 		out = append(out, respOp)
 		if respOp.TagNumber() == terminator {
+			c.recordLocked(nil)
 			return out, nil
 		}
 	}
+}
+
+// recordLocked feeds a round-trip outcome to the endpoint breaker.
+// Context cancellation is the caller's budget, not server health, and is
+// not charged.
+func (c *Conn) recordLocked(err error) {
+	if c.br == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	c.br.Record(err != nil)
 }
 
 // wrapCtx substitutes ctx.Err() for an I/O error caused by the ctx

@@ -1,0 +1,171 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDecodeFlag(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		v    string
+		want string
+	}{
+		{"", stateIdle},
+		{"active", stateActive}, // legacy unstamped: never expires
+		{encodeFlag(stateActive, now.Add(time.Second)), stateActive},
+		{encodeFlag(stateActive, now.Add(-time.Second)), stateIdle}, // expired → evicted
+		{encodeFlag(stateWaiting, now.Add(-time.Second)), stateIdle},
+		{encodeFlag(stateIdle, now.Add(-time.Second)), stateIdle},
+		{"active@garbage", stateActive}, // corrupt stamp degrades to the state
+	}
+	for _, c := range cases {
+		if got := decodeFlag(c.v, now); got != c.want {
+			t.Errorf("decodeFlag(%q) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+// A holder that crashes mid-critical-section (its active flag never
+// returns to idle) no longer wedges the lock: once its lease expires,
+// the flag reads as idle and a peer acquires.
+func TestCrashedHolderEvicted(t *testing.T) {
+	s := NewMapStore()
+	holder, _ := New(s, "l", 2, 0)
+	holder.Lease = 200 * time.Millisecond
+	if err := holder.Lock(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The holder crashes here: no Unlock, flag stays "active" with a
+	// 200ms lease.
+	peer, _ := New(s, "l", 2, 1)
+	peer.Lease = 200 * time.Millisecond
+	start := time.Now()
+	if err := peer.Lock(5 * time.Second); err != nil {
+		t.Fatalf("peer wedged behind a crashed holder: %v", err)
+	}
+	if time.Since(start) < 100*time.Millisecond {
+		t.Fatal("peer acquired before the crashed holder's lease expired")
+	}
+	_ = peer.Unlock()
+}
+
+// A crashed waiter (flag stuck at "waiting") is likewise evicted.
+func TestCrashedWaiterEvicted(t *testing.T) {
+	s := NewMapStore()
+	// Simulate a participant that died right after writing its waiting
+	// flag: the stamp is already expired.
+	if err := s.Write("l/flag/0", encodeFlag(stateWaiting, time.Now().Add(-time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	// Point the turn at the corpse so the live process must scan past it.
+	if err := s.Write("l/turn", "0"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(s, "l", 2, 1)
+	if err := m.Lock(time.Second); err != nil {
+		t.Fatalf("live process wedged behind a dead waiter: %v", err)
+	}
+	_ = m.Unlock()
+}
+
+// A healthy waiter re-stamps its flag while spinning and is never
+// evicted, even when the wait exceeds its lease.
+func TestHealthyWaiterOutlivesItsLease(t *testing.T) {
+	s := NewMapStore()
+	a, _ := New(s, "l", 2, 0)
+	b, _ := New(s, "l", 2, 1)
+	b.Lease = 150 * time.Millisecond
+	if err := a.Lock(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.Lock(5 * time.Second) }()
+	// Hold across two full lease periods of b, then release.
+	time.Sleep(400 * time.Millisecond)
+	if err := a.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("waiter evicted despite re-stamping: %v", err)
+	}
+	_ = b.Unlock()
+}
+
+// N-way contention with one participant crashing mid-hold: mutual
+// exclusion holds for the survivors and the lock keeps making progress.
+// (CI runs this under -race as well; see .github/workflows/ci.yml.)
+func TestNWayContentionWithCrashedParticipant(t *testing.T) {
+	const n = 4
+	const iters = 8
+	const lease = 250 * time.Millisecond
+	s := NewMapStore()
+
+	// Participant 0 acquires and crashes while holding.
+	crash, _ := New(s, "cs", n, 0)
+	crash.Lease = lease
+	if err := crash.Lock(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var inside atomic.Int32
+	var violated atomic.Bool
+	var acquired atomic.Int32
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := New(s, "cs", n, i)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m.Backoff = 500 * time.Microsecond
+			m.Lease = lease
+			for k := 0; k < iters; k++ {
+				if err := m.WithLock(10*time.Second, func() error {
+					if inside.Add(1) > 1 {
+						violated.Store(true)
+					}
+					acquired.Add(1)
+					time.Sleep(time.Millisecond)
+					inside.Add(-1)
+					return nil
+				}); err != nil {
+					t.Errorf("p%d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if violated.Load() {
+		t.Fatal("mutual exclusion violated among survivors")
+	}
+	if got := acquired.Load(); got != (n-1)*iters {
+		t.Fatalf("survivors completed %d sections, want %d", got, (n-1)*iters)
+	}
+}
+
+// A store whose writes start failing surfaces the error instead of
+// spinning.
+func TestStoreErrorsPropagate(t *testing.T) {
+	boom := errors.New("registry down")
+	s := &failingStore{err: boom}
+	m, _ := New(s, "l", 2, 0)
+	if err := m.Lock(time.Second); !errors.Is(err, boom) {
+		t.Fatalf("Lock = %v, want %v", err, boom)
+	}
+}
+
+type failingStore struct{ err error }
+
+func (f *failingStore) Read(name string) (string, error) { return "", f.err }
+func (f *failingStore) Write(name, value string) error {
+	return fmt.Errorf("write %s: %w", name, f.err)
+}

@@ -8,12 +8,25 @@
 // registers — at the cost of 3 reads and 5 writes per uncontended
 // critical section (§5.1), which is what makes strict bind ≈7× slower in
 // Figure 3.
+//
+// The textbook algorithm assumes processes never die inside the
+// protocol: a participant that crashes with its flag at "waiting" or
+// "active" wedges every other process forever. Because these registers
+// live in a remote registry and participants are short-lived JNDI
+// clients, this implementation bounds ownership with leases: every
+// non-idle flag write carries an expiry ("state@unixMilli"), and an
+// expired non-idle flag reads as idle — the crashed participant is
+// evicted and the lock heals. The lease (default 15s) must comfortably
+// exceed the longest critical section plus clock skew between
+// participants; a live waiter re-stamps its flag at half-lease so it is
+// never evicted while healthy.
 package lock
 
 import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -38,6 +51,9 @@ const (
 // ErrTimeout is returned when the lock cannot be acquired in time.
 var ErrTimeout = errors.New("lock: acquisition timed out")
 
+// DefaultLease bounds flag ownership when Mutex.Lease is zero.
+const DefaultLease = 15 * time.Second
+
 // Mutex is one process's handle on an Eisenberg–McGuire mutex. All
 // handles sharing a store and name, with distinct Me in [0, N), exclude
 // each other.
@@ -49,6 +65,11 @@ type Mutex struct {
 	// Backoff is the poll interval while spinning on remote registers
 	// (remote registers make busy-spinning expensive; default 2ms).
 	Backoff time.Duration
+	// Lease bounds how long this process's non-idle flag stays valid
+	// without a re-stamp (default DefaultLease). Peers read an expired
+	// waiting/active flag as idle, evicting a crashed participant. It
+	// must exceed the longest critical section plus clock skew.
+	Lease time.Duration
 }
 
 // New creates a handle for process me of n on the named lock.
@@ -62,15 +83,50 @@ func New(store RegisterStore, name string, n, me int) (*Mutex, error) {
 func (m *Mutex) flagReg(i int) string { return fmt.Sprintf("%s/flag/%d", m.name, i) }
 func (m *Mutex) turnReg() string      { return m.name + "/turn" }
 
+func (m *Mutex) lease() time.Duration {
+	if m.Lease > 0 {
+		return m.Lease
+	}
+	return DefaultLease
+}
+
+// encodeFlag stamps a state with its expiry.
+func encodeFlag(state string, deadline time.Time) string {
+	return state + "@" + strconv.FormatInt(deadline.UnixMilli(), 10)
+}
+
+// decodeFlag recovers the state, evicting expired non-idle flags. A bare
+// legacy value (no stamp) never expires.
+func decodeFlag(v string, now time.Time) string {
+	if v == "" {
+		return stateIdle
+	}
+	i := strings.LastIndexByte(v, '@')
+	if i < 0 {
+		return v
+	}
+	state := v[:i]
+	ms, err := strconv.ParseInt(v[i+1:], 10, 64)
+	if err != nil {
+		return state
+	}
+	if state != stateIdle && now.UnixMilli() > ms {
+		return stateIdle
+	}
+	return state
+}
+
+// writeFlag stamps and writes this process's flag.
+func (m *Mutex) writeFlag(state string) error {
+	return m.store.Write(m.flagReg(m.me), encodeFlag(state, time.Now().Add(m.lease())))
+}
+
 func (m *Mutex) readFlag(i int) (string, error) {
 	v, err := m.store.Read(m.flagReg(i))
 	if err != nil {
 		return "", err
 	}
-	if v == "" {
-		v = stateIdle
-	}
-	return v, nil
+	return decodeFlag(v, time.Now()), nil
 }
 
 func (m *Mutex) readTurn() (int, error) {
@@ -98,15 +154,26 @@ func (m *Mutex) Lock(timeout time.Duration) error {
 	}
 	deadline := time.Now().Add(timeout)
 	bail := func() error {
-		_ = m.store.Write(m.flagReg(m.me), stateIdle)
+		_ = m.writeFlag(stateIdle)
 		return ErrTimeout
+	}
+	// restamp renews our waiting flag at half-lease so a healthy waiter
+	// is never evicted by its peers.
+	stamped := time.Now()
+	restamp := func() error {
+		if time.Since(stamped) < m.lease()/2 {
+			return nil
+		}
+		stamped = time.Now()
+		return m.writeFlag(stateWaiting)
 	}
 	for {
 		// flags[me] = waiting; scan from turn to me: wait until all
 		// processes between turn and me are idle.
-		if err := m.store.Write(m.flagReg(m.me), stateWaiting); err != nil {
+		if err := m.writeFlag(stateWaiting); err != nil {
 			return err
 		}
+		stamped = time.Now()
 		j, err := m.readTurn()
 		if err != nil {
 			return err
@@ -114,6 +181,9 @@ func (m *Mutex) Lock(timeout time.Duration) error {
 		for j != m.me {
 			if time.Now().After(deadline) {
 				return bail()
+			}
+			if err := restamp(); err != nil {
+				return err
 			}
 			fj, err := m.readFlag(j)
 			if err != nil {
@@ -129,8 +199,9 @@ func (m *Mutex) Lock(timeout time.Duration) error {
 				j = (j + 1) % m.n
 			}
 		}
-		// Tentatively claim.
-		if err := m.store.Write(m.flagReg(m.me), stateActive); err != nil {
+		// Tentatively claim. The active stamp starts the ownership lease:
+		// the critical section must complete within it.
+		if err := m.writeFlag(stateActive); err != nil {
 			return err
 		}
 		// Verify no other process claimed simultaneously.
@@ -205,10 +276,11 @@ func (m *Mutex) Unlock() error {
 	if err := m.store.Write(m.turnReg(), strconv.Itoa(next)); err != nil {
 		return err
 	}
-	return m.store.Write(m.flagReg(m.me), stateIdle)
+	return m.writeFlag(stateIdle)
 }
 
-// WithLock runs fn inside the critical section.
+// WithLock runs fn inside the critical section. fn must finish within
+// the lease, or peers may evict this holder and enter concurrently.
 func (m *Mutex) WithLock(timeout time.Duration, fn func() error) error {
 	if err := m.Lock(timeout); err != nil {
 		return err

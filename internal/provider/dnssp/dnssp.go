@@ -20,13 +20,20 @@ import (
 	"sync"
 	"time"
 
+	"gondi/internal/breaker"
 	"gondi/internal/core"
 	"gondi/internal/dnssrv"
+	"gondi/internal/failover"
 	"gondi/internal/filter"
 	"gondi/internal/obs"
 )
 
-// Register installs the "dns" URL scheme provider.
+// Register installs the "dns" URL scheme provider. The URL authority may
+// list several name servers ("dns://ns1:53,ns2:53/..."); the provider
+// resolves against the first server whose circuit breaker would admit
+// traffic, so queries route around a server that has stopped answering.
+// (Opening is lazy — no wire traffic — so the choice is by breaker
+// state, not an active probe; per-query gating happens in dnssrv.)
 func Register() {
 	core.RegisterProvider("dns", core.ProviderFunc(func(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
 		if err := core.CtxErr(ctx); err != nil {
@@ -36,7 +43,18 @@ func Register() {
 		if err != nil {
 			return nil, core.Name{}, err
 		}
-		server := dnssrv.HostFromAuthority(u.Authority, "53")
+		eps := failover.Endpoints(u.Authority)
+		if len(eps) == 0 {
+			eps = []string{u.Authority}
+		}
+		server := dnssrv.HostFromAuthority(eps[0], "53")
+		for _, ep := range eps {
+			addr := dnssrv.HostFromAuthority(ep, "53")
+			if breaker.For(addr).Ready() {
+				server = addr
+				break
+			}
+		}
 		dc := &Context{
 			resolver: dnssrv.NewResolver(server),
 			url:      "dns://" + u.Authority,

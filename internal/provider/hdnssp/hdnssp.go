@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gondi/internal/core"
+	"gondi/internal/failover"
 	"gondi/internal/hdns"
 	"gondi/internal/obs"
 )
@@ -27,16 +28,25 @@ const (
 	EnvLeaseMs = "hdns.lease.ms"
 )
 
-// Register installs the "hdns" URL scheme provider.
+// Register installs the "hdns" URL scheme provider. The URL authority
+// may list several replica nodes ("hdns://node1:7001,node2:7001/..."):
+// endpoints are tried in order with breaker-gated failover, and a
+// *core.ServiceUnavailableError is returned only when every node is down.
 func Register() {
 	core.RegisterProvider("hdns", core.ProviderFunc(func(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
 		u, err := core.ParseURLName(rawURL)
 		if err != nil {
 			return nil, core.Name{}, err
 		}
-		hc, err := Open(ctx, u.Authority, env)
+		hc, err := failover.Open(ctx, u.Authority, func(ctx context.Context, ep string) (*Context, error) {
+			c, oerr := Open(ctx, ep, env)
+			if oerr != nil {
+				return nil, &core.CommunicationError{Endpoint: ep, Err: oerr}
+			}
+			return c, nil
+		})
 		if err != nil {
-			return nil, core.Name{}, &core.CommunicationError{Endpoint: u.Authority, Err: err}
+			return nil, core.Name{}, err
 		}
 		return obs.Instrument(hc, "provider", "hdns"), u.Path, nil
 	}))

@@ -1,0 +1,59 @@
+package jinisp
+
+// Crash-safety of the strict (Eisenberg–McGuire) bind path: a client
+// that dies while holding the distributed lock must not wedge every
+// other writer of the same context. The lock's lease-bounded flag
+// ownership (EnvLockLeaseMs) evicts the corpse, so a peer's Bind
+// acquires after at most one lease period.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestCrashedLockHolderDoesNotWedgeBind(t *testing.T) {
+	ctx := context.Background()
+	l := newLUS(t)
+	const leaseMs = 250
+	env := func(slot int) map[string]any {
+		return map[string]any{
+			EnvBind: "strict", EnvLockSlots: 2, EnvLockSlot: slot,
+			EnvLockLeaseMs: leaseMs,
+		}
+	}
+
+	// Client A takes the lock guarding the root context — exactly the
+	// mutex its Bind would hold — and then "crashes": the connection
+	// closes, the critical section never exits, the active flag stays
+	// written in the LUS registers.
+	a := openCtx(t, l, env(0))
+	full, err := a.full(ctx, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.mutex(ctx, full.Prefix(full.Size()-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	// Client B's strict Bind of the same context must go through once
+	// the crashed holder's lease expires — and not before.
+	b := openCtx(t, l, env(1))
+	start := time.Now()
+	bctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	if err := b.Bind(bctx, "victim", "rescued"); err != nil {
+		t.Fatalf("bind wedged behind crashed lock holder: %v", err)
+	}
+	if waited := time.Since(start); waited < leaseMs/2*time.Millisecond {
+		t.Errorf("bind acquired after %v, before the holder's lease could expire", waited)
+	}
+	if got, err := b.Lookup(ctx, "victim"); err != nil || got != "rescued" {
+		t.Fatalf("lookup after rescue = %v, %v", got, err)
+	}
+}

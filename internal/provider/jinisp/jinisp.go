@@ -24,13 +24,16 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"gondi/internal/breaker"
 	"gondi/internal/core"
+	"gondi/internal/failover"
 	"gondi/internal/filter"
 	"gondi/internal/jini"
 	"gondi/internal/lock"
@@ -53,6 +56,10 @@ const (
 	EnvLockSlot = "jini.lock.slot"
 	// EnvLeaseMs is the binding lease duration in milliseconds.
 	EnvLeaseMs = "jini.lease.ms"
+	// EnvLockLeaseMs bounds Eisenberg–McGuire flag ownership in
+	// milliseconds, evicting crashed lock participants (default
+	// lock.DefaultLease). Must exceed the longest critical section.
+	EnvLockLeaseMs = "jini.lock.lease.ms"
 )
 
 // Entry and item type names used by the fake-stub encoding.
@@ -65,20 +72,29 @@ const (
 	valueSep      = "\x1f"
 )
 
-// Register installs the "jini" URL scheme provider.
+// Register installs the "jini" URL scheme provider. The URL authority
+// may list several lookup services ("jini://lus1:4160,lus2:4160/..."):
+// endpoints are tried in order with breaker-gated failover, and a
+// *core.ServiceUnavailableError is returned only when every LUS is down.
 func Register() {
 	core.RegisterProvider("jini", core.ProviderFunc(func(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
 		u, err := core.ParseURLName(rawURL)
 		if err != nil {
 			return nil, core.Name{}, err
 		}
-		loc, err := jini.ParseLocator("jini://" + u.Authority)
+		jc, err := failover.Open(ctx, u.Authority, func(ctx context.Context, ep string) (*Context, error) {
+			loc, lerr := jini.ParseLocator("jini://" + ep)
+			if lerr != nil {
+				return nil, lerr
+			}
+			c, oerr := Open(ctx, loc.Addr(), env)
+			if oerr != nil {
+				return nil, &core.CommunicationError{Endpoint: loc.Addr(), Err: oerr}
+			}
+			return c, nil
+		})
 		if err != nil {
 			return nil, core.Name{}, err
-		}
-		jc, err := Open(ctx, loc.Addr(), env)
-		if err != nil {
-			return nil, core.Name{}, &core.CommunicationError{Endpoint: loc.Addr(), Err: err}
 		}
 		return obs.Instrument(jc, "provider", "jini"), u.Path, nil
 	}))
@@ -90,20 +106,44 @@ func Register() {
 // one registrar connection per lookup service instead of leaking one per
 // resolution.
 type shared struct {
-	reg    *jini.Registrar
-	proxy  *jini.ProxyClient // non-nil under "proxy" bind semantics
-	lrm    *jini.LeaseRenewalManager
-	url    string
-	strict bool
-	slots  int
-	slot   int
-	lease  time.Duration
+	reg       *jini.Registrar
+	proxy     *jini.ProxyClient // non-nil under "proxy" bind semantics
+	lrm       *jini.LeaseRenewalManager
+	url       string
+	strict    bool
+	slots     int
+	slot      int
+	lease     time.Duration
+	lockLease time.Duration
 
 	poolKey string
 	refs    int
 
 	mu     sync.Mutex
 	closed bool
+
+	// Active watch listeners, notified with EventWatchLost when the
+	// renewal manager gives a lease up (LUS unreachable past expiry).
+	subMu   sync.Mutex
+	subs    map[int]core.Listener
+	nextSub int
+}
+
+// notifyLost fires EventWatchLost at every active watcher — their view
+// of the registry can no longer be trusted once a lease has lapsed.
+func (sh *shared) notifyLost() {
+	sh.subMu.Lock()
+	ls := make([]core.Listener, 0, len(sh.subs))
+	for _, l := range sh.subs {
+		ls = append(ls, l)
+	}
+	sh.subMu.Unlock()
+	for _, l := range ls {
+		obs.Default.Counter("gondi_provider_watch_lost_total",
+			"Event registrations lost with their wire connection, by provider.",
+			obs.Label{K: "system", V: "jini"}).Inc()
+		l(core.NamingEvent{Type: core.EventWatchLost})
+	}
 }
 
 var poolMu sync.Mutex
@@ -149,10 +189,11 @@ func Open(ctx context.Context, addr string, env map[string]any) (*Context, error
 	if err := core.CtxErr(ctx); err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("%s|%s|%s|%d|%d|%d|%v", addr,
+	key := fmt.Sprintf("%s|%s|%s|%d|%d|%d|%d|%v", addr,
 		envString(env, EnvBind, "strict"), envString(env, EnvProxyAddr, ""),
 		envInt(env, EnvLockSlots, 16), envInt(env, EnvLockSlot, 0),
-		envInt(env, EnvLeaseMs, 30000), env[core.EnvPoolID])
+		envInt(env, EnvLeaseMs, 30000), envInt(env, EnvLockLeaseMs, 0),
+		env[core.EnvPoolID])
 	poolMu.Lock()
 	if sh, ok := pool[key]; ok {
 		sh.mu.Lock()
@@ -187,16 +228,18 @@ func Open(ctx context.Context, addr string, env map[string]any) (*Context, error
 		}
 	}
 	sh := &shared{
-		reg:     reg,
-		proxy:   proxy,
-		lrm:     jini.NewLeaseRenewalManager(),
-		url:     "jini://" + addr,
-		strict:  mode == "strict",
-		slots:   envInt(env, EnvLockSlots, 16),
-		slot:    envInt(env, EnvLockSlot, 0),
-		lease:   time.Duration(envInt(env, EnvLeaseMs, 30000)) * time.Millisecond,
-		poolKey: key,
-		refs:    1,
+		reg:       reg,
+		proxy:     proxy,
+		lrm:       jini.NewLeaseRenewalManager(),
+		url:       "jini://" + addr,
+		strict:    mode == "strict",
+		slots:     envInt(env, EnvLockSlots, 16),
+		slot:      envInt(env, EnvLockSlot, 0),
+		lease:     time.Duration(envInt(env, EnvLeaseMs, 30000)) * time.Millisecond,
+		lockLease: time.Duration(envInt(env, EnvLockLeaseMs, 0)) * time.Millisecond,
+		poolKey:   key,
+		refs:      1,
+		subs:      map[int]core.Listener{},
 	}
 	if sh.slots < 1 {
 		sh.slots = 1
@@ -204,6 +247,7 @@ func Open(ctx context.Context, addr string, env map[string]any) (*Context, error
 	if sh.slot < 0 || sh.slot >= sh.slots {
 		sh.slot = 0
 	}
+	sh.lrm.OnLost = func(jini.ServiceID, error) { sh.notifyLost() }
 	poolMu.Lock()
 	pool[key] = sh
 	poolMu.Unlock()
@@ -294,11 +338,27 @@ func itemName(item *jini.ServiceItem) string {
 	return ""
 }
 
+// commErr classifies a transport failure: breaker-open means the LUS is
+// known-dead and retrying is pointless (*core.ServiceUnavailableError);
+// anything else is a plain CommunicationError.
+func (c *Context) commErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err // the caller's own budget, not a transport failure
+	}
+	if errors.Is(err, breaker.ErrOpen) {
+		return &core.ServiceUnavailableError{Endpoint: c.sh.url, Err: err}
+	}
+	return &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+}
+
 // fetch retrieves the item bound at path, if any.
 func (c *Context) fetch(ctx context.Context, path core.Name) (*jini.ServiceItem, bool, error) {
 	item, ok, err := c.sh.reg.LookupOne(ctx, jini.ServiceTemplate{ID: idFor(path.String())})
 	if err != nil {
-		return nil, false, &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+		return nil, false, c.commErr(err)
 	}
 	if !ok {
 		return nil, false, nil
@@ -311,7 +371,7 @@ func (c *Context) fetch(ctx context.Context, path core.Name) (*jini.ServiceItem,
 func (c *Context) allBindings(ctx context.Context) ([]jini.ServiceItem, error) {
 	items, err := c.sh.reg.Lookup(ctx, jini.ServiceTemplate{Types: []string{bindingType}}, 0)
 	if err != nil {
-		return nil, &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+		return nil, c.commErr(err)
 	}
 	return items, nil
 }
@@ -462,7 +522,15 @@ func (c *Context) LookupLink(ctx context.Context, name string) (any, error) {
 // used — exactly the constraint the paper works under.
 func (c *Context) mutex(ctx context.Context, parent core.Name) (*lock.Mutex, error) {
 	store := &lusRegisters{c: c, ctx: ctx, prefix: "lock:" + parent.String()}
-	return lock.New(store, "em", c.sh.slots, c.sh.slot)
+	m, err := lock.New(store, "em", c.sh.slots, c.sh.slot)
+	if err != nil {
+		return nil, err
+	}
+	// Lease-bounded ownership evicts a client that crashed while holding
+	// the lock (its "active" register would otherwise wedge every writer
+	// of this context forever).
+	m.Lease = c.sh.lockLease
+	return m, nil
 }
 
 // lusRegisters adapts lookup-service items to lock.RegisterStore. The
@@ -479,7 +547,7 @@ func (s *lusRegisters) Read(name string) (string, error) {
 	full := s.prefix + "/" + name
 	item, ok, err := s.c.sh.reg.LookupOne(s.ctx, jini.ServiceTemplate{ID: regIDFor(full)})
 	if err != nil || !ok {
-		return "", err
+		return "", s.c.commErr(err)
 	}
 	for _, e := range item.Entries {
 		if e.Type == registerType {
@@ -497,14 +565,14 @@ func (s *lusRegisters) Write(name, value string) error {
 		Types:   []string{registerType},
 		Entries: []jini.Entry{jini.NewEntry(registerType, "name", full, "value", value)},
 	}, jini.MaxLease)
-	return err
+	return s.c.commErr(err)
 }
 
 // register writes a binding item and starts renewing its lease.
 func (c *Context) register(ctx context.Context, item jini.ServiceItem) error {
 	reg, err := c.sh.reg.Register(ctx, item, c.sh.lease)
 	if err != nil {
-		return &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+		return c.commErr(err)
 	}
 	c.sh.lrm.Manage(c.sh.reg, reg.ID, c.sh.lease)
 	return nil
@@ -519,7 +587,7 @@ func (c *Context) proxyRegister(ctx context.Context, item jini.ServiceItem, only
 		if jini.IsAlreadyBound(err) {
 			return core.ErrAlreadyBound
 		}
-		return &core.CommunicationError{Endpoint: c.sh.url, Err: err}
+		return c.commErr(err)
 	}
 	c.sh.lrm.Manage(c.sh.reg, item.ID, c.sh.lease)
 	return nil
@@ -1123,8 +1191,15 @@ func (c *Context) Watch(ctx context.Context, target string, scope core.SearchSco
 		l(core.NamingEvent{Type: typ, Name: rel, NewValue: newVal})
 	})
 	if err != nil {
-		return nil, core.Errf("watch", target, &core.CommunicationError{Endpoint: c.sh.url, Err: err})
+		return nil, core.Errf("watch", target, c.commErr(err))
 	}
+	// A lapsed binding lease (LUS unreachable past expiry) also fires
+	// EventWatchLost through the shared subscription list.
+	c.sh.subMu.Lock()
+	c.sh.nextSub++
+	subID := c.sh.nextSub
+	c.sh.subs[subID] = l
+	c.sh.subMu.Unlock()
 	// Event registrations die with the LUS connection (§5.1: the lease
 	// stops being renewable). Report that as EventWatchLost so consumers
 	// caching on the strength of this registration degrade safely.
@@ -1143,6 +1218,9 @@ func (c *Context) Watch(ctx context.Context, target string, scope core.SearchSco
 	return func() {
 		once.Do(func() {
 			close(stop)
+			c.sh.subMu.Lock()
+			delete(c.sh.subs, subID)
+			c.sh.subMu.Unlock()
 			cancel()
 		})
 	}, nil

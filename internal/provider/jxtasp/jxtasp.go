@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"gondi/internal/core"
+	"gondi/internal/failover"
 	"gondi/internal/filter"
 	"gondi/internal/jxta"
 	"gondi/internal/obs"
@@ -29,16 +30,24 @@ import (
 // 120000, renewed at half-life until unbind or Close).
 const EnvLeaseMs = "jxta.lease.ms"
 
-// Register installs the "jxta" URL scheme provider.
+// Register installs the "jxta" URL scheme provider. The URL authority
+// may list several rendezvous peers ("jxta://rdv1:9701,rdv2:9701/..."):
+// endpoints are tried in order with breaker-gated failover.
 func Register() {
 	core.RegisterProvider("jxta", core.ProviderFunc(func(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
 		u, err := core.ParseURLName(rawURL)
 		if err != nil {
 			return nil, core.Name{}, err
 		}
-		jc, err := Open(ctx, u.Authority, env)
+		jc, err := failover.Open(ctx, u.Authority, func(ctx context.Context, ep string) (*Context, error) {
+			c, oerr := Open(ctx, ep, env)
+			if oerr != nil {
+				return nil, &core.CommunicationError{Endpoint: ep, Err: oerr}
+			}
+			return c, nil
+		})
 		if err != nil {
-			return nil, core.Name{}, &core.CommunicationError{Endpoint: u.Authority, Err: err}
+			return nil, core.Name{}, err
 		}
 		return obs.Instrument(jc, "provider", "jxta"), u.Path, nil
 	}))

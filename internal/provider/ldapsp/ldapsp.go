@@ -15,12 +15,14 @@ package ldapsp
 import (
 	"context"
 	"encoding/base64"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 
 	"gondi/internal/core"
+	"gondi/internal/failover"
 	"gondi/internal/ldapsrv"
 	"gondi/internal/obs"
 )
@@ -61,9 +63,18 @@ func Register() {
 			baseDN = u.Path.First()
 			rest = u.Path.Suffix(1)
 		}
-		lc, err := Open(ctx, u.Authority, baseDN, env)
+		// The authority may list several replica servers
+		// ("ldap://srv1:389,srv2:389/..."): endpoints are tried in order
+		// with breaker-gated failover.
+		lc, err := failover.Open(ctx, u.Authority, func(ctx context.Context, ep string) (*Context, error) {
+			c, oerr := Open(ctx, ep, baseDN, env)
+			if oerr != nil {
+				return nil, &core.CommunicationError{Endpoint: ep, Err: oerr}
+			}
+			return c, nil
+		})
 		if err != nil {
-			return nil, core.Name{}, &core.CommunicationError{Endpoint: u.Authority, Err: err}
+			return nil, core.Name{}, err
 		}
 		return obs.Instrument(lc, "provider", "ldap"), rest, nil
 	}))
@@ -208,14 +219,21 @@ func (c *Context) dnFor(n core.Name) string {
 	return strings.Join(parts, ",")
 }
 
-// mapResultErr converts LDAP result codes to core sentinels.
-func mapResultErr(err error) error {
+// mapResultErr converts LDAP result codes to core sentinels. Anything
+// that is not an LDAP result — and not the caller's own context expiring
+// — came from the wire, not the directory, and is wrapped as a transport
+// failure so callers (failover, the cache's serve-stale, the chaos suite)
+// can classify it.
+func (c *Context) mapResultErr(err error) error {
 	if err == nil {
 		return nil
 	}
 	var re *ldapsrv.ResultError
 	if !asResultError(err, &re) {
-		return err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return &core.CommunicationError{Endpoint: c.sh.url, Err: err}
 	}
 	switch re.Result.Code {
 	case ldapsrv.ResultNoSuchObject:
@@ -250,10 +268,11 @@ func asResultError(err error, out **ldapsrv.ResultError) bool {
 func (c *Context) fetch(ctx context.Context, n core.Name) (*ldapsrv.Entry, bool, error) {
 	entries, err := c.sh.conn.Search(ctx, c.dnFor(n), "(objectClass=*)", &ldapsrv.SearchOptions{Scope: ldapsrv.ScopeBaseObject})
 	if err != nil {
-		if merr := mapResultErr(err); merr == core.ErrNotFound {
+		merr := c.mapResultErr(err)
+		if merr == core.ErrNotFound {
 			return nil, false, nil
 		}
-		return nil, false, err
+		return nil, false, merr
 	}
 	if len(entries) == 0 {
 		return nil, false, nil
@@ -404,7 +423,7 @@ func (c *Context) BindAttrs(ctx context.Context, name string, obj any, attrs *co
 	if err != nil {
 		return core.Errf("bind", name, err)
 	}
-	err = mapResultErr(c.sh.conn.Add(ctx, c.dnFor(full), la))
+	err = c.mapResultErr(c.sh.conn.Add(ctx, c.dnFor(full), la))
 	if err == core.ErrNotFound {
 		// Parent missing — or a federation boundary mid-name.
 		if cpe := c.boundary(ctx, full); cpe != nil {
@@ -436,14 +455,14 @@ func (c *Context) rebindAttrs(ctx context.Context, name string, obj any, attrs *
 		}
 	}
 	dn := c.dnFor(full)
-	if derr := mapResultErr(c.sh.conn.Delete(ctx, dn)); derr != nil && derr != core.ErrNotFound {
+	if derr := c.mapResultErr(c.sh.conn.Delete(ctx, dn)); derr != nil && derr != core.ErrNotFound {
 		return core.Errf("rebind", name, derr)
 	}
 	la, err := ldapAttrs(attrs, obj, false)
 	if err != nil {
 		return core.Errf("rebind", name, err)
 	}
-	err = mapResultErr(c.sh.conn.Add(ctx, dn, la))
+	err = c.mapResultErr(c.sh.conn.Add(ctx, dn, la))
 	if err == core.ErrNotFound {
 		if cpe := c.boundary(ctx, full); cpe != nil {
 			return cpe
@@ -458,7 +477,7 @@ func (c *Context) Unbind(ctx context.Context, name string) error {
 	if err != nil {
 		return core.Errf("unbind", name, err)
 	}
-	err = mapResultErr(c.sh.conn.Delete(ctx, c.dnFor(full)))
+	err = c.mapResultErr(c.sh.conn.Delete(ctx, c.dnFor(full)))
 	if err == core.ErrNotFound {
 		return nil // JNDI: unbinding an unbound name succeeds
 	}
@@ -478,7 +497,7 @@ func (c *Context) Rename(ctx context.Context, oldName, newName string) error {
 	}
 	if oldFull.Size() == newFull.Size() &&
 		oldFull.Prefix(oldFull.Size()-1).Equal(newFull.Prefix(newFull.Size()-1)) {
-		err := mapResultErr(c.sh.conn.ModifyDN(ctx, c.dnFor(oldFull), rdnFor(newFull.Last()), true))
+		err := c.mapResultErr(c.sh.conn.ModifyDN(ctx, c.dnFor(oldFull), rdnFor(newFull.Last()), true))
 		return core.Errf("rename", oldName, err)
 	}
 	obj, err := c.Lookup(ctx, oldName)
@@ -520,7 +539,7 @@ func (c *Context) ListBindings(ctx context.Context, name string) ([]core.Binding
 	entries, err := c.sh.conn.Search(ctx, c.dnFor(full), "(objectClass=*)",
 		&ldapsrv.SearchOptions{Scope: ldapsrv.ScopeSingleLevel})
 	if err != nil {
-		return nil, core.Errf("list", name, mapResultErr(err))
+		return nil, core.Errf("list", name, c.mapResultErr(err))
 	}
 	out := make([]core.Binding, 0, len(entries))
 	for i := range entries {
@@ -566,7 +585,7 @@ func (c *Context) CreateSubcontextAttrs(ctx context.Context, name string, attrs 
 	if err != nil {
 		return nil, core.Errf("createSubcontext", name, err)
 	}
-	if err := mapResultErr(c.sh.conn.Add(ctx, c.dnFor(full), la)); err != nil {
+	if err := c.mapResultErr(c.sh.conn.Add(ctx, c.dnFor(full), la)); err != nil {
 		return nil, core.Errf("createSubcontext", name, err)
 	}
 	return c.child(full), nil
@@ -578,7 +597,7 @@ func (c *Context) DestroySubcontext(ctx context.Context, name string) error {
 	if err != nil {
 		return core.Errf("destroySubcontext", name, err)
 	}
-	err = mapResultErr(c.sh.conn.Delete(ctx, c.dnFor(full)))
+	err = c.mapResultErr(c.sh.conn.Delete(ctx, c.dnFor(full)))
 	if err == core.ErrNotFound {
 		return nil
 	}
@@ -625,7 +644,7 @@ func (c *Context) ModifyAttributes(ctx context.Context, name string, mods []core
 		}
 		changes[i] = ldapsrv.ModifyChange{Op: op, Attr: ldapsrv.EntryAttr{Type: m.Attr.ID, Vals: m.Attr.Values}}
 	}
-	return core.Errf("modifyAttributes", name, mapResultErr(c.sh.conn.Modify(ctx, c.dnFor(full), changes)))
+	return core.Errf("modifyAttributes", name, c.mapResultErr(c.sh.conn.Modify(ctx, c.dnFor(full), changes)))
 }
 
 // Search implements core.DirContext, pushing the filter to the server.
@@ -664,7 +683,7 @@ func (c *Context) Search(ctx context.Context, name, filterStr string, controls *
 			// it returned before stopping are partial results.
 			limitErr = &core.TimeLimitExceededError{Limit: controls.TimeLimit}
 		default:
-			return nil, core.Errf("search", name, mapResultErr(err))
+			return nil, core.Errf("search", name, c.mapResultErr(err))
 		}
 	}
 	base := ldapsrv.MustParseDN(baseDN)

@@ -47,6 +47,7 @@ func pollUntil(d time.Duration, fn func() bool) bool {
 // not, negative-entry eviction on successful writes, and the watch-loss →
 // TTL degradation contract.
 func RunCacheCoherence(t *testing.T, mk CoherenceFactory) {
+	CheckGoroutines(t)
 	ctx := context.Background()
 
 	wrap := func(t *testing.T, w *CoherenceWorld, cfg cache.Config) *cache.CachedContext {

@@ -1,0 +1,189 @@
+package ptest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gondi/internal/breaker"
+	"gondi/internal/core"
+)
+
+// FaultWorld is one provider wired through a fault seam (internal/fault's
+// Proxy, UDPProxy, or injector) so the chaos suite can sever and heal its
+// backend. Build one per subtest in a RunFaultConformance factory.
+type FaultWorld struct {
+	// Open dials a fresh context that reaches the backend through the
+	// fault seam. id isolates connection pools between the suite's
+	// phases (pass it through core.EnvPoolID), so the healed phase gets
+	// a fresh dial instead of a severed pooled connection.
+	Open func(t *testing.T, id string) core.DirContext
+	// Cut severs connectivity to the backend; Restore heals it. Leave
+	// both nil for substrates with no wire to cut (in-memory,
+	// filesystem): the partition phases are skipped and the healthy
+	// battery plus the goroutine-leak check still run.
+	Cut     func()
+	Restore func()
+	// ReadOnly marks providers without write support (DNS): the battery
+	// sticks to Lookup/List/Search against Seed.
+	ReadOnly bool
+	// Seed is a name known to exist in a read-only world.
+	Seed string
+	// OpTimeout bounds each operation (default 5s). Worlds whose severed
+	// failure mode is a timeout rather than a refused connection (UDP)
+	// should set it low so the cut phase stays fast.
+	OpTimeout time.Duration
+}
+
+// faultHang is the wall-clock bound past OpTimeout at which the suite
+// declares an operation hung rather than slow.
+const faultHang = 15 * time.Second
+
+// RunFaultConformance executes the chaos conformance contract against one
+// provider: under a scripted sever/heal schedule, every operation either
+// succeeds or fails with a typed, classifiable error — never a hang, and
+// never a leaked goroutine. The schedule is three phases: healthy (ops
+// must succeed), severed (ops must fail typed and fast), healed (a fresh
+// dial must succeed again once the breakers are reset).
+func RunFaultConformance(t *testing.T, factory func(t *testing.T) *FaultWorld) {
+	CheckGoroutines(t)
+	w := factory(t)
+	if w.OpTimeout <= 0 {
+		w.OpTimeout = 5 * time.Second
+	}
+
+	c := w.Open(t, "pre")
+	t.Run("HealthyOpsSucceed", func(t *testing.T) {
+		for _, op := range battery(w, c, "h") {
+			if err := guard(t, w, op); err != nil {
+				t.Fatalf("%s under healthy backend: %v", op.name, err)
+			}
+		}
+	})
+	if w.Cut == nil {
+		return
+	}
+
+	t.Run("SeveredOpsFailTypedAndFast", func(t *testing.T) {
+		w.Cut()
+		failures := 0
+		for round := 0; round < 3; round++ {
+			for _, op := range battery(w, c, fmt.Sprintf("s%d", round)) {
+				err := guard(t, w, op)
+				if err == nil {
+					continue
+				}
+				failures++
+				if !faultTyped(err) {
+					t.Fatalf("%s under severed backend returned an unclassifiable error: %v", op.name, err)
+				}
+			}
+		}
+		if failures == 0 {
+			t.Fatal("no operation failed while the backend was severed — the cut is not reaching the wire")
+		}
+	})
+
+	t.Run("HealedOpsRecover", func(t *testing.T) {
+		w.Restore()
+		// Breakers tripped by the severed phase would otherwise fail-fast
+		// the recovery probe; resetting them is the operator's "the
+		// outage is over" action.
+		breaker.ResetAll()
+		healed := w.Open(t, "post")
+		for _, op := range battery(w, healed, "r") {
+			if err := guard(t, w, op); err != nil {
+				t.Fatalf("%s after heal: %v", op.name, err)
+			}
+		}
+	})
+}
+
+// faultOp is one operation in the chaos battery.
+type faultOp struct {
+	name string
+	run  func(ctx context.Context) error
+}
+
+// battery returns the operation set the schedule drives. prefix keeps the
+// names written by different phases from colliding.
+func battery(w *FaultWorld, c core.DirContext, prefix string) []faultOp {
+	if w.ReadOnly {
+		return []faultOp{
+			{"Lookup", func(ctx context.Context) error {
+				_, err := c.Lookup(ctx, w.Seed)
+				return err
+			}},
+			{"List", func(ctx context.Context) error {
+				_, err := c.List(ctx, w.Seed)
+				return err
+			}},
+			{"Search", func(ctx context.Context) error {
+				_, err := c.Search(ctx, w.Seed, "(name=*)", &core.SearchControls{Scope: core.ScopeOneLevel})
+				return err
+			}},
+		}
+	}
+	name := "chaos-" + prefix
+	return []faultOp{
+		{"Bind", func(ctx context.Context) error {
+			return c.Bind(ctx, name, "v")
+		}},
+		{"Lookup", func(ctx context.Context) error {
+			_, err := c.Lookup(ctx, name)
+			return err
+		}},
+		{"List", func(ctx context.Context) error {
+			_, err := c.List(ctx, "")
+			return err
+		}},
+		{"Search", func(ctx context.Context) error {
+			_, err := c.Search(ctx, "", "(name=*)", &core.SearchControls{Scope: core.ScopeOneLevel})
+			return err
+		}},
+		{"Rebind", func(ctx context.Context) error {
+			return c.Rebind(ctx, name, "v2")
+		}},
+		{"Unbind", func(ctx context.Context) error {
+			return c.Unbind(ctx, name)
+		}},
+	}
+}
+
+// guard runs op with the world's per-op deadline plus a hang watchdog: a
+// wedged operation fails the suite instead of deadlocking `go test`.
+func guard(t *testing.T, w *FaultWorld, op faultOp) error {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), w.OpTimeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- op.run(ctx) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(w.OpTimeout + faultHang):
+		t.Fatalf("ptest: %s hung %v past its deadline", op.name, faultHang)
+		return nil
+	}
+}
+
+// faultTyped reports whether err is one of the classifiable outcomes the
+// self-healing contract permits under faults: the caller's own deadline,
+// a typed transport failure, a fast-failed open breaker, or a coherent
+// semantic answer (a Bind racing an earlier half-acknowledged Bind may
+// legitimately see ErrAlreadyBound; an Unbind racing one may see
+// ErrNotFound).
+func faultTyped(err error) bool {
+	var comm *core.CommunicationError
+	var unavail *core.ServiceUnavailableError
+	return errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.As(err, &comm) ||
+		errors.As(err, &unavail) ||
+		errors.Is(err, breaker.ErrOpen) ||
+		errors.Is(err, core.ErrNotFound) ||
+		errors.Is(err, core.ErrAlreadyBound) ||
+		errors.Is(err, core.ErrClosed)
+}

@@ -1,0 +1,226 @@
+package ptest_test
+
+// The chaos conformance suite run against every provider: each world puts
+// internal/fault's proxy between the provider and its backend (where a
+// wire exists), and the suite severs and heals it on a fixed schedule.
+// One contract everywhere: operations succeed or fail typed, never hang,
+// never leak goroutines.
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/dnssrv"
+	"gondi/internal/fault"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/jini"
+	"gondi/internal/jxta"
+	"gondi/internal/ldapsrv"
+	"gondi/internal/provider/dnssp"
+	"gondi/internal/provider/fssp"
+	"gondi/internal/provider/hdnssp"
+	"gondi/internal/provider/jinisp"
+	"gondi/internal/provider/jxtasp"
+	"gondi/internal/provider/ldapsp"
+	"gondi/internal/provider/memsp"
+	"gondi/internal/provider/ptest"
+)
+
+func TestMemFaultConformance(t *testing.T) {
+	ptest.RunFaultConformance(t, func(t *testing.T) *ptest.FaultWorld {
+		tree := memsp.NewTree()
+		return &ptest.FaultWorld{
+			Open: func(t *testing.T, id string) core.DirContext {
+				return memsp.NewContext(tree, map[string]any{}, "mem://chaos")
+			},
+		}
+	})
+}
+
+func TestFSFaultConformance(t *testing.T) {
+	ptest.RunFaultConformance(t, func(t *testing.T) *ptest.FaultWorld {
+		dir := t.TempDir()
+		return &ptest.FaultWorld{
+			Open: func(t *testing.T, id string) core.DirContext {
+				return fssp.NewContext(dir, map[string]any{})
+			},
+		}
+	})
+}
+
+func TestJiniFaultConformance(t *testing.T) {
+	ptest.RunFaultConformance(t, func(t *testing.T) *ptest.FaultWorld {
+		lus, err := jini.NewLUS(jini.LUSConfig{ListenAddr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { lus.Close() })
+		proxy, err := fault.NewProxy(lus.Addr(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { proxy.Close() })
+		return &ptest.FaultWorld{
+			Open: func(t *testing.T, id string) core.DirContext {
+				pc, err := jinisp.Open(context.Background(), proxy.Addr(), map[string]any{
+					core.EnvPoolID: t.Name() + "-" + id,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { pc.Close() })
+				return pc
+			},
+			Cut:     proxy.Cut,
+			Restore: proxy.Restore,
+		}
+	})
+}
+
+func TestHDNSFaultConformance(t *testing.T) {
+	ptest.RunFaultConformance(t, func(t *testing.T) *ptest.FaultWorld {
+		stack := jgroups.DefaultConfig()
+		stack.HeartbeatInterval = 50 * time.Millisecond
+		n, err := hdns.NewNode(hdns.NodeConfig{
+			Group:      "chaos-" + t.Name(),
+			Transport:  jgroups.NewFabric().Endpoint("chaos-node"),
+			Stack:      stack,
+			ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		proxy, err := fault.NewProxy(n.Addr(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { proxy.Close() })
+		return &ptest.FaultWorld{
+			Open: func(t *testing.T, id string) core.DirContext {
+				pc, err := hdnssp.Open(context.Background(), proxy.Addr(), map[string]any{
+					core.EnvPoolID: t.Name() + "-" + id,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { pc.Close() })
+				return pc
+			},
+			Cut:     proxy.Cut,
+			Restore: proxy.Restore,
+		}
+	})
+}
+
+func TestJXTAFaultConformance(t *testing.T) {
+	ptest.RunFaultConformance(t, func(t *testing.T) *ptest.FaultWorld {
+		rdv, err := jxta.NewRendezvous("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rdv.Close() })
+		proxy, err := fault.NewProxy(rdv.Addr(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { proxy.Close() })
+		return &ptest.FaultWorld{
+			Open: func(t *testing.T, id string) core.DirContext {
+				pc, err := jxtasp.Open(context.Background(), proxy.Addr(), map[string]any{
+					core.EnvPoolID: t.Name() + "-" + id,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { pc.Close() })
+				return pc
+			},
+			Cut:     proxy.Cut,
+			Restore: proxy.Restore,
+		}
+	})
+}
+
+func TestLDAPFaultConformance(t *testing.T) {
+	ptest.RunFaultConformance(t, func(t *testing.T) *ptest.FaultWorld {
+		srv, err := ldapsrv.NewServer("127.0.0.1:0", ldapsrv.ServerConfig{BaseDN: "dc=chaos"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		proxy, err := fault.NewProxy(srv.Addr(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { proxy.Close() })
+		return &ptest.FaultWorld{
+			Open: func(t *testing.T, id string) core.DirContext {
+				pc, err := ldapsp.Open(context.Background(), proxy.Addr(), "dc=chaos", map[string]any{
+					core.EnvPoolID: t.Name() + "-" + id,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { pc.Close() })
+				return pc
+			},
+			Cut:     proxy.Cut,
+			Restore: proxy.Restore,
+		}
+	})
+}
+
+func TestDNSFaultConformance(t *testing.T) {
+	ptest.RunFaultConformance(t, func(t *testing.T) *ptest.FaultWorld {
+		srv, err := dnssrv.NewServer("127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		z := dnssrv.NewZone("global")
+		z.Add(dnssrv.RR{Name: "emory.global", Type: dnssrv.TypeA, A: netip.MustParseAddr("170.140.0.1")})
+		z.Add(dnssrv.RR{Name: "emory.global", Type: dnssrv.TypeTXT, Txt: []string{"Emory University"}})
+		srv.AddZone(z)
+		proxy, err := fault.NewDualProxy(srv.Addr(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { proxy.Close() })
+		return &ptest.FaultWorld{
+			Open:     dnsWorld(t, proxy.Addr()),
+			Cut:      proxy.Cut,
+			Restore:  proxy.Restore,
+			ReadOnly: true,
+			Seed:     "global",
+			// A severed UDP path fails by timeout, not refusal: keep the
+			// per-op budget tight so the cut phase stays fast.
+			OpTimeout: 1500 * time.Millisecond,
+		}
+	})
+}
+
+// dnsWorld opens the DNS provider root through core.OpenURL (the provider
+// has no direct Open; the scheme handler builds the context).
+func dnsWorld(t *testing.T, addr string) func(t *testing.T, id string) core.DirContext {
+	dnssp.Register()
+	return func(t *testing.T, id string) core.DirContext {
+		nc, rest, err := core.OpenURL(context.Background(), "dns://"+addr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rest.String() != "" {
+			t.Fatalf("unexpected remaining name %q", rest.String())
+		}
+		t.Cleanup(func() { nc.Close() })
+		dc, ok := nc.(core.DirContext)
+		if !ok {
+			t.Fatalf("dns root is %T, not a DirContext", nc)
+		}
+		return dc
+	}
+}

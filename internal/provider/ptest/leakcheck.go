@@ -1,0 +1,94 @@
+package ptest
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakSettle bounds how long CheckGoroutines waits for teardown
+// goroutines (renewal loops, watch pumps, proxy relays) to drain before
+// declaring them leaked.
+const leakSettle = 5 * time.Second
+
+// CheckGoroutines arms a goroutine-leak check on t: at cleanup — after
+// every provider and server the test registered has been closed — any
+// goroutine running this repository's code that did not exist when the
+// check was armed fails the test with its stack. Every suite in this
+// package arms it, so a provider that strands a renewal loop, event pump,
+// or reconnect goroutine fails conformance outright instead of bleeding
+// goroutines into the next test.
+func CheckGoroutines(t *testing.T) {
+	t.Helper()
+	before := goroutineIDs()
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // don't stack a leak report on top of a real failure
+		}
+		deadline := time.Now().Add(leakSettle)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("ptest: %d leaked goroutine(s):\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// goroutineIDs snapshots the IDs of every live goroutine.
+func goroutineIDs() map[string]bool {
+	ids := map[string]bool{}
+	for _, g := range goroutineDump() {
+		ids[goroutineID(g)] = true
+	}
+	return ids
+}
+
+// leakedSince returns the stacks of goroutines that did not exist in
+// before and are attributable to this repository's code. Filtering on the
+// module path keeps runtime service goroutines (netpoller, GC workers,
+// testing framework) out of the verdict: the suite polices the naming
+// stack, not the Go runtime.
+func leakedSince(before map[string]bool) []string {
+	var leaked []string
+	for _, g := range goroutineDump() {
+		if before[goroutineID(g)] {
+			continue
+		}
+		if !strings.Contains(g, "gondi/") {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// goroutineDump returns one stack block per live goroutine.
+func goroutineDump() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return strings.Split(strings.TrimSpace(string(buf)), "\n\n")
+}
+
+// goroutineID extracts the "goroutine N" token identifying a stack block.
+func goroutineID(block string) string {
+	if i := strings.Index(block, " ["); i > 0 {
+		return block[:i]
+	}
+	return block
+}

@@ -18,6 +18,7 @@ import (
 // (CannotProceedError) counts as an op but never as an error. Run under
 // -race this also exercises the wrapper's concurrent-recording safety.
 func RunObsConformance(t *testing.T, factory Factory) {
+	CheckGoroutines(t)
 	ctx := context.Background()
 	// The system label isolates this run's instruments in the shared
 	// Default registry, so deltas below start from zero.

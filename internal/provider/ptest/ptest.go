@@ -39,6 +39,7 @@ type Factory func(t *testing.T) core.DirContext
 
 // Run executes the conformance suite.
 func Run(t *testing.T, caps Caps, factory Factory) {
+	CheckGoroutines(t)
 	ctx := context.Background()
 	t.Run("BindLookupRoundTrip", func(t *testing.T) {
 		c := factory(t)

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"gondi/internal/breaker"
 	"gondi/internal/obs"
 	"gondi/internal/retry"
 )
@@ -313,6 +314,8 @@ func (sc *ServerConn) Get(key string) (any, bool) {
 // wait for the response; cancellation aborts an in-flight call
 // immediately with ctx.Err().
 type Client struct {
+	addr     string
+	br       *breaker.Breaker
 	conn     net.Conn
 	writeMu  sync.Mutex
 	mu       sync.Mutex
@@ -343,9 +346,20 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // DialContext connects to a server, bounded by ctx. defaultTimeout (0 =
 // 10s) applies to calls whose own ctx has no deadline. Transient connect
 // errors are retried with backoff within ctx's budget.
+//
+// Dials are gated by the endpoint's process-wide circuit breaker: once an
+// endpoint has failed repeatedly, DialContext fast-fails with
+// breaker.ErrOpen (no network activity) until the cooldown admits a
+// probe. Transport failures on established clients feed the same breaker,
+// so a mid-flight connection loss also counts against the endpoint.
 func DialContext(ctx context.Context, addr string, defaultTimeout time.Duration) (*Client, error) {
 	if defaultTimeout <= 0 {
 		defaultTimeout = 10 * time.Second
+	}
+	br := breaker.For(addr)
+	if err := br.Allow(); err != nil {
+		mDialErrs.Inc()
+		return nil, err
 	}
 	var conn net.Conn
 	err := retry.Do(ctx, dialPolicy, func() error {
@@ -356,11 +370,16 @@ func DialContext(ctx context.Context, addr string, defaultTimeout time.Duration)
 	})
 	if err != nil {
 		mDialErrs.Inc()
+		// Caller cancellation is not endpoint health.
+		br.Record(ctx.Err() == nil)
 		return nil, err
 	}
+	br.Record(false)
 	mDials.Inc()
 	mConns.Add(1)
 	c := &Client{
+		addr:    addr,
+		br:      br,
 		conn:    conn,
 		pending: map[uint64]chan *frame{},
 		timeout: defaultTimeout,
@@ -369,6 +388,10 @@ func DialContext(ctx context.Context, addr string, defaultTimeout time.Duration)
 	go c.readLoop()
 	return c, nil
 }
+
+// Addr returns the endpoint this client dialed ("" for clients made by
+// tests around raw conns).
+func (c *Client) Addr() string { return c.addr }
 
 // OnPush installs the handler for server push frames. Install before
 // issuing calls that create subscriptions.
@@ -391,6 +414,9 @@ func (c *Client) readLoop() {
 				c.closed = true
 				c.closeErr = ErrConnClosed
 				mConnLost.Inc()
+				if c.br != nil {
+					c.br.Record(true)
+				}
 			}
 			c.pending = nil // waiters wake via c.done
 			c.mu.Unlock()
@@ -483,6 +509,11 @@ func (c *Client) Call(ctx context.Context, method string, body []byte) (_ []byte
 	}
 	select {
 	case f := <-ch:
+		// Any response — even a handler error — proves the endpoint is
+		// alive.
+		if c.br != nil {
+			c.br.Record(false)
+		}
 		if f.Err != "" {
 			return nil, &RemoteError{Method: method, Msg: f.Err}
 		}

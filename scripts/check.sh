@@ -6,7 +6,7 @@
 #   sh scripts/check.sh fmt vet lint    # just those stages
 #   sh scripts/check.sh test            # race-enabled tests + coverage gate
 #
-# Stages: fmt vet lint build test bench
+# Stages: fmt vet lint build test chaos bench
 # Set CHECK_SKIP_BENCH=1 to skip the (slow) bench stage in a full run.
 set -e
 
@@ -75,11 +75,25 @@ stage_test() {
     echo "internal/obs coverage: ${obs_cover}%"
 }
 
+stage_chaos() {
+    # Deterministic fault drills: the schedules are scripted (fixed
+    # cut/heal points, seeded injectors), so a failure here is a real
+    # robustness regression, not flake.
+    echo "== chaos conformance: typed failures, no hangs, no leaks (-race) =="
+    go test -race -count=1 -run 'FaultConformance' ./internal/provider/ptest/
+    echo "== partition/crash-rejoin + crashed-lock-holder drills (-race) =="
+    go test -race -count=1 -run 'TestChaosPartitionCrashRejoin' ./internal/hdns/
+    go test -race -count=1 -run 'TestCrashedLockHolderDoesNotWedgeBind' ./internal/provider/jinisp/
+    go test -race -count=1 ./internal/fault/ ./internal/lock/
+}
+
 stage_bench() {
     echo "== cache benchmark diff (writes BENCH_issue2.json) =="
     go run ./cmd/ippsbench -issue2
     echo "== obs overhead report (writes BENCH_issue3.json) =="
     go run ./cmd/ippsbench -issue3
+    echo "== self-healing report (writes BENCH_issue5.json) =="
+    go run ./cmd/ippsbench -issue5
 }
 
 if [ $# -eq 0 ]; then
@@ -88,15 +102,16 @@ if [ $# -eq 0 ]; then
     stage_lint
     stage_build
     stage_test
+    stage_chaos
     if [ -z "$CHECK_SKIP_BENCH" ]; then
         stage_bench
     fi
 else
     for s in "$@"; do
         case "$s" in
-            fmt|vet|lint|build|test|bench) "stage_$s" ;;
+            fmt|vet|lint|build|test|chaos|bench) "stage_$s" ;;
             *)
-                echo "unknown stage: $s (stages: fmt vet lint build test bench)" >&2
+                echo "unknown stage: $s (stages: fmt vet lint build test chaos bench)" >&2
                 exit 2
                 ;;
         esac
