@@ -128,7 +128,8 @@ func (b *Breaker) stateLocked() State {
 
 // Allow reports whether a call may proceed: nil while closed, nil for the
 // single half-open probe once the cooldown elapses, ErrOpen otherwise.
-// Every Allow that returns nil must be paired with a Record.
+// Every Allow that returns nil must be settled with a Record (the call
+// reached a verdict on endpoint health) or a Cancel (it did not).
 func (b *Breaker) Allow() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -203,6 +204,21 @@ func (b *Breaker) Record(failure bool) {
 	}
 }
 
+// Cancel settles an Allow whose call ended for a reason that says nothing
+// about endpoint health — the caller's context was canceled or its
+// deadline expired before the endpoint answered. It releases a half-open
+// probe slot (so the next caller can probe instead of waiting out another
+// cooldown) without moving the state machine: the circuit neither closes
+// on zero evidence of life nor re-opens on a verdict that was never
+// reached, and a closed breaker's consecutive-failure run is untouched.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stateLocked() == HalfOpen {
+		b.probing = false
+	}
+}
+
 // Do gates fn behind the breaker: ErrOpen without calling fn when open,
 // otherwise fn's error with the outcome recorded. faulty classifies which
 // errors count against the circuit (nil means every non-nil error does).
@@ -249,6 +265,18 @@ func For(endpoint string) *Breaker {
 		b = New(Config{})
 		registry[endpoint] = b
 	}
+	return b
+}
+
+// Configure installs (or replaces) the registry breaker for endpoint with
+// one built from cfg, and returns it. Tests and operator tuning use it to
+// shorten cooldowns; For keeps handing out the configured breaker
+// afterwards.
+func Configure(endpoint string, cfg Config) *Breaker {
+	regMu.Lock()
+	defer regMu.Unlock()
+	b := New(cfg)
+	registry[endpoint] = b
 	return b
 }
 

@@ -104,6 +104,58 @@ func TestHalfOpenProbeFailureReopens(t *testing.T) {
 	}
 }
 
+func TestCancelReleasesHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(Config{Threshold: 1, Cooldown: time.Second})
+	_ = b.Allow()
+	b.Record(true)
+	clk.t = clk.t.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow() = %v", err)
+	}
+	// The probe's call was canceled by its caller before reaching a
+	// verdict: the slot comes back without waiting out another cooldown,
+	// and the circuit neither closes nor re-opens.
+	b.Cancel()
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after Cancel = %v, want half-open", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow() after Cancel = %v, want a fresh probe admitted", err)
+	}
+	b.Record(false)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v", got)
+	}
+}
+
+func TestCancelKeepsClosedFailureRun(t *testing.T) {
+	b, _ := newTestBreaker(Config{Threshold: 2, Cooldown: time.Second})
+	_ = b.Allow()
+	b.Record(true)
+	// A canceled call between failures must not reset the run the way a
+	// recorded success would.
+	_ = b.Allow()
+	b.Cancel()
+	_ = b.Allow()
+	b.Record(true)
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want open after 2 failures around a Cancel", got)
+	}
+}
+
+func TestConfigureReplacesRegistryBreaker(t *testing.T) {
+	t.Cleanup(ResetAll)
+	b := Configure("test-cfg:1", Config{Threshold: 1, Cooldown: time.Minute})
+	if For("test-cfg:1") != b {
+		t.Fatal("For did not return the configured breaker")
+	}
+	_ = b.Allow()
+	b.Record(true)
+	if got := For("test-cfg:1").State(); got != Open {
+		t.Fatalf("state = %v, want open after 1 failure at threshold 1", got)
+	}
+}
+
 func TestDoClassifiesFailures(t *testing.T) {
 	b, _ := newTestBreaker(Config{Threshold: 1, Cooldown: time.Minute})
 	semantic := errors.New("name not found")

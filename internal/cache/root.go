@@ -401,7 +401,13 @@ func (r *root) rewatchLoop() {
 				return err
 			}
 			err := r.tryRewatch(r.c.closeCtx)
-			br.Record(err != nil && r.c.closeCtx.Err() == nil)
+			if r.c.closeCtx.Err() != nil {
+				// Cache shutdown is not backend health: release the
+				// probe slot without moving the breaker.
+				br.Cancel()
+			} else {
+				br.Record(err != nil)
+			}
 			return err
 		})
 	r.mu.Lock()

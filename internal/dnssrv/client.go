@@ -101,8 +101,13 @@ func (r *Resolver) Exchange(ctx context.Context, req *Message) (_ *Message, rerr
 		return nil, fmt.Errorf("dnssrv: %s: %w", r.Server, err)
 	}
 	defer func() {
-		// Caller cancellation is not server health.
-		br.Record(rerr != nil && ctx.Err() == nil)
+		// Caller cancellation is not server health: settle the Allow
+		// without moving the breaker either way.
+		if ctx.Err() != nil {
+			br.Cancel()
+		} else {
+			br.Record(rerr != nil)
+		}
 	}()
 	if obs.On() {
 		start := time.Now()

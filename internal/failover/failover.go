@@ -19,7 +19,12 @@ import (
 	"gondi/internal/core"
 )
 
-// DialFunc opens a context against one concrete endpoint.
+// DialFunc opens a context against one concrete endpoint. A DialFunc is
+// expected to own its endpoint's breaker accounting — gate the wire
+// attempt with Allow and settle it with Record/Cancel, as rpc.DialContext
+// and ldapsrv.DialContext do. Open only *reads* breaker state (Ready) to
+// order and skip endpoints; it never consumes the half-open probe slot
+// itself, so a probe admitted after the cooldown always reaches the wire.
 type DialFunc[T any] func(ctx context.Context, endpoint string) (T, error)
 
 // Endpoints splits a (possibly comma-separated) authority into its
@@ -36,11 +41,14 @@ func Endpoints(authority string) []string {
 }
 
 // Open tries dial against each endpoint of authority in order. Endpoints
-// whose breaker is open are skipped (their turn comes back after the
-// cooldown via half-open probes). Each attempt's outcome is recorded with
-// the endpoint's breaker. When every endpoint fails — or every breaker
-// refused to admit an attempt — the error is a
-// *core.ServiceUnavailableError wrapping the last failure.
+// whose breaker is not ready are skipped (their turn comes back after the
+// cooldown via half-open probes). Breaker accounting — the Allow/Record
+// pair, and Cancel on caller cancellation — is owned by the dial layer,
+// exactly once per endpoint; Open itself records nothing, so a dial
+// failure counts once against the trip threshold and the single half-open
+// probe slot is consumed only by the attempt that touches the wire. When
+// every endpoint fails — or every breaker refused to admit an attempt —
+// the error is a *core.ServiceUnavailableError wrapping the last failure.
 func Open[T any](ctx context.Context, authority string, dial DialFunc[T]) (T, error) {
 	var zero T
 	eps := Endpoints(authority)
@@ -53,26 +61,17 @@ func Open[T any](ctx context.Context, authority string, dial DialFunc[T]) (T, er
 		if err := core.CtxErr(ctx); err != nil {
 			return zero, err
 		}
-		br := breaker.For(ep)
-		if err := br.Allow(); err != nil {
+		if !breaker.For(ep).Ready() {
 			if lastErr == nil {
-				lastErr, lastEp = err, ep
+				lastErr, lastEp = breaker.ErrOpen, ep
 			}
 			continue
 		}
 		v, err := dial(ctx, ep)
 		if err == nil {
-			br.Record(false)
 			return v, nil
 		}
-		// Context cancellation is the caller giving up, not endpoint
-		// health; don't charge it to the breaker.
-		br.Record(!isCtxErr(err))
 		lastErr, lastEp = err, ep
 	}
 	return zero, &core.ServiceUnavailableError{Endpoint: lastEp, Err: lastErr}
-}
-
-func isCtxErr(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"gondi/internal/breaker"
 	"gondi/internal/core"
@@ -99,37 +100,95 @@ func TestOpenAllBreakersOpen(t *testing.T) {
 	}
 }
 
+// instrumented wraps a dial result in the breaker accounting every real
+// dial layer (rpc/ldapsrv/dnssrv DialContext) performs: Allow before the
+// wire, Record after.
+func instrumented(ep string, err error) error {
+	br := breaker.For(ep)
+	if aerr := br.Allow(); aerr != nil {
+		return aerr
+	}
+	br.Record(err != nil)
+	return err
+}
+
 func TestOpenRepeatedFailuresTripBreaker(t *testing.T) {
 	breaker.ResetAll()
 	calls := 0
 	for i := 0; i < 10; i++ {
 		_, _ = Open(context.Background(), "flaky:9", func(ctx context.Context, ep string) (string, error) {
 			calls++
-			return "", errors.New("reset by peer")
+			return "", instrumented(ep, errors.New("reset by peer"))
 		})
 	}
-	if calls >= 10 {
-		t.Fatalf("breaker never opened: %d dials for 10 opens", calls)
+	// The dial layer is the only accountant, so the breaker trips after
+	// exactly DefaultThreshold wire attempts — not half that from failover
+	// double-recording the same failures.
+	if calls != breaker.DefaultThreshold {
+		t.Fatalf("dial attempts = %d for 10 opens, want exactly %d (the trip threshold)", calls, breaker.DefaultThreshold)
 	}
 	if breaker.For("flaky:9").State() != breaker.Open {
 		t.Fatalf("breaker state = %v", breaker.For("flaky:9").State())
 	}
 }
 
-func TestOpenCtxErrNotChargedToBreaker(t *testing.T) {
+func TestOpenRecordsNothingItself(t *testing.T) {
 	breaker.ResetAll()
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
 	for i := 0; i < 20; i++ {
 		_, err := Open(context.Background(), "slow:1", func(c context.Context, ep string) (string, error) {
-			return "", ctx.Err()
+			return "", errors.New("boom")
 		})
 		if err == nil {
 			t.Fatal("expected error")
 		}
 	}
+	// The dial func above does no breaker accounting, and failover must
+	// not either: breaker state is owned by exactly one layer.
 	if st := breaker.For("slow:1").State(); st != breaker.Closed {
-		t.Fatalf("cancellations tripped the breaker: state = %v", st)
+		t.Fatalf("failover charged the breaker itself: state = %v", st)
+	}
+}
+
+func TestOpenHalfOpenProbeReachesTheWire(t *testing.T) {
+	breaker.ResetAll()
+	const ep = "heal:1"
+	br := breaker.Configure(ep, breaker.Config{Threshold: 1, Cooldown: 30 * time.Millisecond})
+	dead := true
+	dials := 0
+	dial := func(ctx context.Context, e string) (string, error) {
+		dials++
+		if dead {
+			return "", instrumented(e, errors.New("connection refused"))
+		}
+		return "ctx@" + e, instrumented(e, nil)
+	}
+	if _, err := Open(context.Background(), ep, dial); err == nil {
+		t.Fatal("expected the dead endpoint to fail")
+	}
+	if br.State() != breaker.Open {
+		t.Fatalf("state after failure = %v, want open", br.State())
+	}
+	// While open, failover must skip the endpoint without touching it.
+	if _, err := Open(context.Background(), ep, dial); !errors.Is(err, breaker.ErrOpen) {
+		t.Fatalf("err while open = %v, want to wrap breaker.ErrOpen", err)
+	}
+	if dials != 1 {
+		t.Fatalf("dials = %d, want 1: the open-state attempt must be skipped", dials)
+	}
+	// Once the endpoint heals and the cooldown elapses, the half-open
+	// probe must flow through failover to the dial layer and close the
+	// circuit — with no operator Reset.
+	dead = false
+	time.Sleep(50 * time.Millisecond)
+	v, err := Open(context.Background(), ep, dial)
+	if err != nil {
+		t.Fatalf("half-open probe did not re-admit the healed endpoint: %v", err)
+	}
+	if v != "ctx@"+ep {
+		t.Fatalf("v = %q", v)
+	}
+	if br.State() != breaker.Closed {
+		t.Fatalf("state after successful probe = %v, want closed", br.State())
 	}
 }
 

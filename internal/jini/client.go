@@ -260,10 +260,15 @@ func (m *LeaseRenewalManager) Manage(reg *Registrar, id ServiceID, lease time.Du
 			case <-t.C:
 			}
 			var err error
-			if addr := reg.Addr(); addr != "" {
-				err = breaker.For(addr).Allow()
-			}
-			if err == nil {
+			if addr := reg.Addr(); addr != "" && !breaker.For(addr).Ready() {
+				// The LUS endpoint's breaker is rejecting traffic; skip
+				// the wire entirely. Only read the state here — the rpc
+				// dial layer owns the Allow/Record pair, so a renewal
+				// that times out (ctx.Done with no response frame) cannot
+				// strand the single half-open probe slot and wedge the
+				// breaker permanently.
+				err = breaker.ErrOpen
+			} else {
 				// Bound each renewal round (including retries) to the
 				// half-lease window it must fit inside.
 				rctx, cancel := context.WithTimeout(ctx, lease/2)

@@ -63,7 +63,13 @@ func DialContext(ctx context.Context, addr string) (*Conn, error) {
 		return derr
 	})
 	if err != nil {
-		br.Record(ctx.Err() == nil)
+		// Caller cancellation is not endpoint health: settle the Allow
+		// without moving the breaker either way.
+		if ctx.Err() != nil {
+			br.Cancel()
+		} else {
+			br.Record(true)
+		}
 		return nil, err
 	}
 	br.Record(false)
@@ -146,6 +152,7 @@ func (c *Conn) recordLocked(err error) {
 		return
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		c.br.Cancel()
 		return
 	}
 	c.br.Record(err != nil)

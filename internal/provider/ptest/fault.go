@@ -18,8 +18,10 @@ type FaultWorld struct {
 	// Open dials a fresh context that reaches the backend through the
 	// fault seam. id isolates connection pools between the suite's
 	// phases (pass it through core.EnvPoolID), so the healed phase gets
-	// a fresh dial instead of a severed pooled connection.
-	Open func(t *testing.T, id string) core.DirContext
+	// a fresh dial instead of a severed pooled connection. Dial failures
+	// are returned, not t.Fatal'd: the healed phase polls Open until the
+	// endpoint's breaker re-admits traffic on its own.
+	Open func(t *testing.T, id string) (core.DirContext, error)
 	// Cut severs connectivity to the backend; Restore heals it. Leave
 	// both nil for substrates with no wire to cut (in-memory,
 	// filesystem): the partition phases are skipped and the healthy
@@ -45,8 +47,9 @@ const faultHang = 15 * time.Second
 // provider: under a scripted sever/heal schedule, every operation either
 // succeeds or fails with a typed, classifiable error — never a hang, and
 // never a leaked goroutine. The schedule is three phases: healthy (ops
-// must succeed), severed (ops must fail typed and fast), healed (a fresh
-// dial must succeed again once the breakers are reset).
+// must succeed), severed (ops must fail typed and fast), healed (ops must
+// come back on their own — no breaker.ResetAll, no operator action — via
+// the half-open probes the breakers admit once their cooldown elapses).
 func RunFaultConformance(t *testing.T, factory func(t *testing.T) *FaultWorld) {
 	CheckGoroutines(t)
 	w := factory(t)
@@ -54,7 +57,10 @@ func RunFaultConformance(t *testing.T, factory func(t *testing.T) *FaultWorld) {
 		w.OpTimeout = 5 * time.Second
 	}
 
-	c := w.Open(t, "pre")
+	c, err := w.Open(t, "pre")
+	if err != nil {
+		t.Fatalf("open against a healthy backend: %v", err)
+	}
 	t.Run("HealthyOpsSucceed", func(t *testing.T) {
 		for _, op := range battery(w, c, "h") {
 			if err := guard(t, w, op); err != nil {
@@ -86,16 +92,45 @@ func RunFaultConformance(t *testing.T, factory func(t *testing.T) *FaultWorld) {
 		}
 	})
 
-	t.Run("HealedOpsRecover", func(t *testing.T) {
+	t.Run("HealedOpsRecoverAutonomously", func(t *testing.T) {
 		w.Restore()
-		// Breakers tripped by the severed phase would otherwise fail-fast
-		// the recovery probe; resetting them is the operator's "the
-		// outage is over" action.
-		breaker.ResetAll()
-		healed := w.Open(t, "post")
+		// Deliberately no breaker.ResetAll() here: the severed phase
+		// tripped the endpoint's breakers, and the self-healing contract
+		// is that a healed backend is re-admitted with no operator
+		// action — the breaker's own cooldown elapses, a half-open probe
+		// reaches the wire, succeeds, and closes the circuit. Poll until
+		// that happens; a stack that needs a manual reset fails here.
+		deadline := time.Now().Add(breaker.DefaultCooldown + 2*w.OpTimeout + 10*time.Second)
+		var healed core.DirContext
+		for {
+			var err error
+			healed, err = w.Open(t, "post")
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("open after heal did not recover autonomously: %v", err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
 		for _, op := range battery(w, healed, "r") {
-			if err := guard(t, w, op); err != nil {
-				t.Fatalf("%s after heal: %v", op.name, err)
+			for {
+				err := guard(t, w, op)
+				if err == nil {
+					break
+				}
+				// A semantic answer proves a live backend: an earlier
+				// attempt of this op got through before its error surfaced.
+				if errors.Is(err, core.ErrAlreadyBound) || errors.Is(err, core.ErrNotFound) {
+					break
+				}
+				if !faultTyped(err) {
+					t.Fatalf("%s after heal returned an unclassifiable error: %v", op.name, err)
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("%s did not recover autonomously within the breaker cooldown: %v", op.name, err)
+				}
+				time.Sleep(50 * time.Millisecond)
 			}
 		}
 	})

@@ -34,8 +34,8 @@ func TestMemFaultConformance(t *testing.T) {
 	ptest.RunFaultConformance(t, func(t *testing.T) *ptest.FaultWorld {
 		tree := memsp.NewTree()
 		return &ptest.FaultWorld{
-			Open: func(t *testing.T, id string) core.DirContext {
-				return memsp.NewContext(tree, map[string]any{}, "mem://chaos")
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
+				return memsp.NewContext(tree, map[string]any{}, "mem://chaos"), nil
 			},
 		}
 	})
@@ -45,8 +45,8 @@ func TestFSFaultConformance(t *testing.T) {
 	ptest.RunFaultConformance(t, func(t *testing.T) *ptest.FaultWorld {
 		dir := t.TempDir()
 		return &ptest.FaultWorld{
-			Open: func(t *testing.T, id string) core.DirContext {
-				return fssp.NewContext(dir, map[string]any{})
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
+				return fssp.NewContext(dir, map[string]any{}), nil
 			},
 		}
 	})
@@ -65,15 +65,15 @@ func TestJiniFaultConformance(t *testing.T) {
 		}
 		t.Cleanup(func() { proxy.Close() })
 		return &ptest.FaultWorld{
-			Open: func(t *testing.T, id string) core.DirContext {
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
 				pc, err := jinisp.Open(context.Background(), proxy.Addr(), map[string]any{
 					core.EnvPoolID: t.Name() + "-" + id,
 				})
 				if err != nil {
-					t.Fatal(err)
+					return nil, err
 				}
 				t.Cleanup(func() { pc.Close() })
-				return pc
+				return pc, nil
 			},
 			Cut:     proxy.Cut,
 			Restore: proxy.Restore,
@@ -101,15 +101,15 @@ func TestHDNSFaultConformance(t *testing.T) {
 		}
 		t.Cleanup(func() { proxy.Close() })
 		return &ptest.FaultWorld{
-			Open: func(t *testing.T, id string) core.DirContext {
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
 				pc, err := hdnssp.Open(context.Background(), proxy.Addr(), map[string]any{
 					core.EnvPoolID: t.Name() + "-" + id,
 				})
 				if err != nil {
-					t.Fatal(err)
+					return nil, err
 				}
 				t.Cleanup(func() { pc.Close() })
-				return pc
+				return pc, nil
 			},
 			Cut:     proxy.Cut,
 			Restore: proxy.Restore,
@@ -130,15 +130,15 @@ func TestJXTAFaultConformance(t *testing.T) {
 		}
 		t.Cleanup(func() { proxy.Close() })
 		return &ptest.FaultWorld{
-			Open: func(t *testing.T, id string) core.DirContext {
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
 				pc, err := jxtasp.Open(context.Background(), proxy.Addr(), map[string]any{
 					core.EnvPoolID: t.Name() + "-" + id,
 				})
 				if err != nil {
-					t.Fatal(err)
+					return nil, err
 				}
 				t.Cleanup(func() { pc.Close() })
-				return pc
+				return pc, nil
 			},
 			Cut:     proxy.Cut,
 			Restore: proxy.Restore,
@@ -159,15 +159,15 @@ func TestLDAPFaultConformance(t *testing.T) {
 		}
 		t.Cleanup(func() { proxy.Close() })
 		return &ptest.FaultWorld{
-			Open: func(t *testing.T, id string) core.DirContext {
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
 				pc, err := ldapsp.Open(context.Background(), proxy.Addr(), "dc=chaos", map[string]any{
 					core.EnvPoolID: t.Name() + "-" + id,
 				})
 				if err != nil {
-					t.Fatal(err)
+					return nil, err
 				}
 				t.Cleanup(func() { pc.Close() })
-				return pc
+				return pc, nil
 			},
 			Cut:     proxy.Cut,
 			Restore: proxy.Restore,
@@ -206,12 +206,12 @@ func TestDNSFaultConformance(t *testing.T) {
 
 // dnsWorld opens the DNS provider root through core.OpenURL (the provider
 // has no direct Open; the scheme handler builds the context).
-func dnsWorld(t *testing.T, addr string) func(t *testing.T, id string) core.DirContext {
+func dnsWorld(t *testing.T, addr string) func(t *testing.T, id string) (core.DirContext, error) {
 	dnssp.Register()
-	return func(t *testing.T, id string) core.DirContext {
+	return func(t *testing.T, id string) (core.DirContext, error) {
 		nc, rest, err := core.OpenURL(context.Background(), "dns://"+addr, nil)
 		if err != nil {
-			t.Fatal(err)
+			return nil, err
 		}
 		if rest.String() != "" {
 			t.Fatalf("unexpected remaining name %q", rest.String())
@@ -221,6 +221,6 @@ func dnsWorld(t *testing.T, addr string) func(t *testing.T, id string) core.DirC
 		if !ok {
 			t.Fatalf("dns root is %T, not a DirContext", nc)
 		}
-		return dc
+		return dc, nil
 	}
 }

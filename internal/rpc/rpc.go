@@ -370,8 +370,13 @@ func DialContext(ctx context.Context, addr string, defaultTimeout time.Duration)
 	})
 	if err != nil {
 		mDialErrs.Inc()
-		// Caller cancellation is not endpoint health.
-		br.Record(ctx.Err() == nil)
+		// Caller cancellation is not endpoint health: settle the Allow
+		// without moving the breaker either way.
+		if ctx.Err() != nil {
+			br.Cancel()
+		} else {
+			br.Record(true)
+		}
 		return nil, err
 	}
 	br.Record(false)
