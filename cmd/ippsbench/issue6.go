@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gondi/internal/benchmark"
+)
+
+// The -issue6 report: the pipelined, batched wire path. With the
+// calibrated cost stations removed the transport is the bottleneck, so
+// the lockstep / pipelined / batched disciplines separate cleanly. The
+// gate is the batched series at N=100 clearing a 5x multiple of the
+// issue-5 uncached federation baseline on both backends, plus a completed
+// closed-loop point at N=1000 proving the credit window holds up under
+// an order of magnitude more concurrent callers.
+
+type issue6Point struct {
+	Clients       int     `json:"clients"`
+	LookupsPerSec float64 `json:"lookups_per_sec"`
+	Errors        int64   `json:"errors"`
+}
+
+type issue6Backend struct {
+	Lockstep  []issue6Point `json:"lockstep"`
+	Pipelined []issue6Point `json:"pipelined"`
+	Batched   []issue6Point `json:"batched"`
+	// SpeedupPipelined and SpeedupBatched are the N=100 throughput
+	// ratios against the lockstep series.
+	SpeedupPipelined float64 `json:"speedup_pipelined_at_100"`
+	SpeedupBatched   float64 `json:"speedup_batched_at_100"`
+}
+
+type issue6Report struct {
+	Issue    string        `json:"issue"`
+	Claim    string        `json:"claim"`
+	Method   string        `json:"method"`
+	Date     string        `json:"date"`
+	Baseline float64       `json:"issue5_uncached_baseline_ops_per_sec"`
+	BatchK   int           `json:"batch_k"`
+	Jini     issue6Backend `json:"jini"`
+	HDNS     issue6Backend `json:"hdns"`
+	// JiniLatency is the same discipline comparison against a 64-worker
+	// station at the calibrated 2.4ms Jini service time — the regime
+	// where pipelining (overlapping in-flight requests against per-op
+	// server latency) separates from lockstep, which pays one full
+	// service time per round trip.
+	JiniLatency issue6Backend `json:"jini_latency"`
+	Verdict     string        `json:"verdict"`
+}
+
+// issue5FaultFree is the uncached federated-lookup ceiling recorded in
+// BENCH_issue5.json (fault_free series, N=100) — the 5x gate's anchor.
+const issue5FaultFree = 658.3
+
+// issue6Multiple is the required throughput multiple over that baseline.
+const issue6Multiple = 5.0
+
+func issue6Points(s benchmark.Series) []issue6Point {
+	out := make([]issue6Point, 0, len(s.Points))
+	for _, p := range s.Points {
+		out = append(out, issue6Point{Clients: p.Clients, LookupsPerSec: round1(p.OpsPerSec), Errors: p.Errors})
+	}
+	return out
+}
+
+func issue6At(pts []issue6Point, clients int) (issue6Point, bool) {
+	for _, p := range pts {
+		if p.Clients == clients {
+			return p, true
+		}
+	}
+	return issue6Point{}, false
+}
+
+func issue6BackendFrom(e *benchmark.Experiment) issue6Backend {
+	var b issue6Backend
+	for _, s := range e.Series {
+		switch s.Label {
+		case "lockstep":
+			b.Lockstep = issue6Points(s)
+		case "pipelined":
+			b.Pipelined = issue6Points(s)
+		default:
+			b.Batched = issue6Points(s)
+		}
+	}
+	if ls, ok := issue6At(b.Lockstep, 100); ok && ls.LookupsPerSec > 0 {
+		if p, ok := issue6At(b.Pipelined, 100); ok {
+			b.SpeedupPipelined = round1(p.LookupsPerSec / ls.LookupsPerSec)
+		}
+		if p, ok := issue6At(b.Batched, 100); ok {
+			b.SpeedupBatched = round1(p.LookupsPerSec / ls.LookupsPerSec)
+		}
+	}
+	return b
+}
+
+// issue6Gate checks one backend: batched N=100 clears the multiple and
+// the N=1000 point completed with nonzero throughput.
+func issue6Gate(name string, b issue6Backend, need float64) (string, bool) {
+	at100, ok100 := issue6At(b.Batched, 100)
+	at1000, ok1000 := issue6At(b.Batched, 1000)
+	switch {
+	case !ok100 || at100.LookupsPerSec < need:
+		return fmt.Sprintf("%s batched %.1f lookups/s at N=100 < %.1f required", name, at100.LookupsPerSec, need), false
+	case !ok1000 || at1000.LookupsPerSec <= 0:
+		return fmt.Sprintf("%s N=1000 point did not complete", name), false
+	}
+	return fmt.Sprintf("%s batched %.1f lookups/s at N=100 (%.1fx baseline), %.1f at N=1000",
+		name, at100.LookupsPerSec, at100.LookupsPerSec/issue5FaultFree, at1000.LookupsPerSec), true
+}
+
+func runIssue6(opts benchmark.Options, outPath string) error {
+	opts.Clients = []int{100, 1000}
+	opts.Think = -1 // hot loop: measure the wire, not think time
+
+	rep := issue6Report{
+		Issue: "pipelined, batched wire path with credit-based flow control (internal/rpc, jini/hdns clients, core.BatchContext)",
+		Claim: fmt.Sprintf("batched lookups over one shared connection sustain >= %.0fx the issue-5 uncached baseline (%.1f ops/s) at N=100, and the N=1000 closed-loop point completes", issue6Multiple, issue5FaultFree),
+		Method: fmt.Sprintf("cmd/ippsbench -issue6: nil-cost (wire-speed) Jini LUS and HDNS node, one shared connection, hot-loop closed loop at N=100 and N=1000; lockstep (mutex-serialized, the pre-pipelining discipline) vs pipelined (ID-correlated concurrent calls) vs batched-%d (one %d-item batch frame per op, reported as lookups/s); plus the same disciplines against a 64-worker station at the calibrated 2.4ms Jini service time, where overlap beats lockstep; warmup %v, measure %v",
+			benchmark.WireBatchK, benchmark.WireBatchK, opts.Warmup, opts.Measure),
+		Date:     time.Now().Format("2006-01-02"),
+		Baseline: issue5FaultFree,
+		BatchK:   benchmark.WireBatchK,
+	}
+	need := issue5FaultFree * issue6Multiple
+
+	fmt.Println("== wire path: jini (fig2 analog, nil costs) ==")
+	ej, err := benchmark.RunWireJini(opts)
+	if err != nil {
+		return fmt.Errorf("wire jini: %w", err)
+	}
+	ej.Print(os.Stdout)
+	rep.Jini = issue6BackendFrom(ej)
+
+	fmt.Println("== wire path: hdns (fig4 analog, nil costs) ==")
+	eh, err := benchmark.RunWireHDNS(opts)
+	if err != nil {
+		return fmt.Errorf("wire hdns: %w", err)
+	}
+	eh.Print(os.Stdout)
+	rep.HDNS = issue6BackendFrom(eh)
+
+	fmt.Println("== wire path: jini behind a 64-worker 2.4ms station (latency regime) ==")
+	el, err := benchmark.RunWireLatency(opts)
+	if err != nil {
+		return fmt.Errorf("wire latency: %w", err)
+	}
+	el.Print(os.Stdout)
+	rep.JiniLatency = issue6BackendFrom(el)
+
+	jMsg, jOK := issue6Gate("jini", rep.Jini, need)
+	hMsg, hOK := issue6Gate("hdns", rep.HDNS, need)
+	if jOK && hOK {
+		rep.Verdict = fmt.Sprintf("pass: %s; %s; latency regime: pipelined %.1fx and batched %.1fx lockstep at N=100", jMsg, hMsg,
+			rep.JiniLatency.SpeedupPipelined, rep.JiniLatency.SpeedupBatched)
+	} else {
+		rep.Verdict = fmt.Sprintf("FAIL: %s; %s", jMsg, hMsg)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\n%s\nwrote %s\n", rep.Verdict, outPath)
+	if !jOK || !hOK {
+		return fmt.Errorf("wire-path gate failed")
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 //	ippsbench -issue2         # cache speedup + baseline diff → BENCH_issue2.json
 //	ippsbench -issue3         # obs overhead + server-side view → BENCH_issue3.json
 //	ippsbench -issue5         # self-healing vs collapse under a replica crash → BENCH_issue5.json
+//	ippsbench -issue6         # lockstep vs pipelined vs batched wire path → BENCH_issue6.json
 //
 // Absolute numbers depend on the calibrated cost model (see DESIGN.md);
 // the curve shapes — who saturates where, the strict-bind penalty, the
@@ -40,8 +41,9 @@ func main() {
 	issue2 := flag.Bool("issue2", false, "run the cache speedup report (cache-lookup + figs 2/4/6/7 at 100 clients) and write -out")
 	issue3 := flag.Bool("issue3", false, "run the observability overhead report (obs enabled vs disabled at 100 clients) and write -out")
 	issue5 := flag.Bool("issue5", false, "run the self-healing report (replica crash with/without failover at 100 clients) and write -out")
+	issue6 := flag.Bool("issue6", false, "run the wire-path report (lockstep vs pipelined vs batched at 100 and 1000 clients) and write -out")
 	baseline := flag.String("baseline", "BENCH_issue1.json", "issue1 baseline file for -issue2")
-	out := flag.String("out", "", "output file for -issue2 / -issue3 / -issue5 (default BENCH_issue<N>.json)")
+	out := flag.String("out", "", "output file for -issue2 / -issue3 / -issue5 / -issue6 (default BENCH_issue<N>.json)")
 	flag.Parse()
 
 	if *list {
@@ -103,6 +105,17 @@ func main() {
 		}
 		if err := runIssue5(opts, path); err != nil {
 			fmt.Fprintf(os.Stderr, "ippsbench: issue5: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *issue6 {
+		path := *out
+		if path == "" {
+			path = "BENCH_issue6.json"
+		}
+		if err := runIssue6(opts, path); err != nil {
+			fmt.Fprintf(os.Stderr, "ippsbench: issue6: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,234 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gondi/internal/costmodel"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/jini"
+)
+
+// The issue-6 wire-path experiment: with the calibrated cost stations
+// removed (nil Costs = servers answer at full speed), the transport itself
+// becomes the bottleneck, so the effect of pipelining and batching is
+// directly visible. Three series per backend, all sharing ONE connection:
+//
+//   - lockstep:  a mutex serializes the shared connection so at most one
+//     call is in flight — the pre-issue-6 transport behavior, where every
+//     caller waited out a full round trip before the next request hit the
+//     wire.
+//   - pipelined: concurrent unary calls over the same connection,
+//     ID-correlated and bounded by the server's credit window.
+//   - batched-K: each closed-loop op is one K-item batch frame; reported
+//     throughput is scaled ×K to lookups/s so the series are comparable.
+
+// WireBatchK is the batch fan-in used by the batched series.
+const WireBatchK = 32
+
+// newWireJiniWorld starts a LUS with the given cost model (nil = wire
+// speed) seeded with the raw lookup target — the Figure 2 world minus the
+// single-threaded calibrated stations.
+func newWireJiniWorld(costs *costmodel.Costs) (*jini.LUS, func(), error) {
+	registerProviders()
+	lus, err := jini.NewLUS(jini.LUSConfig{ListenAddr: "127.0.0.1:0", Costs: costs})
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { lus.Close() }
+	seedReg, err := jini.DialRegistrar(lus.Addr(), 5*time.Second)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	defer seedReg.Close()
+	if _, err := seedReg.Register(context.Background(), jini.ServiceItem{
+		ID: "raw-target", Types: []string{"bench.Service"}, Service: rawStub,
+	}, jini.MaxLease); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return lus, cleanup, nil
+}
+
+// sharedOpFactory adapts one op closure over a shared connection into a
+// ClientFactory: every closed-loop client runs the same op, and the
+// connection outlives the sweep (closed by the caller, not per-client).
+func sharedOpFactory(op func(ctx context.Context) error) ClientFactory {
+	return func(client int) (func(ctx context.Context) error, func(), error) {
+		return op, func() {}, nil
+	}
+}
+
+// wireSeries runs the three transport disciplines for one backend. unary
+// performs a single lookup over the shared connection; batch performs one
+// K-item batch lookup. The batched series' throughput is scaled ×K so all
+// three report lookups/s.
+func wireSeries(opts Options, unary, batch func(ctx context.Context) error) ([]Series, error) {
+	var mu sync.Mutex
+	lockstep := func(ctx context.Context) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return unary(ctx)
+	}
+	var out []Series
+	for _, spec := range []struct {
+		label string
+		op    func(ctx context.Context) error
+		scale float64
+	}{
+		{"lockstep", lockstep, 1},
+		{"pipelined", unary, 1},
+		{fmt.Sprintf("batched-%d", WireBatchK), batch, WireBatchK},
+	} {
+		s, err := Sweep(spec.label, opts, sharedOpFactory(spec.op))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.label, err)
+		}
+		for i := range s.Points {
+			s.Points[i].OpsPerSec *= spec.scale
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// jiniWireOps builds the unary and batched lookup ops over one shared
+// registrar connection.
+func jiniWireOps(reg *jini.Registrar) (unary, batch func(ctx context.Context) error) {
+	tmpl := jini.ServiceTemplate{ID: "raw-target"}
+	unary = func(ctx context.Context) error {
+		items, err := reg.Lookup(ctx, tmpl, 1)
+		if err != nil {
+			return err
+		}
+		if len(items) == 0 {
+			return fmt.Errorf("raw target missing")
+		}
+		return nil
+	}
+	tmpls := make([]jini.ServiceTemplate, WireBatchK)
+	for i := range tmpls {
+		tmpls[i] = tmpl
+	}
+	batch = func(ctx context.Context) error {
+		matches, errs, err := reg.LookupMany(ctx, tmpls, 1)
+		if err != nil {
+			return err
+		}
+		for i, e := range errs {
+			if e != nil {
+				return e
+			}
+			if len(matches[i]) == 0 {
+				return fmt.Errorf("raw target missing in batch item %d", i)
+			}
+		}
+		return nil
+	}
+	return unary, batch
+}
+
+// RunWireJini regenerates the Figure 2 analog at wire speed: raw Jini
+// lookups through the lockstep / pipelined / batched disciplines.
+func RunWireJini(opts Options) (*Experiment, error) {
+	lus, cleanup, err := newWireJiniWorld(nil)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	reg, err := jini.DialRegistrar(lus.Addr(), 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer reg.Close()
+
+	unary, batch := jiniWireOps(reg)
+	e := &Experiment{ID: "issue6-jini", Title: "Jini lookup at wire speed (nil costs), one shared connection"}
+	series, err := wireSeries(opts, unary, batch)
+	if err != nil {
+		return nil, err
+	}
+	e.Series = series
+	return e, nil
+}
+
+// RunWireLatency runs the same disciplines against a LUS whose read
+// station has many concurrent workers at the calibrated Jini service time
+// (a multi-threaded server with real per-op latency, instead of the
+// single-worker stations the figures calibrate against). This is the
+// regime pipelining exists for: lockstep pays one full service time per
+// round trip, while pipelined keeps a credit window's worth of requests
+// in service concurrently.
+func RunWireLatency(opts Options) (*Experiment, error) {
+	costs := &costmodel.Costs{
+		Read: costmodel.NewStation(64, costmodel.JiniReadService),
+	}
+	lus, cleanup, err := newWireJiniWorld(costs)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	reg, err := jini.DialRegistrar(lus.Addr(), 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer reg.Close()
+
+	unary, batch := jiniWireOps(reg)
+	e := &Experiment{ID: "issue6-jini-latency", Title: "Jini lookup, 64-worker station at calibrated 2.4ms service, one shared connection"}
+	series, err := wireSeries(opts, unary, batch)
+	if err != nil {
+		return nil, err
+	}
+	e.Series = series
+	return e, nil
+}
+
+// RunWireHDNS regenerates the Figure 4 analog at wire speed: raw HDNS
+// lookups through the lockstep / pipelined / batched disciplines.
+func RunWireHDNS(opts Options) (*Experiment, error) {
+	n1, cleanup, err := newHDNSWorld("issue6", func() *costmodel.Costs { return nil }, jgroups.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	c, err := hdns.Dial(n1.Addr(), "", 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	target := []string{"target"}
+	unary := func(ctx context.Context) error {
+		_, err := c.Lookup(ctx, target)
+		return err
+	}
+	names := make([][]string, WireBatchK)
+	for i := range names {
+		names[i] = target
+	}
+	batch := func(ctx context.Context) error {
+		rsps, err := c.LookupMany(ctx, names)
+		if err != nil {
+			return err
+		}
+		for _, r := range rsps {
+			if r.Err != nil {
+				return r.Err
+			}
+		}
+		return nil
+	}
+
+	e := &Experiment{ID: "issue6-hdns", Title: "HDNS lookup at wire speed (nil costs), one shared connection"}
+	series, err := wireSeries(opts, unary, batch)
+	if err != nil {
+		return nil, err
+	}
+	e.Series = series
+	return e, nil
+}

@@ -176,3 +176,19 @@ func (e *ServiceUnavailableError) Error() string {
 }
 
 func (e *ServiceUnavailableError) Unwrap() error { return e.Err }
+
+// ServerBusyError reports that an endpoint shed a request because its
+// in-flight window was exhausted — the transport's credit-based flow
+// control refused to queue more work. The server is alive (this is an
+// answered rejection, not a transport failure), so callers should back
+// off and retry rather than fail over.
+type ServerBusyError struct {
+	// Endpoint is the overloaded endpoint.
+	Endpoint string
+	// Op is the operation that was shed.
+	Op string
+}
+
+func (e *ServerBusyError) Error() string {
+	return fmt.Sprintf("naming: server %s busy: %s shed by flow control", e.Endpoint, e.Op)
+}

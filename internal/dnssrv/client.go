@@ -16,7 +16,10 @@ import (
 )
 
 // Resolver queries one DNS server over UDP, falling back to TCP on
-// truncation, with retries.
+// truncation, with retries. UDP queries from all goroutines are
+// pipelined over one shared socket, correlated by query ID: concurrent
+// exchanges overlap on the wire instead of running lockstep each on its
+// own socket.
 type Resolver struct {
 	// Server is the host:port of the name server.
 	Server string
@@ -27,6 +30,161 @@ type Resolver struct {
 
 	mu  sync.Mutex
 	rnd *rand.Rand
+
+	pipeMu sync.Mutex
+	pipe   *udpPipe
+}
+
+// udpIdleGrace is how long the shared socket's read loop lingers with no
+// query outstanding before it tears itself down (the next exchange
+// redials). Keeps idle resolvers goroutine-free.
+const udpIdleGrace = time.Second
+
+// udpPipe is one shared UDP socket with an ID-correlated demux loop.
+type udpPipe struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	pending map[uint16]chan *Message
+	closed  bool
+	err     error
+}
+
+// errQueryTimeout stands in for the per-socket read timeout the lockstep
+// path used to surface; Exchange wraps it as "no response from" exactly
+// as before.
+var errQueryTimeout = errors.New("i/o timeout awaiting response")
+
+// getPipe returns the live shared socket, dialing one (and starting its
+// read loop) when none exists.
+func (r *Resolver) getPipe(ctx context.Context) (*udpPipe, error) {
+	r.pipeMu.Lock()
+	defer r.pipeMu.Unlock()
+	if r.pipe != nil {
+		r.pipe.mu.Lock()
+		alive := !r.pipe.closed
+		r.pipe.mu.Unlock()
+		if alive {
+			return r.pipe, nil
+		}
+		r.pipe = nil
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", r.Server)
+	if err != nil {
+		return nil, err
+	}
+	p := &udpPipe{conn: conn, pending: map[uint16]chan *Message{}}
+	r.pipe = p
+	go r.readLoop(p)
+	return p, nil
+}
+
+// dropPipe tears p down: the socket closes, every pending exchange is
+// failed (closed channel = connection death), and the resolver forgets p
+// so the next exchange redials.
+func (r *Resolver) dropPipe(p *udpPipe, err error) {
+	r.pipeMu.Lock()
+	if r.pipe == p {
+		r.pipe = nil
+	}
+	r.pipeMu.Unlock()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.err = err
+	chans := make([]chan *Message, 0, len(p.pending))
+	for id, ch := range p.pending {
+		delete(p.pending, id)
+		chans = append(chans, ch)
+	}
+	p.mu.Unlock()
+	p.conn.Close()
+	for _, ch := range chans {
+		close(ch)
+	}
+}
+
+// readLoop demultiplexes responses to their registered exchanges. It
+// exits — closing the socket — after udpIdleGrace with nothing pending,
+// so an idle resolver holds no goroutine (leak-checked by ptest).
+func (r *Resolver) readLoop(p *udpPipe) {
+	buf := make([]byte, 64<<10)
+	for {
+		_ = p.conn.SetReadDeadline(time.Now().Add(udpIdleGrace))
+		n, err := p.conn.Read(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				p.mu.Lock()
+				idle := len(p.pending) == 0
+				p.mu.Unlock()
+				if idle {
+					r.dropPipe(p, nil)
+					return
+				}
+				continue
+			}
+			r.dropPipe(p, err)
+			return
+		}
+		resp, derr := DecodeMessage(buf[:n])
+		if derr != nil || !resp.Header.QR {
+			continue // garbled or not a response; keep reading
+		}
+		p.mu.Lock()
+		ch, ok := p.pending[resp.Header.ID]
+		if ok {
+			delete(p.pending, resp.Header.ID)
+		}
+		p.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; remover is the only sender
+		}
+	}
+}
+
+// register claims an unused query ID on p.
+func (p *udpPipe) register(r *Resolver) (uint16, chan *Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		err := p.err
+		if err == nil {
+			err = errors.New("dnssrv: connection closed")
+		}
+		return 0, nil, err
+	}
+	for tries := 0; tries < 64; tries++ {
+		id := r.id()
+		if _, dup := p.pending[id]; dup {
+			continue
+		}
+		ch := make(chan *Message, 1)
+		p.pending[id] = ch
+		return id, ch, nil
+	}
+	return 0, nil, errors.New("dnssrv: no free query ID")
+}
+
+// unregister abandons a registered exchange (timeout, cancellation).
+func (p *udpPipe) unregister(id uint16) {
+	p.mu.Lock()
+	delete(p.pending, id)
+	p.mu.Unlock()
+}
+
+// deathErr reports why the pipe died (set before any channel closes).
+func (p *udpPipe) deathErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return p.err
+	}
+	return errors.New("dnssrv: connection closed")
 }
 
 // NewResolver builds a resolver for the given server address.
@@ -158,7 +316,11 @@ func (r *Resolver) Exchange(ctx context.Context, req *Message) (_ *Message, rerr
 	return nil, fmt.Errorf("dnssrv: no response from %s: %w", r.Server, lastErr)
 }
 
-func (r *Resolver) exchangeUDP(ctx context.Context, pkt []byte, id uint16) (*Message, error) {
+// exchangeUDP sends one attempt over the shared pipelined socket. The
+// query is re-stamped with a freshly claimed ID (a retry is a new wire
+// query, so a straggling answer to an old attempt can never satisfy a
+// new one).
+func (r *Resolver) exchangeUDP(ctx context.Context, pkt []byte, _ uint16) (*Message, error) {
 	timeout := r.attemptTimeout(ctx)
 	if timeout <= 0 {
 		// ctx.Err() can still be nil for a hair after the deadline passes
@@ -168,30 +330,34 @@ func (r *Resolver) exchangeUDP(ctx context.Context, pkt []byte, id uint16) (*Mes
 		}
 		return nil, context.DeadlineExceeded
 	}
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "udp", r.Server)
+	p, err := r.getPipe(ctx)
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(timeout))
-	if _, err := conn.Write(pkt); err != nil {
+	id, ch, err := p.register(r)
+	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 64<<10)
-	for {
-		n, err := conn.Read(buf)
-		if err != nil {
-			return nil, err
-		}
-		resp, err := DecodeMessage(buf[:n])
-		if err != nil {
-			continue // garbled datagram; keep waiting until deadline
-		}
-		if resp.Header.ID != id || !resp.Header.QR {
-			continue // not ours
+	defer p.unregister(id)
+	wire := make([]byte, len(pkt))
+	copy(wire, pkt)
+	binary.BigEndian.PutUint16(wire[:2], id)
+	if _, err := p.conn.Write(wire); err != nil {
+		r.dropPipe(p, err)
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, p.deathErr()
 		}
 		return resp, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+		return nil, errQueryTimeout
 	}
 }
 

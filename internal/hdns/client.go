@@ -236,3 +236,79 @@ func hasMsg(err error, msg string) bool {
 	}
 	return err.Error() == msg
 }
+
+// BatchOp is one operation in a CallMany batch.
+type BatchOp struct {
+	Method string
+	Req    *Req
+}
+
+// BatchRsp is one operation's outcome from CallMany: the decoded response
+// or that item's error, mirroring what the unary call would have produced.
+type BatchRsp struct {
+	Rsp *Rsp
+	Err error
+}
+
+// CallMany sends every operation in one batch frame over the shared rpc
+// connection. The node executes items sequentially in submission order
+// and each item fails independently; the call-level error is reserved for
+// transport failures and whole-batch shedding.
+func (c *Client) CallMany(ctx context.Context, ops []BatchOp) ([]BatchRsp, error) {
+	items := make([]rpc.BatchItem, len(ops))
+	for i, op := range ops {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(op.Req); err != nil {
+			return nil, err
+		}
+		items[i] = rpc.BatchItem{Method: op.Method, Body: buf.Bytes()}
+	}
+	results, err := c.rc.CallBatch(ctx, items)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchRsp, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			out[i].Err = res.Err
+			continue
+		}
+		var rsp Rsp
+		if err := gob.NewDecoder(bytes.NewReader(res.Body)).Decode(&rsp); err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Rsp = &rsp
+	}
+	return out, nil
+}
+
+// LookupMany reads many entries in one round trip (one BatchRsp per name,
+// in order).
+func (c *Client) LookupMany(ctx context.Context, names [][]string) ([]BatchRsp, error) {
+	ops := make([]BatchOp, len(names))
+	for i, name := range names {
+		ops[i] = BatchOp{Method: mLookup, Req: &Req{Name: name}}
+	}
+	return c.CallMany(ctx, ops)
+}
+
+// BindManyOp describes one bind for BindMany.
+type BindManyOp struct {
+	Name        []string
+	Obj         []byte
+	Attrs       map[string][]string
+	LeaseMillis int64
+}
+
+// BindMany binds many entries in one round trip; items apply sequentially
+// server-side and fail independently.
+func (c *Client) BindMany(ctx context.Context, binds []BindManyOp) ([]BatchRsp, error) {
+	ops := make([]BatchOp, len(binds))
+	for i, b := range binds {
+		ops[i] = BatchOp{Method: mBind, Req: &Req{
+			Name: b.Name, Obj: b.Obj, Attrs: b.Attrs, LeaseMillis: b.LeaseMillis,
+		}}
+	}
+	return c.CallMany(ctx, ops)
+}

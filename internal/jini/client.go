@@ -341,3 +341,93 @@ func (m *LeaseRenewalManager) Count() int {
 	defer m.mu.Unlock()
 	return len(m.tracked)
 }
+
+// BatchOp is one operation in a CallMany batch against the LUS.
+type BatchOp struct {
+	Method string
+	Req    *wireReq
+}
+
+// BatchRsp is one operation's outcome from CallMany.
+type BatchRsp struct {
+	Rsp *wireRsp
+	Err error
+}
+
+// CallMany sends every operation in one batch frame over the shared rpc
+// connection; the LUS executes items sequentially in submission order and
+// each item fails independently.
+func (r *Registrar) CallMany(ctx context.Context, ops []BatchOp) ([]BatchRsp, error) {
+	items := make([]rpc.BatchItem, len(ops))
+	for i, op := range ops {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(op.Req); err != nil {
+			return nil, err
+		}
+		items[i] = rpc.BatchItem{Method: op.Method, Body: buf.Bytes()}
+	}
+	results, err := r.rc.CallBatch(ctx, items)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchRsp, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			out[i].Err = res.Err
+			continue
+		}
+		var rsp wireRsp
+		if err := gob.NewDecoder(bytes.NewReader(res.Body)).Decode(&rsp); err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Rsp = &rsp
+	}
+	return out, nil
+}
+
+// LookupMany matches many templates in one round trip (one BatchRsp per
+// template, in order; each capped at max items, 0 = all).
+func (r *Registrar) LookupMany(ctx context.Context, ts []ServiceTemplate, max int) ([][]ServiceItem, []error, error) {
+	ops := make([]BatchOp, len(ts))
+	for i, t := range ts {
+		ops[i] = BatchOp{Method: mLookup, Req: &wireReq{Template: t, Max: max}}
+	}
+	rsps, err := r.CallMany(ctx, ops)
+	if err != nil {
+		return nil, nil, err
+	}
+	items := make([][]ServiceItem, len(rsps))
+	errs := make([]error, len(rsps))
+	for i, br := range rsps {
+		if br.Err != nil {
+			errs[i] = br.Err
+			continue
+		}
+		items[i] = br.Rsp.Items
+	}
+	return items, errs, nil
+}
+
+// RegisterMany registers many service items in one round trip; items
+// apply sequentially server-side and fail independently.
+func (r *Registrar) RegisterMany(ctx context.Context, regs []ServiceItem, lease time.Duration) ([]Registration, []error, error) {
+	ops := make([]BatchOp, len(regs))
+	for i, item := range regs {
+		ops[i] = BatchOp{Method: mRegister, Req: &wireReq{Item: item, LeaseMs: lease.Milliseconds()}}
+	}
+	rsps, err := r.CallMany(ctx, ops)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Registration, len(rsps))
+	errs := make([]error, len(rsps))
+	for i, br := range rsps {
+		if br.Err != nil {
+			errs[i] = br.Err
+			continue
+		}
+		out[i] = br.Rsp.Reg
+	}
+	return out, errs, nil
+}

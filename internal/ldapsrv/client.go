@@ -16,14 +16,27 @@ import (
 	"gondi/internal/retry"
 )
 
-// Conn is a synchronous LDAP client connection.
+// Conn is an LDAP client connection. Requests are pipelined: concurrent
+// operations interleave on the wire, correlated back to their callers by
+// LDAP messageID, instead of serializing lockstep behind one mutex.
 type Conn struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	br     *breaker.Breaker
-	nextID int64
-	bound  string
-	dead   bool
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *breaker.Breaker
+	nextID  int64
+	bound   string
+	dead    bool
+	err     error
+	pending map[int64]*ldapCall
+
+	wmu  sync.Mutex    // serializes request writes
+	done chan struct{} // closed when the conn dies
+}
+
+// ldapCall is one in-flight operation awaiting its response messages.
+type ldapCall struct {
+	ch   chan *ber.Packet // response ops for this messageID, in order
+	quit chan struct{}    // closed when the caller stops listening
 }
 
 // Dead reports whether the connection has failed at the transport level;
@@ -73,17 +86,87 @@ func DialContext(ctx context.Context, addr string) (*Conn, error) {
 		return nil, err
 	}
 	br.Record(false)
-	return &Conn{conn: c, br: br}, nil
+	cc := &Conn{
+		conn:    c,
+		br:      br,
+		pending: map[int64]*ldapCall{},
+		done:    make(chan struct{}),
+	}
+	go cc.readLoop()
+	return cc, nil
 }
 
 // Close sends an unbind request and closes the connection.
 func (c *Conn) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.nextID++
-	unbind := &ber.Packet{Tag: ber.ClassApplication | AppUnbindRequest}
-	_, _ = c.conn.Write(WrapMessage(c.nextID, unbind).Encode())
-	return c.conn.Close()
+	id := c.nextID
+	dead := c.dead
+	c.mu.Unlock()
+	if !dead {
+		unbind := &ber.Packet{Tag: ber.ClassApplication | AppUnbindRequest}
+		c.wmu.Lock()
+		_, _ = c.conn.Write(WrapMessage(id, unbind).Encode())
+		c.wmu.Unlock()
+	}
+	c.fail(errors.New("ldapsrv: connection closed"))
+	return nil
+}
+
+// fail marks the connection dead exactly once: the socket closes, and
+// every in-flight call observes the death via the done channel — a
+// severed connection fails all pipelined calls typed, never hangs them.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	c.err = err
+	c.pending = map[int64]*ldapCall{}
+	c.mu.Unlock()
+	c.conn.Close()
+	close(c.done)
+}
+
+// deathErr reports why the connection died.
+func (c *Conn) deathErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return errors.New("ldapsrv: connection closed")
+}
+
+// readLoop demultiplexes response messages to their in-flight calls by
+// messageID. Responses for abandoned messageIDs are dropped (the old
+// "stale response from an abandoned op" skip, now a map miss).
+func (c *Conn) readLoop() {
+	for {
+		msg, err := readBER(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		id, respOp, err := UnwrapMessage(msg)
+		if err != nil {
+			// The BER stream is unframed beyond recovery.
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[id]
+		c.mu.Unlock()
+		if call == nil {
+			continue
+		}
+		select {
+		case call.ch <- respOp:
+		case <-call.quit:
+		}
+	}
 }
 
 // roundTrip sends one request and reads responses until the terminating
@@ -105,49 +188,71 @@ func (c *Conn) roundTrip(ctx context.Context, op *ber.Packet, terminator byte) (
 			}
 		}()
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if dl, ok := ctx.Deadline(); ok {
-		_ = c.conn.SetDeadline(dl)
-		defer c.conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	if c.dead {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("ldapsrv: connection closed")
+		}
+		return nil, err
 	}
 	c.nextID++
 	id := c.nextID
-	if _, err := c.conn.Write(WrapMessage(id, op).Encode()); err != nil {
-		c.dead = true
-		c.recordLocked(wrapCtx(ctx, err))
+	call := &ldapCall{ch: make(chan *ber.Packet, 16), quit: make(chan struct{})}
+	c.pending[id] = call
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		close(call.quit)
+	}()
+	wire := WrapMessage(id, op).Encode()
+	c.wmu.Lock()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetWriteDeadline(dl)
+	}
+	_, err := c.conn.Write(wire)
+	if _, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetWriteDeadline(time.Time{})
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+		c.record(wrapCtx(ctx, err))
 		return nil, wrapCtx(ctx, err)
 	}
+	// The caller's deadline is enforced by select, not a socket deadline:
+	// the socket is shared by every pipelined call, and one caller's
+	// budget must not sever another's exchange.
 	var out []*ber.Packet
 	for {
-		msg, err := readBER(c.conn)
-		if err != nil {
-			c.dead = true
-			c.recordLocked(wrapCtx(ctx, err))
+		select {
+		case respOp := <-call.ch:
+			out = append(out, respOp)
+			if respOp.TagNumber() == terminator {
+				c.record(nil)
+				return out, nil
+			}
+		case <-ctx.Done():
+			c.record(ctx.Err())
+			return nil, ctx.Err()
+		case <-c.done:
+			err := c.deathErr()
+			c.record(wrapCtx(ctx, err))
 			return nil, wrapCtx(ctx, err)
-		}
-		gotID, respOp, err := UnwrapMessage(msg)
-		if err != nil {
-			return nil, err
-		}
-		if gotID != id {
-			continue // stale response from an abandoned op
-		}
-		out = append(out, respOp)
-		if respOp.TagNumber() == terminator {
-			c.recordLocked(nil)
-			return out, nil
 		}
 	}
 }
 
-// recordLocked feeds a round-trip outcome to the endpoint breaker.
-// Context cancellation is the caller's budget, not server health, and is
-// not charged.
-func (c *Conn) recordLocked(err error) {
+// record feeds a round-trip outcome to the endpoint breaker, exactly
+// once per call. Context cancellation is the caller's budget, not server
+// health, and is not charged.
+func (c *Conn) record(err error) {
 	if c.br == nil {
 		return
 	}

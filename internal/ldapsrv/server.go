@@ -159,11 +159,30 @@ func (s *Server) acceptLoop() {
 }
 
 type session struct {
+	mu     sync.Mutex
 	bindDN string // empty = anonymous
 }
 
+func (sess *session) setBindDN(dn string) {
+	sess.mu.Lock()
+	sess.bindDN = dn
+	sess.mu.Unlock()
+}
+
+func (sess *session) getBindDN() string {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.bindDN
+}
+
+// serveConn dispatches each message on its own goroutine so pipelined
+// clients overlap server-side work; response writes are serialized per
+// connection (each message's response group stays contiguous).
 func (s *Server) serveConn(conn net.Conn) {
+	var wg sync.WaitGroup
 	defer conn.Close()
+	defer wg.Wait()
+	var wmu sync.Mutex
 	sess := &session{}
 	for {
 		msg, err := readBER(conn)
@@ -177,12 +196,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		if op.TagNumber() == AppUnbindRequest {
 			return
 		}
-		responses := s.dispatch(sess, op)
-		for _, resp := range responses {
-			if _, err := conn.Write(WrapMessage(id, resp).Encode()); err != nil {
-				return
+		wg.Add(1)
+		go func(id int64, op *ber.Packet) {
+			defer wg.Done()
+			responses := s.dispatch(sess, op)
+			wmu.Lock()
+			defer wmu.Unlock()
+			for _, resp := range responses {
+				if _, err := conn.Write(WrapMessage(id, resp).Encode()); err != nil {
+					return
+				}
 			}
-		}
+		}(id, op)
 	}
 }
 
@@ -236,11 +261,11 @@ func (s *Server) handleBind(sess *session, op *ber.Packet) *ber.Packet {
 	password := cred.Str()
 	switch {
 	case dn == "" && password == "":
-		sess.bindDN = ""
+		sess.setBindDN("")
 	case s.cfg.RootDN != "" && MustParseDN(s.cfg.RootDN).Normalize() == mustNormalize(dn) && password == s.cfg.RootPassword:
-		sess.bindDN = dn
+		sess.setBindDN(dn)
 	case s.dit.CheckPassword(dn, password):
-		sess.bindDN = dn
+		sess.setBindDN(dn)
 	default:
 		return fail(ResultInvalidCredentials, "")
 	}
@@ -256,7 +281,7 @@ func mustNormalize(dn string) string {
 }
 
 func (s *Server) authorizeWrite(sess *session) bool {
-	return !s.cfg.RequireAuthForWrite || sess.bindDN != ""
+	return !s.cfg.RequireAuthForWrite || sess.getBindDN() != ""
 }
 
 func (s *Server) handleSearch(op *ber.Packet) []*ber.Packet {

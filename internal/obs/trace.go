@@ -39,6 +39,9 @@ type Span struct {
 	WireRTs int `json:"wire_rts,omitempty"`
 	// Ops counts naming operations executed against the hop's context.
 	Ops int `json:"ops,omitempty"`
+	// Batch accumulates the number of operations carried in batched wire
+	// frames while this hop was current (0 = no batching happened).
+	Batch int `json:"batch,omitempty"`
 	// Err is the hop's terminal error, "" on success. A CannotProceed
 	// continuation is not an error — it closes the hop and opens the next.
 	Err string `json:"err,omitempty"`
@@ -169,6 +172,16 @@ func AddRetry(ctx context.Context, attempts int, backoff time.Duration) {
 		return
 	}
 	t.annotate(func(s *Span) { s.Retries += attempts; s.BackoffNs += backoff })
+}
+
+// AddBatch records that a batched wire frame carried n operations on the
+// current hop, so one trace span per batch reports its size.
+func AddBatch(ctx context.Context, n int) {
+	t := TraceFrom(ctx)
+	if t == nil || !enabled.Load() {
+		return
+	}
+	t.annotate(func(s *Span) { s.Batch += n })
 }
 
 // AddWireRT counts one wire round-trip on the current hop.

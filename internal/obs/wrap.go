@@ -378,3 +378,29 @@ func (w *InstCtx) Environment() map[string]any { return w.inner.Environment() }
 
 // Close implements core.Context.
 func (w *InstCtx) Close() error { return w.inner.Close() }
+
+// LookupMany implements core.BatchContext, metering the batch as one op
+// and delegating to inner's native batch (or the per-item fallback) via
+// the core helper.
+func (w *InstCtx) LookupMany(ctx context.Context, names []string) ([]core.BatchResult, error) {
+	start := time.Now()
+	out, err := core.LookupMany(ctx, w.inner, names)
+	w.set.record(ctx, "lookupMany", start, err)
+	return out, err
+}
+
+// BindMany implements core.BatchContext.
+func (w *InstCtx) BindMany(ctx context.Context, reqs []core.BindRequest) ([]core.BatchResult, error) {
+	start := time.Now()
+	out, err := core.BindMany(ctx, w.inner, reqs)
+	w.set.record(ctx, "bindMany", start, err)
+	return out, err
+}
+
+// GetAttributesMany implements core.BatchContext.
+func (w *InstCtx) GetAttributesMany(ctx context.Context, names []string, attrIDs ...string) ([]core.BatchResult, error) {
+	start := time.Now()
+	out, err := core.GetAttributesMany(ctx, w.inner, names, attrIDs...)
+	w.set.record(ctx, "getAttributesMany", start, err)
+	return out, err
+}

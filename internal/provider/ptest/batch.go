@@ -1,0 +1,171 @@
+package ptest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gondi/internal/core"
+)
+
+// noBatch hides any native BatchContext implementation behind a plain
+// DirContext, forcing core's per-item loop fallback. Interface embedding
+// promotes only DirContext's method set, so the type assertion in
+// core.LookupMany and friends fails by construction.
+type noBatch struct{ core.DirContext }
+
+// runBatchSuite is the batch-semantics half of the conformance contract:
+// order preservation, per-item typed failures, and equivalence between a
+// provider's native batch path and the unary loop fallback. Providers
+// without native batch run the fallback against itself (still proving
+// order and partial-failure semantics hold).
+func runBatchSuite(t *testing.T, factory Factory) {
+	ctx := context.Background()
+
+	t.Run("BatchLookupOrderPreserved", func(t *testing.T) {
+		c := factory(t)
+		for _, n := range []string{"ba", "bb", "bc", "bd"} {
+			if err := c.Bind(ctx, n, "v-"+n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		names := []string{"bc", "ba", "bd", "bb"}
+		out, err := core.LookupMany(ctx, c, names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(names) {
+			t.Fatalf("got %d results for %d names", len(out), len(names))
+		}
+		for i, n := range names {
+			if out[i].Err != nil || out[i].Value != "v-"+n {
+				t.Fatalf("position %d (%s) = %v, %v — order not preserved", i, n, out[i].Value, out[i].Err)
+			}
+		}
+	})
+
+	t.Run("BatchLookupPartialFailure", func(t *testing.T) {
+		c := factory(t)
+		if err := c.Bind(ctx, "present", "here"); err != nil {
+			t.Fatal(err)
+		}
+		out, err := core.LookupMany(ctx, c, []string{"present", "absent", "present"})
+		if err != nil {
+			t.Fatalf("whole batch failed for one bad item: %v", err)
+		}
+		if out[0].Err != nil || out[0].Value != "here" {
+			t.Fatalf("item 0: %v, %v", out[0].Value, out[0].Err)
+		}
+		if !errors.Is(out[1].Err, core.ErrNotFound) {
+			t.Fatalf("item 1 err = %v, want ErrNotFound", out[1].Err)
+		}
+		if out[2].Err != nil || out[2].Value != "here" {
+			t.Fatalf("item 2: %v, %v", out[2].Value, out[2].Err)
+		}
+	})
+
+	t.Run("BatchBindPartialFailure", func(t *testing.T) {
+		c := factory(t)
+		if err := c.Bind(ctx, "dup", 0); err != nil {
+			t.Fatal(err)
+		}
+		out, err := core.BindMany(ctx, c, []core.BindRequest{
+			{Name: "bx", Obj: "x"},
+			{Name: "dup", Obj: "clobber"},
+			{Name: "by", Obj: "y"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0].Err != nil || out[2].Err != nil {
+			t.Fatalf("good items failed: %v, %v", out[0].Err, out[2].Err)
+		}
+		if !errors.Is(out[1].Err, core.ErrAlreadyBound) {
+			t.Fatalf("dup err = %v, want ErrAlreadyBound", out[1].Err)
+		}
+		// The failed item's original value survives; the good items landed.
+		if got, _ := c.Lookup(ctx, "dup"); got != 0 {
+			t.Fatalf("dup clobbered: %v", got)
+		}
+		for _, n := range []string{"bx", "by"} {
+			if _, err := c.Lookup(ctx, n); err != nil {
+				t.Fatalf("batched bind of %s not visible: %v", n, err)
+			}
+		}
+	})
+
+	t.Run("BatchGetAttributes", func(t *testing.T) {
+		c := factory(t)
+		attrs := core.NewAttributes()
+		attrs.Put("color", "red")
+		attrs.Put("size", "xl")
+		if err := c.BindAttrs(ctx, "attred", "obj", attrs); err != nil {
+			t.Fatal(err)
+		}
+		out, err := core.GetAttributesMany(ctx, c, []string{"attred", "noattr"}, "color")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := out[0].Value.(*core.Attributes)
+		if out[0].Err != nil || !ok {
+			t.Fatalf("item 0: %v, %v", out[0].Value, out[0].Err)
+		}
+		if a, aok := got.Get("color"); !aok || len(a.Values) != 1 || a.Values[0] != "red" {
+			t.Fatalf("selected attrs = %+v", got)
+		}
+		if _, sok := got.Get("size"); sok {
+			t.Fatal("unselected attribute leaked through batch projection")
+		}
+		if !errors.Is(out[1].Err, core.ErrNotFound) {
+			t.Fatalf("missing name err = %v, want ErrNotFound", out[1].Err)
+		}
+	})
+
+	t.Run("BatchFallbackEquivalence", func(t *testing.T) {
+		// The same operations through the native batch path and through the
+		// forced unary loop must agree on values and error classes.
+		c := factory(t)
+		for i := 0; i < 5; i++ {
+			if err := c.Bind(ctx, fmt.Sprintf("eq%d", i), i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		names := []string{"eq3", "eq0", "missing", "eq4", "eq1"}
+		native, err := core.LookupMany(ctx, c, names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fallback, err := core.LookupMany(ctx, noBatch{c}, names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range names {
+			if (native[i].Err == nil) != (fallback[i].Err == nil) {
+				t.Fatalf("item %d: native err %v, fallback err %v", i, native[i].Err, fallback[i].Err)
+			}
+			if native[i].Err != nil {
+				if errors.Is(native[i].Err, core.ErrNotFound) != errors.Is(fallback[i].Err, core.ErrNotFound) {
+					t.Fatalf("item %d error class diverged: %v vs %v", i, native[i].Err, fallback[i].Err)
+				}
+				continue
+			}
+			if native[i].Value != fallback[i].Value {
+				t.Fatalf("item %d: native %v, fallback %v", i, native[i].Value, fallback[i].Value)
+			}
+		}
+	})
+
+	t.Run("BatchEmptyAndCanceled", func(t *testing.T) {
+		c := factory(t)
+		out, err := core.LookupMany(ctx, c, nil)
+		if err != nil || len(out) != 0 {
+			t.Fatalf("empty batch: %v, %v", out, err)
+		}
+		canceled, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := core.LookupMany(canceled, c, []string{"a"}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled batch err = %v", err)
+		}
+	})
+}

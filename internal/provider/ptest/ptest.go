@@ -412,4 +412,6 @@ func Run(t *testing.T, caps Caps, factory Factory) {
 			t.Fatalf("GetAttributes under expired deadline: %v", err)
 		}
 	})
+
+	runBatchSuite(t, factory)
 }

@@ -1,0 +1,219 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The wire format is a hand-rolled binary encoding chosen over gob for
+// the hot path: encoding is a single append into a pooled buffer and
+// decoding is a zero-copy walk over the read buffer (field slices alias
+// the payload), so a steady-state encode or decode performs no heap
+// allocations (enforced by TestFrameCodecZeroAlloc and the check.sh
+// allocations gate).
+//
+// Outer framing: 4-byte big-endian payload length, then the payload.
+// Payload layout:
+//
+//	kind    uint8
+//	id      uint64 big-endian   (kindCredit: the advertised window)
+//	code    uint8               (codeOK | codeErr | codeBusy)
+//	method  uvarint len + bytes
+//	err     uvarint len + bytes
+//	body    uvarint len + bytes
+//	items   (batch kinds only) uvarint count, then per item:
+//	        code uint8, method uvarint len + bytes,
+//	        err uvarint len + bytes, body uvarint len + bytes
+//
+// Trailing bytes after the last field are a decode error: a frame either
+// parses exactly or is rejected, so corruption cannot smuggle state
+// between frames.
+
+// Response codes.
+const (
+	codeOK   = 0
+	codeErr  = 1 // Err carries the handler's error message
+	codeBusy = 2 // shed by the server's in-flight window; no handler ran
+)
+
+// maxBatchItems bounds the item count in one batch frame, guarding the
+// decoder against a corrupt count allocating unbounded item slices.
+const maxBatchItems = 4096
+
+// frameItem is one operation inside a batch frame.
+type frameItem struct {
+	Code   uint8
+	Method []byte
+	Err    []byte
+	Body   []byte
+}
+
+var (
+	errFrameTruncated = errors.New("rpc: truncated frame")
+	errFrameTrailing  = errors.New("rpc: trailing bytes after frame")
+)
+
+// appendFrame appends f's payload encoding to dst and returns the
+// extended slice. It never fails: every frame value has an encoding.
+func appendFrame(dst []byte, f *frame) []byte {
+	dst = append(dst, f.Kind)
+	dst = binary.BigEndian.AppendUint64(dst, f.ID)
+	dst = append(dst, f.Code)
+	dst = appendBytes(dst, f.Method)
+	dst = appendBytes(dst, f.Err)
+	dst = appendBytes(dst, f.Body)
+	if f.Kind == kindBatchRequest || f.Kind == kindBatchResponse {
+		dst = binary.AppendUvarint(dst, uint64(len(f.Items)))
+		for i := range f.Items {
+			it := &f.Items[i]
+			dst = append(dst, it.Code)
+			dst = appendBytes(dst, it.Method)
+			dst = appendBytes(dst, it.Err)
+			dst = appendBytes(dst, it.Body)
+		}
+	}
+	return dst
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// decodeFrame parses payload into f. Field slices alias payload — the
+// caller owns payload and must copy anything that outlives the next read.
+// f's Items slice is reused across calls when capacity allows.
+func decodeFrame(f *frame, payload []byte) error {
+	if len(payload) < 10 {
+		return errFrameTruncated
+	}
+	f.Kind = payload[0]
+	f.ID = binary.BigEndian.Uint64(payload[1:9])
+	f.Code = payload[9]
+	rest := payload[10:]
+	var err error
+	if f.Method, rest, err = takeBytes(rest); err != nil {
+		return err
+	}
+	if f.Err, rest, err = takeBytes(rest); err != nil {
+		return err
+	}
+	if f.Body, rest, err = takeBytes(rest); err != nil {
+		return err
+	}
+	f.Items = f.Items[:0]
+	switch f.Kind {
+	case kindRequest, kindResponse, kindPush, kindCredit:
+	case kindBatchRequest, kindBatchResponse:
+		n, used := binary.Uvarint(rest)
+		if used <= 0 {
+			return errFrameTruncated
+		}
+		rest = rest[used:]
+		if n > maxBatchItems {
+			return fmt.Errorf("rpc: batch of %d items exceeds limit", n)
+		}
+		for i := uint64(0); i < n; i++ {
+			var it frameItem
+			if len(rest) < 1 {
+				return errFrameTruncated
+			}
+			it.Code = rest[0]
+			rest = rest[1:]
+			if it.Method, rest, err = takeBytes(rest); err != nil {
+				return err
+			}
+			if it.Err, rest, err = takeBytes(rest); err != nil {
+				return err
+			}
+			if it.Body, rest, err = takeBytes(rest); err != nil {
+				return err
+			}
+			f.Items = append(f.Items, it)
+		}
+	default:
+		return fmt.Errorf("rpc: unknown frame kind %d", f.Kind)
+	}
+	if len(rest) != 0 {
+		return errFrameTrailing
+	}
+	return nil
+}
+
+// takeBytes consumes one uvarint-length-prefixed field. The returned
+// slice aliases b; a zero-length field yields nil.
+func takeBytes(b []byte) (field, rest []byte, err error) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return nil, nil, errFrameTruncated
+	}
+	b = b[used:]
+	if n > uint64(len(b)) {
+		return nil, nil, errFrameTruncated
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	return b[:n], b[n:], nil
+}
+
+// bufPool recycles write-path buffers. Stored as *[]byte so Put does not
+// allocate an interface box per cycle.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// writeFrame encodes f into a pooled buffer — length prefix and payload
+// in one slice, one conn.Write — serialized by mu.
+func writeFrame(w io.Writer, mu *sync.Mutex, f *frame) error {
+	bp := bufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, 0, 0, 0, 0) // length prefix placeholder
+	b = appendFrame(b, f)
+	if len(b)-4 > maxFrame {
+		*bp = b
+		bufPool.Put(bp)
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", len(b)-4)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	mu.Lock()
+	_, err := w.Write(b)
+	mu.Unlock()
+	*bp = b
+	bufPool.Put(bp)
+	return err
+}
+
+// frameReader reads frames from one connection, reusing its buffer and
+// frame across reads. Not safe for concurrent use; each read invalidates
+// the previous frame's field slices.
+type frameReader struct {
+	r   io.Reader
+	buf []byte
+	f   frame
+}
+
+// next reads and decodes one frame. The returned frame (and everything it
+// references) is valid only until the following next call.
+func (fr *frameReader) next() (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	if uint32(cap(fr.buf)) < n {
+		fr.buf = make([]byte, n)
+	}
+	payload := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, err
+	}
+	if err := decodeFrame(&fr.f, payload); err != nil {
+		return nil, err
+	}
+	return &fr.f, nil
+}

@@ -1,0 +1,134 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// sampleFrames covers every kind the codec accepts, for mutation seeds.
+func sampleFrames() []*frame {
+	return []*frame{
+		{Kind: kindRequest, ID: 1, Method: []byte("hdns.lookup"), Body: []byte("body")},
+		{Kind: kindResponse, ID: 2, Code: codeErr, Err: []byte("not found")},
+		{Kind: kindPush, Method: []byte("event"), Body: []byte("data")},
+		{Kind: kindCredit, ID: 256},
+		{Kind: kindBatchRequest, ID: 3, Items: []frameItem{
+			{Method: []byte("a"), Body: []byte("1")},
+			{Method: []byte("b"), Body: []byte("2")},
+		}},
+		{Kind: kindBatchResponse, ID: 4, Code: codeBusy, Items: []frameItem{
+			{Code: codeOK, Body: []byte("x")},
+			{Code: codeErr, Err: []byte("boom")},
+		}},
+	}
+}
+
+// wireBytes renders f with its outer length prefix, as sent on a conn.
+func wireBytes(f *frame) []byte {
+	payload := appendFrame(nil, f)
+	out := make([]byte, 4, 4+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(len(payload)))
+	return append(out, payload...)
+}
+
+// readOne runs a frameReader over raw bytes, the exact path a server
+// exposes to the network.
+func readOne(raw []byte) (*frame, error) {
+	fr := frameReader{r: bytes.NewReader(raw)}
+	return fr.next()
+}
+
+// Random bytes must never panic the frame reader — servers read frames
+// straight off accepted TCP conns.
+func TestReadFrameRandomBytesNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, r.Intn(256))
+		r.Read(buf)
+		_, _ = readOne(buf) // errors fine, panics not
+	}
+}
+
+// Mutations of valid frames — flipped bytes, torn length prefixes,
+// truncations — must never panic the reader or the decoder.
+func TestReadFrameMutatedNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, f := range sampleFrames() {
+		wire := wireBytes(f)
+		for i := 0; i < 2000; i++ {
+			mut := append([]byte(nil), wire...)
+			for k := 0; k < 1+r.Intn(4); k++ {
+				mut[r.Intn(len(mut))] = byte(r.Intn(256))
+			}
+			if r.Intn(3) == 0 {
+				mut = mut[:r.Intn(len(mut)+1)] // torn prefix or torn payload
+			}
+			_, _ = readOne(mut)
+		}
+	}
+}
+
+// A length prefix above maxFrame must be rejected before any allocation
+// of that size is attempted.
+func TestReadFrameOversizedPrefix(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	if _, err := readOne(hdr[:]); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// Exactly at the limit the reader proceeds to read the payload (and
+	// then fails on truncation, not on the limit).
+	binary.BigEndian.PutUint32(hdr[:], maxFrame)
+	if _, err := readOne(hdr[:]); err == nil || err == io.EOF {
+		// io.ErrUnexpectedEOF expected; the point is no panic and no
+		// "exceeds limit" false positive. Reaching here is fine either way.
+		_ = err
+	}
+}
+
+// Unknown frame kinds are a decode error, not a silent skip: the wire
+// protocol is versioned by rejection.
+func TestReadFrameUnknownKind(t *testing.T) {
+	f := &frame{Kind: kindRequest, ID: 9, Method: []byte("m")}
+	wire := wireBytes(f)
+	for _, k := range []byte{0, 7, 0x7F, 0xFF} {
+		mut := append([]byte(nil), wire...)
+		mut[4] = k // first payload byte is the kind
+		if _, err := readOne(mut); err == nil {
+			t.Fatalf("kind %d accepted", k)
+		}
+	}
+}
+
+// FuzzReadFrame is the native-fuzzing entry point mirroring the
+// deterministic tests above; go test runs the seed corpus, `go test
+// -fuzz=FuzzReadFrame ./internal/rpc` explores further.
+func FuzzReadFrame(f *testing.F) {
+	for _, sf := range sampleFrames() {
+		f.Add(wireBytes(sf))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := frameReader{r: bytes.NewReader(data)}
+		for {
+			g, err := fr.next()
+			if err != nil {
+				return
+			}
+			// A frame that decodes must re-encode decodable (round-trip
+			// closure keeps the codec self-consistent).
+			cp := frame{
+				Kind: g.Kind, ID: g.ID, Code: g.Code,
+				Method: g.Method, Err: g.Err, Body: g.Body, Items: g.Items,
+			}
+			var h frame
+			if err := decodeFrame(&h, appendFrame(nil, &cp)); err != nil {
+				t.Fatalf("decoded frame failed re-decode: %v", err)
+			}
+		}
+	})
+}

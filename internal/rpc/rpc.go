@@ -1,22 +1,21 @@
 // Package rpc is the wire substrate shared by the Jini registrar and HDNS
-// protocols: length-delimited gob frames over TCP, with request/response
-// multiplexing, per-connection state, and server-initiated push frames
-// (used for remote event delivery).
+// protocols: length-delimited binary frames over TCP, with request/response
+// multiplexing, credit-based flow control, native batch frames, per-connection
+// state, and server-initiated push frames (used for remote event delivery).
 package rpc
 
 import (
 	"context"
-	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gondi/internal/breaker"
+	"gondi/internal/core"
 	"gondi/internal/obs"
 	"gondi/internal/retry"
 )
@@ -33,25 +32,50 @@ var (
 		"RPC client connections currently open.")
 	mConnLost = obs.Default.Counter("gondi_rpc_conns_lost_total",
 		"RPC connections terminated by the peer or the network.")
+	mInflight = obs.Default.Gauge("gondi_rpc_inflight",
+		"RPC calls currently in flight (credits held) across all clients.")
+	mCreditStalls = obs.Default.Counter("gondi_rpc_credit_stalls_total",
+		"RPC calls that had to wait for a flow-control credit.")
+	mBusy = obs.Default.Counter("gondi_rpc_busy_total",
+		"RPC calls shed by a server's in-flight window.")
+	mBatchSize = obs.Default.Histogram("gondi_rpc_batch_size_items",
+		"RPC batch sizes; recorded as 1µs per item, so p50 in µs is the median batch size.")
 )
 
 // Frame kinds.
 const (
-	kindRequest  = 1
-	kindResponse = 2
-	kindPush     = 3
+	kindRequest       = 1
+	kindResponse      = 2
+	kindPush          = 3
+	kindCredit        = 4 // server→client: ID carries the advertised window
+	kindBatchRequest  = 5
+	kindBatchResponse = 6
 )
 
 // maxFrame bounds a single frame to guard against corrupt length prefixes.
 const maxFrame = 64 << 20
 
-// frame is the unit of transmission.
+// Flow-control windows. The server advertises its window in a credit
+// frame at accept time; until that arrives the client restrains itself to
+// the conservative default. The server enforces twice what it advertises:
+// the slack absorbs calls whose callers abandoned them (their credit went
+// back to the client immediately, but the server is still finishing the
+// op), so well-behaved clients never see codeBusy.
+const (
+	defaultClientWindow = 64
+	defaultServerWindow = 256
+)
+
+// frame is the unit of transmission. Method/Err/Body are byte slices so a
+// decoded frame can alias the read buffer (zero-copy); see codec.go.
 type frame struct {
 	Kind   uint8
 	ID     uint64
-	Method string
-	Err    string
+	Code   uint8
+	Method []byte
+	Err    []byte
 	Body   []byte
+	Items  []frameItem // batch kinds only
 }
 
 // ErrConnClosed is returned by calls whose connection the peer (or the
@@ -74,71 +98,6 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("rpc: remote %s: %s", e.Method, e.Msg)
 }
 
-func writeFrame(w io.Writer, mu *sync.Mutex, f *frame) error {
-	mu.Lock()
-	defer mu.Unlock()
-	var hdr [4]byte
-	payload, err := encodeFrame(f)
-	if err != nil {
-		return err
-	}
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
-	return err
-}
-
-func encodeFrame(f *frame) ([]byte, error) {
-	var buf frameBuffer
-	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
-		return nil, err
-	}
-	return buf.b, nil
-}
-
-type frameBuffer struct{ b []byte }
-
-func (fb *frameBuffer) Write(p []byte) (int, error) {
-	fb.b = append(fb.b, p...)
-	return len(p), nil
-}
-
-func readFrame(r io.Reader) (*frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
-	}
-	var f frame
-	if err := gob.NewDecoder(byteReader{payload, new(int)}).Decode(&f); err != nil {
-		return nil, err
-	}
-	return &f, nil
-}
-
-type byteReader struct {
-	b   []byte
-	pos *int
-}
-
-func (br byteReader) Read(p []byte) (int, error) {
-	if *br.pos >= len(br.b) {
-		return 0, io.EOF
-	}
-	n := copy(p, br.b[*br.pos:])
-	*br.pos += n
-	return n, nil
-}
-
 // Handler processes one request on a server. conn identifies the calling
 // connection and supports Push for event delivery; body is the request
 // payload, and the returned bytes are the response payload.
@@ -151,6 +110,7 @@ type Server struct {
 	handlers map[string]Handler
 	conns    map[*ServerConn]struct{}
 	onClose  []func(*ServerConn)
+	window   int
 	closed   bool
 	wg       sync.WaitGroup
 }
@@ -166,6 +126,7 @@ func NewServer(addr string) (*Server, error) {
 		lis:      lis,
 		handlers: map[string]Handler{},
 		conns:    map[*ServerConn]struct{}{},
+		window:   defaultServerWindow,
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -174,6 +135,17 @@ func NewServer(addr string) (*Server, error) {
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// SetWindow changes the per-connection in-flight window advertised to
+// clients that connect after the call (tests and overload tuning).
+func (s *Server) SetWindow(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.window = n
+	s.mu.Unlock()
+}
 
 // Handle registers a method handler. Must be called before clients invoke
 // the method; registration is safe at any time.
@@ -198,18 +170,25 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
-		sc := &ServerConn{srv: s, conn: conn, vals: map[string]any{}}
 		s.mu.Lock()
+		window := s.window
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return
 		}
+		sc := &ServerConn{srv: s, conn: conn, vals: map[string]any{}, window: window}
 		s.conns[sc] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(sc)
 	}
+}
+
+func (s *Server) handler(method []byte) Handler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handlers[string(method)]
 }
 
 func (s *Server) serveConn(sc *ServerConn) {
@@ -225,33 +204,94 @@ func (s *Server) serveConn(sc *ServerConn) {
 			h(sc)
 		}
 	}()
+	// Advertise the flow-control window before any responses.
+	if err := writeFrame(sc.conn, &sc.writeMu, &frame{Kind: kindCredit, ID: uint64(sc.window)}); err != nil {
+		return
+	}
+	hardCap := int64(2 * sc.window)
+	fr := frameReader{r: sc.conn}
 	for {
-		f, err := readFrame(sc.conn)
+		f, err := fr.next()
 		if err != nil {
 			return
 		}
-		if f.Kind != kindRequest {
-			continue
-		}
-		s.mu.Lock()
-		h := s.handlers[f.Method]
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go func(f *frame) {
-			defer s.wg.Done()
-			resp := &frame{Kind: kindResponse, ID: f.ID, Method: f.Method}
-			if h == nil {
-				resp.Err = "unknown method " + f.Method
-			} else {
-				body, err := h(sc, f.Body)
-				if err != nil {
-					resp.Err = err.Error()
+		switch f.Kind {
+		case kindRequest:
+			if sc.inflight.Load() >= hardCap {
+				mBusy.Inc()
+				_ = writeFrame(sc.conn, &sc.writeMu, &frame{Kind: kindResponse, ID: f.ID, Code: codeBusy})
+				continue
+			}
+			// The decode buffer is reused by the next read: copy what the
+			// handler goroutine keeps.
+			h := s.handler(f.Method)
+			id := f.ID
+			method := string(f.Method)
+			body := append([]byte(nil), f.Body...)
+			sc.inflight.Add(1)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer sc.inflight.Add(-1)
+				resp := &frame{Kind: kindResponse, ID: id}
+				if h == nil {
+					resp.Code = codeErr
+					resp.Err = []byte("unknown method " + method)
 				} else {
-					resp.Body = body
+					out, herr := h(sc, body)
+					if herr != nil {
+						resp.Code = codeErr
+						resp.Err = []byte(herr.Error())
+					} else {
+						resp.Body = out
+					}
+				}
+				_ = writeFrame(sc.conn, &sc.writeMu, resp)
+			}()
+		case kindBatchRequest:
+			// A batch holds one credit and runs as one unit; items execute
+			// sequentially so responses preserve submission order.
+			if sc.inflight.Load() >= hardCap {
+				mBusy.Inc()
+				_ = writeFrame(sc.conn, &sc.writeMu, &frame{Kind: kindBatchResponse, ID: f.ID, Code: codeBusy})
+				continue
+			}
+			mBatchSize.Observe(time.Duration(len(f.Items)) * time.Microsecond)
+			id := f.ID
+			items := make([]frameItem, len(f.Items))
+			for i, it := range f.Items {
+				items[i] = frameItem{
+					Method: append([]byte(nil), it.Method...),
+					Body:   append([]byte(nil), it.Body...),
 				}
 			}
-			_ = writeFrame(sc.conn, &sc.writeMu, resp)
-		}(f)
+			sc.inflight.Add(1)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer sc.inflight.Add(-1)
+				resp := &frame{Kind: kindBatchResponse, ID: id, Items: make([]frameItem, len(items))}
+				for i := range items {
+					h := s.handler(items[i].Method)
+					out := &resp.Items[i]
+					if h == nil {
+						out.Code = codeErr
+						out.Err = []byte("unknown method " + string(items[i].Method))
+						continue
+					}
+					body, herr := h(sc, items[i].Body)
+					if herr != nil {
+						out.Code = codeErr
+						out.Err = []byte(herr.Error())
+						continue
+					}
+					out.Body = body
+				}
+				_ = writeFrame(sc.conn, &sc.writeMu, resp)
+			}()
+		default:
+			// Credit/push frames are client-bound; ignore strays.
+		}
 	}
 }
 
@@ -278,16 +318,18 @@ func (s *Server) Close() error {
 
 // ServerConn is the server's view of one client connection.
 type ServerConn struct {
-	srv     *Server
-	conn    net.Conn
-	writeMu sync.Mutex
-	valsMu  sync.Mutex
-	vals    map[string]any
+	srv      *Server
+	conn     net.Conn
+	writeMu  sync.Mutex
+	valsMu   sync.Mutex
+	vals     map[string]any
+	window   int
+	inflight atomic.Int64
 }
 
 // Push sends an unsolicited frame to the client (event delivery).
 func (sc *ServerConn) Push(method string, body []byte) error {
-	return writeFrame(sc.conn, &sc.writeMu, &frame{Kind: kindPush, Method: method, Body: body})
+	return writeFrame(sc.conn, &sc.writeMu, &frame{Kind: kindPush, Method: []byte(method), Body: body})
 }
 
 // RemoteAddr returns the peer address.
@@ -309,17 +351,127 @@ func (sc *ServerConn) Get(key string) (any, bool) {
 	return v, ok
 }
 
+// creditGate bounds the calls a client may have in flight on one
+// connection. Credits are acquired before the request is written and
+// returned when its pending entry is removed — by the response, by ctx
+// cancellation, or by a failed write — so exactly one release follows
+// every successful acquire.
+type creditGate struct {
+	mu      sync.Mutex
+	limit   int
+	used    int
+	waiters int
+	waitCh  chan struct{}
+	closed  bool
+	err     error
+}
+
+func newCreditGate(limit int) *creditGate {
+	return &creditGate{limit: limit, waitCh: make(chan struct{})}
+}
+
+// acquire blocks until a credit is free, ctx ends, or the gate closes.
+func (g *creditGate) acquire(ctx context.Context) error {
+	stalled := false
+	g.mu.Lock()
+	for {
+		if g.closed {
+			err := g.err
+			g.mu.Unlock()
+			return err
+		}
+		if g.used < g.limit {
+			g.used++
+			g.mu.Unlock()
+			mInflight.Add(1)
+			return nil
+		}
+		if !stalled {
+			stalled = true
+			mCreditStalls.Inc()
+		}
+		ch := g.waitCh
+		g.waiters++
+		g.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			g.mu.Lock()
+			g.waiters--
+			g.mu.Unlock()
+			return ctx.Err()
+		case <-ch:
+			g.mu.Lock()
+			g.waiters--
+		}
+	}
+}
+
+// release returns one credit and wakes waiters.
+func (g *creditGate) release() {
+	g.mu.Lock()
+	if g.used > 0 {
+		g.used--
+	}
+	g.broadcastLocked()
+	g.mu.Unlock()
+	mInflight.Add(-1)
+}
+
+// setLimit applies a server-advertised window.
+func (g *creditGate) setLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.mu.Lock()
+	g.limit = n
+	g.broadcastLocked()
+	g.mu.Unlock()
+}
+
+// closeGate fails current and future acquirers with err.
+func (g *creditGate) closeGate(err error) {
+	g.mu.Lock()
+	g.closed = true
+	g.err = err
+	g.broadcastLocked()
+	g.mu.Unlock()
+}
+
+func (g *creditGate) broadcastLocked() {
+	if g.waiters == 0 {
+		return
+	}
+	close(g.waitCh)
+	g.waitCh = make(chan struct{})
+}
+
+// result is a response delivered to a waiting call, with every field
+// copied out of the read buffer.
+type result struct {
+	code  uint8
+	err   string
+	body  []byte
+	items []itemResult // batch responses
+}
+
+type itemResult struct {
+	code uint8
+	err  string
+	body []byte
+}
+
 // Client is a multiplexing RPC client. Calls are context-first: the ctx
 // deadline becomes a real write deadline on the connection and bounds the
 // wait for the response; cancellation aborts an in-flight call
-// immediately with ctx.Err().
+// immediately with ctx.Err() and returns its flow-control credit.
 type Client struct {
 	addr     string
 	br       *breaker.Breaker
 	conn     net.Conn
+	credits  *creditGate
 	writeMu  sync.Mutex
 	mu       sync.Mutex
-	pending  map[uint64]chan *frame
+	pending  map[uint64]chan result
 	nextID   uint64
 	onPush   func(method string, body []byte)
 	closed   bool
@@ -386,7 +538,8 @@ func DialContext(ctx context.Context, addr string, defaultTimeout time.Duration)
 		addr:    addr,
 		br:      br,
 		conn:    conn,
-		pending: map[uint64]chan *frame{},
+		credits: newCreditGate(defaultClientWindow),
+		pending: map[uint64]chan result{},
 		timeout: defaultTimeout,
 		done:    make(chan struct{}),
 	}
@@ -406,12 +559,31 @@ func (c *Client) OnPush(f func(method string, body []byte)) {
 	c.onPush = f
 }
 
-// readLoop drains response and push frames until the connection dies,
-// then fails every pending call and closes c.done. It exits on any read
-// error, including the conn.Close issued by Close, so it can never leak.
+// deliver hands a decoded response to its waiting call. Removing the
+// pending entry transfers the call's credit back: the remover releases.
+func (c *Client) deliver(id uint64, res result) {
+	c.mu.Lock()
+	ch, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		// The caller abandoned the call and already took its credit back.
+		return
+	}
+	c.credits.release()
+	ch <- res
+}
+
+// readLoop drains response, push, and credit frames until the connection
+// dies, then fails every pending call and closes c.done. It exits on any
+// read error, including the conn.Close issued by Close, so it can never
+// leak.
 func (c *Client) readLoop() {
+	fr := frameReader{r: c.conn}
 	for {
-		f, err := readFrame(c.conn)
+		f, err := fr.next()
 		if err != nil {
 			c.mu.Lock()
 			if !c.closed {
@@ -423,35 +595,88 @@ func (c *Client) readLoop() {
 					c.br.Record(true)
 				}
 			}
+			closeErr := c.closeErr
+			n := len(c.pending)
 			c.pending = nil // waiters wake via c.done
 			c.mu.Unlock()
+			// Pending calls held credits that will never be released
+			// through deliver; square the gauge before poisoning the gate.
+			if n > 0 {
+				mInflight.Add(int64(-n))
+			}
+			c.credits.closeGate(closeErr)
 			mConns.Add(-1) // readLoop runs once per dialed conn
 			close(c.done)
 			return
 		}
 		switch f.Kind {
 		case kindResponse:
-			c.mu.Lock()
-			ch := c.pending[f.ID]
-			delete(c.pending, f.ID)
-			c.mu.Unlock()
-			if ch != nil {
-				ch <- f
+			res := result{code: f.Code, err: string(f.Err)}
+			if len(f.Body) > 0 {
+				res.body = append([]byte(nil), f.Body...)
 			}
+			c.deliver(f.ID, res)
+		case kindBatchResponse:
+			res := result{code: f.Code, err: string(f.Err), items: make([]itemResult, len(f.Items))}
+			for i, it := range f.Items {
+				res.items[i] = itemResult{code: it.Code, err: string(it.Err)}
+				if len(it.Body) > 0 {
+					res.items[i].body = append([]byte(nil), it.Body...)
+				}
+			}
+			c.deliver(f.ID, res)
+		case kindCredit:
+			c.credits.setLimit(int(f.ID))
 		case kindPush:
 			c.mu.Lock()
 			h := c.onPush
 			c.mu.Unlock()
 			if h != nil {
-				h(f.Method, f.Body)
+				h(string(f.Method), append([]byte(nil), f.Body...))
 			}
 		}
 	}
 }
 
+// abandon removes a call's pending entry, returning its credit if the
+// entry was still present (a racing response may have taken it first).
+func (c *Client) abandon(id uint64) {
+	c.mu.Lock()
+	_, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		c.credits.release()
+	}
+}
+
+// register assigns an ID and pending channel for one call. The caller
+// must hold a credit.
+func (c *Client) register() (uint64, chan result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		err := c.closeErr
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return 0, nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan result, 1)
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
 // Call sends a request and waits for the response, ctx's end, or client
 // shutdown, whichever comes first. A ctx without a deadline gets the
-// client's default timeout.
+// client's default timeout. Calls beyond the connection's credit window
+// block until a credit frees (credit stalls are counted in
+// gondi_rpc_credit_stalls_total); a server that sheds the request returns
+// *core.ServerBusyError.
 func (c *Client) Call(ctx context.Context, method string, body []byte) (_ []byte, rerr error) {
 	if obs.On() {
 		start := time.Now()
@@ -472,79 +697,162 @@ func (c *Client) Call(ctx context.Context, method string, body []byte) (_ []byte
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
 		defer cancel()
 	}
-	c.mu.Lock()
-	if c.closed {
-		err := c.closeErr
-		c.mu.Unlock()
-		if err == nil {
-			err = ErrClientClosed
-		}
+	req := frame{Kind: kindRequest, Method: []byte(method), Body: body}
+	res, err := c.roundTrip(ctx, method, &req)
+	if err != nil {
 		return nil, err
 	}
-	c.nextID++
-	id := c.nextID
-	ch := make(chan *frame, 1)
-	c.pending[id] = ch
-	c.mu.Unlock()
+	switch res.code {
+	case codeBusy:
+		return nil, &core.ServerBusyError{Endpoint: c.addr, Op: method}
+	case codeErr:
+		return nil, &RemoteError{Method: method, Msg: res.err}
+	}
+	return res.body, nil
+}
+
+// BatchItem is one operation in a CallBatch.
+type BatchItem struct {
+	Method string
+	Body   []byte
+}
+
+// BatchResult is one operation's outcome from CallBatch.
+type BatchResult struct {
+	Body []byte
+	Err  error
+}
+
+// CallBatch sends every item in one batch frame, holding one flow-control
+// credit, and returns one result per item in submission order. The server
+// runs the items sequentially, so batched writes observe the same
+// ordering a pipelined caller would. Per-item failures come back in each
+// BatchResult; the call-level error is reserved for transport failures,
+// ctx expiry, and whole-batch shedding (*core.ServerBusyError).
+func (c *Client) CallBatch(ctx context.Context, items []BatchItem) (_ []BatchResult, rerr error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	if obs.On() {
+		start := time.Now()
+		obs.AddWireRT(ctx)
+		obs.AddBatch(ctx, len(items))
+		mBatchSize.Observe(time.Duration(len(items)) * time.Microsecond)
+		defer func() {
+			obs.Default.Counter("gondi_rpc_batch_calls_total",
+				"RPC batch round-trips issued.").Inc()
+			obs.Default.Histogram("gondi_rpc_batch_seconds",
+				"RPC batch round-trip latency.").Since(start)
+			if rerr != nil {
+				obs.Default.Counter("gondi_rpc_batch_errors_total",
+					"RPC batch round-trips that failed.").Inc()
+			}
+		}()
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	req := frame{Kind: kindBatchRequest, Items: make([]frameItem, len(items))}
+	for i, it := range items {
+		req.Items[i] = frameItem{Method: []byte(it.Method), Body: it.Body}
+	}
+	res, err := c.roundTrip(ctx, "batch", &req)
+	if err != nil {
+		return nil, err
+	}
+	if res.code == codeBusy {
+		return nil, &core.ServerBusyError{Endpoint: c.addr, Op: "batch"}
+	}
+	if res.code == codeErr {
+		return nil, &RemoteError{Method: "batch", Msg: res.err}
+	}
+	if len(res.items) != len(items) {
+		return nil, fmt.Errorf("rpc: batch answered %d of %d items", len(res.items), len(items))
+	}
+	out := make([]BatchResult, len(items))
+	for i, it := range res.items {
+		if it.code != codeOK {
+			out[i].Err = &RemoteError{Method: items[i].Method, Msg: it.err}
+			continue
+		}
+		out[i].Body = it.body
+	}
+	return out, nil
+}
+
+// roundTrip runs the shared wire exchange: acquire a credit, register a
+// pending entry, stamp the frame ID, write, and wait. Exactly one of the
+// response path (deliver) and the abandonment paths releases the credit.
+func (c *Client) roundTrip(ctx context.Context, method string, req *frame) (result, error) {
+	if err := c.credits.acquire(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return result{}, fmt.Errorf("rpc: %s: %w", method, err)
+		}
+		return result{}, err
+	}
+	id, ch, err := c.register()
+	if err != nil {
+		c.credits.release()
+		return result{}, err
+	}
+	req.ID = id
 
 	// The ctx deadline is a real I/O deadline for the request write: a
 	// peer that has stopped reading cannot wedge the sender past it.
 	if dl, ok := ctx.Deadline(); ok {
 		_ = c.conn.SetWriteDeadline(dl)
 	}
-	err := writeFrame(c.conn, &c.writeMu, &frame{Kind: kindRequest, ID: id, Method: method, Body: body})
+	err = writeFrame(c.conn, &c.writeMu, req)
 	_ = c.conn.SetWriteDeadline(time.Time{})
 	if err != nil {
+		c.abandon(id)
 		c.mu.Lock()
-		delete(c.pending, id)
 		closeErr := c.closeErr
 		c.mu.Unlock()
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, fmt.Errorf("rpc: %s: %w", method, cerr)
+			return result{}, fmt.Errorf("rpc: %s: %w", method, cerr)
 		}
 		// The write deadline mirrors ctx's; the net poller can see the
 		// expiry before ctx's own timer fires.
 		if _, hasDL := ctx.Deadline(); hasDL && errors.Is(err, os.ErrDeadlineExceeded) {
-			return nil, fmt.Errorf("rpc: %s: %w", method, context.DeadlineExceeded)
+			return result{}, fmt.Errorf("rpc: %s: %w", method, context.DeadlineExceeded)
 		}
 		if closeErr != nil {
-			return nil, closeErr
+			return result{}, closeErr
 		}
-		return nil, err
+		return result{}, err
 	}
 	select {
-	case f := <-ch:
-		// Any response — even a handler error — proves the endpoint is
-		// alive.
+	case res := <-ch:
+		// Any response — even a handler error or busy shed — proves the
+		// endpoint is alive. This settles the call's breaker outcome
+		// exactly once.
 		if c.br != nil {
 			c.br.Record(false)
 		}
-		if f.Err != "" {
-			return nil, &RemoteError{Method: method, Msg: f.Err}
-		}
-		return f.Body, nil
+		return res, nil
 	case <-c.done:
 		c.mu.Lock()
 		err := c.closeErr
 		c.mu.Unlock()
 		// A response may have raced with teardown.
 		select {
-		case f := <-ch:
-			if f.Err != "" {
-				return nil, &RemoteError{Method: method, Msg: f.Err}
-			}
-			return f.Body, nil
+		case res := <-ch:
+			return res, nil
 		default:
 		}
 		if err == nil {
 			err = ErrConnClosed
 		}
-		return nil, err
+		return result{}, err
 	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("rpc: %s: %w", method, ctx.Err())
+		// Remove the pending entry and return the credit immediately: an
+		// abandoned call must not pin the window until its response
+		// straggles in (or never does).
+		c.abandon(id)
+		return result{}, fmt.Errorf("rpc: %s: %w", method, ctx.Err())
 	}
 }
 

@@ -6,7 +6,7 @@
 #   sh scripts/check.sh fmt vet lint    # just those stages
 #   sh scripts/check.sh test            # race-enabled tests + coverage gate
 #
-# Stages: fmt vet lint build test chaos bench
+# Stages: fmt vet lint build test allocs chaos bench
 # Set CHECK_SKIP_BENCH=1 to skip the (slow) bench stage in a full run.
 set -e
 
@@ -75,6 +75,14 @@ stage_test() {
     echo "internal/obs coverage: ${obs_cover}%"
 }
 
+stage_allocs() {
+    # Wire-path allocation gate: the rpc frame codec must encode and
+    # decode with zero steady-state allocations (testing.AllocsPerRun)
+    # or every call on the hot path pays the GC back.
+    echo "== rpc codec zero-alloc gate =="
+    go test -count=1 -run 'TestFrameCodecZeroAlloc' ./internal/rpc/
+}
+
 stage_chaos() {
     # Deterministic fault drills: the schedules are scripted (fixed
     # cut/heal points, seeded injectors), so a failure here is a real
@@ -94,6 +102,8 @@ stage_bench() {
     go run ./cmd/ippsbench -issue3
     echo "== self-healing report (writes BENCH_issue5.json) =="
     go run ./cmd/ippsbench -issue5
+    echo "== wire-path report (writes BENCH_issue6.json) =="
+    go run ./cmd/ippsbench -issue6
 }
 
 if [ $# -eq 0 ]; then
@@ -102,6 +112,7 @@ if [ $# -eq 0 ]; then
     stage_lint
     stage_build
     stage_test
+    stage_allocs
     stage_chaos
     if [ -z "$CHECK_SKIP_BENCH" ]; then
         stage_bench
@@ -109,9 +120,9 @@ if [ $# -eq 0 ]; then
 else
     for s in "$@"; do
         case "$s" in
-            fmt|vet|lint|build|test|chaos|bench) "stage_$s" ;;
+            fmt|vet|lint|build|test|allocs|chaos|bench) "stage_$s" ;;
             *)
-                echo "unknown stage: $s (stages: fmt vet lint build test chaos bench)" >&2
+                echo "unknown stage: $s (stages: fmt vet lint build test allocs chaos bench)" >&2
                 exit 2
                 ;;
         esac
