@@ -18,6 +18,7 @@ import (
 
 	"gondi/internal/dnssrv"
 	"gondi/internal/obs"
+	"gondi/internal/serverutil"
 )
 
 type zoneFlags []string
@@ -29,16 +30,16 @@ func (z *zoneFlags) Set(v string) error {
 }
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:5353", "UDP+TCP listen address")
-	obsAddr := flag.String("obs.addr", "", "observability HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+	shared := serverutil.BindFlags(flag.CommandLine, "127.0.0.1:5353")
 	var zones zoneFlags
 	flag.Var(&zones, "zone", "zone file (repeatable)")
 	flag.Parse()
+	opts := shared.Options("dns")
 
 	if len(zones) == 0 {
 		log.Fatal("dnsd: at least one -zone file is required")
 	}
-	srv, err := dnssrv.NewServer(*listen, nil)
+	srv, err := dnssrv.NewServer(opts.ListenAddr, nil, dnssrv.WithAdmission(opts.Controller()))
 	if err != nil {
 		log.Fatalf("dnsd: %v", err)
 	}
@@ -56,7 +57,7 @@ func main() {
 		fmt.Printf("dnsd: authoritative for %s (%s)\n", zone.Origin(), path)
 	}
 	fmt.Printf("dnsd: serving dns://%s\n", srv.Addr())
-	if osrv, err := obs.Serve(*obsAddr); err != nil {
+	if osrv, err := obs.Serve(opts.ObsAddr); err != nil {
 		log.Fatalf("dnsd: obs: %v", err)
 	} else if osrv != nil {
 		defer osrv.Close()

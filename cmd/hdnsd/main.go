@@ -24,11 +24,11 @@ import (
 	"gondi/internal/hdns"
 	"gondi/internal/jgroups"
 	"gondi/internal/obs"
+	"gondi/internal/serverutil"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7001", "client-facing TCP address")
-	obsAddr := flag.String("obs.addr", "", "observability HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+	shared := serverutil.BindFlags(flag.CommandLine, "127.0.0.1:7001")
 	group := flag.String("group", "hdns", "replication group name")
 	bind := flag.String("bind", "127.0.0.1:0", "group transport UDP address")
 	peers := flag.String("peers", "", "comma-separated peer transport addresses")
@@ -37,6 +37,7 @@ func main() {
 	secret := flag.String("secret", "", "write secret required from clients")
 	mode := flag.String("mode", "bimodal", "protocol suite: bimodal or vsync")
 	flag.Parse()
+	opts := shared.Options("hdns")
 
 	var peerList []string
 	if *peers != "" {
@@ -56,10 +57,11 @@ func main() {
 		Group:            *group,
 		Transport:        tr,
 		Stack:            stack,
-		ListenAddr:       *listen,
+		ListenAddr:       opts.ListenAddr,
 		SnapshotPath:     *snapshot,
 		SnapshotInterval: *interval,
 		Secret:           *secret,
+		Admission:        opts.Controller(),
 	})
 	if err != nil {
 		log.Fatalf("hdnsd: %v", err)
@@ -67,7 +69,7 @@ func main() {
 	view := node.Channel().View()
 	fmt.Printf("hdnsd: serving %s group=%s transport=%s members=%v\n",
 		node.Addr(), *group, tr.Addr(), view.Members)
-	if osrv, err := obs.Serve(*obsAddr); err != nil {
+	if osrv, err := obs.Serve(opts.ObsAddr); err != nil {
 		log.Fatalf("hdnsd: obs: %v", err)
 	} else if osrv != nil {
 		defer osrv.Close()

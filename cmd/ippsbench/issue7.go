@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gondi/internal/benchmark"
+)
+
+// The -issue7 report: overload survival. An HDNS node whose service
+// time degrades with backlog (the Figure 5 regime) is driven open-loop
+// at twice its measured capacity by 10k concurrent clients with a zipf
+// read/write/search mix. With admission control the node sheds the
+// excess as typed busy errors and keeps goodput at capacity; without
+// it the backlog feeds the degradation and goodput collapses. The gate
+// is protected goodput >= 80% of capacity while unprotected goodput
+// falls below half of it.
+
+// issue7GoodputFloor is the required protected goodput as a fraction
+// of measured capacity.
+const issue7GoodputFloor = 0.8
+
+// issue7CollapseCeil is the unprotected goodput fraction below which
+// we call the baseline collapsed.
+const issue7CollapseCeil = 0.5
+
+type issue7Arm struct {
+	OfferedPerSec float64 `json:"offered_ops_sec"`
+	Offered       int64   `json:"offered"`
+	Completed     int64   `json:"completed"`
+	Shed          int64   `json:"shed"`
+	Failed        int64   `json:"failed"`
+	Dropped       int64   `json:"dropped"`
+	GoodputPerSec float64 `json:"goodput_ops_sec"`
+	P50ms         float64 `json:"p50_ms"`
+	P99ms         float64 `json:"p99_ms"`
+	P999ms        float64 `json:"p999_ms"`
+}
+
+type issue7Report struct {
+	Issue       string    `json:"issue"`
+	Claim       string    `json:"claim"`
+	Method      string    `json:"method"`
+	Date        string    `json:"date"`
+	Clients     int       `json:"clients"`
+	Capacity    float64   `json:"capacity_ops_sec"`
+	Rate        float64   `json:"offered_ops_sec"`
+	Protected   issue7Arm `json:"protected"`
+	Unprotected issue7Arm `json:"unprotected"`
+	Verdict     string    `json:"verdict"`
+}
+
+func issue7ArmFrom(r benchmark.OpenLoopResult) issue7Arm {
+	ms := func(d time.Duration) float64 { return round1(float64(d) / float64(time.Millisecond)) }
+	return issue7Arm{
+		OfferedPerSec: round1(r.Rate),
+		Offered:       r.Offered,
+		Completed:     r.Completed,
+		Shed:          r.Shed,
+		Failed:        r.Failed,
+		Dropped:       r.Dropped,
+		GoodputPerSec: round1(r.Goodput),
+		P50ms:         ms(r.P50),
+		P99ms:         ms(r.P99),
+		P999ms:        ms(r.P999),
+	}
+}
+
+func issue7Gate(res *benchmark.OverloadResult) (string, bool) {
+	needed := issue7GoodputFloor * res.Capacity
+	ceil := issue7CollapseCeil * res.Capacity
+	protOK := res.Protected.Goodput >= needed
+	rawCollapsed := res.Unprotected.Goodput < ceil
+	msg := fmt.Sprintf(
+		"protected %.1f ops/s vs %.1f required (capacity %.1f); unprotected %.1f vs <%.1f collapse bar",
+		res.Protected.Goodput, needed, res.Capacity, res.Unprotected.Goodput, ceil)
+	return msg, protOK && rawCollapsed
+}
+
+func runIssue7(quick bool, outPath string) error {
+	opts := benchmark.OverloadOptions{}
+	if quick {
+		opts = benchmark.OverloadOptions{
+			Clients:         2000,
+			Warmup:          1500 * time.Millisecond,
+			Measure:         2 * time.Second,
+			CapacityProbe:   1500 * time.Millisecond,
+			CapacityClients: 24,
+		}
+	}
+	fmt.Println("== overload survival: open-loop 2x capacity, admission on vs off ==")
+	start := time.Now()
+	res, err := benchmark.RunOverload(opts)
+	if err != nil {
+		return fmt.Errorf("overload: %w", err)
+	}
+
+	rep := issue7Report{
+		Issue: "overload survival: bounded buffers plus admission control in front of every handler (internal/admission, internal/jgroups send window)",
+		Claim: fmt.Sprintf("at 2x measured capacity, open loop, the admission-protected node keeps goodput >= %.0f%% of capacity while the unprotected node collapses below %.0f%%",
+			100*issue7GoodputFloor, 100*issue7CollapseCeil),
+		Method: fmt.Sprintf("cmd/ippsbench -issue7: two-node HDNS group whose read and write stations degrade per queued op (Figure 5 regime); capacity measured closed-loop (%d hot clients, %v), then Poisson open-loop arrivals at 2x capacity for %v after %v warmup, %d workers, zipf(%.1f) keys over %d names, 70/20/10 read/write/search; latency anchored at intended arrival (no coordinated omission); protected arm: admission queue bound %d; unprotected arm: admission disabled",
+			orDefault(opts.CapacityClients, 32), orDefaultDur(opts.CapacityProbe, 3*time.Second),
+			orDefaultDur(opts.Measure, 5*time.Second), orDefaultDur(opts.Warmup, 2*time.Second),
+			orDefault(opts.Clients, benchmark.DefaultOpenLoopClients),
+			benchmark.DefaultZipfS, benchmark.DefaultOpenLoopKeys, benchmark.OverloadQueueBound),
+		Date:        time.Now().Format("2006-01-02"),
+		Clients:     orDefault(opts.Clients, benchmark.DefaultOpenLoopClients),
+		Capacity:    round1(res.Capacity),
+		Rate:        round1(res.Rate),
+		Protected:   issue7ArmFrom(res.Protected),
+		Unprotected: issue7ArmFrom(res.Unprotected),
+	}
+
+	msg, ok := issue7Gate(res)
+	if ok {
+		rep.Verdict = "pass: " + msg
+	} else {
+		rep.Verdict = "FAIL: " + msg
+	}
+
+	fmt.Printf("capacity %.1f ops/s, offered %.1f ops/s to %d clients\n", res.Capacity, res.Rate, rep.Clients)
+	fmt.Printf("protected:   goodput %8.1f ops/s  shed %6d  failed %6d  dropped %6d  p99 %v\n",
+		res.Protected.Goodput, res.Protected.Shed, res.Protected.Failed, res.Protected.Dropped, res.Protected.P99.Round(time.Millisecond))
+	fmt.Printf("unprotected: goodput %8.1f ops/s  shed %6d  failed %6d  dropped %6d  p99 %v\n",
+		res.Unprotected.Goodput, res.Unprotected.Shed, res.Unprotected.Failed, res.Unprotected.Dropped, res.Unprotected.P99.Round(time.Millisecond))
+	fmt.Printf("(issue7 completed in %v)\n", time.Since(start).Round(time.Second))
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\n%s\nwrote %s\n", rep.Verdict, outPath)
+	if !ok {
+		return fmt.Errorf("overload gate failed")
+	}
+	return nil
+}
+
+func orDefault(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func orDefaultDur(v, def time.Duration) time.Duration {
+	if v > 0 {
+		return v
+	}
+	return def
+}

@@ -17,27 +17,28 @@ import (
 
 	"gondi/internal/jini"
 	"gondi/internal/obs"
+	"gondi/internal/serverutil"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:4160", "registrar TCP address")
-	obsAddr := flag.String("obs.addr", "", "observability HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+	shared := serverutil.BindFlags(flag.CommandLine, "127.0.0.1:4160")
 	groups := flag.String("groups", "", "comma-separated discovery groups (empty = public)")
 	proxyAddr := flag.String("proxy", "", "also serve a colocated BindProxy at this address (atomic binds for \"jini.bind\": \"proxy\" clients)")
 	stats := flag.Duration("stats", 0, "print registration counts at this interval (0 = off)")
 	flag.Parse()
+	opts := shared.Options("jini")
 
 	var groupList []string
 	if *groups != "" {
 		groupList = strings.Split(*groups, ",")
 	}
-	lus, err := jini.NewLUS(jini.LUSConfig{ListenAddr: *listen, Groups: groupList})
+	lus, err := jini.NewLUS(jini.LUSConfig{ListenAddr: opts.ListenAddr, Groups: groupList, Admission: opts.Controller()})
 	if err != nil {
 		log.Fatalf("jinilusd: %v", err)
 	}
 	jini.Announce(lus)
 	fmt.Printf("jinilusd: lookup service at jini://%s groups=%v\n", lus.Addr(), groupList)
-	if osrv, err := obs.Serve(*obsAddr); err != nil {
+	if osrv, err := obs.Serve(opts.ObsAddr); err != nil {
 		log.Fatalf("jinilusd: obs: %v", err)
 	} else if osrv != nil {
 		defer osrv.Close()

@@ -16,6 +16,7 @@ import (
 
 	"gondi/internal/jxta"
 	"gondi/internal/obs"
+	"gondi/internal/serverutil"
 )
 
 type groupFlags []string
@@ -28,13 +29,13 @@ func (g *groupFlags) Set(v string) error {
 
 func main() {
 	ctx := context.Background()
-	listen := flag.String("listen", "127.0.0.1:9701", "TCP listen address")
-	obsAddr := flag.String("obs.addr", "", "observability HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+	shared := serverutil.BindFlags(flag.CommandLine, "127.0.0.1:9701")
 	var groups groupFlags
 	flag.Var(&groups, "group", "peer group to pre-create under net (repeatable, parents first)")
 	flag.Parse()
+	opts := shared.Options("jxta")
 
-	rdv, err := jxta.NewRendezvous(*listen)
+	rdv, err := jxta.NewRendezvous(opts.ListenAddr, jxta.WithAdmission(opts.Controller()))
 	if err != nil {
 		log.Fatalf("jxtad: %v", err)
 	}
@@ -51,7 +52,7 @@ func main() {
 		peer.Close()
 	}
 	fmt.Printf("jxtad: rendezvous at jxta://%s (%d groups)\n", rdv.Addr(), rdv.GroupCount())
-	if osrv, err := obs.Serve(*obsAddr); err != nil {
+	if osrv, err := obs.Serve(opts.ObsAddr); err != nil {
 		log.Fatalf("jxtad: obs: %v", err)
 	} else if osrv != nil {
 		defer osrv.Close()

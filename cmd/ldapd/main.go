@@ -17,29 +17,31 @@ import (
 
 	"gondi/internal/ldapsrv"
 	"gondi/internal/obs"
+	"gondi/internal/serverutil"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:3890", "TCP listen address")
-	obsAddr := flag.String("obs.addr", "", "observability HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+	shared := serverutil.BindFlags(flag.CommandLine, "127.0.0.1:3890")
 	base := flag.String("base", "dc=example,dc=com", "base DN")
 	rootDN := flag.String("rootdn", "", "administrative bind DN")
 	rootPW := flag.String("rootpw", "", "administrative password")
 	authWrites := flag.Bool("authwrites", false, "reject writes from anonymous binds")
 	stats := flag.Duration("stats", 0, "print entry counts at this interval (0 = off)")
 	flag.Parse()
+	opts := shared.Options("ldap")
 
-	srv, err := ldapsrv.NewServer(*listen, ldapsrv.ServerConfig{
+	srv, err := ldapsrv.NewServer(opts.ListenAddr, ldapsrv.ServerConfig{
 		BaseDN:              *base,
 		RootDN:              *rootDN,
 		RootPassword:        *rootPW,
 		RequireAuthForWrite: *authWrites,
+		Admission:           opts.Controller(),
 	})
 	if err != nil {
 		log.Fatalf("ldapd: %v", err)
 	}
 	fmt.Printf("ldapd: serving ldap://%s/%s\n", srv.Addr(), *base)
-	if osrv, err := obs.Serve(*obsAddr); err != nil {
+	if osrv, err := obs.Serve(opts.ObsAddr); err != nil {
 		log.Fatalf("ldapd: obs: %v", err)
 	} else if osrv != nil {
 		defer osrv.Close()

@@ -1,0 +1,178 @@
+package admission
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+)
+
+func admitN(t *testing.T, c *Controller, class Class, n int) []func() {
+	t.Helper()
+	releases := make([]func(), 0, n)
+	for i := 0; i < n; i++ {
+		rel, err := c.Admit(class, "ep", "op")
+		if err != nil {
+			t.Fatalf("admit %d/%d (%s): %v", i+1, n, class, err)
+		}
+		releases = append(releases, rel)
+	}
+	return releases
+}
+
+func wantBusy(t *testing.T, c *Controller, class Class) *core.ServerBusyError {
+	t.Helper()
+	rel, err := c.Admit(class, "ep", "op")
+	if err == nil {
+		rel()
+		t.Fatalf("admit (%s) succeeded past the bound", class)
+	}
+	var busy *core.ServerBusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("shed error is %T, want *core.ServerBusyError", err)
+	}
+	return busy
+}
+
+func TestWeightsPartitionTheQueue(t *testing.T) {
+	// Bound 20 at weights 6/3/1 → hard shares 12/6/2.
+	c := NewController(NewOptions(WithQueueBound(20)))
+	readRel := admitN(t, c, Read, 12)
+	admitN(t, c, Write, 6)
+	admitN(t, c, Search, 2)
+	if got := c.Depth(); got != 20 {
+		t.Fatalf("Depth = %d, want 20", got)
+	}
+
+	// Every class is at its share: the next arrival of each sheds.
+	for _, class := range []Class{Read, Write, Search} {
+		busy := wantBusy(t, c, class)
+		if busy.RetryAfter <= 0 {
+			t.Errorf("%s shed without a RetryAfter hint", class)
+		}
+		if busy.Endpoint != "ep" || busy.Op != "op" {
+			t.Errorf("%s shed mislabeled: %+v", class, busy)
+		}
+	}
+
+	// Shares are hard: a saturated read class cannot borrow from an
+	// idle write class, and freeing a read slot only helps reads.
+	readRel[0]()
+	rel, err := c.Admit(Read, "ep", "op")
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	defer rel()
+	wantBusy(t, c, Write)
+}
+
+func TestZeroWeightClassKeepsOneSlot(t *testing.T) {
+	c := NewController(NewOptions(WithQueueBound(10), WithWeights(1, 1, 0)))
+	rel, err := c.Admit(Search, "ep", "op")
+	if err != nil {
+		t.Fatalf("weight-0 class shut out: %v", err)
+	}
+	defer rel()
+	wantBusy(t, c, Search)
+}
+
+func TestReleaseIsIdempotent(t *testing.T) {
+	c := NewController(NewOptions(WithQueueBound(10), WithWeights(1, 0, 0)))
+	rel := admitN(t, c, Write, 1)[0] // write share = min 1 slot
+	rel()
+	rel() // double release must not free a second slot
+	if got := c.Depth(); got != 0 {
+		t.Fatalf("Depth after double release = %d, want 0", got)
+	}
+	rel2 := admitN(t, c, Write, 1)[0]
+	defer rel2()
+	wantBusy(t, c, Write)
+}
+
+func TestRateLimitShedsWithWaitHint(t *testing.T) {
+	c := NewController(NewOptions(WithQueueBound(100), WithRate(Read, 10, 1)))
+	rel, err := c.Admit(Read, "ep", "op")
+	if err != nil {
+		t.Fatalf("first op within burst: %v", err)
+	}
+	rel()
+	// Burst of 1 is spent; the next token is 100ms away.
+	busy := wantBusy(t, c, Read)
+	if busy.RetryAfter < DefaultRetryAfterMin || busy.RetryAfter > 200*time.Millisecond {
+		t.Errorf("rate-shed RetryAfter = %v, want ~100ms", busy.RetryAfter)
+	}
+	// Tokens refill: after a rate period the class admits again.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rel, err := c.Admit(Read, "ep", "op")
+		if err == nil {
+			rel()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bucket never refilled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRetryAfterClamped(t *testing.T) {
+	c := NewController(NewOptions(
+		WithQueueBound(10), WithWeights(1, 0, 0),
+		WithRetryAfterBounds(20*time.Millisecond, 30*time.Millisecond),
+	))
+	// Saturate reads (share = 10 slots) and shed one.
+	rels := admitN(t, c, Read, 10)
+	busy := wantBusy(t, c, Read)
+	if busy.RetryAfter < 20*time.Millisecond || busy.RetryAfter > 30*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want within [20ms, 30ms]", busy.RetryAfter)
+	}
+	for _, rel := range rels {
+		rel()
+	}
+}
+
+func TestHintTracksResidenceTime(t *testing.T) {
+	c := NewController(NewOptions(WithQueueBound(10), WithWeights(1, 0, 0)))
+	// Teach the EWMA a ~40ms residence time.
+	for i := 0; i < 16; i++ {
+		rel, err := c.Admit(Read, "ep", "op")
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+		rel()
+	}
+	rels := admitN(t, c, Read, 10)
+	defer func() {
+		for _, rel := range rels {
+			rel()
+		}
+	}()
+	busy := wantBusy(t, c, Read)
+	// Hint is half the smoothed residence: ~2.5ms clamps to the 5ms
+	// floor; the point is it stays in the floor..residence band rather
+	// than quoting zero or something unbounded.
+	if busy.RetryAfter < DefaultRetryAfterMin || busy.RetryAfter > 100*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want within [%v, 100ms]", busy.RetryAfter, DefaultRetryAfterMin)
+	}
+}
+
+func TestDisabledAndNilAdmitEverything(t *testing.T) {
+	for _, c := range []*Controller{
+		nil,
+		NewController(NewOptions(WithQueueBound(1), WithDisabled(true))),
+	} {
+		for i := 0; i < 100; i++ {
+			rel, err := c.Admit(Write, "ep", "op")
+			if err != nil {
+				t.Fatalf("no-op gate shed: %v", err)
+			}
+			rel()
+		}
+		if got := c.Depth(); got != 0 {
+			t.Fatalf("no-op gate Depth = %d", got)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package benchmark
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"gondi/internal/core"
+)
+
+// Open-loop load generation (§ overload survival). Unlike the
+// closed-loop harness — where each client waits for its previous op to
+// finish, so an overloaded server silently throttles its own offered
+// load — the open-loop generator schedules arrivals on a Poisson clock
+// at a fixed rate regardless of how the server is doing. That is how
+// real traffic behaves, and it is the regime where the Figure 5
+// collapse appears: offered load does not politely back off when
+// service times grow.
+//
+// Latency is measured from the *intended* arrival instant on the
+// Poisson schedule, not from when a worker got around to issuing the
+// op, so queueing delay inside the generator counts against the server
+// (no coordinated omission).
+
+// OpClass labels one of the three workload classes.
+type OpClass int
+
+// Workload classes, mirroring admission's read/write/search split.
+const (
+	OpRead OpClass = iota
+	OpWrite
+	OpSearch
+)
+
+// MixFractions is the relative share of each op class in the workload.
+// The fractions are normalized, so {7, 2, 1} and {0.7, 0.2, 0.1} are
+// the same mix.
+type MixFractions struct {
+	Read   float64
+	Write  float64
+	Search float64
+}
+
+// ClassOps supplies one op per class. Each op is invoked with a
+// zipf-distributed key in [0, Keys).
+type ClassOps struct {
+	Read   func(ctx context.Context, key int) error
+	Write  func(ctx context.Context, key int) error
+	Search func(ctx context.Context, key int) error
+}
+
+// Defaults for OpenLoopOptions.
+const (
+	DefaultOpenLoopClients = 10000
+	DefaultOpenLoopKeys    = 128
+	DefaultZipfS           = 1.2
+)
+
+// OpenLoopOptions configures one open-loop run.
+type OpenLoopOptions struct {
+	// Clients bounds concurrently outstanding ops (the worker pool).
+	// An arrival that finds every worker busy is dropped and counted,
+	// like a connection the kernel refuses under overload.
+	Clients int
+	// Rate is the offered arrival rate in ops/sec (Poisson).
+	Rate float64
+	// Warmup runs load without measuring, letting queues reach the
+	// state the offered rate produces.
+	Warmup time.Duration
+	// Measure is the measurement window.
+	Measure time.Duration
+	// OpTimeout bounds each op, anchored at its intended arrival.
+	OpTimeout time.Duration
+	// Mix is the class mix (defaults to 70% read, 20% write, 10% search).
+	Mix MixFractions
+	// Keys is the key-space size; ZipfS the zipf skew (>1).
+	Keys  int
+	ZipfS float64
+	// Seed makes the arrival schedule reproducible.
+	Seed int64
+}
+
+func (o OpenLoopOptions) withDefaults() OpenLoopOptions {
+	if o.Clients <= 0 {
+		o.Clients = DefaultOpenLoopClients
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 2 * time.Second
+	}
+	if o.Measure <= 0 {
+		o.Measure = 5 * time.Second
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = DefaultOpTimeout
+	}
+	if o.Mix == (MixFractions{}) {
+		o.Mix = MixFractions{Read: 0.7, Write: 0.2, Search: 0.1}
+	}
+	if o.Keys <= 0 {
+		o.Keys = DefaultOpenLoopKeys
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = DefaultZipfS
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// OpenLoopResult reports one open-loop run. All counts cover ops whose
+// intended arrival fell inside the measurement window.
+type OpenLoopResult struct {
+	Rate      float64       `json:"rate_ops_sec"`
+	Offered   int64         `json:"offered"`
+	Completed int64         `json:"completed"`
+	Shed      int64         `json:"shed"`    // typed ServerBusyError
+	Failed    int64         `json:"failed"`  // timeouts and other errors
+	Dropped   int64         `json:"dropped"` // no worker free at arrival
+	Goodput   float64       `json:"goodput_ops_sec"`
+	P50       time.Duration `json:"p50_ns"`
+	P99       time.Duration `json:"p99_ns"`
+	P999      time.Duration `json:"p999_ns"`
+}
+
+type openJob struct {
+	intended time.Time
+	class    OpClass
+	key      int
+	measured bool
+}
+
+// RunOpenLoop drives ops at opts.Rate and reports goodput and
+// schedule-anchored latency percentiles over the measurement window.
+func RunOpenLoop(opts OpenLoopOptions, ops ClassOps) (OpenLoopResult, error) {
+	opts = opts.withDefaults()
+	if opts.Rate <= 0 {
+		return OpenLoopResult{}, fmt.Errorf("openloop: rate must be positive")
+	}
+	fns := [3]func(context.Context, int) error{ops.Read, ops.Write, ops.Search}
+	for i, fn := range fns {
+		if fn == nil {
+			return OpenLoopResult{}, fmt.Errorf("openloop: missing op for class %d", i)
+		}
+	}
+	total := opts.Mix.Read + opts.Mix.Write + opts.Mix.Search
+	if total <= 0 {
+		return OpenLoopResult{}, fmt.Errorf("openloop: empty mix")
+	}
+	cumRead := opts.Mix.Read / total
+	cumWrite := cumRead + opts.Mix.Write/total
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	zipf := rand.NewZipf(rng, opts.ZipfS, 1, uint64(opts.Keys-1))
+
+	type workerStats struct {
+		completed, shed, failed int64
+		lat                     []time.Duration
+	}
+	stats := make([]workerStats, opts.Clients)
+	jobs := make(chan openJob)
+	var wg sync.WaitGroup
+	for i := range stats {
+		wg.Add(1)
+		go func(st *workerStats) {
+			defer wg.Done()
+			for jb := range jobs {
+				ctx, cancel := context.WithDeadline(context.Background(), jb.intended.Add(opts.OpTimeout))
+				err := fns[jb.class](ctx, jb.key)
+				cancel()
+				if !jb.measured {
+					continue
+				}
+				var busy *core.ServerBusyError
+				switch {
+				case err == nil:
+					st.completed++
+					st.lat = append(st.lat, time.Since(jb.intended))
+				case errors.As(err, &busy):
+					st.shed++
+				default:
+					st.failed++
+				}
+			}
+		}(&stats[i])
+	}
+
+	res := OpenLoopResult{Rate: opts.Rate}
+	start := time.Now()
+	measureStart := start.Add(opts.Warmup)
+	end := measureStart.Add(opts.Measure)
+	next := start
+	for {
+		// Exponential inter-arrival on an absolute schedule: if the
+		// generator falls behind it bursts to catch up, keeping the
+		// offered rate honest.
+		next = next.Add(time.Duration(rng.ExpFloat64() / opts.Rate * float64(time.Second)))
+		if next.After(end) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		jb := openJob{
+			intended: next,
+			key:      int(zipf.Uint64()),
+			measured: !next.Before(measureStart),
+		}
+		switch p := rng.Float64(); {
+		case p < cumRead:
+			jb.class = OpRead
+		case p < cumWrite:
+			jb.class = OpWrite
+		default:
+			jb.class = OpSearch
+		}
+		if jb.measured {
+			res.Offered++
+		}
+		select {
+		case jobs <- jb:
+		default:
+			if jb.measured {
+				res.Dropped++
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	var lats []time.Duration
+	for i := range stats {
+		res.Completed += stats[i].completed
+		res.Shed += stats[i].shed
+		res.Failed += stats[i].failed
+		lats = append(lats, stats[i].lat...)
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	res.Goodput = float64(res.Completed) / opts.Measure.Seconds()
+	res.P50 = percentileDur(lats, 0.50)
+	res.P99 = percentileDur(lats, 0.99)
+	res.P999 = percentileDur(lats, 0.999)
+	return res, nil
+}
+
+func percentileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

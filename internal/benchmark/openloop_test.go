@@ -1,0 +1,113 @@
+package benchmark
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+)
+
+// The generator itself, against in-process fake ops: offered rate
+// tracks the Poisson schedule, classes follow the mix, busy errors
+// count as sheds not failures, and latency is anchored at the intended
+// arrival (an op delayed by worker backlog is charged for the wait).
+func TestOpenLoopGenerator(t *testing.T) {
+	var reads, writes, searches atomic.Int64
+	ops := ClassOps{
+		Read:   func(ctx context.Context, key int) error { reads.Add(1); return nil },
+		Write:  func(ctx context.Context, key int) error { writes.Add(1); return nil },
+		Search: func(ctx context.Context, key int) error { searches.Add(1); return nil },
+	}
+	opts := OpenLoopOptions{
+		Clients: 64,
+		Rate:    2000,
+		Warmup:  200 * time.Millisecond,
+		Measure: time.Second,
+		Mix:     MixFractions{Read: 0.5, Write: 0.5},
+	}
+	res, err := RunOpenLoop(opts, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered < 1500 || res.Offered > 2500 {
+		t.Errorf("offered %d ops in a 1s window at 2000/s", res.Offered)
+	}
+	if res.Completed != res.Offered || res.Failed != 0 || res.Dropped != 0 {
+		t.Errorf("completed %d of %d (failed %d, dropped %d)", res.Completed, res.Offered, res.Failed, res.Dropped)
+	}
+	if searches.Load() != 0 {
+		t.Errorf("search weight 0 still ran %d searches", searches.Load())
+	}
+	r, w := reads.Load(), writes.Load()
+	if r == 0 || w == 0 || r > 2*w || w > 2*r {
+		t.Errorf("50/50 mix came out %d reads / %d writes", r, w)
+	}
+	if res.Goodput < 1500 || res.Goodput > 2500 {
+		t.Errorf("goodput %.1f at offered 2000/s against instant ops", res.Goodput)
+	}
+}
+
+func TestOpenLoopCountsShedsAndFailures(t *testing.T) {
+	var n atomic.Int64
+	ops := ClassOps{
+		Read: func(ctx context.Context, key int) error {
+			switch n.Add(1) % 3 {
+			case 0:
+				return &core.ServerBusyError{Endpoint: "ep", Op: "read", RetryAfter: time.Millisecond}
+			case 1:
+				return context.DeadlineExceeded
+			}
+			return nil
+		},
+		Write:  func(ctx context.Context, key int) error { return nil },
+		Search: func(ctx context.Context, key int) error { return nil },
+	}
+	res, err := RunOpenLoop(OpenLoopOptions{
+		Clients: 16,
+		Rate:    1000,
+		Warmup:  50 * time.Millisecond,
+		Measure: 300 * time.Millisecond,
+		Mix:     MixFractions{Read: 1},
+	}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 || res.Failed == 0 || res.Completed == 0 {
+		t.Errorf("want all three outcomes, got ok=%d shed=%d failed=%d", res.Completed, res.Shed, res.Failed)
+	}
+	if got := res.Completed + res.Shed + res.Failed + res.Dropped; got != res.Offered {
+		t.Errorf("outcomes sum to %d, offered %d", got, res.Offered)
+	}
+}
+
+// Latency anchors at the intended arrival: with one worker and slow
+// ops, arrivals queue behind each other and the measured p99 must
+// reflect that wait, not just the op's own service time.
+func TestOpenLoopLatencyIncludesQueueing(t *testing.T) {
+	const service = 10 * time.Millisecond
+	ops := ClassOps{
+		Read:   func(ctx context.Context, key int) error { time.Sleep(service); return nil },
+		Write:  func(ctx context.Context, key int) error { return nil },
+		Search: func(ctx context.Context, key int) error { return nil },
+	}
+	res, err := RunOpenLoop(OpenLoopOptions{
+		Clients: 1, // single worker: the queue forms in the generator
+		Rate:    300,
+		Warmup:  100 * time.Millisecond,
+		Measure: 500 * time.Millisecond,
+		Mix:     MixFractions{Read: 1},
+	}, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One worker at 10ms/op serves 100/s against 300/s offered: most
+	// arrivals drop (no worker), and completed ops were waited on.
+	if res.Dropped == 0 {
+		t.Error("single saturated worker never dropped an arrival")
+	}
+	if res.P99 < service {
+		t.Errorf("p99 %v below the service time itself", res.P99)
+	}
+}

@@ -1,0 +1,311 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gondi/internal/admission"
+	"gondi/internal/core"
+	"gondi/internal/costmodel"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+)
+
+// The overload experiment (issue 7): drive an HDNS node open-loop at
+// twice its measured capacity with 10k concurrent clients and a zipf
+// read/write/search mix, once with admission control and once without.
+// Without admission the node exhibits the Figure 5 pathology — service
+// time grows with backlog, so goodput collapses under sustained
+// overload. With admission the node sheds the excess with typed busy
+// errors and keeps goodput near capacity.
+
+// overloadConnPool caps TCP connections: the 10k logical clients share
+// a pipelined connection pool instead of 10k sockets.
+const overloadConnPool = 64
+
+// OverloadQueueBound is small enough to keep station backlog (and
+// hence degraded service time) modest, but deep enough to absorb
+// Poisson bursts instead of shedding into an idle station.
+const OverloadQueueBound = 32
+
+// OverloadOptions scales the experiment (full run vs CI smoke).
+type OverloadOptions struct {
+	// Clients is the open-loop worker pool (default 10000).
+	Clients int
+	// Warmup and Measure shape the open-loop runs.
+	Warmup  time.Duration
+	Measure time.Duration
+	// CapacityProbe is how long the closed-loop capacity run lasts.
+	CapacityProbe time.Duration
+	// CapacityClients is the closed-loop concurrency for the probe.
+	CapacityClients int
+}
+
+func (o OverloadOptions) withDefaults() OverloadOptions {
+	if o.Clients <= 0 {
+		o.Clients = DefaultOpenLoopClients
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 2 * time.Second
+	}
+	if o.Measure <= 0 {
+		o.Measure = 5 * time.Second
+	}
+	if o.CapacityProbe <= 0 {
+		o.CapacityProbe = 3 * time.Second
+	}
+	if o.CapacityClients <= 0 {
+		o.CapacityClients = 32
+	}
+	return o
+}
+
+// OverloadResult is the issue-7 experiment outcome.
+type OverloadResult struct {
+	Capacity    float64        `json:"capacity_ops_sec"`
+	Rate        float64        `json:"offered_ops_sec"` // 2x capacity
+	Clients     int            `json:"clients"`
+	Protected   OpenLoopResult `json:"protected"`
+	Unprotected OpenLoopResult `json:"unprotected"`
+}
+
+// overloadCosts returns per-node stations where *both* classes degrade
+// with backlog, modelling the Figure 5 regime: unbounded queues do not
+// just add latency, they slow every op down (heap pressure, scan
+// costs), which is what turns overload into collapse.
+func overloadCosts() *costmodel.Costs {
+	return &costmodel.Costs{
+		Read: costmodel.NewStation(1, costmodel.HDNSReadService,
+			costmodel.WithDegradePerQueued(10*time.Microsecond)),
+		Write: costmodel.NewStation(1, costmodel.HDNSWriteService,
+			costmodel.WithDegradePerQueued(costmodel.HDNSDegrade)),
+	}
+}
+
+// newOverloadWorld starts a two-node HDNS group with degrading costs
+// and, when protected, an admission controller in front of the
+// handlers. The returned cleanup is best-effort with a deadline: a
+// collapsed node's handlers can be asleep in the cost model far past
+// any reasonable shutdown budget, and waiting for them would stall the
+// benchmark long after the verdict is in.
+func newOverloadWorld(group string, protected bool) (*hdns.Node, func(), error) {
+	var adm *admission.Controller
+	if protected {
+		adm = admission.NewController(admission.NewOptions(
+			admission.WithServer("bench-"+group),
+			admission.WithQueueBound(OverloadQueueBound),
+		))
+	}
+	registerProviders()
+	fabric := jgroups.NewFabric()
+	n1, err := hdns.NewNode(hdns.NodeConfig{
+		Group:      group,
+		Transport:  fabric.Endpoint(jgroups.Address(group + "-n1")),
+		Stack:      jgroups.DefaultConfig(),
+		ListenAddr: "127.0.0.1:0",
+		Costs:      overloadCosts(),
+		Admission:  adm,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	n2, err := hdns.NewNode(hdns.NodeConfig{
+		Group:      group,
+		Transport:  fabric.Endpoint(jgroups.Address(group + "-n2")),
+		Stack:      jgroups.DefaultConfig(),
+		ListenAddr: "127.0.0.1:0",
+		// No costs and no admission on the replica: it runs full
+		// speed; the experiment measures the client-facing node.
+	})
+	if err != nil {
+		n1.Close()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		done := make(chan struct{})
+		go func() {
+			n2.Close()
+			n1.Close()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(3 * time.Second):
+		}
+	}
+	return n1, cleanup, nil
+}
+
+// overloadOps builds the three workload ops over a shared connection
+// pool and pre-seeds the key space so reads hit real bindings.
+func overloadOps(addr string, keys int) (ClassOps, func(), error) {
+	conns := make([]*hdns.Client, overloadConnPool)
+	for i := range conns {
+		c, err := hdns.Dial(addr, "", 5*time.Second)
+		if err != nil {
+			for _, p := range conns[:i] {
+				p.Close()
+			}
+			return ClassOps{}, nil, err
+		}
+		conns[i] = c
+	}
+	cleanup := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	data, _ := core.Marshal(spiPayload)
+	// Seed sequentially through one conn: the write station is cold, so
+	// this is keys x base service time, well under a second.
+	seedCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for k := 0; k < keys; k++ {
+		name := []string{"k" + strconv.Itoa(k)}
+		if err := conns[0].Bind(seedCtx, name, data, map[string][]string{"type": {"bench"}}, 0); err != nil {
+			cleanup()
+			return ClassOps{}, nil, fmt.Errorf("seed key %d: %w", k, err)
+		}
+	}
+	var ctr atomic.Uint64
+	pick := func() *hdns.Client {
+		return conns[ctr.Add(1)%overloadConnPool]
+	}
+	keyName := func(key int) []string { return []string{"k" + strconv.Itoa(key)} }
+	ops := ClassOps{
+		Read: func(ctx context.Context, key int) error {
+			v, err := pick().Lookup(ctx, keyName(key))
+			if err != nil {
+				return err
+			}
+			if !v.Exists {
+				return fmt.Errorf("key %d missing", key)
+			}
+			return nil
+		},
+		Write: func(ctx context.Context, key int) error {
+			return pick().Rebind(ctx, keyName(key), data, nil, false, 0)
+		},
+		Search: func(ctx context.Context, key int) error {
+			_, err := pick().Search(ctx, nil, "(type=bench)", 2, 8)
+			return err
+		},
+	}
+	return ops, cleanup, nil
+}
+
+// measureCapacity runs a closed-loop mixed workload against the node:
+// n clients issue back-to-back ops for the probe window; throughput of
+// completed ops is the node's capacity at this operating point.
+func measureCapacity(ops ClassOps, opts OverloadOptions) float64 {
+	var completed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < opts.CapacityClients; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			zipf := rand.NewZipf(rng, DefaultZipfS, 1, uint64(DefaultOpenLoopKeys-1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := int(zipf.Uint64())
+				var fn func(context.Context, int) error
+				switch p := rng.Float64(); {
+				case p < 0.7:
+					fn = ops.Read
+				case p < 0.9:
+					fn = ops.Write
+				default:
+					fn = ops.Search
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), DefaultOpTimeout)
+				err := fn(ctx, key)
+				cancel()
+				if err == nil {
+					completed.Add(1)
+				}
+			}
+		}(int64(i + 1))
+	}
+	// Let queues settle for a third of the probe, then count.
+	settle := opts.CapacityProbe / 3
+	time.Sleep(settle)
+	base := completed.Load()
+	window := opts.CapacityProbe - settle
+	time.Sleep(window)
+	n := completed.Load() - base
+	close(stop)
+	wg.Wait()
+	return float64(n) / window.Seconds()
+}
+
+// RunOverload executes the full issue-7 experiment: measure capacity
+// on a protected world, then offer 2x capacity open-loop to a
+// protected and an unprotected world.
+func RunOverload(opts OverloadOptions) (*OverloadResult, error) {
+	opts = opts.withDefaults()
+
+	// Capacity probe on its own world so its station state does not
+	// leak into the measured runs.
+	capNode, capCleanup, err := newOverloadWorld("ovl-cap", true)
+	if err != nil {
+		return nil, err
+	}
+	capOps, capOpsCleanup, err := overloadOps(capNode.Addr(), DefaultOpenLoopKeys)
+	if err != nil {
+		capCleanup()
+		return nil, err
+	}
+	capacity := measureCapacity(capOps, opts)
+	capOpsCleanup()
+	capCleanup()
+	if capacity <= 0 {
+		return nil, fmt.Errorf("overload: measured zero capacity")
+	}
+
+	rate := 2 * capacity
+	res := &OverloadResult{Capacity: capacity, Rate: rate, Clients: opts.Clients}
+	olOpts := OpenLoopOptions{
+		Clients: opts.Clients,
+		Rate:    rate,
+		Warmup:  opts.Warmup,
+		Measure: opts.Measure,
+	}
+
+	for _, arm := range []struct {
+		name      string
+		protected bool
+		out       *OpenLoopResult
+	}{
+		{"ovl-prot", true, &res.Protected},
+		{"ovl-raw", false, &res.Unprotected},
+	} {
+		node, cleanup, err := newOverloadWorld(arm.name, arm.protected)
+		if err != nil {
+			return nil, err
+		}
+		ops, opsCleanup, err := overloadOps(node.Addr(), DefaultOpenLoopKeys)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		r, err := RunOpenLoop(olOpts, ops)
+		opsCleanup()
+		cleanup()
+		if err != nil {
+			return nil, err
+		}
+		*arm.out = r
+	}
+	return res, nil
+}

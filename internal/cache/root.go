@@ -228,16 +228,19 @@ func (r *root) serveStale(key string, fillErr error) (any, error, bool) {
 }
 
 // transportClass reports whether err means "the backend did not answer"
-// (dial/connection failure, breaker open, transient net error) as opposed
-// to a semantic answer from a live backend or the caller's own context
-// expiring. Only transport-class failures trigger serve-stale.
+// (dial/connection failure, breaker open, busy shed, transient net error)
+// as opposed to a semantic answer from a live backend or the caller's own
+// context expiring. Only transport-class failures trigger serve-stale: an
+// admission shed in particular is exactly the moment a slightly stale
+// answer beats piling more load onto the saturated server.
 func transportClass(err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
 	var ce *core.CommunicationError
 	var sue *core.ServiceUnavailableError
-	return errors.As(err, &ce) || errors.As(err, &sue) ||
+	var sbe *core.ServerBusyError
+	return errors.As(err, &ce) || errors.As(err, &sue) || errors.As(err, &sbe) ||
 		errors.Is(err, breaker.ErrOpen) || retry.Transient(err)
 }
 

@@ -177,18 +177,32 @@ func (e *ServiceUnavailableError) Error() string {
 
 func (e *ServiceUnavailableError) Unwrap() error { return e.Err }
 
-// ServerBusyError reports that an endpoint shed a request because its
-// in-flight window was exhausted — the transport's credit-based flow
-// control refused to queue more work. The server is alive (this is an
+// ServerBusyError reports that an endpoint shed a request — the
+// transport's credit-based flow control or the server's admission
+// controller refused to queue more work. The server is alive (this is an
 // answered rejection, not a transport failure), so callers should back
-// off and retry rather than fail over.
+// off and retry rather than fail over. Breakers must not count it as a
+// failure.
 type ServerBusyError struct {
 	// Endpoint is the overloaded endpoint.
 	Endpoint string
 	// Op is the operation that was shed.
 	Op string
+	// RetryAfter is the server's hint for when capacity is expected
+	// again: the admission controller's drain estimate or the token
+	// bucket's refill time. Zero means the server offered no hint.
+	// internal/retry honors it in place of exponential backoff.
+	RetryAfter time.Duration
 }
 
 func (e *ServerBusyError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("naming: server %s busy: %s shed by admission control (retry after %v)", e.Endpoint, e.Op, e.RetryAfter)
+	}
 	return fmt.Sprintf("naming: server %s busy: %s shed by flow control", e.Endpoint, e.Op)
 }
+
+// RetryAfterHint returns the server-supplied backoff hint. It exists so
+// packages that cannot import core (internal/retry) can discover the hint
+// through an interface assertion.
+func (e *ServerBusyError) RetryAfterHint() time.Duration { return e.RetryAfter }

@@ -8,10 +8,13 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"gondi/internal/breaker"
+	"gondi/internal/core"
 	"gondi/internal/obs"
 )
 
@@ -412,9 +415,37 @@ func (r *Resolver) Query(ctx context.Context, name string, qtype uint16) ([]RR, 
 		return nil, err
 	}
 	if resp.Header.Rcode != RcodeNoError {
+		if berr := r.busyError("dns.query", resp); berr != nil {
+			return nil, berr
+		}
 		return nil, &RcodeError{Name: name, Rcode: resp.Header.Rcode}
 	}
 	return resp.Answers, nil
+}
+
+// busyError recognizes a shed: REFUSED plus the server's retry-hint TXT
+// record (see busyName) maps to the typed busy error so callers back off
+// by the server's estimate rather than treating the shed as NXDOMAIN-like
+// data. Plain REFUSED (non-authoritative name) returns nil.
+func (r *Resolver) busyError(op string, resp *Message) error {
+	if resp.Header.Rcode != RcodeRefused {
+		return nil
+	}
+	for _, rr := range resp.Additional {
+		if rr.Type != TypeTXT || CanonicalName(rr.Name) != busyName {
+			continue
+		}
+		var after time.Duration
+		for _, s := range rr.Txt {
+			if v, ok := strings.CutPrefix(s, "retry-after-ms="); ok {
+				if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+					after = time.Duration(ms) * time.Millisecond
+				}
+			}
+		}
+		return &core.ServerBusyError{Endpoint: r.Server, Op: op, RetryAfter: after}
+	}
+	return nil
 }
 
 // LookupTXT returns the TXT strings at name (flattened in record order).
@@ -463,6 +494,9 @@ func (r *Resolver) TransferZone(ctx context.Context, name string) ([]RR, error) 
 		return nil, err
 	}
 	if resp.Header.Rcode != RcodeNoError {
+		if berr := r.busyError("dns.axfr", resp); berr != nil {
+			return nil, berr
+		}
 		return nil, &RcodeError{Name: name, Rcode: resp.Header.Rcode}
 	}
 	return resp.Answers, nil

@@ -2,12 +2,14 @@ package dnssrv
 
 import (
 	"encoding/binary"
+	"fmt"
 	"io"
 	"net"
 	"strings"
 	"sync"
 	"time"
 
+	"gondi/internal/admission"
 	"gondi/internal/costmodel"
 	"gondi/internal/obs"
 )
@@ -16,6 +18,13 @@ import (
 // responses are truncated and the client retries over TCP.
 const maxUDPResponse = 512
 
+// busyName is the owner name of the TXT record that rides a REFUSED
+// response when the server sheds load: DNS has no busy rcode, so the
+// retry hint travels as "retry-after-ms=N" in the Additional section.
+// Resolvers that know the convention surface a typed busy error; anyone
+// else just sees REFUSED.
+const busyName = "retry-after.gondi."
+
 // Server is an authoritative DNS server over UDP and TCP (the Bind
 // stand-in of §7). It serves one or more zones and answers queries for
 // the closest enclosing zone; names outside every zone are REFUSED.
@@ -23,6 +32,7 @@ type Server struct {
 	mu    sync.RWMutex
 	zones map[string]*Zone // canonical origin -> zone
 	costs *costmodel.Costs
+	adm   *admission.Controller
 
 	udp *net.UDPConn
 	tcp net.Listener
@@ -31,9 +41,17 @@ type Server struct {
 	closeOnce sync.Once
 }
 
+// ServerOption tunes a server at construction.
+type ServerOption func(*Server)
+
+// WithAdmission gates every query through c; nil admits everything.
+func WithAdmission(c *admission.Controller) ServerOption {
+	return func(s *Server) { s.adm = c }
+}
+
 // NewServer starts a server on addr (e.g. "127.0.0.1:0"); UDP and TCP
 // listeners share the chosen port. costs may be nil for full speed.
-func NewServer(addr string, costs *costmodel.Costs) (*Server, error) {
+func NewServer(addr string, costs *costmodel.Costs, opts ...ServerOption) (*Server, error) {
 	tcp, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -50,6 +68,9 @@ func NewServer(addr string, costs *costmodel.Costs) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{zones: map[string]*Zone{}, costs: costs, udp: udp, tcp: tcp}
+	for _, o := range opts {
+		o(s)
+	}
 	s.wg.Add(2)
 	go s.serveUDP()
 	go s.serveTCP()
@@ -192,7 +213,6 @@ func (s *Server) handle(pkt []byte) []byte {
 				obs.Label{K: "proto", V: "dns"}).Since(start)
 		}()
 	}
-	s.costs.ReadCost(len(pkt))
 	req, err := DecodeMessage(pkt)
 	if err != nil || req.Header.QR || len(req.Questions) == 0 {
 		return nil
@@ -207,6 +227,18 @@ func (s *Server) handle(pkt []byte) []byte {
 		return out
 	}
 	q := req.Questions[0]
+	class := admission.Read
+	if q.Type == TypeAXFR {
+		class = admission.Search
+	}
+	release, aerr := s.adm.Admit(class, s.Addr(), "dns.query")
+	if aerr != nil {
+		return busyResponse(req, retryAfterOf(aerr))
+	}
+	defer release()
+	if !s.costs.ReadCost(len(pkt)) {
+		return busyResponse(req, stationBusyRetryAfter)
+	}
 	z := s.findZone(q.Name)
 	if z == nil {
 		resp.Header.Rcode = RcodeRefused
@@ -252,6 +284,34 @@ func (s *Server) handle(pkt []byte) []byte {
 		resp2 := &Message{Header: Header{ID: req.Header.ID, QR: true, Rcode: RcodeServFail}}
 		out, _ = resp2.Encode()
 	}
+	return out
+}
+
+// stationBusyRetryAfter is the hint attached when the calibrated cost
+// station's queue cap rejects work (admission-controller sheds carry a
+// measured drain estimate instead).
+const stationBusyRetryAfter = 25 * time.Millisecond
+
+// retryAfterOf pulls the hint out of an admission shed error.
+func retryAfterOf(err error) time.Duration {
+	if h, ok := err.(interface{ RetryAfterHint() time.Duration }); ok {
+		return h.RetryAfterHint()
+	}
+	return stationBusyRetryAfter
+}
+
+// busyResponse encodes the shed answer: REFUSED plus the retry-hint TXT
+// record under busyName in the Additional section.
+func busyResponse(req *Message, retryAfter time.Duration) []byte {
+	resp := &Message{Header: Header{
+		ID: req.Header.ID, QR: true, RD: req.Header.RD, Rcode: RcodeRefused,
+	}}
+	resp.Questions = req.Questions
+	resp.Additional = append(resp.Additional, RR{
+		Name: busyName, Type: TypeTXT, Class: ClassIN,
+		Txt: []string{fmt.Sprintf("retry-after-ms=%d", retryAfter.Milliseconds())},
+	})
+	out, _ := resp.Encode()
 	return out
 }
 

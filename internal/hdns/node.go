@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gondi/internal/admission"
+	"gondi/internal/core"
 	"gondi/internal/costmodel"
 	"gondi/internal/filter"
 	"gondi/internal/h2o"
@@ -46,6 +48,12 @@ type NodeConfig struct {
 	// Kernel, when set, receives HDNS change events on its bus under
 	// the "hdns/" topic prefix.
 	Kernel *h2o.Kernel
+	// Admission gates every handler; nil admits everything.
+	Admission *admission.Controller
+	// ReplBatch caps how many concurrently submitted writes coalesce
+	// into one replicated group frame (PR 6's batch frames carried
+	// across the node boundary); 0 means 64.
+	ReplBatch int
 }
 
 // Node is one HDNS replica.
@@ -61,6 +69,13 @@ type Node struct {
 	nextOp    uint64
 	nextWatch uint64
 	closed    bool
+
+	// replC queues writes awaiting replication. Whichever submitter
+	// finds no sender active becomes the sender and drains the queue
+	// into coalesced group frames (see maybeDrain); the bound
+	// propagates jgroups send-window backpressure to later submitters.
+	replC       chan *Op
+	replSending bool
 
 	applied atomic.Uint64
 
@@ -89,11 +104,15 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Stack.HeartbeatInterval == 0 {
 		cfg.Stack = jgroups.DefaultConfig()
 	}
+	if cfg.ReplBatch <= 0 {
+		cfg.ReplBatch = 64
+	}
 	n := &Node{
 		cfg:     cfg,
 		store:   NewStore(),
 		pending: map[string]chan string{},
 		watches: map[*rpc.ServerConn]map[uint64]watchSpec{},
+		replC:   make(chan *Op, 2*cfg.ReplBatch),
 		done:    make(chan struct{}),
 	}
 	// Crash recovery: load the local snapshot first (§4.1 "the service
@@ -168,23 +187,109 @@ func (n *Node) onMerge(e jgroups.MergeEvent) {
 	}
 }
 
-// deliver applies a replicated op on this replica.
+// opEnvelope is the replication wire unit: one group frame carrying one
+// or more ops. Coalescing concurrently submitted writes into a single
+// multicast is PR 6's batch-frame discipline extended across the node
+// boundary — N queued writes cost one send (and one credit against the
+// jgroups window) instead of N.
+type opEnvelope struct {
+	Ops []Op
+}
+
+var mReplBatch = obs.Default.Histogram("gondi_hdns_repl_batch_ops",
+	"Ops coalesced per replicated HDNS group frame (count encoded as µs).")
+
+// deliver applies a replicated frame on this replica, acking each op.
 func (n *Node) deliver(src jgroups.Address, payload []byte) {
-	var op Op
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&op); err != nil {
+	var env opEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
 		return
 	}
-	changes, errStr := n.store.Apply(&op)
-	n.applied.Add(1)
+	for i := range env.Ops {
+		op := &env.Ops[i]
+		changes, errStr := n.store.Apply(op)
+		n.applied.Add(1)
+		n.mu.Lock()
+		if ch, ok := n.pending[op.ID]; ok {
+			delete(n.pending, op.ID)
+			ch <- errStr
+		}
+		n.mu.Unlock()
+		for _, c := range changes {
+			n.fanOut(c)
+		}
+	}
+}
+
+// replBatchBytes bounds a coalesced frame's payload so it stays well
+// inside one UDP datagram on the multi-process transport.
+const replBatchBytes = 32 << 10
+
+// maybeDrain elects the calling submitter as the replication sender if
+// none is active and drains replC into coalesced multicast frames.
+// Submitters that lose the election return immediately — their op rides
+// the active sender's next frame, so an uncontended write pays no extra
+// goroutine hop while concurrent writes batch. When the jgroups send
+// window is exhausted, Send blocks the sender here, replC fills, and
+// later submitters block in turn: replica backpressure reaches the
+// client instead of growing a queue.
+func (n *Node) maybeDrain() {
 	n.mu.Lock()
-	if ch, ok := n.pending[op.ID]; ok {
-		delete(n.pending, op.ID)
-		ch <- errStr
+	if n.replSending {
+		n.mu.Unlock()
+		return
+	}
+	n.replSending = true
+	n.mu.Unlock()
+	for {
+		var ops []Op
+		size := 0
+	collect:
+		for len(ops) < n.cfg.ReplBatch && size < replBatchBytes {
+			select {
+			case op := <-n.replC:
+				ops = append(ops, *op)
+				size += len(op.Obj)
+			default:
+				break collect
+			}
+		}
+		if len(ops) == 0 {
+			n.mu.Lock()
+			n.replSending = false
+			// An op enqueued between the empty read above and clearing
+			// the flag would otherwise strand (its submitter saw an
+			// active sender and returned).
+			if len(n.replC) == 0 {
+				n.mu.Unlock()
+				return
+			}
+			n.replSending = true
+			n.mu.Unlock()
+			continue
+		}
+		mReplBatch.Observe(time.Duration(len(ops)) * time.Microsecond)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&opEnvelope{Ops: ops}); err != nil {
+			n.failOps(ops, err.Error())
+			continue
+		}
+		if err := n.ch.Send(buf.Bytes()); err != nil {
+			n.failOps(ops, err.Error())
+		}
+	}
+}
+
+// failOps settles every submitter in a frame that never made it out.
+func (n *Node) failOps(ops []Op, errStr string) {
+	n.mu.Lock()
+	for i := range ops {
+		if ch, ok := n.pending[ops[i].ID]; ok {
+			delete(n.pending, ops[i].ID)
+			ch <- errStr
+		}
 	}
 	n.mu.Unlock()
-	for _, c := range changes {
-		n.fanOut(c)
-	}
 }
 
 // fanOut pushes a change to matching client watches and the kernel bus.
@@ -253,16 +358,23 @@ func (n *Node) submit(op *Op) string {
 	n.pending[op.ID] = ack
 	n.mu.Unlock()
 
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(op); err != nil {
-		return err.Error()
-	}
-	if err := n.ch.Send(buf.Bytes()); err != nil {
+	// Queue the op for coalescing. The queue is bounded: when
+	// replication stalls (send window full), this blocks until
+	// WriteTimeout rather than queueing without limit.
+	select {
+	case n.replC <- op:
+	case <-time.After(n.cfg.WriteTimeout):
 		n.mu.Lock()
 		delete(n.pending, op.ID)
 		n.mu.Unlock()
-		return err.Error()
+		return "write timed out"
+	case <-n.done:
+		n.mu.Lock()
+		delete(n.pending, op.ID)
+		n.mu.Unlock()
+		return "node closed"
 	}
+	n.maybeDrain()
 	select {
 	case errStr := <-ack:
 		return errStr
@@ -378,8 +490,17 @@ func (n *Node) authed(sc *rpc.ServerConn) bool {
 
 var errDenied = errors.New("hdns: authentication required")
 
+// stationBusyRetryAfter is the hint attached when a calibrated cost
+// station's queue cap rejects work (the station has no drain estimate of
+// its own; admission-controller sheds carry a measured one).
+const stationBusyRetryAfter = 25 * time.Millisecond
+
+func (n *Node) busy(op string) error {
+	return &core.ServerBusyError{Endpoint: n.Addr(), Op: op, RetryAfter: stationBusyRetryAfter}
+}
+
 func (n *Node) registerHandlers() {
-	h := func(name string, fn func(sc *rpc.ServerConn, req *Req) (*Rsp, error)) {
+	h := func(name string, class admission.Class, fn func(sc *rpc.ServerConn, req *Req) (*Rsp, error)) {
 		reqs := obs.Default.Counter("gondi_server_requests_total",
 			"Server-side requests handled, by protocol.",
 			obs.Label{K: "proto", V: "hdns"}, obs.Label{K: "method", V: name})
@@ -387,6 +508,11 @@ func (n *Node) registerHandlers() {
 			"Server-side request handling latency, by protocol.",
 			obs.Label{K: "proto", V: "hdns"}, obs.Label{K: "method", V: name})
 		n.srv.Handle(name, func(sc *rpc.ServerConn, body []byte) ([]byte, error) {
+			release, aerr := n.cfg.Admission.Admit(class, n.Addr(), name)
+			if aerr != nil {
+				return nil, aerr
+			}
+			defer release()
 			start := time.Now()
 			req, err := decodeReq(body)
 			if err != nil {
@@ -402,7 +528,7 @@ func (n *Node) registerHandlers() {
 		})
 	}
 
-	h(mAuth, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+	h(mAuth, admission.Read, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
 		if n.cfg.Secret != "" && req.Secret != n.cfg.Secret {
 			return nil, errors.New("hdns: bad secret")
 		}
@@ -410,18 +536,20 @@ func (n *Node) registerHandlers() {
 		return &Rsp{}, nil
 	})
 
-	h(mLookup, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
-		n.cfg.Costs.ReadCost(0)
+	h(mLookup, admission.Read, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		if !n.cfg.Costs.ReadCost(0) {
+			return nil, n.busy(mLookup)
+		}
 		return &Rsp{View: n.store.Lookup(req.Name)}, nil
 	})
 
-	write := func(kind OpKind) func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+	write := func(name string, kind OpKind) func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
 		return func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
 			if !n.authed(sc) {
 				return nil, errDenied
 			}
 			if !n.cfg.Costs.WriteCost(len(req.Obj)) {
-				return nil, errors.New("hdns: server overloaded")
+				return nil, n.busy(name)
 			}
 			op := &Op{
 				Kind: kind, Name: req.Name, Name2: req.Name2, Obj: req.Obj,
@@ -438,17 +566,19 @@ func (n *Node) registerHandlers() {
 			return rsp, nil
 		}
 	}
-	h(mBind, write(OpBind))
-	h(mRebind, write(OpRebind))
-	h(mUnbind, write(OpUnbind))
-	h(mRename, write(OpRename))
-	h(mCreateCtx, write(OpCreateCtx))
-	h(mDestroyCtx, write(OpDestroyCtx))
-	h(mModAttrs, write(OpModAttrs))
-	h(mLease, write(OpLeaseRenew))
+	h(mBind, admission.Write, write(mBind, OpBind))
+	h(mRebind, admission.Write, write(mRebind, OpRebind))
+	h(mUnbind, admission.Write, write(mUnbind, OpUnbind))
+	h(mRename, admission.Write, write(mRename, OpRename))
+	h(mCreateCtx, admission.Write, write(mCreateCtx, OpCreateCtx))
+	h(mDestroyCtx, admission.Write, write(mDestroyCtx, OpDestroyCtx))
+	h(mModAttrs, admission.Write, write(mModAttrs, OpModAttrs))
+	h(mLease, admission.Write, write(mLease, OpLeaseRenew))
 
-	h(mList, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
-		n.cfg.Costs.ReadCost(0)
+	h(mList, admission.Read, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		if !n.cfg.Costs.ReadCost(0) {
+			return nil, n.busy(mList)
+		}
 		list, errStr := n.store.List(req.Name)
 		if errStr != "" {
 			return nil, errors.New(errStr)
@@ -456,8 +586,10 @@ func (n *Node) registerHandlers() {
 		return &Rsp{List: list}, nil
 	})
 
-	h(mSearch, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
-		n.cfg.Costs.ReadCost(0)
+	h(mSearch, admission.Search, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		if !n.cfg.Costs.ReadCost(0) {
+			return nil, n.busy(mSearch)
+		}
 		f, err := filter.Parse(req.Filter)
 		if err != nil {
 			return nil, err
@@ -469,7 +601,7 @@ func (n *Node) registerHandlers() {
 		return &Rsp{Hits: hits}, nil
 	})
 
-	h(mWatch, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+	h(mWatch, admission.Read, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		n.nextWatch++
@@ -483,7 +615,7 @@ func (n *Node) registerHandlers() {
 		return &Rsp{WatchID: id}, nil
 	})
 
-	h(mUnwatch, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+	h(mUnwatch, admission.Read, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		if ws := n.watches[sc]; ws != nil {
@@ -492,7 +624,7 @@ func (n *Node) registerHandlers() {
 		return &Rsp{}, nil
 	})
 
-	h(mInfo, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+	h(mInfo, admission.Read, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
 		view := n.ch.View()
 		info := NodeInfo{
 			Addr:        n.Addr(),

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"gondi/internal/obs"
 )
 
 // Channel errors.
@@ -13,6 +15,16 @@ var (
 	ErrNotConnected = errors.New("jgroups: channel not connected")
 	ErrChanClosed   = errors.New("jgroups: channel closed")
 	ErrJoinTimeout  = errors.New("jgroups: join timed out")
+	// ErrSendWindowFull reports that Send blocked on the credit window
+	// longer than JoinTimeout — the group is not draining.
+	ErrSendWindowFull = errors.New("jgroups: send window full")
+)
+
+var (
+	mSendStalls = obs.Default.Counter("gondi_jgroups_send_stalls_total",
+		"Sends that blocked on the credit window.")
+	mPendingDrops = obs.Default.Counter("gondi_jgroups_pending_dropped_total",
+		"Out-of-order packets dropped by the bounded delivery buffer (recovered by repair).")
 )
 
 // bimodalStoreMax bounds the per-sender gossip repair store.
@@ -72,6 +84,11 @@ type Channel struct {
 	// Bimodal data path.
 	sendSeqB uint64
 	senders  map[Address]*senderState
+	// peerAckB tracks, per view member, the highest of our own bimodal
+	// seqs it has acknowledged delivering (monotonic; learned from
+	// heartbeat/gossip/flush digests). The minimum across members is the
+	// sender credit window's floor.
+	peerAckB map[Address]uint64
 
 	// Membership machinery.
 	lastSeen map[Address]time.Time
@@ -90,6 +107,12 @@ type Channel struct {
 
 // NewChannel builds a channel over the given transport.
 func NewChannel(tr Transport, cfg Config) *Channel {
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = DefaultMaxPending
+	}
+	if cfg.SendWindow == 0 {
+		cfg.SendWindow = DefaultSendWindow
+	}
 	c := &Channel{
 		cfg:      cfg,
 		tr:       tr,
@@ -97,6 +120,7 @@ func NewChannel(tr Transport, cfg Config) *Channel {
 		msgStore: map[uint64]*Packet{},
 		ackSeq:   map[Address]uint64{},
 		senders:  map[Address]*senderState{},
+		peerAckB: map[Address]uint64{},
 		lastSeen: map[Address]time.Time{},
 		done:     make(chan struct{}),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(len(tr.Addr())))),
@@ -235,12 +259,26 @@ func (c *Channel) Send(payload []byte) error {
 		c.mu.Unlock()
 		return ErrNotConnected
 	}
-	// Block while a flush quiesces the group (VS semantics).
+	// Block while a flush quiesces the group (VS semantics) or while the
+	// sender credit window is exhausted (the slowest member is
+	// SendWindow messages behind on our own traffic). Backpressure here
+	// is the anti-collapse mechanism: instead of burying a lagging
+	// receiver under an unbounded queue, the sender runs at the group's
+	// drain rate. Acks advance via heartbeat/gossip digests, each of
+	// which broadcasts flushC.
 	waited := time.Now()
-	for c.flushing && c.state == stateConnected {
+	stalled := false
+	for c.state == stateConnected && (c.flushing || c.sendStalledLocked()) {
+		if !c.flushing && !stalled {
+			stalled = true
+			mSendStalls.Inc()
+		}
 		c.flushC.Wait()
 		if time.Since(waited) > c.cfg.JoinTimeout {
 			c.mu.Unlock()
+			if stalled {
+				return ErrSendWindowFull
+			}
 			return fmt.Errorf("jgroups: send blocked by flush for too long")
 		}
 	}
@@ -323,6 +361,9 @@ func (c *Channel) handleDataLocked(p *Packet, deliver *[]delivery) {
 		c.delivered++
 		*deliver = append(*deliver, delivery{src: next.From, payload: next.Payload})
 	}
+	if mp := c.cfg.MaxPending; mp > 0 && len(c.pending) > mp {
+		dropNewestPending(c.pending)
+	}
 	if len(c.pending) > 0 {
 		if c.gapSince.IsZero() {
 			c.gapSince = time.Now()
@@ -358,11 +399,32 @@ func (c *Channel) handleBimodalDataLocked(p *Packet, deliver *[]delivery) {
 		ss.store[next.Seq] = next
 		*deliver = append(*deliver, delivery{src: next.From, payload: next.Payload})
 	}
+	// Bound the out-of-order buffer: shed the newest buffered packet —
+	// the gap blocking delivery is older, and gossip repair re-fetches
+	// whatever is dropped once the gap closes. Memory stays bounded
+	// through a retransmit storm.
+	if mp := c.cfg.MaxPending; mp > 0 && len(ss.pending) > mp {
+		dropNewestPending(ss.pending)
+	}
 	// Prune the repair store.
 	for len(ss.store) > bimodalStoreMax {
 		ss.storeMin++
 		delete(ss.store, ss.storeMin)
 	}
+}
+
+// dropNewestPending removes the highest-seq packet from a full pending
+// buffer (LIFO shed: newest work is cheapest to lose — retransmission
+// recovers it after the older gap heals).
+func dropNewestPending(pending map[uint64]*Packet) {
+	var maxSeq uint64
+	for s := range pending {
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
+	delete(pending, maxSeq)
+	mPendingDrops.Inc()
 }
 
 // run is the protocol main loop.
@@ -579,6 +641,7 @@ func (c *Channel) startFlushLocked(nv *View) {
 }
 
 func (c *Channel) handleFlushAckLocked(p *Packet) {
+	c.recordPeerAckLocked(p.Src, p.Digest)
 	if c.flush == nil || !c.flush.waiting[p.Src] {
 		return
 	}
@@ -609,6 +672,7 @@ func (c *Channel) finishFlushLocked() {
 		}
 	}
 	c.view = f.newView.Clone()
+	c.syncPeerAckLocked()
 	c.flushing = false
 	c.flushC.Broadcast()
 	for _, m := range c.view.Members {
@@ -639,6 +703,7 @@ func (c *Channel) installViewLocked(p *Packet) *View {
 		return nil // excluded (false suspicion); we'll re-merge later
 	}
 	c.view = p.View.Clone()
+	c.syncPeerAckLocked()
 	c.flushing = false
 	c.flushC.Broadcast()
 	for _, m := range c.view.Members {
@@ -668,6 +733,120 @@ func (c *Channel) bimodalDigestLocked() map[Address]uint64 {
 	return d
 }
 
+// recordPeerAckLocked folds a peer's digest of OUR messages into the
+// credit-window floor. Acks are monotonic: a joiner's backfill digest
+// never retracts credit already granted.
+func (c *Channel) recordPeerAckLocked(src Address, digest map[Address]uint64) {
+	if c.cfg.Mode != ModeBimodal || digest == nil || src == c.Addr() {
+		return
+	}
+	if n := digest[c.Addr()]; n > c.peerAckB[src] {
+		c.peerAckB[src] = n
+		c.flushC.Broadcast()
+	}
+}
+
+// syncPeerAckLocked reconciles the ack table with a newly installed
+// view: departed members stop holding the window down, and joiners are
+// granted credit from the current send position (they backfill history
+// via gossip, which must not stall new sends).
+func (c *Channel) syncPeerAckLocked() {
+	if c.cfg.Mode != ModeBimodal {
+		return
+	}
+	alive := map[Address]bool{}
+	for _, m := range c.view.Members {
+		alive[m] = true
+	}
+	for a := range c.peerAckB {
+		if !alive[a] {
+			delete(c.peerAckB, a)
+		}
+	}
+	for _, m := range c.view.Members {
+		if m != c.Addr() {
+			if _, ok := c.peerAckB[m]; !ok {
+				c.peerAckB[m] = c.sendSeqB
+			}
+		}
+	}
+	c.flushC.Broadcast()
+}
+
+// sendStalledLocked reports whether the sender credit window is
+// exhausted: the slowest member is SendWindow of our own messages
+// behind. In virtual synchrony only the coordinator (the sequencer, and
+// the only member with the group ack floor) applies the window; member
+// sends are forwarded and bounded at the coordinator.
+func (c *Channel) sendStalledLocked() bool {
+	w := c.cfg.SendWindow
+	if w <= 0 || len(c.view.Members) < 2 {
+		return false
+	}
+	if c.cfg.Mode == ModeBimodal {
+		low := c.sendSeqB
+		for _, m := range c.view.Members {
+			if m == c.Addr() {
+				continue
+			}
+			if a := c.peerAckB[m]; a < low {
+				low = a
+			}
+		}
+		return c.sendSeqB-low >= uint64(w)
+	}
+	if c.view.Coord() != c.Addr() {
+		return false
+	}
+	low := c.nextSeq
+	for _, m := range c.view.Members {
+		if m == c.Addr() {
+			continue
+		}
+		if a, ok := c.ackSeq[m]; !ok {
+			low = 0
+		} else if a < low {
+			low = a
+		}
+	}
+	return c.nextSeq-low >= uint64(w)
+}
+
+// PendingLen reports buffered out-of-order packets across all senders —
+// a diagnostic for the bounded-buffer tests.
+func (c *Channel) PendingLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.pending)
+	for _, ss := range c.senders {
+		n += len(ss.pending)
+	}
+	return n
+}
+
+// Outstanding reports this member's unacknowledged own messages (the
+// credit window in use). Diagnostic.
+func (c *Channel) Outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.view.Members) < 2 {
+		return 0
+	}
+	if c.cfg.Mode == ModeBimodal {
+		low := c.sendSeqB
+		for _, m := range c.view.Members {
+			if m == c.Addr() {
+				continue
+			}
+			if a := c.peerAckB[m]; a < low {
+				low = a
+			}
+		}
+		return int(c.sendSeqB - low)
+	}
+	return int(c.nextSeq - c.delivered)
+}
+
 func (c *Channel) tickHeartbeat() {
 	var deliver []delivery
 	c.mu.Lock()
@@ -678,6 +857,12 @@ func (c *Channel) tickHeartbeat() {
 	me := c.Addr()
 	isCoord := c.view.Coord() == me
 	hb := &Packet{Kind: kHeartbeat, Group: c.group, Seq: c.delivered}
+	if c.cfg.Mode == ModeBimodal {
+		// Heartbeats double as delivery acks: the digest advances every
+		// peer's credit-window floor once per beat, independent of the
+		// (random-peer) gossip schedule.
+		hb.Digest = c.bimodalDigestLocked()
+	}
 	if isCoord {
 		for _, m := range c.view.Members {
 			if m != me {
@@ -744,6 +929,10 @@ func (c *Channel) tickHeartbeat() {
 			c.finishFlushLocked()
 		}
 	}
+	// Wake Send waiters every beat so blocked senders re-check their
+	// timeout even if no ack or flush event arrives (e.g. every peer
+	// just died and failure detection hasn't resolved yet).
+	c.flushC.Broadcast()
 	c.mu.Unlock()
 	c.fire(deliver)
 }
@@ -776,6 +965,7 @@ func (c *Channel) handleHeartbeatLocked(p *Packet) {
 	if c.state != stateConnected {
 		return
 	}
+	c.recordPeerAckLocked(p.Src, p.Digest)
 	if c.view.Coord() == c.Addr() {
 		c.ackSeq[p.Src] = p.Seq
 		return
@@ -817,6 +1007,7 @@ func (c *Channel) handleGossipLocked(p *Packet) {
 	if c.cfg.Mode != ModeBimodal {
 		return
 	}
+	c.recordPeerAckLocked(p.Src, p.Digest)
 	var repair []*Packet
 	for sender, ss := range c.senders {
 		have := ss.delivered
@@ -964,6 +1155,10 @@ func (c *Channel) handleMergeViewLocked(p *Packet) (*View, *MergeEvent) {
 	c.gapSince = time.Time{}
 	c.senders = map[Address]*senderState{}
 	c.sendSeqB = 0
+	// The bimodal seq space restarted: stale acks would exceed the new
+	// send position, so the credit table restarts with it.
+	c.peerAckB = map[Address]uint64{}
+	c.syncPeerAckLocked()
 	return c.view.Clone(), &MergeEvent{Primary: wasPrimary, View: c.view.Clone()}
 }
 

@@ -112,7 +112,28 @@ type Config struct {
 	MergeInterval time.Duration
 	// JoinTimeout bounds Connect.
 	JoinTimeout time.Duration
+	// MaxPending bounds each out-of-order delivery buffer: per-sender in
+	// bimodal mode, global in virtual synchrony. When full, the
+	// newest buffered packet is dropped (LIFO shed) and recovered later
+	// by gossip repair / NAK retransmission — bounded memory under a
+	// storm instead of the Figure 5 collapse. 0 uses DefaultMaxPending;
+	// negative disables the bound (the paper's unbounded behaviour, kept
+	// for the benchmark's "collapse" arm).
+	MaxPending int
+	// SendWindow is the sender credit window: Send blocks once this many
+	// of the member's own messages are unacknowledged by the slowest
+	// view member (acks ride heartbeat/gossip digests). Backpressure
+	// replaces unbounded receiver queues — replication writes slow to
+	// the group's drain rate instead of burying a lagging member. 0 uses
+	// DefaultSendWindow; negative disables backpressure.
+	SendWindow int
 }
+
+// Defaults for the buffer bounds.
+const (
+	DefaultMaxPending = 2048
+	DefaultSendWindow = 1024
+)
 
 // DefaultConfig returns the stack used by HDNS by default (bimodal, as in
 // the paper).

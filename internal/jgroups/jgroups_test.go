@@ -696,3 +696,83 @@ func TestConcurrentFoundersMerge(t *testing.T) {
 		return len(d) > 0 && d[len(d)-1] == "a:joined-up"
 	})
 }
+
+// A fast producer multicasting to a slow consumer is the Figure 5
+// storm: before the send window existed, the lagging member buffered
+// without bound while service times grew, and goodput collapsed. With
+// bounded buffers the sender runs at the group's drain rate instead:
+// every message still arrives, the receiver's buffers stay under their
+// caps, and the sender's outstanding credit never exceeds the window.
+func TestBoundedBufferStormSurvives(t *testing.T) {
+	const (
+		storm      = 300
+		window     = 16
+		maxPending = 64
+	)
+	f := NewFabric()
+	cfg := testConfig(ModeBimodal)
+	cfg.SendWindow = window
+	cfg.MaxPending = maxPending
+	a := startNode(t, f, "a", cfg, "g")
+
+	// The slow consumer: each delivery holds the receive path for 2ms,
+	// like a replica whose apply loop has real work to do.
+	var slowDelivered atomic.Int64
+	b := &node{}
+	b.ch = NewChannel(f.Endpoint("b"), cfg)
+	if err := b.ch.Connect("g", Receiver{
+		Deliver: func(src Address, payload []byte) {
+			time.Sleep(2 * time.Millisecond)
+			slowDelivered.Add(1)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.ch.Close() })
+	waitFor(t, 3*time.Second, "2-member view", func() bool {
+		v := a.ch.View()
+		return v != nil && len(v.Members) == 2
+	})
+
+	// Watch the invariants while the storm runs.
+	stopWatch := make(chan struct{})
+	var maxOutstanding, maxBuffered atomic.Int64
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		for {
+			select {
+			case <-stopWatch:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			if n := int64(a.ch.Outstanding()); n > maxOutstanding.Load() {
+				maxOutstanding.Store(n)
+			}
+			if n := int64(b.ch.PendingLen()); n > maxBuffered.Load() {
+				maxBuffered.Store(n)
+			}
+		}
+	}()
+
+	for i := 0; i < storm; i++ {
+		if err := a.ch.Send([]byte("x")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitFor(t, 15*time.Second, "slow member absorbs the storm", func() bool {
+		return slowDelivered.Load() == storm
+	})
+	close(stopWatch)
+	<-watchDone
+
+	if n := maxOutstanding.Load(); n > window+1 {
+		t.Errorf("sender outstanding peaked at %d, window is %d", n, window)
+	}
+	if n := maxBuffered.Load(); n > maxPending {
+		t.Errorf("slow member buffered %d packets, cap is %d", n, maxPending)
+	}
+	if got := len(a.deliveries()); got != storm {
+		t.Errorf("sender self-delivered %d of %d", got, storm)
+	}
+}

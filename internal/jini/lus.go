@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"gondi/internal/admission"
 	"gondi/internal/costmodel"
 	"gondi/internal/obs"
 	"gondi/internal/rpc"
@@ -22,6 +23,8 @@ type LUSConfig struct {
 	Costs *costmodel.Costs
 	// ReapInterval is the lease-expiry sweep period (default 250ms).
 	ReapInterval time.Duration
+	// Admission gates every handler; nil admits everything.
+	Admission *admission.Controller
 }
 
 // LUS is the lookup service (the reggie stand-in).
@@ -290,7 +293,7 @@ type wireRsp struct {
 }
 
 func (l *LUS) registerHandlers() {
-	h := func(name string, fn func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error)) {
+	h := func(name string, class admission.Class, fn func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error)) {
 		reqs := obs.Default.Counter("gondi_server_requests_total",
 			"Server-side requests handled, by protocol.",
 			obs.Label{K: "proto", V: "jini"}, obs.Label{K: "method", V: name})
@@ -298,6 +301,11 @@ func (l *LUS) registerHandlers() {
 			"Server-side request handling latency, by protocol.",
 			obs.Label{K: "proto", V: "jini"}, obs.Label{K: "method", V: name})
 		l.srv.Handle(name, func(sc *rpc.ServerConn, body []byte) ([]byte, error) {
+			release, aerr := l.cfg.Admission.Admit(class, l.Addr(), name)
+			if aerr != nil {
+				return nil, aerr
+			}
+			defer release()
 			start := time.Now()
 			var req wireReq
 			if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
@@ -317,14 +325,14 @@ func (l *LUS) registerHandlers() {
 		})
 	}
 
-	h(mRegister, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
+	h(mRegister, admission.Write, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
 		// Payload size matters: the provider layer's wrapped stubs are
 		// bigger and genuinely cost more to process (Figure 2's SPI
 		// penalty).
 		l.cfg.Costs.WriteCost(len(req.Item.Service))
 		return &wireRsp{Reg: l.register(req.Item, req.LeaseMs)}, nil
 	})
-	h(mLookup, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
+	h(mLookup, admission.Search, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
 		items := l.lookup(req.Template, req.Max)
 		// The serialization work is proportional to what goes back on
 		// the wire: the provider layer's wrapped stubs are bigger than
@@ -343,21 +351,21 @@ func (l *LUS) registerHandlers() {
 		l.cfg.Costs.ReadCost(size)
 		return &wireRsp{Items: items}, nil
 	})
-	h(mRenew, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
+	h(mRenew, admission.Write, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
 		exp, err := l.renew(req.ID, req.LeaseMs)
 		if err != nil {
 			return nil, err
 		}
 		return &wireRsp{Expiry: exp}, nil
 	})
-	h(mCancel, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
+	h(mCancel, admission.Write, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
 		l.cfg.Costs.WriteCost(0)
 		if err := l.cancel(req.ID); err != nil {
 			return nil, err
 		}
 		return &wireRsp{}, nil
 	})
-	h(mNotify, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
+	h(mNotify, admission.Read, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
 		l.mu.Lock()
 		l.nextReg++
 		id := l.nextReg
@@ -368,13 +376,13 @@ func (l *LUS) registerHandlers() {
 		l.mu.Unlock()
 		return &wireRsp{RegID: id}, nil
 	})
-	h(mUnnotify, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
+	h(mUnnotify, admission.Read, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
 		l.mu.Lock()
 		delete(l.watchers, req.RegID)
 		l.mu.Unlock()
 		return &wireRsp{}, nil
 	})
-	h(mGroups, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
+	h(mGroups, admission.Read, func(sc *rpc.ServerConn, req *wireReq) (*wireRsp, error) {
 		return &wireRsp{Groups: l.cfg.Groups}, nil
 	})
 }

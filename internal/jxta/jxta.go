@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"gondi/internal/admission"
 	"gondi/internal/retry"
 	"gondi/internal/rpc"
 )
@@ -97,6 +98,7 @@ type group struct {
 // deployment's peer groups.
 type Rendezvous struct {
 	srv *rpc.Server
+	adm *admission.Controller
 
 	mu     sync.Mutex
 	groups map[string]*group // key: full path
@@ -105,8 +107,16 @@ type Rendezvous struct {
 	wg   sync.WaitGroup
 }
 
+// RendezvousOption tunes a rendezvous peer at construction.
+type RendezvousOption func(*Rendezvous)
+
+// WithAdmission gates every handler through c; nil admits everything.
+func WithAdmission(c *admission.Controller) RendezvousOption {
+	return func(r *Rendezvous) { r.adm = c }
+}
+
 // NewRendezvous starts a rendezvous peer on addr.
-func NewRendezvous(addr string) (*Rendezvous, error) {
+func NewRendezvous(addr string, opts ...RendezvousOption) (*Rendezvous, error) {
 	srv, err := rpc.NewServer(addr)
 	if err != nil {
 		return nil, err
@@ -115,6 +125,9 @@ func NewRendezvous(addr string) (*Rendezvous, error) {
 		srv:    srv,
 		groups: map[string]*group{NetGroup: {name: NetGroup, adverts: map[string]*Advertisement{}}},
 		done:   make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(r)
 	}
 	r.handlers()
 	r.wg.Add(1)
@@ -398,8 +411,13 @@ type wireRsp struct {
 }
 
 func (r *Rendezvous) handlers() {
-	h := func(name string, fn func(req *wireReq) (*wireRsp, error)) {
+	h := func(name string, class admission.Class, fn func(req *wireReq) (*wireRsp, error)) {
 		r.srv.Handle(name, func(_ *rpc.ServerConn, body []byte) ([]byte, error) {
+			release, aerr := r.adm.Admit(class, r.Addr(), name)
+			if aerr != nil {
+				return nil, aerr
+			}
+			defer release()
 			var req wireReq
 			if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
 				return nil, err
@@ -415,14 +433,14 @@ func (r *Rendezvous) handlers() {
 			return buf.Bytes(), nil
 		})
 	}
-	h(mPublish, func(req *wireReq) (*wireRsp, error) {
+	h(mPublish, admission.Write, func(req *wireReq) (*wireRsp, error) {
 		adv, err := r.publish(&req.Adv, time.Duration(req.LifetimeMs)*time.Millisecond, req.OnlyNew)
 		if err != nil {
 			return nil, err
 		}
 		return &wireRsp{Adv: *adv}, nil
 	})
-	h(mRenew, func(req *wireReq) (*wireRsp, error) {
+	h(mRenew, admission.Write, func(req *wireReq) (*wireRsp, error) {
 		advs, err := r.discover(req.Group, req.Name, nil, 1)
 		if err != nil {
 			return nil, err
@@ -436,23 +454,23 @@ func (r *Rendezvous) handlers() {
 		}
 		return &wireRsp{Adv: *adv}, nil
 	})
-	h(mFlush, func(req *wireReq) (*wireRsp, error) {
+	h(mFlush, admission.Write, func(req *wireReq) (*wireRsp, error) {
 		return &wireRsp{}, r.flush(req.Group, req.Name)
 	})
-	h(mDiscover, func(req *wireReq) (*wireRsp, error) {
+	h(mDiscover, admission.Search, func(req *wireReq) (*wireRsp, error) {
 		advs, err := r.discover(req.Group, req.Name, req.Query, req.Limit)
 		if err != nil {
 			return nil, err
 		}
 		return &wireRsp{Advs: advs}, nil
 	})
-	h(mCreateGroup, func(req *wireReq) (*wireRsp, error) {
+	h(mCreateGroup, admission.Write, func(req *wireReq) (*wireRsp, error) {
 		return &wireRsp{}, r.createGroup(req.Group)
 	})
-	h(mDestroyGroup, func(req *wireReq) (*wireRsp, error) {
+	h(mDestroyGroup, admission.Write, func(req *wireReq) (*wireRsp, error) {
 		return &wireRsp{}, r.destroyGroup(req.Group)
 	})
-	h(mSubGroups, func(req *wireReq) (*wireRsp, error) {
+	h(mSubGroups, admission.Read, func(req *wireReq) (*wireRsp, error) {
 		gs, err := r.subGroups(req.Group)
 		if err != nil {
 			return nil, err

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"gondi/internal/admission"
 	"gondi/internal/costmodel"
 	"gondi/internal/ldapsrv/ber"
 	"gondi/internal/obs"
@@ -71,6 +72,8 @@ type ServerConfig struct {
 	// ReadLimiter throttles search operations (the OpenLDAP read
 	// plateau of Figure 7); nil disables it.
 	ReadLimiter *costmodel.RateLimiter
+	// Admission gates every operation; nil admits everything.
+	Admission *admission.Controller
 }
 
 // Server is the LDAP server.
@@ -224,6 +227,40 @@ func (s *Server) dispatch(sess *session, op *ber.Packet) []*ber.Packet {
 				obs.Label{K: "proto", V: "ldap"}).Since(start)
 		}()
 	}
+	var (
+		class   admission.Class
+		opName  string
+		doneTag byte
+	)
+	switch op.TagNumber() {
+	case AppBindRequest:
+		class, opName, doneTag = admission.Read, "ldap.bind", AppBindResponse
+	case AppSearchRequest:
+		class, opName, doneTag = admission.Search, "ldap.search", AppSearchDone
+	case AppAddRequest:
+		class, opName, doneTag = admission.Write, "ldap.add", AppAddResponse
+	case AppDelRequest:
+		class, opName, doneTag = admission.Write, "ldap.delete", AppDelResponse
+	case AppModifyRequest:
+		class, opName, doneTag = admission.Write, "ldap.modify", AppModifyResponse
+	case AppModifyDNRequest:
+		class, opName, doneTag = admission.Write, "ldap.modifydn", AppModifyDNResponse
+	case AppCompareRequest:
+		class, opName, doneTag = admission.Read, "ldap.compare", AppCompareResponse
+	default:
+		return []*ber.Packet{EncodeResult(AppSearchDone, Result{
+			Code: ResultProtocolError, Message: "unsupported operation",
+		})}
+	}
+	release, aerr := s.cfg.Admission.Admit(class, s.Addr(), opName)
+	if aerr != nil {
+		// LDAP has a busy result code (RFC 4511 §A.2); the retry hint
+		// travels in the diagnostic message.
+		return []*ber.Packet{EncodeResult(doneTag, Result{
+			Code: ResultBusy, Message: busyMessage(aerr),
+		})}
+	}
+	defer release()
 	switch op.TagNumber() {
 	case AppBindRequest:
 		return []*ber.Packet{s.handleBind(sess, op)}
@@ -237,13 +274,20 @@ func (s *Server) dispatch(sess *session, op *ber.Packet) []*ber.Packet {
 		return []*ber.Packet{s.handleModify(sess, op)}
 	case AppModifyDNRequest:
 		return []*ber.Packet{s.handleModifyDN(sess, op)}
-	case AppCompareRequest:
+	default: // AppCompareRequest
 		return []*ber.Packet{s.handleCompare(op)}
-	default:
-		return []*ber.Packet{EncodeResult(AppSearchDone, Result{
-			Code: ResultProtocolError, Message: "unsupported operation",
-		})}
 	}
+}
+
+// busyMessage encodes an admission shed's retry hint as the busy
+// result's diagnostic message.
+func busyMessage(err error) string {
+	if h, ok := err.(interface{ RetryAfterHint() time.Duration }); ok {
+		if d := h.RetryAfterHint(); d > 0 {
+			return fmt.Sprintf("retry-after-ms=%d", d.Milliseconds())
+		}
+	}
+	return "server busy"
 }
 
 func (s *Server) handleBind(sess *session, op *ber.Packet) *ber.Packet {

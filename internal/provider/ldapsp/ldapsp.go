@@ -17,6 +17,7 @@ import (
 	"encoding/base64"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -244,9 +245,26 @@ func (c *Context) mapResultErr(err error) error {
 		return core.ErrContextNotEmpty
 	case ldapsrv.ResultInsufficientAccess, ldapsrv.ResultInvalidCredentials:
 		return core.ErrNoPermission
+	case ldapsrv.ResultBusy:
+		return &core.ServerBusyError{
+			Endpoint:   c.sh.url,
+			Op:         re.Op,
+			RetryAfter: busyRetryAfter(re.Result.Message),
+		}
 	default:
 		return re
 	}
+}
+
+// busyRetryAfter parses the "retry-after-ms=N" hint the server puts in a
+// busy result's diagnostic message; absent or malformed hints yield 0.
+func busyRetryAfter(msg string) time.Duration {
+	if v, ok := strings.CutPrefix(msg, "retry-after-ms="); ok {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	return 0
 }
 
 func asResultError(err error, out **ldapsrv.ResultError) bool {

@@ -1,0 +1,193 @@
+package ptest_test
+
+// The admission conformance suite run against every daemon: each world
+// builds its server with a deliberately tiny admission queue (and a
+// slow read station where the server takes cost injection) so a
+// 32-client storm saturates it. One contract everywhere: saturated
+// servers shed typed ServerBusyError with a RetryAfter hint, never
+// hang, never trip the breaker on sheds, and drain once load drops.
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"gondi/internal/admission"
+	"gondi/internal/core"
+	"gondi/internal/costmodel"
+	"gondi/internal/dnssrv"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/jini"
+	"gondi/internal/jxta"
+	"gondi/internal/ldapsrv"
+	"gondi/internal/provider/dnssp"
+	"gondi/internal/provider/hdnssp"
+	"gondi/internal/provider/jinisp"
+	"gondi/internal/provider/jxtasp"
+	"gondi/internal/provider/ldapsp"
+	"gondi/internal/provider/ptest"
+)
+
+// saturableController returns an admission controller whose queue bound
+// is small enough for the suite's storm to overrun.
+func saturableController(server string, bound int) *admission.Controller {
+	return admission.NewController(admission.NewOptions(
+		admission.WithServer(server),
+		admission.WithQueueBound(bound),
+	))
+}
+
+// slowReads makes each read hold its admission slot for a visible
+// service time, so slots are occupied when the storm piles in.
+func slowReads() *costmodel.Costs {
+	return &costmodel.Costs{Read: costmodel.NewStation(1, 2*time.Millisecond)}
+}
+
+func TestHDNSAdmissionConformance(t *testing.T) {
+	ptest.RunAdmissionConformance(t, func(t *testing.T) *ptest.AdmissionWorld {
+		n, err := hdns.NewNode(hdns.NodeConfig{
+			Group:      "adm-" + t.Name(),
+			Transport:  jgroups.NewFabric().Endpoint("adm-node"),
+			Stack:      jgroups.DefaultConfig(),
+			ListenAddr: "127.0.0.1:0",
+			Costs:      slowReads(),
+			Admission:  saturableController("ptest-hdns", 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return &ptest.AdmissionWorld{
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
+				pc, err := hdnssp.Open(context.Background(), n.Addr(), map[string]any{
+					core.EnvPoolID: t.Name() + "-" + id,
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.Cleanup(func() { pc.Close() })
+				return pc, nil
+			},
+		}
+	})
+}
+
+func TestJiniAdmissionConformance(t *testing.T) {
+	ptest.RunAdmissionConformance(t, func(t *testing.T) *ptest.AdmissionWorld {
+		lus, err := jini.NewLUS(jini.LUSConfig{
+			ListenAddr: "127.0.0.1:0",
+			Costs:      slowReads(),
+			Admission:  saturableController("ptest-jini", 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { lus.Close() })
+		return &ptest.AdmissionWorld{
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
+				pc, err := jinisp.Open(context.Background(), lus.Addr(), map[string]any{
+					core.EnvPoolID: t.Name() + "-" + id,
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.Cleanup(func() { pc.Close() })
+				return pc, nil
+			},
+		}
+	})
+}
+
+func TestJXTAAdmissionConformance(t *testing.T) {
+	ptest.RunAdmissionConformance(t, func(t *testing.T) *ptest.AdmissionWorld {
+		// The rendezvous takes no cost injection, so its handlers never
+		// hold queue slots long; saturate the token buckets instead —
+		// the storm runs well past 500 ops/sec per class.
+		adm := admission.NewController(admission.NewOptions(
+			admission.WithServer("ptest-jxta"),
+			admission.WithRate(admission.Read, 500, 50),
+			admission.WithRate(admission.Write, 500, 50),
+			admission.WithRate(admission.Search, 500, 50),
+		))
+		rdv, err := jxta.NewRendezvous("127.0.0.1:0", jxta.WithAdmission(adm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rdv.Close() })
+		return &ptest.AdmissionWorld{
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
+				pc, err := jxtasp.Open(context.Background(), rdv.Addr(), map[string]any{
+					core.EnvPoolID: t.Name() + "-" + id,
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.Cleanup(func() { pc.Close() })
+				return pc, nil
+			},
+		}
+	})
+}
+
+func TestLDAPAdmissionConformance(t *testing.T) {
+	ptest.RunAdmissionConformance(t, func(t *testing.T) *ptest.AdmissionWorld {
+		srv, err := ldapsrv.NewServer("127.0.0.1:0", ldapsrv.ServerConfig{
+			BaseDN:    "dc=adm",
+			Costs:     slowReads(),
+			Admission: saturableController("ptest-ldap", 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return &ptest.AdmissionWorld{
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
+				pc, err := ldapsp.Open(context.Background(), srv.Addr(), "dc=adm", map[string]any{
+					core.EnvPoolID: t.Name() + "-" + id,
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.Cleanup(func() { pc.Close() })
+				return pc, nil
+			},
+		}
+	})
+}
+
+func TestDNSAdmissionConformance(t *testing.T) {
+	ptest.RunAdmissionConformance(t, func(t *testing.T) *ptest.AdmissionWorld {
+		srv, err := dnssrv.NewServer("127.0.0.1:0", slowReads(),
+			dnssrv.WithAdmission(saturableController("ptest-dns", 2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		z := dnssrv.NewZone("global")
+		z.Add(dnssrv.RR{Name: "emory.global", Type: dnssrv.TypeA, A: netip.MustParseAddr("170.140.0.1")})
+		z.Add(dnssrv.RR{Name: "emory.global", Type: dnssrv.TypeTXT, Txt: []string{"Emory University"}})
+		srv.AddZone(z)
+		dnssp.Register()
+		return &ptest.AdmissionWorld{
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
+				nc, rest, err := core.OpenURL(context.Background(), "dns://"+srv.Addr(), nil)
+				if err != nil {
+					return nil, err
+				}
+				if rest.String() != "" {
+					t.Fatalf("unexpected remaining name %q", rest.String())
+				}
+				t.Cleanup(func() { nc.Close() })
+				dc, ok := nc.(core.DirContext)
+				if !ok {
+					t.Fatalf("dns root is %T, not a DirContext", nc)
+				}
+				return dc, nil
+			},
+			ReadOnly: true,
+			Seed:     "global",
+		}
+	})
+}

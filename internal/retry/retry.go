@@ -72,16 +72,35 @@ func (p Policy) withDefaults() Policy {
 	return p
 }
 
+// RetryAfterHint extracts a server-supplied backoff hint from err or any
+// error in its wrap chain. core.ServerBusyError carries one; the check is
+// an interface assertion so this package needs no core import. The bool
+// reports whether a hint-bearing error was found at all (its hint may
+// still be zero).
+func RetryAfterHint(err error) (time.Duration, bool) {
+	for err != nil {
+		if h, ok := err.(interface{ RetryAfterHint() time.Duration }); ok {
+			return h.RetryAfterHint(), true
+		}
+		err = errors.Unwrap(err)
+	}
+	return 0, false
+}
+
 // Transient reports whether err is worth retrying: network timeouts,
 // connection refused/reset (a service restarting behind a stable address),
-// and torn connections (EOF mid-protocol). Context cancellation and
-// deadline expiry are never transient — the caller's budget is gone.
+// torn connections (EOF mid-protocol), and answered busy sheds (the
+// server is alive and told us when to come back). Context cancellation
+// and deadline expiry are never transient — the caller's budget is gone.
 func Transient(err error) bool {
 	if err == nil {
 		return false
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
+	}
+	if _, ok := RetryAfterHint(err); ok {
+		return true
 	}
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
@@ -128,16 +147,25 @@ func DoClassify(ctx context.Context, p Policy, transient func(error) bool, fn fu
 			return err
 		}
 		pause := jittered(delay, p.Jitter)
+		if hint, ok := RetryAfterHint(err); ok && hint > 0 {
+			// The server told us when capacity is expected; honoring
+			// the hint beats the blind exponential schedule (which is
+			// either too eager — hammering a shedding server — or too
+			// lazy, leaving recovered capacity idle). The exponential
+			// delay is left untouched for later non-hinted failures.
+			pause = jittered(hint, p.Jitter)
+		} else {
+			delay = time.Duration(float64(delay) * p.Multiplier)
+			if delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
 		if !sleep(ctx, pause) {
 			return ctx.Err()
 		}
 		mRetries.Inc()
 		mBackoff.Add(int64(pause))
 		obs.AddRetry(ctx, 1, pause)
-		delay = time.Duration(float64(delay) * p.Multiplier)
-		if delay > p.MaxDelay {
-			delay = p.MaxDelay
-		}
 	}
 }
 

@@ -3,10 +3,13 @@ package retry
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"syscall"
 	"testing"
 	"time"
+
+	"gondi/internal/core"
 )
 
 func fastPolicy() Policy {
@@ -115,5 +118,54 @@ func TestJitteredStaysInBand(t *testing.T) {
 		if j < 80*time.Millisecond || j > 120*time.Millisecond {
 			t.Fatalf("jittered out of band: %v", j)
 		}
+	}
+}
+
+func TestBusyErrorsAreTransient(t *testing.T) {
+	busy := &core.ServerBusyError{Endpoint: "ep", Op: "lookup", RetryAfter: 40 * time.Millisecond}
+	if !Transient(busy) {
+		t.Fatal("ServerBusyError must classify transient: the server asked for a retry")
+	}
+	if !Transient(fmt.Errorf("wrapped: %w", busy)) {
+		t.Fatal("wrapped busy error lost its classification")
+	}
+}
+
+func TestRetryAfterHintExtraction(t *testing.T) {
+	busy := &core.ServerBusyError{RetryAfter: 25 * time.Millisecond}
+	if hint, ok := RetryAfterHint(fmt.Errorf("x: %w", busy)); !ok || hint != 25*time.Millisecond {
+		t.Fatalf("hint = %v, %v", hint, ok)
+	}
+	if _, ok := RetryAfterHint(io.EOF); ok {
+		t.Fatal("EOF must not carry a hint")
+	}
+}
+
+// Do must pace retries by the server's RetryAfter hint instead of the
+// blind exponential schedule: the hint is the drain estimate of the
+// very queue that shed us.
+func TestDoHonorsRetryAfterHint(t *testing.T) {
+	const hint = 60 * time.Millisecond
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Jitter: -1}
+	calls := 0
+	start := time.Now()
+	err := Do(context.Background(), p, func() error {
+		calls++
+		if calls == 1 {
+			return &core.ServerBusyError{Endpoint: "ep", Op: "op", RetryAfter: hint}
+		}
+		return nil
+	})
+	took := time.Since(start)
+	if err != nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if took < hint {
+		t.Fatalf("retried after %v, before the server's %v hint", took, hint)
+	}
+	// And without a hint the same policy would have retried in ~1ms; a
+	// wildly larger pause would mean the hint leaked into the schedule.
+	if took > 10*hint {
+		t.Fatalf("retry pause %v is not hint-shaped", took)
 	}
 }

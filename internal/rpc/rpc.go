@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,43 @@ const (
 
 // maxFrame bounds a single frame to guard against corrupt length prefixes.
 const maxFrame = 64 << 20
+
+// hardCapRetryAfter is the backoff hint attached to hard-cap sheds. The
+// hard cap only trips when a client overruns twice its advertised window
+// (misbehaving or abandoning calls wholesale), so a flat hint suffices;
+// admission-control sheds carry a measured drain estimate instead.
+const hardCapRetryAfter = 50 * time.Millisecond
+
+// busyErrBytes renders a RetryAfter hint as the busy frame's Err payload:
+// decimal milliseconds. Reusing the Err field keeps the frame layout —
+// and the zero-alloc codec — untouched.
+func busyErrBytes(d time.Duration) []byte {
+	ms := d.Milliseconds()
+	if ms <= 0 {
+		return nil
+	}
+	return strconv.AppendInt(nil, ms, 10)
+}
+
+// parseBusyHint inverts busyErrBytes; malformed or absent payloads mean
+// "no hint" (zero).
+func parseBusyHint(s string) time.Duration {
+	ms, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// asBusy extracts a *core.ServerBusyError from a handler error so the
+// server can answer codeBusy (with the hint on the wire) instead of a
+// generic codeErr — the admission controller's sheds stay typed across
+// the connection.
+func asBusy(err error) (*core.ServerBusyError, bool) {
+	var sbe *core.ServerBusyError
+	ok := errors.As(err, &sbe)
+	return sbe, ok
+}
 
 // Flow-control windows. The server advertises its window in a credit
 // frame at accept time; until that arrives the client restrains itself to
@@ -219,7 +257,8 @@ func (s *Server) serveConn(sc *ServerConn) {
 		case kindRequest:
 			if sc.inflight.Load() >= hardCap {
 				mBusy.Inc()
-				_ = writeFrame(sc.conn, &sc.writeMu, &frame{Kind: kindResponse, ID: f.ID, Code: codeBusy})
+				_ = writeFrame(sc.conn, &sc.writeMu, &frame{Kind: kindResponse, ID: f.ID, Code: codeBusy,
+					Err: busyErrBytes(hardCapRetryAfter)})
 				continue
 			}
 			// The decode buffer is reused by the next read: copy what the
@@ -239,10 +278,15 @@ func (s *Server) serveConn(sc *ServerConn) {
 					resp.Err = []byte("unknown method " + method)
 				} else {
 					out, herr := h(sc, body)
-					if herr != nil {
+					switch sbe, busy := asBusy(herr); {
+					case busy:
+						mBusy.Inc()
+						resp.Code = codeBusy
+						resp.Err = busyErrBytes(sbe.RetryAfter)
+					case herr != nil:
 						resp.Code = codeErr
 						resp.Err = []byte(herr.Error())
-					} else {
+					default:
 						resp.Body = out
 					}
 				}
@@ -253,7 +297,8 @@ func (s *Server) serveConn(sc *ServerConn) {
 			// sequentially so responses preserve submission order.
 			if sc.inflight.Load() >= hardCap {
 				mBusy.Inc()
-				_ = writeFrame(sc.conn, &sc.writeMu, &frame{Kind: kindBatchResponse, ID: f.ID, Code: codeBusy})
+				_ = writeFrame(sc.conn, &sc.writeMu, &frame{Kind: kindBatchResponse, ID: f.ID, Code: codeBusy,
+					Err: busyErrBytes(hardCapRetryAfter)})
 				continue
 			}
 			mBatchSize.Observe(time.Duration(len(f.Items)) * time.Microsecond)
@@ -280,6 +325,12 @@ func (s *Server) serveConn(sc *ServerConn) {
 						continue
 					}
 					body, herr := h(sc, items[i].Body)
+					if sbe, busy := asBusy(herr); busy {
+						mBusy.Inc()
+						out.Code = codeBusy
+						out.Err = busyErrBytes(sbe.RetryAfter)
+						continue
+					}
 					if herr != nil {
 						out.Code = codeErr
 						out.Err = []byte(herr.Error())
@@ -704,7 +755,7 @@ func (c *Client) Call(ctx context.Context, method string, body []byte) (_ []byte
 	}
 	switch res.code {
 	case codeBusy:
-		return nil, &core.ServerBusyError{Endpoint: c.addr, Op: method}
+		return nil, &core.ServerBusyError{Endpoint: c.addr, Op: method, RetryAfter: parseBusyHint(res.err)}
 	case codeErr:
 		return nil, &RemoteError{Method: method, Msg: res.err}
 	}
@@ -763,7 +814,7 @@ func (c *Client) CallBatch(ctx context.Context, items []BatchItem) (_ []BatchRes
 		return nil, err
 	}
 	if res.code == codeBusy {
-		return nil, &core.ServerBusyError{Endpoint: c.addr, Op: "batch"}
+		return nil, &core.ServerBusyError{Endpoint: c.addr, Op: "batch", RetryAfter: parseBusyHint(res.err)}
 	}
 	if res.code == codeErr {
 		return nil, &RemoteError{Method: "batch", Msg: res.err}
@@ -773,6 +824,10 @@ func (c *Client) CallBatch(ctx context.Context, items []BatchItem) (_ []BatchRes
 	}
 	out := make([]BatchResult, len(items))
 	for i, it := range res.items {
+		if it.code == codeBusy {
+			out[i].Err = &core.ServerBusyError{Endpoint: c.addr, Op: items[i].Method, RetryAfter: parseBusyHint(it.err)}
+			continue
+		}
 		if it.code != codeOK {
 			out[i].Err = &RemoteError{Method: items[i].Method, Msg: it.err}
 			continue

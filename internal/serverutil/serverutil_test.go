@@ -1,0 +1,78 @@
+package serverutil
+
+import (
+	"flag"
+	"testing"
+
+	"gondi/internal/admission"
+)
+
+func TestBindFlagsKeepsHistoricalSpellings(t *testing.T) {
+	fs := flag.NewFlagSet("d", flag.ContinueOnError)
+	f := BindFlags(fs, "127.0.0.1:7001")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	o := f.Options("hdns")
+	if o.ListenAddr != "127.0.0.1:7001" {
+		t.Errorf("default -listen = %q", o.ListenAddr)
+	}
+	if o.ObsAddr != "" {
+		t.Errorf("default -obs.addr = %q", o.ObsAddr)
+	}
+	if o.Admission.Disabled {
+		t.Error("admission must default on")
+	}
+	if o.Admission.QueueBound != admission.DefaultQueueBound {
+		t.Errorf("default queue bound = %d", o.Admission.QueueBound)
+	}
+	if o.Admission.Server != "hdns" {
+		t.Errorf("admission server label = %q", o.Admission.Server)
+	}
+}
+
+func TestBindFlagsMapsAdmissionFamily(t *testing.T) {
+	fs := flag.NewFlagSet("d", flag.ContinueOnError)
+	f := BindFlags(fs, ":4160")
+	err := fs.Parse([]string{
+		"-listen", ":9999",
+		"-obs.addr", "127.0.0.1:8080",
+		"-admission=false",
+		"-admission.queue", "64",
+		"-admission.read-rate", "500",
+		"-admission.write-rate", "100",
+		"-admission.search-rate", "25",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := f.Options("jini")
+	if o.ListenAddr != ":9999" || o.ObsAddr != "127.0.0.1:8080" {
+		t.Errorf("addresses = %q / %q", o.ListenAddr, o.ObsAddr)
+	}
+	a := o.Admission
+	if !a.Disabled {
+		t.Error("-admission=false did not disable")
+	}
+	if a.QueueBound != 64 {
+		t.Errorf("queue bound = %d", a.QueueBound)
+	}
+	if a.Read.Rate != 500 || a.Write.Rate != 100 || a.Search.Rate != 25 {
+		t.Errorf("rates = %v/%v/%v", a.Read.Rate, a.Write.Rate, a.Search.Rate)
+	}
+}
+
+func TestOptionsController(t *testing.T) {
+	o := NewOptions(WithAdmission(admission.NewOptions(
+		admission.WithServer("x"), admission.WithQueueBound(1), admission.WithWeights(1, 0, 0),
+	)))
+	c := o.Controller()
+	rel, err := c.Admit(admission.Read, "ep", "op")
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	defer rel()
+	if _, err := c.Admit(admission.Read, "ep", "op"); err == nil {
+		t.Fatal("bound of 1 not enforced by built controller")
+	}
+}

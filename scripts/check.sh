@@ -6,7 +6,7 @@
 #   sh scripts/check.sh fmt vet lint    # just those stages
 #   sh scripts/check.sh test            # race-enabled tests + coverage gate
 #
-# Stages: fmt vet lint build test allocs chaos bench
+# Stages: fmt vet lint build test allocs chaos overload bench
 # Set CHECK_SKIP_BENCH=1 to skip the (slow) bench stage in a full run.
 set -e
 
@@ -95,6 +95,19 @@ stage_chaos() {
     go test -race -count=1 ./internal/fault/ ./internal/lock/
 }
 
+stage_overload() {
+    # Overload contract at reduced scale: every daemon sheds typed and
+    # drains (admission conformance), the jgroups send window holds a
+    # slow consumer's buffers bounded, and the -quick issue7 gate shows
+    # graceful degradation at 2x open-loop overload vs collapse.
+    echo "== admission conformance: shed typed, never hang, drain (-race) =="
+    go test -race -count=1 -run 'AdmissionConformance' ./internal/provider/ptest/
+    echo "== bounded-buffer storm (-race) =="
+    go test -race -count=1 -run 'TestBoundedBufferStormSurvives' ./internal/jgroups/
+    echo "== overload survival smoke (writes BENCH_issue7_smoke.json) =="
+    go run ./cmd/ippsbench -issue7 -quick -out BENCH_issue7_smoke.json
+}
+
 stage_bench() {
     echo "== cache benchmark diff (writes BENCH_issue2.json) =="
     go run ./cmd/ippsbench -issue2
@@ -104,6 +117,8 @@ stage_bench() {
     go run ./cmd/ippsbench -issue5
     echo "== wire-path report (writes BENCH_issue6.json) =="
     go run ./cmd/ippsbench -issue6
+    echo "== overload survival report (writes BENCH_issue7.json) =="
+    go run ./cmd/ippsbench -issue7
 }
 
 if [ $# -eq 0 ]; then
@@ -114,15 +129,16 @@ if [ $# -eq 0 ]; then
     stage_test
     stage_allocs
     stage_chaos
+    stage_overload
     if [ -z "$CHECK_SKIP_BENCH" ]; then
         stage_bench
     fi
 else
     for s in "$@"; do
         case "$s" in
-            fmt|vet|lint|build|test|allocs|chaos|bench) "stage_$s" ;;
+            fmt|vet|lint|build|test|allocs|chaos|overload|bench) "stage_$s" ;;
             *)
-                echo "unknown stage: $s (stages: fmt vet lint build test allocs chaos bench)" >&2
+                echo "unknown stage: $s (stages: fmt vet lint build test allocs chaos overload bench)" >&2
                 exit 2
                 ;;
         esac
