@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gondi/internal/benchmark"
+	"gondi/internal/costmodel"
+)
+
+// The -issue8 report: namespace sharding. The HDNS write path is a
+// single-threaded station per replica group, so one group caps the
+// whole namespace; consistent-hashing the namespace across groups
+// multiplies the aggregate ceiling. The second arm proves the WAL
+// restart story: a shard holding a million entries restarts from
+// snapshot + log tail in seconds. Gates: 4-group aggregate write
+// throughput >= 3x the single-group baseline at 100 clients, and the
+// 1M-entry crash-restart under the time bound with every entry
+// restored and exactly the WAL tail replayed.
+
+// issue8ScaleFloor is the required sharded/baseline throughput ratio.
+const issue8ScaleFloor = 3.0
+
+// issue8RestartBound caps the full-size (1M entry) restore; quick runs
+// restore 100k entries under issue8RestartBoundQuick.
+const (
+	issue8RestartBound      = 30 * time.Second
+	issue8RestartBoundQuick = 10 * time.Second
+)
+
+const (
+	issue8Entries      = 1_000_000
+	issue8EntriesQuick = 100_000
+)
+
+type issue8Scale struct {
+	Groups         int     `json:"groups"`
+	Clients        int     `json:"clients"`
+	BaselineOpsSec float64 `json:"baseline_ops_sec"`
+	ShardedOpsSec  float64 `json:"sharded_ops_sec"`
+	BaselineErrors int64   `json:"baseline_errors"`
+	ShardedErrors  int64   `json:"sharded_errors"`
+	Ratio          float64 `json:"ratio"`
+}
+
+type issue8Restart struct {
+	Entries       int     `json:"entries"`
+	WALTail       int     `json:"wal_tail_records"`
+	Replayed      int     `json:"replayed_records"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	WALBytes      int64   `json:"wal_bytes"`
+	RestoreMs     float64 `json:"restore_ms"`
+	BoundMs       float64 `json:"bound_ms"`
+	RestoredLen   int     `json:"restored_entries"`
+}
+
+type issue8Report struct {
+	Issue   string        `json:"issue"`
+	Claim   string        `json:"claim"`
+	Method  string        `json:"method"`
+	Date    string        `json:"date"`
+	Scale   issue8Scale   `json:"scale"`
+	Restart issue8Restart `json:"restart"`
+	Verdict string        `json:"verdict"`
+}
+
+func issue8Gate(rep *issue8Report) (string, bool) {
+	scaleOK := rep.Scale.Ratio >= issue8ScaleFloor
+	restartOK := rep.Restart.RestoreMs <= rep.Restart.BoundMs &&
+		rep.Restart.RestoredLen == rep.Restart.Entries &&
+		rep.Restart.Replayed == rep.Restart.WALTail
+	msg := fmt.Sprintf(
+		"%d-group writes %.1f ops/s vs %.1f single-group = %.2fx (need >= %.1fx); %d-entry restart %.0fms vs %.0fms bound, %d/%d replayed",
+		rep.Scale.Groups, rep.Scale.ShardedOpsSec, rep.Scale.BaselineOpsSec, rep.Scale.Ratio, issue8ScaleFloor,
+		rep.Restart.Entries, rep.Restart.RestoreMs, rep.Restart.BoundMs, rep.Restart.Replayed, rep.Restart.WALTail)
+	return msg, scaleOK && restartOK
+}
+
+func runIssue8(quick bool, outPath string) error {
+	scaleOpts := benchmark.ShardScaleOptions{}
+	entries, bound := issue8Entries, issue8RestartBound
+	if quick {
+		scaleOpts.Warmup = 1 * time.Second
+		scaleOpts.Measure = 1500 * time.Millisecond
+		entries, bound = issue8EntriesQuick, issue8RestartBoundQuick
+	}
+	walTail := entries / 10
+
+	fmt.Println("== namespace sharding: 4-group write scale-out + WAL crash restart ==")
+	start := time.Now()
+	scale, err := benchmark.RunShardScale(scaleOpts)
+	if err != nil {
+		return fmt.Errorf("shard scale: %w", err)
+	}
+	fmt.Printf("writes at %d clients: 1 group %.1f ops/s, %d groups %.1f ops/s (%.2fx)\n",
+		scale.Clients, scale.Baseline.OpsPerSec, scale.Groups, scale.Sharded.OpsPerSec, scale.Ratio)
+
+	restart, err := benchmark.RunShardRestart(entries, walTail)
+	if err != nil {
+		return fmt.Errorf("restart drill: %w", err)
+	}
+	fmt.Printf("restart: %d entries (snapshot %.1f MB + %d WAL records, %.1f MB) restored in %v (built in %v)\n",
+		restart.Entries, float64(restart.SnapshotBytes)/(1<<20), restart.WALTail,
+		float64(restart.WALBytes)/(1<<20), restart.Restore.Round(time.Millisecond),
+		restart.Build.Round(time.Millisecond))
+
+	rep := issue8Report{
+		Issue: "namespace sharding: consistent-hash the HDNS namespace across replica groups (internal/shard router) with a per-shard WAL and snapshot compaction (internal/wal) replacing whole-table sync",
+		Claim: fmt.Sprintf("aggregate write throughput of %d groups >= %.0fx one group at %d closed-loop clients, and a %d-entry shard crash-restarts from snapshot + WAL tail within %v",
+			scale.Groups, issue8ScaleFloor, scale.Clients, entries, bound),
+		Method: fmt.Sprintf("cmd/ippsbench -issue8: both arms run %d closed-loop clients (paper think time) rebinding client-distinct top-level names through a shard Router; baseline is one replica group owning the whole namespace, the sharded arm consistent-hashes it across %d groups, every group a calibrated 1-worker %v write station (no backlog degradation — issue 7 owns overload); restart drill fabricates a %d-entry shard on disk as snapshot + %d-record WAL tail (a crash mid-epoch) and times hdns.RestoreStore, the NewNode startup path, requiring every entry restored and exactly the tail replayed",
+			scale.Clients, scale.Groups, costmodel.HDNSWriteService, entries, walTail),
+		Date: time.Now().Format("2006-01-02"),
+		Scale: issue8Scale{
+			Groups:         scale.Groups,
+			Clients:        scale.Clients,
+			BaselineOpsSec: round1(scale.Baseline.OpsPerSec),
+			ShardedOpsSec:  round1(scale.Sharded.OpsPerSec),
+			BaselineErrors: scale.Baseline.Errors,
+			ShardedErrors:  scale.Sharded.Errors,
+			Ratio:          round2(scale.Ratio),
+		},
+		Restart: issue8Restart{
+			Entries:       restart.Entries,
+			WALTail:       restart.WALTail,
+			Replayed:      restart.Replayed,
+			SnapshotBytes: restart.SnapshotBytes,
+			WALBytes:      restart.WALBytes,
+			RestoreMs:     round1(float64(restart.Restore) / float64(time.Millisecond)),
+			BoundMs:       float64(bound) / float64(time.Millisecond),
+			RestoredLen:   restart.RestoredLen,
+		},
+	}
+
+	msg, ok := issue8Gate(&rep)
+	if ok {
+		rep.Verdict = "pass: " + msg
+	} else {
+		rep.Verdict = "FAIL: " + msg
+	}
+	fmt.Printf("(issue8 completed in %v)\n", time.Since(start).Round(time.Second))
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\n%s\nwrote %s\n", rep.Verdict, outPath)
+	if !ok {
+		return fmt.Errorf("shard gate failed")
+	}
+	return nil
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

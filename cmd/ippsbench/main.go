@@ -14,6 +14,7 @@
 //	ippsbench -issue5         # self-healing vs collapse under a replica crash → BENCH_issue5.json
 //	ippsbench -issue6         # lockstep vs pipelined vs batched wire path → BENCH_issue6.json
 //	ippsbench -issue7         # open-loop 2x overload, admission on vs off → BENCH_issue7.json
+//	ippsbench -issue8         # 4-group shard scale-out + WAL crash restart → BENCH_issue8.json
 //
 // Absolute numbers depend on the calibrated cost model (see DESIGN.md);
 // the curve shapes — who saturates where, the strict-bind penalty, the
@@ -44,8 +45,9 @@ func main() {
 	issue5 := flag.Bool("issue5", false, "run the self-healing report (replica crash with/without failover at 100 clients) and write -out")
 	issue6 := flag.Bool("issue6", false, "run the wire-path report (lockstep vs pipelined vs batched at 100 and 1000 clients) and write -out")
 	issue7 := flag.Bool("issue7", false, "run the overload-survival report (open-loop 2x capacity, 10k clients, admission on vs off) and write -out")
+	issue8 := flag.Bool("issue8", false, "run the shard report (4-group write scale-out vs one group, WAL crash restart) and write -out")
 	baseline := flag.String("baseline", "BENCH_issue1.json", "issue1 baseline file for -issue2")
-	out := flag.String("out", "", "output file for -issue2 / -issue3 / -issue5 / -issue6 / -issue7 (default BENCH_issue<N>.json)")
+	out := flag.String("out", "", "output file for -issue2 / -issue3 / -issue5 / -issue6 / -issue7 / -issue8 (default BENCH_issue<N>.json)")
 	flag.Parse()
 
 	if *list {
@@ -129,6 +131,17 @@ func main() {
 		}
 		if err := runIssue7(*quick, path); err != nil {
 			fmt.Fprintf(os.Stderr, "ippsbench: issue7: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *issue8 {
+		path := *out
+		if path == "" {
+			path = "BENCH_issue8.json"
+		}
+		if err := runIssue8(*quick, path); err != nil {
+			fmt.Fprintf(os.Stderr, "ippsbench: issue8: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,223 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gondi/internal/costmodel"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/shard"
+)
+
+// The issue-8 experiment: shard the HDNS namespace across replica
+// groups and show (a) aggregate write throughput scales with the group
+// count — each group's single-threaded write station stops being the
+// whole namespace's ceiling — and (b) the per-shard WAL restarts a
+// multi-million-entry shard from snapshot + log tail in seconds,
+// instead of replaying its life or dumping its whole table.
+
+// ShardScaleOptions tunes the throughput arm.
+type ShardScaleOptions struct {
+	// Groups is the sharded arm's replica-group count (default 4).
+	Groups int
+	// Clients is the closed-loop client count, applied to both arms
+	// (default 100 — the gate's N).
+	Clients   int
+	Warmup    time.Duration
+	Measure   time.Duration
+	OpTimeout time.Duration
+}
+
+// ShardScaleResult holds both arms of the throughput comparison.
+type ShardScaleResult struct {
+	Groups   int
+	Clients  int
+	Baseline Point // one group owning the whole namespace
+	Sharded  Point // Groups groups behind a Router
+	Ratio    float64
+}
+
+// shardCosts is the calibrated HDNS write station without the Figure 5
+// backlog degradation: the quantity under test is scale-out across
+// groups, not overload collapse (issue 7 owns that drill), so each
+// group gets a fixed 1-worker write station and the baseline saturates
+// at a stable ceiling instead of a degrading one.
+func shardCosts() *costmodel.Costs {
+	return &costmodel.Costs{
+		Read:  costmodel.NewStation(1, costmodel.HDNSReadService),
+		Write: costmodel.NewStation(1, costmodel.HDNSWriteService),
+	}
+}
+
+// newShardScaleWorld starts one node per group, each on its own fabric
+// with its own calibrated cost stations and its shard assignment, and
+// returns the per-group client addresses.
+func newShardScaleWorld(groups int) ([]string, func(), error) {
+	nodes := make([]*hdns.Node, 0, groups)
+	cleanup := func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+	addrs := make([]string, groups)
+	for g := 0; g < groups; g++ {
+		f := jgroups.NewFabric()
+		n, err := hdns.NewNode(hdns.NodeConfig{
+			Group:      fmt.Sprintf("issue8-s%d", g),
+			Transport:  f.Endpoint(jgroups.Address(fmt.Sprintf("s%d", g))),
+			Stack:      jgroups.DefaultConfig(),
+			ListenAddr: "127.0.0.1:0",
+			Costs:      shardCosts(),
+			Shard:      shard.Assignment{Groups: groups, Index: g},
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		nodes = append(nodes, n)
+		addrs[g] = n.Addr()
+	}
+	return addrs, cleanup, nil
+}
+
+// shardedWriteFactory gives each client a Router over every group and a
+// client-distinct write name; the ring spreads the prefixes across
+// groups, so the aggregate write load fans out. With one group this
+// degenerates to the single-node write path through the same code.
+func shardedWriteFactory(addrs []string) ClientFactory {
+	data := []byte("10.0.0.5:5432")
+	return func(client int) (func(ctx context.Context) error, func(), error) {
+		conns := make([]hdns.Conn, len(addrs))
+		for i, a := range addrs {
+			c, err := hdns.Dial(a, "", 5*time.Second)
+			if err != nil {
+				for _, pc := range conns[:i] {
+					pc.Close()
+				}
+				return nil, nil, err
+			}
+			conns[i] = c
+		}
+		r, err := hdns.NewRouter(conns)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, nil, err
+		}
+		name := []string{fmt.Sprintf("w%d", client)}
+		return func(ctx context.Context) error {
+			return r.Rebind(ctx, name, data, nil, false, 0)
+		}, func() { r.Close() }, nil
+	}
+}
+
+// RunShardScale measures closed-loop write throughput at N clients
+// against a single group owning the whole namespace, then against the
+// same namespace consistent-hashed across Groups groups.
+func RunShardScale(o ShardScaleOptions) (*ShardScaleResult, error) {
+	groups := o.Groups
+	if groups <= 0 {
+		groups = 4
+	}
+	clients := o.Clients
+	if clients <= 0 {
+		clients = 100
+	}
+	warmup := o.Warmup
+	if warmup <= 0 {
+		warmup = 2 * time.Second
+	}
+	measure := o.Measure
+	if measure <= 0 {
+		measure = 3 * time.Second
+	}
+	res := &ShardScaleResult{Groups: groups, Clients: clients}
+
+	for _, arm := range []struct {
+		groups int
+		point  *Point
+	}{
+		{1, &res.Baseline},
+		{groups, &res.Sharded},
+	} {
+		addrs, cleanup, err := newShardScaleWorld(arm.groups)
+		if err != nil {
+			return nil, err
+		}
+		p, err := RunClosedLoop(clients, warmup, measure, o.OpTimeout, 0, shardedWriteFactory(addrs))
+		cleanup()
+		if err != nil {
+			return nil, fmt.Errorf("shard scale, %d group(s): %w", arm.groups, err)
+		}
+		p.Clients = clients
+		*arm.point = p
+	}
+	if res.Baseline.OpsPerSec > 0 {
+		res.Ratio = res.Sharded.OpsPerSec / res.Baseline.OpsPerSec
+	}
+	return res, nil
+}
+
+// ShardRestartResult is one crash-restart drill measurement.
+type ShardRestartResult struct {
+	Entries       int
+	WALTail       int
+	Replayed      int
+	SnapshotBytes int64
+	WALBytes      int64
+	Build         time.Duration
+	Restore       time.Duration
+	RestoredLen   int
+}
+
+// RunShardRestart fabricates a shard with entries bindings on disk —
+// snapshot plus a WAL tail of walTail records, the state a crash
+// leaves behind — then times hdns.RestoreStore, the exact path NewNode
+// runs at startup. The restored store must hold every entry and replay
+// exactly the tail.
+func RunShardRestart(entries, walTail int) (*ShardRestartResult, error) {
+	dir, err := os.MkdirTemp("", "gondi-shard-drill-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "shard.snap")
+	walDir := filepath.Join(dir, "wal")
+
+	res := &ShardRestartResult{Entries: entries, WALTail: walTail}
+	start := time.Now()
+	if err := hdns.BuildShardState(snap, walDir, entries, walTail); err != nil {
+		return nil, err
+	}
+	res.Build = time.Since(start)
+	if fi, err := os.Stat(snap); err == nil {
+		res.SnapshotBytes = fi.Size()
+	}
+	segs, _ := os.ReadDir(walDir)
+	for _, s := range segs {
+		if fi, err := s.Info(); err == nil {
+			res.WALBytes += fi.Size()
+		}
+	}
+
+	start = time.Now()
+	st, replayed, err := hdns.RestoreStore(snap, walDir)
+	if err != nil {
+		return nil, fmt.Errorf("restore: %w", err)
+	}
+	res.Restore = time.Since(start)
+	res.Replayed = replayed
+	res.RestoredLen = st.Len()
+	if res.RestoredLen != entries {
+		return res, fmt.Errorf("restored %d entries, want %d", res.RestoredLen, entries)
+	}
+	if replayed != walTail {
+		return res, fmt.Errorf("replayed %d WAL records, want %d", replayed, walTail)
+	}
+	return res, nil
+}

@@ -226,6 +226,10 @@ func IsNotContext(err error) bool { return hasMsg(err, errNotCtx) }
 // context condition.
 func IsContextNotEmpty(err error) bool { return hasMsg(err, errCtxNotEmpty) }
 
+// IsWrongShard reports whether a sharded node refused the op because
+// the ring routes its name to a different replica group.
+func IsWrongShard(err error) bool { return hasMsg(err, errWrongShard) }
+
 func hasMsg(err error, msg string) bool {
 	if err == nil {
 		return false

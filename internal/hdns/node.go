@@ -5,8 +5,6 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +17,7 @@ import (
 	"gondi/internal/jgroups"
 	"gondi/internal/obs"
 	"gondi/internal/rpc"
+	"gondi/internal/shard"
 )
 
 // NodeConfig configures an HDNS node.
@@ -35,8 +34,23 @@ type NodeConfig struct {
 	// SnapshotPath persists the replica ("" disables persistence).
 	SnapshotPath string
 	// SnapshotInterval is the periodic sync period (§4.1: "synchronized
-	// in fixed time intervals and upon process exit"); 0 means 5s.
+	// in fixed time intervals and upon process exit"); 0 means 5s. With a
+	// WALDir it becomes the WAL fsync + compaction-check cadence — the
+	// log, not the snapshot, is then the unit of durability.
 	SnapshotInterval time.Duration
+	// WALDir enables the per-shard write-ahead log: every applied op is
+	// appended there and restart replays snapshot + WAL tail, so large
+	// shards restart from their last compaction point instead of their
+	// last whole-table snapshot. "" keeps snapshot-only persistence.
+	WALDir string
+	// CompactBytes triggers background snapshot compaction once the WAL
+	// outgrows it; 0 means 8 MiB.
+	CompactBytes int64
+	// Shard names this group's slice of the namespace. The zero value
+	// (unsharded) owns everything; a sharded node rejects ops for names
+	// the ring routes elsewhere so a misconfigured client can't split a
+	// prefix across groups.
+	Shard shard.Assignment
 	// Secret, when non-empty, must be presented by clients before
 	// writes are accepted (the H2O-inherited security hook).
 	Secret string
@@ -60,6 +74,7 @@ type NodeConfig struct {
 type Node struct {
 	cfg   NodeConfig
 	store *Store
+	pers  *persister
 	ch    *jgroups.Channel
 	srv   *rpc.Server
 
@@ -107,22 +122,21 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.ReplBatch <= 0 {
 		cfg.ReplBatch = 64
 	}
+	// Crash recovery (§4.1 "the service can thus recover the state after
+	// a complete shutdown/restart"): restore the snapshot, then replay
+	// the WAL tail past it when a WALDir is configured.
+	pers, store, err := openPersistence(cfg.SnapshotPath, cfg.WALDir, cfg.CompactBytes)
+	if err != nil {
+		return nil, err
+	}
 	n := &Node{
 		cfg:     cfg,
-		store:   NewStore(),
+		store:   store,
+		pers:    pers,
 		pending: map[string]chan string{},
 		watches: map[*rpc.ServerConn]map[uint64]watchSpec{},
 		replC:   make(chan *Op, 2*cfg.ReplBatch),
 		done:    make(chan struct{}),
-	}
-	// Crash recovery: load the local snapshot first (§4.1 "the service
-	// can thus recover the state after a complete shutdown/restart").
-	if cfg.SnapshotPath != "" {
-		if b, err := os.ReadFile(cfg.SnapshotPath); err == nil {
-			if err := n.store.Restore(b); err != nil {
-				return nil, fmt.Errorf("hdns: corrupt snapshot %s: %w", cfg.SnapshotPath, err)
-			}
-		}
 	}
 	n.ch = jgroups.NewChannel(cfg.Transport, cfg.Stack)
 	recv := jgroups.Receiver{
@@ -177,6 +191,10 @@ func (n *Node) restoreState(b []byte) {
 		return
 	}
 	_ = n.store.Restore(b)
+	// The transferred tree replaces local history wholesale, so the
+	// local WAL now describes an abandoned lineage; snapshot the new
+	// state and drop the old log before any new record is appended.
+	n.pers.resetAfterStateTransfer(n.store)
 }
 
 func (n *Node) onMerge(e jgroups.MergeEvent) {
@@ -207,7 +225,10 @@ func (n *Node) deliver(src jgroups.Address, payload []byte) {
 	}
 	for i := range env.Ops {
 		op := &env.Ops[i]
-		changes, errStr := n.store.Apply(op)
+		changes, version, errStr := n.store.ApplyVersioned(op)
+		// Log failures too: they consumed a version, and replay must
+		// reproduce the exact version stream to detect real gaps.
+		n.pers.appendOp(version, op)
 		n.applied.Add(1)
 		n.mu.Lock()
 		if ch, ok := n.pending[op.ID]; ok {
@@ -401,6 +422,7 @@ func (n *Node) housekeeping() {
 			return
 		case <-snap.C:
 			_ = n.persist()
+			n.pers.maybeCompact(n.store)
 		case <-leases.C:
 			// The coordinator reaps expired leases for the whole
 			// group so that exactly one replica issues the unbind.
@@ -415,30 +437,16 @@ func (n *Node) housekeeping() {
 	}
 }
 
-// persist writes the snapshot atomically.
+// persist syncs durable state on the housekeeping tick. Without a WAL
+// this is the paper's periodic whole-table snapshot; with one, the far
+// cheaper fsync of appended records (the snapshot then only advances at
+// compaction and exit).
 func (n *Node) persist() error {
-	if n.cfg.SnapshotPath == "" {
+	if n.pers.log != nil {
+		n.pers.sync()
 		return nil
 	}
-	b, err := n.store.Snapshot()
-	if err != nil {
-		return err
-	}
-	dir := filepath.Dir(n.cfg.SnapshotPath)
-	tmp, err := os.CreateTemp(dir, ".hdns-snap-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), n.cfg.SnapshotPath)
+	return n.pers.writeSnapshot(n.store)
 }
 
 // Close persists the replica (§4.1: "upon process exit"), leaves the
@@ -453,7 +461,7 @@ func (n *Node) Close() error {
 	n.mu.Unlock()
 	close(n.done)
 	n.wg.Wait()
-	err := n.persist()
+	err := n.pers.close(n.store)
 	n.srv.Close()
 	if cerr := n.ch.Close(); err == nil {
 		err = cerr
@@ -489,6 +497,20 @@ func (n *Node) authed(sc *rpc.ServerConn) bool {
 }
 
 var errDenied = errors.New("hdns: authentication required")
+
+// errWrongShard is the guard against split prefixes: a sharded node
+// refuses ops for names the ring routes to another group, so a client
+// with a stale or hand-rolled routing table fails loudly instead of
+// scattering one prefix across groups. Clients detect it via
+// IsWrongShard and re-route.
+const errWrongShard = "hdns: wrong shard"
+
+func (n *Node) guardShard(name []string) error {
+	if n.cfg.Shard.Owns(name) {
+		return nil
+	}
+	return errors.New(errWrongShard)
+}
 
 // stationBusyRetryAfter is the hint attached when a calibrated cost
 // station's queue cap rejects work (the station has no drain estimate of
@@ -537,6 +559,9 @@ func (n *Node) registerHandlers() {
 	})
 
 	h(mLookup, admission.Read, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		if err := n.guardShard(req.Name); err != nil {
+			return nil, err
+		}
 		if !n.cfg.Costs.ReadCost(0) {
 			return nil, n.busy(mLookup)
 		}
@@ -547,6 +572,16 @@ func (n *Node) registerHandlers() {
 		return func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
 			if !n.authed(sc) {
 				return nil, errDenied
+			}
+			if err := n.guardShard(req.Name); err != nil {
+				return nil, err
+			}
+			// Rename must stay within one shard; the router emulates the
+			// cross-group case as lookup+bind+unbind.
+			if kind == OpRename {
+				if err := n.guardShard(req.Name2); err != nil {
+					return nil, err
+				}
 			}
 			if !n.cfg.Costs.WriteCost(len(req.Obj)) {
 				return nil, n.busy(name)
@@ -576,6 +611,9 @@ func (n *Node) registerHandlers() {
 	h(mLease, admission.Write, write(mLease, OpLeaseRenew))
 
 	h(mList, admission.Read, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		if err := n.guardShard(req.Name); err != nil {
+			return nil, err
+		}
 		if !n.cfg.Costs.ReadCost(0) {
 			return nil, n.busy(mList)
 		}
@@ -587,6 +625,9 @@ func (n *Node) registerHandlers() {
 	})
 
 	h(mSearch, admission.Search, func(sc *rpc.ServerConn, req *Req) (*Rsp, error) {
+		if err := n.guardShard(req.Name); err != nil {
+			return nil, err
+		}
 		if !n.cfg.Costs.ReadCost(0) {
 			return nil, n.busy(mSearch)
 		}
@@ -633,6 +674,9 @@ func (n *Node) registerHandlers() {
 			Entries:     n.store.Len(),
 			Version:     n.store.Version(),
 			Mode:        n.cfg.Stack.Mode.String(),
+			ShardGroups: n.cfg.Shard.Groups,
+			ShardIndex:  n.cfg.Shard.Index,
+			WALBytes:    n.pers.walBytes(),
 		}
 		if view != nil {
 			for _, m := range view.Members {

@@ -1,0 +1,267 @@
+package hdns
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"gondi/internal/obs"
+	"gondi/internal/wal"
+)
+
+// persister owns one node's durable state: an optional whole-tree
+// snapshot file plus an optional per-shard WAL. With a WAL, the
+// snapshot stops being the unit of durability (the paper's §4.1
+// whole-table sync) and becomes a compaction artifact: every applied op
+// is appended to the log, and a restart replays snapshot + WAL tail, so
+// a shard holding millions of entries restarts from its last compaction
+// point instead of its last full dump.
+//
+// Compaction never blocks appliers for the duration of a snapshot. The
+// order is Rotate (fast, starts a fresh segment), then snapshot (slow,
+// concurrent ops keep appending to the new segment), then Prune: the
+// snapshot is taken after the rotation, so it covers every record below
+// the boundary, and records landing during the snapshot survive in the
+// new segment. Replay skips records at or below the snapshot's version.
+type persister struct {
+	snapshotPath string
+	compactBytes int64
+	log          *wal.Log // nil = WAL disabled (legacy snapshot-only mode)
+
+	compacting atomic.Bool
+	mu         sync.Mutex // serializes snapshot writes
+}
+
+var (
+	mWALAppendErrs = obs.Default.Counter("gondi_hdns_wal_append_errors_total",
+		"WAL append failures (persistence degraded to the last snapshot).")
+	mCompactions = obs.Default.Counter("gondi_hdns_wal_compactions_total",
+		"Background WAL snapshot compactions completed.")
+)
+
+// defaultCompactBytes triggers compaction once the WAL outgrows this.
+const defaultCompactBytes = 8 << 20
+
+// openPersistence restores durable state into a fresh store and returns
+// the persister managing it. Either path may be empty; with both empty
+// the node is memory-only (the persister is still returned, inert).
+func openPersistence(snapshotPath, walDir string, compactBytes int64) (*persister, *Store, error) {
+	if compactBytes <= 0 {
+		compactBytes = defaultCompactBytes
+	}
+	p := &persister{snapshotPath: snapshotPath, compactBytes: compactBytes}
+	store := NewStore()
+	if snapshotPath != "" {
+		if b, err := os.ReadFile(snapshotPath); err == nil {
+			if err := store.Restore(b); err != nil {
+				return nil, nil, fmt.Errorf("hdns: corrupt snapshot %s: %w", snapshotPath, err)
+			}
+		}
+	}
+	if walDir != "" {
+		l, err := wal.Open(walDir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("hdns: wal: %w", err)
+		}
+		if _, err := replayInto(store, l); err != nil {
+			l.Close()
+			return nil, nil, fmt.Errorf("hdns: wal replay: %w", err)
+		}
+		p.log = l
+	}
+	return p, store, nil
+}
+
+// replayInto applies every WAL record newer than the store's version.
+// Records are version-stamped at append time, so records the snapshot
+// already covers are skipped and a version gap — acked history missing
+// from both snapshot and log — is an error, never silence.
+func replayInto(store *Store, l *wal.Log) (int, error) {
+	applied := 0
+	_, err := l.Replay(func(payload []byte) error {
+		ver, op, err := decodeWALOp(payload)
+		if err != nil {
+			return err
+		}
+		have := store.Version()
+		if ver <= have {
+			return nil // snapshot already covers it
+		}
+		if ver != have+1 {
+			return fmt.Errorf("version gap: store at %d, next record %d", have, ver)
+		}
+		// Failed ops were logged too (they consumed a version); they
+		// re-fail identically here, keeping the version stream exact.
+		_, _, _ = store.ApplyVersioned(op)
+		applied++
+		return nil
+	})
+	return applied, err
+}
+
+// RestoreStore rebuilds a shard's store from its durable state —
+// snapshot load plus WAL replay with torn-tail recovery — and returns
+// the store and the number of replayed records. This is exactly the
+// restart path NewNode runs; the issue-8 crash-restart drill times it.
+func RestoreStore(snapshotPath, walDir string) (*Store, int, error) {
+	store := NewStore()
+	if snapshotPath != "" {
+		if b, err := os.ReadFile(snapshotPath); err == nil {
+			if err := store.Restore(b); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if walDir == "" {
+		return store, 0, nil
+	}
+	l, err := wal.Open(walDir)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer l.Close()
+	n, err := replayInto(store, l)
+	if err != nil {
+		return nil, n, err
+	}
+	return store, n, nil
+}
+
+// appendOp logs one applied op. Append failure degrades durability to
+// the last snapshot (counted, not fatal): replication — not the disk —
+// is the availability story, exactly as with the paper's periodic sync.
+func (p *persister) appendOp(version uint64, op *Op) {
+	if p.log == nil {
+		return
+	}
+	buf := walBufPool.Get().(*[]byte)
+	b := appendWALOp((*buf)[:0], version, op)
+	if err := p.log.Append(b); err != nil {
+		mWALAppendErrs.Inc()
+	}
+	*buf = b
+	walBufPool.Put(buf)
+}
+
+var walBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// maybeCompact kicks a background compaction when the WAL has outgrown
+// the threshold. Single-flight: an in-progress compaction absorbs later
+// triggers.
+func (p *persister) maybeCompact(store *Store) {
+	if p.log == nil || p.snapshotPath == "" || p.log.Size() < p.compactBytes {
+		return
+	}
+	if !p.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer p.compacting.Store(false)
+		_ = p.compact(store)
+	}()
+}
+
+// compact rotates, snapshots, prunes. Safe to run concurrently with
+// appliers; p.mu keeps snapshot writers from interleaving.
+func (p *persister) compact(store *Store) error {
+	if p.log == nil || p.snapshotPath == "" {
+		return nil
+	}
+	boundary, err := p.log.Rotate()
+	if err != nil {
+		return err
+	}
+	if err := p.writeSnapshot(store); err != nil {
+		return err
+	}
+	if err := p.log.Prune(boundary); err != nil {
+		return err
+	}
+	mCompactions.Inc()
+	return nil
+}
+
+// resetAfterStateTransfer re-anchors durable state after the store was
+// wholesale replaced by a jgroups state transfer (crash-rejoin pull or
+// PRIMARY PARTITION resync). The local WAL describes the abandoned
+// lineage — its versions are unrelated to the transferred tree — so the
+// transferred state is snapshotted and the old log dropped before any
+// new op is appended.
+func (p *persister) resetAfterStateTransfer(store *Store) {
+	if p.log == nil {
+		return
+	}
+	boundary, err := p.log.Rotate()
+	if err != nil {
+		return
+	}
+	if p.snapshotPath != "" {
+		if err := p.writeSnapshot(store); err != nil {
+			return
+		}
+	}
+	_ = p.log.Prune(boundary)
+}
+
+// writeSnapshot persists the tree atomically (tmp + rename).
+func (p *persister) writeSnapshot(store *Store) error {
+	if p.snapshotPath == "" {
+		return nil
+	}
+	b, err := store.Snapshot()
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dir := filepath.Dir(p.snapshotPath)
+	tmp, err := os.CreateTemp(dir, ".hdns-snap-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p.snapshotPath)
+}
+
+// sync flushes appended records to stable storage (periodic, from
+// housekeeping — the durability analog of the paper's snapshot cadence).
+func (p *persister) sync() {
+	if p.log != nil {
+		_ = p.log.Sync()
+	}
+}
+
+// walBytes reports the log's on-disk footprint (NodeInfo diagnostics).
+func (p *persister) walBytes() int64 {
+	if p.log == nil {
+		return 0
+	}
+	return p.log.Size()
+}
+
+// close performs the §4.1 exit persistence — a final snapshot — then
+// prunes the now-covered log and closes it.
+func (p *persister) close(store *Store) error {
+	err := p.writeSnapshot(store)
+	if p.log != nil {
+		if err == nil && p.snapshotPath != "" {
+			if boundary, rerr := p.log.Rotate(); rerr == nil {
+				_ = p.log.Prune(boundary)
+			}
+		}
+		if cerr := p.log.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -161,9 +161,24 @@ func (s *Store) find(name []string) (*entry, string) {
 // Apply executes a replicated op. The returned error string is "" on
 // success; changes describe mutations for event fan-out.
 func (s *Store) Apply(op *Op) (changes []Change, errStr string) {
+	changes, _, errStr = s.ApplyVersioned(op)
+	return
+}
+
+// ApplyVersioned executes a replicated op and additionally reports the
+// store version the op produced. Every op — success or failure —
+// consumes exactly one version, so the versions stamped onto WAL
+// records stay consecutive and replay can detect gaps.
+func (s *Store) ApplyVersioned(op *Op) (changes []Change, version uint64, errStr string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.version++
+	version = s.version
+	changes, errStr = s.applyLocked(op)
+	return
+}
+
+func (s *Store) applyLocked(op *Op) (changes []Change, errStr string) {
 	switch op.Kind {
 	case OpBind, OpRebind:
 		parent, last, e := s.resolveParent(op.Name)

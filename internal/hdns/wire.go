@@ -47,6 +47,9 @@ type NodeInfo struct {
 	Entries     int
 	Version     uint64
 	Mode        string
+	ShardGroups int   // ring size the node was configured with (0/1 = unsharded)
+	ShardIndex  int   // which shard of ShardGroups this group serves
+	WALBytes    int64 // on-disk WAL footprint (0 when WAL disabled)
 }
 
 // RPC method names.

@@ -1,0 +1,190 @@
+package ptest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/shard"
+)
+
+// ShardWorld is a sharded naming deployment under test: several replica
+// groups behind one routed context. Build one per RunShardConformance
+// call; the callbacks let the suite change group membership and kill
+// groups without knowing the substrate.
+type ShardWorld struct {
+	// Groups is the number of replica groups in the deployment.
+	Groups int
+	// Open dials a fresh routed context spanning every group. id
+	// isolates connection pools between the suite's phases.
+	Open func(t *testing.T, id string) (core.DirContext, error)
+	// Route reports which group the deployment's ring assigns a
+	// top-level prefix to (the suite cross-checks it against the
+	// canonical shard.Cached ring).
+	Route func(prefix string) int
+	// GroupHolds reports whether group g's replicas store the top-level
+	// prefix — read directly from a replica, bypassing routing, so the
+	// suite can prove a name lives in exactly one group.
+	GroupHolds func(g int, prefix string) bool
+	// AddReplica starts one more replica in group g and returns once it
+	// has joined and pulled state (the membership-change/rebalance seam).
+	AddReplica func(t *testing.T, g int)
+	// KillGroup makes every replica of group g unreachable.
+	KillGroup func(t *testing.T, g int)
+}
+
+// RunShardConformance executes the sharding contract against one
+// deployment:
+//
+//   - Placement: every name lands in exactly the group the canonical
+//     ring routes it to, and in no other group.
+//   - Routing stability: group-internal membership change (a replica
+//     joining mid-stream, with state transfer) never remaps a prefix,
+//     and a concurrent write stream across the change loses and
+//     duplicates nothing.
+//   - Ring math: growing the ring by one group moves ≈1/(g+1) of the
+//     keyspace — never more than twice the ideal, never zero.
+//   - Partial failure: with one group dead, a cross-group batch fails
+//     typed per item — dead-group items error, live-group items apply.
+func RunShardConformance(t *testing.T, factory func(t *testing.T) *ShardWorld) {
+	CheckGoroutines(t)
+	w := factory(t)
+	if w.Groups < 2 {
+		t.Fatalf("shard conformance needs ≥2 groups, got %d", w.Groups)
+	}
+	ctx := context.Background()
+	ring := shard.Cached(w.Groups)
+
+	t.Run("PlacementMatchesCanonicalRing", func(t *testing.T) {
+		c, err := w.Open(t, "shard-placement")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 24; i++ {
+			name := fmt.Sprintf("place%d", i)
+			if err := c.Bind(ctx, name, i); err != nil {
+				t.Fatalf("bind %s: %v", name, err)
+			}
+			want := ring.Route(name)
+			if got := w.Route(name); got != want {
+				t.Fatalf("deployment routes %s to %d, canonical ring says %d", name, got, want)
+			}
+			for g := 0; g < w.Groups; g++ {
+				holds := w.GroupHolds(g, name)
+				if holds != (g == want) {
+					t.Fatalf("%s: group %d holds=%v, owner is %d — name stored in the wrong group(s)", name, g, holds, want)
+				}
+			}
+		}
+	})
+
+	t.Run("MembershipChangeLosesNothing", func(t *testing.T) {
+		c, err := w.Open(t, "shard-member")
+		if err != nil {
+			t.Fatal(err)
+		}
+		routesBefore := map[string]int{}
+		for i := 0; i < 200; i++ {
+			routesBefore[fmt.Sprintf("mc%d", i)] = w.Route(fmt.Sprintf("mc%d", i))
+		}
+
+		// Write continuously while a replica joins group 0 (jgroups
+		// state transfer runs under the stream).
+		var wg sync.WaitGroup
+		written := make([]string, 0, 120)
+		var werr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 120; i++ {
+				name := fmt.Sprintf("mc%d", i)
+				if err := c.Bind(ctx, name, i); err != nil {
+					werr = fmt.Errorf("bind %s: %w", name, err)
+					return
+				}
+				written = append(written, name)
+				time.Sleep(time.Millisecond)
+			}
+		}()
+		time.Sleep(20 * time.Millisecond)
+		w.AddReplica(t, 0)
+		wg.Wait()
+		if werr != nil {
+			t.Fatal(werr)
+		}
+
+		// Nothing lost, nothing duplicated, nothing remapped.
+		for _, name := range written {
+			if _, err := c.Lookup(ctx, name); err != nil {
+				t.Fatalf("lost across membership change: %s: %v", name, err)
+			}
+			owner := routesBefore[name]
+			if got := w.Route(name); got != owner {
+				t.Fatalf("membership change remapped %s: %d -> %d", name, owner, got)
+			}
+			for g := 0; g < w.Groups; g++ {
+				if g != owner && w.GroupHolds(g, name) {
+					t.Fatalf("%s duplicated into group %d (owner %d)", name, g, owner)
+				}
+			}
+		}
+	})
+
+	t.Run("RingGrowthMovesMinority", func(t *testing.T) {
+		old := shard.Cached(w.Groups)
+		grown := shard.Cached(w.Groups + 1)
+		moved := shard.Moved(old, grown, 8000)
+		ideal := 1.0 / float64(w.Groups+1)
+		if moved == 0 {
+			t.Fatal("adding a group moved nothing; the new group would stay empty")
+		}
+		if moved > 2*ideal {
+			t.Fatalf("adding a group moved %.1f%% of the keyspace (ideal %.1f%%) — not consistent hashing", 100*moved, 100*ideal)
+		}
+	})
+
+	t.Run("DeadGroupFailsTypedPerItem", func(t *testing.T) {
+		c, err := w.Open(t, "shard-dead")
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := w.Groups - 1
+		w.KillGroup(t, victim)
+
+		reqs := make([]core.BindRequest, 30)
+		for i := range reqs {
+			reqs[i] = core.BindRequest{Name: fmt.Sprintf("dg%d", i), Obj: i}
+		}
+		out, err := core.BindMany(ctx, c, reqs)
+		if err != nil {
+			t.Fatalf("whole batch failed for one dead group: %v", err)
+		}
+		deadItems, liveItems := 0, 0
+		for i, r := range out {
+			g := w.Route(reqs[i].Name)
+			if g == victim {
+				deadItems++
+				if r.Err == nil {
+					t.Fatalf("item %d routed to dead group %d reported success", i, g)
+				}
+				var ce *core.CommunicationError
+				var se *core.ServiceUnavailableError
+				if !errors.As(r.Err, &ce) && !errors.As(r.Err, &se) {
+					t.Fatalf("item %d: dead-group error is untyped: %v", i, r.Err)
+				}
+				continue
+			}
+			liveItems++
+			if r.Err != nil {
+				t.Fatalf("item %d routed to live group %d failed: %v", i, g, r.Err)
+			}
+		}
+		if deadItems == 0 || liveItems == 0 {
+			t.Fatalf("degenerate batch split dead=%d live=%d; widen the name set", deadItems, liveItems)
+		}
+	})
+}

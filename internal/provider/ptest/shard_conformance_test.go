@@ -1,0 +1,87 @@
+package ptest_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/provider/hdnssp"
+	"gondi/internal/provider/ptest"
+	"gondi/internal/shard"
+)
+
+// TestHDNSShardConformance runs the sharding contract against a real
+// 2-group HDNS deployment on the in-process fabric: one replica per
+// group to start, a second replica joining group 0 mid-stream during
+// the membership-change phase, and group 1 killed for the
+// partial-failure phase.
+func TestHDNSShardConformance(t *testing.T) {
+	ptest.RunShardConformance(t, func(t *testing.T) *ptest.ShardWorld {
+		const groups = 2
+		f := jgroups.NewFabric()
+		stack := jgroups.DefaultConfig()
+		stack.HeartbeatInterval = 40 * time.Millisecond
+		stack.SuspectAfter = 400 * time.Millisecond
+
+		nodes := make([][]*hdns.Node, groups)
+		start := func(g, replica int) *hdns.Node {
+			n, err := hdns.NewNode(hdns.NodeConfig{
+				Group:      fmt.Sprintf("shardconf-%d", g),
+				Transport:  f.Endpoint(jgroups.Address(fmt.Sprintf("g%dr%d", g, replica))),
+				Stack:      stack,
+				ListenAddr: "127.0.0.1:0",
+				Shard:      shard.Assignment{Groups: groups, Index: g},
+			})
+			if err != nil {
+				t.Fatalf("start g%dr%d: %v", g, replica, err)
+			}
+			t.Cleanup(func() { n.Close() })
+			nodes[g] = append(nodes[g], n)
+			return n
+		}
+		auths := make([]string, groups)
+		for g := 0; g < groups; g++ {
+			auths[g] = start(g, 0).Addr()
+		}
+		authority := shard.JoinAuthority(auths)
+		ring := shard.Cached(groups)
+
+		return &ptest.ShardWorld{
+			Groups: groups,
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
+				c, err := hdnssp.Open(context.Background(), authority, map[string]any{core.EnvPoolID: t.Name() + id})
+				if err == nil {
+					t.Cleanup(func() { c.Close() })
+				}
+				return c, err
+			},
+			Route: func(prefix string) int { return ring.Route(prefix) },
+			GroupHolds: func(g int, prefix string) bool {
+				// Read the group's founding replica directly, bypassing
+				// the router, so placement is proved at the store.
+				return nodes[g][0].Store().Lookup([]string{prefix}).Exists
+			},
+			AddReplica: func(t *testing.T, g int) {
+				n := start(g, len(nodes[g]))
+				deadline := time.Now().Add(5 * time.Second)
+				for time.Now().Before(deadline) {
+					v := n.Channel().View()
+					if v != nil && len(v.Members) == len(nodes[g]) {
+						return
+					}
+					time.Sleep(15 * time.Millisecond)
+				}
+				t.Fatalf("replica %d never joined group %d", len(nodes[g])-1, g)
+			},
+			KillGroup: func(t *testing.T, g int) {
+				for _, n := range nodes[g] {
+					n.Close()
+				}
+			},
+		}
+	})
+}

@@ -1,0 +1,215 @@
+// Package shard partitions the HDNS namespace across independent
+// replica groups by consistent hashing over name prefixes.
+//
+// The unit of placement is the *first component* of a composite name
+// ("dcl" in dcl/mokey/printer): everything under one top-level prefix
+// lives in one replica group, so single-prefix subtree operations
+// (List, Search, Watch below the root) stay single-group while distinct
+// prefixes spread across groups. Each group keeps the existing
+// jgroups/PRIMARY_PARTITION replication semantics internally — sharding
+// changes who stores a name, never how a group replicates it.
+//
+// Routing must be a pure function of (prefix, number of groups): every
+// client and every node derive the same ring independently, so there is
+// no routing metadata service to keep consistent. Consistent hashing
+// (fixed virtual points per group on a 64-bit ring) keeps the map
+// stable: replica churn *within* a group never moves a prefix, and
+// adding a group moves only ≈1/(g+1) of the keyspace (verified by the
+// shard conformance suite).
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultVnodes is the number of virtual points each group projects onto
+// the ring. 128 keeps the per-group keyspace share within a few percent
+// of uniform while the ring stays small enough to rebuild on every Open.
+const DefaultVnodes = 128
+
+// Ring maps name prefixes onto group indices by consistent hashing.
+// A Ring is immutable after New; lookups are lock-free.
+type Ring struct {
+	groups int
+	points []point // sorted by hash
+}
+
+type point struct {
+	hash  uint64
+	group int
+}
+
+// New builds the canonical ring for n groups (n < 1 is treated as 1).
+// Two Rings built for the same n are identical on every process.
+func New(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	r := &Ring{groups: n}
+	if n == 1 {
+		return r // everything routes to group 0; no points needed
+	}
+	r.points = make([]point, 0, n*DefaultVnodes)
+	for g := 0; g < n; g++ {
+		for v := 0; v < DefaultVnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("g%d/v%d", g, v)), group: g})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically unlikely, but the ring must still be
+		// a pure function of n) break deterministically by group.
+		return r.points[i].group < r.points[j].group
+	})
+	return r
+}
+
+// Groups returns the number of replica groups on the ring.
+func (r *Ring) Groups() int { return r.groups }
+
+// Route maps a top-level name prefix to its replica group.
+func (r *Ring) Route(prefix string) int {
+	if r.groups == 1 {
+		return 0
+	}
+	h := hash64(prefix)
+	// First ring point at or after h, wrapping.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].group
+}
+
+// RouteName maps a composite name to its replica group by first
+// component. The empty name (the namespace root) has no prefix; root
+// operations span every group and are the caller's to fan out —
+// RouteName pins them to group 0 so unary use is still well-defined.
+func (r *Ring) RouteName(name []string) int {
+	if len(name) == 0 {
+		return 0
+	}
+	return r.Route(name[0])
+}
+
+// hash64 is FNV-1a pushed through a splitmix64 finalizer. FNV is stable
+// across architectures and Go releases (maphash and friends are
+// process-seeded, which would break the "every process derives the same
+// ring" contract), but on short, similar strings its low bytes cluster;
+// the finalizer's avalanche spreads ring points uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Assignment names one node's place in a sharded deployment: the node
+// serves shard Index of Groups. The zero value means "unsharded" (the
+// node owns the whole namespace).
+type Assignment struct {
+	Groups int
+	Index  int
+}
+
+// Sharded reports whether the assignment actually partitions anything.
+func (a Assignment) Sharded() bool { return a.Groups > 1 }
+
+// Owns reports whether the assigned shard stores name. Unsharded
+// assignments own everything; the namespace root belongs to every shard
+// (each stores its own top-level entries). Rings are cached per group
+// count, so Owns is cheap enough for the node's per-op ownership guard.
+func (a Assignment) Owns(name []string) bool {
+	if !a.Sharded() || len(name) == 0 {
+		return true
+	}
+	return Cached(a.Groups).Route(name[0]) == a.Index
+}
+
+var (
+	ringMu    sync.Mutex
+	ringCache = map[int]*Ring{}
+)
+
+// Cached returns the canonical ring for n groups, memoized process-wide
+// (rings are immutable, so sharing is safe).
+func Cached(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	ringMu.Lock()
+	defer ringMu.Unlock()
+	r := ringCache[n]
+	if r == nil {
+		r = New(n)
+		ringCache[n] = r
+	}
+	return r
+}
+
+// GroupSeparator splits a sharded authority into its per-group
+// authorities: "a:1,b:1|c:2,d:2" is two groups of two failover
+// endpoints each. The comma keeps its PR 5 meaning (replicas of one
+// group, tried in breaker-ranked order).
+const GroupSeparator = "|"
+
+// SplitAuthority splits a (possibly sharded) URL authority into one
+// authority per replica group, dropping empty groups.
+func SplitAuthority(authority string) []string {
+	parts := strings.Split(authority, GroupSeparator)
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// JoinAuthority is the inverse of SplitAuthority.
+func JoinAuthority(groups []string) string {
+	return strings.Join(groups, GroupSeparator)
+}
+
+// GroupView is one replica group's membership as observed by a router.
+type GroupView struct {
+	Index     int
+	Authority string   // the group's configured endpoints
+	Members   []string // live jgroups members, when known
+	Entries   int      // entries held by the serving node, when known
+}
+
+// View is a point-in-time picture of a sharded deployment, assembled by
+// the hdns Router from per-group Info calls.
+type View struct {
+	Groups []GroupView
+}
+
+// Moved measures routing churn between two ring sizes: the fraction of
+// sample prefixes whose group assignment differs. The conformance suite
+// uses it to pin the consistent-hashing contract (adding one group to g
+// moves ≈1/(g+1), never more than half).
+func Moved(old, new *Ring, samples int) float64 {
+	if samples <= 0 {
+		samples = 10000
+	}
+	moved := 0
+	for i := 0; i < samples; i++ {
+		p := fmt.Sprintf("prefix-%d", i)
+		if old.Route(p) != new.Route(p) {
+			moved++
+		}
+	}
+	return float64(moved) / float64(samples)
+}

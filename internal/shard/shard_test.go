@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Two rings for the same group count must route identically: routing is
+// a pure function of (prefix, groups), recomputed independently by every
+// client and node.
+func TestRingDeterministic(t *testing.T) {
+	a, b := New(4), New(4)
+	for i := 0; i < 5000; i++ {
+		p := fmt.Sprintf("prefix-%d", i)
+		if a.Route(p) != b.Route(p) {
+			t.Fatalf("ring not deterministic for %q: %d vs %d", p, a.Route(p), b.Route(p))
+		}
+	}
+}
+
+func TestRingCoversAllGroups(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		r := New(n)
+		seen := map[int]bool{}
+		for i := 0; i < 10000; i++ {
+			g := r.Route(fmt.Sprintf("prefix-%d", i))
+			if g < 0 || g >= n {
+				t.Fatalf("groups=%d: route out of range: %d", n, g)
+			}
+			seen[g] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("groups=%d: only %d groups received keys", n, len(seen))
+		}
+	}
+}
+
+// The per-group keyspace share must be near-uniform or one group becomes
+// the write bottleneck sharding was meant to remove.
+func TestRingBalance(t *testing.T) {
+	const samples = 40000
+	r := New(4)
+	counts := make([]int, 4)
+	for i := 0; i < samples; i++ {
+		counts[r.Route(fmt.Sprintf("prefix-%d", i))]++
+	}
+	ideal := samples / 4
+	for g, c := range counts {
+		if c < ideal/2 || c > ideal*2 {
+			t.Fatalf("group %d holds %d of %d samples (ideal %d): ring badly unbalanced", g, c, samples, ideal)
+		}
+	}
+}
+
+// Consistent hashing contract: growing the ring by one group moves
+// roughly 1/(g+1) of the keyspace and never the bulk of it.
+func TestRingGrowthMovesMinority(t *testing.T) {
+	for _, g := range []int{2, 4, 8} {
+		moved := Moved(New(g), New(g+1), 20000)
+		expect := 1.0 / float64(g+1)
+		if moved > 2*expect {
+			t.Fatalf("%d→%d groups moved %.1f%% of keys (expected ≈%.1f%%)", g, g+1, 100*moved, 100*expect)
+		}
+		if moved == 0 {
+			t.Fatalf("%d→%d groups moved nothing: new group got no keyspace", g, g+1)
+		}
+	}
+}
+
+func TestRouteName(t *testing.T) {
+	r := New(4)
+	if g := r.RouteName(nil); g != 0 {
+		t.Fatalf("root routed to %d, want 0", g)
+	}
+	if g1, g2 := r.RouteName([]string{"dcl", "mokey"}), r.Route("dcl"); g1 != g2 {
+		t.Fatalf("RouteName %d != Route(first component) %d", g1, g2)
+	}
+}
+
+func TestAssignmentOwns(t *testing.T) {
+	var unsharded Assignment
+	if !unsharded.Owns([]string{"anything"}) {
+		t.Fatal("unsharded assignment must own everything")
+	}
+	r := New(4)
+	for i := 0; i < 100; i++ {
+		name := []string{fmt.Sprintf("prefix-%d", i), "leaf"}
+		want := r.RouteName(name)
+		for g := 0; g < 4; g++ {
+			a := Assignment{Groups: 4, Index: g}
+			if a.Owns(name) != (g == want) {
+				t.Fatalf("assignment %d/4 Owns(%v) = %v, routing says group %d", g, name, a.Owns(name), want)
+			}
+			if !a.Owns(nil) {
+				t.Fatal("every shard owns the root")
+			}
+		}
+	}
+}
+
+func TestSplitJoinAuthority(t *testing.T) {
+	auth := "a:1,b:1|c:2,d:2"
+	groups := SplitAuthority(auth)
+	if len(groups) != 2 || groups[0] != "a:1,b:1" || groups[1] != "c:2,d:2" {
+		t.Fatalf("SplitAuthority = %v", groups)
+	}
+	if j := JoinAuthority(groups); j != auth {
+		t.Fatalf("JoinAuthority = %q, want %q", j, auth)
+	}
+	if g := SplitAuthority("a:1"); len(g) != 1 || g[0] != "a:1" {
+		t.Fatalf("single-group authority = %v", g)
+	}
+	if g := SplitAuthority("|a:1||"); len(g) != 1 {
+		t.Fatalf("empty groups not dropped: %v", g)
+	}
+}

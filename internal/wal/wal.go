@@ -1,0 +1,341 @@
+// Package wal is an incremental write-ahead log for shard persistence:
+// an append-only sequence of length-prefixed, CRC-framed records split
+// across rotating segment files. The HDNS node appends every applied
+// replicated op, so a restart replays snapshot + WAL tail instead of
+// depending on the last whole-table snapshot, and background compaction
+// (Rotate, then snapshot, then Prune) bounds replay work without ever
+// holding the store lock for the duration of a snapshot.
+//
+// Record framing follows the rpc codec discipline: a record either
+// parses exactly or is rejected, encoding appends into a pooled buffer,
+// and the tail of the last segment — the only place a crash can tear a
+// record — is truncated back to the last whole record on replay.
+//
+// Frame layout (all big-endian):
+//
+//	length uint32   payload byte count
+//	crc    uint32   CRC-32C (Castagnoli) of the payload
+//	payload
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// MaxRecord bounds one record's payload, guarding replay against a
+// corrupt length field allocating unbounded buffers.
+const MaxRecord = 16 << 20
+
+// headerSize is the fixed per-record framing overhead.
+const headerSize = 8
+
+var (
+	// ErrTruncated marks an incomplete record: the framing promises more
+	// bytes than remain. At the tail of the last segment this is the
+	// benign crash signature and replay heals it by truncation.
+	ErrTruncated = errors.New("wal: truncated record")
+	// ErrCorrupt marks a record that is structurally complete but wrong:
+	// CRC mismatch or an oversized length. Corruption is never healed
+	// silently away from the tail.
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendRecord appends payload's framed encoding to dst and returns the
+// extended slice (the rpc appendFrame idiom: no intermediate buffers).
+func AppendRecord(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// ReadRecord decodes the first framed record in b. The returned payload
+// aliases b; rest is the remainder after the record. A record parses
+// exactly or not at all: short input is ErrTruncated, a bad CRC or
+// oversized length is ErrCorrupt.
+func ReadRecord(b []byte) (payload, rest []byte, err error) {
+	if len(b) < headerSize {
+		return nil, nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	if n > MaxRecord {
+		return nil, nil, fmt.Errorf("%w: length %d exceeds limit", ErrCorrupt, n)
+	}
+	want := binary.BigEndian.Uint32(b[4:8])
+	body := b[headerSize:]
+	if uint32(len(body)) < n {
+		return nil, nil, ErrTruncated
+	}
+	payload = body[:n]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	return payload, body[n:], nil
+}
+
+// bufPool recycles append-path buffers (one frame per Append call).
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// segment is one on-disk log file.
+type segment struct {
+	seq  uint64
+	path string
+	size int64
+}
+
+// Log is a directory of WAL segments. One writer appends to the newest
+// segment; Rotate starts a fresh segment so compaction can snapshot and
+// then Prune everything the snapshot covers.
+type Log struct {
+	dir string
+
+	mu   sync.Mutex
+	segs []segment // sorted by seq; last is the active one
+	f    *os.File  // active segment, opened for append
+	size int64     // total bytes across all segments
+}
+
+// segName formats a segment file name; lexical order equals seq order.
+func segName(seq uint64) string { return fmt.Sprintf("seg-%016d.wal", seq) }
+
+// Open creates dir if needed, discovers existing segments, and opens the
+// newest for append (creating seg 1 in an empty directory). Call Replay
+// before the first Append after a crash so a torn tail is truncated away
+// rather than buried mid-file.
+func Open(dir string) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir}
+	for _, e := range entries {
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "seg-%d.wal", &seq); err != nil || segName(seq) != e.Name() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		l.segs = append(l.segs, segment{seq: seq, path: filepath.Join(dir, e.Name()), size: info.Size()})
+		l.size += info.Size()
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].seq < l.segs[j].seq })
+	if len(l.segs) == 0 {
+		if err := l.openSegmentLocked(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	active := &l.segs[len(l.segs)-1]
+	f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.f = f
+	return l, nil
+}
+
+// openSegmentLocked creates and activates segment seq. l.mu must be held.
+func (l *Log) openSegmentLocked(seq uint64) error {
+	path := filepath.Join(l.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if l.f != nil {
+		if cerr := l.f.Close(); cerr != nil {
+			f.Close()
+			os.Remove(path)
+			return cerr
+		}
+	}
+	l.f = f
+	l.segs = append(l.segs, segment{seq: seq, path: path})
+	return nil
+}
+
+// Append writes one record to the active segment. The write goes to the
+// OS in one syscall (surviving a process crash); call Sync to force it
+// to stable storage.
+func (l *Log) Append(payload []byte) error {
+	bp := bufPool.Get().(*[]byte)
+	b := AppendRecord((*bp)[:0], payload)
+	l.mu.Lock()
+	var err error
+	if l.f == nil {
+		err = os.ErrClosed
+	} else {
+		_, err = l.f.Write(b)
+	}
+	if err == nil {
+		l.size += int64(len(b))
+		l.segs[len(l.segs)-1].size += int64(len(b))
+	}
+	l.mu.Unlock()
+	*bp = b
+	bufPool.Put(bp)
+	return err
+}
+
+// Sync forces appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return os.ErrClosed
+	}
+	return l.f.Sync()
+}
+
+// Size returns the total bytes across all segments — the compaction
+// trigger the node's housekeeping loop polls.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Segments returns the number of on-disk segments (diagnostics).
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Rotate seals the active segment and starts a new one, returning the
+// new segment's sequence number. Records already appended stay where
+// they are; a snapshot taken *after* Rotate therefore covers every
+// record in segments below the returned boundary, making
+// Prune(boundary) safe once that snapshot is durable.
+func (l *Log) Rotate() (boundary uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, os.ErrClosed
+	}
+	next := l.segs[len(l.segs)-1].seq + 1
+	if err := l.openSegmentLocked(next); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// Prune deletes all segments with sequence numbers below boundary,
+// reclaiming space the latest snapshot covers. The active segment is
+// never pruned.
+func (l *Log) Prune(boundary uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	active := l.segs[len(l.segs)-1].seq
+	keep := l.segs[:0]
+	var firstErr error
+	for _, s := range l.segs {
+		if s.seq >= boundary || s.seq == active {
+			keep = append(keep, s)
+			continue
+		}
+		if err := os.Remove(s.path); err != nil && firstErr == nil {
+			firstErr = err
+			keep = append(keep, s)
+			continue
+		}
+		l.size -= s.size
+	}
+	l.segs = keep
+	return firstErr
+}
+
+// Close flushes and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Replay feeds every record across all segments, oldest first, to fn.
+// A torn tail — ErrTruncated, or ErrCorrupt, at the end of the *last*
+// segment, the crash-mid-append signature — is truncated away so the log
+// is clean for appending, and replay returns the healthy record count.
+// Damage anywhere else is returned as an error: acked data is missing
+// and silently dropping it would un-ack history.
+//
+// Replay holds the log lock; run it before serving, not concurrently
+// with Append.
+func (l *Log) Replay(fn func(payload []byte) error) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	count := 0
+	for i := range l.segs {
+		s := &l.segs[i]
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return count, err
+		}
+		off := 0
+		rest := data
+		for len(rest) > 0 {
+			payload, next, err := ReadRecord(rest)
+			if err != nil {
+				if i == len(l.segs)-1 {
+					// Torn tail: truncate the active segment back to the
+					// last whole record and carry on.
+					if terr := l.truncateActiveLocked(int64(off)); terr != nil {
+						return count, terr
+					}
+					return count, nil
+				}
+				return count, fmt.Errorf("wal: segment %s offset %d: %w", s.path, off, err)
+			}
+			if err := fn(payload); err != nil {
+				return count, err
+			}
+			count++
+			off += headerSize + len(payload)
+			rest = next
+		}
+	}
+	return count, nil
+}
+
+// truncateActiveLocked cuts the active segment to size. l.mu held.
+func (l *Log) truncateActiveLocked(size int64) error {
+	s := &l.segs[len(l.segs)-1]
+	if err := os.Truncate(s.path, size); err != nil {
+		return err
+	}
+	// Reopen so the append offset matches the new end (O_APPEND handles
+	// this, but the bookkeeping below must agree with the file).
+	l.size -= s.size - size
+	s.size = size
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		l.f = f
+	}
+	return nil
+}

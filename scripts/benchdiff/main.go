@@ -1,0 +1,137 @@
+// Command benchdiff is the bench-regression gate: it compares the
+// throughput metrics of a fresh BENCH_issue*.json report against the
+// committed baseline and fails when any compared metric has dropped by
+// more than the tolerance (default 20%).
+//
+//	go run ./scripts/benchdiff BENCH_issue8.json BENCH_issue8_ci.json
+//
+// Only headline ops/s metrics are compared: keys ending in "per_sec"
+// or "ops_sec", minus metrics that are *supposed* to be low or vary by
+// design — offered rates, the deliberately-collapsed arms (unprotected
+// overload, the no-failover crash arm, uncached resolution), and prior
+// issue baselines embedded for context. Quick CI runs saturate the same
+// cost-model ceilings as full runs, so the survivors are stable within
+// a few percent; a >20% drop is a real regression, not sweep noise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// tolerance is the allowed fractional drop before the gate fails.
+const tolerance = 0.20
+
+// skipFragments marks metric paths excluded from the comparison:
+// adversarial arms where lower is the point, offered (not achieved)
+// rates, and embedded prior-issue context.
+var skipFragments = []string{
+	"unprotected", "collapsed", "uncached", "offered", "issue1",
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff <baseline.json> <fresh.json>")
+		os.Exit(2)
+	}
+	base, err := metrics(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	fresh, err := metrics(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	var paths []string
+	for p := range base {
+		if _, ok := fresh[p]; ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	compared, failed := 0, 0
+	for _, p := range paths {
+		b, f := base[p], fresh[p]
+		if b <= 0 {
+			continue
+		}
+		compared++
+		drop := (b - f) / b
+		if drop > tolerance {
+			failed++
+			fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s: %.1f -> %.1f ops/s (-%.0f%%, tolerance %.0f%%)\n",
+				p, b, f, 100*drop, 100*tolerance)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no comparable ops/s metrics between %s and %s\n", os.Args[1], os.Args[2])
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d metrics regressed beyond %.0f%% (%s vs %s)\n",
+			failed, compared, 100*tolerance, os.Args[2], os.Args[1])
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %s vs %s: %d ops/s metrics within %.0f%%\n",
+		os.Args[2], os.Args[1], compared, 100*tolerance)
+}
+
+// metrics flattens a report into path -> value for every throughput
+// metric worth gating.
+func metrics(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flatten("", doc, out)
+	return out, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, c := range t {
+			flatten(join(prefix, k), c, out)
+		}
+	case []any:
+		for i, c := range t {
+			flatten(join(prefix, strconv.Itoa(i)), c, out)
+		}
+	case float64:
+		if wanted(prefix) {
+			out[prefix] = t
+		}
+	}
+}
+
+func join(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}
+
+func wanted(path string) bool {
+	p := strings.ToLower(path)
+	if !strings.HasSuffix(p, "per_sec") && !strings.HasSuffix(p, "ops_sec") {
+		return false
+	}
+	for _, frag := range skipFragments {
+		if strings.Contains(p, frag) {
+			return false
+		}
+	}
+	return true
+}

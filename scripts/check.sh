@@ -6,8 +6,10 @@
 #   sh scripts/check.sh fmt vet lint    # just those stages
 #   sh scripts/check.sh test            # race-enabled tests + coverage gate
 #
-# Stages: fmt vet lint build test allocs chaos overload bench
-# Set CHECK_SKIP_BENCH=1 to skip the (slow) bench stage in a full run.
+# Stages: fmt vet lint build test allocs chaos overload vuln bench benchdiff
+# Set CHECK_SKIP_BENCH=1 to skip the (slow) bench stage in a full run;
+# the vuln stage always runs. benchdiff is CI-only (it needs fresh
+# BENCH_issue*_ci.json quick reports next to the committed baselines).
 set -e
 
 # Minimum statement coverage for internal/obs (enforced by the test stage:
@@ -81,6 +83,19 @@ stage_allocs() {
     # or every call on the hot path pays the GC back.
     echo "== rpc codec zero-alloc gate =="
     go test -count=1 -run 'TestFrameCodecZeroAlloc' ./internal/rpc/
+
+    # Codec fuzz targets over their checked-in seed corpora: the frame
+    # reader and the WAL record codec must reject exactly and recover
+    # from torn tails. Deterministic here; set CHECK_FUZZ_TIME=10s to
+    # actually explore locally.
+    echo "== frame + WAL record fuzz seeds =="
+    go test -count=1 -run 'FuzzReadFrame' ./internal/rpc/
+    go test -count=1 -run 'FuzzWALRecord' ./internal/wal/
+    if [ -n "$CHECK_FUZZ_TIME" ]; then
+        echo "== fuzzing for $CHECK_FUZZ_TIME each =="
+        go test -count=1 -run '^$' -fuzz 'FuzzReadFrame' -fuzztime "$CHECK_FUZZ_TIME" ./internal/rpc/
+        go test -count=1 -run '^$' -fuzz 'FuzzWALRecord' -fuzztime "$CHECK_FUZZ_TIME" ./internal/wal/
+    fi
 }
 
 stage_chaos() {
@@ -93,6 +108,27 @@ stage_chaos() {
     go test -race -count=1 -run 'TestChaosPartitionCrashRejoin' ./internal/hdns/
     go test -race -count=1 -run 'TestCrashedLockHolderDoesNotWedgeBind' ./internal/provider/jinisp/
     go test -race -count=1 ./internal/fault/ ./internal/lock/
+    echo "== shard drills: routing stability, rebalance, partial failure, WAL restart (-race) =="
+    go test -race -count=1 -run 'TestHDNSShardConformance' ./internal/provider/ptest/
+    go test -race -count=1 -run 'TestWALCrashRestartReplay|TestWALCompactionKeepsTail|TestRouterBatchPartialFailureTypedPerItem' ./internal/hdns/
+}
+
+stage_vuln() {
+    # Vulnerability + static-analysis gate. Runs unconditionally (its
+    # own CI job; CHECK_SKIP_BENCH never skips it). govulncheck is not
+    # vendored: when the binary is absent locally the scan is skipped
+    # with a notice — CI installs it — but go vet always runs, so the
+    # stage never silently no-ops.
+    echo "== go vet (vuln stage) =="
+    go vet ./...
+    echo "== govulncheck =="
+    gvc=$(command -v govulncheck || true)
+    [ -n "$gvc" ] || { [ -x "$(go env GOPATH)/bin/govulncheck" ] && gvc="$(go env GOPATH)/bin/govulncheck"; } || true
+    if [ -n "$gvc" ]; then
+        "$gvc" ./...
+    else
+        echo "govulncheck not installed; skipping scan (go install golang.org/x/vuln/cmd/govulncheck@latest)"
+    fi
 }
 
 stage_overload() {
@@ -119,6 +155,33 @@ stage_bench() {
     go run ./cmd/ippsbench -issue6
     echo "== overload survival report (writes BENCH_issue7.json) =="
     go run ./cmd/ippsbench -issue7
+    echo "== shard scale-out + WAL restart report (writes BENCH_issue8.json) =="
+    go run ./cmd/ippsbench -issue8
+}
+
+stage_benchdiff() {
+    # Bench regression gate: fresh -quick reports against the committed
+    # full baselines, >20% ops/s drop fails (scripts/benchdiff). Issues
+    # 2 and 6 are hot-loop micro-benches (cache hits, wire frames) whose
+    # quick windows under-measure CPU-bound ops/s on shared runners, so
+    # only the cost-model-bound reports — where quick and full saturate
+    # the same calibrated ceilings — are diffed; 2 and 6 keep their own
+    # -quick verdict gates.
+    echo "== bench regression diff (>20% ops/s drop fails) =="
+    compared=0
+    for n in 3 5 7 8; do
+        fresh="BENCH_issue${n}_ci.json"
+        if [ ! -f "$fresh" ]; then
+            echo "benchdiff: $fresh missing (go run ./cmd/ippsbench -issue$n -quick -out $fresh); skipping"
+            continue
+        fi
+        go run ./scripts/benchdiff "BENCH_issue$n.json" "$fresh"
+        compared=1
+    done
+    if [ "$compared" -eq 0 ]; then
+        echo "benchdiff: no fresh BENCH_issue*_ci.json reports found" >&2
+        exit 1
+    fi
 }
 
 if [ $# -eq 0 ]; then
@@ -130,15 +193,16 @@ if [ $# -eq 0 ]; then
     stage_allocs
     stage_chaos
     stage_overload
+    stage_vuln
     if [ -z "$CHECK_SKIP_BENCH" ]; then
         stage_bench
     fi
 else
     for s in "$@"; do
         case "$s" in
-            fmt|vet|lint|build|test|allocs|chaos|overload|bench) "stage_$s" ;;
+            fmt|vet|lint|build|test|allocs|chaos|overload|vuln|bench|benchdiff) "stage_$s" ;;
             *)
-                echo "unknown stage: $s (stages: fmt vet lint build test allocs chaos overload bench)" >&2
+                echo "unknown stage: $s (stages: fmt vet lint build test allocs chaos overload vuln bench benchdiff)" >&2
                 exit 2
                 ;;
         esac
