@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gondi/internal/benchmark"
+)
+
+// The -issue9 report: active cross-registry mirroring. A sync.Mirror
+// follows an HDNS origin into a second replica group; when the origin
+// is fully cut, readers opened with WithMirrorFallback keep resolving
+// from the mirror while plain federation collapses. Gates: mirrored
+// goodput during the outage >= 90% of its pre-outage goodput, direct
+// federation's outage goodput <= 10% of its own pre-outage goodput
+// (the collapse the mirror exists to prevent), mirror-served reads
+// actually observed, and a full generation of writes issued during the
+// outage converging within the bound after the heal.
+
+const (
+	issue9HoldFloor     = 0.90
+	issue9CollapseCeil  = 0.10
+	issue9Converge      = 15 * time.Second
+	issue9ConvergeQuick = 15 * time.Second
+)
+
+type issue9Arm struct {
+	PreOpsSec    float64 `json:"pre_ops_sec"`
+	OutageOpsSec float64 `json:"outage_ops_sec"`
+	PreErrors    int64   `json:"pre_errors"`
+	OutageErrors int64   `json:"outage_errors"`
+	Ratio        float64 `json:"outage_over_pre"`
+}
+
+type issue9Report struct {
+	Issue        string    `json:"issue"`
+	Claim        string    `json:"claim"`
+	Method       string    `json:"method"`
+	Date         string    `json:"date"`
+	Clients      int       `json:"clients"`
+	Keys         int       `json:"keys"`
+	Direct       issue9Arm `json:"direct"`
+	Mirrored     issue9Arm `json:"mirrored"`
+	MirrorServes uint64    `json:"mirror_serves"`
+	ConvergeMs   float64   `json:"post_heal_converge_ms"`
+	BoundMs      float64   `json:"converge_bound_ms"`
+	Verdict      string    `json:"verdict"`
+}
+
+func issue9Gate(rep *issue9Report) (string, bool) {
+	holdOK := rep.Mirrored.Ratio >= issue9HoldFloor
+	collapseOK := rep.Direct.Ratio <= issue9CollapseCeil
+	servedOK := rep.MirrorServes > 0
+	convergeOK := rep.ConvergeMs <= rep.BoundMs
+	msg := fmt.Sprintf(
+		"mirrored goodput held %.0f%% of pre-outage (need >= %.0f%%); direct collapsed to %.0f%% (need <= %.0f%%); %d mirror-served reads; %d-key backlog converged %.0fms after heal (bound %.0fms)",
+		rep.Mirrored.Ratio*100, issue9HoldFloor*100,
+		rep.Direct.Ratio*100, issue9CollapseCeil*100,
+		rep.MirrorServes, rep.Keys, rep.ConvergeMs, rep.BoundMs)
+	return msg, holdOK && collapseOK && servedOK && convergeOK
+}
+
+func issue9ArmOf(a benchmark.SyncArm) issue9Arm {
+	ratio := 0.0
+	if a.Pre.OpsPerSec > 0 {
+		ratio = a.Outage.OpsPerSec / a.Pre.OpsPerSec
+	}
+	return issue9Arm{
+		PreOpsSec:    round1(a.Pre.OpsPerSec),
+		OutageOpsSec: round1(a.Outage.OpsPerSec),
+		PreErrors:    a.Pre.Errors,
+		OutageErrors: a.Outage.Errors,
+		Ratio:        round2(ratio),
+	}
+}
+
+func runIssue9(quick bool, outPath string) error {
+	o := benchmark.SyncOutageOptions{}
+	bound := issue9Converge
+	if quick {
+		o.Clients = 20
+		o.Keys = 50
+		o.Warmup = 300 * time.Millisecond
+		o.Measure = 800 * time.Millisecond
+		bound = issue9ConvergeQuick
+	}
+
+	fmt.Println("== cross-registry mirroring: full origin outage, mirrored vs direct reads ==")
+	start := time.Now()
+	res, err := benchmark.RunSyncOutage(o)
+	if err != nil {
+		return fmt.Errorf("sync outage: %w", err)
+	}
+	fmt.Printf("direct:   pre %.1f ops/s -> outage %.1f ops/s (%d errors)\n",
+		res.Direct.Pre.OpsPerSec, res.Direct.Outage.OpsPerSec, res.Direct.Outage.Errors)
+	fmt.Printf("mirrored: pre %.1f ops/s -> outage %.1f ops/s (%d errors, %d mirror-served)\n",
+		res.Mirrored.Pre.OpsPerSec, res.Mirrored.Outage.OpsPerSec, res.Mirrored.Outage.Errors, res.MirrorServes)
+	fmt.Printf("post-heal: %d-key backlog converged in %v\n", res.Keys, res.Converge.Round(time.Millisecond))
+
+	rep := issue9Report{
+		Issue: "active cross-registry mirroring: internal/sync incrementally copies a source registry's subtree into an HDNS replica group (watch-driven with delta-pull fallback, WAL-persisted cursors and tombstones), and the WithMirrorFallback read path serves from the mirror when the origin's transport fails",
+		Claim: fmt.Sprintf("with the origin fully unreachable, mirrored reads hold >= %.0f%%%% of pre-outage goodput while direct federation collapses, and a full generation of writes issued during the outage converges within %v of the heal",
+			issue9HoldFloor*100, bound),
+		Method: fmt.Sprintf("cmd/ippsbench -issue9: an HDNS origin (calibrated costs) behind a fault.Proxy, mirrored by internal/sync into a second HDNS group; each arm runs %d hot-loop closed-loop clients resolving %d keys through the proxy authority for one healthy and one fully-cut window (direct = plain InitialContext, mirrored = core.Open(WithMirrorFallback)); the convergence drill rewrites every key while the origin is cut, heals it, and times the mirror's backlog drain",
+			res.Clients, res.Keys),
+		Date:         time.Now().Format("2006-01-02"),
+		Clients:      res.Clients,
+		Keys:         res.Keys,
+		Direct:       issue9ArmOf(res.Direct),
+		Mirrored:     issue9ArmOf(res.Mirrored),
+		MirrorServes: res.MirrorServes,
+		ConvergeMs:   round1(float64(res.Converge) / float64(time.Millisecond)),
+		BoundMs:      float64(bound) / float64(time.Millisecond),
+	}
+
+	msg, ok := issue9Gate(&rep)
+	if ok {
+		rep.Verdict = "pass: " + msg
+	} else {
+		rep.Verdict = "FAIL: " + msg
+	}
+	fmt.Printf("(issue9 completed in %v)\n", time.Since(start).Round(time.Second))
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\n%s\nwrote %s\n", rep.Verdict, outPath)
+	if !ok {
+		return fmt.Errorf("sync gate failed")
+	}
+	return nil
+}

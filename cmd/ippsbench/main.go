@@ -46,8 +46,9 @@ func main() {
 	issue6 := flag.Bool("issue6", false, "run the wire-path report (lockstep vs pipelined vs batched at 100 and 1000 clients) and write -out")
 	issue7 := flag.Bool("issue7", false, "run the overload-survival report (open-loop 2x capacity, 10k clients, admission on vs off) and write -out")
 	issue8 := flag.Bool("issue8", false, "run the shard report (4-group write scale-out vs one group, WAL crash restart) and write -out")
+	issue9 := flag.Bool("issue9", false, "run the mirroring report (mirrored vs direct reads through a full origin outage) and write -out")
 	baseline := flag.String("baseline", "BENCH_issue1.json", "issue1 baseline file for -issue2")
-	out := flag.String("out", "", "output file for -issue2 / -issue3 / -issue5 / -issue6 / -issue7 / -issue8 (default BENCH_issue<N>.json)")
+	out := flag.String("out", "", "output file for -issue2 / -issue3 / -issue5 / -issue6 / -issue7 / -issue8 / -issue9 (default BENCH_issue<N>.json)")
 	flag.Parse()
 
 	if *list {
@@ -142,6 +143,17 @@ func main() {
 		}
 		if err := runIssue8(*quick, path); err != nil {
 			fmt.Fprintf(os.Stderr, "ippsbench: issue8: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *issue9 {
+		path := *out
+		if path == "" {
+			path = "BENCH_issue9.json"
+		}
+		if err := runIssue9(*quick, path); err != nil {
+			fmt.Fprintf(os.Stderr, "ippsbench: issue9: %v\n", err)
 			os.Exit(1)
 		}
 		return

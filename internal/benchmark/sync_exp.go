@@ -1,0 +1,309 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gondi/internal/breaker"
+	"gondi/internal/core"
+	"gondi/internal/costmodel"
+	"gondi/internal/fault"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/provider/hdnssp"
+	"gondi/internal/retry"
+	"gondi/internal/sync"
+)
+
+// The -issue9 experiment: what an active mirror is worth when the origin
+// registry disappears entirely. A calibrated HDNS origin sits behind a
+// fault.Proxy and a sync.Mirror copies its namespace into a second HDNS
+// group. Two reader arms resolve the same keys through the proxy
+// authority:
+//
+//   - direct:   plain InitialContext — no fallback; when the origin is
+//     cut, every read fails until it heals (the collapse arm)
+//   - mirrored: core.Open(WithMirrorFallback()) — reads divert to the
+//     mirror when the origin's transport fails, so goodput holds
+//
+// Each arm is measured in two windows, before and during a full outage,
+// at the same client count. A final drill writes a fresh generation of
+// every key while the origin is unreachable, heals it, and times how
+// long the mirror takes to drain the backlog — the post-heal
+// convergence number the issue gates on.
+
+// SyncOutageOptions tunes the -issue9 run.
+type SyncOutageOptions struct {
+	Clients   int           // closed-loop reader threads (default 40)
+	Keys      int           // namespace size (default 200)
+	Warmup    time.Duration // per-window warmup (default 400ms)
+	Measure   time.Duration // per-window measurement (default 2s)
+	OpTimeout time.Duration // per-op deadline (default 500ms)
+}
+
+func (o *SyncOutageOptions) fill() {
+	if o.Clients <= 0 {
+		o.Clients = 40
+	}
+	if o.Keys <= 0 {
+		o.Keys = 200
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 400 * time.Millisecond
+	}
+	if o.Measure <= 0 {
+		o.Measure = 2 * time.Second
+	}
+	if o.OpTimeout <= 0 {
+		// Pre-breaker-open failures pay this in full; keep it short so
+		// the steady state dominates each window.
+		o.OpTimeout = 500 * time.Millisecond
+	}
+}
+
+// SyncArm is one reader arm's pair of windows.
+type SyncArm struct {
+	Pre    Point // origin healthy
+	Outage Point // origin fully cut
+}
+
+// SyncOutageResult is everything -issue9 reports on.
+type SyncOutageResult struct {
+	Clients  int
+	Keys     int
+	Direct   SyncArm
+	Mirrored SyncArm
+	// MirrorServes counts mirror-served reads during the mirrored arm's
+	// outage window — proof the goodput came from the replica, not from
+	// a silently healthy origin.
+	MirrorServes uint64
+	// Converge is how long the mirror took to drain a full generation of
+	// writes that landed while the origin was unreachable, measured from
+	// the heal.
+	Converge time.Duration
+}
+
+type syncWorld struct {
+	proxy   *fault.Proxy
+	origin  *hdns.Node
+	replica *hdns.Node
+	mirror  *sync.Mirror
+	writer  core.Context // dials the origin directly (healthy side)
+	dest    core.Context // dials the replica directly (verification)
+	keys    int
+	cleanup func()
+}
+
+func key(i int) string { return fmt.Sprintf("svc%03d", i) }
+
+func newSyncWorld(keys int) (*syncWorld, error) {
+	registerProviders()
+	sync.Register()
+	w := &syncWorld{keys: keys, cleanup: func() {}}
+	addCleanup := func(f func()) {
+		prev := w.cleanup
+		w.cleanup = func() { f(); prev() }
+	}
+	fail := func(err error) (*syncWorld, error) {
+		w.cleanup()
+		return nil, err
+	}
+	for _, n := range []struct {
+		group, ep string
+		dst       **hdns.Node
+	}{
+		{"sync-bench-origin", "sync-o1", &w.origin},
+		{"sync-bench-replica", "sync-r1", &w.replica},
+	} {
+		node, err := hdns.NewNode(hdns.NodeConfig{
+			Group:      n.group,
+			Transport:  jgroups.NewFabric().Endpoint(jgroups.Address(n.ep)),
+			Stack:      jgroups.DefaultConfig(),
+			ListenAddr: "127.0.0.1:0",
+			Costs:      costmodel.HDNSCosts(),
+		})
+		if err != nil {
+			return fail(err)
+		}
+		*n.dst = node
+		addCleanup(func() { node.Close() })
+	}
+
+	bg := context.Background()
+	writer, err := hdnssp.Open(bg, w.origin.Addr(), map[string]any{core.EnvPoolID: "sync-bench-writer"})
+	if err != nil {
+		return fail(err)
+	}
+	w.writer = writer
+	addCleanup(func() { writer.Close() })
+	for i := 0; i < keys; i++ {
+		if err := writer.Rebind(bg, key(i), "gen0-"+key(i)); err != nil {
+			return fail(err)
+		}
+	}
+
+	proxy, err := fault.NewProxy(w.origin.Addr(), nil)
+	if err != nil {
+		return fail(err)
+	}
+	w.proxy = proxy
+	addCleanup(func() { proxy.Close() })
+
+	m, err := sync.New(bg, sync.Config{
+		Name:      "issue9",
+		SourceURL: "hdns://" + proxy.Addr(),
+		DestURL:   "hdns://" + w.replica.Addr() + "/m",
+		Interval:  100 * time.Millisecond,
+		Retry:     retry.Policy{MaxAttempts: 3, BaseDelay: 20 * time.Millisecond, MaxDelay: 500 * time.Millisecond},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if err := m.Start(bg); err != nil {
+		return fail(err)
+	}
+	w.mirror = m
+	addCleanup(func() { m.Stop() })
+
+	dest, err := hdnssp.Open(bg, w.replica.Addr(), map[string]any{core.EnvPoolID: "sync-bench-verify"})
+	if err != nil {
+		return fail(err)
+	}
+	w.dest = dest
+	addCleanup(func() { dest.Close() })
+
+	if err := w.waitConverged("gen0", 30*time.Second); err != nil {
+		return fail(err)
+	}
+	return w, nil
+}
+
+// waitConverged blocks until every key holds the given generation's
+// value in the mirror destination.
+func (w *syncWorld) waitConverged(gen string, bound time.Duration) error {
+	bg := context.Background()
+	deadline := time.Now().Add(bound)
+	for i := 0; i < w.keys; i++ {
+		want := gen + "-" + key(i)
+		for {
+			v, err := w.dest.Lookup(bg, "m/"+key(i))
+			if err == nil && v == want {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("benchmark: mirror never converged on %s=%s: %+v", key(i), want, w.mirror.Status())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// readerFactory builds one arm's closed-loop op: resolve a random key
+// through the proxy authority and check it carries a plausible value.
+func (w *syncWorld) readerFactory(tag string, mirrored bool) ClientFactory {
+	authority := w.proxy.Addr()
+	return func(client int) (func(ctx context.Context) error, func(), error) {
+		var ic *core.InitialContext
+		var err error
+		pool := fmt.Sprintf("sync-%s-%d", tag, client)
+		if mirrored {
+			ic, err = core.Open(context.Background(), core.WithPoolID(pool), core.WithMirrorFallback())
+		} else {
+			ic = core.NewInitialContext(map[string]any{core.EnvPoolID: pool})
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		rng := rand.New(rand.NewSource(int64(client)*104729 + 7))
+		op := func(ctx context.Context) error {
+			k := key(rng.Intn(w.keys))
+			v, err := ic.Lookup(ctx, "hdns://"+authority+"/"+k)
+			if err != nil {
+				return err
+			}
+			if s, ok := v.(string); !ok || len(s) < len(k) || s[len(s)-len(k):] != k {
+				return fmt.Errorf("wrong object for %s: %v", k, v)
+			}
+			return nil
+		}
+		return op, func() { ic.Close() }, nil
+	}
+}
+
+// runArm measures one reader arm's healthy and cut windows, restoring
+// the world (heal + breaker reset + reconvergence) afterwards.
+func (w *syncWorld) runArm(tag string, mirrored bool, o SyncOutageOptions) (SyncArm, error) {
+	var arm SyncArm
+	breaker.ResetAll()
+	w.proxy.Restore()
+	factory := w.readerFactory(tag, mirrored)
+	pre, err := RunClosedLoop(o.Clients, o.Warmup, o.Measure, o.OpTimeout, -1, factory)
+	if err != nil {
+		return arm, err
+	}
+	arm.Pre = pre
+
+	w.proxy.Cut()
+	outage, err := RunClosedLoop(o.Clients, o.Warmup, o.Measure, o.OpTimeout, -1, factory)
+	w.proxy.Restore()
+	breaker.ResetAll()
+	if err != nil {
+		return arm, err
+	}
+	arm.Outage = outage
+	return arm, nil
+}
+
+// RunSyncOutage measures both arms and the post-heal convergence drill.
+func RunSyncOutage(o SyncOutageOptions) (*SyncOutageResult, error) {
+	o.fill()
+	w, err := newSyncWorld(o.Keys)
+	if err != nil {
+		return nil, err
+	}
+	defer w.cleanup()
+
+	res := &SyncOutageResult{Clients: o.Clients, Keys: o.Keys}
+
+	if res.Direct, err = w.runArm("direct", false, o); err != nil {
+		return nil, err
+	}
+	// Let the mirror resubscribe before the next arm measures it.
+	if err := w.waitConverged("gen0", 30*time.Second); err != nil {
+		return nil, err
+	}
+
+	servedBefore := w.mirror.Status().Serves
+	if res.Mirrored, err = w.runArm("mirrored", true, o); err != nil {
+		return nil, err
+	}
+	res.MirrorServes = w.mirror.Status().Serves - servedBefore
+	if err := w.waitConverged("gen0", 30*time.Second); err != nil {
+		return nil, err
+	}
+
+	// Convergence drill: a full generation of writes lands while the
+	// origin is unreachable to the mirror; the clock runs from the heal
+	// until the replica holds all of it.
+	bg := context.Background()
+	w.proxy.Cut()
+	// The mirror must notice the loss before the writes land, or a
+	// still-live watch stream would deliver them early.
+	time.Sleep(300 * time.Millisecond)
+	for i := 0; i < o.Keys; i++ {
+		if err := w.writer.Rebind(bg, key(i), "gen1-"+key(i)); err != nil {
+			return nil, err
+		}
+	}
+	healed := time.Now()
+	w.proxy.Restore()
+	if err := w.waitConverged("gen1", 60*time.Second); err != nil {
+		return nil, err
+	}
+	res.Converge = time.Since(healed)
+	breaker.ResetAll()
+	return res, nil
+}

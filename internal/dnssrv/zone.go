@@ -153,11 +153,11 @@ func (z *Zone) Lookup(qname string, qtype uint16) ([]RR, lookupResult) {
 				for _, rrs := range byType {
 					answers = append(answers, rrs...)
 				}
-				return answers, lookupHit
+				return z.liveSerialLocked(answers), lookupHit
 			}
 			if rrs, ok := byType[qtype]; ok {
 				answers = append(answers, rrs...)
-				return answers, lookupHit
+				return z.liveSerialLocked(answers), lookupHit
 			}
 			if cn, ok := byType[TypeCNAME]; ok && len(cn) > 0 {
 				answers = append(answers, cn...)
@@ -176,6 +176,23 @@ func (z *Zone) Lookup(qname string, qtype uint16) ([]RR, lookupResult) {
 		return answers, lookupNXDomain
 	}
 	return answers, lookupHit
+}
+
+// liveSerialLocked replaces the serial of any SOA answer with the zone's
+// change counter, copying the SOAData so the stored record is never
+// mutated. The zone has tracked changes in z.serial all along; stamping
+// answers with it makes the SOA serial a usable change cursor — one
+// cheap SOA query tells a delta-pull consumer whether the zone moved.
+func (z *Zone) liveSerialLocked(rrs []RR) []RR {
+	for i, rr := range rrs {
+		if rr.Type != TypeSOA || rr.SOA == nil {
+			continue
+		}
+		soa := *rr.SOA
+		soa.Serial = z.serial
+		rrs[i].SOA = &soa
+	}
+	return rrs
 }
 
 func (z *Zone) hasDescendantLocked(name string) bool {
@@ -256,7 +273,7 @@ func (z *Zone) AllRecords() []RR {
 	defer z.mu.RUnlock()
 	var out []RR
 	if byType, ok := z.records[z.origin]; ok {
-		out = append(out, byType[TypeSOA]...)
+		out = append(out, z.liveSerialLocked(append([]RR(nil), byType[TypeSOA]...))...)
 	}
 	names := make([]string, 0, len(z.records))
 	for n := range z.records {
@@ -280,7 +297,7 @@ func (z *Zone) SOA() (RR, bool) {
 	defer z.mu.RUnlock()
 	if byType, ok := z.records[z.origin]; ok {
 		if rrs, ok := byType[TypeSOA]; ok && len(rrs) > 0 {
-			return rrs[0], true
+			return z.liveSerialLocked([]RR{rrs[0]})[0], true
 		}
 	}
 	return RR{}, false

@@ -256,6 +256,39 @@ func TestRouterCrossGroupRename(t *testing.T) {
 	}
 }
 
+// A cross-group rename whose subject is a context must be refused with
+// the typed cross-shard error — not the generic not-a-context string —
+// so callers can branch on the refusal (issue-9 satellite).
+func TestRouterCrossShardContextRenameTyped(t *testing.T) {
+	ctx := context.Background()
+	r, _ := twoShardWorld(t)
+	ring := shard.Cached(2)
+	// Pick a source owned by group 0 and a destination owned by group 1.
+	var src, dst []string
+	for i := 0; src == nil || dst == nil; i++ {
+		n := []string{fmt.Sprintf("sub%d", i)}
+		if src == nil && ring.RouteName(n) == 0 {
+			src = n
+		} else if dst == nil && ring.RouteName(n) == 1 {
+			dst = n
+		}
+	}
+	if err := r.CreateCtx(ctx, src, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Rename(ctx, src, dst)
+	if !IsCrossShardRename(err) {
+		t.Fatalf("cross-group context rename: err=%v, want cross-shard-rename", err)
+	}
+	if IsNotContext(err) {
+		t.Fatalf("refusal still reads as not-a-context: %v", err)
+	}
+	// The context must be untouched by the refusal.
+	if v, lerr := r.Lookup(ctx, src); lerr != nil || !v.Exists || !v.IsCtx {
+		t.Fatalf("source context after refusal: %+v %v", v, lerr)
+	}
+}
+
 // A dead group must fail only its own batch items, typed per item; the
 // other groups' items still succeed (the issue-8 partial-failure gate).
 func TestRouterBatchPartialFailureTypedPerItem(t *testing.T) {

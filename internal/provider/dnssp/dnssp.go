@@ -278,12 +278,69 @@ func (c *Context) LookupLink(ctx context.Context, name string) (any, error) {
 	return c.Lookup(ctx, name)
 }
 
+// AttrSOASerial is the attribute ID under which a zone apex exposes its
+// SOA serial alone. Asking for exactly this attribute takes a dedicated
+// fast path: one SOA query instead of the ANY query + full record
+// mapping, so a delta-pull sync loop can change-check a zone cheaply.
+const AttrSOASerial = "soa-serial"
+
+// soaSerial fetches the domain's SOA serial with a single TypeSOA query.
+// It returns (0, false, nil) when the domain has no SOA record.
+func (c *Context) soaSerial(ctx context.Context, n core.Name) (uint32, bool, error) {
+	rrs, err := c.resolver.Query(ctx, domainFor(n), dnssrv.TypeSOA)
+	if dnssrv.IsNXDomain(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, &core.CommunicationError{Endpoint: c.url, Err: err}
+	}
+	c.ttl.note(domainFor(n), rrs)
+	for _, rr := range rrs {
+		if rr.Type == dnssrv.TypeSOA && rr.SOA != nil {
+			return rr.SOA.Serial, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// SyncCursor implements the sync engine's change-cursor capability (see
+// internal/sync.CursorSource): the zone's SOA serial, which a conforming
+// primary bumps on every zone change, so an unchanged cursor lets a
+// delta pull skip the zone transfer entirely.
+func (c *Context) SyncCursor(ctx context.Context, name string) (string, bool, error) {
+	full, err := c.full(ctx, name)
+	if err != nil {
+		return "", false, core.Errf("syncCursor", name, err)
+	}
+	serial, ok, err := c.soaSerial(ctx, full)
+	if err != nil {
+		return "", false, core.Errf("syncCursor", name, err)
+	}
+	if !ok {
+		return "", false, nil
+	}
+	return fmt.Sprintf("soa:%d", serial), true, nil
+}
+
 // GetAttributes implements core.DirContext: the domain's resource records
 // become attributes keyed by record type.
 func (c *Context) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*core.Attributes, error) {
 	full, err := c.full(ctx, name)
 	if err != nil {
 		return nil, core.Errf("getAttributes", name, err)
+	}
+	if len(attrIDs) == 1 && attrIDs[0] == AttrSOASerial {
+		// Serial-only probe: answer from one SOA query, skipping the ANY
+		// query and full record mapping below.
+		serial, ok, serr := c.soaSerial(ctx, full)
+		if serr != nil {
+			return nil, core.Errf("getAttributes", name, serr)
+		}
+		attrs := &core.Attributes{}
+		if ok {
+			attrs.Add(AttrSOASerial, fmt.Sprintf("%d", serial))
+		}
+		return attrs, nil
 	}
 	ok, rrs, err := c.exists(ctx, full)
 	if err != nil {
@@ -339,6 +396,7 @@ func recordAttrs(rrs []dnssrv.RR) *core.Attributes {
 		case dnssrv.TypeSOA:
 			if rr.SOA != nil {
 				attrs.Add("SOA", fmt.Sprintf("%s %s %d", rr.SOA.MName, rr.SOA.RName, rr.SOA.Serial))
+				attrs.Add(AttrSOASerial, fmt.Sprintf("%d", rr.SOA.Serial))
 			}
 		}
 	}

@@ -94,6 +94,74 @@ func TestGetAttributes(t *testing.T) {
 	}
 }
 
+// The zone apex must expose its SOA serial as the "soa-serial" attribute,
+// and asking for exactly that attribute must answer from one SOA query
+// (the delta-pull change check). The serial is the zone's live change
+// counter, so it must move when the zone does.
+func TestSOASerialAttribute(t *testing.T) {
+	s := newWorld(t)
+	ctx := context.Background()
+	nc, _ := open(t, s, "global")
+	dc := obs.Uninstrument(nc).(*Context)
+
+	attrs, err := dc.GetAttributes(ctx, "global", AttrSOASerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial0 := attrs.GetFirst(AttrSOASerial)
+	if serial0 == "" {
+		t.Fatalf("no %s attribute at the apex: %v", AttrSOASerial, attrs)
+	}
+	// The full attribute map carries it too (alongside the combined SOA).
+	all, err := dc.GetAttributes(ctx, "global")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.GetFirst(AttrSOASerial) != serial0 {
+		t.Fatalf("full map serial %q, fast path %q", all.GetFirst(AttrSOASerial), serial0)
+	}
+	// A zone change must move the serial.
+	z, ok := s.Zone("global")
+	if !ok {
+		t.Fatal("zone missing")
+	}
+	z.Add(dnssrv.RR{Name: "new.global", Type: dnssrv.TypeTXT, Txt: []string{"added"}})
+	attrs, err = dc.GetAttributes(ctx, "global", AttrSOASerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs.GetFirst(AttrSOASerial) == serial0 {
+		t.Fatalf("serial did not move after zone change (still %q)", serial0)
+	}
+}
+
+// SyncCursor is the typed form of the same probe.
+func TestSyncCursor(t *testing.T) {
+	s := newWorld(t)
+	ctx := context.Background()
+	nc, _ := open(t, s, "global")
+	dc := obs.Uninstrument(nc).(*Context)
+
+	cur0, ok, err := dc.SyncCursor(ctx, "global")
+	if err != nil || !ok {
+		t.Fatalf("cursor: %q %v %v", cur0, ok, err)
+	}
+	cur1, _, _ := dc.SyncCursor(ctx, "global")
+	if cur1 != cur0 {
+		t.Fatalf("idle cursor moved: %q -> %q", cur0, cur1)
+	}
+	z, _ := s.Zone("global")
+	z.Add(dnssrv.RR{Name: "more.global", Type: dnssrv.TypeTXT, Txt: []string{"x"}})
+	cur2, ok, err := dc.SyncCursor(ctx, "global")
+	if err != nil || !ok || cur2 == cur0 {
+		t.Fatalf("cursor after change: %q (was %q) %v %v", cur2, cur0, ok, err)
+	}
+	// A non-apex name has no SOA: not supported, no error.
+	if _, ok, err := dc.SyncCursor(ctx, "global/emory"); ok || err != nil {
+		t.Fatalf("non-apex cursor: ok=%v err=%v", ok, err)
+	}
+}
+
 func TestListViaZoneTransfer(t *testing.T) {
 	s := newWorld(t)
 	ctx := context.Background()

@@ -434,7 +434,14 @@ func (c *Context) Rename(ctx context.Context, oldName, newName string) error {
 	if err != nil {
 		return core.Errf("rename", newName, err)
 	}
-	return core.Errf("rename", oldName, c.mapErr(ctx, c.sh.client.Rename(ctx, oldC, newC), oldF))
+	err = c.sh.client.Rename(ctx, oldC, newC)
+	if hdns.IsCrossShardRename(err) {
+		// The router's refusal to move a context between replica groups is
+		// a deliberate semantic limit, not a transport fault: surface it
+		// typed so callers can branch (copy explicitly, or re-route).
+		return core.Errf("rename", oldName, &core.CrossShardRenameError{OldName: oldName, NewName: newName})
+	}
+	return core.Errf("rename", oldName, c.mapErr(ctx, err, oldF))
 }
 
 // List implements core.Context.
@@ -713,6 +720,23 @@ func (c *Context) Reference() (*core.Reference, error) {
 		url += "/" + c.base.String()
 	}
 	return core.NewContextReference(url), nil
+}
+
+// SyncCursor implements the sync engine's change-cursor capability (see
+// internal/sync.CursorSource): the node's applied-operation version — or
+// the sum across a sharded router's groups — moves on every mutation, so
+// an unchanged cursor lets a delta pull skip the subtree walk with one
+// cheap query. The name argument is ignored: HDNS versions are per node,
+// not per subtree, which only ever errs toward resyncing too often.
+func (c *Context) SyncCursor(ctx context.Context, name string) (string, bool, error) {
+	if c.closed() {
+		return "", false, core.Errf("syncCursor", name, core.ErrClosed)
+	}
+	info, err := c.sh.client.Info(ctx)
+	if err != nil {
+		return "", false, core.Errf("syncCursor", name, c.mapErr(ctx, err, c.base))
+	}
+	return fmt.Sprintf("v%d", info.Version), true, nil
 }
 
 // Client exposes the underlying HDNS connection — a *hdns.Client, or a

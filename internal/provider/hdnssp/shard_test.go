@@ -2,6 +2,7 @@ package hdnssp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -88,6 +89,74 @@ func TestShardedURLThroughProvider(t *testing.T) {
 	t.Cleanup(func() { nc.Close() })
 	if rest.String() != "x/y" {
 		t.Fatalf("remaining name %q, want x/y", rest.String())
+	}
+}
+
+// The router's cross-shard context-rename refusal must surface as the
+// typed *core.CrossShardRenameError so federation callers can branch on
+// it instead of pattern-matching a wire string.
+func TestCrossShardRenameTypedError(t *testing.T) {
+	ctx := context.Background()
+	authority, _ := newShardedWorld(t, 2)
+	c, err := Open(ctx, authority, map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	ring := shard.Cached(2)
+	var src, dst string
+	for i := 0; src == "" || dst == ""; i++ {
+		n := fmt.Sprintf("dept%d", i)
+		if src == "" && ring.RouteName([]string{n}) == 0 {
+			src = n
+		} else if dst == "" && ring.RouteName([]string{n}) == 1 {
+			dst = n
+		}
+	}
+	if _, err := c.CreateSubcontext(ctx, src); err != nil {
+		t.Fatal(err)
+	}
+	err = c.Rename(ctx, src, dst)
+	var csr *core.CrossShardRenameError
+	if !errors.As(err, &csr) {
+		t.Fatalf("rename err = %v (%T), want *core.CrossShardRenameError", err, err)
+	}
+	if csr.OldName != src || csr.NewName != dst {
+		t.Fatalf("typed error names %q -> %q, want %q -> %q", csr.OldName, csr.NewName, src, dst)
+	}
+	// Leaf renames across groups stay supported (emulated move).
+	if err := c.Bind(ctx, src+"/leaf", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename(ctx, src+"/leaf", src+"/leaf2"); err != nil {
+		t.Fatalf("same-subtree leaf rename: %v", err)
+	}
+}
+
+// SyncCursor must move when the namespace changes and hold still when it
+// does not — the contract the sync engine's delta-pull skip relies on.
+func TestSyncCursorTracksMutations(t *testing.T) {
+	ctx := context.Background()
+	authority, _ := newShardedWorld(t, 2)
+	c, err := Open(ctx, authority, map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	cur0, ok, err := c.SyncCursor(ctx, "")
+	if err != nil || !ok {
+		t.Fatalf("cursor: %q %v %v", cur0, ok, err)
+	}
+	cur1, _, _ := c.SyncCursor(ctx, "")
+	if cur1 != cur0 {
+		t.Fatalf("idle cursor moved: %q -> %q", cur0, cur1)
+	}
+	if err := c.Bind(ctx, "svc", "v"); err != nil {
+		t.Fatal(err)
+	}
+	cur2, ok, err := c.SyncCursor(ctx, "")
+	if err != nil || !ok || cur2 == cur0 {
+		t.Fatalf("cursor after bind: %q (was %q) %v %v", cur2, cur0, ok, err)
 	}
 }
 

@@ -1,0 +1,220 @@
+package ptest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/retry"
+	"gondi/internal/sync"
+)
+
+// SyncWorld is one source/destination registry pair under the sync
+// engine's conformance contract. Build one per RunSyncConformance call;
+// the callbacks mutate the SOURCE through the world's own backdoor (a
+// memsp tree, an HDNS client, a DNS zone), so read-only providers can
+// still change out from under the mirror.
+type SyncWorld struct {
+	// Source and Dest are the mirror's endpoints, as provider URLs. The
+	// suite reads Dest directly to verify convergence.
+	Source, Dest string
+	// Env is passed to the mirror and to the suite's verification opens.
+	Env map[string]any
+	// Interval paces delta-pull cycles; <=0 uses a test-fast default.
+	Interval time.Duration
+	// Set upserts a string value at the source-relative path rel
+	// (creating intermediate contexts as needed); Del removes rel.
+	Set func(t *testing.T, rel, val string)
+	Del func(t *testing.T, rel string)
+	// AttrValues marks worlds whose entries carry values as a "TXT"
+	// attribute instead of a leaf binding (DNS): the suite verifies
+	// through GetAttributes rather than Lookup equality.
+	AttrValues bool
+	// RestartSource bounces the source's transport mid-stream — drops
+	// watch registrations, severs and heals the wire — and returns once
+	// the source is reachable again. nil skips the restart subtest.
+	RestartSource func(t *testing.T)
+	// ExpectWatchLost asserts the mirror actually observed (and
+	// recovered from) EventWatchLost during RestartSource. Set it on
+	// event-capable worlds whose restart kills registrations.
+	ExpectWatchLost bool
+}
+
+// syncConvergeTimeout bounds every convergence wait. Generous because a
+// restarted source sits behind breaker cooldowns before the mirror's
+// redial is admitted.
+const syncConvergeTimeout = 20 * time.Second
+
+// RunSyncConformance executes the cross-registry synchronization
+// contract against one world:
+//
+//   - The initial snapshot converges: everything present in the source
+//     before the mirror started appears in the destination.
+//   - Incremental changes propagate: adds, overwrites, nested entries
+//     and deletions all reach the destination (deletions do not
+//     resurrect — the tombstone rule).
+//   - A source restart mid-update-stream loses nothing: every update
+//     issued before, during, and after the outage is eventually
+//     mirrored, with EventWatchLost observed and recovered from where
+//     the world's transport surfaces it.
+//   - A converged resync applies nothing: re-walking an in-sync pair
+//     performs zero writes (no duplicated updates, ever).
+func RunSyncConformance(t *testing.T, factory func(t *testing.T) *SyncWorld) {
+	CheckGoroutines(t)
+	w := factory(t)
+	interval := w.Interval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	ctx := context.Background()
+
+	// expected tracks what the source holds; gone tracks deletions that
+	// must NOT be present downstream.
+	expected := map[string]string{}
+	gone := map[string]bool{}
+	set := func(rel, val string) {
+		w.Set(t, rel, val)
+		expected[rel] = val
+		delete(gone, rel)
+	}
+	del := func(rel string) {
+		w.Del(t, rel)
+		delete(expected, rel)
+		gone[rel] = true
+	}
+
+	// Seed before the mirror exists: the initial snapshot must carry it.
+	set("svc0", "v0")
+	set("svc1", "v1")
+	set("apps/web", "w0")
+
+	m, err := sync.New(ctx, sync.Config{
+		Name:      t.Name(),
+		SourceURL: w.Source,
+		DestURL:   w.Dest,
+		Env:       w.Env,
+		Interval:  interval,
+		Retry:     retry.Policy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Stop() })
+
+	// The suite verifies through its own connection, on its own pool.
+	verifyEnv := make(map[string]any, len(w.Env)+1)
+	for k, v := range w.Env {
+		verifyEnv[k] = v
+	}
+	verifyEnv[core.EnvPoolID] = t.Name() + "-syncconf-verify"
+	destRoot, destBase, err := core.OpenURL(ctx, w.Dest, verifyEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { destRoot.Close() })
+	destDir, _ := destRoot.(core.DirContext)
+
+	check := func() error {
+		for rel, val := range expected {
+			name := destBase.Concat(core.MustParseName(rel)).String()
+			if w.AttrValues {
+				attrs, err := destDir.GetAttributes(context.Background(), name)
+				if err != nil {
+					return fmt.Errorf("%s: %w", rel, err)
+				}
+				if got := attrs.GetFirst("TXT"); got != val {
+					return fmt.Errorf("%s: TXT = %q, want %q", rel, got, val)
+				}
+			} else {
+				v, err := destRoot.Lookup(context.Background(), name)
+				if err != nil {
+					return fmt.Errorf("%s: %w", rel, err)
+				}
+				if v != val {
+					return fmt.Errorf("%s = %v, want %q", rel, v, val)
+				}
+			}
+		}
+		for rel := range gone {
+			name := destBase.Concat(core.MustParseName(rel)).String()
+			if _, err := destRoot.Lookup(context.Background(), name); !errors.Is(err, core.ErrNotFound) {
+				return fmt.Errorf("deleted %q still present in the mirror (err=%v)", rel, err)
+			}
+		}
+		return nil
+	}
+	waitConverged := func(t *testing.T, what string) {
+		t.Helper()
+		deadline := time.Now().Add(syncConvergeTimeout)
+		for {
+			err := check()
+			if err == nil {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: mirror did not converge within %v: %v\nstatus: %+v", what, syncConvergeTimeout, err, m.Status())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	t.Run("InitialSnapshotConverges", func(t *testing.T) {
+		waitConverged(t, "initial snapshot")
+		if s := m.Status(); s.LastSync.IsZero() {
+			t.Fatalf("converged but LastSync unset: %+v", s)
+		}
+	})
+
+	t.Run("IncrementalChangesPropagate", func(t *testing.T) {
+		set("svc0", "v0-updated") // overwrite
+		set("svc9", "v9")         // add
+		set("apps/api", "a0")     // nested add
+		del("svc1")               // delete
+		waitConverged(t, "incremental changes")
+	})
+
+	if w.RestartSource != nil {
+		t.Run("SourceRestartLosesNoUpdates", func(t *testing.T) {
+			for i := 0; i < 10; i++ {
+				set(fmt.Sprintf("burst%d", i), fmt.Sprintf("b%d", i))
+				if i == 4 {
+					w.RestartSource(t)
+				}
+			}
+			waitConverged(t, "updates across a source restart")
+			if w.ExpectWatchLost {
+				if s := m.Status(); s.WatchLost == 0 {
+					t.Errorf("source restart did not surface EventWatchLost: %+v", s)
+				}
+			}
+		})
+	}
+
+	t.Run("ConvergedResyncAppliesNothing", func(t *testing.T) {
+		waitConverged(t, "pre-idempotence state")
+		// First resync flushes any in-flight cycle; the second must be
+		// write-free — the no-duplicated-updates contract.
+		if err := m.Resync(ctx); err != nil {
+			t.Fatalf("flush resync: %v", err)
+		}
+		before := m.Status()
+		if err := m.Resync(ctx); err != nil {
+			t.Fatalf("idempotence resync: %v", err)
+		}
+		after := m.Status()
+		if after.Applied != before.Applied || after.Deleted != before.Deleted {
+			t.Fatalf("converged resync rewrote the destination: applied %d->%d, deleted %d->%d",
+				before.Applied, after.Applied, before.Deleted, after.Deleted)
+		}
+	})
+
+	if err := m.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}

@@ -1,0 +1,240 @@
+package ptest_test
+
+// Sync-engine conformance: three source substrates, one convergence
+// contract. The in-memory world exercises watch mode with a listener
+// massacre (DropWatches -> EventWatchLost -> resubscribe + resync), the
+// HDNS world exercises watch mode over a real wire with a mid-stream
+// partition, and the DNS world exercises delta-pull mode against a
+// read-only source with an SOA-serial cursor.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/dnssrv"
+	"gondi/internal/fault"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/provider/dnssp"
+	"gondi/internal/provider/hdnssp"
+	"gondi/internal/provider/memsp"
+	"gondi/internal/provider/ptest"
+	"gondi/internal/sync"
+)
+
+// ensurePath creates every intermediate context of rel (ignoring
+// already-bound parents) and rebinds val at the leaf.
+func ensurePath(t *testing.T, c core.Context, base, rel, val string) {
+	t.Helper()
+	ctx := context.Background()
+	full := rel
+	if base != "" {
+		full = base + "/" + rel
+	}
+	comps := strings.Split(full, "/")
+	for i := 1; i < len(comps); i++ {
+		parent := strings.Join(comps[:i], "/")
+		if _, err := c.CreateSubcontext(ctx, parent); err != nil && !errors.Is(err, core.ErrAlreadyBound) {
+			t.Fatalf("create %s: %v", parent, err)
+		}
+	}
+	if err := c.Rebind(ctx, full, val); err != nil {
+		t.Fatalf("rebind %s: %v", full, err)
+	}
+}
+
+func TestMemSyncConformance(t *testing.T) {
+	ptest.RunSyncConformance(t, func(t *testing.T) *ptest.SyncWorld {
+		memsp.Register()
+		srcSpace, dstSpace := "syncconf-mem-src", "syncconf-mem-dst"
+		tree := memsp.Space(srcSpace)
+		src := memsp.NewContext(tree, map[string]any{}, "mem://"+srcSpace)
+		t.Cleanup(func() { src.Close(); memsp.ResetSpaces() })
+		ctx := context.Background()
+		if _, err := src.CreateSubcontext(ctx, "data"); err != nil {
+			t.Fatal(err)
+		}
+		return &ptest.SyncWorld{
+			Source: "mem://" + srcSpace + "/data",
+			Dest:   "mem://" + dstSpace + "/mirror",
+			Set: func(t *testing.T, rel, val string) {
+				ensurePath(t, src, "data", rel, val)
+			},
+			Del: func(t *testing.T, rel string) {
+				if err := src.Unbind(ctx, "data/"+rel); err != nil && !errors.Is(err, core.ErrNotFound) {
+					t.Fatal(err)
+				}
+			},
+			// DropWatches is the watch-loss seam: every registration dies
+			// with an EventWatchLost, exactly as if the event transport
+			// fell over, and the engine must resubscribe and resync.
+			RestartSource:   func(t *testing.T) { tree.DropWatches() },
+			ExpectWatchLost: true,
+		}
+	})
+}
+
+func TestHDNSSyncConformance(t *testing.T) {
+	ptest.RunSyncConformance(t, func(t *testing.T) *ptest.SyncWorld {
+		hdnssp.Register()
+		stack := jgroups.DefaultConfig()
+		stack.HeartbeatInterval = 50 * time.Millisecond
+		newNode := func(group, ep string) *hdns.Node {
+			n, err := hdns.NewNode(hdns.NodeConfig{
+				Group:      group + "-" + t.Name(),
+				Transport:  jgroups.NewFabric().Endpoint(jgroups.Address(ep)),
+				Stack:      stack,
+				ListenAddr: "127.0.0.1:0",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { n.Close() })
+			return n
+		}
+		srcNode := newNode("syncconf-src", "sc-src")
+		dstNode := newNode("syncconf-dst", "sc-dst")
+		// The mirror reaches the source through a fault proxy so the
+		// restart subtest can sever it mid-stream; the writer goes
+		// straight to the node, like a client on the healthy side of
+		// the partition.
+		proxy, err := fault.NewProxy(srcNode.Addr(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { proxy.Close() })
+		writer, err := hdnssp.Open(context.Background(), srcNode.Addr(), map[string]any{
+			core.EnvPoolID: t.Name() + "-writer",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { writer.Close() })
+		ctx := context.Background()
+		return &ptest.SyncWorld{
+			Source: "hdns://" + proxy.Addr(),
+			Dest:   "hdns://" + dstNode.Addr(),
+			Set: func(t *testing.T, rel, val string) {
+				ensurePath(t, writer, "", rel, val)
+			},
+			Del: func(t *testing.T, rel string) {
+				if err := writer.Unbind(ctx, rel); err != nil && !errors.Is(err, core.ErrNotFound) {
+					t.Fatal(err)
+				}
+			},
+			RestartSource: func(t *testing.T) {
+				proxy.Cut()
+				time.Sleep(150 * time.Millisecond)
+				proxy.Restore()
+			},
+			ExpectWatchLost: true,
+		}
+	})
+}
+
+func TestDNSSyncConformance(t *testing.T) {
+	ptest.RunSyncConformance(t, func(t *testing.T) *ptest.SyncWorld {
+		dnssp.Register()
+		memsp.Register()
+		s, err := dnssrv.NewServer("127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		z := dnssrv.NewZone("global")
+		s.AddZone(z)
+		t.Cleanup(memsp.ResetSpaces)
+		domain := func(rel string) string {
+			comps := strings.Split(rel, "/")
+			for i, j := 0, len(comps)-1; i < j; i, j = i+1, j-1 {
+				comps[i], comps[j] = comps[j], comps[i]
+			}
+			return strings.Join(comps, ".") + ".global"
+		}
+		return &ptest.SyncWorld{
+			Source: "dns://" + s.Addr() + "/global",
+			Dest:   "mem://syncconf-dns-dst/zone",
+			// DNS entries carry their value as a TXT record; the suite
+			// verifies through the mirrored TXT attribute.
+			AttrValues: true,
+			Set: func(t *testing.T, rel, val string) {
+				z.Replace(domain(rel), dnssrv.TypeTXT, dnssrv.RR{Txt: []string{val}})
+			},
+			Del: func(t *testing.T, rel string) {
+				z.Remove(domain(rel), dnssrv.TypeANY)
+			},
+		}
+	})
+}
+
+// The DNS world's cursor contract end to end: an idle zone must produce
+// skipped cycles (one cheap SOA probe, no AXFR walk), which is the
+// whole point of the soa-serial attribute.
+func TestDNSSyncCursorSkipsIdleCycles(t *testing.T) {
+	dnssp.Register()
+	memsp.Register()
+	s, err := dnssrv.NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	z := dnssrv.NewZone("global")
+	z.Add(dnssrv.RR{Name: "svc.global", Type: dnssrv.TypeTXT, Txt: []string{"v"}})
+	s.AddZone(z)
+	t.Cleanup(memsp.ResetSpaces)
+
+	ctx := context.Background()
+	m, err := sync.New(ctx, sync.Config{
+		Name:      t.Name(),
+		SourceURL: "dns://" + s.Addr() + "/global",
+		DestURL:   "mem://synccursor-dst/zone",
+		Interval:  30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Stop() })
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := m.Status()
+		if st.Skipped >= 3 {
+			if st.Cursor == "" {
+				t.Fatalf("skipping without a cursor: %+v", st)
+			}
+			if !strings.HasPrefix(st.Cursor, "soa:") {
+				t.Fatalf("cursor %q is not SOA-serial based", st.Cursor)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no skipped cycles on an idle zone: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// A zone change must break the skip streak and converge.
+	z.Add(dnssrv.RR{Name: "late.global", Type: dnssrv.TypeTXT, Txt: []string{"l"}})
+	verify, base, err := core.OpenURL(ctx, "mem://synccursor-dst/zone", map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { verify.Close() })
+	name := base.Concat(core.MustParseName("late")).String()
+	for {
+		if _, err := verify.Lookup(ctx, name); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("zone change never propagated: %+v", m.Status())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+

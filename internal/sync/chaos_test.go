@@ -1,0 +1,169 @@
+package sync_test
+
+// The origin-outage chaos drill from the issue: a mirror follows an
+// HDNS origin through a fault proxy; the proxy is cut mid-update-stream
+// and the reader — an ordinary InitialContext with WithMirrorFallback —
+// must keep resolving every name the mirror had converged on, typed and
+// counted, until the origin heals and the backlog drains. The schedule
+// is scripted (fixed cut point, fixed heal point), so a failure is a
+// robustness regression, not flake.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/fault"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/provider/hdnssp"
+	"gondi/internal/retry"
+	"gondi/internal/sync"
+)
+
+func TestChaosOriginCutMidStreamMirrorKeepsServing(t *testing.T) {
+	hdnssp.Register()
+	sync.Register()
+	ctx := context.Background()
+
+	stack := jgroups.DefaultConfig()
+	stack.HeartbeatInterval = 50 * time.Millisecond
+	newNode := func(group, ep string) *hdns.Node {
+		n, err := hdns.NewNode(hdns.NodeConfig{
+			Group:      group + "-" + t.Name(),
+			Transport:  jgroups.NewFabric().Endpoint(jgroups.Address(ep)),
+			Stack:      stack,
+			ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n
+	}
+	origin := newNode("chaos-origin", "co")
+	replica := newNode("chaos-replica", "cr")
+
+	proxy, err := fault.NewProxy(origin.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+
+	// The writer dials the origin directly — it lives on the healthy
+	// side of the partition and keeps publishing through the outage.
+	writer, err := hdnssp.Open(ctx, origin.Addr(), map[string]any{core.EnvPoolID: t.Name() + "-writer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { writer.Close() })
+	const keys = 5
+	for i := 0; i < keys; i++ {
+		if err := writer.Rebind(ctx, fmt.Sprintf("svc%d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m, err := sync.New(ctx, sync.Config{
+		Name:      t.Name(),
+		SourceURL: "hdns://" + proxy.Addr(),
+		DestURL:   "hdns://" + replica.Addr() + "/m",
+		Interval:  50 * time.Millisecond,
+		Retry:     retry.Policy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Stop() })
+
+	// Converge on the replica itself before pulling the plug.
+	dst, err := hdnssp.Open(ctx, replica.Addr(), map[string]any{core.EnvPoolID: t.Name() + "-verify"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dst.Close() })
+	waitFor := func(c core.Context, name, want string) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			if v, err := c.Lookup(ctx, name); err == nil && v == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never reached %q: %+v", name, want, m.Status())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		waitFor(dst, fmt.Sprintf("m/svc%d", i), fmt.Sprintf("v%d", i))
+	}
+
+	reader, err := core.Open(ctx, core.WithMirrorFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+	url := func(i int) string { return fmt.Sprintf("hdns://%s/svc%d", proxy.Addr(), i) }
+	for i := 0; i < keys; i++ {
+		if v, err := reader.Lookup(ctx, url(i)); err != nil || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("healthy read %d = %v, %v", i, v, err)
+		}
+	}
+
+	// Cut mid-stream: half the update burst lands before the outage,
+	// half during it.
+	for i := 0; i < keys; i++ {
+		if i == 2 {
+			proxy.Cut()
+		}
+		if err := writer.Rebind(ctx, fmt.Sprintf("svc%d", i), fmt.Sprintf("v%d-new", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// FULL origin outage: every converged name still resolves through
+	// the reader, for the entire cut. Values may be one update behind —
+	// that is the documented staleness trade — but reads never fail.
+	servedBefore := m.Status().Serves
+	for round := 0; round < 3; round++ {
+		for i := 0; i < keys; i++ {
+			v, err := reader.Lookup(ctx, url(i))
+			if err != nil {
+				t.Fatalf("read %d during outage: %v (status %+v)", i, err, m.Status())
+			}
+			old, fresh := fmt.Sprintf("v%d", i), fmt.Sprintf("v%d-new", i)
+			if v != old && v != fresh {
+				t.Fatalf("read %d during outage = %v, want %q or %q", i, v, old, fresh)
+			}
+		}
+	}
+	if served := m.Status().Serves; served <= servedBefore {
+		t.Fatalf("outage reads were not mirror-served (serves %d -> %d)", servedBefore, served)
+	}
+
+	// Heal. The mirror must resubscribe, resync, and drain the backlog;
+	// the reader then sees every post-cut value.
+	proxy.Restore()
+	deadline := time.Now().Add(20 * time.Second)
+	for i := 0; i < keys; i++ {
+		want := fmt.Sprintf("v%d-new", i)
+		for {
+			if v, err := reader.Lookup(ctx, url(i)); err == nil && v == want {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("post-heal read %d never reached %q: %+v", i, want, m.Status())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if s := m.Status(); s.WatchLost == 0 {
+		t.Errorf("cut did not register as a lost watch: %+v", s)
+	}
+}

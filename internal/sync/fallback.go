@@ -1,0 +1,479 @@
+package sync
+
+import (
+	"context"
+	"errors"
+	stdsync "sync"
+	"time"
+
+	"gondi/internal/breaker"
+	"gondi/internal/core"
+	"gondi/internal/obs"
+	"gondi/internal/retry"
+)
+
+// The mirror-fallback middleware: graceful degradation for reads. It
+// sits innermost in the InitialContext middleware stack (inside the
+// cache — see core.WithMirrorFallback), so when resolution or a read
+// against an origin fails with a transport-class error and an active
+// mirror covers the name, the answer comes from the mirror's
+// materialized replica. Never silently: every diverted open and served
+// read is counted (gondi_sync_mirror_serves_total) and annotated on the
+// federation trace (mirror=open / mirror=serve), and writes never
+// divert — a mirror is a read-only degraded mode, not a second master.
+
+// Register installs the sync package's hooks into core and obs:
+// the FallbackFactory behind core.WithMirrorFallback, and the
+// /debug/vars "sync" section listing every mirror's Status. Call it
+// alongside the provider Register calls.
+func Register() {
+	core.RegisterFallbackFactory(func(env map[string]any) core.Middleware {
+		return &middleware{}
+	})
+	publishStatus()
+}
+
+var publishOnce stdsync.Once
+
+// publishStatus exposes mirror statuses at /debug/vars under "sync".
+// Idempotent; called from Register and from the first Mirror.Start so
+// statuses are visible even when no context opted into the fallback.
+func publishStatus() {
+	publishOnce.Do(func() {
+		obs.RegisterVarsSection("sync", func() any { return Statuses() })
+	})
+}
+
+// transportClass mirrors the cache's classification: failures that mean
+// "the backend is unreachable", as opposed to semantic naming errors.
+// Context cancellation is the caller's choice, never grounds to divert.
+func transportClass(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ce *core.CommunicationError
+	var sue *core.ServiceUnavailableError
+	var sbe *core.ServerBusyError
+	return errors.As(err, &ce) || errors.As(err, &sue) || errors.As(err, &sbe) ||
+		errors.Is(err, breaker.ErrOpen) || retry.Transient(err)
+}
+
+// middleware implements core.Middleware + core.ChainedMiddleware.
+type middleware struct{}
+
+// WrapContext leaves the default context alone: the fallback applies to
+// URL-resolved origins, which is where mirrors point.
+func (m *middleware) WrapContext(c core.Context) core.Context { return c }
+
+func (m *middleware) Close() error { return nil }
+
+// OpenURL terminates the chain when the middleware runs standalone.
+func (m *middleware) OpenURL(ctx context.Context, rawURL string, env map[string]any) (core.Context, core.Name, error) {
+	return m.OpenURLNext(ctx, rawURL, env, core.OpenURL)
+}
+
+// OpenURLNext resolves through the next layer. On success against a
+// mirrored origin it wraps the context so per-read failures can divert
+// later; on transport-class failure against a mirrored origin it
+// returns a mirror-backed root instead of the error.
+func (m *middleware) OpenURLNext(ctx context.Context, rawURL string, env map[string]any, next core.OpenURLFunc) (core.Context, core.Name, error) {
+	c, rest, err := next(ctx, rawURL, env)
+	u, perr := core.ParseURLName(rawURL)
+	if perr != nil {
+		return c, rest, err
+	}
+	if err == nil {
+		if coversAuthority(u.Scheme, u.Authority) {
+			return &fbCtx{inner: c, scheme: u.Scheme, authority: u.Authority}, rest, nil
+		}
+		return c, rest, nil
+	}
+	if !transportClass(err) || !coversAuthority(u.Scheme, u.Authority) {
+		return c, rest, err
+	}
+	obs.MirrorEvent(ctx, "open")
+	return &mirrorRoot{scheme: u.Scheme, authority: u.Authority, origErr: err}, u.Path, nil
+}
+
+// serve answers one read op from the mirror covering full, if any.
+// Returns (result, true) when the mirror answered — including with a
+// legitimate semantic error like ErrNotFound — and (_, false) when no
+// mirror covers the name or the mirror itself is unreachable (the
+// caller then surfaces the origin's error, not the mirror's).
+func serve[T any](ctx context.Context, scheme, authority, op string, full core.Name,
+	read func(m *Mirror, dest core.Name) (T, error)) (T, error, bool) {
+	var zero T
+	m, rel, ok := lookupMirror(scheme, authority, full)
+	if !ok {
+		return zero, nil, false
+	}
+	v, err := read(m, m.destBase.Concat(rel))
+	if err != nil && transportClass(err) {
+		return zero, nil, false
+	}
+	m.serves.Add(1)
+	obs.Default.Counter("gondi_sync_mirror_serves_total",
+		"Reads answered from a mirror because the origin was unreachable.",
+		obs.Label{K: "mirror", V: m.name}, obs.Label{K: "op", V: op}).Inc()
+	obs.MirrorEvent(ctx, "serve")
+	return v, err, true
+}
+
+// fbCtx wraps an origin context opened while its authority is mirrored:
+// reads that fail transport-class divert to the mirror; writes, watches
+// and everything else pass straight through. base tracks how deep this
+// wrapper sits below the provider root, so relative names map into the
+// mirror registry's provider-root-relative namespace.
+type fbCtx struct {
+	inner     core.Context
+	scheme    string
+	authority string
+	base      core.Name
+}
+
+var _ core.DirContext = (*fbCtx)(nil)
+var _ core.EventContext = (*fbCtx)(nil)
+
+// Unwrap lets obs.Uninstrument strip the wrapper.
+func (f *fbCtx) Unwrap() core.Context { return f.inner }
+
+func (f *fbCtx) full(name string) (core.Name, bool) {
+	n, err := core.ParseName(name)
+	if err != nil {
+		return core.Name{}, false
+	}
+	return f.base.Concat(n), true
+}
+
+func (f *fbCtx) wrapChild(name string, v any) any {
+	c, ok := v.(core.Context)
+	if !ok {
+		return v
+	}
+	full, ok := f.full(name)
+	if !ok {
+		return v
+	}
+	return &fbCtx{inner: c, scheme: f.scheme, authority: f.authority, base: full}
+}
+
+func (f *fbCtx) Lookup(ctx context.Context, name string) (any, error) {
+	v, err := f.inner.Lookup(ctx, name)
+	if err == nil {
+		return f.wrapChild(name, v), nil
+	}
+	if !transportClass(err) {
+		return v, err
+	}
+	full, ok := f.full(name)
+	if !ok {
+		return v, err
+	}
+	if mv, merr, served := serve(ctx, f.scheme, f.authority, "lookup", full,
+		func(m *Mirror, dest core.Name) (any, error) { return m.destRoot.Lookup(ctx, dest.String()) }); served {
+		return mv, merr
+	}
+	return v, err
+}
+
+func (f *fbCtx) LookupLink(ctx context.Context, name string) (any, error) {
+	v, err := f.inner.LookupLink(ctx, name)
+	if err == nil || !transportClass(err) {
+		return v, err
+	}
+	full, ok := f.full(name)
+	if !ok {
+		return v, err
+	}
+	if mv, merr, served := serve(ctx, f.scheme, f.authority, "lookupLink", full,
+		func(m *Mirror, dest core.Name) (any, error) { return m.destRoot.LookupLink(ctx, dest.String()) }); served {
+		return mv, merr
+	}
+	return v, err
+}
+
+func (f *fbCtx) List(ctx context.Context, name string) ([]core.NameClassPair, error) {
+	v, err := f.inner.List(ctx, name)
+	if err == nil || !transportClass(err) {
+		return v, err
+	}
+	full, ok := f.full(name)
+	if !ok {
+		return v, err
+	}
+	if mv, merr, served := serve(ctx, f.scheme, f.authority, "list", full,
+		func(m *Mirror, dest core.Name) ([]core.NameClassPair, error) {
+			return m.destRoot.List(ctx, dest.String())
+		}); served {
+		return mv, merr
+	}
+	return v, err
+}
+
+func (f *fbCtx) ListBindings(ctx context.Context, name string) ([]core.Binding, error) {
+	v, err := f.inner.ListBindings(ctx, name)
+	if err == nil || !transportClass(err) {
+		return v, err
+	}
+	full, ok := f.full(name)
+	if !ok {
+		return v, err
+	}
+	if mv, merr, served := serve(ctx, f.scheme, f.authority, "listBindings", full,
+		func(m *Mirror, dest core.Name) ([]core.Binding, error) {
+			return m.destRoot.ListBindings(ctx, dest.String())
+		}); served {
+		return mv, merr
+	}
+	return v, err
+}
+
+func (f *fbCtx) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*core.Attributes, error) {
+	d, ok := f.inner.(core.DirContext)
+	if !ok {
+		return nil, core.Errf("getAttributes", name, core.ErrNotSupported)
+	}
+	v, err := d.GetAttributes(ctx, name, attrIDs...)
+	if err == nil || !transportClass(err) {
+		return v, err
+	}
+	full, fok := f.full(name)
+	if !fok {
+		return v, err
+	}
+	if mv, merr, served := serve(ctx, f.scheme, f.authority, "getAttributes", full,
+		func(m *Mirror, dest core.Name) (*core.Attributes, error) {
+			return m.destDir.GetAttributes(ctx, dest.String(), attrIDs...)
+		}); served {
+		return mv, merr
+	}
+	return v, err
+}
+
+func (f *fbCtx) Search(ctx context.Context, name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+	d, ok := f.inner.(core.DirContext)
+	if !ok {
+		return nil, core.Errf("search", name, core.ErrNotSupported)
+	}
+	v, err := d.Search(ctx, name, filterStr, controls)
+	if err == nil || !transportClass(err) {
+		return v, err
+	}
+	full, fok := f.full(name)
+	if !fok {
+		return v, err
+	}
+	if mv, merr, served := serve(ctx, f.scheme, f.authority, "search", full,
+		func(m *Mirror, dest core.Name) ([]core.SearchResult, error) {
+			return m.destDir.Search(ctx, dest.String(), filterStr, controls)
+		}); served {
+		return mv, merr
+	}
+	return v, err
+}
+
+// Writes pass through untouched: a mirror never accepts writes on the
+// origin's behalf (that would fork the namespace — the origin heals and
+// the divergence has no merge rule).
+
+func (f *fbCtx) Bind(ctx context.Context, name string, obj any) error {
+	return f.inner.Bind(ctx, name, obj)
+}
+func (f *fbCtx) Rebind(ctx context.Context, name string, obj any) error {
+	return f.inner.Rebind(ctx, name, obj)
+}
+func (f *fbCtx) Unbind(ctx context.Context, name string) error { return f.inner.Unbind(ctx, name) }
+func (f *fbCtx) Rename(ctx context.Context, oldName, newName string) error {
+	return f.inner.Rename(ctx, oldName, newName)
+}
+func (f *fbCtx) CreateSubcontext(ctx context.Context, name string) (core.Context, error) {
+	c, err := f.inner.CreateSubcontext(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrapChild(name, c).(core.Context), nil
+}
+func (f *fbCtx) DestroySubcontext(ctx context.Context, name string) error {
+	return f.inner.DestroySubcontext(ctx, name)
+}
+func (f *fbCtx) BindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	if d, ok := f.inner.(core.DirContext); ok {
+		return d.BindAttrs(ctx, name, obj, attrs)
+	}
+	return core.Errf("bind", name, core.ErrNotSupported)
+}
+func (f *fbCtx) RebindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	if d, ok := f.inner.(core.DirContext); ok {
+		return d.RebindAttrs(ctx, name, obj, attrs)
+	}
+	return core.Errf("rebind", name, core.ErrNotSupported)
+}
+func (f *fbCtx) ModifyAttributes(ctx context.Context, name string, mods []core.AttributeMod) error {
+	if d, ok := f.inner.(core.DirContext); ok {
+		return d.ModifyAttributes(ctx, name, mods)
+	}
+	return core.Errf("modifyAttributes", name, core.ErrNotSupported)
+}
+func (f *fbCtx) CreateSubcontextAttrs(ctx context.Context, name string, attrs *core.Attributes) (core.DirContext, error) {
+	d, ok := f.inner.(core.DirContext)
+	if !ok {
+		return nil, core.Errf("createSubcontext", name, core.ErrNotSupported)
+	}
+	c, err := d.CreateSubcontextAttrs(ctx, name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrapChild(name, c).(core.DirContext), nil
+}
+
+// Watch never diverts: a mirror cannot observe origin changes the
+// origin is too dead to emit.
+func (f *fbCtx) Watch(ctx context.Context, target string, scope core.SearchScope, l core.Listener) (func(), error) {
+	if ec, ok := f.inner.(core.EventContext); ok {
+		return ec.Watch(ctx, target, scope, l)
+	}
+	return nil, core.Errf("watch", target, core.ErrNotSupported)
+}
+
+// AdviseTTL and SyncCursor forward structurally (the cache sits outside
+// this wrapper and asks through it).
+func (f *fbCtx) AdviseTTL(name string) (time.Duration, bool) {
+	type ttlAdvisor interface {
+		AdviseTTL(name string) (time.Duration, bool)
+	}
+	if a, ok := f.inner.(ttlAdvisor); ok {
+		return a.AdviseTTL(name)
+	}
+	return 0, false
+}
+
+func (f *fbCtx) SyncCursor(ctx context.Context, name string) (string, bool, error) {
+	if cs, ok := f.inner.(CursorSource); ok {
+		return cs.SyncCursor(ctx, name)
+	}
+	return "", false, nil
+}
+
+func (f *fbCtx) NameInNamespace() (string, error) { return f.inner.NameInNamespace() }
+func (f *fbCtx) Environment() map[string]any      { return f.inner.Environment() }
+func (f *fbCtx) Close() error                     { return f.inner.Close() }
+
+// mirrorRoot stands in for an origin whose OPEN already failed: every
+// read is answered from whichever mirror covers the name; everything
+// else — writes, watches, uncovered names — fails with the ORIGIN's
+// typed error, so callers see exactly what is degraded and why.
+type mirrorRoot struct {
+	scheme    string
+	authority string
+	origErr   error
+}
+
+var _ core.DirContext = (*mirrorRoot)(nil)
+
+func (r *mirrorRoot) full(name string) (core.Name, bool) {
+	n, err := core.ParseName(name)
+	if err != nil {
+		return core.Name{}, false
+	}
+	return n, true
+}
+
+func (r *mirrorRoot) Lookup(ctx context.Context, name string) (any, error) {
+	if full, ok := r.full(name); ok {
+		if v, err, served := serve(ctx, r.scheme, r.authority, "lookup", full,
+			func(m *Mirror, dest core.Name) (any, error) { return m.destRoot.Lookup(ctx, dest.String()) }); served {
+			return v, err
+		}
+	}
+	return nil, r.origErr
+}
+
+func (r *mirrorRoot) LookupLink(ctx context.Context, name string) (any, error) {
+	if full, ok := r.full(name); ok {
+		if v, err, served := serve(ctx, r.scheme, r.authority, "lookupLink", full,
+			func(m *Mirror, dest core.Name) (any, error) { return m.destRoot.LookupLink(ctx, dest.String()) }); served {
+			return v, err
+		}
+	}
+	return nil, r.origErr
+}
+
+func (r *mirrorRoot) List(ctx context.Context, name string) ([]core.NameClassPair, error) {
+	if full, ok := r.full(name); ok {
+		if v, err, served := serve(ctx, r.scheme, r.authority, "list", full,
+			func(m *Mirror, dest core.Name) ([]core.NameClassPair, error) {
+				return m.destRoot.List(ctx, dest.String())
+			}); served {
+			return v, err
+		}
+	}
+	return nil, r.origErr
+}
+
+func (r *mirrorRoot) ListBindings(ctx context.Context, name string) ([]core.Binding, error) {
+	if full, ok := r.full(name); ok {
+		if v, err, served := serve(ctx, r.scheme, r.authority, "listBindings", full,
+			func(m *Mirror, dest core.Name) ([]core.Binding, error) {
+				return m.destRoot.ListBindings(ctx, dest.String())
+			}); served {
+			return v, err
+		}
+	}
+	return nil, r.origErr
+}
+
+func (r *mirrorRoot) GetAttributes(ctx context.Context, name string, attrIDs ...string) (*core.Attributes, error) {
+	if full, ok := r.full(name); ok {
+		if v, err, served := serve(ctx, r.scheme, r.authority, "getAttributes", full,
+			func(m *Mirror, dest core.Name) (*core.Attributes, error) {
+				return m.destDir.GetAttributes(ctx, dest.String(), attrIDs...)
+			}); served {
+			return v, err
+		}
+	}
+	return nil, r.origErr
+}
+
+func (r *mirrorRoot) Search(ctx context.Context, name, filterStr string, controls *core.SearchControls) ([]core.SearchResult, error) {
+	if full, ok := r.full(name); ok {
+		if v, err, served := serve(ctx, r.scheme, r.authority, "search", full,
+			func(m *Mirror, dest core.Name) ([]core.SearchResult, error) {
+				return m.destDir.Search(ctx, dest.String(), filterStr, controls)
+			}); served {
+			return v, err
+		}
+	}
+	return nil, r.origErr
+}
+
+func (r *mirrorRoot) Bind(ctx context.Context, name string, obj any) error   { return r.origErr }
+func (r *mirrorRoot) Rebind(ctx context.Context, name string, obj any) error { return r.origErr }
+func (r *mirrorRoot) Unbind(ctx context.Context, name string) error          { return r.origErr }
+func (r *mirrorRoot) Rename(ctx context.Context, oldName, newName string) error {
+	return r.origErr
+}
+func (r *mirrorRoot) CreateSubcontext(ctx context.Context, name string) (core.Context, error) {
+	return nil, r.origErr
+}
+func (r *mirrorRoot) DestroySubcontext(ctx context.Context, name string) error { return r.origErr }
+func (r *mirrorRoot) BindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	return r.origErr
+}
+func (r *mirrorRoot) RebindAttrs(ctx context.Context, name string, obj any, attrs *core.Attributes) error {
+	return r.origErr
+}
+func (r *mirrorRoot) ModifyAttributes(ctx context.Context, name string, mods []core.AttributeMod) error {
+	return r.origErr
+}
+func (r *mirrorRoot) CreateSubcontextAttrs(ctx context.Context, name string, attrs *core.Attributes) (core.DirContext, error) {
+	return nil, r.origErr
+}
+func (r *mirrorRoot) Watch(ctx context.Context, target string, scope core.SearchScope, l core.Listener) (func(), error) {
+	return nil, r.origErr
+}
+func (r *mirrorRoot) NameInNamespace() (string, error) { return "", r.origErr }
+func (r *mirrorRoot) Environment() map[string]any      { return nil }
+func (r *mirrorRoot) Close() error                     { return nil }

@@ -1,0 +1,30 @@
+package sync
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ParseMirrorFlag parses one daemon -mirror flag value:
+//
+//	"SRC_URL DST_URL [interval]"
+//
+// e.g. "dns://ns1:53/global/emory hdns://n1:7001/mirrors/emory 5s".
+// Fields are whitespace-separated because both commas and pipes appear
+// inside sharded HDNS authorities ("hdns://a:1,b:1|c:1/x").
+func ParseMirrorFlag(v string) (Config, error) {
+	fields := strings.Fields(v)
+	if len(fields) < 2 || len(fields) > 3 {
+		return Config{}, fmt.Errorf("sync: -mirror wants \"SRC_URL DST_URL [interval]\", got %q", v)
+	}
+	cfg := Config{SourceURL: fields[0], DestURL: fields[1]}
+	if len(fields) == 3 {
+		d, err := time.ParseDuration(fields[2])
+		if err != nil {
+			return Config{}, fmt.Errorf("sync: -mirror interval: %w", err)
+		}
+		cfg.Interval = d
+	}
+	return cfg, nil
+}

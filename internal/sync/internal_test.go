@@ -1,0 +1,139 @@
+package sync
+
+// White-box tests for the resume journal, the -mirror flag grammar, and
+// the registry's deepest-base-wins coverage rule.
+
+import (
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+)
+
+func TestJournalReplayRestoresCursorAndTombs(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	j.cursor("soa:41")
+	j.cursor("soa:42") // later cursor supersedes
+	j.tomb("printers/lw2", at)
+	j.tomb("printers/lw3", at)
+	j.untomb("printers/lw3") // resurrection clears the tombstone
+	j.close()
+
+	j2, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	cur, tombs, err := j2.replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != "soa:42" {
+		t.Fatalf("cursor = %q, want soa:42", cur)
+	}
+	if len(tombs) != 1 || !tombs["printers/lw2"].Equal(at) {
+		t.Fatalf("tombs = %v, want only printers/lw2 @ %v", tombs, at)
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Unix(100, 0).UTC()
+	j.tomb("keep", at)
+	// Drive past the compaction threshold with cursor churn; the
+	// snapshot must retain the live state and drop the history.
+	for i := 0; i <= compactEvery; i++ {
+		j.cursor("soa:" + time.Duration(i).String())
+	}
+	if j.appends >= compactEvery {
+		t.Fatalf("journal did not compact: %d appends on the books", j.appends)
+	}
+	last := "soa:" + time.Duration(compactEvery).String()
+	j.close()
+
+	j2, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.close()
+	cur, tombs, err := j2.replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != last {
+		t.Fatalf("cursor after compaction = %q, want %q", cur, last)
+	}
+	if len(tombs) != 1 || tombs["keep"].IsZero() {
+		t.Fatalf("tombs after compaction = %v, want keep", tombs)
+	}
+}
+
+func TestParseMirrorFlag(t *testing.T) {
+	cfg, err := ParseMirrorFlag("dns://ns1:53/global/emory hdns://n1:7001/mirrors/emory 5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SourceURL != "dns://ns1:53/global/emory" || cfg.DestURL != "hdns://n1:7001/mirrors/emory" || cfg.Interval != 5*time.Second {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	// Interval is optional.
+	cfg, err = ParseMirrorFlag("mem://a/x mem://b/y")
+	if err != nil || cfg.Interval != 0 {
+		t.Fatalf("two-field form: %+v, %v", cfg, err)
+	}
+	// Sharded authorities with commas and pipes survive whitespace
+	// splitting — the reason the grammar is not comma-separated.
+	cfg, err = ParseMirrorFlag("hdns://a:1,b:1|c:1/x mem://b/y")
+	if err != nil || cfg.SourceURL != "hdns://a:1,b:1|c:1/x" {
+		t.Fatalf("sharded authority: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"", "one", "a b c d", "mem://a/x mem://b/y notaduration"} {
+		if _, err := ParseMirrorFlag(bad); err == nil {
+			t.Errorf("ParseMirrorFlag(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLookupMirrorDeepestBaseWins(t *testing.T) {
+	wide := &Mirror{name: "wide", srcScheme: "dns", srcAuthority: "ns1:53", srcBase: core.MustParseName("global")}
+	deep := &Mirror{name: "deep", srcScheme: "dns", srcAuthority: "ns1:53", srcBase: core.MustParseName("global/emory")}
+	other := &Mirror{name: "other", srcScheme: "dns", srcAuthority: "ns2:53", srcBase: core.MustParseName("global")}
+	for _, m := range []*Mirror{wide, deep, other} {
+		registerMirror(m)
+	}
+	t.Cleanup(func() {
+		for _, m := range []*Mirror{wide, deep, other} {
+			unregisterMirror(m)
+		}
+	})
+
+	m, rel, ok := lookupMirror("dns", "ns1:53", core.MustParseName("global/emory/printers/lw2"))
+	if !ok || m != deep || rel.String() != "printers/lw2" {
+		t.Fatalf("nested name -> %v, %q, %v; want the deep mirror", m, rel.String(), ok)
+	}
+	m, rel, ok = lookupMirror("dns", "ns1:53", core.MustParseName("global/cs/www"))
+	if !ok || m != wide || rel.String() != "cs/www" {
+		t.Fatalf("wide-only name -> %v, %q, %v; want the wide mirror", m, rel.String(), ok)
+	}
+	if _, _, ok := lookupMirror("dns", "ns1:53", core.MustParseName("local/x")); ok {
+		t.Fatal("uncovered base matched")
+	}
+	if _, _, ok := lookupMirror("hdns", "ns1:53", core.MustParseName("global/x")); ok {
+		t.Fatal("wrong scheme matched")
+	}
+	if !coversAuthority("dns", "ns2:53") {
+		t.Fatal("coversAuthority missed a registered mirror")
+	}
+	if coversAuthority("dns", "ns3:53") {
+		t.Fatal("coversAuthority invented a mirror")
+	}
+}

@@ -1,0 +1,162 @@
+package sync
+
+import (
+	"encoding/json"
+	stdsync "sync"
+	"time"
+
+	"gondi/internal/wal"
+)
+
+// journal persists a mirror's resume state — the delta-pull cursor and
+// the deletion tombstones — through the write-ahead log, so a restarted
+// mirror picks up where it stopped instead of re-applying deletions or
+// re-walking from a blank cursor. Records are small JSON frames:
+//
+//	{"t":"cursor","c":"soa:42"}
+//	{"t":"tomb","p":"printers/lw2","at":"2026-08-08T..."}
+//	{"t":"untomb","p":"printers/lw2"}
+//
+// The log compacts itself once the append count passes a threshold:
+// rotate, write one snapshot of the live state, prune the old segments.
+type journal struct {
+	mu      stdsync.Mutex
+	log     *wal.Log
+	appends int
+
+	// live state, mirrored here so compaction can snapshot without
+	// reaching back into the Mirror.
+	cur   string
+	tombs map[string]time.Time
+}
+
+// compactEvery bounds journal growth: after this many appends the log
+// is rewritten as one snapshot.
+const compactEvery = 4096
+
+type jrec struct {
+	T  string    `json:"t"`
+	C  string    `json:"c,omitempty"`
+	P  string    `json:"p,omitempty"`
+	At time.Time `json:"at,omitempty"`
+}
+
+func openJournal(dir string) (*journal, error) {
+	log, err := wal.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{log: log, tombs: map[string]time.Time{}}, nil
+}
+
+// replay restores the persisted cursor and tombstones.
+func (j *journal) replay() (cursor string, tombs map[string]time.Time, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.log.Replay(func(payload []byte) error {
+		var r jrec
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return err
+		}
+		switch r.T {
+		case "cursor":
+			j.cur = r.C
+		case "tomb":
+			j.tombs[r.P] = r.At
+		case "untomb":
+			delete(j.tombs, r.P)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	tombs = make(map[string]time.Time, len(j.tombs))
+	for k, v := range j.tombs {
+		tombs[k] = v
+	}
+	return j.cur, tombs, nil
+}
+
+func (j *journal) cursor(c string) {
+	j.append(jrec{T: "cursor", C: c}, func() { j.cur = c })
+}
+
+func (j *journal) tomb(p string, at time.Time) {
+	j.append(jrec{T: "tomb", P: p, At: at}, func() { j.tombs[p] = at })
+}
+
+func (j *journal) untomb(p string) {
+	j.append(jrec{T: "untomb", P: p}, func() { delete(j.tombs, p) })
+}
+
+// append writes one record, applies it to the live state, syncs, and
+// compacts when due. Journal write failures are deliberately swallowed:
+// the journal is an optimization (resume state), not correctness — a
+// mirror with no journal simply does one extra full resync on restart.
+func (j *journal) append(r jrec, apply func()) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.log == nil {
+		return
+	}
+	apply()
+	if err := j.log.Append(payload); err != nil {
+		return
+	}
+	j.log.Sync()
+	j.appends++
+	if j.appends >= compactEvery {
+		j.compactLocked()
+	}
+}
+
+// compactLocked rewrites the log as one snapshot of the live state.
+func (j *journal) compactLocked() {
+	boundary, err := j.log.Rotate()
+	if err != nil {
+		return
+	}
+	ok := true
+	write := func(r jrec) {
+		if !ok {
+			return
+		}
+		payload, err := json.Marshal(r)
+		if err != nil {
+			ok = false
+			return
+		}
+		if err := j.log.Append(payload); err != nil {
+			ok = false
+		}
+	}
+	if j.cur != "" {
+		write(jrec{T: "cursor", C: j.cur})
+	}
+	for p, at := range j.tombs {
+		write(jrec{T: "tomb", P: p, At: at})
+	}
+	if !ok {
+		return // keep the pre-rotation segments; nothing is lost
+	}
+	if err := j.log.Sync(); err != nil {
+		return
+	}
+	j.log.Prune(boundary)
+	j.appends = 0
+}
+
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.log != nil {
+		j.log.Sync()
+		j.log.Close()
+		j.log = nil
+	}
+}

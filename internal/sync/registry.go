@@ -1,0 +1,98 @@
+package sync
+
+import (
+	"sort"
+	stdsync "sync"
+
+	"gondi/internal/core"
+)
+
+// The mirror registry is process-global, like the provider registry in
+// core: a Mirror registers its coverage (source scheme + authority +
+// base path) on Start, and the fallback middleware consults it when an
+// origin fails. Process-global is deliberate — mirrors are operational
+// infrastructure (started by the daemon), while InitialContexts are
+// per-caller; any context that opts into WithMirrorFallback should see
+// every running mirror.
+var reg struct {
+	mu      stdsync.RWMutex
+	mirrors []*Mirror
+}
+
+func registerMirror(m *Mirror) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, have := range reg.mirrors {
+		if have == m {
+			return
+		}
+	}
+	reg.mirrors = append(reg.mirrors, m)
+}
+
+func unregisterMirror(m *Mirror) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for i, have := range reg.mirrors {
+		if have == m {
+			reg.mirrors = append(reg.mirrors[:i], reg.mirrors[i+1:]...)
+			return
+		}
+	}
+}
+
+// lookupMirror finds a mirror covering the given source-relative name:
+// same scheme, same authority (exact string — the caller dials what the
+// mirror dials), and name under the mirrored base. It returns the
+// matching mirror and the name relative to the mirrored subtree. The
+// deepest covering base wins when mirrors nest.
+func lookupMirror(scheme, authority string, name core.Name) (*Mirror, core.Name, bool) {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	var best *Mirror
+	bestDepth := -1
+	for _, m := range reg.mirrors {
+		if m.srcScheme != scheme || m.srcAuthority != authority {
+			continue
+		}
+		if !name.StartsWith(m.srcBase) {
+			continue
+		}
+		if d := m.srcBase.Size(); d > bestDepth {
+			best, bestDepth = m, d
+		}
+	}
+	if best == nil {
+		return nil, core.Name{}, false
+	}
+	return best, name.Suffix(bestDepth), true
+}
+
+// coversAuthority reports whether any mirror watches the given origin
+// at all — the cheap pre-check the middleware runs on every successful
+// open, to decide whether wrapping for read-fallback is worthwhile.
+func coversAuthority(scheme, authority string) bool {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	for _, m := range reg.mirrors {
+		if m.srcScheme == scheme && m.srcAuthority == authority {
+			return true
+		}
+	}
+	return false
+}
+
+// Statuses returns a snapshot of every registered mirror, sorted by
+// name — the payload behind /debug/vars's "sync" section and
+// `fedctl sync`.
+func Statuses() []Status {
+	reg.mu.RLock()
+	mirrors := append([]*Mirror(nil), reg.mirrors...)
+	reg.mu.RUnlock()
+	out := make([]Status, 0, len(mirrors))
+	for _, m := range mirrors {
+		out = append(out, m.Status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -111,6 +111,9 @@ stage_chaos() {
     echo "== shard drills: routing stability, rebalance, partial failure, WAL restart (-race) =="
     go test -race -count=1 -run 'TestHDNSShardConformance' ./internal/provider/ptest/
     go test -race -count=1 -run 'TestWALCrashRestartReplay|TestWALCompactionKeepsTail|TestRouterBatchPartialFailureTypedPerItem' ./internal/hdns/
+    echo "== sync drills: cross-registry convergence + origin-outage mirror fallback (-race) =="
+    go test -race -count=1 -run 'SyncConformance|TestDNSSyncCursorSkipsIdleCycles' ./internal/provider/ptest/
+    go test -race -count=1 -run 'TestChaosOriginCutMidStreamMirrorKeepsServing|TestFallback' ./internal/sync/
 }
 
 stage_vuln() {
@@ -157,6 +160,8 @@ stage_bench() {
     go run ./cmd/ippsbench -issue7
     echo "== shard scale-out + WAL restart report (writes BENCH_issue8.json) =="
     go run ./cmd/ippsbench -issue8
+    echo "== cross-registry mirroring report (writes BENCH_issue9.json) =="
+    go run ./cmd/ippsbench -issue9
 }
 
 stage_benchdiff() {
@@ -169,7 +174,7 @@ stage_benchdiff() {
     # -quick verdict gates.
     echo "== bench regression diff (>20% ops/s drop fails) =="
     compared=0
-    for n in 3 5 7 8; do
+    for n in 3 5 7 8 9; do
         fresh="BENCH_issue${n}_ci.json"
         if [ ! -f "$fresh" ]; then
             echo "benchdiff: $fresh missing (go run ./cmd/ippsbench -issue$n -quick -out $fresh); skipping"
