@@ -13,8 +13,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"gondi/internal/dnssrv"
 	"gondi/internal/obs"
@@ -39,7 +37,8 @@ func main() {
 	if len(zones) == 0 {
 		log.Fatal("dnsd: at least one -zone file is required")
 	}
-	srv, err := dnssrv.NewServer(opts.ListenAddr, nil, dnssrv.WithAdmission(opts.Controller()))
+	ctrl := opts.Controller()
+	srv, err := dnssrv.NewServer(opts.ListenAddr, nil, dnssrv.WithAdmission(ctrl))
 	if err != nil {
 		log.Fatalf("dnsd: %v", err)
 	}
@@ -64,8 +63,7 @@ func main() {
 		fmt.Printf("dnsd: observability at http://%s/metrics\n", osrv.Addr())
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	_ = srv.Close()
+	if err := serverutil.AwaitShutdown("dnsd", ctrl, 0, srv.Close); err != nil {
+		log.Printf("dnsd: close: %v", err)
+	}
 }

@@ -16,11 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
-	"syscall"
 	"time"
 
 	"gondi/internal/hdns"
@@ -82,6 +79,7 @@ func main() {
 		// name so replicas of different shards can never merge.
 		groupName = fmt.Sprintf("%s-s%d", *group, *shardIndex)
 	}
+	ctrl := opts.Controller()
 	node, err := hdns.NewNode(hdns.NodeConfig{
 		Group:            groupName,
 		Transport:        tr,
@@ -93,7 +91,7 @@ func main() {
 		CompactBytes:     *compactBytes,
 		Shard:            shard.Assignment{Groups: *shardGroups, Index: *shardIndex},
 		Secret:           *secret,
-		Admission:        opts.Controller(),
+		Admission:        ctrl,
 	})
 	if err != nil {
 		log.Fatalf("hdnsd: %v", err)
@@ -101,6 +99,10 @@ func main() {
 	view := node.Channel().View()
 	fmt.Printf("hdnsd: serving %s group=%s transport=%s members=%v\n",
 		node.Addr(), groupName, tr.Addr(), view.Members)
+	if d := node.Damage(); d.Corrupt() {
+		fmt.Printf("hdnsd: local state quarantined (%d files); serving degraded until repaired: %v\n",
+			len(d.WALQuarantined), d.Err)
+	}
 	if *shardGroups > 1 {
 		fmt.Printf("hdnsd: shard %d/%d (route clients with a %q-separated authority)\n",
 			*shardIndex, *shardGroups, "|")
@@ -120,6 +122,7 @@ func main() {
 		dnssp.Register()
 		ldapsp.Register()
 		syncpkg.Register()
+		var ms []*syncpkg.Mirror
 		for i, spec := range mirrors {
 			cfg, err := syncpkg.ParseMirrorFlag(spec)
 			if err != nil {
@@ -140,15 +143,32 @@ func main() {
 				log.Fatalf("hdnsd: mirror %q: %v", spec, err)
 			}
 			defer m.Stop()
+			ms = append(ms, m)
 			fmt.Printf("hdnsd: mirroring %s -> %s\n", cfg.SourceURL, cfg.DestURL)
+		}
+		if node.NeedsRepair() && len(ms) > 0 {
+			// A mirror destination has no replica group to pull from, but
+			// the mirror source is authoritative: force a full resync to
+			// rebuild the quarantined state.
+			fmt.Println("hdnsd: local state was quarantined; forcing mirror resync to repair")
+			go func() {
+				for _, m := range ms {
+					if err := m.Resync(context.Background()); err != nil {
+						log.Printf("hdnsd: repair resync: %v", err)
+						return
+					}
+				}
+				node.MarkResynced()
+				fmt.Println("hdnsd: repair resync complete")
+			}()
 		}
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	fmt.Println("hdnsd: shutting down (persisting replica)")
-	if err := node.Close(); err != nil {
+	err = serverutil.AwaitShutdown("hdnsd", ctrl, 0, func() error {
+		fmt.Println("hdnsd: persisting replica")
+		return node.Close()
+	})
+	if err != nil {
 		log.Printf("hdnsd: close: %v", err)
 	}
 }

@@ -15,6 +15,7 @@
 //	ippsbench -issue6         # lockstep vs pipelined vs batched wire path → BENCH_issue6.json
 //	ippsbench -issue7         # open-loop 2x overload, admission on vs off → BENCH_issue7.json
 //	ippsbench -issue8         # 4-group shard scale-out + WAL crash restart → BENCH_issue8.json
+//	ippsbench -issue10        # crash-point matrix + corrupted-replica auto-repair → BENCH_issue10.json
 //
 // Absolute numbers depend on the calibrated cost model (see DESIGN.md);
 // the curve shapes — who saturates where, the strict-bind penalty, the
@@ -47,8 +48,9 @@ func main() {
 	issue7 := flag.Bool("issue7", false, "run the overload-survival report (open-loop 2x capacity, 10k clients, admission on vs off) and write -out")
 	issue8 := flag.Bool("issue8", false, "run the shard report (4-group write scale-out vs one group, WAL crash restart) and write -out")
 	issue9 := flag.Bool("issue9", false, "run the mirroring report (mirrored vs direct reads through a full origin outage) and write -out")
+	issue10 := flag.Bool("issue10", false, "run the durability report (crash-point matrix + corrupted-replica auto-repair) and write -out")
 	baseline := flag.String("baseline", "BENCH_issue1.json", "issue1 baseline file for -issue2")
-	out := flag.String("out", "", "output file for -issue2 / -issue3 / -issue5 / -issue6 / -issue7 / -issue8 / -issue9 (default BENCH_issue<N>.json)")
+	out := flag.String("out", "", "output file for -issue2 / -issue3 / -issue5 / -issue6 / -issue7 / -issue8 / -issue9 / -issue10 (default BENCH_issue<N>.json)")
 	flag.Parse()
 
 	if *list {
@@ -154,6 +156,17 @@ func main() {
 		}
 		if err := runIssue9(*quick, path); err != nil {
 			fmt.Fprintf(os.Stderr, "ippsbench: issue9: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *issue10 {
+		path := *out
+		if path == "" {
+			path = "BENCH_issue10.json"
+		}
+		if err := runIssue10(*quick, path); err != nil {
+			fmt.Fprintf(os.Stderr, "ippsbench: issue10: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -9,10 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"gondi/internal/jini"
@@ -32,7 +29,8 @@ func main() {
 	if *groups != "" {
 		groupList = strings.Split(*groups, ",")
 	}
-	lus, err := jini.NewLUS(jini.LUSConfig{ListenAddr: opts.ListenAddr, Groups: groupList, Admission: opts.Controller()})
+	ctrl := opts.Controller()
+	lus, err := jini.NewLUS(jini.LUSConfig{ListenAddr: opts.ListenAddr, Groups: groupList, Admission: ctrl})
 	if err != nil {
 		log.Fatalf("jinilusd: %v", err)
 	}
@@ -64,9 +62,10 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	jini.Withdraw(lus)
-	_ = lus.Close()
+	err = serverutil.AwaitShutdown("jinilusd", ctrl, 0,
+		func() error { jini.Withdraw(lus); return nil },
+		lus.Close)
+	if err != nil {
+		log.Printf("jinilusd: close: %v", err)
+	}
 }

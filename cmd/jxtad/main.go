@@ -9,9 +9,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"gondi/internal/jxta"
@@ -35,7 +32,8 @@ func main() {
 	flag.Parse()
 	opts := shared.Options("jxta")
 
-	rdv, err := jxta.NewRendezvous(opts.ListenAddr, jxta.WithAdmission(opts.Controller()))
+	ctrl := opts.Controller()
+	rdv, err := jxta.NewRendezvous(opts.ListenAddr, jxta.WithAdmission(ctrl))
 	if err != nil {
 		log.Fatalf("jxtad: %v", err)
 	}
@@ -59,8 +57,7 @@ func main() {
 		fmt.Printf("jxtad: observability at http://%s/metrics\n", osrv.Addr())
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	_ = rdv.Close()
+	if err := serverutil.AwaitShutdown("jxtad", ctrl, 0, rdv.Close); err != nil {
+		log.Printf("jxtad: close: %v", err)
+	}
 }

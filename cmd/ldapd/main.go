@@ -10,9 +10,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"gondi/internal/ldapsrv"
@@ -30,12 +27,13 @@ func main() {
 	flag.Parse()
 	opts := shared.Options("ldap")
 
+	ctrl := opts.Controller()
 	srv, err := ldapsrv.NewServer(opts.ListenAddr, ldapsrv.ServerConfig{
 		BaseDN:              *base,
 		RootDN:              *rootDN,
 		RootPassword:        *rootPW,
 		RequireAuthForWrite: *authWrites,
-		Admission:           opts.Controller(),
+		Admission:           ctrl,
 	})
 	if err != nil {
 		log.Fatalf("ldapd: %v", err)
@@ -58,8 +56,7 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	_ = srv.Close()
+	if err := serverutil.AwaitShutdown("ldapd", ctrl, 0, srv.Close); err != nil {
+		log.Printf("ldapd: close: %v", err)
+	}
 }

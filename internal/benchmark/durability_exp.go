@@ -1,0 +1,194 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/provider/hdnssp"
+)
+
+// The -issue10 experiment: durability under storage faults, measured as
+// two drills.
+//
+// The crash matrix cuts power at every durability boundary (each write,
+// fsync, rename, truncate of append/rotate/snapshot/prune) of a synced
+// bind workload and restarts from whatever the torn disk holds. The
+// contract: no acked (fsync'd) write is ever lost, the version chain
+// stays consecutive, and a pure crash is never classified as corruption.
+//
+// The repair drill boots a replica whose local WAL has real mid-log
+// damage next to a healthy group member holding the full name set. The
+// contract: the damaged node quarantines (typed, still serving) and
+// re-anchors from the replica — and the wall-clock from boot to
+// serving the group's data again is the number the gate bounds.
+
+// DurabilityOptions sizes the two drills.
+type DurabilityOptions struct {
+	// Entries is the crash-matrix workload size (synced binds).
+	Entries int
+	// CompactAt lists op indices that trigger a full compaction, putting
+	// rotate/snapshot/prune boundaries into the matrix.
+	CompactAt []int
+	// RepairEntries is the group state size the damaged node must pull.
+	RepairEntries int
+	// RepairBound caps how long quarantine -> serving may take.
+	RepairBound time.Duration
+}
+
+// DurabilityResult is what the two drills measured.
+type DurabilityResult struct {
+	Matrix hdns.CrashPointResult
+	// MatrixTime is the wall-clock for the whole crash matrix.
+	MatrixTime time.Duration
+	// RepairQuarantined is how many durable files the damaged boot
+	// quarantined (must be > 0 for the drill to mean anything).
+	RepairQuarantined int
+	// RepairTime is boot -> repaired-and-serving on the damaged node.
+	RepairTime time.Duration
+	// RepairServed reports that every group entry resolved through the
+	// repaired node afterwards.
+	RepairServed bool
+	// RepairBound echoes the configured cap.
+	RepairBound time.Duration
+}
+
+// RunDurability executes both drills and returns their measurements.
+func RunDurability(o DurabilityOptions) (*DurabilityResult, error) {
+	if o.Entries <= 0 {
+		o.Entries = 48
+	}
+	if len(o.CompactAt) == 0 {
+		o.CompactAt = []int{o.Entries / 3, 2 * o.Entries / 3}
+	}
+	if o.RepairEntries <= 0 {
+		o.RepairEntries = 200
+	}
+	if o.RepairBound <= 0 {
+		o.RepairBound = 30 * time.Second
+	}
+
+	root, err := os.MkdirTemp("", "gondi-durability-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	res := &DurabilityResult{RepairBound: o.RepairBound}
+
+	start := time.Now()
+	matrix, err := hdns.RunCrashPointDrill(filepath.Join(root, "matrix"), hdns.CrashDrillConfig{
+		Entries:   o.Entries,
+		CompactAt: o.CompactAt,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("benchmark: crash matrix: %w", err)
+	}
+	res.Matrix = *matrix
+	res.MatrixTime = time.Since(start)
+
+	if err := runRepairDrill(o, root, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runRepairDrill(o DurabilityOptions, root string, res *DurabilityResult) error {
+	ctx := context.Background()
+	f := jgroups.NewFabric()
+	stack := jgroups.DefaultConfig()
+
+	// Healthy replica B accumulates the group's state.
+	healthy, err := hdns.NewNode(hdns.NodeConfig{
+		Group:      "dur-repair",
+		Transport:  f.Endpoint("dur-healthy"),
+		Stack:      stack,
+		ListenAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		return err
+	}
+	defer healthy.Close()
+	seed, err := hdnssp.Open(ctx, healthy.Addr(), map[string]any{})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < o.RepairEntries; i++ {
+		if err := seed.Bind(ctx, fmt.Sprintf("rep%05d", i), spiPayload); err != nil {
+			seed.Close()
+			return fmt.Errorf("benchmark: seed group state: %w", err)
+		}
+	}
+	seed.Close()
+
+	// The damaged node's disk: a real WAL with a bit flipped mid-log.
+	snap := filepath.Join(root, "victim.snap")
+	walDir := filepath.Join(root, "victim-wal")
+	if err := hdns.BuildShardState(snap, walDir, o.RepairEntries/2, o.RepairEntries/4); err != nil {
+		return err
+	}
+	segs, err := filepath.Glob(filepath.Join(walDir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		return fmt.Errorf("benchmark: no WAL segments to damage: %v", err)
+	}
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		return err
+	}
+	b[12] ^= 0x01
+	if err := os.WriteFile(segs[0], b, 0o644); err != nil {
+		return err
+	}
+
+	// Boot -> quarantine -> join-time state transfer -> serving.
+	bootAt := time.Now()
+	victim, err := hdns.NewNode(hdns.NodeConfig{
+		Group:        "dur-repair",
+		Transport:    f.Endpoint("dur-victim"),
+		Stack:        stack,
+		ListenAddr:   "127.0.0.1:0",
+		SnapshotPath: snap,
+		WALDir:       walDir,
+	})
+	if err != nil {
+		return fmt.Errorf("benchmark: damaged node refused to start: %w", err)
+	}
+	defer victim.Close()
+	d := victim.Damage()
+	res.RepairQuarantined = len(d.WALQuarantined)
+	if d.SnapshotQuarantined != "" {
+		res.RepairQuarantined++
+	}
+	if res.RepairQuarantined == 0 {
+		return fmt.Errorf("benchmark: damaged boot quarantined nothing")
+	}
+
+	deadline := time.Now().Add(o.RepairBound)
+	for victim.NeedsRepair() || victim.Store().Len() < o.RepairEntries {
+		if time.Now().After(deadline) {
+			res.RepairTime = time.Since(bootAt)
+			return nil // gate fails on RepairTime > bound
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res.RepairTime = time.Since(bootAt)
+
+	// Serving means clients resolve the group's names through the
+	// repaired node itself.
+	c, err := hdnssp.Open(ctx, victim.Addr(), map[string]any{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for i := 0; i < o.RepairEntries; i++ {
+		if _, err := c.Lookup(ctx, fmt.Sprintf("rep%05d", i)); err != nil {
+			return nil // RepairServed stays false
+		}
+	}
+	res.RepairServed = true
+	return nil
+}

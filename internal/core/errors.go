@@ -207,6 +207,32 @@ func (e *ServerBusyError) Error() string {
 // through an interface assertion.
 func (e *ServerBusyError) RetryAfterHint() time.Duration { return e.RetryAfter }
 
+// DataCorruptionError reports that a node's durable state failed
+// integrity verification: a WAL segment with a checksum mismatch away
+// from the torn-tail crash signature, a snapshot chunk whose CRC does
+// not match, or a version chain with a hole. The damaged files have
+// been quarantined aside — never silently replayed past — and the node
+// starts degraded and repairs from a healthy replica (jgroups state
+// transfer) or its sync source (forced resync) instead of refusing to
+// start or un-acking history.
+type DataCorruptionError struct {
+	// Path is the quarantined file (or the first of several).
+	Path string
+	// Detail says what failed verification.
+	Detail string
+	// Err is the underlying integrity error, when one exists.
+	Err error
+}
+
+func (e *DataCorruptionError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("naming: durable state corrupt at %s: %s: %v", e.Path, e.Detail, e.Err)
+	}
+	return fmt.Sprintf("naming: durable state corrupt at %s: %s", e.Path, e.Detail)
+}
+
+func (e *DataCorruptionError) Unwrap() error { return e.Err }
+
 // CrossShardRenameError reports a Rename whose source and destination
 // route to different replica groups of a sharded namespace and whose
 // subject cannot be moved atomically: leaf renames are emulated

@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gondi/internal/wal"
+)
+
+// workloadFS runs a fixed write workload and returns the per-op error
+// signature (for determinism comparisons).
+func workloadFS(f *FS, dir string) []string {
+	var sig []string
+	rec := func(err error) {
+		if err == nil {
+			sig = append(sig, "ok")
+		} else {
+			sig = append(sig, err.Error())
+		}
+	}
+	for i := 0; i < 20; i++ {
+		file, err := f.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		rec(err)
+		if err != nil {
+			continue
+		}
+		_, werr := file.Write([]byte("0123456789abcdef"))
+		rec(werr)
+		rec(file.Sync())
+		rec(file.Close())
+	}
+	return sig
+}
+
+// The fault schedule must be a pure function of seed and op sequence.
+func TestFSScheduleIsDeterministic(t *testing.T) {
+	cfg := FSConfig{Seed: 7, WriteErrProb: 0.2, TornWriteProb: 0.2, SyncErrProb: 0.2}
+	a := workloadFS(NewFS(wal.OS, cfg), t.TempDir())
+	b := workloadFS(NewFS(wal.OS, cfg), t.TempDir())
+	if len(a) != len(b) {
+		t.Fatalf("signature lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := workloadFS(NewFS(wal.OS, FSConfig{Seed: 8, WriteErrProb: 0.2, TornWriteProb: 0.2, SyncErrProb: 0.2}), t.TempDir())
+	same := true
+	for i := range a {
+		if i >= len(c) || a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// A crash point must tear the in-flight write (a prefix persists) and
+// kill everything after it, reads included.
+func TestFSCrashPointTearsAndDies(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFS(wal.OS, FSConfig{})
+	file, err := f.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := file.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetCrashPoint(1) // next boundary: the write below
+	if _, err := file.Write([]byte("abcdefghij")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write at crash point: %v", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("crash point did not fire")
+	}
+	if err := file.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash: %v", err)
+	}
+	if _, err := f.ReadFile(filepath.Join(dir, "f")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash: %v", err)
+	}
+	// The "disk" has the first write plus a prefix of the torn one.
+	b, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "0123456789abcde" {
+		t.Fatalf("disk after tear: %q", b)
+	}
+}
+
+// Boundaries must count identically across runs so a crash-point matrix
+// derived from a dry run lines up with the real runs.
+func TestFSBoundariesStable(t *testing.T) {
+	f1 := NewFS(wal.OS, FSConfig{})
+	workloadFS(f1, t.TempDir())
+	f2 := NewFS(wal.OS, FSConfig{})
+	workloadFS(f2, t.TempDir())
+	if f1.Boundaries() != f2.Boundaries() {
+		t.Fatalf("boundary counts differ: %d vs %d", f1.Boundaries(), f2.Boundaries())
+	}
+	if f1.Boundaries() == 0 {
+		t.Fatal("no boundaries counted")
+	}
+}
+
+// Read-side bit flips corrupt the returned copy, never the disk.
+func TestFSBitFlipLeavesDiskClean(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	want := []byte("the quick brown fox jumps over the lazy dog")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFS(wal.OS, FSConfig{Seed: 3, BitFlipProb: 1})
+	got, err := f.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == string(want) {
+		t.Fatal("bit flip did not fire at probability 1")
+	}
+	disk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(disk) != string(want) {
+		t.Fatal("bit flip reached the disk")
+	}
+	f.SetEnabled(false)
+	clean, err := f.ReadFile(path)
+	if err != nil || string(clean) != string(want) {
+		t.Fatalf("disabled injector still corrupts: %q %v", clean, err)
+	}
+}
+
+// Torn writes persist a prefix and report the short count.
+func TestFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFS(wal.OS, FSConfig{Seed: 1, TornWriteProb: 1})
+	file, err := f.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := file.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write persisted %d bytes, want 5", n)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "01234" {
+		t.Fatalf("disk after torn write: %q", b)
+	}
+}

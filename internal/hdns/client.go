@@ -230,6 +230,12 @@ func IsContextNotEmpty(err error) bool { return hasMsg(err, errCtxNotEmpty) }
 // the ring routes its name to a different replica group.
 func IsWrongShard(err error) bool { return hasMsg(err, errWrongShard) }
 
+// IsStorageUnavailable reports whether a write was refused because the
+// replica's WAL is sealed after a storage failure (ENOSPC, failed
+// fsync): the op may be applied on other replicas but this node will not
+// promise durability. Callers should fail over or back off.
+func IsStorageUnavailable(err error) bool { return hasMsg(err, errStorageUnavailable) }
+
 func hasMsg(err error, msg string) bool {
 	if err == nil {
 		return false

@@ -12,7 +12,7 @@ func BuildShardState(snapshotPath, walDir string, entries, walTail int) error {
 	if walTail < 0 || walTail > entries {
 		return fmt.Errorf("hdns: walTail %d out of range for %d entries", walTail, entries)
 	}
-	p, st, err := openPersistence(snapshotPath, walDir, 0)
+	p, st, _, err := openPersistence(nil, snapshotPath, walDir, 0)
 	if err != nil {
 		return err
 	}
@@ -24,7 +24,9 @@ func BuildShardState(snapshotPath, walDir string, entries, walTail int) error {
 			return fmt.Errorf("hdns: drill apply %d: %s", i, errStr)
 		}
 		if logged {
-			p.appendOp(ver, op)
+			if err := p.appendOp(ver, op); err != nil {
+				return err
+			}
 		}
 		return nil
 	}

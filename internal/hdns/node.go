@@ -18,6 +18,7 @@ import (
 	"gondi/internal/obs"
 	"gondi/internal/rpc"
 	"gondi/internal/shard"
+	"gondi/internal/wal"
 )
 
 // NodeConfig configures an HDNS node.
@@ -68,6 +69,9 @@ type NodeConfig struct {
 	// into one replicated group frame (PR 6's batch frames carried
 	// across the node boundary); 0 means 64.
 	ReplBatch int
+	// FS is the filesystem durable state is written through; nil means
+	// the real one. The durability drills slide a fault injector here.
+	FS wal.FS
 }
 
 // Node is one HDNS replica.
@@ -93,6 +97,13 @@ type Node struct {
 	replSending bool
 
 	applied atomic.Uint64
+
+	// damage is what scrub-on-start found; needsRepair stays true from a
+	// corrupt boot until a state transfer or forced resync re-anchors the
+	// store (tracked so the repair is counted exactly once).
+	damage      *DamageReport
+	needsRepair atomic.Bool
+	repairs     atomic.Uint64
 
 	wg   sync.WaitGroup
 	done chan struct{}
@@ -124,8 +135,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	// Crash recovery (§4.1 "the service can thus recover the state after
 	// a complete shutdown/restart"): restore the snapshot, then replay
-	// the WAL tail past it when a WALDir is configured.
-	pers, store, err := openPersistence(cfg.SnapshotPath, cfg.WALDir, cfg.CompactBytes)
+	// the WAL tail past it when a WALDir is configured. A boot whose
+	// clean-shutdown marker is missing scrubs instead of replaying:
+	// verified damage is quarantined and the node starts degraded,
+	// repairing from the group rather than refusing to start.
+	pers, store, damage, err := openPersistence(cfg.FS, cfg.SnapshotPath, cfg.WALDir, cfg.CompactBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -133,10 +147,20 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cfg:     cfg,
 		store:   store,
 		pers:    pers,
+		damage:  damage,
 		pending: map[string]chan string{},
 		watches: map[*rpc.ServerConn]map[uint64]watchSpec{},
 		replC:   make(chan *Op, 2*cfg.ReplBatch),
 		done:    make(chan struct{}),
+	}
+	if damage.Corrupt() {
+		// Arm the repair before Connect: joining an existing group pulls
+		// state via SetState, which is the repair itself.
+		n.needsRepair.Store(true)
+		gQuarantined.Add(int64(len(damage.WALQuarantined)))
+		if damage.SnapshotQuarantined != "" {
+			gQuarantined.Add(1)
+		}
 	}
 	n.ch = jgroups.NewChannel(cfg.Transport, cfg.Stack)
 	recv := jgroups.Receiver{
@@ -179,6 +203,14 @@ func (n *Node) Channel() *jgroups.Channel { return n.ch }
 
 // snapshotState serves jgroups state transfer.
 func (n *Node) snapshotState() []byte {
+	// A node still pending repair must never donate state: its store is
+	// known-incomplete, and a merge that elects it primary (membership
+	// tie, smaller address) would otherwise overwrite healthy replicas
+	// with the quarantine survivors. Refusing (nil state) makes the
+	// requester keep what it has.
+	if n.needsRepair.Load() {
+		return nil
+	}
 	b, err := n.store.Snapshot()
 	if err != nil {
 		return nil
@@ -195,6 +227,9 @@ func (n *Node) restoreState(b []byte) {
 	// local WAL now describes an abandoned lineage; snapshot the new
 	// state and drop the old log before any new record is appended.
 	n.pers.resetAfterStateTransfer(n.store)
+	// If this boot quarantined corrupt state, the transfer is its
+	// repair: the store is now anchored to the group's history again.
+	n.markRepaired("state-transfer")
 }
 
 func (n *Node) onMerge(e jgroups.MergeEvent) {
@@ -217,6 +252,54 @@ type opEnvelope struct {
 var mReplBatch = obs.Default.Histogram("gondi_hdns_repl_batch_ops",
 	"Ops coalesced per replicated HDNS group frame (count encoded as µs).")
 
+// gQuarantined tracks durable files quarantined by scrub-on-start and
+// not yet superseded by a repair — non-zero means some node in this
+// process is serving from incomplete local state.
+var gQuarantined = obs.Default.Gauge("gondi_store_quarantined_files",
+	"Durable files quarantined by scrub-on-start, pending repair.")
+
+// markRepaired counts one completed durable-state repair and retires the
+// node's quarantine contribution from the gauge. source is
+// "state-transfer" (re-anchored from a healthy replica) or "resync"
+// (mirror destination rebuilt from its sync source).
+func (n *Node) markRepaired(source string) {
+	if !n.needsRepair.CompareAndSwap(true, false) {
+		return
+	}
+	n.repairs.Add(1)
+	obs.Default.Counter("gondi_store_repairs_total",
+		"Durable-state repairs completed after corruption quarantine.",
+		obs.Label{K: "source", V: source}).Inc()
+	q := int64(len(n.damage.WALQuarantined))
+	if n.damage.SnapshotQuarantined != "" {
+		q++
+	}
+	gQuarantined.Add(-q)
+}
+
+// NeedsRepair reports whether scrub-on-start quarantined state that no
+// repair has yet superseded.
+func (n *Node) NeedsRepair() bool { return n.needsRepair.Load() }
+
+// Damage returns what scrub-on-start found (never nil; check Corrupt).
+func (n *Node) Damage() *DamageReport { return n.damage }
+
+// Repairs reports completed durable-state repairs on this node.
+func (n *Node) Repairs() uint64 { return n.repairs.Load() }
+
+// MarkResynced records that a forced mirror resync rebuilt this node's
+// state — the mirror-destination repair path, driven by hdnsd when the
+// node boots corrupt and has a sync source instead of replicas. The
+// resynced tree is snapshotted and the abandoned WAL lineage dropped,
+// exactly as after a state transfer.
+func (n *Node) MarkResynced() {
+	if !n.needsRepair.Load() {
+		return
+	}
+	n.pers.resetAfterStateTransfer(n.store)
+	n.markRepaired("resync")
+}
+
 // deliver applies a replicated frame on this replica, acking each op.
 func (n *Node) deliver(src jgroups.Address, payload []byte) {
 	var env opEnvelope
@@ -227,8 +310,14 @@ func (n *Node) deliver(src jgroups.Address, payload []byte) {
 		op := &env.Ops[i]
 		changes, version, errStr := n.store.ApplyVersioned(op)
 		// Log failures too: they consumed a version, and replay must
-		// reproduce the exact version stream to detect real gaps.
-		n.pers.appendOp(version, op)
+		// reproduce the exact version stream to detect real gaps. A
+		// sealed log (ENOSPC, failed fsync) turns the ack into storage
+		// unavailability: the op is applied in memory and on the other
+		// replicas, but this node cannot promise it durable, and a client
+		// told "ok" must never lose the write to a local power cut.
+		if aerr := n.pers.appendOp(version, op); aerr != nil && errors.Is(aerr, wal.ErrSealed) && errStr == "" {
+			errStr = errStorageUnavailable
+		}
 		n.applied.Add(1)
 		n.mu.Lock()
 		if ch, ok := n.pending[op.ID]; ok {
@@ -449,6 +538,32 @@ func (n *Node) persist() error {
 	return n.pers.writeSnapshot(n.store)
 }
 
+// SyncDurable forces the housekeeping durability pass now: an fsync of
+// the WAL tail (or, without a WAL, a full snapshot). After it returns,
+// every previously acked write survives power loss.
+func (n *Node) SyncDurable() error { return n.persist() }
+
+// Kill stops the node abruptly — no exit-time snapshot, no WAL rotate,
+// no clean-shutdown marker — leaving the durable state exactly as the
+// last synced append wrote it, the way a power cut would. Crash-drill
+// and conformance-test surface.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.done)
+	n.wg.Wait()
+	if n.pers.log != nil {
+		_ = n.pers.log.Close()
+	}
+	n.srv.Close()
+	_ = n.ch.Close()
+}
+
 // Close persists the replica (§4.1: "upon process exit"), leaves the
 // group, and stops serving.
 func (n *Node) Close() error {
@@ -504,6 +619,14 @@ var errDenied = errors.New("hdns: authentication required")
 // scattering one prefix across groups. Clients detect it via
 // IsWrongShard and re-route.
 const errWrongShard = "hdns: wrong shard"
+
+// errStorageUnavailable is acked for a write this replica applied in
+// memory but could not append to its sealed WAL (ENOSPC, failed fsync):
+// the node will not promise durability it cannot deliver. Clients detect
+// it via IsStorageUnavailable; the provider maps it to
+// core.ServiceUnavailableError so callers fail over or back off instead
+// of treating it as a semantic naming error.
+const errStorageUnavailable = "hdns: storage unavailable (wal sealed)"
 
 func (n *Node) guardShard(name []string) error {
 	if n.cfg.Shard.Owns(name) {
@@ -677,6 +800,14 @@ func (n *Node) registerHandlers() {
 			ShardGroups: n.cfg.Shard.Groups,
 			ShardIndex:  n.cfg.Shard.Index,
 			WALBytes:    n.pers.walBytes(),
+			NeedsRepair: n.needsRepair.Load(),
+			Repairs:     n.repairs.Load(),
+		}
+		if n.damage.Corrupt() {
+			info.Quarantined = len(n.damage.WALQuarantined)
+			if n.damage.SnapshotQuarantined != "" {
+				info.Quarantined++
+			}
 		}
 		if view != nil {
 			for _, m := range view.Members {

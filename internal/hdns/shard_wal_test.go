@@ -100,7 +100,7 @@ func TestWALCrashRestartReplay(t *testing.T) {
 func TestWALCompactionKeepsTail(t *testing.T) {
 	dir := t.TempDir()
 	snap := filepath.Join(dir, "replica.snap")
-	p, st, err := openPersistence(snap, filepath.Join(dir, "wal"), 1)
+	p, st, _, err := openPersistence(nil, snap, filepath.Join(dir, "wal"), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,9 @@ func TestWALCompactionKeepsTail(t *testing.T) {
 			if errStr != "" {
 				t.Fatalf("apply %d: %s", i, errStr)
 			}
-			p.appendOp(ver, op)
+			if err := p.appendOp(ver, op); err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
 		}
 	}
 	apply(0, 100)

@@ -503,6 +503,19 @@ func (s *Store) Snapshot() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// SnapshotVersioned is Snapshot plus the version it captures, read under
+// one lock so the pair is consistent for the checksummed snapshot
+// container's lineage header.
+func (s *Store) SnapshotVersioned() (uint64, []byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snapshotV1{Version: s.version, Root: s.root}); err != nil {
+		return 0, nil, err
+	}
+	return s.version, buf.Bytes(), nil
+}
+
 // Restore replaces the tree from a snapshot.
 func (s *Store) Restore(b []byte) error {
 	var snap snapshotV1

@@ -50,6 +50,9 @@ type NodeInfo struct {
 	ShardGroups int   // ring size the node was configured with (0/1 = unsharded)
 	ShardIndex  int   // which shard of ShardGroups this group serves
 	WALBytes    int64 // on-disk WAL footprint (0 when WAL disabled)
+	NeedsRepair bool  // scrub-on-start quarantined state; repair pending
+	Quarantined int   // durable files this boot moved aside
+	Repairs     uint64
 }
 
 // RPC method names.

@@ -48,6 +48,13 @@ type Span struct {
 	// mirror). "" means the origin answered. Mirror-serves are never
 	// silent — this annotation plus the sync counters are the contract.
 	Mirror string `json:"mirror,omitempty"`
+	// Repair marks durable-state repair activity touching this hop:
+	// "state-transfer" (a corrupted replica re-anchored from the group)
+	// or "resync" (a mirror destination rebuilt from its sync source).
+	// "" means no repair was involved. Like Mirror, repair is never
+	// silent — this annotation plus gondi_store_repairs_total are the
+	// contract.
+	Repair string `json:"repair,omitempty"`
 	// Err is the hop's terminal error, "" on success. A CannotProceed
 	// continuation is not an error — it closes the hop and opens the next.
 	Err string `json:"err,omitempty"`
@@ -199,6 +206,17 @@ func MirrorEvent(ctx context.Context, kind string) {
 		return
 	}
 	t.annotate(func(s *Span) { s.Mirror = kind })
+}
+
+// RepairEvent marks durable-state repair activity on the current hop
+// ("state-transfer" for a corrupted replica re-anchoring from the group,
+// "resync" for a mirror destination rebuilt from its sync source).
+func RepairEvent(ctx context.Context, kind string) {
+	t := TraceFrom(ctx)
+	if t == nil || !enabled.Load() {
+		return
+	}
+	t.annotate(func(s *Span) { s.Repair = kind })
 }
 
 // AddWireRT counts one wire round-trip on the current hop.

@@ -233,6 +233,11 @@ func (c *Context) mapErr(ctx context.Context, err error, full core.Name) error {
 			return cpe
 		}
 		return core.ErrNotContext
+	case hdns.IsStorageUnavailable(err):
+		// The replica's WAL sealed after a storage failure: the write is
+		// refused rather than acked without durability. Terminal for this
+		// endpoint — fail over or back off, don't retry it blindly.
+		return &core.ServiceUnavailableError{Endpoint: c.sh.url, Err: err}
 	default:
 		return &core.CommunicationError{Endpoint: c.sh.url, Err: err}
 	}

@@ -1,0 +1,158 @@
+package ptest_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gondi/internal/core"
+	"gondi/internal/hdns"
+	"gondi/internal/jgroups"
+	"gondi/internal/provider/hdnssp"
+	"gondi/internal/provider/ptest"
+	"gondi/internal/shard"
+)
+
+// TestHDNSDurabilityConformance runs the storage-fault contract against
+// a real 2-group HDNS deployment on the in-process fabric. Each group
+// is anchored by one durable replica (snapshot + WAL on disk); the
+// repair phase adds a memory-only peer to the victim group, cuts the
+// durable replica's power, flips bits in its WAL, and expects the
+// restart to quarantine and then re-anchor from the peer.
+func TestHDNSDurabilityConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash/restart cycles are slow")
+	}
+	ptest.RunDurabilityConformance(t, func(rt *testing.T) *ptest.DurabilityWorld {
+		const groups = 2
+		dir := rt.TempDir()
+		f := jgroups.NewFabric()
+		stack := jgroups.DefaultConfig()
+		stack.HeartbeatInterval = 40 * time.Millisecond
+		stack.SuspectAfter = 400 * time.Millisecond
+		stack.GossipInterval = 30 * time.Millisecond
+		stack.MergeInterval = 80 * time.Millisecond
+
+		// durable[g] is the group's disk-backed replica; peers[g] any
+		// memory-only replicas added later. epoch[g] names transport
+		// endpoints uniquely across restarts.
+		durable := make([]*hdns.Node, groups)
+		peers := make([][]*hdns.Node, groups)
+		epoch := make([]int, groups)
+		snapPath := func(g int) string { return filepath.Join(dir, fmt.Sprintf("g%d.snap", g)) }
+		walDir := func(g int) string { return filepath.Join(dir, fmt.Sprintf("wal-g%d", g)) }
+
+		boot := func(t *testing.T, g int) {
+			epoch[g]++
+			n, err := hdns.NewNode(hdns.NodeConfig{
+				Group:            fmt.Sprintf("durconf-%d", g),
+				Transport:        f.Endpoint(jgroups.Address(fmt.Sprintf("g%dd%d", g, epoch[g]))),
+				Stack:            stack,
+				ListenAddr:       "127.0.0.1:0",
+				SnapshotPath:     snapPath(g),
+				WALDir:           walDir(g),
+				SnapshotInterval: time.Hour, // the suite syncs explicitly
+				WriteTimeout:     5 * time.Second,
+				Shard:            shard.Assignment{Groups: groups, Index: g},
+			})
+			if err != nil {
+				t.Fatalf("boot durable g%d: %v", g, err)
+			}
+			durable[g] = n
+			// Cleanups belong to the factory scope: a subtest-scoped one
+			// would kill a replica restarted in phase 1 as soon as that
+			// phase ends, sawing off the world under the later phases.
+			rt.Cleanup(func() { n.Kill() })
+		}
+		for g := 0; g < groups; g++ {
+			boot(rt, g)
+		}
+		ring := shard.Cached(groups)
+
+		return &ptest.DurabilityWorld{
+			Groups: groups,
+			Open: func(t *testing.T, id string) (core.DirContext, error) {
+				auths := make([]string, groups)
+				for g := 0; g < groups; g++ {
+					auths[g] = durable[g].Addr()
+				}
+				c, err := hdnssp.Open(context.Background(), shard.JoinAuthority(auths),
+					map[string]any{core.EnvPoolID: t.Name() + id})
+				if err == nil {
+					t.Cleanup(func() { c.Close() })
+				}
+				return c, err
+			},
+			Route: func(prefix string) int { return ring.Route(prefix) },
+			SyncGroup: func(t *testing.T, g int) {
+				if err := durable[g].SyncDurable(); err != nil {
+					t.Fatalf("sync g%d: %v", g, err)
+				}
+			},
+			CrashGroup: func(t *testing.T, g int) {
+				dead := jgroups.Address(fmt.Sprintf("g%dd%d", g, epoch[g]))
+				durable[g].Kill()
+				// A real restart outlives failure detection: wait for any
+				// surviving peer to suspect the dead replica and take over
+				// as coordinator, so the restarted node rejoins an existing
+				// group (and its state transfer) instead of founding a
+				// singleton next to it.
+				for _, p := range peers[g] {
+					deadline := time.Now().Add(5 * time.Second)
+					for {
+						v := p.Channel().View()
+						if v != nil && !v.Contains(dead) {
+							break
+						}
+						if time.Now().After(deadline) {
+							t.Fatalf("peer never suspected crashed replica %s", dead)
+						}
+						time.Sleep(15 * time.Millisecond)
+					}
+				}
+			},
+			RestartGroup: boot,
+			CorruptGroup: func(t *testing.T, g int) {
+				segs, err := filepath.Glob(filepath.Join(walDir(g), "seg-*.wal"))
+				if err != nil || len(segs) == 0 {
+					t.Fatalf("no WAL segments to corrupt in g%d: %v", g, err)
+				}
+				b, err := os.ReadFile(segs[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				b[12] ^= 0x01 // first record's payload: CRC mismatch, not a torn tail
+				if err := os.WriteFile(segs[0], b, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			AddReplica: func(t *testing.T, g int) {
+				n, err := hdns.NewNode(hdns.NodeConfig{
+					Group:      fmt.Sprintf("durconf-%d", g),
+					Transport:  f.Endpoint(jgroups.Address(fmt.Sprintf("g%dp%d", g, len(peers[g])))),
+					Stack:      stack,
+					ListenAddr: "127.0.0.1:0",
+					Shard:      shard.Assignment{Groups: groups, Index: g},
+				})
+				if err != nil {
+					t.Fatalf("add replica g%d: %v", g, err)
+				}
+				rt.Cleanup(func() { n.Close() })
+				peers[g] = append(peers[g], n)
+				want := durable[g].Store().Len()
+				deadline := time.Now().Add(5 * time.Second)
+				for n.Store().Len() < want {
+					if time.Now().After(deadline) {
+						t.Fatalf("peer never pulled g%d state (%d of %d)", g, n.Store().Len(), want)
+					}
+					time.Sleep(15 * time.Millisecond)
+				}
+			},
+			Damaged:  func(g int) bool { return durable[g].Damage().Corrupt() },
+			Repaired: func(g int) bool { return durable[g].Repairs() > 0 },
+		}
+	})
+}

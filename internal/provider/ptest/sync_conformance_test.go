@@ -237,4 +237,3 @@ func TestDNSSyncCursorSkipsIdleCycles(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 }
-

@@ -1,0 +1,58 @@
+package serverutil
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gondi/internal/admission"
+)
+
+// DefaultDrainTimeout bounds how long shutdown waits for in-flight
+// admitted work before closing anyway.
+const DefaultDrainTimeout = 5 * time.Second
+
+// AwaitShutdown blocks until SIGINT or SIGTERM, then runs the daemons'
+// shared graceful-exit sequence:
+//
+//  1. announce the shutdown (so operators see why the port died),
+//  2. drain the admission queue — wait, bounded by drainTimeout, until
+//     admitted work has finished, so requests the server accepted are
+//     answered rather than severed mid-flight (new arrivals keep being
+//     admitted during the drain; the bound, not a gate, ends it),
+//  3. run each closer in order (server close, then state persistence —
+//     hdnsd's node.Close syncs the WAL, snapshots, and writes the
+//     clean-shutdown marker that lets the next boot skip scrub-on-start).
+//
+// ctrl may be nil (no admission control; the drain is skipped).
+// drainTimeout <= 0 means DefaultDrainTimeout. The first closer error is
+// returned after all closers have run.
+func AwaitShutdown(name string, ctrl *admission.Controller, drainTimeout time.Duration, closers ...func() error) error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	signal.Stop(sig)
+	fmt.Printf("%s: %v received, shutting down\n", name, s)
+	if drainTimeout <= 0 {
+		drainTimeout = DefaultDrainTimeout
+	}
+	if d := ctrl.Depth(); d > 0 {
+		fmt.Printf("%s: draining %d admitted ops (up to %v)\n", name, d, drainTimeout)
+		deadline := time.Now().Add(drainTimeout)
+		for ctrl.Depth() > 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if d := ctrl.Depth(); d > 0 {
+			fmt.Printf("%s: drain timeout with %d ops still in flight\n", name, d)
+		}
+	}
+	var first error
+	for _, c := range closers {
+		if err := c(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -71,8 +71,20 @@ func main() {
 		}
 	}
 	if compared == 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: no comparable ops/s metrics between %s and %s\n", os.Args[1], os.Args[2])
-		os.Exit(1)
+		// Reports without throughput metrics (the durability report is a
+		// pass/fail drill matrix) gate on their verdict instead: the
+		// fresh run must pass, like the baseline it replaces.
+		bv, fv := verdictOf(os.Args[1]), verdictOf(os.Args[2])
+		if bv == "" || fv == "" {
+			fmt.Fprintf(os.Stderr, "benchdiff: no comparable ops/s metrics between %s and %s\n", os.Args[1], os.Args[2])
+			os.Exit(1)
+		}
+		if !strings.HasPrefix(fv, "pass") {
+			fmt.Fprintf(os.Stderr, "benchdiff: REGRESSION %s verdict: %s\n", os.Args[2], fv)
+			os.Exit(1)
+		}
+		fmt.Printf("benchdiff: %s vs %s: verdict gate passed\n", os.Args[2], os.Args[1])
+		return
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d metrics regressed beyond %.0f%% (%s vs %s)\n",
@@ -81,6 +93,21 @@ func main() {
 	}
 	fmt.Printf("benchdiff: %s vs %s: %d ops/s metrics within %.0f%%\n",
 		os.Args[2], os.Args[1], compared, 100*tolerance)
+}
+
+// verdictOf returns a report's top-level verdict string, or "".
+func verdictOf(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	var doc struct {
+		Verdict string `json:"verdict"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return ""
+	}
+	return doc.Verdict
 }
 
 // metrics flattens a report into path -> value for every throughput

@@ -6,7 +6,7 @@
 #   sh scripts/check.sh fmt vet lint    # just those stages
 #   sh scripts/check.sh test            # race-enabled tests + coverage gate
 #
-# Stages: fmt vet lint build test allocs chaos overload vuln bench benchdiff
+# Stages: fmt vet lint build test allocs chaos durability overload vuln bench benchdiff
 # Set CHECK_SKIP_BENCH=1 to skip the (slow) bench stage in a full run;
 # the vuln stage always runs. benchdiff is CI-only (it needs fresh
 # BENCH_issue*_ci.json quick reports next to the committed baselines).
@@ -88,13 +88,15 @@ stage_allocs() {
     # reader and the WAL record codec must reject exactly and recover
     # from torn tails. Deterministic here; set CHECK_FUZZ_TIME=10s to
     # actually explore locally.
-    echo "== frame + WAL record fuzz seeds =="
+    echo "== frame + WAL record + snapshot container fuzz seeds =="
     go test -count=1 -run 'FuzzReadFrame' ./internal/rpc/
     go test -count=1 -run 'FuzzWALRecord' ./internal/wal/
+    go test -count=1 -run 'FuzzSnapshotDecode' ./internal/hdns/
     if [ -n "$CHECK_FUZZ_TIME" ]; then
         echo "== fuzzing for $CHECK_FUZZ_TIME each =="
         go test -count=1 -run '^$' -fuzz 'FuzzReadFrame' -fuzztime "$CHECK_FUZZ_TIME" ./internal/rpc/
         go test -count=1 -run '^$' -fuzz 'FuzzWALRecord' -fuzztime "$CHECK_FUZZ_TIME" ./internal/wal/
+        go test -count=1 -run '^$' -fuzz 'FuzzSnapshotDecode' -fuzztime "$CHECK_FUZZ_TIME" ./internal/hdns/
     fi
 }
 
@@ -114,6 +116,20 @@ stage_chaos() {
     echo "== sync drills: cross-registry convergence + origin-outage mirror fallback (-race) =="
     go test -race -count=1 -run 'SyncConformance|TestDNSSyncCursorSkipsIdleCycles' ./internal/provider/ptest/
     go test -race -count=1 -run 'TestChaosOriginCutMidStreamMirrorKeepsServing|TestFallback' ./internal/sync/
+}
+
+stage_durability() {
+    # Durability under storage faults: seeded disk-fault injection, the
+    # crash-point matrix (power loss at every durability boundary of
+    # append/rotate/snapshot/prune, restart must lose no acked write),
+    # scrub/quarantine classification, and the corrupted-replica
+    # auto-repair loop against a live 2-group world.
+    echo "== disk fault injector + WAL scrub/quarantine (-race) =="
+    go test -race -count=1 ./internal/fault/ ./internal/wal/
+    echo "== crash-point matrix + quarantine/repair drills (-race) =="
+    go test -race -count=1 -run 'TestCrashPointMatrix|TestOpenQuarantines|TestCleanShutdownMarkerRoundTrip|TestCorruptNodeRepairsViaStateTransfer|TestSealedWALSurfacesStorageUnavailable' ./internal/hdns/
+    echo "== durability conformance: crash safety + replica-driven repair (-race) =="
+    go test -race -count=1 -run 'TestHDNSDurabilityConformance' ./internal/provider/ptest/
 }
 
 stage_vuln() {
@@ -162,6 +178,8 @@ stage_bench() {
     go run ./cmd/ippsbench -issue8
     echo "== cross-registry mirroring report (writes BENCH_issue9.json) =="
     go run ./cmd/ippsbench -issue9
+    echo "== durability report (writes BENCH_issue10.json) =="
+    go run ./cmd/ippsbench -issue10
 }
 
 stage_benchdiff() {
@@ -174,7 +192,7 @@ stage_benchdiff() {
     # -quick verdict gates.
     echo "== bench regression diff (>20% ops/s drop fails) =="
     compared=0
-    for n in 3 5 7 8 9; do
+    for n in 3 5 7 8 9 10; do
         fresh="BENCH_issue${n}_ci.json"
         if [ ! -f "$fresh" ]; then
             echo "benchdiff: $fresh missing (go run ./cmd/ippsbench -issue$n -quick -out $fresh); skipping"
@@ -197,6 +215,7 @@ if [ $# -eq 0 ]; then
     stage_test
     stage_allocs
     stage_chaos
+    stage_durability
     stage_overload
     stage_vuln
     if [ -z "$CHECK_SKIP_BENCH" ]; then
@@ -205,9 +224,9 @@ if [ $# -eq 0 ]; then
 else
     for s in "$@"; do
         case "$s" in
-            fmt|vet|lint|build|test|allocs|chaos|overload|vuln|bench|benchdiff) "stage_$s" ;;
+            fmt|vet|lint|build|test|allocs|chaos|durability|overload|vuln|bench|benchdiff) "stage_$s" ;;
             *)
-                echo "unknown stage: $s (stages: fmt vet lint build test allocs chaos overload vuln bench benchdiff)" >&2
+                echo "unknown stage: $s (stages: fmt vet lint build test allocs chaos durability overload vuln bench benchdiff)" >&2
                 exit 2
                 ;;
         esac
